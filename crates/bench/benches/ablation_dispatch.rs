@@ -1,0 +1,77 @@
+//! Ablation Abl-1: what the HTEX pilot-job dispatch path costs.
+//!
+//! Sweeps the modelled network dispatch latency of the
+//! HighThroughputExecutor against the zero-latency ThreadPoolExecutor on a
+//! fixed task batch — quantifying the price of the pilot-job architecture
+//! that buys multi-node scale (DESIGN.md design decision 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use parsl::{AppArg, Config, DataFlowKernel, FnApp, HtexConfig, LocalProvider};
+use std::sync::Arc;
+use std::time::Duration;
+use yamlite::Value;
+
+const TASKS: usize = 64;
+
+fn run_batch(dfk: &Arc<DataFlowKernel>) {
+    let body = FnApp::new(|vals: &[Value]| Ok(Value::Int(vals[0].as_int().unwrap_or(0) + 1)));
+    let futs: Vec<_> = (0..TASKS)
+        .map(|i| dfk.submit("t", vec![AppArg::value(i as i64)], body.clone()))
+        .collect();
+    for f in &futs {
+        f.result().expect("task ok");
+    }
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    gridsim::TimeScale::set(1.0);
+    let mut group = c.benchmark_group("ablation_dispatch");
+    group.sample_size(10);
+
+    group.bench_function("threadpool", |b| {
+        b.iter_batched(
+            || DataFlowKernel::new(Config::local_threads(8)),
+            |dfk| {
+                run_batch(&dfk);
+                dfk.shutdown();
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+
+    for latency_us in [0u64, 200, 800] {
+        group.bench_with_input(
+            BenchmarkId::new("htex_dispatch", latency_us),
+            &latency_us,
+            |b, &us| {
+                b.iter_batched(
+                    || {
+                        let latency = gridsim::LatencyModel {
+                            dispatch: Duration::from_micros(us),
+                            result: Duration::from_micros(us / 2),
+                            jitter_frac: 0.0,
+                        };
+                        DataFlowKernel::new(Config::htex(
+                            HtexConfig {
+                                label: "abl".into(),
+                                nodes: 2,
+                                workers_per_node: 4,
+                                latency,
+                            },
+                            Arc::new(LocalProvider::new(4)),
+                        ))
+                    },
+                    |dfk| {
+                        run_batch(&dfk);
+                        dfk.shutdown();
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Ablation Abl-3: decomposing expression-evaluation cost.
+//!
+//! Measures the raw interpreters (no modelled boundary): a JS expression, a
+//! JS `${...}` body, a Python f-string call, and a plain parameter
+//! reference — then the same JS expression with the cwltool boundary model
+//! at full scale, separating interpreter time from process-boundary time.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use expr::{EvalContext, ExpressionEngine, JsCostModel, JsEngine, PyEngine};
+use yamlite::Value;
+
+fn ctx(words: usize) -> EvalContext {
+    let list: Vec<Value> = (0..words).map(|i| Value::str(format!("w{i:04}"))).collect();
+    EvalContext::from_inputs(yamlite::vmap! {
+        "word" => "hello",
+        "all_words" => Value::Seq(list),
+    })
+}
+
+fn bench_expr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_expr");
+    group.sample_size(20);
+
+    let js = JsEngine::in_process();
+    let py = PyEngine::compile("def cap(w):\n    return w.title()\n").unwrap();
+    let small = ctx(4);
+
+    group.bench_function("js_expression", |b| {
+        b.iter(|| {
+            js.eval_paren("inputs.word.charAt(0).toUpperCase() + inputs.word.slice(1)", &small)
+                .unwrap()
+        });
+    });
+    group.bench_function("js_body", |b| {
+        b.iter(|| {
+            js.eval_body(
+                "var w = inputs.word; return w.charAt(0).toUpperCase() + w.slice(1);",
+                &small,
+            )
+            .unwrap()
+        });
+    });
+    group.bench_function("py_fstring_call", |b| {
+        b.iter(|| {
+            py.eval_literal("f\"{cap($(inputs.word))}\"", &small)
+                .unwrap()
+                .unwrap()
+        });
+    });
+    group.bench_function("param_reference", |b| {
+        b.iter(|| js.eval_paren("inputs.word", &small).unwrap());
+    });
+
+    // Boundary model: spawn + marshalling, growing with context size.
+    gridsim::TimeScale::set(0.01);
+    let costly = JsEngine::new(JsCostModel::cwltool_like());
+    for words in [4usize, 256] {
+        let c2 = ctx(words);
+        group.bench_with_input(
+            BenchmarkId::new("js_with_boundary", words),
+            &words,
+            |b, _| {
+                b.iter(|| {
+                    costly
+                        .eval_paren(
+                            "inputs.word.charAt(0).toUpperCase() + inputs.word.slice(1)",
+                            &c2,
+                        )
+                        .unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_expr);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Ablation Abl-2: cwltool's per-job document reprocessing.
+//!
+//! Runs the same scattered image workflow with the cwltool profile's
+//! revalidation switched on and off — isolating how much of the baseline's
+//! per-task cost is re-parsing/re-validating (real CPU work) versus the
+//! modelled process start-up.
+
+use bench::{scratch_dir, workload};
+use criterion::{criterion_group, criterion_main, Criterion};
+use cwlexec::BuiltinDispatch;
+use runners::{ExecProfile, RefRunner};
+use std::sync::Arc;
+use yamlite::{Map, Value};
+
+fn bench_revalidate(c: &mut Criterion) {
+    // Zero modelled overheads: only the real revalidation work differs.
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch_dir("crit-revalidate");
+    let wf = bench::fixtures_dir().join("scatter_images.cwl");
+    let images = workload::image_inputs(&dir, 8, 16, 3);
+    let mut inputs = Map::new();
+    inputs.insert("input_images", Value::Seq(images));
+    inputs.insert("size", Value::Int(8));
+    inputs.insert("sepia", Value::Bool(true));
+    inputs.insert("radius", Value::Int(1));
+
+    let mut group = c.benchmark_group("ablation_revalidate");
+    group.sample_size(10);
+    for revalidate in [false, true] {
+        let name = if revalidate { "revalidate_on" } else { "revalidate_off" };
+        let wf = wf.clone();
+        let inputs = inputs.clone();
+        let dir = dir.clone();
+        group.bench_function(name, |b| {
+            let mut profile = ExecProfile::bare(4);
+            profile.revalidate_per_task = revalidate;
+            let runner = RefRunner::with_profile(profile, Arc::new(BuiltinDispatch));
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                let run_dir = workload::fresh_run_dir(&dir, name, trial);
+                runner.run(&wf, &inputs, &run_dir).expect("workflow run")
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_revalidate);
+criterion_main!(benches);

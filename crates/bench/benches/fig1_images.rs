@@ -1,0 +1,43 @@
+//! Criterion bench for Fig. 1: one fixed sweep point per system, at a
+//! CI-friendly size. The full sweep lives in the `figures` binary.
+
+use bench::{run_fig1, scratch_dir, Fig1Config, Fig1System};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_fig1(c: &mut Criterion) {
+    // Compress modelled overheads hard so a Criterion run stays fast while
+    // the relative ordering is preserved.
+    gridsim::TimeScale::set(0.01);
+    let dir = scratch_dir("crit-fig1");
+    let mut group = c.benchmark_group("fig1_images_n10");
+    group.sample_size(10);
+    for (system, nodes) in [
+        (Fig1System::Cwltool, 1),
+        (Fig1System::Toil, 1),
+        (Fig1System::ParslThreads, 1),
+        (Fig1System::ParslHtex, 3),
+    ] {
+        let dir = dir.clone();
+        group.bench_function(system.label(), |b| {
+            let mut trial = 0usize;
+            b.iter(|| {
+                trial += 1;
+                let cfg = Fig1Config {
+                    n_images: 10,
+                    nodes,
+                    cores_per_node: 4,
+                    image_size: 32,
+                    seed: 7,
+                    dir: dir.clone(),
+                    trial,
+                };
+                run_fig1(system, &cfg).expect("fig1 point")
+            });
+        });
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

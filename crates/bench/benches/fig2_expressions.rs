@@ -1,0 +1,34 @@
+//! Criterion bench for Fig. 2: expression engines at two word counts per
+//! system, showing the JS curves bending upward while inline Python stays
+//! low. The full sweep lives in the `figures` binary.
+
+use bench::{run_fig2, scratch_dir, Fig2System};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_fig2(c: &mut Criterion) {
+    gridsim::TimeScale::set(0.01);
+    let dir = scratch_dir("crit-fig2");
+    let mut group = c.benchmark_group("fig2_expressions");
+    group.sample_size(10);
+    for system in [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython] {
+        for n_words in [8usize, 64] {
+            let dir = dir.clone();
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), n_words),
+                &n_words,
+                |b, &n| {
+                    let mut trial = 0usize;
+                    b.iter(|| {
+                        trial += 1;
+                        run_fig2(system, n, 8, &dir, trial).expect("fig2 point")
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_fig2);
+criterion_main!(benches);

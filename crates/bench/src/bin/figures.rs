@@ -1,0 +1,179 @@
+//! `figures` — regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! figures fig1a [--trials N] [--scale F] [--quick|--full] [--image-size PX]
+//! figures fig1b [--trials N] [--scale F] [--quick|--full] [--image-size PX]
+//! figures fig2  [--trials N] [--scale F] [--quick|--full]
+//! figures all   [...]
+//! ```
+//!
+//! Output: one table per figure, with one row per x-axis point and one
+//! column per system (mean seconds ± stdev over trials). The shape — who
+//! wins, by what factor, and the curvature — is what reproduces the paper;
+//! absolute numbers depend on the `--scale` compression of modelled
+//! overheads (see EXPERIMENTS.md).
+
+use bench::{mean_stdev, run_fig1, run_fig2, scratch_dir, Fig1Config, Fig1System, Fig2System};
+use std::process::ExitCode;
+
+struct Options {
+    trials: usize,
+    scale: f64,
+    sweep: Sweep,
+    image_size: u32,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Sweep {
+    Quick,
+    Default,
+    Full,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("figures: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    // Defaults calibrated on this repository's reference machine so the
+    // cwltool/parsl ratio at the largest point lands near the paper's
+    // ~1.5× (see EXPERIMENTS.md for the calibration notes).
+    let mut opts = Options { trials: 3, scale: 0.05, sweep: Sweep::Default, image_size: 128 };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trials" => {
+                opts.trials = next(args, &mut i, "--trials")?.parse().map_err(|_| "bad --trials")?;
+            }
+            "--scale" => {
+                opts.scale = next(args, &mut i, "--scale")?.parse().map_err(|_| "bad --scale")?;
+            }
+            "--image-size" => {
+                opts.image_size =
+                    next(args, &mut i, "--image-size")?.parse().map_err(|_| "bad --image-size")?;
+            }
+            "--quick" => opts.sweep = Sweep::Quick,
+            "--full" => opts.sweep = Sweep::Full,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(opts)
+}
+
+fn next<'a>(args: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i).map(String::as_str).ok_or_else(|| format!("{what} needs a value"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let opts = parse_options(args.get(1..).unwrap_or(&[]))?;
+    gridsim::TimeScale::set(opts.scale);
+    println!(
+        "# overhead time-scale: {} (modelled latencies compressed; ratios preserved)",
+        opts.scale
+    );
+    match cmd {
+        "fig1a" => fig1(&opts, true),
+        "fig1b" => fig1(&opts, false),
+        "fig2" => fig2(&opts),
+        "all" => {
+            fig1(&opts, true)?;
+            fig1(&opts, false)?;
+            fig2(&opts)
+        }
+        other => Err(format!("unknown figure {other:?} (fig1a|fig1b|fig2|all)")),
+    }
+}
+
+fn image_points(sweep: Sweep) -> Vec<usize> {
+    match sweep {
+        Sweep::Quick => vec![1, 10, 50],
+        Sweep::Default => vec![1, 10, 50, 100, 250],
+        Sweep::Full => vec![1, 10, 50, 100, 250, 500, 1000],
+    }
+}
+
+fn word_points(sweep: Sweep) -> Vec<usize> {
+    match sweep {
+        Sweep::Quick => vec![2, 16, 128],
+        Sweep::Default => vec![2, 8, 32, 128, 512, 1024],
+        Sweep::Full => vec![2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
+    }
+}
+
+fn fig1(opts: &Options, three_node: bool) -> Result<(), String> {
+    let (name, nodes, parsl) = if three_node {
+        ("fig1a (three nodes)", 3, Fig1System::ParslHtex)
+    } else {
+        ("fig1b (one node)", 1, Fig1System::ParslThreads)
+    };
+    let systems = [Fig1System::Cwltool, Fig1System::Toil, parsl];
+    println!("\n## {name}: runtime (s) vs number of images");
+    println!(
+        "{:>8} {:>16} {:>16} {:>16}",
+        "images",
+        systems[0].label(),
+        systems[1].label(),
+        systems[2].label()
+    );
+    let dir = scratch_dir(if three_node { "fig1a" } else { "fig1b" });
+    for n in image_points(opts.sweep) {
+        let mut cells = Vec::new();
+        for system in systems {
+            let mut samples = Vec::with_capacity(opts.trials);
+            for trial in 0..opts.trials {
+                let cfg = Fig1Config {
+                    n_images: n,
+                    nodes,
+                    cores_per_node: 48,
+                    image_size: opts.image_size,
+                    seed: 12345,
+                    dir: dir.clone(),
+                    trial,
+                };
+                samples.push(run_fig1(system, &cfg)?);
+            }
+            let (mean, sd) = mean_stdev(&samples);
+            cells.push(format!("{mean:9.3} ±{sd:5.3}"));
+        }
+        println!("{n:>8} {:>16} {:>16} {:>16}", cells[0], cells[1], cells[2]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn fig2(opts: &Options) -> Result<(), String> {
+    let systems = [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython];
+    println!("\n## fig2: expression-processing runtime (s) vs number of words (one node)");
+    println!(
+        "{:>8} {:>16} {:>16} {:>20}",
+        "words",
+        systems[0].label(),
+        systems[1].label(),
+        systems[2].label()
+    );
+    let dir = scratch_dir("fig2");
+    for n in word_points(opts.sweep) {
+        let mut cells = Vec::new();
+        for system in systems {
+            let mut samples = Vec::with_capacity(opts.trials);
+            for trial in 0..opts.trials {
+                samples.push(run_fig2(system, n, 48, &dir, trial)?);
+            }
+            let (mean, sd) = mean_stdev(&samples);
+            cells.push(format!("{mean:9.3} ±{sd:5.3}"));
+        }
+        println!("{n:>8} {:>16} {:>16} {:>20}", cells[0], cells[1], cells[2]);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}

@@ -1,0 +1,178 @@
+//! Fig. 1 drivers: the scattered image-processing workflow on each system.
+//!
+//! All systems execute the identical CWL document
+//! (`fixtures/scatter_images.cwl`, the §VI scatter wrapper over Listing 3)
+//! on identical inputs with the same in-process tool dispatch; they differ
+//! only in the runner architecture, which is the paper's comparison.
+//!
+//! Slot accounting follows the paper's setup ("each workflow system uses
+//! all cores available on the allocated nodes"): every system gets
+//! `nodes × cores_per_node` concurrent slots, so the measured differences
+//! come from per-task overhead structure, not from capacity.
+
+use crate::workload::{fresh_run_dir, image_inputs};
+use cwl_parsl::{CwlAppOptions, ParslWorkflowRunner};
+use cwlexec::BuiltinDispatch;
+use gridsim::{BatchScheduler, ClusterSpec, LatencyModel, SchedulerConfig};
+use parsl::{Config, DataFlowKernel, HtexConfig, SlurmProvider};
+use runners::{RefRunner, ToilRunner};
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yamlite::{Map, Value};
+
+/// Which system runs the workflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig1System {
+    /// cwltool with `--parallel`.
+    Cwltool,
+    /// toil-cwl-runner with the (simulated) slurm batch system.
+    Toil,
+    /// parsl-cwl on the HighThroughputExecutor (Fig. 1a).
+    ParslHtex,
+    /// parsl-cwl on the ThreadPoolExecutor (Fig. 1b).
+    ParslThreads,
+}
+
+impl Fig1System {
+    /// Display name used in the figure legend.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig1System::Cwltool => "cwltool",
+            Fig1System::Toil => "toil",
+            Fig1System::ParslHtex => "parsl-htex",
+            Fig1System::ParslThreads => "parsl-threads",
+        }
+    }
+}
+
+/// One Fig. 1 measurement point.
+#[derive(Debug, Clone)]
+pub struct Fig1Config {
+    /// Number of images scattered over.
+    pub n_images: usize,
+    /// Cluster shape (paper: 3 × 48 for Fig. 1a, 1 × 48 for Fig. 1b).
+    pub nodes: usize,
+    pub cores_per_node: usize,
+    /// Input image edge length in pixels (compute per task).
+    pub image_size: u32,
+    /// Workload seed.
+    pub seed: u64,
+    /// Scratch directory (inputs are cached here across runs).
+    pub dir: PathBuf,
+    /// Trial index (isolates run directories).
+    pub trial: usize,
+}
+
+impl Fig1Config {
+    fn slots(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    fn inputs(&self) -> Map {
+        let images = image_inputs(&self.dir, self.n_images, self.image_size, self.seed);
+        let mut m = Map::new();
+        m.insert("input_images", Value::Seq(images));
+        m.insert("size", Value::Int((self.image_size / 2).max(1) as i64));
+        m.insert("sepia", Value::Bool(true));
+        m.insert("radius", Value::Int(1));
+        m
+    }
+}
+
+/// Run one point; returns the workflow makespan.
+pub fn run_fig1(system: Fig1System, cfg: &Fig1Config) -> Result<Duration, String> {
+    let wf = crate::fixtures_dir().join("scatter_images.cwl");
+    let inputs = cfg.inputs();
+    let run_dir = fresh_run_dir(&cfg.dir, system.label(), cfg.trial);
+    match system {
+        Fig1System::Cwltool => {
+            let runner = RefRunner::new(cfg.slots(), Arc::new(BuiltinDispatch));
+            let report = runner.run(&wf, &inputs, &run_dir)?;
+            Ok(report.elapsed)
+        }
+        Fig1System::Toil => {
+            let cluster = ClusterSpec::homogeneous("fig1", cfg.nodes, cfg.cores_per_node, 126);
+            let runner = ToilRunner::slurm(
+                &cluster,
+                run_dir.join("job-store"),
+                Arc::new(BuiltinDispatch),
+            );
+            let report = runner.run(&wf, &inputs, &run_dir)?;
+            Ok(report.elapsed)
+        }
+        Fig1System::ParslHtex => {
+            let cluster = ClusterSpec::homogeneous("fig1", cfg.nodes, cfg.cores_per_node, 126);
+            let sched = BatchScheduler::new(cluster, SchedulerConfig::default());
+            let config = Config::htex(
+                HtexConfig {
+                    label: "fig1-htex".to_string(),
+                    nodes: cfg.nodes,
+                    workers_per_node: cfg.cores_per_node,
+                    latency: LatencyModel::cluster_lan(),
+                },
+                Arc::new(SlurmProvider::new(sched)),
+            );
+            // Pilot-job provisioning happens before the timer starts, as in
+            // the paper (they measure workflow runtime on an allocation).
+            let dfk = DataFlowKernel::try_new(config)?;
+            let runner = ParslWorkflowRunner::new(
+                &dfk,
+                CwlAppOptions::in_dir(&run_dir).with_builtin_tools(),
+            );
+            let start = Instant::now();
+            runner.run(&wf, &inputs)?;
+            let elapsed = start.elapsed();
+            dfk.shutdown();
+            Ok(elapsed)
+        }
+        Fig1System::ParslThreads => {
+            let dfk = DataFlowKernel::try_new(Config::local_threads(cfg.slots()))?;
+            let runner = ParslWorkflowRunner::new(
+                &dfk,
+                CwlAppOptions::in_dir(&run_dir).with_builtin_tools(),
+            );
+            let start = Instant::now();
+            runner.run(&wf, &inputs)?;
+            let elapsed = start.elapsed();
+            dfk.shutdown();
+            Ok(elapsed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Smoke: every system completes a small point and produces the same
+    /// number of outputs.
+    #[test]
+    fn all_systems_run_small_point() {
+        gridsim::TimeScale::set(0.01);
+        let dir = crate::scratch_dir("fig1-smoke");
+        for (i, system) in [
+            Fig1System::Cwltool,
+            Fig1System::Toil,
+            Fig1System::ParslHtex,
+            Fig1System::ParslThreads,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let cfg = Fig1Config {
+                n_images: 3,
+                nodes: 2,
+                cores_per_node: 2,
+                image_size: 8,
+                seed: 1,
+                dir: dir.clone(),
+                trial: i,
+            };
+            let d = run_fig1(system, &cfg).unwrap();
+            assert!(d > Duration::ZERO);
+        }
+        gridsim::TimeScale::set(1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,143 @@
+//! Fig. 2 drivers: expression-evaluation cost as word count scales.
+//!
+//! The JS variants run the scatter-of-words workflow whose tool carries an
+//! `InlineJavascriptRequirement` expression — each scatter instance costs
+//! one modelled node-process spawn plus marshalling of the full input
+//! object (which contains all `n` words), exactly the cwltool/Toil
+//! evaluation path; total cost grows superlinearly (n spawns × O(n)
+//! marshalling). The Python variant runs the same workflow with the paper's
+//! `InlinePythonRequirement` — evaluated in-process, no boundary cost.
+
+use crate::workload::{fresh_run_dir, words};
+use cwl_parsl::{CwlAppOptions, ParslWorkflowRunner};
+use cwlexec::BuiltinDispatch;
+use parsl::{Config, DataFlowKernel};
+use runners::{RefRunner, ToilRunner};
+use std::path::Path;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yamlite::{Map, Value};
+
+/// Which system + expression language.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig2System {
+    /// cwltool evaluating InlineJavascript.
+    CwltoolJs,
+    /// Toil evaluating InlineJavascript.
+    ToilJs,
+    /// parsl-cwl evaluating the paper's InlinePython.
+    ParslPython,
+}
+
+impl Fig2System {
+    /// Legend label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Fig2System::CwltoolJs => "cwltool-js",
+            Fig2System::ToilJs => "toil-js",
+            Fig2System::ParslPython => "parsl-inline-python",
+        }
+    }
+}
+
+/// Run one Fig. 2 point: capitalize `n_words` words on a single node with
+/// `slots` parallel slots (paper: one node of the HPC cluster).
+pub fn run_fig2(
+    system: Fig2System,
+    n_words: usize,
+    slots: usize,
+    dir: &Path,
+    trial: usize,
+) -> Result<Duration, String> {
+    let mut inputs = Map::new();
+    inputs.insert("words", Value::Seq(words(n_words)));
+    let run_dir = fresh_run_dir(dir, system.label(), trial * 10_000 + n_words);
+    match system {
+        Fig2System::CwltoolJs => {
+            let wf = crate::fixtures_dir().join("scatter_words_js.cwl");
+            let runner = RefRunner::new(slots, Arc::new(BuiltinDispatch));
+            Ok(runner.run(&wf, &inputs, &run_dir)?.elapsed)
+        }
+        Fig2System::ToilJs => {
+            let wf = crate::fixtures_dir().join("scatter_words_js.cwl");
+            let runner = ToilRunner::single_machine(
+                slots,
+                run_dir.join("job-store"),
+                Arc::new(BuiltinDispatch),
+            );
+            Ok(runner.run(&wf, &inputs, &run_dir)?.elapsed)
+        }
+        Fig2System::ParslPython => {
+            let wf = crate::fixtures_dir().join("scatter_words_py.cwl");
+            let dfk = DataFlowKernel::try_new(Config::local_threads(slots))?;
+            let runner = ParslWorkflowRunner::new(
+                &dfk,
+                CwlAppOptions::in_dir(&run_dir).with_builtin_tools(),
+            );
+            let start = Instant::now();
+            runner.run(&wf, &inputs)?;
+            let elapsed = start.elapsed();
+            dfk.shutdown();
+            Ok(elapsed)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_systems_capitalize_words() {
+        gridsim::TimeScale::set(0.01);
+        let dir = crate::scratch_dir("fig2-smoke");
+        for system in [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython] {
+            let d = run_fig2(system, 4, 4, &dir, 0).unwrap();
+            assert!(d > Duration::ZERO, "{system:?}");
+        }
+        gridsim::TimeScale::set(1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The outputs of the JS and Python paths must agree — same words,
+    /// same capitalization.
+    #[test]
+    fn js_and_python_agree_on_results() {
+        gridsim::TimeScale::set(0.0);
+        let dir = crate::scratch_dir("fig2-agree");
+        let mut inputs = Map::new();
+        inputs.insert("words", Value::Seq(words(3)));
+
+        let js_dir = fresh_run_dir(&dir, "js", 0);
+        let runner = RefRunner::new(2, Arc::new(BuiltinDispatch));
+        let js_report = runner
+            .run(crate::fixtures_dir().join("scatter_words_js.cwl"), &inputs, &js_dir)
+            .unwrap();
+
+        let py_dir = fresh_run_dir(&dir, "py", 0);
+        let dfk = DataFlowKernel::try_new(Config::local_threads(2)).unwrap();
+        let prunner = ParslWorkflowRunner::new(
+            &dfk,
+            CwlAppOptions::in_dir(&py_dir).with_builtin_tools(),
+        );
+        let py_out = prunner
+            .run(crate::fixtures_dir().join("scatter_words_py.cwl"), &inputs)
+            .unwrap();
+        dfk.shutdown();
+
+        let read_all = |files: &Value| -> Vec<String> {
+            files
+                .as_seq()
+                .unwrap()
+                .iter()
+                .map(|f| std::fs::read_to_string(f["path"].as_str().unwrap()).unwrap())
+                .collect()
+        };
+        let js_texts = read_all(js_report.outputs.get("capitalized").unwrap());
+        let py_texts = read_all(py_out.get("capitalized").unwrap());
+        assert_eq!(js_texts, py_texts);
+        assert_eq!(js_texts, vec!["Word0000\n", "Word0001\n", "Word0002\n"]);
+        gridsim::TimeScale::set(1.0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmark harness library: workload generation and the per-system
+//! drivers behind the `figures` binary and the Criterion benches.
+//!
+//! Experiment map (see DESIGN.md §3):
+//!
+//! * **Fig. 1a** — image-processing workflow runtime vs. image count on the
+//!   three-node cluster: `parsl-cwl` (HTEX) vs cwltool vs Toil;
+//! * **Fig. 1b** — same on a single node: `parsl-cwl`
+//!   (ThreadPoolExecutor) vs cwltool `--parallel` vs Toil;
+//! * **Fig. 2** — expression-evaluation runtime vs word count:
+//!   InlineJavascript under cwltool/Toil vs InlinePython under `parsl-cwl`.
+//!
+//! All modelled overheads scale with [`gridsim::TimeScale`]; the drivers
+//! here do not set it — the callers (the `figures` binary, the benches)
+//! choose the compression factor and record it.
+
+pub mod fig1;
+pub mod fig2;
+pub mod stats;
+pub mod workload;
+
+pub use fig1::{run_fig1, Fig1Config, Fig1System};
+pub use fig2::{run_fig2, Fig2System};
+pub use stats::{mean_stdev, time_trials};
+
+use std::path::PathBuf;
+
+/// The repository's fixtures directory.
+pub fn fixtures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+/// A scratch directory for a named experiment.
+pub fn scratch_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("parsl-cwl-bench-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&d).expect("scratch dir");
+    d
+}

@@ -1,0 +1,46 @@
+//! Tiny statistics helpers for the figure harness.
+
+use std::time::Duration;
+
+/// Sample mean and (population) standard deviation in seconds.
+pub fn mean_stdev(samples: &[Duration]) -> (f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0);
+    }
+    let xs: Vec<f64> = samples.iter().map(Duration::as_secs_f64).collect();
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / xs.len() as f64;
+    (mean, var.sqrt())
+}
+
+/// Run `f` `trials` times, timing each run via its returned duration.
+pub fn time_trials(
+    trials: usize,
+    mut f: impl FnMut(usize) -> Result<Duration, String>,
+) -> Result<Vec<Duration>, String> {
+    let mut out = Vec::with_capacity(trials);
+    for t in 0..trials {
+        out.push(f(t)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_stdev_basic() {
+        let (m, s) = mean_stdev(&[Duration::from_secs(1), Duration::from_secs(3)]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_stdev(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn time_trials_collects() {
+        let samples = time_trials(3, |t| Ok(Duration::from_millis(t as u64))).unwrap();
+        assert_eq!(samples.len(), 3);
+        assert!(time_trials(2, |_| Err("boom".to_string())).is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! Deterministic workload generation for the figure sweeps.
+
+use std::path::{Path, PathBuf};
+use yamlite::Value;
+
+/// Generate (or reuse from a previous call) `n` synthetic input images of
+/// `size`×`size` pixels under `dir/inputs-<size>`, returning their paths as
+/// CWL File values. Generation is seeded and idempotent, so repeated trials
+/// and different runners share identical inputs.
+pub fn image_inputs(dir: &Path, n: usize, size: u32, seed: u64) -> Vec<Value> {
+    let inputs_dir = dir.join(format!("inputs-{size}"));
+    std::fs::create_dir_all(&inputs_dir).expect("inputs dir");
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let path = inputs_dir.join(format!("img{i:05}.rimg"));
+        if !path.exists() {
+            let img = imaging::gradient(size, size, seed.wrapping_add(i as u64));
+            imaging::write_rimg(&path, &img).expect("write input image");
+        }
+        out.push(Value::str(path.to_string_lossy().into_owned()));
+    }
+    out
+}
+
+/// Generate `n` deterministic words for the Fig. 2 sweep.
+pub fn words(n: usize) -> Vec<Value> {
+    (0..n)
+        .map(|i| Value::str(format!("word{i:04}")))
+        .collect()
+}
+
+/// Fresh per-run working directory beneath `base` (runners must not share
+/// step directories across trials).
+pub fn fresh_run_dir(base: &Path, tag: &str, trial: usize) -> PathBuf {
+    let d = base.join(format!("run-{tag}-{trial}"));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("run dir");
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_inputs_idempotent_and_seeded() {
+        let dir = crate::scratch_dir("workload-test");
+        let a = image_inputs(&dir, 3, 8, 42);
+        let b = image_inputs(&dir, 3, 8, 42);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        let img = imaging::read_rimg(a[0].as_str().unwrap()).unwrap();
+        assert_eq!(img.width(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn words_deterministic() {
+        assert_eq!(words(2), vec![Value::str("word0000"), Value::str("word0001")]);
+        assert_eq!(words(1024).len(), 1024);
+    }
+}

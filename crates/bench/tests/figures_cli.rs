@@ -1,0 +1,52 @@
+//! Smoke tests for the `figures` binary: argument handling and a minimal
+//! end-to-end sweep of each figure.
+
+use std::process::Command;
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+#[test]
+fn quick_fig2_produces_table() {
+    let out = figures()
+        .args(["fig2", "--quick", "--trials", "1", "--scale", "0.005"])
+        .output()
+        .expect("figures runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("## fig2"), "{text}");
+    assert!(text.contains("cwltool-js"), "{text}");
+    assert!(text.contains("parsl-inline-python"), "{text}");
+    // Three data rows for the quick sweep (2, 16, 128 words).
+    for n in ["       2", "      16", "     128"] {
+        assert!(text.contains(n), "missing row {n:?} in {text}");
+    }
+}
+
+#[test]
+fn quick_fig1b_produces_table() {
+    let out = figures()
+        .args(["fig1b", "--quick", "--trials", "1", "--scale", "0.005", "--image-size", "16"])
+        .output()
+        .expect("figures runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("## fig1b"), "{text}");
+    assert!(text.contains("parsl-threads"), "{text}");
+}
+
+#[test]
+fn bad_arguments_rejected() {
+    let out = figures().args(["fig9"]).output().expect("figures runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown figure"));
+
+    let out = figures().args(["fig2", "--bogus"]).output().expect("figures runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
+
+    let out = figures().args(["fig2", "--trials"]).output().expect("figures runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
+}

@@ -1,0 +1,69 @@
+//! `parsl-cwl` — the Parsl CWL runner command (paper §III-B).
+//!
+//! ```text
+//! parsl-cwl <config.yml> <doc.cwl> [inputs.yml] [--key=value ...]
+//! parsl-cwl --validate <doc.cwl>
+//! ```
+
+use cwl_parsl::{load_config_file, run_tool_cli};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("parsl-cwl: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    if args.first().map(String::as_str) == Some("--validate") {
+        let path = args.get(1).ok_or("usage: parsl-cwl --validate <doc.cwl>")?;
+        let doc = yamlite::parse_file(path).map_err(|e| e.to_string())?;
+        let diags = cwl::validate_document(&doc);
+        for d in &diags {
+            println!("{d}");
+        }
+        return if cwl::validate::is_valid(&diags) {
+            println!("{path}: valid");
+            Ok(())
+        } else {
+            Err(format!("{path} failed validation"))
+        };
+    }
+
+    let usage = "usage: parsl-cwl <config.yml> <doc.cwl> [inputs.yml] [--key=value ...]";
+    let config_path = args.first().ok_or(usage)?;
+    let cwl_path = args.get(1).ok_or(usage)?;
+    let mut inputs_file: Option<PathBuf> = None;
+    let mut overrides = Vec::new();
+    for arg in &args[2..] {
+        if arg.starts_with("--") {
+            overrides.push(arg.clone());
+        } else if inputs_file.is_none() {
+            inputs_file = Some(PathBuf::from(arg));
+        } else {
+            return Err(format!("unexpected argument {arg:?}\n{usage}"));
+        }
+    }
+
+    let config = load_config_file(config_path)?;
+    let override_map = cwl_parsl::runner::parse_overrides(&overrides)?;
+    let inputs = cwl_parsl::runner::load_inputs(inputs_file.as_deref(), &override_map)?;
+    let outcome = run_tool_cli(config, std::path::Path::new(cwl_path), &inputs)?;
+
+    println!(
+        "{}",
+        yamlite::to_string(&yamlite::Value::Map(outcome.outputs)).trim_end()
+    );
+    eprintln!(
+        "parsl-cwl: {} task(s) completed; workdir {}",
+        outcome.tasks,
+        outcome.workdir.display()
+    );
+    Ok(())
+}

@@ -1,0 +1,190 @@
+//! TaPS-style YAML configuration for the `parsl-cwl` runner (§III-B).
+//!
+//! The paper adopts a YAML configuration format (following the TaPS
+//! benchmark suite) so the Parsl execution setup lives next to the CWL
+//! documents. Example:
+//!
+//! ```yaml
+//! executor:
+//!   kind: htex            # or thread-pool
+//!   nodes: 3
+//!   workers_per_node: 48  # 0 = one worker per core
+//! provider:
+//!   kind: slurm           # or local
+//!   cluster:
+//!     nodes: 3
+//!     cores_per_node: 48
+//! retries: 1
+//! run:
+//!   workdir: ./work
+//!   builtin_tools: true
+//! ```
+
+use gridsim::{BatchScheduler, ClusterSpec, LatencyModel, SchedulerConfig};
+use parsl::{Config, HtexConfig, LocalProvider, Provider, SlurmProvider};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use yamlite::Value;
+
+/// A fully resolved runner configuration.
+pub struct RunnerConfig {
+    /// The Parsl kernel configuration (executor + provider + retries).
+    pub parsl: Config,
+    /// Working-directory base for tool invocations.
+    pub workdir: PathBuf,
+    /// Run recognized workload tools in-process.
+    pub builtin_tools: bool,
+    /// The simulated batch scheduler, when a slurm provider was configured
+    /// (kept so callers can inspect queue state).
+    pub scheduler: Option<BatchScheduler>,
+}
+
+/// Load a configuration from a YAML file.
+pub fn load_config_file(path: impl AsRef<Path>) -> Result<RunnerConfig, String> {
+    let v = yamlite::parse_file(path.as_ref()).map_err(|e| e.to_string())?;
+    load_config_value(&v)
+}
+
+/// Load a configuration from a parsed value.
+pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
+    let executor = v.get("executor").cloned().unwrap_or(Value::Null);
+    let kind = executor
+        .get("kind")
+        .and_then(Value::as_str)
+        .unwrap_or("thread-pool");
+    let retries = v.get("retries").and_then(Value::as_int).unwrap_or(0).max(0) as usize;
+
+    let mut scheduler = None;
+    let parsl = match kind {
+        "thread-pool" | "threads" | "local-threads" => {
+            let workers = executor
+                .get("workers")
+                .and_then(Value::as_int)
+                .map(|n| n.max(1) as usize)
+                .unwrap_or_else(default_parallelism);
+            Config::local_threads(workers).with_retries(retries)
+        }
+        "htex" | "high-throughput" => {
+            let nodes = executor.get("nodes").and_then(Value::as_int).unwrap_or(1).max(1) as usize;
+            let workers_per_node = executor
+                .get("workers_per_node")
+                .and_then(Value::as_int)
+                .unwrap_or(0)
+                .max(0) as usize;
+            let provider_cfg = v.get("provider").cloned().unwrap_or(Value::Null);
+            let provider: Arc<dyn Provider> = match provider_cfg
+                .get("kind")
+                .and_then(Value::as_str)
+                .unwrap_or("local")
+            {
+                "local" => {
+                    let cores = provider_cfg
+                        .get("cores_per_node")
+                        .and_then(Value::as_int)
+                        .map(|n| n.max(1) as usize)
+                        .unwrap_or_else(default_parallelism);
+                    Arc::new(LocalProvider::new(cores))
+                }
+                "slurm" => {
+                    let cluster_cfg = provider_cfg.get("cluster").cloned().unwrap_or(Value::Null);
+                    let cluster = ClusterSpec::homogeneous(
+                        "configured",
+                        cluster_cfg
+                            .get("nodes")
+                            .and_then(Value::as_int)
+                            .unwrap_or(nodes as i64)
+                            .max(1) as usize,
+                        cluster_cfg
+                            .get("cores_per_node")
+                            .and_then(Value::as_int)
+                            .map(|n| n.max(1) as usize)
+                            .unwrap_or_else(default_parallelism),
+                        126,
+                    );
+                    let sched = BatchScheduler::new(cluster, SchedulerConfig::default());
+                    scheduler = Some(sched.clone());
+                    Arc::new(SlurmProvider::new(sched))
+                }
+                other => return Err(format!("unknown provider kind {other:?}")),
+            };
+            let htex = HtexConfig {
+                label: executor
+                    .get("label")
+                    .and_then(Value::as_str)
+                    .unwrap_or("htex")
+                    .to_string(),
+                nodes,
+                workers_per_node,
+                latency: LatencyModel::cluster_lan(),
+            };
+            Config::htex(htex, provider).with_retries(retries)
+        }
+        other => return Err(format!("unknown executor kind {other:?}")),
+    };
+
+    let run = v.get("run").cloned().unwrap_or(Value::Null);
+    let workdir = run
+        .get("workdir")
+        .and_then(Value::as_str)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| std::env::temp_dir().join(format!("parsl-cwl-{}", std::process::id())));
+    let builtin_tools = run
+        .get("builtin_tools")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    Ok(RunnerConfig { parsl, workdir, builtin_tools, scheduler })
+}
+
+fn default_parallelism() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsl::ExecutorChoice;
+    use yamlite::parse_str;
+
+    #[test]
+    fn default_config_is_thread_pool() {
+        let c = load_config_value(&Value::Null).unwrap();
+        assert!(matches!(c.parsl.executor, ExecutorChoice::ThreadPool { .. }));
+        assert!(!c.builtin_tools);
+        assert!(c.scheduler.is_none());
+    }
+
+    #[test]
+    fn thread_pool_with_workers() {
+        let v = parse_str("executor:\n  kind: thread-pool\n  workers: 6\nretries: 2\n").unwrap();
+        let c = load_config_value(&v).unwrap();
+        match c.parsl.executor {
+            ExecutorChoice::ThreadPool { workers } => assert_eq!(workers, 6),
+            _ => panic!("wrong executor"),
+        }
+        assert_eq!(c.parsl.retries, 2);
+    }
+
+    #[test]
+    fn htex_with_slurm_cluster() {
+        let v = parse_str(
+            "executor:\n  kind: htex\n  nodes: 3\n  workers_per_node: 4\nprovider:\n  kind: slurm\n  cluster:\n    nodes: 3\n    cores_per_node: 4\nrun:\n  workdir: /tmp/x\n  builtin_tools: true\n",
+        )
+        .unwrap();
+        let c = load_config_value(&v).unwrap();
+        assert!(matches!(c.parsl.executor, ExecutorChoice::Htex { .. }));
+        assert!(c.builtin_tools);
+        assert_eq!(c.workdir, PathBuf::from("/tmp/x"));
+        let sched = c.scheduler.unwrap();
+        assert_eq!(sched.cluster().node_count(), 3);
+        assert_eq!(sched.cluster().total_cores(), 12);
+    }
+
+    #[test]
+    fn unknown_kinds_rejected() {
+        let v = parse_str("executor:\n  kind: quantum\n").unwrap();
+        assert!(load_config_value(&v).is_err());
+        let v = parse_str("executor:\n  kind: htex\nprovider:\n  kind: cloud9\n").unwrap();
+        assert!(load_config_value(&v).is_err());
+    }
+}

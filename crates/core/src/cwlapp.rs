@@ -1,0 +1,585 @@
+//! `CwlApp` — a CWL `CommandLineTool` imported as a Parsl app (§III-A).
+
+use cwl::loader::{load_file, CwlDocument};
+use cwl::types::CwlType;
+use cwl::CommandLineTool;
+use cwlexec::{execute_tool, BuiltinDispatch, SubprocessDispatch, ToolDispatch};
+use expr::{interpolate, EvalContext, ExpressionEngine, JsCostModel};
+use parsl::{AppArg, AppFuture, DataFlowKernel, DataFuture, File, TaskError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use yamlite::{Map, Value};
+
+/// Options controlling how a [`CwlApp`] executes its tool.
+pub struct CwlAppOptions {
+    /// Base directory for per-invocation working directories.
+    pub workdir_base: PathBuf,
+    /// Run recognized workload tools in-process instead of spawning
+    /// subprocesses (hermetic benchmarking; see [`BuiltinDispatch`]).
+    pub builtin_tools: bool,
+    /// Explicit dispatch override (failure injection, custom sandboxes);
+    /// takes precedence over `builtin_tools`.
+    pub dispatch: Option<Arc<dyn ToolDispatch>>,
+}
+
+impl Default for CwlAppOptions {
+    fn default() -> Self {
+        Self {
+            workdir_base: std::env::temp_dir().join(format!("cwl-parsl-{}", std::process::id())),
+            builtin_tools: false,
+            dispatch: None,
+        }
+    }
+}
+
+impl CwlAppOptions {
+    /// Options rooted at a specific working directory.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
+        Self { workdir_base: dir.into(), ..Default::default() }
+    }
+
+    /// Use the in-process builtin tool dispatch.
+    pub fn with_builtin_tools(mut self) -> Self {
+        self.builtin_tools = true;
+        self
+    }
+
+    /// Use a specific dispatch implementation.
+    pub fn with_dispatch(mut self, dispatch: Arc<dyn ToolDispatch>) -> Self {
+        self.dispatch = Some(dispatch);
+        self
+    }
+
+    /// Resolve the dispatch implied by these options.
+    pub(crate) fn resolve_dispatch(&self) -> Arc<dyn ToolDispatch> {
+        match &self.dispatch {
+            Some(d) => d.clone(),
+            None if self.builtin_tools => Arc::new(BuiltinDispatch),
+            None => Arc::new(SubprocessDispatch),
+        }
+    }
+}
+
+/// A CWL `CommandLineTool` imported as a Parsl app. Create once with
+/// [`CwlApp::load`], then invoke any number of times — each invocation is a
+/// Parsl task with its own working directory (Listing 2's `CWLApp`).
+pub struct CwlApp {
+    tool: Arc<CommandLineTool>,
+    dfk: Arc<DataFlowKernel>,
+    engine: Arc<dyn ExpressionEngine>,
+    dispatch: Arc<dyn ToolDispatch>,
+    workdir_base: PathBuf,
+    label: String,
+    seq: AtomicU64,
+}
+
+/// The result of invoking a [`CwlApp`]: the app future (resolving to the
+/// output object) plus one [`DataFuture`] per predictable file output —
+/// Parsl's `future.outputs` list.
+pub struct CwlRun {
+    /// Resolves to the collected CWL output object.
+    pub future: AppFuture,
+    /// File outputs, in the tool's output declaration order.
+    pub outputs: Vec<DataFuture>,
+    /// This invocation's working directory.
+    pub workdir: PathBuf,
+}
+
+impl CwlRun {
+    /// Convenience: the first file output (`future.outputs[0]` in the
+    /// paper's listings).
+    pub fn output(&self) -> &DataFuture {
+        &self.outputs[0]
+    }
+}
+
+impl std::fmt::Debug for CwlRun {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CwlRun")
+            .field("future", &self.future)
+            .field("outputs", &self.outputs.len())
+            .field("workdir", &self.workdir)
+            .finish()
+    }
+}
+
+impl std::fmt::Debug for CwlApp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CwlApp")
+            .field("label", &self.label)
+            .field("inputs", &self.tool.inputs.len())
+            .field("outputs", &self.tool.outputs.len())
+            .finish()
+    }
+}
+
+impl CwlApp {
+    /// Load a CommandLineTool definition and bind it to a kernel.
+    pub fn load(
+        dfk: &Arc<DataFlowKernel>,
+        path: impl AsRef<Path>,
+        options: CwlAppOptions,
+    ) -> Result<Self, String> {
+        let path = path.as_ref();
+        let doc = load_file(path)?;
+        let CwlDocument::Tool(tool) = doc else {
+            return Err(format!(
+                "{} is a {}, not a CommandLineTool (use ParslWorkflowRunner for workflows)",
+                path.display(),
+                doc.class()
+            ));
+        };
+        Self::from_tool(dfk, tool, path.file_stem().map(|s| s.to_string_lossy().into_owned()), options)
+    }
+
+    /// Wrap an already-parsed tool.
+    pub fn from_tool(
+        dfk: &Arc<DataFlowKernel>,
+        tool: CommandLineTool,
+        label: Option<String>,
+        options: CwlAppOptions,
+    ) -> Result<Self, String> {
+        // parsl-cwl evaluates expressions in-process (the §V fast path), so
+        // the JS engine carries no modelled process-boundary cost here.
+        let engine: Arc<dyn ExpressionEngine> =
+            Arc::from(cwlexec::engine_for(&tool.requirements, JsCostModel::free())?);
+        let dispatch = options.resolve_dispatch();
+        let label = label
+            .or_else(|| tool.id.clone())
+            .unwrap_or_else(|| "cwl-tool".to_string());
+        Ok(Self {
+            tool: Arc::new(tool),
+            dfk: dfk.clone(),
+            engine,
+            dispatch,
+            workdir_base: options.workdir_base,
+            label,
+            seq: AtomicU64::new(0),
+        })
+    }
+
+    /// The underlying tool definition.
+    pub fn tool(&self) -> &CommandLineTool {
+        &self.tool
+    }
+
+    /// Start building an invocation (keyword arguments style).
+    pub fn call(&self) -> CwlInvocation<'_> {
+        CwlInvocation {
+            app: self,
+            args: Vec::new(),
+            stdout_override: None,
+        }
+    }
+}
+
+/// Argument kinds accepted by an invocation.
+enum Kwarg {
+    Literal(Value),
+    Fut(AppFuture),
+    Data(DataFuture),
+}
+
+/// Builder for one [`CwlApp`] invocation.
+pub struct CwlInvocation<'a> {
+    app: &'a CwlApp,
+    args: Vec<(String, Kwarg)>,
+    stdout_override: Option<String>,
+}
+
+impl<'a> CwlInvocation<'a> {
+    /// Bind a literal value to an input.
+    pub fn arg(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.args.push((name.into(), Kwarg::Literal(value.into())));
+        self
+    }
+
+    /// Bind another app's result future to an input.
+    pub fn arg_future(mut self, name: impl Into<String>, fut: &AppFuture) -> Self {
+        self.args.push((name.into(), Kwarg::Fut(fut.clone())));
+        self
+    }
+
+    /// Bind an upstream file future to a File input — the Listing 4
+    /// pattern (`input_image=resized_img_future.outputs[0]`).
+    pub fn arg_data(mut self, name: impl Into<String>, data: &DataFuture) -> Self {
+        self.args.push((name.into(), Kwarg::Data(data.clone())));
+        self
+    }
+
+    /// Override the tool's stdout capture file (Listing 2 passes
+    /// `stdout="hello.txt"`).
+    pub fn stdout(mut self, name: impl Into<String>) -> Self {
+        self.stdout_override = Some(name.into());
+        self
+    }
+
+    /// Submit the invocation to the kernel. Returns immediately with a
+    /// [`CwlRun`]; execution starts once all future-valued inputs resolve.
+    pub fn submit(self) -> Result<CwlRun, String> {
+        let app = self.app;
+        let tool = app.tool.clone();
+
+        // Validate argument names early (the Python bridge raises on
+        // unexpected kwargs at call time too).
+        for (name, _) in &self.args {
+            if tool.input(name).is_none() {
+                return Err(format!(
+                    "tool {:?} has no input {name:?} (declared inputs: {})",
+                    app.label,
+                    tool.inputs.iter().map(|i| i.id.as_str()).collect::<Vec<_>>().join(", ")
+                ));
+            }
+        }
+
+        // Per-invocation working directory.
+        let seq = app.seq.fetch_add(1, Ordering::Relaxed);
+        let workdir = app.workdir_base.join(format!("{}_{seq}", app.label));
+
+        // Apply the stdout override by rewriting the tool copy.
+        let tool = if let Some(name) = &self.stdout_override {
+            let mut t = (*tool).clone();
+            t.stdout = Some(name.clone());
+            Arc::new(t)
+        } else {
+            tool
+        };
+
+        // Split literal vs future-valued arguments; futures become Parsl
+        // dataflow dependencies.
+        let mut parsl_args: Vec<AppArg> = Vec::new();
+        let mut slots: Vec<(String, Option<usize>, Option<Value>)> = Vec::new();
+        for (name, kwarg) in self.args {
+            match kwarg {
+                Kwarg::Literal(v) => slots.push((name, None, Some(v))),
+                Kwarg::Fut(f) => {
+                    slots.push((name, Some(parsl_args.len()), None));
+                    parsl_args.push(AppArg::future(&f));
+                }
+                Kwarg::Data(d) => {
+                    slots.push((name, Some(parsl_args.len()), None));
+                    parsl_args.push(AppArg::data(&d));
+                }
+            }
+        }
+
+        // Predict output file names from the literal arguments so
+        // DataFutures exist before execution. Names that depend on
+        // future-valued inputs cannot be predicted — reject loudly.
+        let predicted = predict_output_files(&tool, &slots, &workdir, app.engine.as_ref())?;
+
+        // The task body: reconstruct the full input object and run the tool.
+        let engine = app.engine.clone();
+        let dispatch = app.dispatch.clone();
+        let body_tool = tool.clone();
+        let body_workdir = workdir.clone();
+        let body_slots = slots;
+        let body = parsl::apps::FnApp::new(move |vals: &[Value]| {
+            let mut provided = Map::with_capacity(body_slots.len());
+            for (name, fut_idx, literal) in &body_slots {
+                let v = match (fut_idx, literal) {
+                    (Some(i), _) => vals[*i].clone(),
+                    (None, Some(v)) => v.clone(),
+                    (None, None) => Value::Null,
+                };
+                provided.insert(name.clone(), v);
+            }
+            let run = execute_tool(
+                &body_tool,
+                &provided,
+                &body_workdir,
+                engine.as_ref(),
+                dispatch.as_ref(),
+            )
+            .map_err(TaskError::failed)?;
+            Ok(Value::Map(run.outputs))
+        });
+
+        let future = app.dfk.submit(&app.label, parsl_args, body);
+        let outputs = predicted
+            .into_iter()
+            .map(|path| DataFuture::new(File::new(path), future.clone()))
+            .collect();
+        Ok(CwlRun { future, outputs, workdir })
+    }
+}
+
+/// Predict output file paths from literal inputs (plus defaults).
+fn predict_output_files(
+    tool: &CommandLineTool,
+    slots: &[(String, Option<usize>, Option<Value>)],
+    workdir: &Path,
+    engine: &dyn ExpressionEngine,
+) -> Result<Vec<PathBuf>, String> {
+    // Literal inputs and defaults are known now.
+    let mut known = Map::new();
+    for param in &tool.inputs {
+        if let Some(default) = &param.default {
+            known.insert(param.id.clone(), default.clone());
+        }
+    }
+    for (name, fut_idx, literal) in slots {
+        match (fut_idx, literal) {
+            (None, Some(v)) => {
+                // Normalize literal Files so expressions can use .basename.
+                let v = match tool.input(name).map(|p| &p.typ) {
+                    Some(t @ (CwlType::File | CwlType::Directory)) => {
+                        cwl::input::normalize_value(v, t).unwrap_or_else(|_| v.clone())
+                    }
+                    _ => v.clone(),
+                };
+                known.insert(name.clone(), v);
+            }
+            _ => {
+                known.insert(name.clone(), Value::Null);
+            }
+        }
+    }
+    let ctx = EvalContext::from_inputs(Value::Map(known));
+
+    let mut files = Vec::new();
+    for out in &tool.outputs {
+        let name = match &out.typ {
+            CwlType::Stdout => tool.stdout.clone(),
+            CwlType::Stderr => tool.stderr.clone(),
+            _ => out.glob.clone(),
+        };
+        let Some(name) = name else { continue };
+        let resolved = if expr::interp::has_expression(&name) {
+            match interpolate(&name, engine, &ctx) {
+                Ok(v) if !v.to_display_string().is_empty() && !v.is_null() => {
+                    v.to_display_string()
+                }
+                _ => {
+                    return Err(format!(
+                        "output {:?} file name {name:?} depends on a future-valued input; \
+                         pass that input as a literal so the DataFuture path is known up front",
+                        out.id
+                    ))
+                }
+            }
+        } else {
+            name
+        };
+        if resolved.contains('*') {
+            // Glob patterns cannot be predicted; skip (the value is still
+            // available from the app future's output object).
+            continue;
+        }
+        files.push(workdir.join(resolved));
+    }
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parsl::Config;
+
+    fn fixtures() -> PathBuf {
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+    }
+
+    fn workdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("cwlapp-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    /// Listing 2: load echo.cwl, execute with Parsl, read the output file.
+    #[test]
+    fn listing2_echo() {
+        let dir = workdir("echo");
+        let dfk = DataFlowKernel::new(Config::local_threads(2));
+        let echo = CwlApp::load(
+            &dfk,
+            fixtures().join("echo.cwl"),
+            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
+        )
+        .unwrap();
+        let run = echo
+            .call()
+            .arg("message", "Hello, World!")
+            .stdout("hello.txt")
+            .submit()
+            .unwrap();
+        let file = run.output().result().unwrap();
+        assert_eq!(std::fs::read_to_string(file.path()).unwrap(), "Hello, World!\n");
+        let outputs = run.future.result().unwrap();
+        assert_eq!(outputs["output"]["basename"].as_str(), Some("hello.txt"));
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn default_input_applies() {
+        let dir = workdir("default");
+        let dfk = DataFlowKernel::new(Config::local_threads(2));
+        let echo = CwlApp::load(
+            &dfk,
+            fixtures().join("echo.cwl"),
+            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
+        )
+        .unwrap();
+        let run = echo.call().submit().unwrap();
+        let file = run.output().result().unwrap();
+        assert_eq!(std::fs::read_to_string(file.path()).unwrap(), "Hello World\n");
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Listing 4: the three-stage image pipeline chained through
+    /// DataFutures, all three tasks in flight under one kernel.
+    #[test]
+    fn listing4_image_pipeline_chained() {
+        let dir = workdir("pipeline");
+        imaging::write_rimg(dir.join("input.rimg"), &imaging::gradient(32, 32, 9)).unwrap();
+        let dfk = DataFlowKernel::new(Config::local_threads(4));
+        let opts = || CwlAppOptions::in_dir(&dir).with_builtin_tools();
+        let resize = CwlApp::load(&dfk, fixtures().join("resize_image.cwl"), opts()).unwrap();
+        let filter = CwlApp::load(&dfk, fixtures().join("filter_image.cwl"), opts()).unwrap();
+        let blur = CwlApp::load(&dfk, fixtures().join("blur_image.cwl"), opts()).unwrap();
+
+        let resized = resize
+            .call()
+            .arg("input_image", dir.join("input.rimg").to_string_lossy().into_owned())
+            .arg("size", 16i64)
+            .arg("output_image", "resized.rimg")
+            .submit()
+            .unwrap();
+        let filtered = filter
+            .call()
+            .arg_data("input_image", resized.output())
+            .arg("sepia", true)
+            .arg("output_image", "filtered.rimg")
+            .submit()
+            .unwrap();
+        let blurred = blur
+            .call()
+            .arg_data("input_image", filtered.output())
+            .arg("radius", 1i64)
+            .arg("output_image", "blurred.rimg")
+            .submit()
+            .unwrap();
+
+        let final_file = blurred.output().result().unwrap();
+        let img = imaging::read_rimg(final_file.path()).unwrap();
+        assert_eq!((img.width(), img.height()), (16, 16));
+        // Dataflow ran three tasks.
+        assert_eq!(dfk.monitoring().summary().completed, 3);
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unknown_kwarg_rejected_at_call_time() {
+        let dir = workdir("badkw");
+        let dfk = DataFlowKernel::new(Config::local_threads(1));
+        let echo = CwlApp::load(
+            &dfk,
+            fixtures().join("echo.cwl"),
+            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
+        )
+        .unwrap();
+        let err = echo.call().arg("mesage", "typo").submit().unwrap_err();
+        assert!(err.contains("no input \"mesage\""), "{err}");
+        assert!(err.contains("message"), "should list valid inputs: {err}");
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn loading_workflow_as_app_fails_clearly() {
+        let dir = workdir("wfload");
+        let dfk = DataFlowKernel::new(Config::local_threads(1));
+        let err = CwlApp::load(
+            &dfk,
+            fixtures().join("image_pipeline.cwl"),
+            CwlAppOptions::in_dir(&dir),
+        )
+        .unwrap_err();
+        assert!(err.contains("not a CommandLineTool"), "{err}");
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn failure_propagates_through_chain() {
+        let dir = workdir("failchain");
+        let dfk = DataFlowKernel::new(Config::local_threads(2));
+        let opts = || CwlAppOptions::in_dir(&dir).with_builtin_tools();
+        let resize = CwlApp::load(&dfk, fixtures().join("resize_image.cwl"), opts()).unwrap();
+        let blur = CwlApp::load(&dfk, fixtures().join("blur_image.cwl"), opts()).unwrap();
+        let r = resize
+            .call()
+            .arg("input_image", "/ghost.rimg")
+            .arg("size", 8i64)
+            .arg("output_image", "r.rimg")
+            .submit()
+            .unwrap();
+        let b = blur
+            .call()
+            .arg_data("input_image", r.output())
+            .arg("radius", 1i64)
+            .arg("output_image", "b.rimg")
+            .submit()
+            .unwrap();
+        match b.future.result() {
+            Err(TaskError::DependencyFailed { .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Listing 5 through the app path: inline-Python expression in
+    /// `arguments` capitalizes the message.
+    #[test]
+    fn inline_python_expression_tool() {
+        let dir = workdir("inlinepy");
+        let dfk = DataFlowKernel::new(Config::local_threads(1));
+        let cap = CwlApp::load(
+            &dfk,
+            fixtures().join("capitalize_message_py.cwl"),
+            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
+        )
+        .unwrap();
+        let run = cap
+            .call()
+            .arg("message", "hello brave new world")
+            .submit()
+            .unwrap();
+        let file = run.output().result().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(file.path()).unwrap(),
+            "Hello Brave New World\n"
+        );
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn output_prediction_requires_literal_name() {
+        let dir = workdir("pred");
+        let dfk = DataFlowKernel::new(Config::local_threads(2));
+        let opts = || CwlAppOptions::in_dir(&dir).with_builtin_tools();
+        let resize = CwlApp::load(&dfk, fixtures().join("resize_image.cwl"), opts()).unwrap();
+        // output_image passed as a future → glob cannot be predicted.
+        let name_task = dfk.submit(
+            "name",
+            vec![],
+            parsl::apps::FnApp::new(|_| Ok(Value::str("dynamic.rimg"))),
+        );
+        let err = resize
+            .call()
+            .arg("input_image", "/x.rimg")
+            .arg("size", 8i64)
+            .arg_future("output_image", &name_task)
+            .submit()
+            .unwrap_err();
+        assert!(err.contains("depends on a future-valued input"), "{err}");
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,31 @@
+//! `cwl_parsl` — the paper's contribution: the integration of CWL and Parsl.
+//!
+//! Three pieces (paper §III–§V):
+//!
+//! * [`CwlApp`] — *importing tool definitions*: load a CWL
+//!   `CommandLineTool` and call it like any other Parsl app. Inputs are
+//!   keyword arguments; `File`-typed inputs accept paths or upstream
+//!   [`parsl::DataFuture`]s; every declared file output comes back as a
+//!   `DataFuture` that downstream apps (CWL or not) can consume without
+//!   waiting (§III-A, Listings 1–2);
+//! * [`config`] — the TaPS-style YAML configuration the `parsl-cwl` runner
+//!   uses to pick an executor/provider (§III-B), plus the runner library
+//!   behind the `parsl-cwl` binary;
+//! * [`wfrunner`] — the paper's stated future work, implemented here as an
+//!   extension: executing a complete CWL `Workflow` (including scatter and
+//!   subworkflows) on Parsl's dataflow kernel, one Parsl task per step
+//!   instance with dependencies expressed as futures.
+//!
+//! Inline-Python expressions (§V) flow in through the `cwl`/`expr` crates:
+//! any document carrying `InlinePythonRequirement` gets its expressions
+//! evaluated in-process by the Python-subset interpreter.
+
+pub mod config;
+pub mod cwlapp;
+pub mod runner;
+pub mod wfrunner;
+
+pub use config::{load_config_file, load_config_value, RunnerConfig};
+pub use cwlapp::{CwlApp, CwlAppOptions, CwlInvocation, CwlRun};
+pub use runner::{run_tool_cli, CliOutcome};
+pub use wfrunner::ParslWorkflowRunner;

@@ -1,0 +1,464 @@
+//! The command-line binding algorithm: turning a tool definition plus a
+//! resolved input object into an argv, stdout/stderr redirections, and
+//! environment — the core of what a CWL runner does per step.
+
+use crate::tool::{CommandLineTool, InputBinding};
+use crate::types::CwlType;
+use expr::{interpolate, EvalContext, ExpressionEngine};
+use yamlite::{Map, Value};
+
+/// The fully built invocation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BuiltCommand {
+    /// Program and arguments.
+    pub argv: Vec<String>,
+    /// File name to redirect stdout into (workdir-relative).
+    pub stdout: Option<String>,
+    /// File name to redirect stderr into (workdir-relative).
+    pub stderr: Option<String>,
+    /// Environment variables from `EnvVarRequirement`.
+    pub env: Vec<(String, String)>,
+}
+
+/// One binding waiting to be sorted onto the command line.
+struct Pending {
+    position: i64,
+    /// Tie-break: arguments sort before inputs at equal positions, then by
+    /// declaration order (a documented simplification of the spec's
+    /// lexicographic key rule).
+    tie: (u8, usize),
+    tokens: Vec<String>,
+}
+
+/// Stringify a bound value for argv (File objects become their path).
+fn value_token(v: &Value) -> String {
+    match v {
+        Value::Map(m) if m.get("class").and_then(Value::as_str) == Some("File")
+            || m.get("class").and_then(Value::as_str) == Some("Directory") =>
+        {
+            m.get("path").map(Value::to_display_string).unwrap_or_default()
+        }
+        other => other.to_display_string(),
+    }
+}
+
+/// Render one input binding into argv tokens.
+fn bind_tokens(binding: &InputBinding, value: &Value) -> Vec<String> {
+    let mut tokens = Vec::new();
+    match value {
+        Value::Null => {}
+        Value::Bool(true) => {
+            // Boolean true: emit the prefix as a flag.
+            if let Some(prefix) = &binding.prefix {
+                tokens.push(prefix.clone());
+            }
+        }
+        Value::Bool(false) => {}
+        Value::Seq(items) => {
+            if items.is_empty() {
+                return tokens;
+            }
+            if let Some(sep) = &binding.item_separator {
+                let joined = items.iter().map(value_token).collect::<Vec<_>>().join(sep);
+                push_prefixed(&mut tokens, binding, joined);
+            } else {
+                // Prefix once, then each item as its own token.
+                if let Some(prefix) = &binding.prefix {
+                    if binding.separate {
+                        tokens.push(prefix.clone());
+                        tokens.extend(items.iter().map(value_token));
+                    } else {
+                        let mut first = true;
+                        for item in items {
+                            if first {
+                                tokens.push(format!("{prefix}{}", value_token(item)));
+                                first = false;
+                            } else {
+                                tokens.push(value_token(item));
+                            }
+                        }
+                    }
+                } else {
+                    tokens.extend(items.iter().map(value_token));
+                }
+            }
+        }
+        scalar => push_prefixed(&mut tokens, binding, value_token(scalar)),
+    }
+    tokens
+}
+
+fn push_prefixed(tokens: &mut Vec<String>, binding: &InputBinding, rendered: String) {
+    match (&binding.prefix, binding.separate) {
+        (Some(prefix), true) => {
+            tokens.push(prefix.clone());
+            tokens.push(rendered);
+        }
+        (Some(prefix), false) => tokens.push(format!("{prefix}{rendered}")),
+        (None, _) => tokens.push(rendered),
+    }
+}
+
+/// Build the command line for `tool` with the resolved `inputs` object.
+/// Expressions (in arguments, `valueFrom`, `stdout`, env values) are
+/// evaluated with `engine`.
+pub fn build_command(
+    tool: &CommandLineTool,
+    inputs: &Map,
+    engine: &dyn ExpressionEngine,
+) -> Result<BuiltCommand, String> {
+    let ctx = EvalContext::from_inputs(Value::Map(inputs.clone()));
+    let mut pending: Vec<Pending> = Vec::new();
+
+    // `arguments:` section.
+    for (i, arg) in tool.arguments.iter().enumerate() {
+        let value = match &arg.value {
+            Value::Str(s) => interpolate(s, engine, &ctx)
+                .map_err(|e| format!("argument {i}: {e}"))?,
+            other => other.clone(),
+        };
+        if value.is_null() {
+            continue;
+        }
+        let binding = InputBinding {
+            position: arg.position,
+            prefix: arg.prefix.clone(),
+            separate: arg.separate,
+            item_separator: None,
+            value_from: None,
+        };
+        let tokens = bind_tokens(&binding, &value);
+        if !tokens.is_empty() {
+            pending.push(Pending { position: arg.position, tie: (0, i), tokens });
+        }
+    }
+
+    // Bound inputs.
+    for (i, param) in tool.inputs.iter().enumerate() {
+        let Some(binding) = &param.binding else { continue };
+        let mut value = inputs.get(&param.id).cloned().unwrap_or(Value::Null);
+        if let Some(vf) = &binding.value_from {
+            let mut vf_ctx = ctx.clone();
+            vf_ctx.self_ = value.clone();
+            value = interpolate(vf, engine, &vf_ctx)
+                .map_err(|e| format!("input {:?} valueFrom: {e}", param.id))?;
+        }
+        if value.is_null() && param.typ.allows_null() {
+            continue;
+        }
+        let tokens = bind_tokens(binding, &value);
+        if !tokens.is_empty() {
+            pending.push(Pending { position: binding.position, tie: (1, i), tokens });
+        }
+    }
+
+    pending.sort_by(|a, b| a.position.cmp(&b.position).then(a.tie.cmp(&b.tie)));
+
+    let mut argv: Vec<String> = tool.base_command.clone();
+    for p in pending {
+        argv.extend(p.tokens);
+    }
+    if argv.is_empty() {
+        return Err("tool produced an empty command line (no baseCommand or arguments)".to_string());
+    }
+
+    let eval_name = |src: &Option<String>, what: &str| -> Result<Option<String>, String> {
+        match src {
+            None => Ok(None),
+            Some(s) => Ok(Some(
+                interpolate(s, engine, &ctx)
+                    .map_err(|e| format!("{what}: {e}"))?
+                    .to_display_string(),
+            )),
+        }
+    };
+    let mut stdout = eval_name(&tool.stdout, "stdout")?;
+    let stderr = eval_name(&tool.stderr, "stderr")?;
+
+    // An output of type `stdout` without an explicit redirect gets a
+    // deterministic generated capture file, per spec.
+    if stdout.is_none()
+        && tool.outputs.iter().any(|o| o.typ == CwlType::Stdout)
+    {
+        stdout = Some(format!(
+            "{}_stdout.txt",
+            tool.id.clone().unwrap_or_else(|| "tool".to_string())
+        ));
+    }
+
+    let mut env = Vec::with_capacity(tool.requirements.env_vars.len());
+    for (k, v) in &tool.requirements.env_vars {
+        let value = interpolate(v, engine, &ctx)
+            .map_err(|e| format!("envDef {k:?}: {e}"))?
+            .to_display_string();
+        env.push((k.clone(), value));
+    }
+
+    Ok(BuiltCommand { argv, stdout, stderr, env })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::resolve_inputs;
+    use crate::tool::CommandLineTool;
+    use expr::JsEngine;
+    use yamlite::{parse_str, vmap};
+
+    fn tool(src: &str) -> CommandLineTool {
+        CommandLineTool::parse(&parse_str(src).unwrap()).unwrap()
+    }
+
+    fn build(tool_src: &str, provided: Value) -> BuiltCommand {
+        let t = tool(tool_src);
+        let provided = match provided {
+            Value::Map(m) => m,
+            _ => unreachable!(),
+        };
+        let inputs = resolve_inputs(&t.inputs, &provided).unwrap();
+        build_command(&t, &inputs, &JsEngine::in_process()).unwrap()
+    }
+
+    /// Listing 1: `echo "Hello, World!" > hello.txt`.
+    #[test]
+    fn listing1_echo() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt
+"#,
+            vmap! {"message" => "Hello, World!"},
+        );
+        assert_eq!(cmd.argv, vec!["echo", "Hello, World!"]);
+        assert_eq!(cmd.stdout.as_deref(), Some("hello.txt"));
+    }
+
+    #[test]
+    fn default_applies_when_absent() {
+        let cmd = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: echo\ninputs:\n  message:\n    type: string\n    default: fallback\n    inputBinding: {position: 1}\noutputs: {}\n",
+            vmap! {},
+        );
+        assert_eq!(cmd.argv, vec!["echo", "fallback"]);
+    }
+
+    #[test]
+    fn positions_and_prefixes_order() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [imgtool, resize]
+inputs:
+  input_image:
+    type: File
+    inputBinding: {position: 1}
+  output_image:
+    type: string
+    inputBinding: {position: 2}
+  size:
+    type: int
+    inputBinding: {position: 3, prefix: --size}
+outputs: {}
+"#,
+            vmap! {"input_image" => "/in.rimg", "output_image" => "out.rimg", "size" => 1024i64},
+        );
+        assert_eq!(
+            cmd.argv,
+            vec!["imgtool", "resize", "/in.rimg", "out.rimg", "--size", "1024"]
+        );
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let src = r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: tool
+inputs:
+  verbose:
+    type: boolean
+    inputBinding: {prefix: --verbose}
+outputs: {}
+"#;
+        let on = build(src, vmap! {"verbose" => true});
+        assert_eq!(on.argv, vec!["tool", "--verbose"]);
+        let off = build(src, vmap! {"verbose" => false});
+        assert_eq!(off.argv, vec!["tool"]);
+    }
+
+    #[test]
+    fn separate_false_concatenates() {
+        let cmd = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  n:\n    type: int\n    inputBinding: {prefix: '-j', separate: false}\noutputs: {}\n",
+            vmap! {"n" => 8i64},
+        );
+        assert_eq!(cmd.argv, vec!["t", "-j8"]);
+    }
+
+    #[test]
+    fn arrays_with_and_without_separator() {
+        let with_sep = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  xs:\n    type: string[]\n    inputBinding: {prefix: --xs, itemSeparator: ','}\noutputs: {}\n",
+            vmap! {"xs" => yamlite::vseq!["a", "b", "c"]},
+        );
+        assert_eq!(with_sep.argv, vec!["t", "--xs", "a,b,c"]);
+        let without = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  xs:\n    type: string[]\n    inputBinding: {prefix: --xs}\noutputs: {}\n",
+            vmap! {"xs" => yamlite::vseq!["a", "b"]},
+        );
+        assert_eq!(without.argv, vec!["t", "--xs", "a", "b"]);
+        let empty = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  xs:\n    type: string[]\n    inputBinding: {prefix: --xs}\noutputs: {}\n",
+            vmap! {"xs" => Value::Seq(vec![])},
+        );
+        assert_eq!(empty.argv, vec!["t"]);
+    }
+
+    #[test]
+    fn optional_null_skipped() {
+        let cmd = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  tag:\n    type: string?\n    inputBinding: {prefix: --tag}\noutputs: {}\n",
+            vmap! {},
+        );
+        assert_eq!(cmd.argv, vec!["t"]);
+    }
+
+    #[test]
+    fn file_binds_as_path() {
+        let cmd = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: cat\ninputs:\n  f:\n    type: File\n    inputBinding: {position: 1}\noutputs: {}\n",
+            vmap! {"f" => vmap!{"class" => "File", "path" => "/data/x.csv"}},
+        );
+        assert_eq!(cmd.argv, vec!["cat", "/data/x.csv"]);
+    }
+
+    #[test]
+    fn value_from_expression_sees_self() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlineJavascriptRequirement
+baseCommand: convert
+inputs:
+  img:
+    type: File
+    inputBinding:
+      position: 1
+      valueFrom: $(self.basename)
+outputs: {}
+"#,
+            vmap! {"img" => "/data/photo.rimg"},
+        );
+        assert_eq!(cmd.argv, vec!["convert", "photo.rimg"]);
+    }
+
+    #[test]
+    fn arguments_mix_with_inputs() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: tar
+arguments:
+  - -czf
+  - position: 10
+    valueFrom: trailing
+inputs:
+  name:
+    type: string
+    inputBinding: {position: 1}
+outputs: {}
+"#,
+            vmap! {"name" => "archive"},
+        );
+        assert_eq!(cmd.argv, vec!["tar", "-czf", "archive", "trailing"]);
+    }
+
+    #[test]
+    fn argument_expression_interpolates() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlineJavascriptRequirement
+baseCommand: echo
+arguments:
+  - $(inputs.message.toUpperCase())
+inputs:
+  message:
+    type: string
+outputs: {}
+"#,
+            vmap! {"message" => "shout"},
+        );
+        assert_eq!(cmd.argv, vec!["echo", "SHOUT"]);
+    }
+
+    #[test]
+    fn stdout_expression_and_generated_capture() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  name:
+    type: string
+outputs: {}
+stdout: $(inputs.name).txt
+"#,
+            vmap! {"name" => "report"},
+        );
+        assert_eq!(cmd.stdout.as_deref(), Some("report.txt"));
+
+        // stdout-typed output without explicit redirect gets a generated name.
+        let gen = build(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nid: mytool\nbaseCommand: echo\ninputs: {}\noutputs:\n  o:\n    type: stdout\n",
+            vmap! {},
+        );
+        assert_eq!(gen.stdout.as_deref(), Some("mytool_stdout.txt"));
+    }
+
+    #[test]
+    fn env_vars_interpolate() {
+        let cmd = build(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: EnvVarRequirement
+    envDef:
+      THREADS: $(inputs.n)
+baseCommand: t
+inputs:
+  n:
+    type: int
+outputs: {}
+"#,
+            vmap! {"n" => 6i64},
+        );
+        assert_eq!(cmd.env, vec![("THREADS".to_string(), "6".to_string())]);
+    }
+
+    #[test]
+    fn empty_command_rejected() {
+        let t = tool("cwlVersion: v1.2\nclass: CommandLineTool\ninputs: {}\noutputs: {}\n");
+        let err = build_command(&t, &Map::new(), &JsEngine::in_process()).unwrap_err();
+        assert!(err.contains("empty command line"));
+    }
+}

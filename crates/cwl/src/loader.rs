@@ -1,0 +1,136 @@
+//! Loading CWL documents from values and files, with `run:` reference
+//! resolution relative to the referencing document.
+
+use crate::tool::CommandLineTool;
+use crate::workflow::{RunRef, Workflow};
+use std::path::{Path, PathBuf};
+use yamlite::Value;
+
+/// A parsed top-level CWL document.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CwlDocument {
+    Tool(CommandLineTool),
+    Workflow(Workflow),
+}
+
+impl CwlDocument {
+    /// The document's class name.
+    pub fn class(&self) -> &'static str {
+        match self {
+            CwlDocument::Tool(_) => "CommandLineTool",
+            CwlDocument::Workflow(_) => "Workflow",
+        }
+    }
+
+    /// Unwrap as a tool.
+    pub fn as_tool(&self) -> Option<&CommandLineTool> {
+        match self {
+            CwlDocument::Tool(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Unwrap as a workflow.
+    pub fn as_workflow(&self) -> Option<&Workflow> {
+        match self {
+            CwlDocument::Workflow(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a document value by its `class`.
+pub fn load_document(v: &Value) -> Result<CwlDocument, String> {
+    match v.get("class").and_then(Value::as_str) {
+        Some("CommandLineTool") => Ok(CwlDocument::Tool(CommandLineTool::parse(v)?)),
+        Some("Workflow") => Ok(CwlDocument::Workflow(Workflow::parse(v)?)),
+        Some("ExpressionTool") => Err(
+            "ExpressionTool is outside the supported subset (wrap the expression in a step valueFrom instead)"
+                .to_string(),
+        ),
+        Some(other) => Err(format!("unknown CWL class {other:?}")),
+        None => Err("document has no 'class' field".to_string()),
+    }
+}
+
+/// Load and parse a CWL file.
+pub fn load_file(path: impl AsRef<Path>) -> Result<CwlDocument, String> {
+    let path = path.as_ref();
+    let doc = yamlite::parse_file(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    load_document(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Resolve a step's `run` reference into a document. Path references
+/// resolve relative to `base_dir` (the directory of the referencing file).
+pub fn resolve_run(run: &RunRef, base_dir: &Path) -> Result<CwlDocument, String> {
+    match run {
+        RunRef::Inline(doc) => load_document(doc),
+        RunRef::Path(p) => {
+            let path = if Path::new(p).is_absolute() {
+                PathBuf::from(p)
+            } else {
+                base_dir.join(p)
+            };
+            load_file(path)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yamlite::parse_str;
+
+    #[test]
+    fn dispatch_on_class() {
+        let tool = parse_str("class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: echo\ninputs: {}\noutputs: {}\n").unwrap();
+        assert_eq!(load_document(&tool).unwrap().class(), "CommandLineTool");
+        let wf = parse_str("class: Workflow\ncwlVersion: v1.2\ninputs: {}\noutputs: {}\nsteps: {}\n").unwrap();
+        let doc = load_document(&wf).unwrap();
+        assert_eq!(doc.class(), "Workflow");
+        assert!(doc.as_workflow().is_some());
+        assert!(doc.as_tool().is_none());
+    }
+
+    #[test]
+    fn unknown_class_errors() {
+        assert!(load_document(&parse_str("class: ExpressionTool\n").unwrap()).is_err());
+        assert!(load_document(&parse_str("class: Nonsense\n").unwrap()).is_err());
+        assert!(load_document(&parse_str("cwlVersion: v1.2\n").unwrap()).is_err());
+    }
+
+    #[test]
+    fn file_loading_and_run_resolution() {
+        let dir = std::env::temp_dir().join(format!("cwl-loader-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(
+            dir.join("echo.cwl"),
+            "class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: echo\ninputs: {}\noutputs: {}\n",
+        )
+        .unwrap();
+        let doc = load_file(dir.join("echo.cwl")).unwrap();
+        assert_eq!(doc.class(), "CommandLineTool");
+
+        let run = RunRef::Path("echo.cwl".to_string());
+        let resolved = resolve_run(&run, &dir).unwrap();
+        assert_eq!(resolved.class(), "CommandLineTool");
+
+        let missing = RunRef::Path("ghost.cwl".to_string());
+        assert!(resolve_run(&missing, &dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn inline_run_resolution() {
+        let inline = parse_str("class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: ls\ninputs: {}\noutputs: {}\n").unwrap();
+        let run = RunRef::Inline(Box::new(inline));
+        let doc = resolve_run(&run, Path::new("/nowhere")).unwrap();
+        assert_eq!(doc.class(), "CommandLineTool");
+    }
+
+    #[test]
+    fn load_file_reports_path_in_errors() {
+        let err = load_file("/definitely/missing.cwl").unwrap_err();
+        assert!(err.contains("missing.cwl"));
+    }
+}

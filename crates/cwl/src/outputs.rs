@@ -1,0 +1,280 @@
+//! Post-execution output collection: stdout/stderr capture files and
+//! `outputBinding.glob` files become the tool's output object.
+
+use crate::input::normalize_file;
+use crate::tool::CommandLineTool;
+use crate::types::CwlType;
+use expr::{interpolate, EvalContext, ExpressionEngine};
+use std::path::Path;
+use yamlite::{Map, Value};
+
+/// Collect a tool's outputs after execution in `workdir`.
+///
+/// * `stdout`/`stderr`-typed outputs resolve to the capture files chosen at
+///   binding time (`built_stdout`/`built_stderr`);
+/// * File outputs resolve their `glob` (expressions allowed; literal names
+///   and `*`-prefix/suffix patterns supported);
+/// * missing non-optional outputs are errors.
+pub fn collect_outputs(
+    tool: &CommandLineTool,
+    inputs: &Map,
+    engine: &dyn ExpressionEngine,
+    workdir: &Path,
+    built_stdout: Option<&str>,
+    built_stderr: Option<&str>,
+) -> Result<Map, String> {
+    let ctx = EvalContext::from_inputs(Value::Map(inputs.clone()));
+    let mut out = Map::with_capacity(tool.outputs.len());
+    for param in &tool.outputs {
+        let value = match &param.typ {
+            CwlType::Stdout => capture_value(workdir, built_stdout, "stdout", &param.id)?,
+            CwlType::Stderr => capture_value(workdir, built_stderr, "stderr", &param.id)?,
+            typ => {
+                let Some(glob_src) = &param.glob else {
+                    // No binding: output must be optional.
+                    if typ.allows_null() {
+                        out.insert(param.id.clone(), Value::Null);
+                        continue;
+                    }
+                    return Err(format!(
+                        "output {:?} has no outputBinding.glob and is not optional",
+                        param.id
+                    ));
+                };
+                let pattern = interpolate(glob_src, engine, &ctx)
+                    .map_err(|e| format!("output {:?} glob: {e}", param.id))?
+                    .to_display_string();
+                let matches = glob_in(workdir, &pattern)?;
+                materialize(typ, &matches, workdir, &param.id)?
+            }
+        };
+        out.insert(param.id.clone(), value);
+    }
+    Ok(out)
+}
+
+fn capture_value(
+    workdir: &Path,
+    capture: Option<&str>,
+    what: &str,
+    id: &str,
+) -> Result<Value, String> {
+    let name = capture.ok_or_else(|| {
+        format!("output {id:?} has type {what} but no {what} capture was configured")
+    })?;
+    normalize_file(&Value::str(workdir.join(name).to_string_lossy().into_owned()), "File")
+}
+
+/// Minimal glob: literal names, `*` (all files), `*.ext` suffix, `name.*`
+/// prefix — the patterns CWL tools actually use for single-directory
+/// collection.
+fn glob_in(workdir: &Path, pattern: &str) -> Result<Vec<String>, String> {
+    if !pattern.contains('*') {
+        let p = workdir.join(pattern);
+        return Ok(if p.exists() {
+            vec![pattern.to_string()]
+        } else {
+            Vec::new()
+        });
+    }
+    let entries = std::fs::read_dir(workdir)
+        .map_err(|e| format!("cannot list {}: {e}", workdir.display()))?;
+    let (prefix, suffix) = pattern
+        .split_once('*')
+        .expect("contains('*') checked above");
+    if suffix.contains('*') {
+        return Err(format!("glob pattern {pattern:?} is too complex (one '*' supported)"));
+    }
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with(prefix) && n.ends_with(suffix) && n.len() >= prefix.len() + suffix.len())
+        .collect();
+    names.sort();
+    Ok(names)
+}
+
+fn materialize(
+    typ: &CwlType,
+    matches: &[String],
+    workdir: &Path,
+    id: &str,
+) -> Result<Value, String> {
+    let file_value = |name: &str| {
+        normalize_file(
+            &Value::str(workdir.join(name).to_string_lossy().into_owned()),
+            "File",
+        )
+    };
+    match typ {
+        CwlType::Array(_) => Ok(Value::Seq(
+            matches.iter().map(|n| file_value(n)).collect::<Result<Vec<_>, _>>()?,
+        )),
+        CwlType::Optional(inner) => {
+            if matches.is_empty() {
+                Ok(Value::Null)
+            } else {
+                materialize(inner, matches, workdir, id)
+            }
+        }
+        _ => match matches {
+            [] => Err(format!("output {id:?}: no file matched the glob in {}", workdir.display())),
+            [single] => file_value(single),
+            many => Err(format!(
+                "output {id:?}: {} files matched but type is not an array",
+                many.len()
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tool::CommandLineTool;
+    use expr::JsEngine;
+    use yamlite::{parse_str, vmap};
+
+    fn workdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cwl-out-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn tool(outputs: &str, stdout: Option<&str>) -> CommandLineTool {
+        let mut src = format!(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: t\ninputs:\n  name:\n    type: string\noutputs:\n{outputs}"
+        );
+        if let Some(s) = stdout {
+            src.push_str(&format!("stdout: {s}\n"));
+        }
+        CommandLineTool::parse(&parse_str(&src).unwrap()).unwrap()
+    }
+
+    fn inputs() -> Map {
+        match vmap! {"name" => "result"} {
+            Value::Map(m) => m,
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stdout_capture_collected() {
+        let dir = workdir("stdout");
+        std::fs::write(dir.join("hello.txt"), "hi").unwrap();
+        let t = tool("  output:\n    type: stdout\n", Some("hello.txt"));
+        let out = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, Some("hello.txt"), None)
+            .unwrap();
+        assert_eq!(out.get("output").unwrap()["basename"].as_str(), Some("hello.txt"));
+        assert_eq!(out.get("output").unwrap()["size"].as_int(), Some(2));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn literal_glob_collects_file() {
+        let dir = workdir("literal");
+        std::fs::write(dir.join("resized.rimg"), "x").unwrap();
+        let t = tool(
+            "  out:\n    type: File\n    outputBinding:\n      glob: resized.rimg\n",
+            None,
+        );
+        let out =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
+        assert!(out.get("out").unwrap()["path"].as_str().unwrap().ends_with("resized.rimg"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn expression_glob_uses_inputs() {
+        let dir = workdir("expr");
+        std::fs::write(dir.join("result.out"), "x").unwrap();
+        let t = tool(
+            "  out:\n    type: File\n    outputBinding:\n      glob: $(inputs.name).out\n",
+            None,
+        );
+        let out =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
+        assert_eq!(out.get("out").unwrap()["basename"].as_str(), Some("result.out"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn star_glob_array() {
+        let dir = workdir("star");
+        std::fs::write(dir.join("a.rimg"), "x").unwrap();
+        std::fs::write(dir.join("b.rimg"), "x").unwrap();
+        std::fs::write(dir.join("c.txt"), "x").unwrap();
+        let t = tool(
+            "  imgs:\n    type: File[]\n    outputBinding:\n      glob: '*.rimg'\n",
+            None,
+        );
+        let out =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
+        let imgs = out.get("imgs").unwrap().as_seq().unwrap();
+        assert_eq!(imgs.len(), 2);
+        assert_eq!(imgs[0]["basename"].as_str(), Some("a.rimg"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_required_output_errors() {
+        let dir = workdir("missing");
+        let t = tool(
+            "  out:\n    type: File\n    outputBinding:\n      glob: ghost.txt\n",
+            None,
+        );
+        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
+            .unwrap_err();
+        assert!(err.contains("no file matched"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn optional_output_null_when_missing() {
+        let dir = workdir("optional");
+        let t = tool(
+            "  out:\n    type: File?\n    outputBinding:\n      glob: ghost.txt\n",
+            None,
+        );
+        let out =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
+        assert!(out.get("out").unwrap().is_null());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn multiple_matches_for_scalar_errors() {
+        let dir = workdir("multi");
+        std::fs::write(dir.join("a.rimg"), "x").unwrap();
+        std::fs::write(dir.join("b.rimg"), "x").unwrap();
+        let t = tool(
+            "  out:\n    type: File\n    outputBinding:\n      glob: '*.rimg'\n",
+            None,
+        );
+        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
+            .unwrap_err();
+        assert!(err.contains("2 files matched"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn unbound_nonoptional_output_errors() {
+        let dir = workdir("unbound");
+        let t = tool("  out:\n    type: File\n", None);
+        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
+            .unwrap_err();
+        assert!(err.contains("no outputBinding.glob"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stdout_type_without_capture_errors() {
+        let dir = workdir("nocap");
+        let t = tool("  output:\n    type: stdout\n", None);
+        let err =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap_err();
+        assert!(err.contains("no stdout capture"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

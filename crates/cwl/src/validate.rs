@@ -1,0 +1,356 @@
+//! Structural validation of CWL documents with diagnostics — the role
+//! `cwltool --validate` plays in the CWL ecosystem.
+
+use crate::loader::{load_document, CwlDocument};
+use crate::workflow::Workflow;
+use std::collections::HashSet;
+use yamlite::Value;
+
+/// Diagnostic severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// One validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    /// Dotted location within the document (best effort).
+    pub path: String,
+    pub message: String,
+}
+
+impl Diagnostic {
+    fn error(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Error, path: path.into(), message: message.into() }
+    }
+
+    fn warning(path: impl Into<String>, message: impl Into<String>) -> Self {
+        Self { severity: Severity::Warning, path: path.into(), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: {}: {}", self.path, self.message)
+    }
+}
+
+/// Validate a raw document value. Returns all findings; the document is
+/// acceptable when no `Error`-severity diagnostics are present.
+pub fn validate_document(doc: &Value) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    match doc.get("cwlVersion").and_then(Value::as_str) {
+        None => diags.push(Diagnostic::error("cwlVersion", "missing cwlVersion")),
+        Some(v) if !matches!(v, "v1.0" | "v1.1" | "v1.2") => {
+            diags.push(Diagnostic::warning(
+                "cwlVersion",
+                format!("unrecognized cwlVersion {v:?} (treating as v1.2)"),
+            ));
+        }
+        _ => {}
+    }
+
+    let parsed = match load_document(doc) {
+        Ok(p) => p,
+        Err(e) => {
+            diags.push(Diagnostic::error("", e));
+            return diags;
+        }
+    };
+
+    match &parsed {
+        CwlDocument::Tool(tool) => {
+            if tool.base_command.is_empty() && tool.arguments.is_empty() {
+                diags.push(Diagnostic::error(
+                    "baseCommand",
+                    "tool has neither baseCommand nor arguments",
+                ));
+            }
+            let mut seen = HashSet::new();
+            for p in &tool.inputs {
+                if !seen.insert(p.id.as_str()) {
+                    diags.push(Diagnostic::error(
+                        format!("inputs.{}", p.id),
+                        "duplicate input id",
+                    ));
+                }
+                if p.validate.is_some() && !tool.requirements.inline_python {
+                    diags.push(Diagnostic::error(
+                        format!("inputs.{}", p.id),
+                        "validate: requires InlinePythonRequirement",
+                    ));
+                }
+            }
+            let mut seen_out = HashSet::new();
+            for p in &tool.outputs {
+                if !seen_out.insert(p.id.as_str()) {
+                    diags.push(Diagnostic::error(
+                        format!("outputs.{}", p.id),
+                        "duplicate output id",
+                    ));
+                }
+            }
+            for ignored in &tool.requirements.ignored {
+                diags.push(Diagnostic::warning(
+                    "requirements",
+                    format!("{ignored} is recognized but ignored by this runner"),
+                ));
+            }
+            for unknown in &tool.requirements.unknown {
+                diags.push(Diagnostic::warning(
+                    "requirements",
+                    format!("unknown requirement {unknown}"),
+                ));
+            }
+        }
+        CwlDocument::Workflow(wf) => validate_workflow(wf, &mut diags),
+    }
+    diags
+}
+
+fn validate_workflow(wf: &Workflow, diags: &mut Vec<Diagnostic>) {
+    let input_ids: HashSet<&str> = wf.inputs.iter().map(|i| i.id.as_str()).collect();
+    let step_ids: HashSet<&str> = wf.steps.iter().map(|s| s.id.as_str()).collect();
+
+    let valid_source = |src: &str| -> bool {
+        match src.split_once('/') {
+            None => input_ids.contains(src),
+            Some((step, out)) => wf
+                .step(step)
+                .map(|s| s.out.iter().any(|o| o == out))
+                .unwrap_or(false),
+        }
+    };
+
+    for step in &wf.steps {
+        let loc = format!("steps.{}", step.id);
+        for input in &step.inputs {
+            if let Some(src) = &input.source {
+                if !valid_source(src) {
+                    diags.push(Diagnostic::error(
+                        format!("{loc}.in.{}", input.id),
+                        format!("source {src:?} does not name a workflow input or step output"),
+                    ));
+                }
+            }
+            if input.source.is_none() && input.default.is_none() && input.value_from.is_none() {
+                diags.push(Diagnostic::error(
+                    format!("{loc}.in.{}", input.id),
+                    "step input has no source, default, or valueFrom",
+                ));
+            }
+            if input.value_from.is_some() && !wf.requirements.step_input_expression {
+                diags.push(Diagnostic::error(
+                    format!("{loc}.in.{}", input.id),
+                    "valueFrom requires StepInputExpressionRequirement",
+                ));
+            }
+        }
+        if step.when.is_some() && !matches!(wf.cwl_version.as_str(), "v1.2" | "") {
+            diags.push(Diagnostic::error(
+                format!("{loc}.when"),
+                format!("conditional execution requires cwlVersion v1.2 (found {:?})", wf.cwl_version),
+            ));
+        }
+        if !step.scatter.is_empty() {
+            if !wf.requirements.scatter {
+                diags.push(Diagnostic::error(
+                    format!("{loc}.scatter"),
+                    "scatter requires ScatterFeatureRequirement",
+                ));
+            }
+            for target in &step.scatter {
+                if !step.inputs.iter().any(|i| &i.id == target) {
+                    diags.push(Diagnostic::error(
+                        format!("{loc}.scatter"),
+                        format!("scatter target {target:?} is not a step input"),
+                    ));
+                }
+            }
+        }
+        let _ = &step_ids;
+    }
+
+    for out in &wf.outputs {
+        if !valid_source(&out.output_source) {
+            diags.push(Diagnostic::error(
+                format!("outputs.{}", out.id),
+                format!(
+                    "outputSource {:?} does not name a workflow input or step output",
+                    out.output_source
+                ),
+            ));
+        }
+    }
+
+    if let Err(e) = wf.topo_order() {
+        diags.push(Diagnostic::error("steps", e));
+    }
+}
+
+/// Convenience: true when no error-severity diagnostics are present.
+pub fn is_valid(diags: &[Diagnostic]) -> bool {
+    diags.iter().all(|d| d.severity != Severity::Error)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yamlite::parse_str;
+
+    fn diags(src: &str) -> Vec<Diagnostic> {
+        validate_document(&parse_str(src).unwrap())
+    }
+
+    fn errors(src: &str) -> Vec<Diagnostic> {
+        diags(src)
+            .into_iter()
+            .filter(|d| d.severity == Severity::Error)
+            .collect()
+    }
+
+    #[test]
+    fn valid_tool_passes() {
+        let d = diags(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: echo\ninputs:\n  m:\n    type: string\noutputs: {}\n",
+        );
+        assert!(is_valid(&d), "{d:?}");
+    }
+
+    #[test]
+    fn missing_version_flagged() {
+        let e = errors("class: CommandLineTool\nbaseCommand: echo\ninputs: {}\noutputs: {}\n");
+        assert!(e.iter().any(|d| d.path == "cwlVersion"));
+    }
+
+    #[test]
+    fn odd_version_warns_but_valid() {
+        let d = diags("cwlVersion: v9.9\nclass: CommandLineTool\nbaseCommand: x\ninputs: {}\noutputs: {}\n");
+        assert!(is_valid(&d));
+        assert!(d.iter().any(|x| x.severity == Severity::Warning));
+    }
+
+    #[test]
+    fn no_command_flagged() {
+        let e = errors("cwlVersion: v1.2\nclass: CommandLineTool\ninputs: {}\noutputs: {}\n");
+        assert!(e.iter().any(|d| d.message.contains("neither baseCommand")));
+    }
+
+    #[test]
+    fn validate_field_requires_python_requirement() {
+        let e = errors(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: cat\ninputs:\n  f:\n    type: File\n    validate: f\"{check($(inputs.f))}\"\noutputs: {}\n",
+        );
+        assert!(e.iter().any(|d| d.message.contains("InlinePythonRequirement")));
+    }
+
+    #[test]
+    fn docker_requirement_warns() {
+        let d = diags(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: x\nrequirements:\n  - class: DockerRequirement\ninputs: {}\noutputs: {}\n",
+        );
+        assert!(is_valid(&d));
+        assert!(d.iter().any(|x| x.message.contains("ignored")));
+    }
+
+    #[test]
+    fn workflow_bad_source_flagged() {
+        let e = errors(
+            r#"
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  img: File
+outputs:
+  out:
+    type: File
+    outputSource: stepA/missing_out
+steps:
+  stepA:
+    run: a.cwl
+    in:
+      x: img
+      y: ghost_input
+    out: [real_out]
+"#,
+        );
+        assert!(e.iter().any(|d| d.path == "steps.stepA.in.y"));
+        assert!(e.iter().any(|d| d.path == "outputs.out"));
+    }
+
+    #[test]
+    fn scatter_without_requirement_flagged() {
+        let e = errors(
+            r#"
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  xs: File[]
+outputs: {}
+steps:
+  s:
+    run: t.cwl
+    scatter: missing_target
+    in:
+      item: xs
+    out: []
+"#,
+        );
+        assert!(e.iter().any(|d| d.message.contains("ScatterFeatureRequirement")));
+        assert!(e.iter().any(|d| d.message.contains("not a step input")));
+    }
+
+    #[test]
+    fn value_from_without_requirement_flagged() {
+        let e = errors(
+            r#"
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  s:
+    run: t.cwl
+    in:
+      name:
+        valueFrom: "fixed.rimg"
+    out: []
+"#,
+        );
+        assert!(e.iter().any(|d| d.message.contains("StepInputExpressionRequirement")));
+    }
+
+    #[test]
+    fn valid_image_workflow_passes() {
+        let d = validate_document(&parse_str(crate::workflow::IMAGE_WORKFLOW_CWL).unwrap());
+        assert!(is_valid(&d), "{d:?}");
+    }
+
+    #[test]
+    fn when_requires_v12() {
+        let e = errors(
+            "cwlVersion: v1.0\nclass: Workflow\ninputs:\n  r: int\noutputs: {}\nsteps:\n  s:\n    run: t.cwl\n    when: $(inputs.r > 0)\n    in:\n      r: r\n    out: []\n",
+        );
+        assert!(e.iter().any(|d| d.message.contains("v1.2")), "{e:?}");
+        let ok = diags(
+            "cwlVersion: v1.2\nclass: Workflow\ninputs:\n  r: int\noutputs: {}\nsteps:\n  s:\n    run: t.cwl\n    when: $(inputs.r > 0)\n    in:\n      r: r\n    out: []\n",
+        );
+        assert!(is_valid(&ok), "{ok:?}");
+    }
+
+    #[test]
+    fn dangling_step_input_flagged() {
+        let e = errors(
+            "cwlVersion: v1.2\nclass: Workflow\ninputs: {}\noutputs: {}\nsteps:\n  s:\n    run: t.cwl\n    in:\n      x:\n        source: null\n    out: []\n",
+        );
+        assert!(e.iter().any(|d| d.message.contains("no source, default")));
+    }
+}

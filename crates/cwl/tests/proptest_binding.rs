@@ -1,0 +1,198 @@
+//! Property tests for the command-line binding algorithm.
+
+use cwl::{build_command, CommandLineTool, CwlType, InputBinding, InputParam};
+use expr::JsEngine;
+use proptest::prelude::*;
+use yamlite::{Map, Value};
+
+/// Build a tool from generated parameters.
+fn tool_with(params: Vec<InputParam>) -> CommandLineTool {
+    CommandLineTool {
+        id: Some("gen".into()),
+        cwl_version: "v1.2".into(),
+        doc: None,
+        base_command: vec!["prog".into()],
+        arguments: vec![],
+        inputs: params,
+        outputs: vec![],
+        stdout: None,
+        stderr: None,
+        requirements: Default::default(),
+    }
+}
+
+/// A generated (type, value) pair that conforms.
+fn typed_value() -> impl Strategy<Value = (CwlType, Value)> {
+    prop_oneof![
+        any::<i64>().prop_map(|i| (CwlType::Int, Value::Int(i))),
+        any::<bool>().prop_map(|b| (CwlType::Boolean, Value::Bool(b))),
+        "[a-zA-Z0-9_.@-]{0,16}".prop_map(|s| (CwlType::Str, Value::Str(s))),
+        proptest::collection::vec("[a-z0-9]{1,8}", 0..4).prop_map(|xs| {
+            (
+                CwlType::Array(Box::new(CwlType::Str)),
+                Value::Seq(xs.into_iter().map(Value::str).collect()),
+            )
+        }),
+    ]
+}
+
+/// One generated bound input: id index, position, prefix?, value.
+fn bound_input() -> impl Strategy<Value = (i64, Option<String>, bool, (CwlType, Value))> {
+    (
+        -5i64..5,
+        proptest::option::of("--[a-z]{1,6}"),
+        any::<bool>(),
+        typed_value(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// build_command never panics and respects position ordering: tokens
+    /// from a strictly higher position appear strictly later in argv.
+    #[test]
+    fn binding_respects_positions(specs in proptest::collection::vec(bound_input(), 1..6)) {
+        let mut params = Vec::new();
+        let mut provided = Map::new();
+        for (i, (position, prefix, separate, (typ, value))) in specs.iter().enumerate() {
+            let id = format!("in{i}");
+            params.push(InputParam {
+                id: id.clone(),
+                typ: typ.clone(),
+                default: None,
+                binding: Some(InputBinding {
+                    position: *position,
+                    prefix: prefix.clone(),
+                    separate: *separate,
+                    item_separator: None,
+                    value_from: None,
+                }),
+                doc: None,
+                validate: None,
+            });
+            provided.insert(id, value.clone());
+        }
+        let tool = tool_with(params.clone());
+        let inputs = cwl::input::resolve_inputs(&tool.inputs, &provided).unwrap();
+        let cmd = build_command(&tool, &inputs, &JsEngine::in_process()).unwrap();
+        prop_assert_eq!(cmd.argv[0].as_str(), "prog");
+
+        // Reconstruct each input's token block and check ordering by
+        // position: find first occurrence index of each input's first token.
+        let mut firsts: Vec<(i64, usize)> = Vec::new();
+        for (i, (position, prefix, sep, (_typ, value))) in specs.iter().enumerate() {
+            let first_value = match value {
+                Value::Seq(items) => items.first().map(Value::to_display_string),
+                other => Some(other.to_display_string()),
+            };
+            let expect_first: Option<String> = match value {
+                Value::Bool(true) => prefix.clone(),
+                Value::Bool(false) => None,
+                Value::Seq(items) if items.is_empty() => None,
+                _ => match (prefix, sep) {
+                    // separate=false concatenates prefix and first value.
+                    (Some(p), false) => first_value.map(|v| format!("{p}{v}")),
+                    (Some(p), true) => Some(p.clone()),
+                    (None, _) => first_value,
+                },
+            };
+            let _ = i;
+            if let Some(tok) = expect_first {
+                // Token may legitimately appear multiple times; positions of
+                // *blocks* are still monotone if we take the earliest
+                // occurrence not yet consumed. For the property we only
+                // check pairwise ordering of strictly different positions
+                // using earliest occurrence, which is conservative when
+                // tokens are distinct; skip when duplicated.
+                let occurrences: Vec<usize> = cmd
+                    .argv
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, t)| **t == tok)
+                    .map(|(j, _)| j)
+                    .collect();
+                if occurrences.len() == 1 {
+                    firsts.push((*position, occurrences[0]));
+                }
+            }
+        }
+        for a in &firsts {
+            for b in &firsts {
+                if a.0 < b.0 {
+                    prop_assert!(
+                        a.1 < b.1,
+                        "position {} token at argv[{}] not before position {} token at argv[{}]: {:?}",
+                        a.0, a.1, b.0, b.1, cmd.argv
+                    );
+                }
+            }
+        }
+    }
+
+    /// resolve_inputs + build_command never panic on arbitrary provided
+    /// values (they may error, never crash).
+    #[test]
+    fn binding_never_panics(
+        specs in proptest::collection::vec(bound_input(), 0..5),
+        junk in proptest::collection::vec(("[a-z]{1,6}", any::<i64>()), 0..3),
+    ) {
+        let mut params = Vec::new();
+        let mut provided = Map::new();
+        for (i, (position, prefix, separate, (typ, value))) in specs.iter().enumerate() {
+            let id = format!("in{i}");
+            params.push(InputParam {
+                id: id.clone(),
+                typ: typ.clone(),
+                default: None,
+                binding: Some(InputBinding {
+                    position: *position,
+                    prefix: prefix.clone(),
+                    separate: *separate,
+                    item_separator: Some(",".into()),
+                    value_from: None,
+                }),
+                doc: None,
+                validate: None,
+            });
+            provided.insert(id, value.clone());
+        }
+        // Add junk keys: resolve_inputs must reject them gracefully.
+        for (k, v) in &junk {
+            provided.insert(format!("junk_{k}"), Value::Int(*v));
+        }
+        let tool = tool_with(params);
+        match cwl::input::resolve_inputs(&tool.inputs, &provided) {
+            Ok(inputs) => {
+                let _ = build_command(&tool, &inputs, &JsEngine::in_process());
+            }
+            Err(e) => prop_assert!(!junk.is_empty(), "unexpected resolve error: {e}"),
+        }
+    }
+
+    /// Boolean flags: true emits exactly the prefix once; false emits
+    /// nothing.
+    #[test]
+    fn boolean_flag_semantics(flag in any::<bool>(), prefix in "--[a-z]{1,8}") {
+        let tool = tool_with(vec![InputParam {
+            id: "flag".into(),
+            typ: CwlType::Boolean,
+            default: None,
+            binding: Some(InputBinding {
+                position: 1,
+                prefix: Some(prefix.clone()),
+                separate: true,
+                item_separator: None,
+                value_from: None,
+            }),
+            doc: None,
+            validate: None,
+        }]);
+        let mut provided = Map::new();
+        provided.insert("flag", Value::Bool(flag));
+        let inputs = cwl::input::resolve_inputs(&tool.inputs, &provided).unwrap();
+        let cmd = build_command(&tool, &inputs, &JsEngine::in_process()).unwrap();
+        let count = cmd.argv.iter().filter(|t| **t == prefix).count();
+        prop_assert_eq!(count, flag as usize);
+    }
+}

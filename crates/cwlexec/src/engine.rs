@@ -1,0 +1,84 @@
+//! Expression-engine selection from a tool's requirements.
+
+use cwl::Requirements;
+use expr::{EvalError, ExpressionEngine, JsCostModel, JsEngine, PyEngine};
+
+/// Build the expression engine a document's requirements call for.
+///
+/// * `InlinePythonRequirement` → a [`PyEngine`] compiled from the document's
+///   `expressionLib` blocks (evaluates in-process — the paper's fast path);
+/// * otherwise → a [`JsEngine`] with the caller's process-boundary cost
+///   model (pass [`JsCostModel::free`] for overhead-free evaluation, or a
+///   `cwltool_like`/`toil_like` model to reproduce Fig. 2's curves).
+///
+/// Documents are free to use plain `$(inputs.x)` references under either
+/// engine — those never pay the JS boundary cost, matching real runners.
+pub fn engine_for(
+    reqs: &Requirements,
+    js_cost: JsCostModel,
+) -> Result<Box<dyn ExpressionEngine>, String> {
+    if reqs.inline_python {
+        let mut lib = expr::py::PyLib::default();
+        for src in &reqs.py_expression_lib {
+            let compiled = expr::py::PyLib::compile(src)
+                .map_err(|e: EvalError| format!("InlinePythonRequirement expressionLib: {e}"))?;
+            lib.extend(&compiled);
+        }
+        return Ok(Box::new(PyEngine::new(lib)));
+    }
+    // InlineJavascriptRequirement expressionLib blocks would need a JS
+    // function-definition layer; the workloads in this repository (and the
+    // paper) only use inline expressions, so reject libs loudly.
+    if !reqs.js_expression_lib.is_empty() {
+        return Err(
+            "InlineJavascriptRequirement expressionLib is not supported; \
+             inline the expression or use InlinePythonRequirement"
+                .to_string(),
+        );
+    }
+    Ok(Box::new(JsEngine::new(js_cost)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use expr::{EngineKind, EvalContext};
+    use yamlite::{parse_str, Value};
+
+    fn reqs(src: &str) -> Requirements {
+        Requirements::parse(&parse_str(src).unwrap()["requirements"]).unwrap()
+    }
+
+    #[test]
+    fn plain_tool_gets_js_engine() {
+        let engine = engine_for(&Requirements::default(), JsCostModel::free()).unwrap();
+        assert_eq!(engine.kind(), EngineKind::Javascript);
+    }
+
+    #[test]
+    fn python_requirement_gets_py_engine_with_lib() {
+        let r = reqs(
+            "requirements:\n  - class: InlinePythonRequirement\n    expressionLib: |\n      def dbl(x):\n          return x * 2\n",
+        );
+        let engine = engine_for(&r, JsCostModel::free()).unwrap();
+        assert_eq!(engine.kind(), EngineKind::InlinePython);
+        let ctx = EvalContext::from_inputs(yamlite::vmap! {"n" => 5i64});
+        assert_eq!(engine.eval_paren("dbl($(inputs.n))", &ctx).unwrap(), Value::Int(10));
+    }
+
+    #[test]
+    fn bad_python_lib_reports_compile_error() {
+        let r = reqs(
+            "requirements:\n  - class: InlinePythonRequirement\n    expressionLib: |\n      def broken(:\n          pass\n",
+        );
+        assert!(engine_for(&r, JsCostModel::free()).is_err());
+    }
+
+    #[test]
+    fn js_expression_lib_rejected() {
+        let r = reqs(
+            "requirements:\n  - class: InlineJavascriptRequirement\n    expressionLib:\n      - \"function f() {}\"\n",
+        );
+        assert!(engine_for(&r, JsCostModel::free()).is_err());
+    }
+}

@@ -1,0 +1,210 @@
+//! The per-tool execution pipeline shared by every runner.
+
+use crate::dispatch::ToolDispatch;
+use cwl::{build_command, CommandLineTool};
+use expr::ExpressionEngine;
+use std::path::Path;
+use yamlite::Map;
+
+/// The result of one tool execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolRun {
+    /// The collected output object (output id → value).
+    pub outputs: Map,
+    /// The command line that ran (for logs and reports).
+    pub command: Vec<String>,
+}
+
+/// Execute one `CommandLineTool` in `workdir`:
+/// resolve inputs → `validate:` hooks → build argv → dispatch → collect
+/// outputs.
+pub fn execute_tool(
+    tool: &CommandLineTool,
+    provided: &Map,
+    workdir: &Path,
+    engine: &dyn ExpressionEngine,
+    dispatch: &dyn ToolDispatch,
+) -> Result<ToolRun, String> {
+    std::fs::create_dir_all(workdir)
+        .map_err(|e| format!("cannot create workdir {}: {e}", workdir.display()))?;
+    let inputs = cwl::input::resolve_inputs(&tool.inputs, provided)?;
+    cwl::input::run_validate_hooks(tool, &inputs, engine)?;
+    let cmd = build_command(tool, &inputs, engine)?;
+    dispatch.run(&cmd, workdir)?;
+    let outputs = cwl::outputs::collect_outputs(
+        tool,
+        &inputs,
+        engine,
+        workdir,
+        cmd.stdout.as_deref(),
+        cmd.stderr.as_deref(),
+    )?;
+    Ok(ToolRun { outputs, command: cmd.argv })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::BuiltinDispatch;
+    use crate::engine::engine_for;
+    use expr::JsCostModel;
+    use yamlite::{parse_str, vmap, Value};
+
+    fn workdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("cwlexec-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        std::fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn tool(src: &str) -> CommandLineTool {
+        CommandLineTool::parse(&parse_str(src).unwrap()).unwrap()
+    }
+
+    fn as_map(v: Value) -> Map {
+        match v {
+            Value::Map(m) => m,
+            _ => unreachable!(),
+        }
+    }
+
+    /// Listing 1+2 end-to-end: echo through the whole pipeline.
+    #[test]
+    fn echo_end_to_end() {
+        let dir = workdir("echo");
+        let t = tool(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  message:
+    type: string
+    default: "Hello World"
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: hello.txt
+"#,
+        );
+        let engine = engine_for(&t.requirements, JsCostModel::free()).unwrap();
+        let run = execute_tool(
+            &t,
+            &as_map(vmap! {"message" => "Hello, World!"}),
+            &dir,
+            engine.as_ref(),
+            &BuiltinDispatch,
+        )
+        .unwrap();
+        assert_eq!(run.command, vec!["echo", "Hello, World!"]);
+        let out = run.outputs.get("output").unwrap();
+        assert_eq!(out["basename"].as_str(), Some("hello.txt"));
+        assert_eq!(
+            std::fs::read_to_string(dir.join("hello.txt")).unwrap(),
+            "Hello, World!\n"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The paper's resize tool: File in, File out via glob expression.
+    #[test]
+    fn resize_tool_end_to_end() {
+        let dir = workdir("resize");
+        imaging::write_rimg(dir.join("input.rimg"), &imaging::gradient(32, 32, 1)).unwrap();
+        let t = tool(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [imgtool, resize]
+inputs:
+  input_image:
+    type: File
+    inputBinding: {position: 1}
+  output_image:
+    type: string
+    inputBinding: {position: 2}
+  size:
+    type: int
+    inputBinding: {position: 3, prefix: --size}
+outputs:
+  resized:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)
+"#,
+        );
+        let engine = engine_for(&t.requirements, JsCostModel::free()).unwrap();
+        let provided = as_map(vmap! {
+            "input_image" => dir.join("input.rimg").to_string_lossy().into_owned(),
+            "output_image" => "resized.rimg",
+            "size" => 16i64,
+        });
+        let run = execute_tool(&t, &provided, &dir, engine.as_ref(), &BuiltinDispatch).unwrap();
+        let out_path = run.outputs.get("resized").unwrap()["path"].as_str().unwrap().to_string();
+        let img = imaging::read_rimg(&out_path).unwrap();
+        assert_eq!((img.width(), img.height()), (16, 16));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Listing 6: the validate hook rejects a bad extension before running.
+    #[test]
+    fn validate_hook_blocks_execution() {
+        let dir = workdir("validate");
+        std::fs::write(dir.join("data.txt"), "not,a,csv").unwrap();
+        let t = tool(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib: |
+      def valid_file(file, ext):
+          if not file.lower().endswith(ext):
+              raise Exception(f"Invalid file. Expected '{ext}'")
+          return True
+baseCommand: cat
+inputs:
+  data_file:
+    type: File
+    validate: |
+      f"{valid_file($(inputs.data_file.basename), '.csv')}"
+    inputBinding:
+      position: 1
+outputs:
+  validated_output:
+    type: stdout
+stdout: out.txt
+"#,
+        );
+        let engine = engine_for(&t.requirements, JsCostModel::free()).unwrap();
+        let provided = as_map(vmap! {
+            "data_file" => dir.join("data.txt").to_string_lossy().into_owned(),
+        });
+        let err =
+            execute_tool(&t, &provided, &dir, engine.as_ref(), &BuiltinDispatch).unwrap_err();
+        assert!(err.contains("Expected '.csv'"), "{err}");
+        assert!(!dir.join("out.txt").exists(), "tool must not have run");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_command_reports_error() {
+        let dir = workdir("fail");
+        let t = tool(
+            "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: [imgtool, resize]\ninputs:\n  f:\n    type: string\n    inputBinding: {position: 1}\noutputs: {}\n",
+        );
+        let engine = engine_for(&t.requirements, JsCostModel::free()).unwrap();
+        let err = execute_tool(
+            &t,
+            &as_map(vmap! {"f" => "ghost.rimg"}),
+            &dir,
+            engine.as_ref(),
+            &BuiltinDispatch,
+        )
+        .unwrap_err();
+        assert!(err.contains("imgtool resize"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

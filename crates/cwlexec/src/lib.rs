@@ -1,0 +1,28 @@
+//! `cwlexec` — the shared tool-execution engine every runner in this
+//! workspace builds on.
+//!
+//! Running one `CommandLineTool` means: resolve the input object → run the
+//! paper's `validate:` hooks → build the command line → execute it → collect
+//! the output object. That pipeline is identical whether the caller is the
+//! Parsl bridge (`cwl_parsl`), the cwltool-like reference runner, or the
+//! Toil-like runner — they differ in *scheduling* and *overhead structure*,
+//! not in per-tool semantics. This crate owns the per-tool semantics:
+//!
+//! * [`engine_for`] — pick and build the expression engine a tool needs
+//!   (inline Python from the paper's `InlinePythonRequirement`, otherwise
+//!   JavaScript with a configurable process-boundary cost model);
+//! * [`ToolDispatch`] — how a built command actually runs:
+//!   [`SubprocessDispatch`] spawns the real process;
+//!   [`BuiltinDispatch`] recognizes the workspace's workload commands
+//!   (`imgtool`, `echo`, `cat`, `sleepms`, `wc-words`) and executes them
+//!   in-process, which keeps thousand-task benchmark sweeps hermetic while
+//!   exercising the identical binding/collection code path;
+//! * [`execute_tool`] — the full per-tool pipeline.
+
+pub mod dispatch;
+pub mod engine;
+pub mod exec;
+
+pub use dispatch::{BuiltinDispatch, FlakyDispatch, SubprocessDispatch, ToolDispatch};
+pub use engine::engine_for;
+pub use exec::{execute_tool, ToolRun};

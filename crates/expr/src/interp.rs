@@ -1,0 +1,280 @@
+//! CWL string interpolation: splicing `$(...)` and `${...}` fragments into
+//! string fields of a document, with the whole-string fast path that returns
+//! the expression's native value (so `size: $(inputs.size)` stays an int).
+
+use crate::engine::ExpressionEngine;
+use crate::error::EvalError;
+use crate::js::js_to_string;
+use crate::paramref::EvalContext;
+use yamlite::Value;
+
+/// A scanned fragment of an interpolatable string.
+#[derive(Debug, Clone, PartialEq)]
+enum Frag {
+    Text(String),
+    /// `$(...)` content.
+    Paren(String),
+    /// `${...}` content.
+    Body(String),
+}
+
+/// Split a string into literal text and expression fragments. `\$(` escapes
+/// a literal `$(`.
+fn scan(s: &str) -> Result<Vec<Frag>, EvalError> {
+    let bytes = s.as_bytes();
+    let mut frags = Vec::new();
+    let mut text = String::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\'
+            && i + 2 < bytes.len()
+            && bytes[i + 1] == b'$'
+            && (bytes[i + 2] == b'(' || bytes[i + 2] == b'{')
+        {
+            text.push('$');
+            i += 2;
+            continue;
+        }
+        if bytes[i] == b'$' && i + 1 < bytes.len() && (bytes[i + 1] == b'(' || bytes[i + 1] == b'{') {
+            let open = bytes[i + 1];
+            let close = if open == b'(' { b')' } else { b'}' };
+            let start = i + 2;
+            let mut depth = 1usize;
+            let mut j = start;
+            let mut in_str: Option<u8> = None;
+            while j < bytes.len() {
+                let b = bytes[j];
+                if let Some(q) = in_str {
+                    if b == b'\\' {
+                        j += 1;
+                    } else if b == q {
+                        in_str = None;
+                    }
+                } else if b == b'\'' || b == b'"' {
+                    in_str = Some(b);
+                } else if b == open {
+                    depth += 1;
+                } else if b == close {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                j += 1;
+            }
+            if depth != 0 {
+                return Err(EvalError::new(
+                    crate::error::EvalErrorKind::Syntax,
+                    format!("unterminated expression in {s:?}"),
+                ));
+            }
+            if !text.is_empty() {
+                frags.push(Frag::Text(std::mem::take(&mut text)));
+            }
+            let content = s[start..j].to_string();
+            frags.push(if open == b'(' { Frag::Paren(content) } else { Frag::Body(content) });
+            i = j + 1;
+            continue;
+        }
+        let c = s[i..].chars().next().expect("in-bounds index");
+        text.push(c);
+        i += c.len_utf8();
+    }
+    if !text.is_empty() {
+        frags.push(Frag::Text(text));
+    }
+    Ok(frags)
+}
+
+/// Whether a string contains any expression fragments.
+pub fn has_expression(s: &str) -> bool {
+    match scan(s) {
+        Ok(frags) => frags.iter().any(|f| !matches!(f, Frag::Text(_))),
+        Err(_) => true, // unterminated — let evaluation surface the error
+    }
+}
+
+/// Interpolate a string with the given engine and context.
+///
+/// Order of resolution:
+/// 1. the engine's whole-literal form (the paper's `f"..."` inline Python);
+/// 2. a single `$(...)`/`${...}` spanning the whole string → native value;
+/// 3. otherwise every fragment evaluates and stringifies into place.
+pub fn interpolate(
+    s: &str,
+    engine: &dyn ExpressionEngine,
+    ctx: &EvalContext,
+) -> Result<Value, EvalError> {
+    if let Some(result) = engine.eval_literal(s, ctx) {
+        return result;
+    }
+    let frags = scan(s)?;
+    match frags.as_slice() {
+        [] => Ok(Value::str("")),
+        [Frag::Text(t)] => Ok(Value::str(t.as_str())),
+        [Frag::Paren(src)] => engine.eval_paren(src, ctx),
+        [Frag::Body(src)] => engine.eval_body(src, ctx),
+        many => {
+            let mut out = String::with_capacity(s.len());
+            for frag in many {
+                match frag {
+                    Frag::Text(t) => out.push_str(t),
+                    Frag::Paren(src) => out.push_str(&js_to_string(&engine.eval_paren(src, ctx)?)),
+                    Frag::Body(src) => out.push_str(&js_to_string(&engine.eval_body(src, ctx)?)),
+                }
+            }
+            Ok(Value::Str(out))
+        }
+    }
+}
+
+/// Recursively interpolate every string inside a [`Value`] tree. Used for
+/// expression-bearing document sections (arguments, step `valueFrom`, …).
+pub trait Interpolatable {
+    /// Interpolate all embedded expressions, returning the resolved tree.
+    fn interpolate_with(
+        &self,
+        engine: &dyn ExpressionEngine,
+        ctx: &EvalContext,
+    ) -> Result<Value, EvalError>;
+}
+
+impl Interpolatable for Value {
+    fn interpolate_with(
+        &self,
+        engine: &dyn ExpressionEngine,
+        ctx: &EvalContext,
+    ) -> Result<Value, EvalError> {
+        match self {
+            Value::Str(s) => interpolate(s, engine, ctx),
+            Value::Seq(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    out.push(item.interpolate_with(engine, ctx)?);
+                }
+                Ok(Value::Seq(out))
+            }
+            Value::Map(m) => {
+                let mut out = yamlite::Map::with_capacity(m.len());
+                for (k, v) in m.iter() {
+                    out.insert(k.to_string(), v.interpolate_with(engine, ctx)?);
+                }
+                Ok(Value::Map(out))
+            }
+            other => Ok(other.clone()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{JsEngine, PyEngine};
+    use yamlite::vmap;
+
+    fn ctx() -> EvalContext {
+        EvalContext::from_inputs(vmap! {
+            "message" => "hello",
+            "size" => 1024i64,
+            "file" => vmap!{"basename" => "img.png"},
+        })
+    }
+
+    #[test]
+    fn plain_text_passthrough() {
+        let e = JsEngine::in_process();
+        assert_eq!(interpolate("no exprs here", &e, &ctx()).unwrap(), Value::str("no exprs here"));
+        assert_eq!(interpolate("", &e, &ctx()).unwrap(), Value::str(""));
+    }
+
+    #[test]
+    fn whole_string_reference_keeps_type() {
+        let e = JsEngine::in_process();
+        assert_eq!(interpolate("$(inputs.size)", &e, &ctx()).unwrap(), Value::Int(1024));
+        assert_eq!(
+            interpolate("$(inputs.file)", &e, &ctx()).unwrap()["basename"],
+            Value::str("img.png")
+        );
+    }
+
+    #[test]
+    fn embedded_expressions_stringify() {
+        let e = JsEngine::in_process();
+        assert_eq!(
+            interpolate("size is $(inputs.size) bytes", &e, &ctx()).unwrap(),
+            Value::str("size is 1024 bytes")
+        );
+        assert_eq!(
+            interpolate("$(inputs.message)-$(inputs.size)", &e, &ctx()).unwrap(),
+            Value::str("hello-1024")
+        );
+    }
+
+    #[test]
+    fn body_expressions() {
+        let e = JsEngine::in_process();
+        assert_eq!(
+            interpolate("${ return inputs.size / 2; }", &e, &ctx()).unwrap(),
+            Value::Int(512)
+        );
+        assert_eq!(
+            interpolate("half=${ return inputs.size / 2; }", &e, &ctx()).unwrap(),
+            Value::str("half=512")
+        );
+    }
+
+    #[test]
+    fn escaped_dollar() {
+        let e = JsEngine::in_process();
+        assert_eq!(
+            interpolate(r"literal \$(not.an.expr)", &e, &ctx()).unwrap(),
+            Value::str("literal $(not.an.expr)")
+        );
+    }
+
+    #[test]
+    fn nested_parens_and_strings() {
+        let e = JsEngine::in_process();
+        assert_eq!(
+            interpolate("$(inputs.message.concat(')', '(')  )x", &e, &ctx()).unwrap(),
+            Value::str("hello)(x")
+        );
+    }
+
+    #[test]
+    fn unterminated_is_error() {
+        let e = JsEngine::in_process();
+        assert!(interpolate("$(inputs.size", &e, &ctx()).is_err());
+        assert!(has_expression("$(inputs.size"));
+        assert!(has_expression("a $(b) c"));
+        assert!(!has_expression("plain"));
+    }
+
+    #[test]
+    fn python_fstring_literal_route() {
+        let engine = PyEngine::compile("def dbl(x):\n    return x * 2\n").unwrap();
+        assert_eq!(
+            interpolate("f\"{dbl($(inputs.size))}\"", &engine, &ctx()).unwrap(),
+            Value::str("2048")
+        );
+        // Plain $() also works under the Python engine.
+        assert_eq!(
+            interpolate("$(inputs.size)", &engine, &ctx()).unwrap(),
+            Value::Int(1024)
+        );
+    }
+
+    #[test]
+    fn interpolate_value_tree() {
+        let e = JsEngine::in_process();
+        let v = vmap! {
+            "args" => yamlite::vseq!["--size", "$(inputs.size)"],
+            "label" => "msg=$(inputs.message)",
+            "n" => 7i64,
+        };
+        let out = v.interpolate_with(&e, &ctx()).unwrap();
+        assert_eq!(out["args"][1], Value::Int(1024));
+        assert_eq!(out["label"], Value::str("msg=hello"));
+        assert_eq!(out["n"], Value::Int(7));
+    }
+}

@@ -1,0 +1,127 @@
+//! Differential/property tests for the expression engines: Python-subset
+//! arithmetic must match a Rust reference implementation of CPython
+//! semantics, string operations must agree with Rust's, and neither
+//! interpreter may panic on arbitrary input.
+
+use expr::py::PyLib;
+use proptest::prelude::*;
+use yamlite::{Map, Value};
+
+fn py_eval(src: &str) -> Result<Value, expr::EvalError> {
+    PyLib::default().eval_expression(src, &Map::new())
+}
+
+/// Reference CPython floor-div.
+fn ref_floordiv(a: i64, b: i64) -> i64 {
+    let q = a / b;
+    if (a % b != 0) && ((a < 0) != (b < 0)) {
+        q - 1
+    } else {
+        q
+    }
+}
+
+/// Reference CPython modulo.
+fn ref_mod(a: i64, b: i64) -> i64 {
+    a - ref_floordiv(a, b) * b
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn py_integer_arithmetic_matches_cpython(a in -10_000i64..10_000, b in -10_000i64..10_000) {
+        prop_assert_eq!(py_eval(&format!("{a} + {b}")).unwrap(), Value::Int(a + b));
+        prop_assert_eq!(py_eval(&format!("{a} - {b}")).unwrap(), Value::Int(a - b));
+        prop_assert_eq!(py_eval(&format!("{a} * {b}")).unwrap(), Value::Int(a.wrapping_mul(b)));
+        if b != 0 {
+            prop_assert_eq!(
+                py_eval(&format!("{a} // {b}")).unwrap(),
+                Value::Int(ref_floordiv(a, b))
+            );
+            prop_assert_eq!(py_eval(&format!("{a} % {b}")).unwrap(), Value::Int(ref_mod(a, b)));
+            // The floor-div/mod identity: a == (a // b) * b + (a % b)
+            let fd = py_eval(&format!("({a} // {b}) * {b} + ({a} % {b})")).unwrap();
+            prop_assert_eq!(fd, Value::Int(a));
+        } else {
+            let fd_err = py_eval(&format!("{a} // 0")).is_err();
+            let md_err = py_eval(&format!("{a} % 0")).is_err();
+            prop_assert!(fd_err, "floor division by zero must raise");
+            prop_assert!(md_err, "modulo by zero must raise");
+        }
+    }
+
+    #[test]
+    fn py_comparison_chain_matches_direct(a in -100i64..100, b in -100i64..100, c in -100i64..100) {
+        let chained = py_eval(&format!("{a} < {b} < {c}")).unwrap();
+        prop_assert_eq!(chained, Value::Bool(a < b && b < c));
+        let mixed = py_eval(&format!("{a} <= {b} > {c}")).unwrap();
+        prop_assert_eq!(mixed, Value::Bool(a <= b && b > c));
+    }
+
+    #[test]
+    fn py_string_ops_match_rust(s in "[a-zA-Z0-9 ]{0,20}") {
+        let quoted = format!("{s:?}");
+        prop_assert_eq!(
+            py_eval(&format!("{quoted}.upper()")).unwrap(),
+            Value::Str(s.to_uppercase())
+        );
+        prop_assert_eq!(
+            py_eval(&format!("len({quoted})")).unwrap(),
+            Value::Int(s.chars().count() as i64)
+        );
+        prop_assert_eq!(
+            py_eval(&format!("{quoted}.strip()")).unwrap(),
+            Value::str(s.trim())
+        );
+        // Reversal via slicing-free approach: join(reversed(...)).
+        let rev: String = s.chars().rev().collect();
+        prop_assert_eq!(
+            py_eval(&format!("''.join(reversed({quoted}))")).unwrap(),
+            Value::Str(rev)
+        );
+    }
+
+    #[test]
+    fn py_fstring_round_trips_ints(n in -1_000_000i64..1_000_000) {
+        prop_assert_eq!(
+            py_eval(&format!("int(f\"{{{n}}}\")")).unwrap(),
+            Value::Int(n)
+        );
+    }
+
+    #[test]
+    fn js_and_py_agree_on_shared_string_semantics(s in "[a-z]{1,12}", sep in "[,; ]") {
+        // split + join round trip is identical in both languages.
+        let globals = match yamlite::vmap! {"s" => s.clone(), "sep" => sep.clone()} {
+            Value::Map(m) => m,
+            _ => unreachable!(),
+        };
+        let js = expr::js::eval_expression("s.split(sep).join(sep)", &globals).unwrap();
+        let py = PyLib::default()
+            .eval_expression("$(sep).join($(s).split($(sep)))", &globals)
+            .unwrap();
+        prop_assert_eq!(js.clone(), Value::Str(s.clone()));
+        prop_assert_eq!(js, py);
+    }
+
+    #[test]
+    fn py_interpreter_never_panics(src in "[ -~\\n]{0,120}") {
+        let _ = PyLib::compile(&src);
+        let _ = py_eval(&src);
+    }
+
+    #[test]
+    fn js_interpreter_never_panics(src in "[ -~]{0,120}") {
+        let globals = Map::new();
+        let _ = expr::js::eval_expression(&src, &globals);
+        let _ = expr::js::run_body(&src, &globals);
+    }
+
+    #[test]
+    fn interpolation_never_panics(s in "[ -~$({})]{0,80}") {
+        let engine = expr::JsEngine::in_process();
+        let ctx = expr::EvalContext::from_inputs(yamlite::vmap! {"x" => 1i64});
+        let _ = expr::interpolate(&s, &engine, &ctx);
+    }
+}

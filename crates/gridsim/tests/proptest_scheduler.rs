@@ -1,0 +1,104 @@
+//! Property tests for the batch scheduler: node conservation and FCFS
+//! safety under arbitrary submit/release interleavings.
+
+use gridsim::{BatchScheduler, ClusterSpec, JobRequest, JobState, SchedulerConfig};
+use proptest::prelude::*;
+use std::time::Duration;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Submit a job wanting this many nodes (1-based).
+    Submit(usize),
+    /// Release the i-th still-running job (modulo live count).
+    Release(usize),
+    /// Cancel the i-th still-pending job (modulo pending count).
+    Cancel(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..4).prop_map(Op::Submit),
+            (0usize..8).prop_map(Op::Release),
+            (0usize..8).prop_map(Op::Cancel),
+        ],
+        1..40,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn node_conservation_under_arbitrary_interleavings(script in ops()) {
+        let total_nodes = 4usize;
+        let sched = BatchScheduler::new(
+            ClusterSpec::small(total_nodes, 2),
+            SchedulerConfig::immediate(),
+        );
+        let mut running = Vec::new();
+        let mut pending = Vec::new();
+        for op in script {
+            match op {
+                Op::Submit(nodes) => {
+                    if nodes <= total_nodes {
+                        let j = sched.submit(JobRequest::nodes(nodes, "prop")).unwrap();
+                        match j.state() {
+                            JobState::Running => running.push(j),
+                            JobState::Pending => pending.push(j),
+                            other => prop_assert!(false, "fresh job in state {other:?}"),
+                        }
+                    }
+                }
+                Op::Release(i) => {
+                    if !running.is_empty() {
+                        let j = running.remove(i % running.len());
+                        j.release().unwrap();
+                        // Releases may promote pending jobs.
+                        let (now_running, still_pending): (Vec<_>, Vec<_>) =
+                            pending.drain(..).partition(|p| p.state() == JobState::Running);
+                        running.extend(now_running);
+                        pending = still_pending;
+                    }
+                }
+                Op::Cancel(i) => {
+                    if !pending.is_empty() {
+                        let idx = i % pending.len();
+                        let j = pending.remove(idx);
+                        // The job may have been promoted since we last looked.
+                        match j.state() {
+                            JobState::Pending => j.cancel().unwrap(),
+                            JobState::Running => running.push(j),
+                            _ => {}
+                        }
+                        // Cancellation can also unblock the queue head.
+                        let (now_running, still_pending): (Vec<_>, Vec<_>) =
+                            pending.drain(..).partition(|p| p.state() == JobState::Running);
+                        running.extend(now_running);
+                        pending = still_pending;
+                    }
+                }
+            }
+            // Invariant: free nodes + nodes held by running jobs == total.
+            let held: usize = running
+                .iter()
+                .map(|j| j.wait_running(Duration::from_millis(1)).map(|n| n.len()).unwrap_or(0))
+                .sum();
+            prop_assert_eq!(sched.free_node_count() + held, total_nodes);
+        }
+        // Drain: release everything; all nodes must come back.
+        for j in running {
+            j.release().unwrap();
+        }
+        for j in pending {
+            match j.state() {
+                JobState::Pending => j.cancel().unwrap(),
+                JobState::Running => j.release().unwrap(),
+                _ => {}
+            }
+        }
+        // A last pass: promotion chains may have started more jobs.
+        prop_assert_eq!(sched.queue_depth(), 0);
+        prop_assert_eq!(sched.free_node_count(), total_nodes);
+    }
+}

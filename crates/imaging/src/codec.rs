@@ -1,0 +1,198 @@
+//! The `.rimg` on-disk format: a tiny uncompressed raster container with an
+//! integrity checksum. Stands in for PNG in the reproduced workflow — same
+//! role (image file exchanged between workflow steps), none of the
+//! compression complexity.
+//!
+//! Layout (little-endian):
+//! ```text
+//! magic   [u8; 4]  = b"RIMG"
+//! version u8       = 1
+//! width   u32
+//! height  u32
+//! pixels  [u8]     width * height * 3 RGB bytes
+//! check   u64      FNV-1a over header + pixels
+//! ```
+
+use crate::image::Image;
+use std::fmt;
+use std::io::{Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 4] = b"RIMG";
+const VERSION: u8 = 1;
+/// Refuse absurd dimensions before allocating.
+const MAX_DIM: u32 = 1 << 16;
+
+/// Errors reading or writing `.rimg` files.
+#[derive(Debug)]
+pub enum CodecError {
+    Io(std::io::Error),
+    /// The file is not an RIMG container or is structurally invalid.
+    Format(String),
+    /// The checksum did not match (corrupt or truncated file).
+    Corrupt(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Io(e) => write!(f, "I/O error: {e}"),
+            CodecError::Format(m) => write!(f, "format error: {m}"),
+            CodecError::Corrupt(m) => write!(f, "corrupt file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<std::io::Error> for CodecError {
+    fn from(e: std::io::Error) -> Self {
+        CodecError::Io(e)
+    }
+}
+
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for part in parts {
+        for &b in *part {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
+/// Serialize an image into `.rimg` bytes.
+pub fn encode(img: &Image) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + 1 + 8 + img.raw().len() + 8);
+    out.extend_from_slice(MAGIC);
+    out.push(VERSION);
+    out.extend_from_slice(&img.width().to_le_bytes());
+    out.extend_from_slice(&img.height().to_le_bytes());
+    out.extend_from_slice(img.raw());
+    let check = fnv1a(&[&out]);
+    out.extend_from_slice(&check.to_le_bytes());
+    out
+}
+
+/// Deserialize `.rimg` bytes into an image.
+pub fn decode(bytes: &[u8]) -> Result<Image, CodecError> {
+    if bytes.len() < 4 + 1 + 8 + 8 {
+        return Err(CodecError::Format(format!(
+            "file too short ({} bytes)",
+            bytes.len()
+        )));
+    }
+    if &bytes[..4] != MAGIC {
+        return Err(CodecError::Format("bad magic (not an .rimg file)".to_string()));
+    }
+    if bytes[4] != VERSION {
+        return Err(CodecError::Format(format!("unsupported version {}", bytes[4])));
+    }
+    let width = u32::from_le_bytes(bytes[5..9].try_into().expect("fixed slice"));
+    let height = u32::from_le_bytes(bytes[9..13].try_into().expect("fixed slice"));
+    if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
+        return Err(CodecError::Format(format!("invalid dimensions {width}x{height}")));
+    }
+    let pixel_len = (width as usize) * (height as usize) * 3;
+    let expect = 13 + pixel_len + 8;
+    if bytes.len() != expect {
+        return Err(CodecError::Format(format!(
+            "file is {} bytes, expected {expect} for {width}x{height}",
+            bytes.len()
+        )));
+    }
+    let body = &bytes[..13 + pixel_len];
+    let stored = u64::from_le_bytes(bytes[13 + pixel_len..].try_into().expect("fixed slice"));
+    let computed = fnv1a(&[body]);
+    if stored != computed {
+        return Err(CodecError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+        )));
+    }
+    Image::from_raw(width, height, bytes[13..13 + pixel_len].to_vec())
+        .map_err(CodecError::Format)
+}
+
+/// Write an image to a `.rimg` file.
+pub fn write_rimg(path: impl AsRef<Path>, img: &Image) -> Result<(), CodecError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&encode(img))?;
+    Ok(())
+}
+
+/// Read an image from a `.rimg` file.
+pub fn read_rimg(path: impl AsRef<Path>) -> Result<Image, CodecError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut bytes = Vec::new();
+    f.read_to_end(&mut bytes)?;
+    decode(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::noise;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let img = noise(13, 7, 99);
+        let bytes = encode(&img);
+        let back = decode(&bytes).unwrap();
+        assert_eq!(back, img);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("rimg-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("img.rimg");
+        let img = noise(8, 8, 1);
+        write_rimg(&path, &img).unwrap();
+        assert_eq!(read_rimg(&path).unwrap(), img);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut bytes = encode(&noise(4, 4, 0));
+        bytes[0] = b'X';
+        assert!(matches!(decode(&bytes), Err(CodecError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&noise(4, 4, 0));
+        bytes[4] = 9;
+        assert!(matches!(decode(&bytes), Err(CodecError::Format(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let bytes = encode(&noise(4, 4, 0));
+        assert!(matches!(decode(&bytes[..bytes.len() - 3]), Err(CodecError::Format(_))));
+        assert!(matches!(decode(&bytes[..10]), Err(CodecError::Format(_))));
+        assert!(matches!(decode(b""), Err(CodecError::Format(_))));
+    }
+
+    #[test]
+    fn detects_corruption() {
+        let mut bytes = encode(&noise(4, 4, 0));
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        assert!(matches!(decode(&bytes), Err(CodecError::Corrupt(_))));
+    }
+
+    #[test]
+    fn rejects_absurd_dimensions() {
+        let mut bytes = encode(&noise(4, 4, 0));
+        bytes[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bytes), Err(CodecError::Format(_))));
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(read_rimg("/no/such/file.rimg"), Err(CodecError::Io(_))));
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic synthetic image generators — the workload inputs for the
+//! Fig. 1 reproduction (the paper used arbitrary PNGs; any pixel content
+//! exercises the same kernels).
+
+use crate::image::{Image, Rgb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A two-axis color gradient; `seed` rotates the channel phases so different
+/// seeds give different (but deterministic) images.
+pub fn gradient(width: u32, height: u32, seed: u64) -> Image {
+    let mut img = Image::new(width, height);
+    let (pr, pg, pb) = (
+        (seed % 251) as u32,
+        (seed / 251 % 241) as u32,
+        (seed / 251 / 241 % 239) as u32,
+    );
+    for y in 0..height {
+        for x in 0..width {
+            let r = ((x * 255 / width.max(1)) + pr) % 256;
+            let g = ((y * 255 / height.max(1)) + pg) % 256;
+            let b = (((x + y) * 255 / (width + height).max(1)) + pb) % 256;
+            img.set(x, y, Rgb::new(r as u8, g as u8, b as u8));
+        }
+    }
+    img
+}
+
+/// Uniform random noise from a seeded RNG.
+pub fn noise(width: u32, height: u32, seed: u64) -> Image {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut img = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            img.set(x, y, Rgb::new(rng.gen(), rng.gen(), rng.gen()));
+        }
+    }
+    img
+}
+
+/// A black/white checkerboard with `cell`-pixel squares (high-contrast input
+/// for blur tests).
+pub fn checkerboard(width: u32, height: u32, cell: u32) -> Image {
+    let cell = cell.max(1);
+    let mut img = Image::new(width, height);
+    for y in 0..height {
+        for x in 0..width {
+            let on = ((x / cell) + (y / cell)).is_multiple_of(2);
+            let v = if on { 255 } else { 0 };
+            img.set(x, y, Rgb::new(v, v, v));
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(gradient(16, 16, 5), gradient(16, 16, 5));
+        assert_eq!(noise(16, 16, 5), noise(16, 16, 5));
+        assert_ne!(noise(16, 16, 5), noise(16, 16, 6));
+        assert_ne!(gradient(16, 16, 5), gradient(16, 16, 6));
+    }
+
+    #[test]
+    fn checkerboard_pattern() {
+        let img = checkerboard(4, 4, 2);
+        assert_eq!(img.get(0, 0), Rgb::new(255, 255, 255));
+        assert_eq!(img.get(2, 0), Rgb::new(0, 0, 0));
+        assert_eq!(img.get(2, 2), Rgb::new(255, 255, 255));
+    }
+
+    #[test]
+    fn checkerboard_zero_cell_clamped() {
+        let img = checkerboard(4, 4, 0);
+        assert_eq!(img.width(), 4);
+    }
+
+    #[test]
+    fn noise_has_spread() {
+        let img = noise(32, 32, 7);
+        let (r, g, b) = img.mean_rgb();
+        for m in [r, g, b] {
+            assert!(m > 100.0 && m < 155.0, "mean {m} implausible for uniform noise");
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! End-to-end tests of the real `imgtool` binary (the executable the CWL
+//! fixtures name in `baseCommand` when running with subprocess dispatch).
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn imgtool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_imgtool"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("imgtool-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+#[test]
+fn gen_resize_sepia_blur_info_pipeline() {
+    let dir = scratch("pipeline");
+    let p = |name: &str| dir.join(name).to_string_lossy().into_owned();
+
+    let run = |args: &[&str]| {
+        let out = imgtool().args(args).output().expect("imgtool runs");
+        assert!(
+            out.status.success(),
+            "imgtool {args:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out
+    };
+
+    run(&["gen", &p("src.rimg"), "--width", "64", "--height", "48", "--seed", "5"]);
+    run(&["resize", &p("src.rimg"), &p("r.rimg"), "--size", "32"]);
+    run(&["sepia", &p("r.rimg"), &p("s.rimg"), "--sepia", "true"]);
+    run(&["blur", &p("s.rimg"), &p("b.rimg"), "--radius", "2"]);
+    let info = run(&["info", &p("b.rimg")]);
+    let text = String::from_utf8_lossy(&info.stdout);
+    assert!(text.starts_with("32x32 "), "info: {text}");
+    assert!(text.contains("fingerprint=0x"), "info: {text}");
+
+    // The binary's output must equal the library's computation.
+    let src = imaging::read_rimg(dir.join("src.rimg")).unwrap();
+    let expect = imaging::box_blur(
+        &imaging::sepia(&imaging::resize_bilinear(&src, 32, 32)),
+        2,
+    );
+    let got = imaging::read_rimg(dir.join("b.rimg")).unwrap();
+    assert_eq!(got.fingerprint(), expect.fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn cli_error_paths() {
+    let dir = scratch("errors");
+    let fail = |args: &[&str]| {
+        let out = imgtool().args(args).output().expect("imgtool runs");
+        assert!(!out.status.success(), "imgtool {args:?} unexpectedly succeeded");
+        String::from_utf8_lossy(&out.stderr).into_owned()
+    };
+    assert!(fail(&[]).contains("usage"));
+    assert!(fail(&["frobnicate"]).contains("unknown subcommand"));
+    assert!(fail(&["gen", dir.join("x.rimg").to_str().unwrap()]).contains("--width"));
+    assert!(fail(&["resize", "ghost.rimg", "out.rimg", "--size", "4"]).contains("imgtool:"));
+    assert!(fail(&["resize", "a", "b", "--size", "0"]).contains("positive"));
+    assert!(fail(&["blur", "a", "b"]).contains("--radius"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn generated_kinds_differ() {
+    let dir = scratch("kinds");
+    for kind in ["gradient", "noise", "checker"] {
+        let out = imgtool()
+            .args([
+                "gen",
+                dir.join(format!("{kind}.rimg")).to_str().unwrap(),
+                "--width",
+                "16",
+                "--height",
+                "16",
+                "--seed",
+                "3",
+                "--kind",
+                kind,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success());
+    }
+    let g = imaging::read_rimg(dir.join("gradient.rimg")).unwrap();
+    let n = imaging::read_rimg(dir.join("noise.rimg")).unwrap();
+    let c = imaging::read_rimg(dir.join("checker.rimg")).unwrap();
+    assert_ne!(g.fingerprint(), n.fingerprint());
+    assert_ne!(n.fingerprint(), c.fingerprint());
+    let _ = std::fs::remove_dir_all(&dir);
+}

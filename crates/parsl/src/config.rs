@@ -1,0 +1,81 @@
+//! DataFlowKernel configuration.
+
+use crate::htex::HtexConfig;
+use crate::provider::Provider;
+use std::sync::Arc;
+
+/// Which executor the kernel runs tasks on.
+pub enum ExecutorChoice {
+    /// In-process thread pool (the paper's single-node configuration).
+    ThreadPool {
+        /// Worker thread count.
+        workers: usize,
+    },
+    /// The pilot-job HighThroughputExecutor over a provider.
+    Htex {
+        /// Executor settings.
+        config: HtexConfig,
+        /// Source of compute nodes.
+        provider: Arc<dyn Provider>,
+    },
+}
+
+/// Kernel configuration (a small subset of Parsl's `Config`).
+pub struct Config {
+    /// Executor choice.
+    pub executor: ExecutorChoice,
+    /// How many times to re-run a failed task before giving up.
+    pub retries: usize,
+    /// App memoization (Parsl's `memoize=True`): a task whose label and
+    /// resolved input values match a previously *successful* task returns
+    /// the cached result without re-executing.
+    pub memoize: bool,
+    /// Label for logs.
+    pub label: String,
+}
+
+impl Config {
+    /// Local thread pool with `workers` threads, no retries.
+    pub fn local_threads(workers: usize) -> Self {
+        Self {
+            executor: ExecutorChoice::ThreadPool { workers },
+            retries: 0,
+            memoize: false,
+            label: "local".to_string(),
+        }
+    }
+
+    /// HTEX over a provider.
+    pub fn htex(config: HtexConfig, provider: Arc<dyn Provider>) -> Self {
+        Self {
+            executor: ExecutorChoice::Htex { config, provider },
+            retries: 0,
+            memoize: false,
+            label: "htex".to_string(),
+        }
+    }
+
+    /// Set the retry count.
+    pub fn with_retries(mut self, retries: usize) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Enable app memoization.
+    pub fn with_memoization(mut self) -> Self {
+        self.memoize = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders() {
+        let c = Config::local_threads(8).with_retries(2);
+        assert_eq!(c.retries, 2);
+        assert!(matches!(c.executor, ExecutorChoice::ThreadPool { workers: 8 }));
+    }
+}

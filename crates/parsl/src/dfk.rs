@@ -1,0 +1,639 @@
+//! The DataFlowKernel (DFK): Parsl's runtime core. Tracks dependencies
+//! between app invocations through future-completion callbacks, launches
+//! tasks on the configured executor when their inputs are ready, propagates
+//! failures, retries, and records monitoring events.
+
+use crate::apps::{AppBody, CommandApp, CommandSpec};
+use crate::config::{Config, ExecutorChoice};
+use crate::error::TaskError;
+use crate::executor::{Executor, TaskPayload, ThreadPoolExecutor};
+use crate::file::File;
+use crate::future::{promise_pair, AppFuture, DataFuture, Promise, TaskResult};
+use crate::htex::HighThroughputExecutor;
+use crate::monitoring::{MonitoringLog, TaskEventKind};
+use crate::task::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use yamlite::Value;
+
+/// An argument to an app invocation: a literal value, another app's future
+/// (dataflow edge), or a file future.
+#[derive(Clone)]
+pub enum AppArg {
+    /// A plain value.
+    Literal(Value),
+    /// Depend on another app's result value.
+    Fut(AppFuture),
+    /// Depend on a file another app will produce; materializes as the
+    /// file's path string.
+    Data(DataFuture),
+}
+
+impl AppArg {
+    /// Literal argument.
+    pub fn value(v: impl Into<Value>) -> Self {
+        AppArg::Literal(v.into())
+    }
+
+    /// Dataflow edge from another app's future.
+    pub fn future(f: &AppFuture) -> Self {
+        AppArg::Fut(f.clone())
+    }
+
+    /// Dataflow edge from a file future.
+    pub fn data(d: &DataFuture) -> Self {
+        AppArg::Data(d.clone())
+    }
+
+    fn dependency(&self) -> Option<AppFuture> {
+        match self {
+            AppArg::Literal(_) => None,
+            AppArg::Fut(f) => Some(f.clone()),
+            AppArg::Data(d) => Some(d.parent().clone()),
+        }
+    }
+
+    /// Resolve to a concrete value; all dependencies must be complete.
+    fn materialize(&self) -> Result<Value, TaskError> {
+        match self {
+            AppArg::Literal(v) => Ok(v.clone()),
+            AppArg::Fut(f) => match f.peek() {
+                Some(Ok(v)) => Ok(v),
+                Some(Err(e)) => Err(TaskError::DependencyFailed {
+                    dep: f.id(),
+                    reason: e.to_string(),
+                }),
+                None => unreachable!("materialize called before dependency completed"),
+            },
+            AppArg::Data(d) => match d.parent().peek() {
+                Some(Ok(_)) => Ok(Value::str(d.filepath().to_string_lossy().into_owned())),
+                Some(Err(e)) => Err(TaskError::DependencyFailed {
+                    dep: d.parent().id(),
+                    reason: e.to_string(),
+                }),
+                None => unreachable!("materialize called before dependency completed"),
+            },
+        }
+    }
+}
+
+struct TaskInner {
+    id: TaskId,
+    label: String,
+    body: AppBody,
+    args: Vec<AppArg>,
+    retries_left: AtomicUsize,
+    promise: Mutex<Option<Promise>>,
+}
+
+/// The dataflow kernel. Create with [`DataFlowKernel::new`]; returns an
+/// `Arc` because completion callbacks keep references to it.
+pub struct DataFlowKernel {
+    executor: Arc<dyn Executor>,
+    retries: usize,
+    memoize: bool,
+    /// Memo table: (label, fingerprint of resolved inputs) → successful
+    /// result. Only successes are cached, matching Parsl's memoizer.
+    memo: Mutex<std::collections::HashMap<(String, u64), Value>>,
+    next_id: AtomicU64,
+    outstanding: Mutex<usize>,
+    all_done: Condvar,
+    log: MonitoringLog,
+}
+
+/// FNV-1a fingerprint of a task's resolved input values.
+fn fingerprint_inputs(vals: &[Value]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x100000001b3;
+    let mut h = OFFSET;
+    for v in vals {
+        for b in yamlite::to_string_flow(v).bytes() {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+        h = (h ^ 0x1f).wrapping_mul(PRIME); // value separator
+    }
+    h
+}
+
+impl DataFlowKernel {
+    /// Build a kernel, provisioning the executor. Panics when the provider
+    /// cannot satisfy the request — use [`DataFlowKernel::try_new`] to
+    /// handle that case.
+    pub fn new(config: Config) -> Arc<Self> {
+        Self::try_new(config).expect("failed to start executor")
+    }
+
+    /// Build a kernel, returning provisioning errors.
+    pub fn try_new(config: Config) -> Result<Arc<Self>, String> {
+        let executor: Arc<dyn Executor> = match config.executor {
+            ExecutorChoice::ThreadPool { workers } => {
+                ThreadPoolExecutor::new(format!("{}-tpe", config.label), workers)
+            }
+            ExecutorChoice::Htex { config: hc, provider } => {
+                HighThroughputExecutor::start(hc, provider)?
+            }
+        };
+        Ok(Arc::new(Self {
+            executor,
+            retries: config.retries,
+            memoize: config.memoize,
+            memo: Mutex::new(std::collections::HashMap::new()),
+            next_id: AtomicU64::new(1),
+            outstanding: Mutex::new(0),
+            all_done: Condvar::new(),
+            log: MonitoringLog::new(),
+        }))
+    }
+
+    /// The executor in use.
+    pub fn executor(&self) -> &Arc<dyn Executor> {
+        &self.executor
+    }
+
+    /// Monitoring log for this kernel.
+    pub fn monitoring(&self) -> &MonitoringLog {
+        &self.log
+    }
+
+    /// Number of tasks not yet in a terminal state.
+    pub fn outstanding(&self) -> usize {
+        *self.outstanding.lock()
+    }
+
+    /// Invoke an app: returns immediately with a future. The task launches
+    /// once every future among `args` has completed; any failed dependency
+    /// fails this task without launching it.
+    pub fn submit(self: &Arc<Self>, label: &str, args: Vec<AppArg>, body: AppBody) -> AppFuture {
+        let id = TaskId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        let (fut, promise) = promise_pair(id);
+        *self.outstanding.lock() += 1;
+        self.log.record(id, TaskEventKind::Submitted, label);
+
+        let deps: Vec<AppFuture> = args.iter().filter_map(AppArg::dependency).collect();
+        let task = Arc::new(TaskInner {
+            id,
+            label: label.to_string(),
+            body,
+            args,
+            retries_left: AtomicUsize::new(self.retries),
+            promise: Mutex::new(Some(promise)),
+        });
+
+        if deps.is_empty() {
+            self.launch(task);
+        } else {
+            // Counter starts at the dependency count; the launch fires on
+            // the thread that resolves the final dependency.
+            let remaining = Arc::new(AtomicUsize::new(deps.len()));
+            for dep in deps {
+                let remaining = remaining.clone();
+                let dfk = self.clone();
+                let task = task.clone();
+                dep.on_complete(move |_| {
+                    if remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                        dfk.launch(task);
+                    }
+                });
+            }
+        }
+        fut
+    }
+
+    /// Invoke a command app: `build` turns resolved input values into a
+    /// [`CommandSpec`]; `outputs` are files the command will produce, each
+    /// returned as a [`DataFuture`] (Parsl's `bash_app(outputs=[...])`).
+    pub fn submit_command(
+        self: &Arc<Self>,
+        label: &str,
+        args: Vec<AppArg>,
+        build: impl Fn(&[Value]) -> Result<CommandSpec, TaskError> + Send + Sync + 'static,
+        outputs: Vec<PathBuf>,
+    ) -> (AppFuture, Vec<DataFuture>) {
+        let body = CommandApp::new(build);
+        let fut = self.submit(label, args, body);
+        let data = outputs
+            .into_iter()
+            .map(|p| DataFuture::new(File::new(p), fut.clone()))
+            .collect();
+        (fut, data)
+    }
+
+    /// Dependencies are met: materialize inputs and start the first attempt
+    /// (or fail fast on upstream failure).
+    fn launch(self: &Arc<Self>, task: Arc<TaskInner>) {
+        let mut vals = Vec::with_capacity(task.args.len());
+        for arg in &task.args {
+            match arg.materialize() {
+                Ok(v) => vals.push(v),
+                Err(e) => {
+                    self.finish(&task, Err(e));
+                    return;
+                }
+            }
+        }
+        self.log.record(task.id, TaskEventKind::Launched, &task.label);
+        // Memoization: a prior success with the same label and inputs
+        // short-circuits execution entirely.
+        if self.memoize {
+            let key = (task.label.clone(), fingerprint_inputs(&vals));
+            if let Some(cached) = self.memo.lock().get(&key).cloned() {
+                self.log.record(task.id, TaskEventKind::Memoized, &task.label);
+                self.finish(&task, Ok(cached));
+                return;
+            }
+        }
+        self.attempt(task, Arc::new(vals));
+    }
+
+    /// Run one execution attempt on the executor; retry on failure while
+    /// budget remains.
+    fn attempt(self: &Arc<Self>, task: Arc<TaskInner>, vals: Arc<Vec<Value>>) {
+        let (attempt_fut, attempt_promise) = promise_pair(task.id);
+        let body = task.body.clone();
+        let vals_for_body = vals.clone();
+        self.executor.submit(TaskPayload {
+            id: task.id,
+            body: Box::new(move || body(&vals_for_body)),
+            promise: attempt_promise,
+        });
+        let dfk = self.clone();
+        attempt_fut.on_complete(move |result| match result {
+            Ok(value) => {
+                if dfk.memoize {
+                    let key = (task.label.clone(), fingerprint_inputs(&vals));
+                    dfk.memo.lock().insert(key, value.clone());
+                }
+                dfk.finish(&task, result.clone())
+            }
+            Err(_) => {
+                // Dependency failures are final; execution failures retry.
+                let retryable = !matches!(result, Err(TaskError::DependencyFailed { .. }));
+                if retryable
+                    && task
+                        .retries_left
+                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+                        .is_ok()
+                {
+                    dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
+                    dfk.attempt(task.clone(), vals.clone());
+                } else {
+                    dfk.finish(&task, result.clone());
+                }
+            }
+        });
+    }
+
+    /// Resolve the task's public future and update accounting.
+    fn finish(&self, task: &TaskInner, result: TaskResult) {
+        let kind = if result.is_ok() { TaskEventKind::Completed } else { TaskEventKind::Failed };
+        self.log.record(task.id, kind, &task.label);
+        if let Some(promise) = task.promise.lock().take() {
+            promise.complete(result);
+        }
+        let mut outstanding = self.outstanding.lock();
+        *outstanding -= 1;
+        if *outstanding == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    /// Block until every submitted task reaches a terminal state.
+    pub fn wait_all(&self) {
+        let mut outstanding = self.outstanding.lock();
+        while *outstanding > 0 {
+            self.all_done.wait(&mut outstanding);
+        }
+    }
+
+    /// Wait for all tasks, then stop the executor.
+    pub fn shutdown(&self) {
+        self.wait_all();
+        self.executor.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::FnApp;
+    use std::time::Duration;
+
+    fn dfk() -> Arc<DataFlowKernel> {
+        DataFlowKernel::new(Config::local_threads(4))
+    }
+
+    fn add_app() -> AppBody {
+        FnApp::new(|vals| {
+            let mut total = 0i64;
+            for v in vals {
+                total += v
+                    .as_int()
+                    .ok_or_else(|| TaskError::failed(format!("non-int input {v:?}")))?;
+            }
+            Ok(Value::Int(total))
+        })
+    }
+
+    #[test]
+    fn simple_chain() {
+        let dfk = dfk();
+        let a = dfk.submit("a", vec![AppArg::value(1i64), AppArg::value(2i64)], add_app());
+        let b = dfk.submit("b", vec![AppArg::future(&a), AppArg::value(10i64)], add_app());
+        assert_eq!(b.result().unwrap(), Value::Int(13));
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn diamond_dependencies() {
+        let dfk = dfk();
+        let root = dfk.submit("root", vec![AppArg::value(1i64)], add_app());
+        let left = dfk.submit("l", vec![AppArg::future(&root), AppArg::value(10i64)], add_app());
+        let right = dfk.submit("r", vec![AppArg::future(&root), AppArg::value(100i64)], add_app());
+        let join = dfk.submit(
+            "join",
+            vec![AppArg::future(&left), AppArg::future(&right)],
+            add_app(),
+        );
+        assert_eq!(join.result().unwrap(), Value::Int(112));
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn failure_propagates_without_running_dependents() {
+        let dfk = dfk();
+        let boom = dfk.submit(
+            "boom",
+            vec![],
+            FnApp::new(|_| Err(TaskError::failed("explosion"))),
+        );
+        let ran = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let ran2 = ran.clone();
+        let dependent = dfk.submit(
+            "dep",
+            vec![AppArg::future(&boom)],
+            FnApp::new(move |_| {
+                ran2.store(true, Ordering::SeqCst);
+                Ok(Value::Null)
+            }),
+        );
+        match dependent.result() {
+            Err(TaskError::DependencyFailed { reason, .. }) => {
+                assert!(reason.contains("explosion"))
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(!ran.load(Ordering::SeqCst), "dependent body must not run");
+        dfk.shutdown();
+        let s = dfk.monitoring().summary();
+        assert_eq!(s.failed, 2);
+    }
+
+    #[test]
+    fn retries_eventually_succeed() {
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_retries(3));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = attempts.clone();
+        let fut = dfk.submit(
+            "flaky",
+            vec![],
+            FnApp::new(move |_| {
+                if attempts2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(TaskError::failed("transient"))
+                } else {
+                    Ok(Value::str("finally"))
+                }
+            }),
+        );
+        assert_eq!(fut.result().unwrap(), Value::str("finally"));
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        assert_eq!(dfk.monitoring().summary().retried, 2);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn retries_exhaust() {
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_retries(2));
+        let fut = dfk.submit("always-bad", vec![], FnApp::new(|_| Err(TaskError::failed("no"))));
+        assert!(fut.result().is_err());
+        assert_eq!(dfk.monitoring().summary().retried, 2);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn dependency_failure_is_not_retried() {
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_retries(5));
+        let boom = dfk.submit("boom", vec![], FnApp::new(|_| Err(TaskError::failed("x"))));
+        let dep = dfk.submit("dep", vec![AppArg::future(&boom)], add_app());
+        assert!(dep.result().is_err());
+        // Only the root task retried; the dependent failed exactly once.
+        assert_eq!(dfk.monitoring().summary().retried, 5);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn submit_command_produces_data_futures() {
+        let dir = std::env::temp_dir().join(format!("parsl-dfk-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("echoed.txt");
+        let dfk = dfk();
+        let out2 = out.clone();
+        let (fut, outputs) = dfk.submit_command(
+            "echo",
+            vec![AppArg::value("payload")],
+            move |vals| {
+                Ok(CommandSpec {
+                    argv: vec!["echo".into(), vals[0].to_display_string()],
+                    stdout: Some(out2.clone()),
+                    ..Default::default()
+                })
+            },
+            vec![out.clone()],
+        );
+        let produced = outputs[0].result().unwrap();
+        assert!(produced.exists());
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "payload\n");
+        assert_eq!(fut.result().unwrap()["exit_code"].as_int(), Some(0));
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn data_future_chains_tasks() {
+        let dir = std::env::temp_dir().join(format!("parsl-chain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let first_out = dir.join("first.txt");
+        let dfk = dfk();
+        let fo = first_out.clone();
+        let (_f1, outs1) = dfk.submit_command(
+            "produce",
+            vec![],
+            move |_| {
+                Ok(CommandSpec {
+                    argv: vec!["echo".into(), "chained-content".into()],
+                    stdout: Some(fo.clone()),
+                    ..Default::default()
+                })
+            },
+            vec![first_out.clone()],
+        );
+        // Second task consumes the DataFuture: materializes as the path.
+        let consume = dfk.submit(
+            "consume",
+            vec![AppArg::data(&outs1[0])],
+            FnApp::new(|vals| {
+                let path = vals[0].as_str().ok_or_else(|| TaskError::failed("no path"))?;
+                let text = std::fs::read_to_string(path).map_err(TaskError::failed)?;
+                Ok(Value::str(text.trim()))
+            }),
+        );
+        assert_eq!(consume.result().unwrap(), Value::str("chained-content"));
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wait_all_blocks_until_done() {
+        let dfk = dfk();
+        for _ in 0..6 {
+            dfk.submit(
+                "sleepy",
+                vec![],
+                FnApp::new(|_| {
+                    std::thread::sleep(Duration::from_millis(20));
+                    Ok(Value::Null)
+                }),
+            );
+        }
+        dfk.wait_all();
+        assert_eq!(dfk.outstanding(), 0);
+        assert_eq!(dfk.monitoring().summary().completed, 6);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn many_tasks_fan_out() {
+        let dfk = dfk();
+        let futs: Vec<AppFuture> = (0..200)
+            .map(|i| dfk.submit("w", vec![AppArg::value(i as i64)], add_app()))
+            .collect();
+        let total: i64 = futs.iter().map(|f| f.result().unwrap().as_int().unwrap()).sum();
+        assert_eq!(total, (0..200).sum::<i64>());
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn memoization_skips_repeat_executions() {
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_memoization());
+        let executions = Arc::new(AtomicUsize::new(0));
+        let body = {
+            let executions = executions.clone();
+            FnApp::new(move |vals: &[Value]| {
+                executions.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Int(vals[0].as_int().unwrap() * 2))
+            })
+        };
+        let a = dfk.submit("dbl", vec![AppArg::value(21i64)], body.clone());
+        assert_eq!(a.result().unwrap(), Value::Int(42));
+        // Same label + same inputs → memo hit, body not re-run.
+        let b = dfk.submit("dbl", vec![AppArg::value(21i64)], body.clone());
+        assert_eq!(b.result().unwrap(), Value::Int(42));
+        // Different inputs → executes.
+        let c = dfk.submit("dbl", vec![AppArg::value(5i64)], body.clone());
+        assert_eq!(c.result().unwrap(), Value::Int(10));
+        // Different label, same inputs → executes.
+        let d = dfk.submit("other", vec![AppArg::value(21i64)], body);
+        assert_eq!(d.result().unwrap(), Value::Int(42));
+        assert_eq!(executions.load(Ordering::SeqCst), 3);
+        assert_eq!(dfk.monitoring().summary().memoized, 1);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn memoization_ignores_failures_and_respects_future_inputs() {
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_memoization());
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let flaky = {
+            let attempts = attempts.clone();
+            FnApp::new(move |_: &[Value]| {
+                if attempts.fetch_add(1, Ordering::SeqCst) == 0 {
+                    Err(TaskError::failed("first try fails"))
+                } else {
+                    Ok(Value::str("ok"))
+                }
+            })
+        };
+        // First submission fails — failures are not cached.
+        assert!(dfk.submit("flaky", vec![AppArg::value(1i64)], flaky.clone()).result().is_err());
+        // Second submission with the same inputs re-executes and succeeds.
+        assert_eq!(
+            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky.clone()).result().unwrap(),
+            Value::str("ok")
+        );
+        // Third is a memo hit of the success.
+        assert_eq!(
+            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky).result().unwrap(),
+            Value::str("ok")
+        );
+        assert_eq!(attempts.load(Ordering::SeqCst), 2);
+
+        // Future-valued inputs memoize on the *resolved* value.
+        let lit = dfk.submit("src", vec![], FnApp::new(|_| Ok(Value::Int(9))));
+        let runs = Arc::new(AtomicUsize::new(0));
+        let body = {
+            let runs = runs.clone();
+            FnApp::new(move |vals: &[Value]| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(vals[0].clone())
+            })
+        };
+        let via_future = dfk.submit("sel", vec![AppArg::future(&lit)], body.clone());
+        assert_eq!(via_future.result().unwrap(), Value::Int(9));
+        let via_literal = dfk.submit("sel", vec![AppArg::value(9i64)], body);
+        assert_eq!(via_literal.result().unwrap(), Value::Int(9));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "resolved-value memo must hit");
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn memoization_off_by_default() {
+        let dfk = dfk();
+        let runs = Arc::new(AtomicUsize::new(0));
+        let body = {
+            let runs = runs.clone();
+            FnApp::new(move |_: &[Value]| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            })
+        };
+        dfk.submit("x", vec![], body.clone()).result().unwrap();
+        dfk.submit("x", vec![], body).result().unwrap();
+        assert_eq!(runs.load(Ordering::SeqCst), 2);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn htex_config_end_to_end() {
+        use crate::htex::HtexConfig;
+        use crate::provider::LocalProvider;
+        use gridsim::LatencyModel;
+        let config = Config::htex(
+            HtexConfig {
+                label: "htex-test".into(),
+                nodes: 2,
+                workers_per_node: 2,
+                latency: LatencyModel::in_process(),
+            },
+            Arc::new(LocalProvider::new(2)),
+        );
+        let dfk = DataFlowKernel::new(config);
+        let futs: Vec<AppFuture> = (0..10)
+            .map(|i| dfk.submit("h", vec![AppArg::value(i as i64)], add_app()))
+            .collect();
+        for (i, f) in futs.iter().enumerate() {
+            assert_eq!(f.result().unwrap(), Value::Int(i as i64));
+        }
+        dfk.shutdown();
+    }
+}

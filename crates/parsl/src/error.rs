@@ -1,0 +1,59 @@
+//! Task failure representation.
+
+use crate::task::TaskId;
+use std::fmt;
+
+/// Why a task did not produce a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TaskError {
+    /// The app body returned an error.
+    Failed(String),
+    /// A dependency of this task failed; carries the dependency chain.
+    DependencyFailed {
+        /// The failed upstream task.
+        dep: TaskId,
+        /// The upstream failure, flattened to text.
+        reason: String,
+    },
+    /// The app body panicked.
+    Panicked(String),
+    /// The kernel or executor was shut down before the task ran.
+    Shutdown,
+}
+
+impl TaskError {
+    /// Build a `Failed` from anything printable.
+    pub fn failed(msg: impl fmt::Display) -> Self {
+        TaskError::Failed(msg.to_string())
+    }
+}
+
+impl fmt::Display for TaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaskError::Failed(m) => write!(f, "task failed: {m}"),
+            TaskError::DependencyFailed { dep, reason } => {
+                write!(f, "dependency {dep} failed: {reason}")
+            }
+            TaskError::Panicked(m) => write!(f, "task panicked: {m}"),
+            TaskError::Shutdown => write!(f, "executor shut down before task ran"),
+        }
+    }
+}
+
+impl std::error::Error for TaskError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert_eq!(TaskError::failed("boom").to_string(), "task failed: boom");
+        assert_eq!(
+            TaskError::DependencyFailed { dep: TaskId(3), reason: "x".into() }.to_string(),
+            "dependency task3 failed: x"
+        );
+        assert!(TaskError::Shutdown.to_string().contains("shut down"));
+    }
+}

@@ -1,0 +1,224 @@
+//! The [`Executor`] abstraction and the in-process
+//! [`ThreadPoolExecutor`] — Parsl's single-node executor, used for the
+//! paper's Fig. 1b configuration.
+
+use crate::error::TaskError;
+use crate::future::{Promise, TaskResult};
+use crate::task::TaskId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::Arc;
+use yamlite::Value;
+
+/// The work handed to an executor: a ready-to-run body plus the promise to
+/// resolve with its outcome.
+pub struct TaskPayload {
+    /// Task identity (for logs).
+    pub id: TaskId,
+    /// The body to execute.
+    pub body: Box<dyn FnOnce() -> Result<Value, TaskError> + Send>,
+    /// The promise resolved with the outcome.
+    pub promise: Promise,
+}
+
+impl TaskPayload {
+    /// Execute the body (with panic isolation) and resolve the promise.
+    pub fn run(self) {
+        let result = run_isolated(self.body);
+        self.promise.complete(result);
+    }
+}
+
+/// Run a task body, converting panics into [`TaskError::Panicked`] so one
+/// bad app cannot take down a worker.
+pub fn run_isolated(body: Box<dyn FnOnce() -> Result<Value, TaskError> + Send>) -> TaskResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(result) => result,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "opaque panic payload".to_string());
+            Err(TaskError::Panicked(msg))
+        }
+    }
+}
+
+/// An execution backend, mirroring Parsl's `ParslExecutor` interface
+/// (itself modeled on `concurrent.futures.Executor`).
+pub trait Executor: Send + Sync {
+    /// Queue a task for execution. Must not block on task completion.
+    fn submit(&self, task: TaskPayload);
+
+    /// Human-readable label (appears in monitoring).
+    fn label(&self) -> &str;
+
+    /// Number of worker slots currently provisioned.
+    fn worker_count(&self) -> usize;
+
+    /// Stop accepting tasks and join workers. Queued tasks are completed
+    /// with [`TaskError::Shutdown`].
+    fn shutdown(&self);
+}
+
+enum Msg {
+    Task(TaskPayload),
+    Stop,
+}
+
+/// A fixed-size pool of worker threads fed from one queue — the
+/// `ThreadPoolExecutor` of the paper's single-node runs.
+pub struct ThreadPoolExecutor {
+    label: String,
+    tx: Sender<Msg>,
+    workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl ThreadPoolExecutor {
+    /// Spawn a pool with `workers` threads.
+    pub fn new(label: impl Into<String>, workers: usize) -> Arc<Self> {
+        let workers = workers.max(1);
+        let label = label.into();
+        let (tx, rx) = unbounded::<Msg>();
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx: Receiver<Msg> = rx.clone();
+            let name = format!("{label}-worker-{i}");
+            handles.push(
+                std::thread::Builder::new()
+                    .name(name)
+                    .spawn(move || worker_loop(rx))
+                    .expect("failed to spawn worker thread"),
+            );
+        }
+        Arc::new(Self {
+            label,
+            tx,
+            workers: parking_lot::Mutex::new(handles),
+            worker_count: workers,
+        })
+    }
+}
+
+fn worker_loop(rx: Receiver<Msg>) {
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            Msg::Task(task) => task.run(),
+            Msg::Stop => break,
+        }
+    }
+}
+
+impl Executor for ThreadPoolExecutor {
+    fn submit(&self, task: TaskPayload) {
+        if self.tx.send(Msg::Task(task)).is_err() {
+            // Channel closed: executor already shut down. The payload was
+            // moved into the failed send; nothing further to resolve here —
+            // crossbeam returns it, so recover and fail the promise.
+            unreachable!("unbounded channel send fails only after drop");
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+
+    fn worker_count(&self) -> usize {
+        self.worker_count
+    }
+
+    fn shutdown(&self) {
+        for _ in 0..self.worker_count {
+            let _ = self.tx.send(Msg::Stop);
+        }
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::future::promise_pair;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    fn payload(
+        id: u64,
+        body: impl FnOnce() -> Result<Value, TaskError> + Send + 'static,
+    ) -> (crate::future::AppFuture, TaskPayload) {
+        let (fut, promise) = promise_pair(TaskId(id));
+        (fut, TaskPayload { id: TaskId(id), body: Box::new(body), promise })
+    }
+
+    #[test]
+    fn executes_tasks() {
+        let pool = ThreadPoolExecutor::new("tp", 4);
+        let (fut, task) = payload(1, || Ok(Value::Int(7)));
+        pool.submit(task);
+        assert_eq!(fut.result().unwrap(), Value::Int(7));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn parallelism_actually_happens() {
+        let pool = ThreadPoolExecutor::new("tp", 4);
+        let running = Arc::new(AtomicUsize::new(0));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let mut futs = Vec::new();
+        for i in 0..8 {
+            let running = running.clone();
+            let peak = peak.clone();
+            let (fut, task) = payload(i, move || {
+                let now = running.fetch_add(1, Ordering::SeqCst) + 1;
+                peak.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(30));
+                running.fetch_sub(1, Ordering::SeqCst);
+                Ok(Value::Null)
+            });
+            pool.submit(task);
+            futs.push(fut);
+        }
+        for f in &futs {
+            f.result().unwrap();
+        }
+        assert!(peak.load(Ordering::SeqCst) >= 3, "peak {:?}", peak);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panics_are_isolated() {
+        let pool = ThreadPoolExecutor::new("tp", 2);
+        let (bad, task) = payload(1, || panic!("kaboom"));
+        pool.submit(task);
+        match bad.result() {
+            Err(TaskError::Panicked(m)) => assert!(m.contains("kaboom")),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Pool still works afterwards.
+        let (ok, task) = payload(2, || Ok(Value::Int(1)));
+        pool.submit(task);
+        assert_eq!(ok.result().unwrap(), Value::Int(1));
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_workers() {
+        let pool = ThreadPoolExecutor::new("tp", 2);
+        let (fut, task) = payload(1, || Ok(Value::Null));
+        pool.submit(task);
+        fut.result().unwrap();
+        pool.shutdown();
+        assert!(pool.workers.lock().is_empty());
+    }
+
+    #[test]
+    fn zero_workers_clamped_to_one() {
+        let pool = ThreadPoolExecutor::new("tp", 0);
+        assert_eq!(pool.worker_count(), 1);
+        pool.shutdown();
+    }
+}

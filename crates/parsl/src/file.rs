@@ -1,0 +1,135 @@
+//! Parsl's `File` abstraction: a location-transparent handle to a file that
+//! apps exchange. In the Python original, `File` hides protocol/staging
+//! differences (local, FTP, Globus); here all execution is node-local, so
+//! the type carries path metadata and existence checks, keeping the same
+//! API shape the CWL bridge expects.
+
+use std::path::{Path, PathBuf};
+
+/// A file handle exchanged between apps.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct File {
+    path: PathBuf,
+}
+
+impl File {
+    /// Wrap a path.
+    pub fn new(path: impl Into<PathBuf>) -> Self {
+        Self { path: path.into() }
+    }
+
+    /// The underlying path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The file name portion (CWL's `basename`).
+    pub fn basename(&self) -> String {
+        self.path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    }
+
+    /// Basename without the final extension (CWL's `nameroot`).
+    pub fn nameroot(&self) -> String {
+        self.path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default()
+    }
+
+    /// The final extension including the dot (CWL's `nameext`).
+    pub fn nameext(&self) -> String {
+        self.path
+            .extension()
+            .map(|s| format!(".{}", s.to_string_lossy()))
+            .unwrap_or_default()
+    }
+
+    /// Whether the file currently exists on disk.
+    pub fn exists(&self) -> bool {
+        self.path.exists()
+    }
+
+    /// Size in bytes (None when missing).
+    pub fn size(&self) -> Option<u64> {
+        std::fs::metadata(&self.path).ok().map(|m| m.len())
+    }
+
+    /// Render as a CWL File object value (`class: File`, path, basename…).
+    pub fn to_cwl_value(&self) -> yamlite::Value {
+        let mut m = yamlite::Map::new();
+        m.insert("class", "File");
+        m.insert("path", self.path.to_string_lossy().into_owned());
+        m.insert("basename", self.basename());
+        m.insert("nameroot", self.nameroot());
+        m.insert("nameext", self.nameext());
+        if let Some(size) = self.size() {
+            m.insert("size", size as i64);
+        }
+        yamlite::Value::Map(m)
+    }
+}
+
+impl std::fmt::Display for File {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.path.display())
+    }
+}
+
+impl From<&str> for File {
+    fn from(s: &str) -> Self {
+        File::new(s)
+    }
+}
+
+impl From<PathBuf> for File {
+    fn from(p: PathBuf) -> Self {
+        File::new(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_parts() {
+        let f = File::new("/data/images/photo.tar.gz");
+        assert_eq!(f.basename(), "photo.tar.gz");
+        assert_eq!(f.nameroot(), "photo.tar");
+        assert_eq!(f.nameext(), ".gz");
+    }
+
+    #[test]
+    fn no_extension() {
+        let f = File::new("/data/README");
+        assert_eq!(f.basename(), "README");
+        assert_eq!(f.nameroot(), "README");
+        assert_eq!(f.nameext(), "");
+    }
+
+    #[test]
+    fn existence_and_size() {
+        let dir = std::env::temp_dir().join(format!("parsl-file-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("x.txt");
+        let f = File::new(&p);
+        assert!(!f.exists());
+        std::fs::write(&p, b"hello").unwrap();
+        assert!(f.exists());
+        assert_eq!(f.size(), Some(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cwl_value_shape() {
+        let f = File::new("/a/b.png");
+        let v = f.to_cwl_value();
+        assert_eq!(v["class"].as_str(), Some("File"));
+        assert_eq!(v["path"].as_str(), Some("/a/b.png"));
+        assert_eq!(v["basename"].as_str(), Some("b.png"));
+        assert_eq!(v["nameext"].as_str(), Some(".png"));
+    }
+}

@@ -1,0 +1,304 @@
+//! Completion futures, built the way Rust Atomics & Locks builds blocking
+//! primitives: a Mutex-guarded state plus a Condvar for waiters, extended
+//! with completion callbacks so the dataflow kernel never polls.
+
+use crate::error::TaskError;
+use crate::file::File;
+use crate::task::TaskId;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yamlite::Value;
+
+/// The outcome a future resolves to.
+pub type TaskResult = Result<Value, TaskError>;
+
+type Callback = Box<dyn FnOnce(&TaskResult) + Send>;
+
+struct FutState {
+    result: Option<TaskResult>,
+    callbacks: Vec<Callback>,
+}
+
+struct Shared {
+    state: Mutex<FutState>,
+    cond: Condvar,
+}
+
+/// The future returned when an app is invoked: tracks the asynchronous
+/// execution of the app. Cheap to clone; all clones observe the same result.
+#[derive(Clone)]
+pub struct AppFuture {
+    shared: Arc<Shared>,
+    id: TaskId,
+}
+
+impl std::fmt::Debug for AppFuture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let done = self.shared.state.lock().result.is_some();
+        f.debug_struct("AppFuture")
+            .field("id", &self.id)
+            .field("done", &done)
+            .finish()
+    }
+}
+
+/// The write side of an [`AppFuture`]. Completing twice is a logic error and
+/// is ignored (first completion wins), matching `concurrent.futures`.
+pub struct Promise {
+    shared: Arc<Shared>,
+}
+
+/// Create a connected future/promise pair for task `id`.
+pub fn promise_pair(id: TaskId) -> (AppFuture, Promise) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(FutState { result: None, callbacks: Vec::new() }),
+        cond: Condvar::new(),
+    });
+    (AppFuture { shared: shared.clone(), id }, Promise { shared })
+}
+
+impl Promise {
+    /// Resolve the future. Callbacks run inline on the completing thread.
+    pub fn complete(self, result: TaskResult) {
+        let callbacks = {
+            let mut st = self.shared.state.lock();
+            if st.result.is_some() {
+                return; // first completion wins
+            }
+            st.result = Some(result);
+            std::mem::take(&mut st.callbacks)
+        };
+        self.shared.cond.notify_all();
+        let st = self.shared.state.lock();
+        let result_ref = st.result.as_ref().expect("just set");
+        // Clone out so callbacks run without holding the lock.
+        let snapshot = result_ref.clone();
+        drop(st);
+        for cb in callbacks {
+            cb(&snapshot);
+        }
+    }
+}
+
+impl AppFuture {
+    /// The task this future tracks.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Whether the result is available.
+    pub fn done(&self) -> bool {
+        self.shared.state.lock().result.is_some()
+    }
+
+    /// Block until the result is available and return it.
+    pub fn result(&self) -> TaskResult {
+        let mut st = self.shared.state.lock();
+        while st.result.is_none() {
+            self.shared.cond.wait(&mut st);
+        }
+        st.result.clone().expect("checked above")
+    }
+
+    /// Block up to `timeout`; `None` when the deadline passes first.
+    pub fn result_timeout(&self, timeout: Duration) -> Option<TaskResult> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        while st.result.is_none() {
+            if self.shared.cond.wait_until(&mut st, deadline).timed_out() {
+                return st.result.clone();
+            }
+        }
+        st.result.clone()
+    }
+
+    /// Peek without blocking.
+    pub fn peek(&self) -> Option<TaskResult> {
+        self.shared.state.lock().result.clone()
+    }
+
+    /// Register a completion callback. If the future is already complete the
+    /// callback runs immediately on the calling thread.
+    pub fn on_complete(&self, cb: impl FnOnce(&TaskResult) + Send + 'static) {
+        let mut st = self.shared.state.lock();
+        if let Some(r) = st.result.clone() {
+            drop(st);
+            cb(&r);
+        } else {
+            st.callbacks.push(Box::new(cb));
+        }
+    }
+
+    /// A future that is already complete (useful for literals and tests).
+    pub fn ready(id: TaskId, result: TaskResult) -> Self {
+        let (fut, promise) = promise_pair(id);
+        promise.complete(result);
+        fut
+    }
+}
+
+/// Wait for all futures to complete (any outcome). Returns their results in
+/// order. Equivalent to `concurrent.futures.wait(..., ALL_COMPLETED)`.
+pub fn wait_all(futures: &[AppFuture]) -> Vec<TaskResult> {
+    futures.iter().map(AppFuture::result).collect()
+}
+
+/// A future for a file an app will produce — Parsl's `DataFuture`. It
+/// resolves to the [`File`] once the producing task completes.
+#[derive(Clone, Debug)]
+pub struct DataFuture {
+    /// The file that will exist on success.
+    file: File,
+    /// The producing task's future.
+    parent: AppFuture,
+}
+
+impl DataFuture {
+    /// Track `file` as an output of the task behind `parent`.
+    pub fn new(file: File, parent: AppFuture) -> Self {
+        Self { file, parent }
+    }
+
+    /// The file path this future will materialize (available immediately —
+    /// paths are known before execution, like Parsl's `DataFuture.filepath`).
+    pub fn filepath(&self) -> &std::path::Path {
+        self.file.path()
+    }
+
+    /// The file object (path metadata only; may not exist yet).
+    pub fn file(&self) -> &File {
+        &self.file
+    }
+
+    /// The producing task's future.
+    pub fn parent(&self) -> &AppFuture {
+        &self.parent
+    }
+
+    /// Block until the producing task completes; returns the file on
+    /// success.
+    pub fn result(&self) -> Result<File, TaskError> {
+        self.parent.result()?;
+        Ok(self.file.clone())
+    }
+
+    /// Whether the producing task has completed.
+    pub fn done(&self) -> bool {
+        self.parent.done()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn complete_then_result() {
+        let (fut, promise) = promise_pair(TaskId(1));
+        assert!(!fut.done());
+        promise.complete(Ok(Value::Int(42)));
+        assert!(fut.done());
+        assert_eq!(fut.result().unwrap(), Value::Int(42));
+        assert_eq!(fut.peek().unwrap().unwrap(), Value::Int(42));
+    }
+
+    #[test]
+    fn result_blocks_until_complete() {
+        let (fut, promise) = promise_pair(TaskId(1));
+        let f2 = fut.clone();
+        let t = std::thread::spawn(move || f2.result());
+        std::thread::sleep(Duration::from_millis(20));
+        promise.complete(Ok(Value::str("late")));
+        assert_eq!(t.join().unwrap().unwrap(), Value::str("late"));
+    }
+
+    #[test]
+    fn result_timeout_expires() {
+        let (fut, _promise) = promise_pair(TaskId(1));
+        let t = Instant::now();
+        assert!(fut.result_timeout(Duration::from_millis(30)).is_none());
+        assert!(t.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn callbacks_fire_on_completion() {
+        let (fut, promise) = promise_pair(TaskId(1));
+        let hits = Arc::new(AtomicUsize::new(0));
+        for _ in 0..3 {
+            let hits = hits.clone();
+            fut.on_complete(move |r| {
+                assert!(r.is_ok());
+                hits.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        assert_eq!(hits.load(Ordering::SeqCst), 0);
+        promise.complete(Ok(Value::Null));
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn callback_after_completion_runs_inline() {
+        let fut = AppFuture::ready(TaskId(9), Err(TaskError::failed("x")));
+        let hits = Arc::new(AtomicUsize::new(0));
+        let h = hits.clone();
+        fut.on_complete(move |r| {
+            assert!(r.is_err());
+            h.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn double_complete_first_wins() {
+        let (fut, p1) = promise_pair(TaskId(1));
+        let p2 = Promise { shared: p1.shared.clone() };
+        p1.complete(Ok(Value::Int(1)));
+        p2.complete(Ok(Value::Int(2)));
+        assert_eq!(fut.result().unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn many_waiters_all_wake() {
+        let (fut, promise) = promise_pair(TaskId(1));
+        let mut threads = Vec::new();
+        for _ in 0..8 {
+            let f = fut.clone();
+            threads.push(std::thread::spawn(move || f.result()));
+        }
+        std::thread::sleep(Duration::from_millis(10));
+        promise.complete(Ok(Value::Int(5)));
+        for t in threads {
+            assert_eq!(t.join().unwrap().unwrap(), Value::Int(5));
+        }
+    }
+
+    #[test]
+    fn wait_all_collects_in_order() {
+        let futs: Vec<AppFuture> = (0..4)
+            .map(|i| AppFuture::ready(TaskId(i), Ok(Value::Int(i as i64))))
+            .collect();
+        let results = wait_all(&futs);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.clone().unwrap(), Value::Int(i as i64));
+        }
+    }
+
+    #[test]
+    fn data_future_resolves_with_parent() {
+        let (fut, promise) = promise_pair(TaskId(1));
+        let df = DataFuture::new(File::new("/tmp/out.rimg"), fut);
+        assert_eq!(df.filepath(), std::path::Path::new("/tmp/out.rimg"));
+        assert!(!df.done());
+        promise.complete(Ok(Value::Null));
+        assert_eq!(df.result().unwrap().path(), std::path::Path::new("/tmp/out.rimg"));
+    }
+
+    #[test]
+    fn data_future_propagates_failure() {
+        let fut = AppFuture::ready(TaskId(2), Err(TaskError::failed("producer died")));
+        let df = DataFuture::new(File::new("/tmp/x"), fut);
+        assert!(df.result().is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! Task-lifecycle monitoring — a lightweight stand-in for Parsl's
+//! monitoring database: an in-memory, thread-safe event log the bench
+//! harness and tests can query.
+
+use crate::task::{TaskId, TaskState};
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// What happened to a task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TaskEventKind {
+    Submitted,
+    Launched,
+    Completed,
+    Failed,
+    Retried,
+    /// Completed from the memo table without executing.
+    Memoized,
+}
+
+/// One monitoring record.
+#[derive(Debug, Clone)]
+pub struct TaskEvent {
+    pub task: TaskId,
+    pub kind: TaskEventKind,
+    /// Time since the log was created.
+    pub at: Duration,
+    /// Task label (app name).
+    pub label: String,
+}
+
+/// Aggregated counts per final state.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaskSummary {
+    pub submitted: usize,
+    pub completed: usize,
+    pub failed: usize,
+    pub retried: usize,
+    pub memoized: usize,
+}
+
+/// The in-memory event log.
+pub struct MonitoringLog {
+    start: Instant,
+    events: Mutex<Vec<TaskEvent>>,
+}
+
+impl Default for MonitoringLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MonitoringLog {
+    /// An empty log; timestamps are relative to this call.
+    pub fn new() -> Self {
+        Self { start: Instant::now(), events: Mutex::new(Vec::new()) }
+    }
+
+    /// Append an event.
+    pub fn record(&self, task: TaskId, kind: TaskEventKind, label: &str) {
+        self.events.lock().push(TaskEvent {
+            task,
+            kind,
+            at: self.start.elapsed(),
+            label: label.to_string(),
+        });
+    }
+
+    /// Snapshot of all events so far.
+    pub fn events(&self) -> Vec<TaskEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Aggregate counts.
+    pub fn summary(&self) -> TaskSummary {
+        let events = self.events.lock();
+        let mut s = TaskSummary::default();
+        for e in events.iter() {
+            match e.kind {
+                TaskEventKind::Submitted => s.submitted += 1,
+                TaskEventKind::Completed => s.completed += 1,
+                TaskEventKind::Failed => s.failed += 1,
+                TaskEventKind::Retried => s.retried += 1,
+                TaskEventKind::Memoized => s.memoized += 1,
+                TaskEventKind::Launched => {}
+            }
+        }
+        s
+    }
+
+    /// Observed makespan: time from first submit to last completion event.
+    pub fn makespan(&self) -> Option<Duration> {
+        let events = self.events.lock();
+        let first = events.first()?.at;
+        let last = events
+            .iter()
+            .filter(|e| matches!(e.kind, TaskEventKind::Completed | TaskEventKind::Failed))
+            .map(|e| e.at)
+            .max()?;
+        Some(last.saturating_sub(first))
+    }
+}
+
+/// Final state derived from an event sequence (helper for tests/tools).
+pub fn final_state(events: &[TaskEvent], task: TaskId) -> Option<TaskState> {
+    let mut state = None;
+    for e in events.iter().filter(|e| e.task == task) {
+        state = Some(match e.kind {
+            TaskEventKind::Submitted => TaskState::Pending,
+            TaskEventKind::Launched | TaskEventKind::Retried | TaskEventKind::Memoized => {
+                TaskState::Launched
+            }
+            TaskEventKind::Completed => TaskState::Done,
+            TaskEventKind::Failed => TaskState::Failed,
+        });
+    }
+    state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_summarizes() {
+        let log = MonitoringLog::new();
+        log.record(TaskId(1), TaskEventKind::Submitted, "a");
+        log.record(TaskId(1), TaskEventKind::Launched, "a");
+        log.record(TaskId(1), TaskEventKind::Completed, "a");
+        log.record(TaskId(2), TaskEventKind::Submitted, "b");
+        log.record(TaskId(2), TaskEventKind::Failed, "b");
+        let s = log.summary();
+        assert_eq!(
+            s,
+            TaskSummary { submitted: 2, completed: 1, failed: 1, retried: 0, memoized: 0 }
+        );
+        assert_eq!(log.events().len(), 5);
+    }
+
+    #[test]
+    fn final_states() {
+        let log = MonitoringLog::new();
+        log.record(TaskId(1), TaskEventKind::Submitted, "a");
+        log.record(TaskId(1), TaskEventKind::Retried, "a");
+        log.record(TaskId(1), TaskEventKind::Completed, "a");
+        let events = log.events();
+        assert_eq!(final_state(&events, TaskId(1)), Some(TaskState::Done));
+        assert_eq!(final_state(&events, TaskId(9)), None);
+    }
+
+    #[test]
+    fn makespan_spans_first_to_last() {
+        let log = MonitoringLog::new();
+        log.record(TaskId(1), TaskEventKind::Submitted, "a");
+        std::thread::sleep(Duration::from_millis(15));
+        log.record(TaskId(1), TaskEventKind::Completed, "a");
+        assert!(log.makespan().unwrap() >= Duration::from_millis(10));
+        let empty = MonitoringLog::new();
+        assert!(empty.makespan().is_none());
+    }
+}

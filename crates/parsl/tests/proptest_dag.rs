@@ -1,0 +1,124 @@
+//! Property test: random layered DAGs executed through the DataFlowKernel
+//! must produce exactly the values a sequential reference evaluation gives,
+//! regardless of executor interleaving.
+
+use parsl::{AppArg, Config, DataFlowKernel, FnApp};
+use proptest::prelude::*;
+use yamlite::Value;
+
+/// A generated DAG: layers of nodes; each node sums a constant plus the
+/// results of up to 3 upstream nodes from earlier layers.
+#[derive(Debug, Clone)]
+struct DagSpec {
+    /// For each node: (constant, upstream node indices).
+    nodes: Vec<(i64, Vec<usize>)>,
+}
+
+fn dag_strategy() -> impl Strategy<Value = DagSpec> {
+    // Build 2..5 layers with 1..5 nodes each; edges point to any earlier node.
+    proptest::collection::vec(1usize..5, 2..5)
+        .prop_flat_map(|layer_sizes| {
+            let total: usize = layer_sizes.iter().sum();
+            let mut layer_of = Vec::with_capacity(total);
+            for (layer_idx, sz) in layer_sizes.iter().enumerate() {
+                for _ in 0..*sz {
+                    layer_of.push(layer_idx);
+                }
+            }
+            let node_strats: Vec<_> = (0..total)
+                .map(|i| {
+                    let earlier: Vec<usize> = (0..i)
+                        .filter(|j| layer_of[*j] < layer_of[i])
+                        .collect();
+                    let deps = if earlier.is_empty() {
+                        Just(Vec::new()).boxed()
+                    } else {
+                        proptest::collection::vec(
+                            proptest::sample::select(earlier),
+                            0..3usize,
+                        )
+                        .boxed()
+                    };
+                    (-100i64..100, deps)
+                })
+                .collect();
+            node_strats
+        })
+        .prop_map(|nodes| DagSpec { nodes })
+}
+
+/// Sequential reference evaluation.
+fn reference(dag: &DagSpec) -> Vec<i64> {
+    let mut vals = Vec::with_capacity(dag.nodes.len());
+    for (constant, deps) in &dag.nodes {
+        let mut v = *constant;
+        for d in deps {
+            v += vals[*d];
+        }
+        vals.push(v);
+    }
+    vals
+}
+
+fn run_on_kernel(dag: &DagSpec, workers: usize) -> Vec<i64> {
+    let dfk = DataFlowKernel::new(Config::local_threads(workers));
+    let body = FnApp::new(|vals: &[Value]| {
+        let mut total = 0i64;
+        for v in vals {
+            total += v.as_int().expect("int inputs");
+        }
+        Ok(Value::Int(total))
+    });
+    let mut futs = Vec::with_capacity(dag.nodes.len());
+    for (constant, deps) in &dag.nodes {
+        let mut args = vec![AppArg::value(*constant)];
+        for d in deps {
+            let f: &parsl::AppFuture = &futs[*d];
+            args.push(AppArg::future(f));
+        }
+        futs.push(dfk.submit("node", args, body.clone()));
+    }
+    let out: Vec<i64> = futs
+        .iter()
+        .map(|f| f.result().expect("task ok").as_int().expect("int"))
+        .collect();
+    dfk.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dag_execution_matches_reference(dag in dag_strategy(), workers in 1usize..6) {
+        let expected = reference(&dag);
+        let got = run_on_kernel(&dag, workers);
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dag_with_memoization_matches_reference(dag in dag_strategy()) {
+        // Memoization may collapse identical (label, inputs) pairs but must
+        // never change any node's value.
+        let expected = reference(&dag);
+        let dfk = DataFlowKernel::new(Config::local_threads(4).with_memoization());
+        let body = FnApp::new(|vals: &[Value]| {
+            Ok(Value::Int(vals.iter().filter_map(Value::as_int).sum()))
+        });
+        let mut futs = Vec::with_capacity(dag.nodes.len());
+        for (constant, deps) in &dag.nodes {
+            let mut args = vec![AppArg::value(*constant)];
+            for d in deps {
+                let f: &parsl::AppFuture = &futs[*d];
+                args.push(AppArg::future(f));
+            }
+            futs.push(dfk.submit("node", args, body.clone()));
+        }
+        let got: Vec<i64> = futs
+            .iter()
+            .map(|f| f.result().expect("task ok").as_int().expect("int"))
+            .collect();
+        dfk.shutdown();
+        prop_assert_eq!(got, expected);
+    }
+}

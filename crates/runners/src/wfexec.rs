@@ -1,0 +1,465 @@
+//! The generic workflow executor both baseline runners are built from.
+//!
+//! Execution model (mirroring `cwltool --parallel`): repeatedly collect the
+//! steps whose upstream steps have completed, expand scatter, and run the
+//! resulting leaf jobs on a bounded slot pool. Architectural costs (process
+//! start-up, job-store I/O, revalidation, submit/poll latency) come from the
+//! [`ExecProfile`].
+
+use crate::pool::run_parallel;
+use crate::profile::ExecProfile;
+use crate::report::RunReport;
+use cwl::input::normalize_value;
+use cwl::loader::{load_document, resolve_run, CwlDocument};
+use cwl::workflow::{RunRef, Step, Workflow};
+use cwl::CommandLineTool;
+use cwlexec::{engine_for, execute_tool, ToolDispatch};
+use expr::{interpolate, EvalContext};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use yamlite::{Map, Value};
+
+/// A step's resolved run target, loaded once up front (all runners cache
+/// parsed documents; the *revalidation* knob models cwltool's per-job
+/// reprocessing separately).
+struct ResolvedStep {
+    doc: CwlDocument,
+    /// Raw document text, kept for per-task revalidation cost.
+    raw: Option<String>,
+    /// Directory for resolving the step document's own references.
+    base_dir: PathBuf,
+}
+
+/// The generic executor. See [`crate::RefRunner`] / [`crate::ToilRunner`]
+/// for the configured baselines.
+pub struct WorkflowExecutor {
+    /// Cost/scheduling profile.
+    pub profile: ExecProfile,
+    dispatch: Arc<dyn ToolDispatch>,
+    tasks: AtomicUsize,
+}
+
+impl WorkflowExecutor {
+    /// Build an executor.
+    pub fn new(profile: ExecProfile, dispatch: Arc<dyn ToolDispatch>) -> Self {
+        Self { profile, dispatch, tasks: AtomicUsize::new(0) }
+    }
+
+    /// Execute the CWL file at `path` with `provided` inputs, placing all
+    /// working files under `workdir`. Works for both CommandLineTools and
+    /// Workflows (including scatter and subworkflows).
+    pub fn run_file(
+        &self,
+        path: impl AsRef<Path>,
+        provided: &Map,
+        workdir: impl AsRef<Path>,
+    ) -> Result<RunReport, String> {
+        let path = path.as_ref();
+        let workdir = workdir.as_ref();
+        std::fs::create_dir_all(workdir)
+            .map_err(|e| format!("cannot create workdir {}: {e}", workdir.display()))?;
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let doc = load_document(
+            &yamlite::parse_str(&raw).map_err(|e| format!("{}: {e}", path.display()))?,
+        )
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+        let base_dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+
+        self.tasks.store(0, Ordering::SeqCst);
+        let start = Instant::now();
+        let outputs = match &doc {
+            CwlDocument::Tool(tool) => {
+                // Single-tool runs pay the coordinator setup once.
+                let bytes = yamlite::to_string_flow(&Value::Map(provided.clone())).len();
+                let kib = (bytes as f64 / 1024.0).ceil() as u32;
+                gridsim::pay(self.profile.setup_per_task + self.profile.setup_per_kib * kib);
+                self.run_tool_task(tool, Some(&raw), provided, workdir)?
+            }
+            CwlDocument::Workflow(wf) => self.run_workflow(wf, &base_dir, provided, workdir)?,
+        };
+        Ok(RunReport {
+            runner: self.profile.name.clone(),
+            outputs,
+            tasks: self.tasks.load(Ordering::SeqCst),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Execute one leaf tool task, paying the profile's per-task costs.
+    fn run_tool_task(
+        &self,
+        tool: &CommandLineTool,
+        raw: Option<&str>,
+        provided: &Map,
+        workdir: &Path,
+    ) -> Result<Map, String> {
+        // Per-task interpreter/process start-up.
+        gridsim::pay(self.profile.per_task_overhead);
+
+        // cwltool-style per-job document reprocessing (real work).
+        if self.profile.revalidate_per_task {
+            if let Some(raw) = raw {
+                let doc = yamlite::parse_str(raw).map_err(|e| format!("revalidation: {e}"))?;
+                let diags = cwl::validate_document(&doc);
+                if !cwl::validate::is_valid(&diags) {
+                    return Err(format!("revalidation failed: {}", diags[0]));
+                }
+            }
+        }
+
+        // Toil-style job store round trip: persist the job description,
+        // pay the batch submit latency.
+        let task_no = self.tasks.fetch_add(1, Ordering::SeqCst);
+        let job_file = if let Some(store) = &self.profile.job_store {
+            std::fs::create_dir_all(store)
+                .map_err(|e| format!("cannot create job store: {e}"))?;
+            let job_file = store.join(format!("job-{task_no}.yml"));
+            let mut desc = Map::new();
+            desc.insert("tool", tool.id.clone().unwrap_or_else(|| "anonymous".into()));
+            desc.insert("inputs", Value::Map(provided.clone()));
+            std::fs::write(&job_file, yamlite::to_string(&Value::Map(desc)))
+                .map_err(|e| format!("cannot write job file: {e}"))?;
+            gridsim::pay(self.profile.submit_latency);
+            Some(job_file)
+        } else {
+            None
+        };
+
+        let engine = engine_for(&tool.requirements, self.profile.js_cost.clone())?;
+        let result = execute_tool(tool, provided, workdir, engine.as_ref(), self.dispatch.as_ref());
+
+        if let Some(job_file) = job_file {
+            // Persist the outcome and pay the leader's poll-discovery delay
+            // (half an interval on average).
+            let status = if result.is_ok() { "done" } else { "failed" };
+            let _ = std::fs::write(
+                job_file.with_extension("status"),
+                format!("{status}\n"),
+            );
+            gridsim::pay(self.profile.poll_interval / 2);
+        }
+
+        result.map(|run| run.outputs)
+    }
+
+    /// Execute a workflow: ready-wave scheduling with scatter expansion.
+    fn run_workflow(
+        &self,
+        wf: &Workflow,
+        base_dir: &Path,
+        provided: &Map,
+        workdir: &Path,
+    ) -> Result<Map, String> {
+        // Check structure first (cheap; mirrors runners validating upfront).
+        wf.topo_order()?;
+
+        // Resolve workflow inputs.
+        let mut wf_inputs = Map::with_capacity(wf.inputs.len());
+        for key in provided.keys() {
+            if !wf.inputs.iter().any(|i| i.id == key) {
+                return Err(format!("unknown workflow input {key:?}"));
+            }
+        }
+        for input in &wf.inputs {
+            let raw = provided
+                .get(&input.id)
+                .cloned()
+                .or_else(|| input.default.clone())
+                .unwrap_or(Value::Null);
+            if raw.is_null() && !input.typ.allows_null() {
+                return Err(format!("missing required workflow input {:?}", input.id));
+            }
+            let v = normalize_value(&raw, &input.typ)
+                .map_err(|e| format!("workflow input {:?}: {e}", input.id))?;
+            wf_inputs.insert(input.id.clone(), v);
+        }
+
+        // Load each step's run target once.
+        let mut resolved: Vec<ResolvedStep> = Vec::with_capacity(wf.steps.len());
+        for step in &wf.steps {
+            let (doc, raw, step_base) = match &step.run {
+                RunRef::Path(p) => {
+                    let path = if Path::new(p).is_absolute() {
+                        PathBuf::from(p)
+                    } else {
+                        base_dir.join(p)
+                    };
+                    let raw = std::fs::read_to_string(&path)
+                        .map_err(|e| format!("step {:?}: cannot read {}: {e}", step.id, path.display()))?;
+                    let doc = load_document(
+                        &yamlite::parse_str(&raw)
+                            .map_err(|e| format!("step {:?}: {e}", step.id))?,
+                    )
+                    .map_err(|e| format!("step {:?}: {e}", step.id))?;
+                    let dir = path.parent().unwrap_or(base_dir).to_path_buf();
+                    (doc, Some(raw), dir)
+                }
+                inline @ RunRef::Inline(_) => {
+                    let doc = resolve_run(inline, base_dir)
+                        .map_err(|e| format!("step {:?}: {e}", step.id))?;
+                    (doc, None, base_dir.to_path_buf())
+                }
+            };
+            if matches!(doc, CwlDocument::Workflow(_)) && !wf.requirements.subworkflow {
+                return Err(format!(
+                    "step {:?} runs a nested workflow but SubworkflowFeatureRequirement is absent",
+                    step.id
+                ));
+            }
+            resolved.push(ResolvedStep { doc, raw, base_dir: step_base });
+        }
+
+        // Expression engine for step-level valueFrom.
+        let wf_engine = engine_for(&wf.requirements, self.profile.js_cost.clone())?;
+
+        let mut completed: HashMap<String, Value> = HashMap::new();
+        let mut done: HashSet<usize> = HashSet::new();
+
+        while done.len() < wf.steps.len() {
+            let ready: Vec<usize> = (0..wf.steps.len())
+                .filter(|i| !done.contains(i))
+                .filter(|&i| {
+                    wf.steps[i]
+                        .upstream_steps()
+                        .iter()
+                        .all(|up| wf.step(up).is_some() && done.contains(
+                            &wf.steps.iter().position(|s| &s.id == up).expect("validated"),
+                        ))
+                })
+                .collect();
+            if ready.is_empty() {
+                return Err("workflow scheduling deadlock (cycle?)".to_string());
+            }
+
+            // Expand every ready step into leaf jobs.
+            struct Job<'a> {
+                step_idx: usize,
+                scatter_idx: Option<usize>,
+                inputs: Map,
+                rstep: &'a ResolvedStep,
+                step: &'a Step,
+            }
+            let mut jobs: Vec<Job> = Vec::new();
+            for &i in &ready {
+                let step = &wf.steps[i];
+                let rstep = &resolved[i];
+                let base = self.step_base_inputs(step, &wf_inputs, &completed)?;
+                if step.scatter.is_empty() {
+                    let inputs = self.apply_value_from(step, base, wf_engine.as_ref())?;
+                    jobs.push(Job { step_idx: i, scatter_idx: None, inputs, rstep, step });
+                } else {
+                    let n = scatter_len(step, &base)?;
+                    for k in 0..n {
+                        let mut inst = base.clone();
+                        for target in &step.scatter {
+                            let arr = inst
+                                .get(target)
+                                .and_then(Value::as_seq)
+                                .expect("scatter_len validated arrays");
+                            let element = arr[k].clone();
+                            inst.insert(target.clone(), element);
+                        }
+                        let inputs = self.apply_value_from(step, inst, wf_engine.as_ref())?;
+                        jobs.push(Job { step_idx: i, scatter_idx: Some(k), inputs, rstep, step });
+                    }
+                }
+            }
+
+            // Coordinator-side job construction: cwltool/Toil build each
+            // job object (deep copies of the job order) serially in the
+            // main process before any dispatch. Paid here, on the
+            // scheduling thread, proportional to each job's input size.
+            if !self.profile.setup_per_task.is_zero() || !self.profile.setup_per_kib.is_zero() {
+                for job in &jobs {
+                    let bytes = yamlite::to_string_flow(&Value::Map(job.inputs.clone())).len();
+                    let kib = (bytes as f64 / 1024.0).ceil() as u32;
+                    gridsim::pay(self.profile.setup_per_task + self.profile.setup_per_kib * kib);
+                }
+            }
+
+            // Run this wave's jobs on the bounded pool.
+            let closures: Vec<_> = jobs
+                .iter()
+                .map(|job| {
+                    let job_dir = match job.scatter_idx {
+                        None => workdir.join(&job.step.id),
+                        Some(k) => workdir.join(format!("{}_{k}", job.step.id)),
+                    };
+                    let inputs = job.inputs.clone();
+                    let rstep = job.rstep;
+                    let step = job.step;
+                    let wf_engine = &wf_engine;
+                    move || -> Result<Map, String> {
+                        // CWL v1.2 conditional execution: a falsy `when`
+                        // skips the step; its outputs become null.
+                        if let Some(when) = &step.when {
+                            let ctx = expr::EvalContext::from_inputs(Value::Map(inputs.clone()));
+                            let verdict = interpolate(when, wf_engine.as_ref(), &ctx)
+                                .map_err(|e| format!("step {:?} when: {e}", step.id))?;
+                            if !verdict.truthy() {
+                                let mut skipped = Map::with_capacity(step.out.len());
+                                for out_id in &step.out {
+                                    skipped.insert(out_id.clone(), Value::Null);
+                                }
+                                return Ok(skipped);
+                            }
+                        }
+                        match &rstep.doc {
+                            CwlDocument::Tool(tool) => self
+                                .run_tool_task(tool, rstep.raw.as_deref(), &inputs, &job_dir)
+                                .map_err(|e| format!("step {:?}: {e}", step.id)),
+                            CwlDocument::Workflow(sub) => self
+                                .run_workflow(sub, &rstep.base_dir, &inputs, &job_dir)
+                                .map_err(|e| format!("step {:?}: {e}", step.id)),
+                        }
+                    }
+                })
+                .collect();
+            let results = run_parallel(closures, self.profile.slots);
+
+            // Gather results back into `completed`.
+            let mut scatter_acc: HashMap<usize, Vec<Map>> = HashMap::new();
+            for (job, result) in jobs.iter().zip(results) {
+                let outputs = result?;
+                match job.scatter_idx {
+                    None => record_outputs(&wf.steps[job.step_idx], outputs, &mut completed)?,
+                    Some(_) => scatter_acc.entry(job.step_idx).or_default().push(outputs),
+                }
+            }
+            for (step_idx, parts) in scatter_acc {
+                let step = &wf.steps[step_idx];
+                for out_id in &step.out {
+                    let collected: Result<Vec<Value>, String> = parts
+                        .iter()
+                        .map(|m| {
+                            m.get(out_id).cloned().ok_or_else(|| {
+                                format!("step {:?} did not produce output {out_id:?}", step.id)
+                            })
+                        })
+                        .collect();
+                    completed.insert(format!("{}/{}", step.id, out_id), Value::Seq(collected?));
+                }
+            }
+            for i in ready {
+                done.insert(i);
+            }
+        }
+
+        // Wire workflow outputs.
+        let mut outputs = Map::with_capacity(wf.outputs.len());
+        for out in &wf.outputs {
+            let value = if out.output_source.contains('/') {
+                completed
+                    .get(&out.output_source)
+                    .cloned()
+                    .ok_or_else(|| format!("outputSource {:?} never produced", out.output_source))?
+            } else {
+                wf_inputs
+                    .get(&out.output_source)
+                    .cloned()
+                    .ok_or_else(|| format!("outputSource {:?} is not an input", out.output_source))?
+            };
+            outputs.insert(out.id.clone(), value);
+        }
+        Ok(outputs)
+    }
+
+    /// Resolve a step's inputs from sources and defaults (pre-scatter,
+    /// pre-valueFrom).
+    fn step_base_inputs(
+        &self,
+        step: &Step,
+        wf_inputs: &Map,
+        completed: &HashMap<String, Value>,
+    ) -> Result<Map, String> {
+        let mut out = Map::with_capacity(step.inputs.len());
+        for input in &step.inputs {
+            let mut value = match &input.source {
+                Some(src) if src.contains('/') => completed.get(src).cloned().ok_or_else(|| {
+                    format!("step {:?} input {:?}: source {src:?} not ready", step.id, input.id)
+                })?,
+                Some(src) => wf_inputs.get(src).cloned().ok_or_else(|| {
+                    format!(
+                        "step {:?} input {:?}: unknown workflow input {src:?}",
+                        step.id, input.id
+                    )
+                })?,
+                None => Value::Null,
+            };
+            if value.is_null() {
+                if let Some(default) = &input.default {
+                    value = default.clone();
+                }
+            }
+            out.insert(input.id.clone(), value);
+        }
+        Ok(out)
+    }
+
+    /// Apply `valueFrom` transforms: each sees `inputs` (the full
+    /// pre-transform map) and `self` (its own current value).
+    fn apply_value_from(
+        &self,
+        step: &Step,
+        base: Map,
+        engine: &dyn expr::ExpressionEngine,
+    ) -> Result<Map, String> {
+        let frozen = Value::Map(base.clone());
+        let mut out = base;
+        for input in &step.inputs {
+            if let Some(vf) = &input.value_from {
+                let mut ctx = EvalContext::from_inputs(frozen.clone());
+                ctx.self_ = out.get(&input.id).cloned().unwrap_or(Value::Null);
+                let v = interpolate(vf, engine, &ctx).map_err(|e| {
+                    format!("step {:?} input {:?} valueFrom: {e}", step.id, input.id)
+                })?;
+                out.insert(input.id.clone(), v);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Validate scatter targets are equal-length arrays; return the length.
+fn scatter_len(step: &Step, inputs: &Map) -> Result<usize, String> {
+    let mut len: Option<usize> = None;
+    for target in &step.scatter {
+        let arr = inputs
+            .get(target)
+            .and_then(Value::as_seq)
+            .ok_or_else(|| {
+                format!("step {:?}: scatter target {target:?} is not an array", step.id)
+            })?;
+        match len {
+            None => len = Some(arr.len()),
+            Some(n) if n != arr.len() => {
+                return Err(format!(
+                    "step {:?}: scatter arrays have different lengths ({n} vs {})",
+                    step.id,
+                    arr.len()
+                ))
+            }
+            _ => {}
+        }
+    }
+    len.ok_or_else(|| format!("step {:?}: empty scatter", step.id))
+}
+
+/// Record a non-scattered step's outputs under `step/out` keys.
+fn record_outputs(
+    step: &Step,
+    outputs: Map,
+    completed: &mut HashMap<String, Value>,
+) -> Result<(), String> {
+    for out_id in &step.out {
+        let v = outputs.get(out_id).cloned().ok_or_else(|| {
+            format!("step {:?} did not produce declared output {out_id:?}", step.id)
+        })?;
+        completed.insert(format!("{}/{}", step.id, out_id), v);
+    }
+    Ok(())
+}

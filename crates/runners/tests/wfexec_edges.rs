@@ -1,0 +1,289 @@
+//! Edge-case tests for the generic workflow executor: scatter validation,
+//! conditional steps, subworkflow gating, and error reporting.
+
+use cwlexec::BuiltinDispatch;
+use runners::{ExecProfile, WorkflowExecutor};
+use std::path::PathBuf;
+use std::sync::Arc;
+use yamlite::{Map, Value};
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("wfexec-edge-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn exec() -> WorkflowExecutor {
+    WorkflowExecutor::new(ExecProfile::bare(2), Arc::new(BuiltinDispatch))
+}
+
+fn write(dir: &std::path::Path, name: &str, content: &str) -> PathBuf {
+    let p = dir.join(name);
+    std::fs::write(&p, content).unwrap();
+    p
+}
+
+const ECHO_TOOL: &str = r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  msg:
+    type: string
+    inputBinding: {position: 1}
+outputs:
+  out:
+    type: stdout
+stdout: msg.txt
+"#;
+
+#[test]
+fn multi_target_scatter_dotproduct() {
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("dot");
+    write(
+        &dir,
+        "pair.cwl",
+        r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  a:
+    type: string
+    inputBinding: {position: 1}
+  b:
+    type: string
+    inputBinding: {position: 2}
+outputs:
+  out:
+    type: stdout
+stdout: pair.txt
+"#,
+    );
+    let wf = write(
+        &dir,
+        "wf.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  xs: string[]
+  ys: string[]
+outputs:
+  pairs:
+    type: File[]
+    outputSource: s/out
+steps:
+  s:
+    run: pair.cwl
+    scatter: [a, b]
+    in:
+      a: xs
+      b: ys
+    out: [out]
+"#,
+    );
+    let mut inputs = Map::new();
+    inputs.insert("xs", yamlite::vseq!["1", "2"]);
+    inputs.insert("ys", yamlite::vseq!["x", "y"]);
+    let report = exec().run_file(&wf, &inputs, dir.join("run")).unwrap();
+    let pairs = report.outputs.get("pairs").unwrap().as_seq().unwrap();
+    let texts: Vec<String> = pairs
+        .iter()
+        .map(|f| std::fs::read_to_string(f["path"].as_str().unwrap()).unwrap())
+        .collect();
+    assert_eq!(texts, vec!["1 x\n", "2 y\n"]);
+
+    // Length mismatch is rejected.
+    let mut bad = Map::new();
+    bad.insert("xs", yamlite::vseq!["1", "2"]);
+    bad.insert("ys", yamlite::vseq!["only"]);
+    let err = exec().run_file(&wf, &bad, dir.join("bad")).unwrap_err();
+    assert!(err.contains("different lengths"), "{err}");
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn scatter_over_non_array_rejected() {
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("nonarray");
+    write(&dir, "echo.cwl", ECHO_TOOL);
+    let wf = write(
+        &dir,
+        "wf.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  one: string
+outputs: {}
+steps:
+  s:
+    run: echo.cwl
+    scatter: msg
+    in:
+      msg: one
+    out: [out]
+"#,
+    );
+    let mut inputs = Map::new();
+    inputs.insert("one", Value::str("not-an-array"));
+    let err = exec().run_file(&wf, &inputs, dir.join("run")).unwrap_err();
+    assert!(err.contains("not an array"), "{err}");
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn subworkflow_requires_feature_requirement() {
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("subreq");
+    write(&dir, "echo.cwl", ECHO_TOOL);
+    write(
+        &dir,
+        "inner.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  out:
+    type: File
+    outputSource: e/out
+steps:
+  e:
+    run: echo.cwl
+    in:
+      msg: msg
+    out: [out]
+"#,
+    );
+    let wf = write(
+        &dir,
+        "outer.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs: {}
+steps:
+  nested:
+    run: inner.cwl
+    in:
+      msg: msg
+    out: [out]
+"#,
+    );
+    let mut inputs = Map::new();
+    inputs.insert("msg", Value::str("hi"));
+    let err = exec().run_file(&wf, &inputs, dir.join("run")).unwrap_err();
+    assert!(err.contains("SubworkflowFeatureRequirement"), "{err}");
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn conditional_scatter_instances_skip_individually() {
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("condscatter");
+    write(
+        &dir,
+        "num.cwl",
+        r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+inputs:
+  n:
+    type: int
+    inputBinding: {position: 1}
+outputs:
+  out:
+    type: stdout
+stdout: n.txt
+"#,
+    );
+    let wf = write(
+        &dir,
+        "wf.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  ns: int[]
+outputs:
+  outs:
+    type: File[]
+    outputSource: s/out
+steps:
+  s:
+    run: num.cwl
+    scatter: n
+    when: $(inputs.n % 2 == 0)
+    in:
+      n: ns
+    out: [out]
+"#,
+    );
+    let mut inputs = Map::new();
+    inputs.insert("ns", yamlite::vseq![1i64, 2i64, 3i64, 4i64]);
+    let report = exec().run_file(&wf, &inputs, dir.join("run")).unwrap();
+    let outs = report.outputs.get("outs").unwrap().as_seq().unwrap();
+    assert_eq!(outs.len(), 4);
+    assert!(outs[0].is_null(), "odd instance must be skipped");
+    assert!(!outs[1].is_null());
+    assert!(outs[2].is_null());
+    assert!(!outs[3].is_null());
+    // Only the even instances executed.
+    assert_eq!(report.tasks, 2);
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn workflow_output_can_forward_an_input() {
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("fwd");
+    write(&dir, "echo.cwl", ECHO_TOOL);
+    let wf = write(
+        &dir,
+        "wf.cwl",
+        r#"
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  echoed:
+    type: File
+    outputSource: e/out
+  original:
+    type: string
+    outputSource: msg
+steps:
+  e:
+    run: echo.cwl
+    in:
+      msg: msg
+    out: [out]
+"#,
+    );
+    let mut inputs = Map::new();
+    inputs.insert("msg", Value::str("roundtrip"));
+    let report = exec().run_file(&wf, &inputs, dir.join("run")).unwrap();
+    assert_eq!(report.outputs.get("original").unwrap(), &Value::str("roundtrip"));
+    assert!(report.outputs.get("echoed").unwrap()["path"].as_str().is_some());
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,299 @@
+//! Emit [`Value`]s back to YAML text (block style) or to a compact flow
+//! (JSON-like) representation.
+
+use crate::parse::resolve_scalar;
+use crate::value::{format_float, Value};
+
+/// Emit a value as a block-style YAML document (trailing newline included).
+pub fn to_string(value: &Value) -> String {
+    let mut out = String::new();
+    emit_block(value, 0, &mut out);
+    if !out.ends_with('\n') {
+        out.push('\n');
+    }
+    out
+}
+
+/// Emit a value in compact flow style (`{a: 1, b: [2, 3]}`), suitable for
+/// single-line contexts such as log messages.
+pub fn to_string_flow(value: &Value) -> String {
+    let mut out = String::new();
+    emit_flow(value, &mut out);
+    out
+}
+
+fn emit_block(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Map(m) if !m.is_empty() => {
+            for (k, v) in m.iter() {
+                push_indent(indent, out);
+                out.push_str(&quote_key(k));
+                out.push(':');
+                emit_block_value(v, indent, out);
+            }
+        }
+        Value::Seq(items) if !items.is_empty() => {
+            for item in items {
+                push_indent(indent, out);
+                out.push('-');
+                emit_block_value(item, indent, out);
+            }
+        }
+        other => {
+            push_indent(indent, out);
+            emit_scalar_line(other, out);
+            out.push('\n');
+        }
+    }
+}
+
+/// Emit the value part after `key:` or `-`: scalars inline, collections on
+/// following lines, multi-line strings as literal block scalars.
+fn emit_block_value(value: &Value, indent: usize, out: &mut String) {
+    match value {
+        Value::Map(m) if !m.is_empty() => {
+            out.push('\n');
+            emit_block(value, indent + 2, out);
+            let _ = m;
+        }
+        Value::Seq(items) if !items.is_empty() => {
+            out.push('\n');
+            emit_block(value, indent + 2, out);
+            let _ = items;
+        }
+        Value::Str(s) if s.contains('\n') => {
+            // Literal block scalar. Chomping: strip when no trailing newline,
+            // clip when exactly one.
+            let body = s.strip_suffix('\n');
+            out.push_str(if body.is_some() { " |\n" } else { " |-\n" });
+            let body = body.unwrap_or(s);
+            for line in body.split('\n') {
+                if line.is_empty() {
+                    out.push('\n');
+                } else {
+                    push_indent(indent + 2, out);
+                    out.push_str(line);
+                    out.push('\n');
+                }
+            }
+        }
+        other => {
+            out.push(' ');
+            emit_scalar_line(other, out);
+            out.push('\n');
+        }
+    }
+}
+
+fn emit_scalar_line(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Float(f) => out.push_str(&format_float(*f)),
+        Value::Str(s) => out.push_str(&quote_scalar(s)),
+        Value::Seq(s) if s.is_empty() => out.push_str("[]"),
+        Value::Map(m) if m.is_empty() => out.push_str("{}"),
+        // Non-empty collections are handled by the block emitters.
+        other => emit_flow(other, out),
+    }
+}
+
+fn emit_flow(value: &Value, out: &mut String) {
+    match value {
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                emit_flow_scalar(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(m) => {
+            out.push('{');
+            for (i, (k, v)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&quote_key(k));
+                out.push_str(": ");
+                emit_flow_scalar(v, out);
+            }
+            out.push('}');
+        }
+        other => emit_scalar_line(other, out),
+    }
+}
+
+fn emit_flow_scalar(value: &Value, out: &mut String) {
+    match value {
+        Value::Seq(_) | Value::Map(_) => emit_flow(value, out),
+        Value::Str(s) => out.push_str(&quote_scalar_flow(s)),
+        other => emit_scalar_line(other, out),
+    }
+}
+
+fn push_indent(n: usize, out: &mut String) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+/// Quote a mapping key if it would not re-parse as itself.
+fn quote_key(k: &str) -> String {
+    if k.is_empty() || needs_quoting(k) || k.contains(':') {
+        double_quote(k)
+    } else {
+        k.to_string()
+    }
+}
+
+/// Quote a block-context string scalar when necessary.
+fn quote_scalar(s: &str) -> String {
+    if needs_quoting(s) {
+        double_quote(s)
+    } else {
+        s.to_string()
+    }
+}
+
+/// Flow context additionally reserves `, [ ] { } :`.
+fn quote_scalar_flow(s: &str) -> String {
+    if needs_quoting(s) || s.contains([',', '[', ']', '{', '}', ':']) {
+        double_quote(s)
+    } else {
+        s.to_string()
+    }
+}
+
+/// A plain string must be quoted when it would resolve to a different type,
+/// contains structure-significant characters, or has fragile whitespace.
+fn needs_quoting(s: &str) -> bool {
+    if s.is_empty() {
+        return true;
+    }
+    if s.starts_with(' ') || s.ends_with(' ') {
+        return true;
+    }
+    if !matches!(resolve_scalar(s), Value::Str(_)) {
+        return true;
+    }
+    if s.starts_with(['-', '?', '|', '>', '&', '*', '!', '%', '@', '`', '"', '\'', '[', ']', '{', '}', '#'])
+        && !s.is_empty()
+    {
+        // `-word` is fine, but `- word` or bare `-` is structural.
+        if s == "-" || s.starts_with("- ") || !s.starts_with('-') {
+            return true;
+        }
+    }
+    if s.contains(": ") || s.ends_with(':') || s.contains(" #") || s.contains('\n') || s.contains('\t') {
+        return true;
+    }
+    false
+}
+
+fn double_quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_str;
+    use crate::{vmap, vseq};
+
+    fn roundtrip(v: &Value) -> Value {
+        parse_str(&to_string(v)).unwrap()
+    }
+
+    #[test]
+    fn emit_scalars() {
+        assert_eq!(to_string(&Value::Null), "null\n");
+        assert_eq!(to_string(&Value::Int(5)), "5\n");
+        assert_eq!(to_string(&Value::Float(2.0)), "2.0\n");
+        assert_eq!(to_string(&Value::str("hi")), "hi\n");
+    }
+
+    #[test]
+    fn emit_map_and_seq() {
+        let v = vmap! {"a" => 1i64, "xs" => vseq![1i64, 2i64]};
+        let text = to_string(&v);
+        assert_eq!(text, "a: 1\nxs:\n  - 1\n  - 2\n");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn strings_needing_quotes_roundtrip() {
+        for s in [
+            "true", "null", "42", "3.5", "- dash", "a: b", "trailing ", " lead",
+            "has # comment", "", "it's", "quote\"inside", "multi\nline", "0x10",
+        ] {
+            let v = vmap! {"k" => s};
+            assert_eq!(roundtrip(&v), v, "failed for {s:?}");
+        }
+    }
+
+    #[test]
+    fn multiline_string_emits_block_scalar() {
+        let v = vmap! {"code" => "def f():\n    return 1\n"};
+        let text = to_string(&v);
+        assert!(text.contains("code: |"), "got: {text}");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn multiline_string_without_trailing_newline() {
+        let v = vmap! {"code" => "a\nb"};
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn empty_collections() {
+        let v = vmap! {"a" => Value::Seq(vec![]), "b" => Value::Map(crate::Map::new())};
+        assert_eq!(to_string(&v), "a: []\nb: {}\n");
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn nested_structure_roundtrip() {
+        let v = vmap! {
+            "steps" => Value::Seq(vec![
+                vmap!{"run" => "a.cwl", "in" => vmap!{"x" => "$(inputs.x)"}},
+                vmap!{"run" => "b.cwl", "scatter" => vseq!["img"]},
+            ]),
+            "outputs" => vmap!{"out" => vmap!{"type" => "File"}},
+        };
+        assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn flow_string() {
+        let v = vmap! {"a" => vseq![1i64, "x, y"]};
+        assert_eq!(to_string_flow(&v), "{a: [1, \"x, y\"]}");
+    }
+
+    #[test]
+    fn negative_word_unquoted() {
+        // `-word` does not need quotes (it is not a sequence marker).
+        let v = vmap! {"k" => "-v"};
+        let text = to_string(&v);
+        assert_eq!(text, "k: -v\n");
+        assert_eq!(roundtrip(&v), v);
+    }
+}

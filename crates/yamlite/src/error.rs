@@ -1,0 +1,70 @@
+//! Parse-error reporting with line/column positions.
+
+use std::fmt;
+
+/// A 1-based line/column position within a YAML document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Position {
+    /// 1-based line number (0 when unknown).
+    pub line: usize,
+    /// 1-based column number (0 when unknown).
+    pub col: usize,
+}
+
+impl Position {
+    /// Build a position from 1-based line and column.
+    pub fn new(line: usize, col: usize) -> Self {
+        Self { line, col }
+    }
+}
+
+impl fmt::Display for Position {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "<unknown>")
+        } else {
+            write!(f, "line {}, column {}", self.line, self.col)
+        }
+    }
+}
+
+/// An error produced while parsing a YAML document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where in the document the problem was detected.
+    pub position: Position,
+}
+
+impl ParseError {
+    /// Build an error at a known position.
+    pub fn at(message: impl Into<String>, position: Position) -> Self {
+        Self { message: message.into(), position }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "YAML parse error at {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_known_position() {
+        let e = ParseError::at("bad token", Position::new(3, 7));
+        assert_eq!(e.to_string(), "YAML parse error at line 3, column 7: bad token");
+    }
+
+    #[test]
+    fn display_unknown_position() {
+        let e = ParseError::at("oops", Position::default());
+        assert!(e.to_string().contains("<unknown>"));
+    }
+}

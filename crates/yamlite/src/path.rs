@@ -1,0 +1,167 @@
+//! Dotted-path access into [`Value`] trees, e.g. `executor.provider.nodes`
+//! or `steps[0].run`. Used by configuration loading and tests.
+
+use crate::value::Value;
+
+/// One segment of a parsed path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Segment {
+    /// Map key.
+    Key(String),
+    /// Sequence index.
+    Index(usize),
+}
+
+/// Parse a path like `a.b[2].c` into segments.
+///
+/// Returns `None` for syntactically invalid paths (unbalanced brackets,
+/// non-numeric indices, empty segments).
+pub fn parse_path(path: &str) -> Option<Vec<Segment>> {
+    let mut segments = Vec::new();
+    for part in path.split('.') {
+        if part.is_empty() {
+            return None;
+        }
+        let mut rest = part;
+        // Leading key portion before any `[`.
+        let key_end = rest.find('[').unwrap_or(rest.len());
+        let key = &rest[..key_end];
+        if !key.is_empty() {
+            segments.push(Segment::Key(key.to_string()));
+        } else if key_end == 0 && !rest.starts_with('[') {
+            return None;
+        }
+        rest = &rest[key_end..];
+        while let Some(open) = rest.find('[') {
+            let close = rest.find(']')?;
+            if close < open {
+                return None;
+            }
+            let idx: usize = rest[open + 1..close].parse().ok()?;
+            segments.push(Segment::Index(idx));
+            rest = &rest[close + 1..];
+        }
+        if !rest.is_empty() {
+            return None;
+        }
+    }
+    Some(segments)
+}
+
+/// Look up `path` in `value`, returning `None` when any segment is missing.
+pub fn get<'a>(value: &'a Value, path: &str) -> Option<&'a Value> {
+    let segments = parse_path(path)?;
+    let mut cur = value;
+    for seg in &segments {
+        cur = match seg {
+            Segment::Key(k) => cur.get(k)?,
+            Segment::Index(i) => cur.get_index(*i)?,
+        };
+    }
+    Some(cur)
+}
+
+/// Set `path` in `value`, creating intermediate maps as needed. Intermediate
+/// sequence indices must already exist. Returns `false` when the path cannot
+/// be applied (e.g. indexing a scalar).
+pub fn set(value: &mut Value, path: &str, new: Value) -> bool {
+    let Some(segments) = parse_path(path) else { return false };
+    let mut cur = value;
+    for (pos, seg) in segments.iter().enumerate() {
+        let last = pos + 1 == segments.len();
+        match seg {
+            Segment::Key(k) => {
+                if cur.is_null() {
+                    *cur = Value::Map(crate::Map::new());
+                }
+                let Some(map) = cur.as_map_mut() else { return false };
+                if !map.contains_key(k) {
+                    map.insert(k.clone(), Value::Null);
+                }
+                let slot = map.get_mut(k).expect("just inserted");
+                if last {
+                    *slot = new;
+                    return true;
+                }
+                cur = slot;
+            }
+            Segment::Index(i) => {
+                let Some(seq) = cur.as_seq_mut() else { return false };
+                let Some(slot) = seq.get_mut(*i) else { return false };
+                if last {
+                    *slot = new;
+                    return true;
+                }
+                cur = slot;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{vmap, vseq};
+
+    #[test]
+    fn parse_simple() {
+        assert_eq!(
+            parse_path("a.b").unwrap(),
+            vec![Segment::Key("a".into()), Segment::Key("b".into())]
+        );
+    }
+
+    #[test]
+    fn parse_indices() {
+        assert_eq!(
+            parse_path("steps[2].run").unwrap(),
+            vec![
+                Segment::Key("steps".into()),
+                Segment::Index(2),
+                Segment::Key("run".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_invalid() {
+        assert!(parse_path("").is_none());
+        assert!(parse_path("a..b").is_none());
+        assert!(parse_path("a[x]").is_none());
+        assert!(parse_path("a[1").is_none());
+        assert!(parse_path("a]1[").is_none());
+        assert!(parse_path("a[1]junk").is_none());
+    }
+
+    #[test]
+    fn get_nested() {
+        let v = vmap! {
+            "steps" => Value::Seq(vec![vmap!{"run" => "x.cwl"}]),
+        };
+        assert_eq!(get(&v, "steps[0].run").unwrap().as_str(), Some("x.cwl"));
+        assert!(get(&v, "steps[1].run").is_none());
+        assert!(get(&v, "missing").is_none());
+    }
+
+    #[test]
+    fn set_creates_intermediate_maps() {
+        let mut v = Value::Null;
+        assert!(set(&mut v, "executor.workers", Value::Int(8)));
+        assert_eq!(get(&v, "executor.workers").unwrap().as_int(), Some(8));
+    }
+
+    #[test]
+    fn set_existing_index() {
+        let mut v = vmap! {"xs" => vseq![1i64, 2i64]};
+        assert!(set(&mut v, "xs[1]", Value::Int(9)));
+        assert_eq!(v["xs"][1].as_int(), Some(9));
+        assert!(!set(&mut v, "xs[5]", Value::Int(9)));
+    }
+
+    #[test]
+    fn set_fails_on_scalar() {
+        let mut v = vmap! {"a" => 1i64};
+        assert!(!set(&mut v, "a.b", Value::Int(2)));
+    }
+}

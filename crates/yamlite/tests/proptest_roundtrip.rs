@@ -1,0 +1,85 @@
+//! Property-based tests: any `Value` we can construct must survive an
+//! emit → parse roundtrip, and the parser must never panic on arbitrary input.
+
+use proptest::prelude::*;
+use yamlite::{Map, Value};
+
+/// Strategy for scalar values. Floats are restricted to finite values that
+/// roundtrip exactly through decimal text (NaN breaks equality; subnormal
+/// printing is out of scope).
+fn scalar() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e9..1.0e9f64).prop_map(|f| Value::Float((f * 1e3).round() / 1e3)),
+        // Printable strings, including YAML-hostile ones.
+        proptest::string::string_regex("[ -~]{0,24}").unwrap().prop_map(Value::Str),
+        prop_oneof![
+            Just("true".to_string()),
+            Just("null".to_string()),
+            Just("- item".to_string()),
+            Just("a: b".to_string()),
+            Just("#comment".to_string()),
+            Just("line1\nline2\n".to_string()),
+            Just("  padded  ".to_string()),
+        ]
+        .prop_map(Value::Str),
+    ]
+}
+
+/// Strategy for keys: non-empty printable strings without newline.
+fn key() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-zA-Z_$][a-zA-Z0-9_.$-]{0,12}").unwrap()
+}
+
+fn value() -> impl Strategy<Value = Value> {
+    scalar().prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
+            proptest::collection::vec((key(), inner), 0..4).prop_map(|pairs| {
+                Value::Map(pairs.into_iter().collect::<Map>())
+            }),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn emit_parse_roundtrip(v in value()) {
+        let text = yamlite::to_string(&v);
+        let parsed = yamlite::parse_str(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse {text:?}: {e}"));
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn flow_emit_parse_roundtrip(v in value()) {
+        let text = yamlite::to_string_flow(&v);
+        let parsed = yamlite::parse_str(&text)
+            .unwrap_or_else(|e| panic!("failed to reparse flow {text:?}: {e}"));
+        prop_assert_eq!(parsed, v);
+    }
+
+    #[test]
+    fn parser_never_panics(s in proptest::string::string_regex("[ -~\\n]{0,200}").unwrap()) {
+        let _ = yamlite::parse_str(&s);
+    }
+
+    #[test]
+    fn parser_never_panics_structured(
+        keys in proptest::collection::vec("[a-z]{1,6}", 1..6),
+        indents in proptest::collection::vec(0usize..8, 1..6),
+    ) {
+        // Random indentation ladders exercise the block-structure edge cases.
+        let mut doc = String::new();
+        for (k, i) in keys.iter().zip(indents.iter()) {
+            doc.push_str(&" ".repeat(*i));
+            doc.push_str(k);
+            doc.push_str(":\n");
+        }
+        let _ = yamlite::parse_str(&doc);
+    }
+}

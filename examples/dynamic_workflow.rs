@@ -1,0 +1,86 @@
+//! Dynamic, data-dependent control flow — the thing a static CWL Workflow
+//! cannot express and the paper's motivation for bringing CWL tools into a
+//! programming language (§IV-C, §V).
+//!
+//! The program inspects each image's measured brightness *at runtime* and
+//! decides per image whether to apply the sepia filter and how strong a
+//! blur to use — branching on intermediate results, while still using the
+//! community-curated CWL tool definitions for every actual operation.
+//!
+//! ```text
+//! cargo run --example dynamic_workflow
+//! ```
+
+use cwl_parsl::{CwlApp, CwlAppOptions};
+use parsl::{Config, DataFlowKernel};
+use std::path::Path;
+
+fn main() -> Result<(), String> {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures");
+    let workdir = std::env::temp_dir().join("cwl-parsl-dynamic");
+    let _ = std::fs::remove_dir_all(&workdir);
+    std::fs::create_dir_all(&workdir).map_err(|e| e.to_string())?;
+
+    // A mix of bright and dark inputs.
+    let mut inputs = Vec::new();
+    for i in 0..4u64 {
+        let p = workdir.join(format!("img{i}.rimg"));
+        let img = if i % 2 == 0 {
+            imaging::gradient(48, 48, i) // mid-brightness gradients
+        } else {
+            imaging::checkerboard(48, 48, 2) // high-contrast checkers
+        };
+        imaging::write_rimg(&p, &img).map_err(|e| e.to_string())?;
+        inputs.push(p);
+    }
+
+    let dfk = DataFlowKernel::new(Config::local_threads(4));
+    let opts = || CwlAppOptions::in_dir(&workdir).with_builtin_tools();
+    let resize = CwlApp::load(&dfk, fixtures.join("resize_image.cwl"), opts())?;
+    let filter = CwlApp::load(&dfk, fixtures.join("filter_image.cwl"), opts())?;
+    let blur = CwlApp::load(&dfk, fixtures.join("blur_image.cwl"), opts())?;
+
+    for (i, input) in inputs.iter().enumerate() {
+        // Stage 1 always runs.
+        let resized = resize
+            .call()
+            .arg("input_image", input.to_string_lossy().into_owned())
+            .arg("size", 24i64)
+            .arg("output_image", format!("resized_{i}.rimg"))
+            .submit()?;
+
+        // DYNAMIC DECISION: wait for the intermediate file, inspect it,
+        // and branch — plain host-language control flow over CWL tools.
+        let resized_file = resized.output().result().map_err(|e| e.to_string())?;
+        let img = imaging::read_rimg(resized_file.path()).map_err(|e| e.to_string())?;
+        let (r, g, b) = img.mean_rgb();
+        let brightness = (r + g + b) / 3.0;
+        let apply_sepia = brightness < 128.0; // only warm up dark images
+        let radius = if brightness > 160.0 { 3i64 } else { 1i64 };
+
+        let filtered = filter
+            .call()
+            .arg_data("input_image", resized.output())
+            .arg("sepia", apply_sepia)
+            .arg("output_image", format!("filtered_{i}.rimg"))
+            .submit()?;
+        let blurred = blur
+            .call()
+            .arg_data("input_image", filtered.output())
+            .arg("radius", radius)
+            .arg("output_image", format!("blurred_{i}.rimg"))
+            .submit()?;
+
+        let out = blurred.output().result().map_err(|e| e.to_string())?;
+        println!(
+            "img{i}: brightness {brightness:.0} -> sepia={apply_sepia} radius={radius} -> {}",
+            out.basename()
+        );
+    }
+    println!(
+        "{} tasks executed",
+        dfk.monitoring().summary().completed
+    );
+    dfk.shutdown();
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Quickstart — the paper's Listings 1 & 2 in Rust.
+//!
+//! Loads the CWL CommandLineTool definition for `echo` (fixtures/echo.cwl),
+//! imports it as a Parsl app, executes it, waits for the future, and prints
+//! the contents of the output file.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cwl_parsl::{CwlApp, CwlAppOptions};
+use parsl::{Config, DataFlowKernel};
+use std::path::Path;
+
+fn main() -> Result<(), String> {
+    // parsl.load(config) — here: a local thread-pool kernel.
+    let dfk = DataFlowKernel::new(Config::local_threads(4));
+
+    // echo = CWLApp("echo.cwl")
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures");
+    let workdir = std::env::temp_dir().join("cwl-parsl-quickstart");
+    let echo = CwlApp::load(
+        &dfk,
+        fixtures.join("echo.cwl"),
+        CwlAppOptions::in_dir(&workdir).with_builtin_tools(),
+    )?;
+
+    // future = echo(message="Hello, World!", stdout="hello.txt")
+    let run = echo
+        .call()
+        .arg("message", "Hello, World!")
+        .stdout("hello.txt")
+        .submit()?;
+
+    // Wait for the future before reading the output.
+    run.future.result().map_err(|e| e.to_string())?;
+
+    let hello = run.output().result().map_err(|e| e.to_string())?;
+    let text = std::fs::read_to_string(hello.path()).map_err(|e| e.to_string())?;
+    print!("{text}");
+
+    dfk.shutdown();
+    assert_eq!(text, "Hello, World!\n");
+    Ok(())
+}

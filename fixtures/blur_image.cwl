@@ -1,0 +1,27 @@
+# Stage 3 of the paper's image-processing workflow (§IV-A): blur with a
+# given radius.
+cwlVersion: v1.2
+class: CommandLineTool
+id: blur_image
+doc: Blur the image with the given radius.
+baseCommand: [imgtool, blur]
+inputs:
+  input_image:
+    type: File
+    inputBinding:
+      position: 1
+  output_image:
+    type: string
+    inputBinding:
+      position: 2
+  radius:
+    type: int
+    doc: Blur radius
+    inputBinding:
+      position: 3
+      prefix: --radius
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

@@ -1,0 +1,28 @@
+# The paper's Listing 5: an InlinePythonRequirement expression capitalizing
+# the words of a message before echoing it.
+cwlVersion: v1.2
+class: CommandLineTool
+id: capitalize_message_py
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib: |
+      def capitalize_words(message):
+          """
+          Capitalize each word in the given message.
+
+          Args:
+              message (str): The input message.
+          Returns:
+              str: The message with each word capitalized.
+          """
+          return message.title()
+baseCommand: echo
+inputs:
+  message:
+    type: string
+arguments:
+  - f"{capitalize_words($(inputs.message))}"
+outputs:
+  output:
+    type: stdout
+stdout: capitalized.txt

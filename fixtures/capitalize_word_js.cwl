@@ -1,0 +1,24 @@
+# Fig. 2 workload, JavaScript variant: capitalize one word with an inline
+# JavaScript expression (the CWL-spec path; cwltool/Toil evaluate this by
+# spawning a node process and piping the full input object in as JSON).
+# `all_words` carries the complete word list into the tool's input object,
+# as the paper's scaling workload does, so each evaluation marshals O(n)
+# context.
+cwlVersion: v1.2
+class: CommandLineTool
+id: capitalize_word_js
+doc: Capitalize a single word via an InlineJavascript expression.
+requirements:
+  - class: InlineJavascriptRequirement
+baseCommand: echo
+arguments:
+  - ${ return inputs.word.charAt(0).toUpperCase() + inputs.word.slice(1); }
+inputs:
+  word:
+    type: string
+  all_words:
+    type: string[]
+outputs:
+  output:
+    type: stdout
+stdout: word.txt

@@ -1,0 +1,31 @@
+# Fig. 2 workload, inline-Python variant (the paper's §V proposal):
+# the same capitalization, evaluated in-process by parsl-cwl.
+cwlVersion: v1.2
+class: CommandLineTool
+id: capitalize_word_py
+doc: Capitalize a single word via an InlinePython expression.
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib: |
+      def capitalize_word(word):
+          """
+          Capitalize the given word.
+
+          Args:
+              word (str): The input word.
+          Returns:
+              str: The word with its first letter capitalized.
+          """
+          return word.title()
+baseCommand: echo
+arguments:
+  - f"{capitalize_word($(inputs.word))}"
+inputs:
+  word:
+    type: string
+  all_words:
+    type: string[]
+outputs:
+  output:
+    type: stdout
+stdout: word.txt

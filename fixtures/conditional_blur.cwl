@@ -1,0 +1,39 @@
+# CWL v1.2 conditional execution: the blur step only runs when radius > 0
+# (extension coverage beyond the paper's listings; v1.2 `when` semantics).
+cwlVersion: v1.2
+class: Workflow
+doc: Resize an image and blur it only when a positive radius is requested.
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  input_image:
+    type: File
+  size:
+    type: int
+  radius:
+    type: int
+outputs:
+  resized_output:
+    type: File
+    outputSource: resize_image/output_image
+  blurred_output:
+    type: File?
+    outputSource: blur_image/output_image
+steps:
+  resize_image:
+    run: resize_image.cwl
+    in:
+      input_image: input_image
+      size: size
+      output_image:
+        valueFrom: "resized.rimg"
+    out: [output_image]
+  blur_image:
+    run: blur_image.cwl
+    when: $(inputs.radius > 0)
+    in:
+      input_image: resize_image/output_image
+      radius: radius
+      output_image:
+        valueFrom: "blurred.rimg"
+    out: [output_image]

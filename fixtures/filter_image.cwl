@@ -1,0 +1,29 @@
+# Stage 2 of the paper's image-processing workflow (§IV-A): apply a sepia
+# filter controlled by a boolean parameter.
+cwlVersion: v1.2
+class: CommandLineTool
+id: filter_image
+doc: Apply (or skip) a sepia filter.
+baseCommand: [imgtool, sepia]
+inputs:
+  input_image:
+    type: File
+    inputBinding:
+      position: 1
+  output_image:
+    type: string
+    inputBinding:
+      position: 2
+  sepia:
+    type: boolean
+    doc: Whether to apply the sepia filter
+    inputBinding:
+      position: 3
+      prefix: --sepia
+      separate: true
+      valueFrom: $(self ? 'true' : 'false')
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

@@ -1,0 +1,49 @@
+# The paper's Listing 3: the three-stage image-processing Workflow
+# (resize → sepia filter → blur).
+cwlVersion: v1.2
+class: Workflow
+doc: This CWL workflow processes images by performing a series of tasks - resizing, filtering, and blurring
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  input_image:
+    type: File
+    doc: The original image to be processed
+  size:
+    type: int
+    doc: The target sizeXsize for resizing
+  sepia:
+    type: boolean
+    doc: Whether to apply the filter
+  radius:
+    type: int
+    doc: The amount of blur to apply
+outputs:
+  final_output:
+    type: File
+    outputSource: blur_image/output_image
+steps:
+  resize_image:
+    run: resize_image.cwl
+    in:
+      input_image: input_image
+      size: size
+      output_image:
+        valueFrom: "resized.rimg"
+    out: [output_image]
+  filter_image:
+    run: filter_image.cwl
+    in:
+      input_image: resize_image/output_image
+      sepia: sepia
+      output_image:
+        valueFrom: "filtered.rimg"
+    out: [output_image]
+  blur_image:
+    run: blur_image.cwl
+    in:
+      input_image: filter_image/output_image
+      radius: radius
+      output_image:
+        valueFrom: "blurred.rimg"
+    out: [output_image]

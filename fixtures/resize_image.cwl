@@ -1,0 +1,30 @@
+# Stage 1 of the paper's image-processing workflow (§IV-A): resize an image
+# to size×size. Backed by this repository's imgtool (PNG → .rimg substitution
+# documented in DESIGN.md).
+cwlVersion: v1.2
+class: CommandLineTool
+id: resize_image
+doc: Resize an input image to the specified square dimensions.
+baseCommand: [imgtool, resize]
+inputs:
+  input_image:
+    type: File
+    doc: The image to resize
+    inputBinding:
+      position: 1
+  output_image:
+    type: string
+    doc: Name of the resized output file
+    inputBinding:
+      position: 2
+  size:
+    type: int
+    doc: Target size (width and height)
+    inputBinding:
+      position: 3
+      prefix: --size
+outputs:
+  output_image:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)

@@ -1,0 +1,34 @@
+# The §VI evaluation wrapper: scatter the Listing-3 image pipeline over a
+# list of images so every CWL runner can exploit the independent per-image
+# parallelism.
+cwlVersion: v1.2
+class: Workflow
+doc: Process a list of images by scattering the image pipeline sub-workflow.
+requirements:
+  - class: ScatterFeatureRequirement
+  - class: SubworkflowFeatureRequirement
+  - class: StepInputExpressionRequirement
+inputs:
+  input_images:
+    type: File[]
+    doc: The images to process
+  size:
+    type: int
+  sepia:
+    type: boolean
+  radius:
+    type: int
+outputs:
+  final_outputs:
+    type: File[]
+    outputSource: per_image/final_output
+steps:
+  per_image:
+    run: image_pipeline.cwl
+    scatter: input_image
+    in:
+      input_image: input_images
+      size: size
+      sepia: sepia
+      radius: radius
+    out: [final_output]

@@ -1,0 +1,22 @@
+# Fig. 2 driver, JavaScript variant: scatter the capitalize tool over the
+# word list. Each scatter instance evaluates one JS expression.
+cwlVersion: v1.2
+class: Workflow
+doc: Capitalize every word of a list using InlineJavascript expressions.
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words:
+    type: string[]
+outputs:
+  capitalized:
+    type: File[]
+    outputSource: cap/output
+steps:
+  cap:
+    run: capitalize_word_js.cwl
+    scatter: word
+    in:
+      word: words
+      all_words: words
+    out: [output]

@@ -1,0 +1,21 @@
+# Fig. 2 driver, inline-Python variant.
+cwlVersion: v1.2
+class: Workflow
+doc: Capitalize every word of a list using InlinePython expressions.
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words:
+    type: string[]
+outputs:
+  capitalized:
+    type: File[]
+    outputSource: cap/output
+steps:
+  cap:
+    run: capitalize_word_py.cwl
+    scatter: word
+    in:
+      word: words
+      all_words: words
+    out: [output]

@@ -1,0 +1,33 @@
+# The paper's Listing 6: an InlinePythonRequirement `validate:` hook that
+# verifies the input file is a CSV before the tool executes.
+cwlVersion: v1.2
+class: CommandLineTool
+id: validate_csv
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib: |
+      def valid_file(file, ext):
+          """
+          Check if a file is valid.
+
+          Args:
+              file (str): Path to the file.
+              ext (str): Expected file extension.
+          Raises:
+              Exception: If the file is invalid.
+          """
+          if not file.lower().endswith(ext):
+              raise Exception(f"Invalid file. Expected '{ext}'")
+          return True
+baseCommand: cat
+inputs:
+  data_file:
+    type: File
+    validate: |
+      f"{valid_file($(inputs.data_file.basename), '.csv')}"
+    inputBinding:
+      position: 1
+outputs:
+  validated_output:
+    type: stdout
+stdout: validated.txt

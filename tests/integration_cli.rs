@@ -1,0 +1,131 @@
+//! End-to-end tests of the `parsl-cwl` binary (§III-B): the runner command
+//! with a YAML config, inputs file, and `--key=value` overrides.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn parsl_cwl() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_parsl-cwl"))
+}
+
+#[test]
+fn runs_echo_with_flag_inputs() {
+    let dir = scratch("echo");
+    let config = dir.join("config.yml");
+    std::fs::write(
+        &config,
+        format!(
+            "executor:\n  kind: thread-pool\n  workers: 2\nrun:\n  workdir: {}\n  builtin_tools: true\n",
+            dir.join("work").display()
+        ),
+    )
+    .unwrap();
+    let output = parsl_cwl()
+        .arg(&config)
+        .arg(fixtures().join("echo.cwl"))
+        .arg("--message=Hello from the CLI")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("hello.txt"), "stdout: {stdout}");
+    let produced = std::fs::read_to_string(dir.join("work").join("echo_0").join("hello.txt"))
+        .expect("output file exists");
+    assert_eq!(produced, "Hello from the CLI\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn runs_tool_with_inputs_file() {
+    let dir = scratch("inputsfile");
+    let config = dir.join("config.yml");
+    std::fs::write(
+        &config,
+        format!(
+            "executor:\n  kind: thread-pool\n  workers: 1\nrun:\n  workdir: {}\n  builtin_tools: true\n",
+            dir.join("work").display()
+        ),
+    )
+    .unwrap();
+    let inputs = dir.join("inputs.yml");
+    std::fs::write(&inputs, "message: from inputs.yml\n").unwrap();
+    let output = parsl_cwl()
+        .arg(&config)
+        .arg(fixtures().join("echo.cwl"))
+        .arg(&inputs)
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let produced = std::fs::read_to_string(dir.join("work").join("echo_0").join("hello.txt"))
+        .expect("output file exists");
+    assert_eq!(produced, "from inputs.yml\n");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn validate_mode_reports_diagnostics() {
+    let ok = parsl_cwl()
+        .arg("--validate")
+        .arg(fixtures().join("image_pipeline.cwl"))
+        .output()
+        .expect("binary runs");
+    assert!(ok.status.success());
+    assert!(String::from_utf8_lossy(&ok.stdout).contains("valid"));
+
+    let dir = scratch("badval");
+    let bad = dir.join("bad.cwl");
+    std::fs::write(&bad, "class: CommandLineTool\ninputs: {}\noutputs: {}\n").unwrap();
+    let res = parsl_cwl().arg("--validate").arg(&bad).output().expect("binary runs");
+    assert!(!res.status.success());
+    let text = String::from_utf8_lossy(&res.stdout);
+    assert!(text.contains("cwlVersion"), "{text}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_arguments_produce_usage() {
+    let res = parsl_cwl().output().expect("binary runs");
+    assert!(!res.status.success());
+    assert!(String::from_utf8_lossy(&res.stderr).contains("usage"));
+}
+
+#[test]
+fn workflow_execution_through_cli() {
+    let dir = scratch("wf");
+    let input_img = dir.join("in.rimg");
+    imaging::write_rimg(&input_img, &imaging::gradient(20, 20, 3)).unwrap();
+    let config = dir.join("config.yml");
+    std::fs::write(
+        &config,
+        format!(
+            "executor:\n  kind: thread-pool\n  workers: 4\nrun:\n  workdir: {}\n  builtin_tools: true\n",
+            dir.join("work").display()
+        ),
+    )
+    .unwrap();
+    let output = parsl_cwl()
+        .arg(&config)
+        .arg(fixtures().join("image_pipeline.cwl"))
+        .arg(format!("--input_image={}", input_img.display()))
+        .arg("--size=10")
+        .arg("--sepia=false")
+        .arg("--radius=1")
+        .output()
+        .expect("binary runs");
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    assert!(stdout.contains("final_output"), "stdout: {stdout}");
+    assert!(stdout.contains("blurred.rimg"), "stdout: {stdout}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

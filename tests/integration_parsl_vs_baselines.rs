@@ -1,0 +1,156 @@
+//! Cross-system integration: all three runners (cwltool-like, Toil-like,
+//! parsl-cwl) must produce **identical pixel content** for the same CWL
+//! workflow and inputs — the correctness property underneath the paper's
+//! performance comparison.
+
+use cwl_parsl::{CwlAppOptions, ParslWorkflowRunner};
+use cwlexec::BuiltinDispatch;
+use parsl::{Config, DataFlowKernel};
+use runners::{RefRunner, ToilRunner};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use yamlite::{Map, Value};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("xsys-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Fingerprints of the final images from a list of File values.
+fn fingerprints(files: &Value) -> Vec<u64> {
+    files
+        .as_seq()
+        .expect("array of Files")
+        .iter()
+        .map(|f| {
+            imaging::read_rimg(f["path"].as_str().expect("path"))
+                .expect("readable output")
+                .fingerprint()
+        })
+        .collect()
+}
+
+#[test]
+fn all_three_systems_agree_on_scattered_pipeline() {
+    gridsim::TimeScale::set(0.0); // correctness test: no modelled latency
+    let base = scratch("agree");
+    let wf = fixtures().join("scatter_images.cwl");
+
+    // Shared inputs.
+    let mut images = Vec::new();
+    for i in 0..5u64 {
+        let p = base.join(format!("in{i}.rimg"));
+        imaging::write_rimg(&p, &imaging::noise(40, 40, i)).unwrap();
+        images.push(Value::str(p.to_string_lossy().into_owned()));
+    }
+    let mut inputs = Map::new();
+    inputs.insert("input_images", Value::Seq(images));
+    inputs.insert("size", Value::Int(20));
+    inputs.insert("sepia", Value::Bool(true));
+    inputs.insert("radius", Value::Int(2));
+
+    // cwltool-like.
+    let ref_dir = base.join("refrunner");
+    let ref_report = RefRunner::new(4, Arc::new(BuiltinDispatch))
+        .run(&wf, &inputs, &ref_dir)
+        .unwrap();
+    let ref_prints = fingerprints(ref_report.outputs.get("final_outputs").unwrap());
+
+    // Toil-like.
+    let toil_dir = base.join("toil");
+    let toil_report =
+        ToilRunner::single_machine(4, toil_dir.join("js"), Arc::new(BuiltinDispatch))
+            .run(&wf, &inputs, &toil_dir)
+            .unwrap();
+    let toil_prints = fingerprints(toil_report.outputs.get("final_outputs").unwrap());
+
+    // parsl-cwl.
+    let parsl_dir = base.join("parsl");
+    let dfk = DataFlowKernel::new(Config::local_threads(4));
+    let parsl_out = ParslWorkflowRunner::new(
+        &dfk,
+        CwlAppOptions::in_dir(&parsl_dir).with_builtin_tools(),
+    )
+    .run(&wf, &inputs)
+    .unwrap();
+    dfk.shutdown();
+    let parsl_prints = fingerprints(parsl_out.get("final_outputs").unwrap());
+
+    assert_eq!(ref_prints, toil_prints, "cwltool vs toil outputs differ");
+    assert_eq!(ref_prints, parsl_prints, "cwltool vs parsl outputs differ");
+    assert_eq!(ref_prints.len(), 5);
+    // Distinct inputs must give distinct outputs (no accidental sharing).
+    let unique: std::collections::HashSet<_> = ref_prints.iter().collect();
+    assert_eq!(unique.len(), 5);
+
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn manual_parsl_chain_matches_workflow_runner() {
+    // Listing 4 (hand-chained CwlApps) and the workflow compiler must give
+    // byte-identical results for the same single image.
+    gridsim::TimeScale::set(0.0);
+    let base = scratch("manual");
+    let input = base.join("in.rimg");
+    imaging::write_rimg(&input, &imaging::gradient(36, 36, 11)).unwrap();
+
+    // Hand-chained.
+    let dfk = DataFlowKernel::new(Config::local_threads(3));
+    let opts = || CwlAppOptions::in_dir(base.join("hand")).with_builtin_tools();
+    let resize =
+        cwl_parsl::CwlApp::load(&dfk, fixtures().join("resize_image.cwl"), opts()).unwrap();
+    let filter =
+        cwl_parsl::CwlApp::load(&dfk, fixtures().join("filter_image.cwl"), opts()).unwrap();
+    let blur = cwl_parsl::CwlApp::load(&dfk, fixtures().join("blur_image.cwl"), opts()).unwrap();
+    let r = resize
+        .call()
+        .arg("input_image", input.to_string_lossy().into_owned())
+        .arg("size", 18i64)
+        .arg("output_image", "resized.rimg")
+        .submit()
+        .unwrap();
+    let f = filter
+        .call()
+        .arg_data("input_image", r.output())
+        .arg("sepia", true)
+        .arg("output_image", "filtered.rimg")
+        .submit()
+        .unwrap();
+    let b = blur
+        .call()
+        .arg_data("input_image", f.output())
+        .arg("radius", 1i64)
+        .arg("output_image", "blurred.rimg")
+        .submit()
+        .unwrap();
+    let hand_img = imaging::read_rimg(b.output().result().unwrap().path()).unwrap();
+
+    // Workflow-compiled.
+    let mut inputs = Map::new();
+    inputs.insert("input_image", Value::str(input.to_string_lossy().into_owned()));
+    inputs.insert("size", Value::Int(18));
+    inputs.insert("sepia", Value::Bool(true));
+    inputs.insert("radius", Value::Int(1));
+    let wf_out = ParslWorkflowRunner::new(
+        &dfk,
+        CwlAppOptions::in_dir(base.join("compiled")).with_builtin_tools(),
+    )
+    .run(fixtures().join("image_pipeline.cwl"), &inputs)
+    .unwrap();
+    let wf_img =
+        imaging::read_rimg(wf_out.get("final_output").unwrap()["path"].as_str().unwrap())
+            .unwrap();
+    dfk.shutdown();
+
+    assert_eq!(hand_img.fingerprint(), wf_img.fingerprint());
+    gridsim::TimeScale::set(1.0);
+    let _ = std::fs::remove_dir_all(&base);
+}
