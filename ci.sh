@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Local CI gate: build everything, run the full test suite, and hold the
+# workspace to zero clippy warnings.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings

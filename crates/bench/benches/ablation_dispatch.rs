@@ -57,6 +57,7 @@ fn bench_dispatch(c: &mut Criterion) {
                                 nodes: 2,
                                 workers_per_node: 4,
                                 latency,
+                                ..HtexConfig::default()
                             },
                             Arc::new(LocalProvider::new(4)),
                         ))

@@ -110,6 +110,7 @@ pub fn run_fig1(system: Fig1System, cfg: &Fig1Config) -> Result<Duration, String
                     nodes: cfg.nodes,
                     workers_per_node: cfg.cores_per_node,
                     latency: LatencyModel::cluster_lan(),
+                    ..HtexConfig::default()
                 },
                 Arc::new(SlurmProvider::new(sched)),
             );

@@ -9,26 +9,45 @@
 //!   kind: htex            # or thread-pool
 //!   nodes: 3
 //!   workers_per_node: 48  # 0 = one worker per core
+//!   min_nodes: 3          # replace lost nodes to keep this floor
+//!   heartbeat_ms: 25      # manager heartbeat period
+//!   heartbeat_timeout_ms: 250
 //! provider:
 //!   kind: slurm           # or local
 //!   cluster:
 //!     nodes: 3
 //!     cores_per_node: 48
-//! retries: 1
+//! retry:
+//!   max_retries: 1
+//!   initial_backoff_ms: 50
+//!   multiplier: 2.0
+//!   max_backoff_ms: 2000
+//!   jitter: 0.1
+//!   walltime_ms: 60000
+//! fault:                  # scripted node deaths (experiments only)
+//!   kill:
+//!     - node: node02
+//!       after_tasks: 10
+//!     - node: node03
+//!       after_ms: 500
 //! run:
 //!   workdir: ./work
 //!   builtin_tools: true
 //! ```
+//!
+//! `retries: N` at the top level is still accepted as shorthand for
+//! `retry: {max_retries: N}`.
 
-use gridsim::{BatchScheduler, ClusterSpec, LatencyModel, SchedulerConfig};
-use parsl::{Config, HtexConfig, LocalProvider, Provider, SlurmProvider};
+use gridsim::{BatchScheduler, ClusterSpec, FaultPlan, LatencyModel, SchedulerConfig};
+use parsl::{Config, HtexConfig, LocalProvider, Provider, RetryPolicy, SlurmProvider};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 use yamlite::Value;
 
 /// A fully resolved runner configuration.
 pub struct RunnerConfig {
-    /// The Parsl kernel configuration (executor + provider + retries).
+    /// The Parsl kernel configuration (executor + provider + retry policy).
     pub parsl: Config,
     /// Working-directory base for tool invocations.
     pub workdir: PathBuf,
@@ -37,12 +56,67 @@ pub struct RunnerConfig {
     /// The simulated batch scheduler, when a slurm provider was configured
     /// (kept so callers can inspect queue state).
     pub scheduler: Option<BatchScheduler>,
+    /// The fault plan, when a `fault:` block was configured (kept so
+    /// callers can assert which nodes died).
+    pub fault_plan: Option<FaultPlan>,
 }
 
 /// Load a configuration from a YAML file.
 pub fn load_config_file(path: impl AsRef<Path>) -> Result<RunnerConfig, String> {
     let v = yamlite::parse_file(path.as_ref()).map_err(|e| e.to_string())?;
     load_config_value(&v)
+}
+
+/// Parse the `retry:` block (or the legacy top-level `retries:` count).
+fn parse_retry(v: &Value) -> RetryPolicy {
+    let mut policy = RetryPolicy::default();
+    if let Some(n) = v.get("retries").and_then(Value::as_int) {
+        policy.max_retries = n.max(0) as usize;
+    }
+    if let Some(block) = v.get("retry") {
+        if let Some(n) = block.get("max_retries").and_then(Value::as_int) {
+            policy.max_retries = n.max(0) as usize;
+        }
+        if let Some(ms) = block.get("initial_backoff_ms").and_then(Value::as_int) {
+            policy.initial_backoff = Duration::from_millis(ms.max(0) as u64);
+        }
+        if let Some(m) = block.get("multiplier").and_then(Value::as_float) {
+            policy.multiplier = m.max(1.0);
+        }
+        if let Some(ms) = block.get("max_backoff_ms").and_then(Value::as_int) {
+            policy.max_backoff = Duration::from_millis(ms.max(0) as u64);
+        }
+        if let Some(j) = block.get("jitter").and_then(Value::as_float) {
+            policy.jitter_frac = j.clamp(0.0, 1.0);
+        }
+        if let Some(ms) = block.get("walltime_ms").and_then(Value::as_int) {
+            policy.walltime = Some(Duration::from_millis(ms.max(1) as u64));
+        }
+    }
+    policy
+}
+
+/// Parse the `fault:` block into a [`FaultPlan`].
+fn parse_fault(v: &Value) -> Result<Option<FaultPlan>, String> {
+    let Some(block) = v.get("fault") else { return Ok(None) };
+    let mut plan = FaultPlan::new();
+    if let Some(kills) = block.get("kill").and_then(Value::as_seq) {
+        for kill in kills {
+            let node = kill
+                .get("node")
+                .and_then(Value::as_str)
+                .ok_or("fault.kill entries need a `node:` name")?
+                .to_string();
+            if let Some(n) = kill.get("after_tasks").and_then(Value::as_int) {
+                plan = plan.kill_after_tasks(node, n.max(0) as usize);
+            } else if let Some(ms) = kill.get("after_ms").and_then(Value::as_int) {
+                plan = plan.kill_after(node, Duration::from_millis(ms.max(0) as u64));
+            } else {
+                plan = plan.kill_now(node);
+            }
+        }
+    }
+    Ok(Some(plan))
 }
 
 /// Load a configuration from a parsed value.
@@ -52,7 +126,8 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .get("kind")
         .and_then(Value::as_str)
         .unwrap_or("thread-pool");
-    let retries = v.get("retries").and_then(Value::as_int).unwrap_or(0).max(0) as usize;
+    let retry = parse_retry(v);
+    let fault_plan = parse_fault(v)?;
 
     let mut scheduler = None;
     let parsl = match kind {
@@ -62,7 +137,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
                 .and_then(Value::as_int)
                 .map(|n| n.max(1) as usize)
                 .unwrap_or_else(default_parallelism);
-            Config::local_threads(workers).with_retries(retries)
+            Config::local_threads(workers).with_retry_policy(retry)
         }
         "htex" | "high-throughput" => {
             let nodes = executor.get("nodes").and_then(Value::as_int).unwrap_or(1).max(1) as usize;
@@ -107,6 +182,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
                 }
                 other => return Err(format!("unknown provider kind {other:?}")),
             };
+            let defaults = HtexConfig::default();
             let htex = HtexConfig {
                 label: executor
                     .get("label")
@@ -116,8 +192,24 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
                 nodes,
                 workers_per_node,
                 latency: LatencyModel::cluster_lan(),
+                min_nodes: executor
+                    .get("min_nodes")
+                    .and_then(Value::as_int)
+                    .map(|n| n.max(0) as usize)
+                    .unwrap_or(0),
+                heartbeat_period: executor
+                    .get("heartbeat_ms")
+                    .and_then(Value::as_int)
+                    .map(|ms| Duration::from_millis(ms.max(1) as u64))
+                    .unwrap_or(defaults.heartbeat_period),
+                heartbeat_threshold: executor
+                    .get("heartbeat_timeout_ms")
+                    .and_then(Value::as_int)
+                    .map(|ms| Duration::from_millis(ms.max(1) as u64))
+                    .unwrap_or(defaults.heartbeat_threshold),
+                fault_plan: fault_plan.clone(),
             };
-            Config::htex(htex, provider).with_retries(retries)
+            Config::htex(htex, provider).with_retry_policy(retry)
         }
         other => return Err(format!("unknown executor kind {other:?}")),
     };
@@ -133,7 +225,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .and_then(Value::as_bool)
         .unwrap_or(false);
 
-    Ok(RunnerConfig { parsl, workdir, builtin_tools, scheduler })
+    Ok(RunnerConfig { parsl, workdir, builtin_tools, scheduler, fault_plan })
 }
 
 fn default_parallelism() -> usize {
@@ -152,6 +244,8 @@ mod tests {
         assert!(matches!(c.parsl.executor, ExecutorChoice::ThreadPool { .. }));
         assert!(!c.builtin_tools);
         assert!(c.scheduler.is_none());
+        assert!(c.fault_plan.is_none());
+        assert_eq!(c.parsl.retry, RetryPolicy::default());
     }
 
     #[test]
@@ -162,7 +256,23 @@ mod tests {
             ExecutorChoice::ThreadPool { workers } => assert_eq!(workers, 6),
             _ => panic!("wrong executor"),
         }
-        assert_eq!(c.parsl.retries, 2);
+        assert_eq!(c.parsl.retry.max_retries, 2);
+    }
+
+    #[test]
+    fn retry_block_overrides_shorthand() {
+        let v = parse_str(
+            "retries: 1\nretry:\n  max_retries: 3\n  initial_backoff_ms: 50\n  multiplier: 3.0\n  max_backoff_ms: 800\n  jitter: 0.2\n  walltime_ms: 1500\n",
+        )
+        .unwrap();
+        let c = load_config_value(&v).unwrap();
+        let r = &c.parsl.retry;
+        assert_eq!(r.max_retries, 3);
+        assert_eq!(r.initial_backoff, Duration::from_millis(50));
+        assert_eq!(r.multiplier, 3.0);
+        assert_eq!(r.max_backoff, Duration::from_millis(800));
+        assert_eq!(r.jitter_frac, 0.2);
+        assert_eq!(r.walltime, Some(Duration::from_millis(1500)));
     }
 
     #[test]
@@ -178,6 +288,35 @@ mod tests {
         let sched = c.scheduler.unwrap();
         assert_eq!(sched.cluster().node_count(), 3);
         assert_eq!(sched.cluster().total_cores(), 12);
+    }
+
+    #[test]
+    fn htex_fault_tolerance_surface() {
+        let v = parse_str(
+            "executor:\n  kind: htex\n  nodes: 3\n  workers_per_node: 2\n  min_nodes: 3\n  heartbeat_ms: 10\n  heartbeat_timeout_ms: 120\nprovider:\n  kind: slurm\n  cluster:\n    nodes: 4\n    cores_per_node: 2\nretry:\n  max_retries: 1\nfault:\n  kill:\n    - node: node02\n      after_tasks: 5\n    - node: node03\n      after_ms: 250\n",
+        )
+        .unwrap();
+        let c = load_config_value(&v).unwrap();
+        let plan = c.fault_plan.clone().expect("fault plan parsed");
+        assert!(!plan.is_empty());
+        assert!(!plan.is_dead("node02"));
+        match c.parsl.executor {
+            ExecutorChoice::Htex { config, .. } => {
+                assert_eq!(config.min_nodes, 3);
+                assert_eq!(config.heartbeat_period, Duration::from_millis(10));
+                assert_eq!(config.heartbeat_threshold, Duration::from_millis(120));
+                // The executor's plan shares state with the returned one.
+                assert!(config.fault_plan.is_some());
+            }
+            _ => panic!("wrong executor"),
+        }
+        assert_eq!(c.parsl.retry.max_retries, 1);
+    }
+
+    #[test]
+    fn fault_kill_requires_node_name() {
+        let v = parse_str("fault:\n  kill:\n    - after_tasks: 2\n").unwrap();
+        assert!(load_config_value(&v).is_err());
     }
 
     #[test]

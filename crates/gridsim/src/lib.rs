@@ -21,9 +21,13 @@
 //! scheduling behaviour — the properties the paper's figures depend on.
 
 pub mod cluster;
+pub mod fault;
 pub mod latency;
 pub mod scheduler;
 
 pub use cluster::{ClusterSpec, NodeSpec};
+pub use fault::FaultPlan;
 pub use latency::{pay, scaled, LatencyModel, TimeScale};
-pub use scheduler::{BatchScheduler, JobHandle, JobId, JobRequest, JobState, SchedulerConfig};
+pub use scheduler::{
+    BatchScheduler, JobHandle, JobId, JobRequest, JobState, PreemptHook, SchedulerConfig,
+};

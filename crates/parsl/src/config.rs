@@ -2,7 +2,9 @@
 
 use crate::htex::HtexConfig;
 use crate::provider::Provider;
+use rand::Rng;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Which executor the kernel runs tasks on.
 pub enum ExecutorChoice {
@@ -20,12 +22,71 @@ pub enum ExecutorChoice {
     },
 }
 
+/// How failed attempts are retried — Parsl's `retries=` plus an
+/// exponential-backoff schedule and an optional per-attempt walltime.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Re-run a failed task up to this many times before giving up.
+    pub max_retries: usize,
+    /// Delay before the first retry (0 = retry immediately).
+    pub initial_backoff: Duration,
+    /// Backoff growth factor per retry.
+    pub multiplier: f64,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Randomize each delay by ±this fraction, de-synchronizing retry
+    /// storms after a node loss.
+    pub jitter_frac: f64,
+    /// Kill an attempt that runs longer than this with
+    /// [`crate::error::TaskError::Timeout`] (None = unlimited).
+    pub walltime: Option<Duration>,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 0,
+            initial_backoff: Duration::ZERO,
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(30),
+            jitter_frac: 0.1,
+            walltime: None,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// `n` retries, no backoff — Parsl's plain `retries=n`.
+    pub fn retries(n: usize) -> Self {
+        Self { max_retries: n, ..Self::default() }
+    }
+
+    /// The jittered delay before retry number `retry_index` (1-based):
+    /// `initial_backoff * multiplier^(retry_index-1)`, capped at
+    /// `max_backoff`, then scaled by a random factor in
+    /// `[1-jitter_frac, 1+jitter_frac]`.
+    pub fn backoff_for(&self, retry_index: usize) -> Duration {
+        if self.initial_backoff.is_zero() || retry_index == 0 {
+            return Duration::ZERO;
+        }
+        let growth = self.multiplier.max(1.0).powi(retry_index.saturating_sub(1) as i32);
+        let base =
+            (self.initial_backoff.as_secs_f64() * growth).min(self.max_backoff.as_secs_f64());
+        let jitter = if self.jitter_frac > 0.0 {
+            1.0 + rand::thread_rng().gen_range(-self.jitter_frac..self.jitter_frac)
+        } else {
+            1.0
+        };
+        Duration::from_secs_f64((base * jitter).max(0.0))
+    }
+}
+
 /// Kernel configuration (a small subset of Parsl's `Config`).
 pub struct Config {
     /// Executor choice.
     pub executor: ExecutorChoice,
-    /// How many times to re-run a failed task before giving up.
-    pub retries: usize,
+    /// Retry, backoff, and walltime behaviour.
+    pub retry: RetryPolicy,
     /// App memoization (Parsl's `memoize=True`): a task whose label and
     /// resolved input values match a previously *successful* task returns
     /// the cached result without re-executing.
@@ -39,7 +100,7 @@ impl Config {
     pub fn local_threads(workers: usize) -> Self {
         Self {
             executor: ExecutorChoice::ThreadPool { workers },
-            retries: 0,
+            retry: RetryPolicy::default(),
             memoize: false,
             label: "local".to_string(),
         }
@@ -49,15 +110,27 @@ impl Config {
     pub fn htex(config: HtexConfig, provider: Arc<dyn Provider>) -> Self {
         Self {
             executor: ExecutorChoice::Htex { config, provider },
-            retries: 0,
+            retry: RetryPolicy::default(),
             memoize: false,
             label: "htex".to_string(),
         }
     }
 
-    /// Set the retry count.
+    /// Set the retry count (keeping the rest of the policy).
     pub fn with_retries(mut self, retries: usize) -> Self {
-        self.retries = retries;
+        self.retry.max_retries = retries;
+        self
+    }
+
+    /// Replace the whole retry policy.
+    pub fn with_retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
+    /// Set a per-attempt walltime limit.
+    pub fn with_walltime(mut self, walltime: Duration) -> Self {
+        self.retry.walltime = Some(walltime);
         self
     }
 
@@ -75,7 +148,50 @@ mod tests {
     #[test]
     fn builders() {
         let c = Config::local_threads(8).with_retries(2);
-        assert_eq!(c.retries, 2);
+        assert_eq!(c.retry.max_retries, 2);
         assert!(matches!(c.executor, ExecutorChoice::ThreadPool { workers: 8 }));
+        let c = Config::local_threads(1).with_walltime(Duration::from_secs(5));
+        assert_eq!(c.retry.walltime, Some(Duration::from_secs(5)));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_retries: 5,
+            initial_backoff: Duration::from_millis(100),
+            multiplier: 2.0,
+            max_backoff: Duration::from_millis(350),
+            jitter_frac: 0.0,
+            walltime: None,
+        };
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(100));
+        assert_eq!(policy.backoff_for(2), Duration::from_millis(200));
+        // 400ms caps to 350ms.
+        assert_eq!(policy.backoff_for(3), Duration::from_millis(350));
+        assert_eq!(policy.backoff_for(10), Duration::from_millis(350));
+    }
+
+    #[test]
+    fn backoff_jitter_stays_in_band() {
+        let policy = RetryPolicy {
+            max_retries: 1,
+            initial_backoff: Duration::from_millis(100),
+            multiplier: 1.0,
+            max_backoff: Duration::from_secs(1),
+            jitter_frac: 0.25,
+            walltime: None,
+        };
+        for _ in 0..100 {
+            let d = policy.backoff_for(1);
+            assert!(d >= Duration::from_millis(75), "{d:?}");
+            assert!(d <= Duration::from_millis(125), "{d:?}");
+        }
+    }
+
+    #[test]
+    fn zero_backoff_is_immediate() {
+        let policy = RetryPolicy::retries(3);
+        assert_eq!(policy.backoff_for(1), Duration::ZERO);
+        assert_eq!(policy.backoff_for(3), Duration::ZERO);
     }
 }

@@ -4,7 +4,7 @@
 //! failures, retries, and records monitoring events.
 
 use crate::apps::{AppBody, CommandApp, CommandSpec};
-use crate::config::{Config, ExecutorChoice};
+use crate::config::{Config, ExecutorChoice, RetryPolicy};
 use crate::error::TaskError;
 use crate::executor::{Executor, TaskPayload, ThreadPoolExecutor};
 use crate::file::File;
@@ -92,7 +92,7 @@ struct TaskInner {
 /// `Arc` because completion callbacks keep references to it.
 pub struct DataFlowKernel {
     executor: Arc<dyn Executor>,
-    retries: usize,
+    retry: RetryPolicy,
     memoize: bool,
     /// Memo table: (label, fingerprint of resolved inputs) → successful
     /// result. Only successes are cached, matching Parsl's memoizer.
@@ -100,7 +100,9 @@ pub struct DataFlowKernel {
     next_id: AtomicU64,
     outstanding: Mutex<usize>,
     all_done: Condvar,
-    log: MonitoringLog,
+    /// Shared with the executor so node-level events (NodeLost,
+    /// BlockReplaced, Redispatched) land in the same log as task events.
+    log: Arc<MonitoringLog>,
 }
 
 /// FNV-1a fingerprint of a task's resolved input values.
@@ -127,24 +129,37 @@ impl DataFlowKernel {
 
     /// Build a kernel, returning provisioning errors.
     pub fn try_new(config: Config) -> Result<Arc<Self>, String> {
+        let label = config.label.clone();
         let executor: Arc<dyn Executor> = match config.executor {
             ExecutorChoice::ThreadPool { workers } => {
-                ThreadPoolExecutor::new(format!("{}-tpe", config.label), workers)
+                ThreadPoolExecutor::new(format!("{label}-tpe"), workers)
             }
             ExecutorChoice::Htex { config: hc, provider } => {
                 HighThroughputExecutor::start(hc, provider)?
             }
         };
-        Ok(Arc::new(Self {
+        Ok(Self::from_parts(executor, config.retry, config.memoize))
+    }
+
+    /// Build a kernel on an already-running executor — for custom executors
+    /// and fault-injection tests.
+    pub fn with_executor(executor: Arc<dyn Executor>, config: Config) -> Arc<Self> {
+        Self::from_parts(executor, config.retry, config.memoize)
+    }
+
+    fn from_parts(executor: Arc<dyn Executor>, retry: RetryPolicy, memoize: bool) -> Arc<Self> {
+        let log = Arc::new(MonitoringLog::new());
+        executor.attach_monitoring(log.clone());
+        Arc::new(Self {
             executor,
-            retries: config.retries,
-            memoize: config.memoize,
+            retry,
+            memoize,
             memo: Mutex::new(std::collections::HashMap::new()),
             next_id: AtomicU64::new(1),
             outstanding: Mutex::new(0),
             all_done: Condvar::new(),
-            log: MonitoringLog::new(),
-        }))
+            log,
+        })
     }
 
     /// The executor in use.
@@ -177,7 +192,7 @@ impl DataFlowKernel {
             label: label.to_string(),
             body,
             args,
-            retries_left: AtomicUsize::new(self.retries),
+            retries_left: AtomicUsize::new(self.retry.max_retries),
             promise: Mutex::new(Some(promise)),
         });
 
@@ -248,16 +263,32 @@ impl DataFlowKernel {
     }
 
     /// Run one execution attempt on the executor; retry on failure while
-    /// budget remains.
+    /// budget remains, honouring the policy's backoff schedule.
     fn attempt(self: &Arc<Self>, task: Arc<TaskInner>, vals: Arc<Vec<Value>>) {
         let (attempt_fut, attempt_promise) = promise_pair(task.id);
         let body = task.body.clone();
         let vals_for_body = vals.clone();
         self.executor.submit(TaskPayload {
             id: task.id,
-            body: Box::new(move || body(&vals_for_body)),
-            promise: attempt_promise,
+            body: Arc::new(move || body(&vals_for_body)),
+            promise: attempt_promise.clone(),
         });
+        // Walltime watchdog: race the executor with a timer holding a
+        // clone of the attempt promise — first completion wins, so a
+        // finished task makes the watchdog's completion a no-op.
+        if let Some(walltime) = self.retry.walltime {
+            let watched = attempt_fut.clone();
+            let dfk = self.clone();
+            let task = task.clone();
+            let _ = std::thread::Builder::new()
+                .name(format!("walltime-{}", task.id))
+                .spawn(move || {
+                    if watched.result_timeout(walltime).is_none() {
+                        dfk.log.record(task.id, TaskEventKind::TimedOut, &task.label);
+                        attempt_promise.complete(Err(TaskError::Timeout(walltime)));
+                    }
+                });
+        }
         let dfk = self.clone();
         attempt_fut.on_complete(move |result| match result {
             Ok(value) => {
@@ -267,19 +298,39 @@ impl DataFlowKernel {
                 }
                 dfk.finish(&task, result.clone())
             }
-            Err(_) => {
-                // Dependency failures are final; execution failures retry.
-                let retryable = !matches!(result, Err(TaskError::DependencyFailed { .. }));
-                if retryable
-                    && task
-                        .retries_left
-                        .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
-                        .is_ok()
-                {
-                    dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
-                    dfk.attempt(task.clone(), vals.clone());
-                } else {
-                    dfk.finish(&task, result.clone());
+            Err(e) => {
+                // Dependency failures are final — re-running cannot change
+                // the upstream outcome — and shutdown means there is
+                // nothing left to run on. Execution failures (including
+                // timeouts and lost executors) retry.
+                let retryable = !matches!(
+                    e,
+                    TaskError::DependencyFailed { .. } | TaskError::Shutdown
+                );
+                match task
+                    .retries_left
+                    .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                        if retryable { n.checked_sub(1) } else { None }
+                    }) {
+                    Ok(prev) => {
+                        dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
+                        let retry_index = dfk.retry.max_retries - prev + 1;
+                        let delay = dfk.retry.backoff_for(retry_index);
+                        if delay.is_zero() {
+                            dfk.attempt(task.clone(), vals.clone());
+                        } else {
+                            let dfk = dfk.clone();
+                            let task = task.clone();
+                            let vals = vals.clone();
+                            let _ = std::thread::Builder::new()
+                                .name(format!("backoff-{}", task.id))
+                                .spawn(move || {
+                                    std::thread::sleep(delay);
+                                    dfk.attempt(task, vals);
+                                });
+                        }
+                    }
+                    Err(_) => dfk.finish(&task, result.clone()),
                 }
             }
         });
@@ -614,6 +665,146 @@ mod tests {
     }
 
     #[test]
+    fn backoff_delays_retries() {
+        let policy = RetryPolicy {
+            max_retries: 2,
+            initial_backoff: Duration::from_millis(40),
+            multiplier: 1.0,
+            max_backoff: Duration::from_secs(1),
+            jitter_frac: 0.0,
+            walltime: None,
+        };
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_retry_policy(policy));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = attempts.clone();
+        let start = std::time::Instant::now();
+        let fut = dfk.submit(
+            "flaky",
+            vec![],
+            FnApp::new(move |_| {
+                if attempts2.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err(TaskError::failed("transient"))
+                } else {
+                    Ok(Value::Null)
+                }
+            }),
+        );
+        fut.result().unwrap();
+        // Two retries, each preceded by a 40ms (no-jitter) backoff.
+        assert!(start.elapsed() >= Duration::from_millis(80), "{:?}", start.elapsed());
+        assert_eq!(attempts.load(Ordering::SeqCst), 3);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn walltime_kills_runaway_attempt() {
+        let dfk = DataFlowKernel::new(
+            Config::local_threads(2).with_walltime(Duration::from_millis(40)),
+        );
+        let fut = dfk.submit(
+            "runaway",
+            vec![],
+            FnApp::new(|_| {
+                std::thread::sleep(Duration::from_millis(400));
+                Ok(Value::Null)
+            }),
+        );
+        match fut.result() {
+            Err(TaskError::Timeout(d)) => assert_eq!(d, Duration::from_millis(40)),
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert_eq!(dfk.monitoring().summary().timed_out, 1);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn walltime_spares_fast_tasks() {
+        let dfk = DataFlowKernel::new(
+            Config::local_threads(2).with_walltime(Duration::from_secs(5)),
+        );
+        let fut = dfk.submit("quick", vec![], FnApp::new(|_| Ok(Value::Int(1))));
+        assert_eq!(fut.result().unwrap(), Value::Int(1));
+        assert_eq!(dfk.monitoring().summary().timed_out, 0);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn timed_out_attempt_is_retried() {
+        let policy = RetryPolicy {
+            max_retries: 1,
+            walltime: Some(Duration::from_millis(60)),
+            ..RetryPolicy::default()
+        };
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_retry_policy(policy));
+        let attempts = Arc::new(AtomicUsize::new(0));
+        let attempts2 = attempts.clone();
+        let fut = dfk.submit(
+            "slow-then-fast",
+            vec![],
+            FnApp::new(move |_| {
+                if attempts2.fetch_add(1, Ordering::SeqCst) == 0 {
+                    std::thread::sleep(Duration::from_millis(400));
+                }
+                Ok(Value::str("made it"))
+            }),
+        );
+        assert_eq!(fut.result().unwrap(), Value::str("made it"));
+        assert_eq!(dfk.monitoring().summary().timed_out, 1);
+        dfk.shutdown();
+    }
+
+    /// An executor that loses its first submission to a synthetic node
+    /// failure, then behaves normally.
+    struct LosesFirstTask {
+        inner: Arc<ThreadPoolExecutor>,
+        tripped: std::sync::atomic::AtomicBool,
+    }
+
+    impl Executor for LosesFirstTask {
+        fn submit(&self, task: TaskPayload) {
+            if !self.tripped.swap(true, Ordering::SeqCst) {
+                task.promise
+                    .complete(Err(TaskError::ExecutorLost("synthetic node loss".into())));
+                return;
+            }
+            self.inner.submit(task);
+        }
+        fn label(&self) -> &str {
+            "loses-first"
+        }
+        fn worker_count(&self) -> usize {
+            self.inner.worker_count()
+        }
+        fn shutdown(&self) {
+            self.inner.shutdown();
+        }
+    }
+
+    #[test]
+    fn executor_lost_is_retried_but_dependency_failure_is_not() {
+        let flaky = Arc::new(LosesFirstTask {
+            inner: ThreadPoolExecutor::new("inner", 2),
+            tripped: std::sync::atomic::AtomicBool::new(false),
+        });
+        let dfk =
+            DataFlowKernel::with_executor(flaky, Config::local_threads(0).with_retries(2));
+        // First submission is lost with ExecutorLost → retried → succeeds.
+        let survivor = dfk.submit("survivor", vec![], FnApp::new(|_| Ok(Value::Int(7))));
+        assert_eq!(survivor.result().unwrap(), Value::Int(7));
+        assert_eq!(dfk.monitoring().summary().retried, 1);
+        // A dependency failure must fail immediately, consuming no retries.
+        let boom = dfk.submit("boom", vec![], FnApp::new(|_| Err(TaskError::failed("x"))));
+        let dep = dfk.submit("dep", vec![AppArg::future(&boom)], add_app());
+        match dep.result() {
+            Err(TaskError::DependencyFailed { .. }) => {}
+            other => panic!("expected DependencyFailed, got {other:?}"),
+        }
+        // boom itself retried (2), dep did not (0), survivor retried once.
+        assert_eq!(dfk.monitoring().summary().retried, 3);
+        dfk.shutdown();
+    }
+
+    #[test]
     fn htex_config_end_to_end() {
         use crate::htex::HtexConfig;
         use crate::provider::LocalProvider;
@@ -624,6 +815,7 @@ mod tests {
                 nodes: 2,
                 workers_per_node: 2,
                 latency: LatencyModel::in_process(),
+                ..HtexConfig::default()
             },
             Arc::new(LocalProvider::new(2)),
         );

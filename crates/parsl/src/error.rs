@@ -19,6 +19,11 @@ pub enum TaskError {
     Panicked(String),
     /// The kernel or executor was shut down before the task ran.
     Shutdown,
+    /// The attempt exceeded its configured walltime.
+    Timeout(std::time::Duration),
+    /// The executor lost the workers holding this task (e.g. every node
+    /// died) and could not recover capacity to re-run it.
+    ExecutorLost(String),
 }
 
 impl TaskError {
@@ -37,6 +42,8 @@ impl fmt::Display for TaskError {
             }
             TaskError::Panicked(m) => write!(f, "task panicked: {m}"),
             TaskError::Shutdown => write!(f, "executor shut down before task ran"),
+            TaskError::Timeout(d) => write!(f, "task exceeded walltime of {d:?}"),
+            TaskError::ExecutorLost(m) => write!(f, "executor lost: {m}"),
         }
     }
 }
@@ -55,5 +62,11 @@ mod tests {
             "dependency task3 failed: x"
         );
         assert!(TaskError::Shutdown.to_string().contains("shut down"));
+        assert!(TaskError::Timeout(std::time::Duration::from_secs(2))
+            .to_string()
+            .contains("walltime"));
+        assert!(TaskError::ExecutorLost("node01 died".into())
+            .to_string()
+            .contains("node01 died"));
     }
 }

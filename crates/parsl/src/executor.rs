@@ -4,18 +4,28 @@
 
 use crate::error::TaskError;
 use crate::future::{Promise, TaskResult};
+use crate::monitoring::MonitoringLog;
 use crate::task::TaskId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use yamlite::Value;
 
+/// A task body. `Arc<dyn Fn>` rather than `Box<dyn FnOnce>` so a payload
+/// can be cloned and re-dispatched when the worker holding it is lost —
+/// the foundation of HTEX fault tolerance.
+pub type TaskBody = Arc<dyn Fn() -> Result<Value, TaskError> + Send + Sync>;
+
 /// The work handed to an executor: a ready-to-run body plus the promise to
-/// resolve with its outcome.
+/// resolve with its outcome. Cloneable so a lost dispatch can be retried on
+/// a surviving worker (the shared promise makes double completion a no-op —
+/// first completion wins).
+#[derive(Clone)]
 pub struct TaskPayload {
     /// Task identity (for logs).
     pub id: TaskId,
     /// The body to execute.
-    pub body: Box<dyn FnOnce() -> Result<Value, TaskError> + Send>,
+    pub body: TaskBody,
     /// The promise resolved with the outcome.
     pub promise: Promise,
 }
@@ -23,15 +33,15 @@ pub struct TaskPayload {
 impl TaskPayload {
     /// Execute the body (with panic isolation) and resolve the promise.
     pub fn run(self) {
-        let result = run_isolated(self.body);
+        let result = run_isolated(&self.body);
         self.promise.complete(result);
     }
 }
 
 /// Run a task body, converting panics into [`TaskError::Panicked`] so one
 /// bad app cannot take down a worker.
-pub fn run_isolated(body: Box<dyn FnOnce() -> Result<Value, TaskError> + Send>) -> TaskResult {
-    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+pub fn run_isolated(body: &TaskBody) -> TaskResult {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body())) {
         Ok(result) => result,
         Err(payload) => {
             let msg = payload
@@ -48,6 +58,8 @@ pub fn run_isolated(body: Box<dyn FnOnce() -> Result<Value, TaskError> + Send>) 
 /// (itself modeled on `concurrent.futures.Executor`).
 pub trait Executor: Send + Sync {
     /// Queue a task for execution. Must not block on task completion.
+    /// After [`Executor::shutdown`], implementations must fail the task's
+    /// promise with [`TaskError::Shutdown`] instead of accepting it.
     fn submit(&self, task: TaskPayload);
 
     /// Human-readable label (appears in monitoring).
@@ -59,6 +71,10 @@ pub trait Executor: Send + Sync {
     /// Stop accepting tasks and join workers. Queued tasks are completed
     /// with [`TaskError::Shutdown`].
     fn shutdown(&self);
+
+    /// Attach a monitoring log for executor-level events (node loss,
+    /// re-dispatch). Default: no executor-level events.
+    fn attach_monitoring(&self, _log: Arc<MonitoringLog>) {}
 }
 
 enum Msg {
@@ -73,6 +89,7 @@ pub struct ThreadPoolExecutor {
     tx: Sender<Msg>,
     workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
     worker_count: usize,
+    closed: AtomicBool,
 }
 
 impl ThreadPoolExecutor {
@@ -97,6 +114,7 @@ impl ThreadPoolExecutor {
             tx,
             workers: parking_lot::Mutex::new(handles),
             worker_count: workers,
+            closed: AtomicBool::new(false),
         })
     }
 }
@@ -112,11 +130,18 @@ fn worker_loop(rx: Receiver<Msg>) {
 
 impl Executor for ThreadPoolExecutor {
     fn submit(&self, task: TaskPayload) {
-        if self.tx.send(Msg::Task(task)).is_err() {
-            // Channel closed: executor already shut down. The payload was
-            // moved into the failed send; nothing further to resolve here —
-            // crossbeam returns it, so recover and fail the promise.
-            unreachable!("unbounded channel send fails only after drop");
+        if self.closed.load(Ordering::SeqCst) {
+            // Fail fast: a submit after shutdown must not leave the caller
+            // blocked forever on a promise nobody will resolve.
+            task.promise.complete(Err(TaskError::Shutdown));
+            return;
+        }
+        if let Err(send_err) = self.tx.send(Msg::Task(task)) {
+            // Lost the race with shutdown; recover the payload from the
+            // failed send and resolve its promise.
+            if let Msg::Task(task) = send_err.0 {
+                task.promise.complete(Err(TaskError::Shutdown));
+            }
         }
     }
 
@@ -129,6 +154,7 @@ impl Executor for ThreadPoolExecutor {
     }
 
     fn shutdown(&self) {
+        self.closed.store(true, Ordering::SeqCst);
         for _ in 0..self.worker_count {
             let _ = self.tx.send(Msg::Stop);
         }
@@ -148,10 +174,10 @@ mod tests {
 
     fn payload(
         id: u64,
-        body: impl FnOnce() -> Result<Value, TaskError> + Send + 'static,
+        body: impl Fn() -> Result<Value, TaskError> + Send + Sync + 'static,
     ) -> (crate::future::AppFuture, TaskPayload) {
         let (fut, promise) = promise_pair(TaskId(id));
-        (fut, TaskPayload { id: TaskId(id), body: Box::new(body), promise })
+        (fut, TaskPayload { id: TaskId(id), body: Arc::new(body), promise })
     }
 
     #[test]
@@ -213,6 +239,19 @@ mod tests {
         fut.result().unwrap();
         pool.shutdown();
         assert!(pool.workers.lock().is_empty());
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let pool = ThreadPoolExecutor::new("tp", 2);
+        pool.shutdown();
+        let (fut, task) = payload(1, || Ok(Value::Int(1)));
+        pool.submit(task);
+        // The promise must resolve promptly with Shutdown, not hang.
+        match fut.result_timeout(Duration::from_secs(2)) {
+            Some(Err(TaskError::Shutdown)) => {}
+            other => panic!("expected fast Shutdown error, got {other:?}"),
+        }
     }
 
     #[test]

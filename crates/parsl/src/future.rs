@@ -45,6 +45,9 @@ impl std::fmt::Debug for AppFuture {
 
 /// The write side of an [`AppFuture`]. Completing twice is a logic error and
 /// is ignored (first completion wins), matching `concurrent.futures`.
+/// Cloneable so a task attempt can be raced by several resolvers (e.g. the
+/// executor and a walltime watchdog) — whichever completes first wins.
+#[derive(Clone)]
 pub struct Promise {
     shared: Arc<Shared>,
 }

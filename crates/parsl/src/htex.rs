@@ -12,23 +12,41 @@
 //!
 //! Nodes come from a [`Provider`] as pilot jobs (paying batch-queue wait);
 //! each granted node gets a *manager* with `workers_per_node` worker threads.
-//! Workers pull from a shared interchange queue (ideal load balancing, which
-//! HTEX approximates in practice) and pay a modelled per-task dispatch
+//! A dispatcher thread drains the interchange queue and hands each task to a
+//! live manager round-robin; workers pay a modelled per-task dispatch
 //! latency — the cost of crossing the submit-side ↔ manager network
 //! boundary. The latency is paid **on the worker**, so dispatches pipeline
 //! exactly as real network transfers do.
+//!
+//! Fault tolerance, mirrored from Parsl's interchange/manager heartbeats:
+//! every manager runs a heartbeat thread; a monitor on the submit side
+//! declares a manager dead when its heartbeat goes stale (or when a
+//! [`FaultPlan`] kills its node). The dead manager's in-flight tasks are
+//! re-queued to surviving managers — task bodies are `Fn`, not `FnOnce`, so
+//! a payload can be re-dispatched — and, when the live-node count drops
+//! below [`HtexConfig::min_nodes`], a replacement block is provisioned
+//! through the provider. If every node is lost and no replacement can be
+//! obtained, pending tasks fail with [`TaskError::ExecutorLost`].
 //!
 //! Elasticity: [`HighThroughputExecutor::add_block`] provisions additional
 //! nodes at runtime; [`crate::strategy`] automates this the way Parsl's
 //! scaling strategy does.
 
+use crate::error::TaskError;
 use crate::executor::{Executor, TaskPayload};
+use crate::monitoring::{MonitoringLog, TaskEventKind};
 use crate::provider::{NodeHandle, Provider};
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use gridsim::LatencyModel;
+use crate::task::TaskId;
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use gridsim::{FaultPlan, LatencyModel};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
+use std::time::{Duration, Instant};
+
+/// How often idle workers wake to check whether their manager died.
+const WORKER_POLL: Duration = Duration::from_millis(10);
 
 /// HTEX configuration.
 pub struct HtexConfig {
@@ -40,6 +58,30 @@ pub struct HtexConfig {
     pub workers_per_node: usize,
     /// Network model between submit side and managers.
     pub latency: LatencyModel,
+    /// How often managers heartbeat to the submit side.
+    pub heartbeat_period: Duration,
+    /// Heartbeat staleness after which a manager is declared dead.
+    pub heartbeat_threshold: Duration,
+    /// Re-provision replacement blocks to keep at least this many live
+    /// nodes (0 = never replace lost nodes).
+    pub min_nodes: usize,
+    /// Scripted node deaths, for fault-injection experiments.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for HtexConfig {
+    fn default() -> Self {
+        Self {
+            label: "htex".to_string(),
+            nodes: 1,
+            workers_per_node: 0,
+            latency: LatencyModel::in_process(),
+            heartbeat_period: Duration::from_millis(25),
+            heartbeat_threshold: Duration::from_millis(250),
+            min_nodes: 0,
+            fault_plan: None,
+        }
+    }
 }
 
 impl HtexConfig {
@@ -50,32 +92,85 @@ impl HtexConfig {
             nodes: 3,
             workers_per_node: 0,
             latency: LatencyModel::cluster_lan(),
+            ..Self::default()
         }
     }
 }
 
-enum Msg {
-    Task(TaskPayload),
+enum WorkerMsg {
+    Task { seq: u64, payload: TaskPayload, finished: Arc<AtomicBool> },
     Stop,
 }
 
-struct ManagerInfo {
-    node: NodeHandle,
-    workers: Vec<std::thread::JoinHandle<()>>,
+enum DispatchMsg {
+    Task { payload: TaskPayload, finished: Arc<AtomicBool> },
+    Stop,
+}
+
+/// A dispatched task the executor still owes an answer for. The `finished`
+/// flag is shared by every dispatch attempt of the same submission, so
+/// exactly one attempt claims completion (and the backlog decrement) even
+/// when a spuriously-dead manager raced a re-dispatch.
+struct TrackedTask {
+    payload: TaskPayload,
+    finished: Arc<AtomicBool>,
+}
+
+/// Submit-side state for one connected manager (≙ one granted node).
+struct ManagerState {
+    node_name: String,
+    tx: Sender<WorkerMsg>,
+    /// Last heartbeat, in ms since the executor started.
+    last_beat: AtomicU64,
+    /// Set when the node is known dead (fault plan or stale heartbeat).
+    dead: AtomicBool,
+    /// Set by the monitor once this manager's loss has been processed.
+    lost_handled: AtomicBool,
+    /// Tasks sent to this manager and not yet completed, keyed by a
+    /// dispatch sequence number (task ids may repeat across attempts).
+    in_flight: Mutex<HashMap<u64, TrackedTask>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    heartbeat: Mutex<Option<std::thread::JoinHandle<()>>>,
+    /// Held until shutdown so the pilot job is released exactly once,
+    /// whether or not the node died.
+    node: Mutex<Option<NodeHandle>>,
+    worker_count: usize,
+}
+
+/// Decrements a counter on drop — keeps the outstanding-task count exact
+/// even if something panics between claiming a task and finishing it.
+struct OutstandingGuard<'a>(&'a AtomicUsize);
+
+impl Drop for OutstandingGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The pilot-job executor.
 pub struct HighThroughputExecutor {
     label: String,
-    tx: Sender<Msg>,
-    rx: Receiver<Msg>,
-    managers: Mutex<Vec<ManagerInfo>>,
+    dispatch_tx: Sender<DispatchMsg>,
+    managers: Mutex<Vec<Arc<ManagerState>>>,
     provider: Arc<dyn Provider>,
     worker_total: AtomicUsize,
     workers_per_node: usize,
     latency: LatencyModel,
-    /// Tasks submitted minus tasks picked up — used by the scaling strategy.
+    fault_plan: Option<FaultPlan>,
+    heartbeat_period: Duration,
+    heartbeat_threshold: Duration,
+    min_nodes: usize,
+    /// Tasks submitted minus tasks finished — used by the scaling strategy.
     outstanding: AtomicUsize,
+    next_seq: AtomicU64,
+    closed: AtomicBool,
+    /// Set when every node is lost and no replacement could be provisioned;
+    /// pending tasks then fail with [`TaskError::ExecutorLost`].
+    failed: AtomicBool,
+    start: Instant,
+    log: Mutex<Option<Arc<MonitoringLog>>>,
+    dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
+    monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl HighThroughputExecutor {
@@ -86,57 +181,152 @@ impl HighThroughputExecutor {
         config: HtexConfig,
         provider: Arc<dyn Provider>,
     ) -> Result<Arc<Self>, String> {
-        let (tx, rx) = unbounded::<Msg>();
+        let (dispatch_tx, dispatch_rx) = unbounded::<DispatchMsg>();
         let htex = Arc::new(Self {
             label: config.label,
-            tx,
-            rx,
+            dispatch_tx,
             managers: Mutex::new(Vec::new()),
             provider,
             worker_total: AtomicUsize::new(0),
             workers_per_node: config.workers_per_node,
             latency: config.latency,
+            fault_plan: config.fault_plan,
+            heartbeat_period: config.heartbeat_period,
+            heartbeat_threshold: config.heartbeat_threshold,
+            min_nodes: config.min_nodes,
             outstanding: AtomicUsize::new(0),
+            next_seq: AtomicU64::new(1),
+            closed: AtomicBool::new(false),
+            failed: AtomicBool::new(false),
+            start: Instant::now(),
+            log: Mutex::new(None),
+            dispatcher: Mutex::new(None),
+            monitor: Mutex::new(None),
         });
         htex.add_block(config.nodes)?;
+        let me = Arc::downgrade(&htex);
+        *htex.dispatcher.lock() = Some(
+            std::thread::Builder::new()
+                .name(format!("{}-dispatch", htex.label))
+                .spawn(move || dispatcher_loop(dispatch_rx, me))
+                .map_err(|e| format!("failed to spawn HTEX dispatcher: {e}"))?,
+        );
+        let me = Arc::downgrade(&htex);
+        *htex.monitor.lock() = Some(
+            std::thread::Builder::new()
+                .name(format!("{}-monitor", htex.label))
+                .spawn(move || monitor_loop(me))
+                .map_err(|e| format!("failed to spawn HTEX monitor: {e}"))?,
+        );
         Ok(htex)
     }
 
     /// Provision `nodes` additional nodes and connect their managers.
     /// Returns the number of workers added.
     pub fn add_block(self: &Arc<Self>, nodes: usize) -> Result<usize, String> {
+        self.add_block_inner(nodes).map(|(added, _)| added)
+    }
+
+    fn add_block_inner(
+        self: &Arc<Self>,
+        nodes: usize,
+    ) -> Result<(usize, Vec<String>), String> {
         let granted = self.provider.provision(nodes)?;
         let mut added = 0usize;
-        let mut managers = self.managers.lock();
+        let mut names = Vec::with_capacity(granted.len());
+        let mut new_mgrs = Vec::with_capacity(granted.len());
         for node in granted {
             let per_node = if self.workers_per_node == 0 {
                 node.cores()
             } else {
                 self.workers_per_node
             };
-            let mut workers = Vec::with_capacity(per_node);
-            for w in 0..per_node {
-                let rx = self.rx.clone();
-                let latency = self.latency.clone();
-                let name = format!("{}-{}-w{w}", self.label, node.spec.name);
+            let node_name = node.spec.name.clone();
+            let (tx, rx) = unbounded::<WorkerMsg>();
+            let mgr = Arc::new(ManagerState {
+                node_name: node_name.clone(),
+                tx,
+                last_beat: AtomicU64::new(self.start.elapsed().as_millis() as u64),
+                dead: AtomicBool::new(false),
+                lost_handled: AtomicBool::new(false),
+                in_flight: Mutex::new(HashMap::new()),
+                workers: Mutex::new(Vec::new()),
+                heartbeat: Mutex::new(None),
+                node: Mutex::new(Some(node)),
+                worker_count: per_node,
+            });
+            {
+                let mut workers = mgr.workers.lock();
+                for w in 0..per_node {
+                    let rx = rx.clone();
+                    let mgr = mgr.clone();
+                    let latency = self.latency.clone();
+                    let plan = self.fault_plan.clone();
+                    let me = Arc::downgrade(self);
+                    workers.push(
+                        std::thread::Builder::new()
+                            .name(format!("{}-{node_name}-w{w}", self.label))
+                            .spawn(move || worker_loop(mgr, rx, latency, plan, me))
+                            .map_err(|e| format!("failed to spawn HTEX worker: {e}"))?,
+                    );
+                }
+            }
+            {
+                let mgr_for_beat = mgr.clone();
+                let plan = self.fault_plan.clone();
+                let period = self.heartbeat_period;
                 let me = Arc::downgrade(self);
-                workers.push(
+                *mgr.heartbeat.lock() = Some(
                     std::thread::Builder::new()
-                        .name(name)
-                        .spawn(move || worker_loop(rx, latency, me))
-                        .map_err(|e| format!("failed to spawn HTEX worker: {e}"))?,
+                        .name(format!("{}-{node_name}-hb", self.label))
+                        .spawn(move || heartbeat_loop(mgr_for_beat, period, plan, me))
+                        .map_err(|e| format!("failed to spawn HTEX heartbeat: {e}"))?,
                 );
             }
             added += per_node;
-            managers.push(ManagerInfo { node, workers });
+            names.push(node_name);
+            new_mgrs.push(mgr);
         }
-        self.worker_total.fetch_add(added, Ordering::SeqCst);
-        Ok(added)
+        // Register under one lock so a block granted while shutdown was
+        // draining the registry is caught here (the provision can sit in the
+        // batch queue for a long time; shutdown may well finish first).
+        {
+            let mut registry = self.managers.lock();
+            if !self.closed.load(Ordering::SeqCst) {
+                registry.extend(new_mgrs.iter().cloned());
+                self.worker_total.fetch_add(added, Ordering::SeqCst);
+                return Ok((added, names));
+            }
+        }
+        // Shutdown raced this provisioning: tear the block back down.
+        for mgr in &new_mgrs {
+            for _ in 0..mgr.worker_count {
+                let _ = mgr.tx.send(WorkerMsg::Stop);
+            }
+        }
+        let mut nodes = Vec::with_capacity(new_mgrs.len());
+        for mgr in new_mgrs {
+            for w in mgr.workers.lock().drain(..) {
+                let _ = w.join();
+            }
+            if let Some(hb) = mgr.heartbeat.lock().take() {
+                let _ = hb.join();
+            }
+            if let Some(node) = mgr.node.lock().take() {
+                nodes.push(node);
+            }
+        }
+        self.provider.release(nodes);
+        Err("executor shut down during provisioning".to_string())
     }
 
-    /// Number of managers (nodes) currently connected.
+    /// Number of live managers (nodes) currently connected.
     pub fn manager_count(&self) -> usize {
-        self.managers.lock().len()
+        self.managers
+            .lock()
+            .iter()
+            .filter(|m| !m.dead.load(Ordering::SeqCst))
+            .count()
     }
 
     /// Tasks submitted but not yet finished — the backlog signal the
@@ -144,37 +334,300 @@ impl HighThroughputExecutor {
     pub fn outstanding_tasks(&self) -> usize {
         self.outstanding.load(Ordering::SeqCst)
     }
+
+    /// Names of nodes the monitor has declared dead.
+    pub fn lost_nodes(&self) -> Vec<String> {
+        self.managers
+            .lock()
+            .iter()
+            .filter(|m| m.dead.load(Ordering::SeqCst))
+            .map(|m| m.node_name.clone())
+            .collect()
+    }
+
+    fn note(&self, task: TaskId, kind: TaskEventKind, label: &str) {
+        if let Some(log) = self.log.lock().as_ref() {
+            log.record(task, kind, label);
+        }
+    }
+
+    /// A manager stopped heartbeating (or its node was killed): re-queue
+    /// its in-flight tasks and restore capacity if below the floor.
+    fn handle_node_loss(self: &Arc<Self>, mgr: &Arc<ManagerState>) {
+        self.note(TaskId(0), TaskEventKind::NodeLost, &mgr.node_name);
+        self.worker_total.fetch_sub(mgr.worker_count, Ordering::SeqCst);
+        let orphans: Vec<TrackedTask> = {
+            let mut in_flight = mgr.in_flight.lock();
+            in_flight.drain().map(|(_, t)| t).collect()
+        };
+        for t in orphans {
+            if t.finished.load(Ordering::SeqCst) {
+                continue;
+            }
+            self.note(t.payload.id, TaskEventKind::Redispatched, &mgr.node_name);
+            let _ = self
+                .dispatch_tx
+                .send(DispatchMsg::Task { payload: t.payload, finished: t.finished });
+        }
+        let alive = self.manager_count();
+        if alive < self.min_nodes {
+            // Provision the replacement off-thread: the request can wait in
+            // the batch queue indefinitely (e.g. no spare node until our own
+            // dead allocation is returned), and the monitor must keep
+            // scanning — and shutdown must not hang joining it.
+            let h = self.clone();
+            let spawned = std::thread::Builder::new()
+                .name(format!("{}-replace", self.label))
+                .spawn(move || match h.add_block_inner(1) {
+                    Ok((_, names)) => {
+                        for name in names {
+                            h.note(TaskId(0), TaskEventKind::BlockReplaced, &name);
+                        }
+                    }
+                    Err(_) => {
+                        if h.manager_count() == 0 {
+                            h.failed.store(true, Ordering::SeqCst);
+                        }
+                    }
+                });
+            if spawned.is_err() && alive == 0 {
+                self.failed.store(true, Ordering::SeqCst);
+            }
+        } else if alive == 0 {
+            self.failed.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// Complete a task the executor gives up on, claiming it so no other
+    /// dispatch attempt double-counts the backlog decrement.
+    fn fail_task(&self, payload: &TaskPayload, finished: &AtomicBool, err: TaskError) {
+        if !finished.swap(true, Ordering::SeqCst) {
+            self.outstanding.fetch_sub(1, Ordering::SeqCst);
+            payload.promise.clone().complete(Err(err));
+        }
+    }
 }
 
-fn worker_loop(
-    rx: Receiver<Msg>,
-    latency: LatencyModel,
-    htex: std::sync::Weak<HighThroughputExecutor>,
-) {
-    while let Ok(msg) = rx.recv() {
-        match msg {
-            Msg::Task(task) => {
-                // Pay the network dispatch cost on the worker so transfers
-                // to different workers overlap (pipelined dispatch).
-                latency.pay_dispatch();
-                let promise = task.promise;
-                let body = task.body;
-                let result = crate::executor::run_isolated(body);
-                latency.pay_result();
-                promise.complete(result);
-                if let Some(h) = htex.upgrade() {
-                    h.outstanding.fetch_sub(1, Ordering::SeqCst);
+/// Round-robin tasks from the interchange queue onto live managers. When no
+/// manager is alive, waits for the monitor to either provision a
+/// replacement or declare the executor failed.
+fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>) {
+    let mut rr = 0usize;
+    'next: while let Ok(msg) = rx.recv() {
+        let (payload, finished) = match msg {
+            DispatchMsg::Task { payload, finished } => (payload, finished),
+            DispatchMsg::Stop => return,
+        };
+        loop {
+            let Some(h) = htex.upgrade() else {
+                if !finished.swap(true, Ordering::SeqCst) {
+                    payload.promise.complete(Err(TaskError::Shutdown));
+                }
+                return;
+            };
+            let target = {
+                let managers = h.managers.lock();
+                let alive: Vec<Arc<ManagerState>> = managers
+                    .iter()
+                    .filter(|m| !m.dead.load(Ordering::SeqCst))
+                    .cloned()
+                    .collect();
+                if alive.is_empty() {
+                    None
+                } else {
+                    rr = rr.wrapping_add(1);
+                    Some(alive[rr % alive.len()].clone())
+                }
+            };
+            match target {
+                Some(mgr) => {
+                    let seq = h.next_seq.fetch_add(1, Ordering::SeqCst);
+                    mgr.in_flight.lock().insert(
+                        seq,
+                        TrackedTask { payload: payload.clone(), finished: finished.clone() },
+                    );
+                    let sent = mgr.tx.send(WorkerMsg::Task {
+                        seq,
+                        payload: payload.clone(),
+                        finished: finished.clone(),
+                    });
+                    if sent.is_ok() {
+                        // If the monitor processed this manager's loss
+                        // between our liveness check and the insert, the
+                        // drain may have missed the task — reclaim it and
+                        // dispatch elsewhere (None = the drain got it).
+                        if mgr.lost_handled.load(Ordering::SeqCst)
+                            && mgr.in_flight.lock().remove(&seq).is_some()
+                        {
+                            continue;
+                        }
+                        continue 'next;
+                    }
+                    // Manager channel already gone; retry elsewhere.
+                    mgr.in_flight.lock().remove(&seq);
+                }
+                None => {
+                    if h.closed.load(Ordering::SeqCst) {
+                        h.fail_task(&payload, &finished, TaskError::Shutdown);
+                        continue 'next;
+                    }
+                    if h.failed.load(Ordering::SeqCst) {
+                        h.fail_task(
+                            &payload,
+                            &finished,
+                            TaskError::ExecutorLost(
+                                "all nodes lost and no replacement could be provisioned"
+                                    .to_string(),
+                            ),
+                        );
+                        continue 'next;
+                    }
+                    drop(h);
+                    std::thread::sleep(Duration::from_millis(2));
                 }
             }
-            Msg::Stop => break,
         }
+    }
+}
+
+/// One worker slot on a node: pull, (maybe) die per the fault plan, run,
+/// claim, complete.
+fn worker_loop(
+    mgr: Arc<ManagerState>,
+    rx: Receiver<WorkerMsg>,
+    latency: LatencyModel,
+    plan: Option<FaultPlan>,
+    htex: Weak<HighThroughputExecutor>,
+) {
+    loop {
+        let msg = match rx.recv_timeout(WORKER_POLL) {
+            Ok(msg) => msg,
+            Err(RecvTimeoutError::Timeout) => {
+                if mgr.dead.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        let (seq, payload, finished) = match msg {
+            WorkerMsg::Task { seq, payload, finished } => (seq, payload, finished),
+            WorkerMsg::Stop => return,
+        };
+        if mgr.dead.load(Ordering::SeqCst) {
+            // The node died with this task queued; it stays in `in_flight`
+            // for the monitor to re-dispatch.
+            return;
+        }
+        if let Some(p) = &plan {
+            if p.note_task(&mgr.node_name) {
+                // The node just died; the task never ran and stays in
+                // flight for re-dispatch.
+                mgr.dead.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        // Pay the network dispatch cost on the worker so transfers to
+        // different workers overlap (pipelined dispatch).
+        latency.pay_dispatch();
+        let result = crate::executor::run_isolated(&payload.body);
+        if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
+            // The node died while the task ran: the result dies with it and
+            // the task stays in flight for re-dispatch.
+            mgr.dead.store(true, Ordering::SeqCst);
+            return;
+        }
+        if finished.swap(true, Ordering::SeqCst) {
+            // Another dispatch attempt of the same submission already
+            // completed it (we were spuriously declared dead); discard.
+            mgr.in_flight.lock().remove(&seq);
+            continue;
+        }
+        mgr.in_flight.lock().remove(&seq);
+        {
+            // Decrement the backlog BEFORE resolving the promise — and via
+            // a drop guard, so nothing on this path can leak the counter —
+            // because `wait_all` callers may observe the completion and
+            // immediately read `outstanding_tasks()`.
+            let h = htex.upgrade();
+            let _outstanding = h.as_ref().map(|h| OutstandingGuard(&h.outstanding));
+            latency.pay_result();
+        }
+        // A panicking completion callback must not take the worker down
+        // (the counter is already settled above).
+        let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            payload.promise.complete(result)
+        }));
+    }
+}
+
+/// Periodically refresh this manager's heartbeat. A dead node stops
+/// beating — detection is the monitor's job, as with real HTEX managers.
+fn heartbeat_loop(
+    mgr: Arc<ManagerState>,
+    period: Duration,
+    plan: Option<FaultPlan>,
+    htex: Weak<HighThroughputExecutor>,
+) {
+    loop {
+        std::thread::sleep(period);
+        let Some(h) = htex.upgrade() else { return };
+        if h.closed.load(Ordering::SeqCst) || mgr.dead.load(Ordering::SeqCst) {
+            return;
+        }
+        if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
+            return;
+        }
+        mgr.last_beat.store(h.start.elapsed().as_millis() as u64, Ordering::SeqCst);
+    }
+}
+
+/// Submit-side failure detector: declare managers with stale heartbeats
+/// dead and process each loss exactly once.
+fn monitor_loop(htex: Weak<HighThroughputExecutor>) {
+    loop {
+        let Some(h) = htex.upgrade() else { return };
+        if h.closed.load(Ordering::SeqCst) {
+            return;
+        }
+        let period = h.heartbeat_period;
+        let threshold_ms = h.heartbeat_threshold.as_millis() as u64;
+        let now_ms = h.start.elapsed().as_millis() as u64;
+        let managers: Vec<Arc<ManagerState>> = h.managers.lock().clone();
+        for mgr in &managers {
+            if !mgr.dead.load(Ordering::SeqCst)
+                && now_ms.saturating_sub(mgr.last_beat.load(Ordering::SeqCst)) > threshold_ms
+            {
+                mgr.dead.store(true, Ordering::SeqCst);
+            }
+            if mgr.dead.load(Ordering::SeqCst) && !mgr.lost_handled.swap(true, Ordering::SeqCst)
+            {
+                h.handle_node_loss(mgr);
+            }
+        }
+        drop(h);
+        std::thread::sleep(period);
     }
 }
 
 impl Executor for HighThroughputExecutor {
     fn submit(&self, task: TaskPayload) {
+        if self.closed.load(Ordering::SeqCst) {
+            // Fail fast instead of enqueueing onto a stopped dispatcher —
+            // the promise must never be left unresolved.
+            task.promise.complete(Err(TaskError::Shutdown));
+            return;
+        }
         self.outstanding.fetch_add(1, Ordering::SeqCst);
-        let _ = self.tx.send(Msg::Task(task));
+        let finished = Arc::new(AtomicBool::new(false));
+        if let Err(send_err) = self
+            .dispatch_tx
+            .send(DispatchMsg::Task { payload: task, finished })
+        {
+            if let DispatchMsg::Task { payload, finished } = send_err.0 {
+                self.fail_task(&payload, &finished, TaskError::Shutdown);
+            }
+        }
     }
 
     fn label(&self) -> &str {
@@ -186,19 +639,49 @@ impl Executor for HighThroughputExecutor {
     }
 
     fn shutdown(&self) {
-        let total = self.worker_total.load(Ordering::SeqCst);
-        for _ in 0..total {
-            let _ = self.tx.send(Msg::Stop);
+        if self.closed.swap(true, Ordering::SeqCst) {
+            return;
         }
-        let mut managers = self.managers.lock();
+        let _ = self.dispatch_tx.send(DispatchMsg::Stop);
+        if let Some(d) = self.dispatcher.lock().take() {
+            let _ = d.join();
+        }
+        if let Some(m) = self.monitor.lock().take() {
+            let _ = m.join();
+        }
+        let managers: Vec<Arc<ManagerState>> = {
+            let mut lock = self.managers.lock();
+            lock.drain(..).collect()
+        };
+        for mgr in &managers {
+            for _ in 0..mgr.worker_count {
+                let _ = mgr.tx.send(WorkerMsg::Stop);
+            }
+        }
         let mut nodes = Vec::with_capacity(managers.len());
-        for mut m in managers.drain(..) {
-            for w in m.workers.drain(..) {
+        for mgr in &managers {
+            for w in mgr.workers.lock().drain(..) {
                 let _ = w.join();
             }
-            nodes.push(m.node);
+            if let Some(hb) = mgr.heartbeat.lock().take() {
+                let _ = hb.join();
+            }
+            // Whatever never ran (queued on a dead or stopping manager)
+            // must still resolve.
+            for (_, t) in mgr.in_flight.lock().drain() {
+                self.fail_task(&t.payload, &t.finished, TaskError::Shutdown);
+            }
+            // Dead managers' pilot jobs are released too — the provider
+            // dedups by job, so sharing a job with live nodes is fine.
+            if let Some(node) = mgr.node.lock().take() {
+                nodes.push(node);
+            }
         }
         self.provider.release(nodes);
+    }
+
+    fn attach_monitoring(&self, log: Arc<MonitoringLog>) {
+        *self.log.lock() = Some(log);
     }
 }
 
@@ -207,10 +690,8 @@ mod tests {
     use super::*;
     use crate::future::promise_pair;
     use crate::provider::{LocalProvider, SlurmProvider};
-    use crate::task::TaskId;
     use gridsim::{BatchScheduler, ClusterSpec, SchedulerConfig};
     use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::time::Duration;
     use yamlite::Value;
 
     fn no_latency(label: &str, nodes: usize, wpn: usize) -> HtexConfig {
@@ -219,7 +700,18 @@ mod tests {
             nodes,
             workers_per_node: wpn,
             latency: LatencyModel::in_process(),
+            ..HtexConfig::default()
         }
+    }
+
+    fn submit_value(htex: &HighThroughputExecutor, i: u64) -> crate::future::AppFuture {
+        let (fut, promise) = promise_pair(TaskId(i));
+        htex.submit(TaskPayload {
+            id: TaskId(i),
+            body: Arc::new(move || Ok(Value::Int(i as i64))),
+            promise,
+        });
+        fut
     }
 
     #[test]
@@ -231,16 +723,7 @@ mod tests {
         .unwrap();
         assert_eq!(htex.manager_count(), 3);
         assert_eq!(htex.worker_count(), 6);
-        let mut futs = Vec::new();
-        for i in 0..12 {
-            let (fut, promise) = promise_pair(TaskId(i));
-            htex.submit(TaskPayload {
-                id: TaskId(i),
-                body: Box::new(move || Ok(Value::Int(i as i64))),
-                promise,
-            });
-            futs.push(fut);
-        }
+        let futs: Vec<_> = (0..12).map(|i| submit_value(&htex, i)).collect();
         for (i, f) in futs.iter().enumerate() {
             assert_eq!(f.result().unwrap(), Value::Int(i as i64));
         }
@@ -272,12 +755,7 @@ mod tests {
         assert_eq!(htex.manager_count(), 3);
         assert_eq!(sched.free_node_count(), 1);
         // New workers actually execute tasks.
-        let (fut, promise) = promise_pair(TaskId(1));
-        htex.submit(TaskPayload {
-            id: TaskId(1),
-            body: Box::new(|| Ok(Value::Null)),
-            promise,
-        });
+        let fut = submit_value(&htex, 1);
         fut.result().unwrap();
         htex.shutdown();
         assert_eq!(sched.free_node_count(), 4);
@@ -290,12 +768,7 @@ mod tests {
         let htex =
             HighThroughputExecutor::start(no_latency("htex", 2, 1), provider).unwrap();
         assert_eq!(sched.free_node_count(), 1);
-        let (fut, promise) = promise_pair(TaskId(1));
-        htex.submit(TaskPayload {
-            id: TaskId(1),
-            body: Box::new(|| Ok(Value::Null)),
-            promise,
-        });
+        let fut = submit_value(&htex, 1);
         fut.result().unwrap();
         htex.shutdown();
         assert_eq!(sched.free_node_count(), 3);
@@ -317,7 +790,7 @@ mod tests {
             let peak = peak.clone();
             htex.submit(TaskPayload {
                 id: TaskId(i),
-                body: Box::new(move || {
+                body: Arc::new(move || {
                     let now = running.fetch_add(1, Ordering::SeqCst) + 1;
                     peak.fetch_max(now, Ordering::SeqCst);
                     std::thread::sleep(Duration::from_millis(25));
@@ -357,7 +830,7 @@ mod tests {
             let gate = gate.clone();
             htex.submit(TaskPayload {
                 id: TaskId(i),
-                body: Box::new(move || {
+                body: Arc::new(move || {
                     let _g = gate.lock();
                     Ok(Value::Null)
                 }),
@@ -370,6 +843,211 @@ mod tests {
         drop(held);
         for f in &futs {
             f.result().unwrap();
+        }
+        assert_eq!(htex.outstanding_tasks(), 0);
+        htex.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast() {
+        let htex = HighThroughputExecutor::start(
+            no_latency("htex", 1, 1),
+            Arc::new(LocalProvider::new(1)),
+        )
+        .unwrap();
+        htex.shutdown();
+        let (fut, promise) = promise_pair(TaskId(1));
+        htex.submit(TaskPayload {
+            id: TaskId(1),
+            body: Arc::new(|| Ok(Value::Int(1))),
+            promise,
+        });
+        match fut.result_timeout(Duration::from_secs(2)) {
+            Some(Err(TaskError::Shutdown)) => {}
+            other => panic!("expected fast Shutdown error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn node_kill_redispatches_in_flight_tasks() {
+        // Two single-worker nodes; localhost/0 dies after executing one
+        // task, stranding whatever was queued or running on it.
+        let plan = FaultPlan::new().kill_after_tasks("localhost/0", 1);
+        let log = Arc::new(MonitoringLog::new());
+        let htex = HighThroughputExecutor::start(
+            HtexConfig {
+                label: "htex".to_string(),
+                nodes: 2,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                fault_plan: Some(plan.clone()),
+                ..HtexConfig::default()
+            },
+            Arc::new(LocalProvider::new(1)),
+        )
+        .unwrap();
+        htex.attach_monitoring(log.clone());
+        let futs: Vec<_> = (1..=10).map(|i| submit_value(&htex, i)).collect();
+        for (i, f) in futs.iter().enumerate() {
+            assert_eq!(
+                f.result_timeout(Duration::from_secs(10))
+                    .expect("task hung after node kill")
+                    .unwrap(),
+                Value::Int(i as i64 + 1)
+            );
+        }
+        assert!(plan.is_dead("localhost/0"));
+        // The monitor notices the death within a heartbeat or two.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while htex.manager_count() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(htex.manager_count(), 1);
+        assert_eq!(htex.lost_nodes(), vec!["localhost/0".to_string()]);
+        let summary = log.summary();
+        assert_eq!(summary.node_lost, 1);
+        assert_eq!(htex.outstanding_tasks(), 0);
+        htex.shutdown();
+    }
+
+    #[test]
+    fn silent_node_detected_by_stale_heartbeat() {
+        // kill_now stops the heartbeat without any task arriving: only the
+        // staleness threshold can detect this death.
+        let plan = FaultPlan::new().kill_now("localhost/1");
+        let log = Arc::new(MonitoringLog::new());
+        let htex = HighThroughputExecutor::start(
+            HtexConfig {
+                label: "htex".to_string(),
+                nodes: 2,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                fault_plan: Some(plan),
+                heartbeat_period: Duration::from_millis(10),
+                heartbeat_threshold: Duration::from_millis(100),
+                ..HtexConfig::default()
+            },
+            Arc::new(LocalProvider::new(1)),
+        )
+        .unwrap();
+        htex.attach_monitoring(log.clone());
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while htex.manager_count() != 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(htex.manager_count(), 1);
+        assert_eq!(log.summary().node_lost, 1);
+        // The surviving node still executes work.
+        let fut = submit_value(&htex, 1);
+        assert_eq!(
+            fut.result_timeout(Duration::from_secs(5)).unwrap().unwrap(),
+            Value::Int(1)
+        );
+        htex.shutdown();
+    }
+
+    #[test]
+    fn min_nodes_floor_replaces_lost_block() {
+        // 3-node cluster, HTEX holds 2 with a floor of 2; when node01 dies
+        // a replacement block must be provisioned from the spare node.
+        let sched = BatchScheduler::new(ClusterSpec::small(3, 1), SchedulerConfig::immediate());
+        let provider = Arc::new(SlurmProvider::new(sched.clone()));
+        let plan = FaultPlan::new().kill_after_tasks("node01", 1);
+        let log = Arc::new(MonitoringLog::new());
+        let htex = HighThroughputExecutor::start(
+            HtexConfig {
+                label: "htex".to_string(),
+                nodes: 2,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                fault_plan: Some(plan),
+                min_nodes: 2,
+                ..HtexConfig::default()
+            },
+            provider,
+        )
+        .unwrap();
+        htex.attach_monitoring(log.clone());
+        let futs: Vec<_> = (1..=8).map(|i| submit_value(&htex, i)).collect();
+        for f in &futs {
+            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while log.summary().blocks_replaced == 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let summary = log.summary();
+        assert_eq!(summary.node_lost, 1);
+        assert_eq!(summary.blocks_replaced, 1);
+        assert_eq!(htex.manager_count(), 2);
+        htex.shutdown();
+        // Both the dead node's pilot job and the live ones are released.
+        assert_eq!(sched.free_node_count(), 3);
+    }
+
+    #[test]
+    fn replacement_starved_of_nodes_does_not_hang_shutdown() {
+        // 2-node cluster fully held by the executor with a floor of 2: when
+        // node01 dies there is no spare node, so the replacement request
+        // waits in the batch queue indefinitely. Tasks must still finish on
+        // the survivor and shutdown must return promptly — the monitor must
+        // never be the thread blocked on provisioning.
+        let sched = BatchScheduler::new(ClusterSpec::small(2, 1), SchedulerConfig::immediate());
+        let provider = Arc::new(SlurmProvider::new(sched.clone()));
+        let plan = FaultPlan::new().kill_after_tasks("node01", 1);
+        let htex = HighThroughputExecutor::start(
+            HtexConfig {
+                label: "htex".to_string(),
+                nodes: 2,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                fault_plan: Some(plan),
+                min_nodes: 2,
+                ..HtexConfig::default()
+            },
+            provider,
+        )
+        .unwrap();
+        let futs: Vec<_> = (1..=8).map(|i| submit_value(&htex, i)).collect();
+        for f in &futs {
+            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap();
+        }
+        let started = Instant::now();
+        htex.shutdown();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "shutdown stalled behind the starved replacement request"
+        );
+        // Both allocations come back; if the queued replacement was granted
+        // after shutdown, the closed executor tears it down again.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while sched.free_node_count() != 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert_eq!(sched.free_node_count(), 2);
+    }
+
+    #[test]
+    fn all_nodes_lost_fails_pending_tasks() {
+        // One node, no replacement floor: losing it must fail pending
+        // tasks with ExecutorLost rather than hanging them.
+        let plan = FaultPlan::new().kill_after_tasks("localhost/0", 0);
+        let htex = HighThroughputExecutor::start(
+            HtexConfig {
+                label: "htex".to_string(),
+                nodes: 1,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                fault_plan: Some(plan),
+                ..HtexConfig::default()
+            },
+            Arc::new(LocalProvider::new(1)),
+        )
+        .unwrap();
+        let fut = submit_value(&htex, 1);
+        match fut.result_timeout(Duration::from_secs(10)) {
+            Some(Err(TaskError::ExecutorLost(_))) => {}
+            other => panic!("expected ExecutorLost, got {other:?}"),
         }
         assert_eq!(htex.outstanding_tasks(), 0);
         htex.shutdown();

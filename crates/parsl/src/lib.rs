@@ -55,14 +55,14 @@ pub mod strategy;
 pub mod task;
 
 pub use apps::{run_command, CommandApp, CommandSpec, FnApp};
-pub use config::{Config, ExecutorChoice};
+pub use config::{Config, ExecutorChoice, RetryPolicy};
 pub use dfk::{AppArg, DataFlowKernel};
 pub use error::TaskError;
-pub use executor::{Executor, TaskPayload, ThreadPoolExecutor};
+pub use executor::{Executor, TaskBody, TaskPayload, ThreadPoolExecutor};
 pub use file::File;
 pub use future::{AppFuture, DataFuture, Promise};
 pub use htex::{HighThroughputExecutor, HtexConfig};
-pub use monitoring::{MonitoringLog, TaskEvent, TaskEventKind};
+pub use monitoring::{FaultSummary, MonitoringLog, TaskEvent, TaskEventKind};
 pub use provider::{LocalProvider, NodeHandle, Provider, SlurmProvider};
 pub use strategy::{ScalingPolicy, Strategy};
 pub use task::{TaskId, TaskState};

@@ -16,6 +16,16 @@ pub enum TaskEventKind {
     Retried,
     /// Completed from the memo table without executing.
     Memoized,
+    /// The node hosting this manager stopped heartbeating; the event's
+    /// `label` names the lost node (task id is the sentinel `TaskId(0)`).
+    NodeLost,
+    /// An in-flight task from a lost node was re-queued to survivors.
+    Redispatched,
+    /// An attempt exceeded its configured walltime.
+    TimedOut,
+    /// A replacement block was provisioned after node loss; `label` names
+    /// the replacement node (task id is the sentinel `TaskId(0)`).
+    BlockReplaced,
 }
 
 /// One monitoring record.
@@ -25,7 +35,7 @@ pub struct TaskEvent {
     pub kind: TaskEventKind,
     /// Time since the log was created.
     pub at: Duration,
-    /// Task label (app name).
+    /// Task label (app name), or the node name for node-level events.
     pub label: String,
 }
 
@@ -37,6 +47,26 @@ pub struct TaskSummary {
     pub failed: usize,
     pub retried: usize,
     pub memoized: usize,
+    pub node_lost: usize,
+    pub redispatched: usize,
+    pub timed_out: usize,
+    pub blocks_replaced: usize,
+}
+
+/// Aggregated fault-handling view of a run — the numbers the paper's
+/// fault-injection experiment reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultSummary {
+    /// Nodes declared dead by the heartbeat monitor.
+    pub nodes_lost: Vec<String>,
+    /// Tasks re-queued off dead nodes.
+    pub tasks_redispatched: usize,
+    /// Attempts killed by the walltime watchdog.
+    pub tasks_timed_out: usize,
+    /// Replacement blocks provisioned to restore capacity.
+    pub blocks_replaced: usize,
+    /// Attempts retried by the dataflow kernel.
+    pub retries: usize,
 }
 
 /// The in-memory event log.
@@ -83,7 +113,28 @@ impl MonitoringLog {
                 TaskEventKind::Failed => s.failed += 1,
                 TaskEventKind::Retried => s.retried += 1,
                 TaskEventKind::Memoized => s.memoized += 1,
+                TaskEventKind::NodeLost => s.node_lost += 1,
+                TaskEventKind::Redispatched => s.redispatched += 1,
+                TaskEventKind::TimedOut => s.timed_out += 1,
+                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
                 TaskEventKind::Launched => {}
+            }
+        }
+        s
+    }
+
+    /// The fault-handling story of the run, for experiment reports.
+    pub fn fault_summary(&self) -> FaultSummary {
+        let events = self.events.lock();
+        let mut s = FaultSummary::default();
+        for e in events.iter() {
+            match e.kind {
+                TaskEventKind::NodeLost => s.nodes_lost.push(e.label.clone()),
+                TaskEventKind::Redispatched => s.tasks_redispatched += 1,
+                TaskEventKind::TimedOut => s.tasks_timed_out += 1,
+                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
+                TaskEventKind::Retried => s.retries += 1,
+                _ => {}
             }
         }
         s
@@ -108,11 +159,16 @@ pub fn final_state(events: &[TaskEvent], task: TaskId) -> Option<TaskState> {
     for e in events.iter().filter(|e| e.task == task) {
         state = Some(match e.kind {
             TaskEventKind::Submitted => TaskState::Pending,
-            TaskEventKind::Launched | TaskEventKind::Retried | TaskEventKind::Memoized => {
-                TaskState::Launched
-            }
+            TaskEventKind::Launched
+            | TaskEventKind::Retried
+            | TaskEventKind::Memoized
+            | TaskEventKind::Redispatched
+            | TaskEventKind::TimedOut => TaskState::Launched,
             TaskEventKind::Completed => TaskState::Done,
             TaskEventKind::Failed => TaskState::Failed,
+            // Node-level events carry a sentinel task id; they do not
+            // change any task's state.
+            TaskEventKind::NodeLost | TaskEventKind::BlockReplaced => continue,
         });
     }
     state
@@ -133,7 +189,12 @@ mod tests {
         let s = log.summary();
         assert_eq!(
             s,
-            TaskSummary { submitted: 2, completed: 1, failed: 1, retried: 0, memoized: 0 }
+            TaskSummary {
+                submitted: 2,
+                completed: 1,
+                failed: 1,
+                ..TaskSummary::default()
+            }
         );
         assert_eq!(log.events().len(), 5);
     }
@@ -147,6 +208,39 @@ mod tests {
         let events = log.events();
         assert_eq!(final_state(&events, TaskId(1)), Some(TaskState::Done));
         assert_eq!(final_state(&events, TaskId(9)), None);
+    }
+
+    #[test]
+    fn fault_events_summarized() {
+        let log = MonitoringLog::new();
+        log.record(TaskId(0), TaskEventKind::NodeLost, "node01");
+        log.record(TaskId(3), TaskEventKind::Redispatched, "stage");
+        log.record(TaskId(4), TaskEventKind::Redispatched, "stage");
+        log.record(TaskId(5), TaskEventKind::TimedOut, "slow");
+        log.record(TaskId(0), TaskEventKind::BlockReplaced, "node04");
+        log.record(TaskId(3), TaskEventKind::Retried, "stage");
+        let s = log.summary();
+        assert_eq!(s.node_lost, 1);
+        assert_eq!(s.redispatched, 2);
+        assert_eq!(s.timed_out, 1);
+        assert_eq!(s.blocks_replaced, 1);
+        let fs = log.fault_summary();
+        assert_eq!(fs.nodes_lost, vec!["node01".to_string()]);
+        assert_eq!(fs.tasks_redispatched, 2);
+        assert_eq!(fs.tasks_timed_out, 1);
+        assert_eq!(fs.blocks_replaced, 1);
+        assert_eq!(fs.retries, 1);
+    }
+
+    #[test]
+    fn node_events_do_not_set_task_state() {
+        let log = MonitoringLog::new();
+        log.record(TaskId(0), TaskEventKind::NodeLost, "node01");
+        log.record(TaskId(1), TaskEventKind::Submitted, "a");
+        log.record(TaskId(1), TaskEventKind::Redispatched, "a");
+        let events = log.events();
+        assert_eq!(final_state(&events, TaskId(0)), None);
+        assert_eq!(final_state(&events, TaskId(1)), Some(TaskState::Launched));
     }
 
     #[test]

@@ -171,20 +171,13 @@ mod tests {
         let sched = BatchScheduler::new(ClusterSpec::small(2, 4), SchedulerConfig::immediate());
         let p = SlurmProvider::new(sched.clone());
         let first = p.provision(2).unwrap();
-        // Second provision must wait; release from another thread.
-        let sched2 = sched.clone();
-        let releaser = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(30));
-            // Release the first job directly through the scheduler.
-            let _ = sched2; // the provider releases below instead
-        });
+        // Second provision must wait until the first block is released.
         let p2 = SlurmProvider::new(sched.clone());
         let handle = std::thread::spawn(move || p2.provision(1));
         std::thread::sleep(Duration::from_millis(30));
         p.release(first);
         let second = handle.join().unwrap().unwrap();
         assert_eq!(second.len(), 1);
-        releaser.join().unwrap();
     }
 
     #[test]

@@ -119,6 +119,7 @@ mod tests {
                 nodes: 1,
                 workers_per_node: 1,
                 latency: LatencyModel::in_process(),
+                ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched.clone())),
         )
@@ -141,7 +142,7 @@ mod tests {
             let (fut, promise) = promise_pair(TaskId(i));
             htex.submit(TaskPayload {
                 id: TaskId(i),
-                body: Box::new(|| {
+                body: Arc::new(|| {
                     std::thread::sleep(Duration::from_millis(15));
                     Ok(Value::Null)
                 }),
@@ -173,6 +174,7 @@ mod tests {
                 nodes: 1,
                 workers_per_node: 1,
                 latency: LatencyModel::in_process(),
+                ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched)),
         )
@@ -197,6 +199,7 @@ mod tests {
                 nodes: 1,
                 workers_per_node: 1,
                 latency: LatencyModel::in_process(),
+                ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched)),
         )

@@ -73,6 +73,7 @@ fn main() -> Result<(), String> {
             nodes: cluster.node_count(),
             workers_per_node: cluster.nodes[0].cores,
             latency: LatencyModel::cluster_lan(),
+            ..HtexConfig::default()
         },
         Arc::new(SlurmProvider::new(sched)),
     ))?;

@@ -1,0 +1,186 @@
+//! Fault-tolerance integration: a scripted node death mid-workflow must be
+//! detected by the heartbeat monitor, the lost node's in-flight tasks
+//! re-dispatched to survivors, the block replaced to hold the `min_nodes`
+//! floor, and the workflow must still produce exactly the right outputs.
+//!
+//! The scenario is run three times back-to-back: fault handling has to be
+//! deterministic in outcome (the same events fire, the same answers come
+//! out) even though thread interleavings differ run to run.
+
+use cwl_parsl::config::load_config_file;
+use cwl_parsl::{CwlApp, CwlAppOptions};
+use gridsim::{BatchScheduler, ClusterSpec, FaultPlan, LatencyModel, SchedulerConfig};
+use parsl::{
+    AppArg, Config, DataFlowKernel, FnApp, HtexConfig, RetryPolicy, SlurmProvider, TaskEventKind,
+};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use yamlite::Value;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+fn configs() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../configs")
+}
+
+/// Wait (bounded) for an expected monitoring condition: fault handling runs
+/// on the monitor thread, so events like `BlockReplaced` can land slightly
+/// after the workflow's futures resolve.
+fn wait_for(dfk: &DataFlowKernel, what: &str, cond: impl Fn(&DataFlowKernel) -> bool) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while !cond(dfk) {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "timed out waiting for {what}; events: {:?}",
+            dfk.monitoring().events()
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("htex-fault-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// Three-node HTEX on a four-node cluster; node01 dies after two task
+/// arrivals, the spare node replaces it.
+fn faulty_kernel(round: usize) -> (Arc<DataFlowKernel>, BatchScheduler) {
+    let cluster = ClusterSpec::small(4, 1);
+    let sched = BatchScheduler::new(cluster, SchedulerConfig::immediate());
+    let plan = FaultPlan::new().kill_after_tasks("node01", 2);
+    let dfk = DataFlowKernel::try_new(
+        Config::htex(
+            HtexConfig {
+                label: format!("fault-r{round}"),
+                nodes: 3,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                heartbeat_period: Duration::from_millis(5),
+                heartbeat_threshold: Duration::from_millis(60),
+                min_nodes: 3,
+                fault_plan: Some(plan),
+            },
+            Arc::new(SlurmProvider::new(sched.clone())),
+        )
+        .with_retry_policy(RetryPolicy::retries(1)),
+    )
+    .unwrap();
+    (dfk, sched)
+}
+
+#[test]
+fn node_death_mid_workflow_recovers_deterministically() {
+    for round in 0..3 {
+        let (dfk, sched) = faulty_kernel(round);
+        // The pilot job holds 3 of 4 nodes.
+        assert_eq!(sched.free_node_count(), 1, "round {round}");
+
+        let square = FnApp::new(|args: &[Value]| {
+            std::thread::sleep(Duration::from_millis(4));
+            let n = args[0].as_int().unwrap();
+            Ok(Value::Int(n * n))
+        });
+        let futs: Vec<_> = (0..24)
+            .map(|i| dfk.submit("square", vec![AppArg::value(i as i64)], square.clone()))
+            .collect();
+        for (i, f) in futs.iter().enumerate() {
+            let n = i as i64;
+            assert_eq!(
+                f.result().unwrap(),
+                Value::Int(n * n),
+                "round {round} task {i}"
+            );
+        }
+
+        wait_for(&dfk, "block replacement", |d| {
+            d.monitoring().fault_summary().blocks_replaced == 1
+        });
+        let fs = dfk.monitoring().fault_summary();
+        assert_eq!(
+            fs.nodes_lost,
+            vec!["node01".to_string()],
+            "round {round}: exactly the scripted node dies"
+        );
+        assert!(
+            fs.tasks_redispatched >= 1,
+            "round {round}: the task that found the node dead is re-queued"
+        );
+        let events = dfk.monitoring().events();
+        let replacement = events
+            .iter()
+            .find(|e| e.kind == TaskEventKind::BlockReplaced)
+            .unwrap();
+        assert_eq!(replacement.label, "node04", "round {round}");
+        // No task ends in a failed state.
+        assert_eq!(dfk.monitoring().summary().failed, 0, "round {round}");
+
+        dfk.shutdown();
+        // Shutdown returns every node, including the dead one's allocation.
+        assert_eq!(sched.free_node_count(), 4, "round {round}");
+    }
+}
+
+#[test]
+fn cwl_workflow_survives_node_loss() {
+    let dir = scratch("cwl");
+    let (dfk, _sched) = faulty_kernel(9);
+    let echo = CwlApp::load(
+        &dfk,
+        fixtures().join("echo.cwl"),
+        CwlAppOptions::in_dir(&dir).with_builtin_tools(),
+    )
+    .unwrap();
+    let runs: Vec<_> = (0..12)
+        .map(|i| {
+            echo.call()
+                .arg("message", format!("survivor {i}"))
+                .stdout(format!("out{i}.txt"))
+                .submit()
+                .unwrap()
+        })
+        .collect();
+    for (i, run) in runs.iter().enumerate() {
+        let f = run.output().result().unwrap();
+        assert_eq!(
+            std::fs::read_to_string(f.path()).unwrap(),
+            format!("survivor {i}\n")
+        );
+    }
+    let fs = dfk.monitoring().fault_summary();
+    assert_eq!(fs.nodes_lost, vec!["node01".to_string()]);
+    dfk.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn yaml_fault_config_drives_injection() {
+    let rc = load_config_file(configs().join("htex-fault.yml")).unwrap();
+    let plan = rc.fault_plan.clone().expect("fault block parsed");
+    assert!(!plan.is_empty());
+    let sched = rc.scheduler.clone().expect("slurm provider configured");
+    let dfk = DataFlowKernel::try_new(rc.parsl).unwrap();
+    let triple = FnApp::new(|args: &[Value]| {
+        std::thread::sleep(Duration::from_millis(3));
+        Ok(Value::Int(args[0].as_int().unwrap() * 3))
+    });
+    let futs: Vec<_> = (0..18)
+        .map(|i| dfk.submit("triple", vec![AppArg::value(i as i64)], triple.clone()))
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(f.result().unwrap(), Value::Int(3 * i as i64));
+    }
+    wait_for(&dfk, "block replacement", |d| {
+        d.monitoring().fault_summary().blocks_replaced == 1
+    });
+    let fs = dfk.monitoring().fault_summary();
+    assert_eq!(fs.nodes_lost, vec!["node02".to_string()]);
+    assert!(plan.is_dead("node02"));
+    dfk.shutdown();
+    assert_eq!(sched.free_node_count(), 4);
+}

@@ -32,6 +32,7 @@ fn cwl_tools_run_on_htex_over_slurm() {
             nodes: 2,
             workers_per_node: 2,
             latency: LatencyModel::cluster_lan(),
+            ..HtexConfig::default()
         },
         Arc::new(SlurmProvider::new(sched.clone())),
     ))
@@ -84,6 +85,7 @@ fn pilot_job_waits_in_queue_behind_other_work() {
                 nodes: 1,
                 workers_per_node: 1,
                 latency: LatencyModel::in_process(),
+                ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched2)),
         ))
@@ -107,6 +109,7 @@ fn oversized_htex_request_fails_fast() {
             nodes: 4,
             workers_per_node: 1,
             latency: LatencyModel::in_process(),
+            ..HtexConfig::default()
         },
         Arc::new(SlurmProvider::new(sched)),
     ))

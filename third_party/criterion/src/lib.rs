@@ -1,0 +1,235 @@
+//! Offline stand-in for `criterion`, covering the API surface this
+//! workspace's benches use: benchmark groups, `bench_function` /
+//! `bench_with_input`, `Bencher::iter` / `iter_batched`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — each routine runs a fixed number of
+//! iterations and the mean wall-clock time is printed. There is no warm-up,
+//! outlier analysis, or HTML report; the point is that `cargo bench`
+//! compiles and produces comparable numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity (best-effort without intrinsics).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// How batched setup output is grouped between routine calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// One setup feeding a small batch of invocations.
+    SmallInput,
+    /// One setup feeding a large batch of invocations.
+    LargeInput,
+}
+
+/// A benchmark identifier composed of a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as real criterion renders it.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// A parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Something usable as a benchmark name.
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over this bencher's iteration budget.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` with untimed per-iteration `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// A named cluster of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iterations: self.sample_size as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { iterations: self.sample_size as u64, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.into_id(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let mean = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
+        println!(
+            "{}/{id}: {:?} mean over {} iterations",
+            self.name, mean, b.iterations
+        );
+        let _ = &self.criterion;
+    }
+
+    /// End the group (no-op; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 10 }
+    }
+
+    /// Run a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        group.bench_with_input(BenchmarkId::new("square", 7), &7u64, |b, &n| {
+            b.iter_batched(|| n, |x| x * x, BatchSize::PerIteration)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_to_completion() {
+        benches();
+    }
+
+    #[test]
+    fn benchmark_id_renders_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+    }
+}

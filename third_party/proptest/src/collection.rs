@@ -1,0 +1,65 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// Acceptable length specifications for [`vec`].
+pub trait SizeRange {
+    /// Draw a length.
+    fn pick_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for Range<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        assert!(self.start < self.end, "empty size range");
+        self.start + rng.gen_usize(self.end - self.start)
+    }
+}
+
+impl SizeRange for RangeInclusive<usize> {
+    fn pick_len(&self, rng: &mut TestRng) -> usize {
+        *self.start() + rng.gen_usize(*self.end() - *self.start() + 1)
+    }
+}
+
+impl SizeRange for usize {
+    fn pick_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+/// Strategy for `Vec<T>` with length drawn from `size`.
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.size.pick_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Vectors of `element` values with a length in `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn length_respects_range() {
+        let s = vec(0u8..10, 2..5);
+        let mut rng = TestRng::from_seed(5);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|&b| b < 10));
+        }
+    }
+}

@@ -1,0 +1,221 @@
+//! Offline stand-in for `proptest`, implementing the subset of its API this
+//! workspace uses. Test cases are generated from a deterministic per-test
+//! RNG (seeded from the test's module path and name plus the case index, or
+//! from `PROPTEST_SEED` when set), so failures reproduce across runs.
+//!
+//! Differences from real proptest, by design:
+//! * no shrinking — a failing case reports the generated inputs as-is;
+//! * regex strategies support the subset actually used here: literals,
+//!   escapes, character classes with ranges, and `{m,n}` quantifiers;
+//! * strategies are sampled independently per case.
+
+pub mod strategy;
+
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod string;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+
+/// The glob import every proptest consumer starts with.
+pub mod prelude {
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::ProptestConfig;
+}
+
+/// Per-`proptest!` configuration (subset: case count only).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Run `cases` generated executions of `body`, where `body` generates its
+/// inputs from the per-case RNG. Used by the [`proptest!`] macro; not part
+/// of real proptest's public API.
+pub fn run_cases(
+    test_name: &str,
+    config: &ProptestConfig,
+    body: impl Fn(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+) {
+    let base = test_runner::base_seed(test_name);
+    let mut rejected = 0u32;
+    let mut case = 0u32;
+    let budget = config.cases.saturating_mul(16).max(1024);
+    let mut attempts = 0u32;
+    while case < config.cases {
+        attempts += 1;
+        if attempts > budget {
+            panic!(
+                "proptest {test_name}: gave up after {attempts} attempts \
+                 ({case} cases run, {rejected} rejected)"
+            );
+        }
+        let mut rng = test_runner::TestRng::from_seed(
+            base ^ (attempts as u64).wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        match body(&mut rng) {
+            Ok(()) => case += 1,
+            Err(test_runner::TestCaseError::Reject(_)) => rejected += 1,
+            Err(test_runner::TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest {test_name} failed at case {case} \
+                     (seed {base:#x}, attempt {attempts}): {msg}"
+                );
+            }
+        }
+    }
+}
+
+/// The macro proptest consumers write their tests in.
+///
+/// Supports the forms used in this workspace:
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(128))]
+///     #[test]
+///     fn name(x in strategy1(), y in 0usize..8) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a leading config attribute.
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+    // Without one.
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        #[test]
+        fn $name() {
+            let config = $cfg;
+            $crate::run_cases(
+                concat!(module_path!(), "::", stringify!($name)),
+                &config,
+                |__rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __rng);)+
+                    let __inputs = {
+                        let mut s = ::std::string::String::new();
+                        $(s.push_str(&format!(
+                            "\n  {} = {:?}", stringify!($arg), &$arg
+                        ));)+
+                        s
+                    };
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    __result.map_err(|e| match e {
+                        $crate::test_runner::TestCaseError::Fail(msg) => {
+                            $crate::test_runner::TestCaseError::Fail(
+                                format!("{msg}\ninputs:{__inputs}"),
+                            )
+                        }
+                        reject => reject,
+                    })
+                },
+            );
+        }
+        $crate::__proptest_fns!(($cfg) $($rest)*);
+    };
+}
+
+/// Assert inside a proptest body; failure fails the case with the inputs
+/// attached, rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Inequality assertion inside a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Discard the current case (counts as rejected, not failed).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Reject(stringify!($cond)),
+            );
+        }
+    };
+}
+
+/// Uniform choice among strategies producing the same value type.
+/// Supports optional `weight =>` prefixes (weights are respected).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}

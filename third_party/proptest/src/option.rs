@@ -1,0 +1,48 @@
+//! `Option` strategies (`proptest::option::of`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy producing `Some`/`None` with even odds.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `Option<T>` values where `Some` wraps `inner`'s output.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let s = of(0u8..4);
+        let mut rng = TestRng::from_seed(11);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                Some(v) => {
+                    assert!(v < 4);
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 0 && none > 0);
+    }
+}

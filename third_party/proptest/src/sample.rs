@@ -1,0 +1,68 @@
+//! Sampling strategies (`proptest::sample::{select, Index}`).
+
+use crate::strategy::{Arbitrary, Strategy};
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+
+/// Strategy choosing uniformly from a fixed set of values.
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone + Debug> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.gen_usize(self.options.len())].clone()
+    }
+}
+
+/// Uniform choice among `options` (must be non-empty).
+pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+/// A position into a collection whose length is unknown at generation time;
+/// resolve it with [`Index::index`].
+#[derive(Debug, Clone, Copy)]
+pub struct Index(f64);
+
+impl Index {
+    /// Map this index onto a collection of `len` elements (`len > 0`).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index requires a non-empty collection");
+        ((self.0 * len as f64) as usize).min(len - 1)
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.gen_unit_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::any;
+
+    #[test]
+    fn select_stays_in_set() {
+        let s = select(vec![3, 5, 9]);
+        let mut rng = TestRng::from_seed(21);
+        for _ in 0..100 {
+            assert!([3, 5, 9].contains(&s.generate(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn index_in_bounds_for_any_len() {
+        let s = any::<Index>();
+        let mut rng = TestRng::from_seed(22);
+        for len in [1usize, 2, 7, 1000] {
+            for _ in 0..50 {
+                assert!(s.generate(&mut rng).index(len) < len);
+            }
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Regex-driven string strategies (`proptest::string::string_regex`).
+//!
+//! Implements the regex subset the workspace's strategies actually use:
+//! literal characters, `\`-escapes, character classes with ranges
+//! (`[a-zA-Z0-9_.@-]`, `[ -~]`), and the `{n}` / `{m,n}` / `?` / `*` / `+`
+//! quantifiers. Anything else is a parse error.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Parse failure for an unsupported or malformed pattern.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unsupported regex: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// One generatable unit plus its repetition bounds.
+#[derive(Debug, Clone)]
+struct Atom {
+    /// The characters this atom may produce.
+    choices: Vec<char>,
+    /// Inclusive repetition bounds.
+    min: u32,
+    max: u32,
+}
+
+#[derive(Debug, Clone)]
+struct Pattern {
+    atoms: Vec<Atom>,
+}
+
+fn resolve_escape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn parse(pattern: &str) -> Result<Pattern, Error> {
+    let mut chars = pattern.chars().peekable();
+    let mut atoms = Vec::new();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                let mut pending_range = false;
+                loop {
+                    let item = chars
+                        .next()
+                        .ok_or_else(|| Error(format!("{pattern}: unterminated class")))?;
+                    match item {
+                        ']' => {
+                            if let Some(p) = prev {
+                                set.push(p);
+                            }
+                            if pending_range {
+                                set.push('-');
+                            }
+                            break;
+                        }
+                        '-' if prev.is_some() && !pending_range => {
+                            // Might be a range; decided by the next char.
+                            pending_range = true;
+                        }
+                        mut item => {
+                            if item == '\\' {
+                                let esc = chars.next().ok_or_else(|| {
+                                    Error(format!("{pattern}: dangling escape"))
+                                })?;
+                                item = resolve_escape(esc);
+                            }
+                            if pending_range {
+                                let lo = prev.take().expect("range needs a start");
+                                pending_range = false;
+                                if lo as u32 > item as u32 {
+                                    return Err(Error(format!(
+                                        "{pattern}: inverted range {lo}-{item}"
+                                    )));
+                                }
+                                for cp in lo as u32..=item as u32 {
+                                    if let Some(ch) = char::from_u32(cp) {
+                                        set.push(ch);
+                                    }
+                                }
+                            } else {
+                                if let Some(p) = prev.replace(item) {
+                                    set.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+                if set.is_empty() {
+                    return Err(Error(format!("{pattern}: empty class")));
+                }
+                set
+            }
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .ok_or_else(|| Error(format!("{pattern}: dangling escape")))?;
+                match esc {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(['_'])
+                        .collect(),
+                    other => vec![resolve_escape(other)],
+                }
+            }
+            '(' | ')' | '|' | '.' | '^' => {
+                return Err(Error(format!("{pattern}: `{c}` not supported")));
+            }
+            literal => vec![literal],
+        };
+
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                loop {
+                    match chars.next() {
+                        Some('}') => break,
+                        Some(d) => spec.push(d),
+                        None => {
+                            return Err(Error(format!("{pattern}: unterminated quantifier")))
+                        }
+                    }
+                }
+                let parse_u32 = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("{pattern}: bad quantifier {{{spec}}}")))
+                };
+                match spec.split_once(',') {
+                    None => {
+                        let n = parse_u32(&spec)?;
+                        (n, n)
+                    }
+                    Some((lo, "")) => {
+                        let m = parse_u32(lo)?;
+                        (m, m + 16)
+                    }
+                    Some((lo, hi)) => (parse_u32(lo)?, parse_u32(hi)?),
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        if min > max {
+            return Err(Error(format!("{pattern}: quantifier min > max")));
+        }
+        atoms.push(Atom { choices, min, max });
+    }
+    Ok(Pattern { atoms })
+}
+
+/// Strategy generating strings matching a supported regex pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    pattern: Pattern,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in &self.pattern.atoms {
+            let span = (atom.max - atom.min + 1) as usize;
+            let count = atom.min + rng.gen_usize(span) as u32;
+            for _ in 0..count {
+                out.push(atom.choices[rng.gen_usize(atom.choices.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// Build a string strategy from `pattern`.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    Ok(RegexGeneratorStrategy { pattern: parse(pattern)? })
+}
+
+/// Parse + generate in one step (used by the `&str: Strategy` impl).
+pub fn generate_from_regex(pattern: &str, rng: &mut TestRng) -> Result<String, Error> {
+    Ok(string_regex(pattern)?.generate(rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let s = string_regex(pattern).unwrap();
+        let mut rng = TestRng::from_seed(31);
+        (0..200).map(|_| s.generate(&mut rng)).collect()
+    }
+
+    #[test]
+    fn simple_class_with_quantifier() {
+        for s in gen_many("[a-z]{1,6}") {
+            assert!((1..=6).contains(&s.len()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_prefix() {
+        for s in gen_many("--[a-z]{1,8}") {
+            assert!(s.starts_with("--"), "{s:?}");
+            assert!(s.len() >= 3 && s.len() <= 10, "{s:?}");
+        }
+    }
+
+    #[test]
+    fn class_with_trailing_dash_and_symbols() {
+        let mut saw_symbol = false;
+        for s in gen_many("[a-zA-Z0-9_.@-]{0,16}") {
+            assert!(s.len() <= 16);
+            for c in s.chars() {
+                assert!(
+                    c.is_ascii_alphanumeric() || "_.@-".contains(c),
+                    "{c:?} in {s:?}"
+                );
+                if "_.@-".contains(c) {
+                    saw_symbol = true;
+                }
+            }
+        }
+        assert!(saw_symbol);
+    }
+
+    #[test]
+    fn leading_class_then_tail() {
+        for s in gen_many("[a-zA-Z_$][a-zA-Z0-9_.$-]{0,12}") {
+            assert!(!s.is_empty());
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_' || first == '$');
+        }
+    }
+
+    #[test]
+    fn printable_ascii_range_with_escape() {
+        for s in gen_many("[ -~\\n]{0,24}") {
+            for c in s.chars() {
+                assert!((' '..='~').contains(&c) || c == '\n', "{c:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn exact_count_and_shorthand_quantifiers() {
+        for s in gen_many("x{3}") {
+            assert_eq!(s, "xxx");
+        }
+        for s in gen_many("a?b+") {
+            assert!(s.ends_with('b'));
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+        }
+    }
+
+    #[test]
+    fn unsupported_constructs_error() {
+        assert!(string_regex("(ab)").is_err());
+        assert!(string_regex("a|b").is_err());
+        assert!(string_regex("[a-z").is_err());
+    }
+}

@@ -1,0 +1,113 @@
+//! Deterministic RNG and case-outcome types backing the [`proptest!`] macro.
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met; generate another case.
+    Reject(&'static str),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Build a failure from anything printable.
+    pub fn fail(msg: impl std::fmt::Display) -> Self {
+        TestCaseError::Fail(msg.to_string())
+    }
+}
+
+/// SplitMix64 — deterministic, seedable, and plenty for test-case
+/// generation without shrinking.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator starting from `seed`.
+    pub fn from_seed(seed: u64) -> Self {
+        Self { state: seed ^ 0x5bf0_3635_d290_9d5f }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn gen_usize(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "gen_usize bound must be non-zero");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform signed value in `[lo, hi)` over the i128 domain (covers all
+    /// primitive integer ranges used by strategies).
+    pub fn gen_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u128;
+        let raw = ((self.next_u64() as u128) << 64) | self.next_u64() as u128;
+        lo + (raw % span) as i128
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_unit_f64() < p
+    }
+}
+
+/// Deterministic seed for a test: from `PROPTEST_SEED` when set, else an
+/// FNV-1a hash of the fully qualified test name — stable across runs and
+/// processes.
+pub fn base_seed(test_name: &str) -> u64 {
+    if let Ok(s) = std::env::var("PROPTEST_SEED") {
+        if let Ok(v) = s.trim().parse::<u64>() {
+            return v;
+        }
+    }
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = TestRng::from_seed(2);
+        for _ in 0..500 {
+            assert!(rng.gen_usize(7) < 7);
+            let v = rng.gen_i128(-3, 4);
+            assert!((-3..4).contains(&v));
+            let f = rng.gen_unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn name_seed_is_stable() {
+        assert_eq!(base_seed("a::b"), base_seed("a::b"));
+        assert_ne!(base_seed("a::b"), base_seed("a::c"));
+    }
+}
