@@ -7,3 +7,11 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --all-targets -- -D warnings
+
+# Benches must at least compile.
+cargo bench --no-run
+
+# Dispatch-pipeline throughput smoke: exercises the batched HTEX protocol
+# and the compiled-expression cache end to end. The committed
+# BENCH_dispatch.json comes from a full run (no --smoke); see EXPERIMENTS.md.
+cargo run --release -p bench --bin throughput -- --smoke --json target/BENCH_dispatch.smoke.json

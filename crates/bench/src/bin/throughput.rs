@@ -1,0 +1,226 @@
+//! `throughput` — dispatch-pipeline throughput driver (EXPERIMENTS.md).
+//!
+//! ```text
+//! throughput [--smoke] [--json PATH] [--tasks N] [--expr-tasks N]
+//!            [--trials N] [--scale F]
+//! ```
+//!
+//! Runs three scenarios through the DataFlowKernel and prints tasks/sec
+//! for each, measuring every optimized configuration against its own
+//! pre-optimization baseline in the same process:
+//!
+//! * no-op storm via ThreadPool (raw kernel overhead);
+//! * no-op storm via HTEX over a modelled LAN — `batch_size: 1`
+//!   (one message per task, the pre-batching protocol) vs the batched
+//!   default;
+//! * expression-heavy scatter — compiled-expression cache disabled
+//!   (every evaluation re-parses) vs enabled.
+//!
+//! `--smoke` shrinks the task counts for CI. `--json PATH` additionally
+//! writes the numbers as JSON (the committed `BENCH_dispatch.json` is
+//! produced by a full run). Each scenario runs `--trials` times and the
+//! best run is reported, which filters scheduler noise on small machines.
+
+use bench::dispatch::{run_expr_scatter, run_noop_htex, run_noop_threadpool, Throughput};
+use std::process::ExitCode;
+
+struct Options {
+    smoke: bool,
+    json: Option<String>,
+    tasks: usize,
+    expr_tasks: usize,
+    trials: usize,
+    scale: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("throughput: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        json: None,
+        tasks: 10_000,
+        expr_tasks: 2_000,
+        trials: 3,
+        scale: 1.0,
+    };
+    let mut tasks_set = false;
+    let mut expr_set = false;
+    let mut trials_set = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--json" => opts.json = Some(next(args, &mut i, "--json")?.to_string()),
+            "--tasks" => {
+                opts.tasks = next(args, &mut i, "--tasks")?.parse().map_err(|_| "bad --tasks")?;
+                tasks_set = true;
+            }
+            "--expr-tasks" => {
+                opts.expr_tasks =
+                    next(args, &mut i, "--expr-tasks")?.parse().map_err(|_| "bad --expr-tasks")?;
+                expr_set = true;
+            }
+            "--trials" => {
+                opts.trials =
+                    next(args, &mut i, "--trials")?.parse().map_err(|_| "bad --trials")?;
+                trials_set = true;
+            }
+            "--scale" => {
+                opts.scale = next(args, &mut i, "--scale")?.parse().map_err(|_| "bad --scale")?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    if opts.smoke {
+        if !tasks_set {
+            opts.tasks = 300;
+        }
+        if !expr_set {
+            opts.expr_tasks = 200;
+        }
+        if !trials_set {
+            opts.trials = 1;
+        }
+    }
+    if opts.trials == 0 {
+        return Err("--trials must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn next<'a>(args: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i).map(String::as_str).ok_or_else(|| format!("{what} needs a value"))
+}
+
+/// Best (highest-throughput) of `trials` runs.
+fn best(
+    trials: usize,
+    mut f: impl FnMut() -> Result<Throughput, String>,
+) -> Result<Throughput, String> {
+    let mut top: Option<Throughput> = None;
+    for _ in 0..trials {
+        let t = f()?;
+        if top.is_none_or(|b| t.tasks_per_sec() > b.tasks_per_sec()) {
+            top = Some(t);
+        }
+    }
+    Ok(top.expect("trials >= 1"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    gridsim::TimeScale::set(opts.scale);
+    let workers = 4;
+
+    println!(
+        "# dispatch throughput: {} no-op tasks, {} scatter instances, \
+         best of {} trial(s), time-scale {}",
+        opts.tasks, opts.expr_tasks, opts.trials, opts.scale
+    );
+
+    let tpe = best(opts.trials, || run_noop_threadpool(opts.tasks, workers))?;
+    report("threadpool no-op", &tpe);
+
+    let htex_base = best(opts.trials, || run_noop_htex(opts.tasks, 1))?;
+    report("htex no-op, batch 1 (baseline)", &htex_base);
+    let htex_opt = best(opts.trials, || run_noop_htex(opts.tasks, 8))?;
+    report("htex no-op, batch 8", &htex_opt);
+    let htex_speedup = htex_opt.tasks_per_sec() / htex_base.tasks_per_sec();
+    println!("  -> batching speedup: {htex_speedup:.2}x");
+
+    // Expression scatter: run the cache-off baseline both first and the
+    // cache-on configuration second; stats come from the cache counters.
+    let mut off_stats = expr::cache::stats();
+    let expr_base = best(opts.trials, || {
+        let (t, s) = run_expr_scatter(opts.expr_tasks, workers, false)?;
+        off_stats = s;
+        Ok(t)
+    })?;
+    report("expr scatter, cache off (baseline)", &expr_base);
+    let mut on_stats = expr::cache::stats();
+    let expr_opt = best(opts.trials, || {
+        let (t, s) = run_expr_scatter(opts.expr_tasks, workers, true)?;
+        on_stats = s;
+        Ok(t)
+    })?;
+    report("expr scatter, cache on", &expr_opt);
+    let expr_speedup = expr_opt.tasks_per_sec() / expr_base.tasks_per_sec();
+    println!(
+        "  -> cache speedup: {expr_speedup:.2}x ({} hits / {} misses)",
+        on_stats.hits, on_stats.misses
+    );
+
+    if let Some(path) = &opts.json {
+        let json = render_json(&opts, &tpe, &htex_base, &htex_opt, &expr_base, &expr_opt, &on_stats);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("# wrote {path}");
+    }
+    Ok(())
+}
+
+fn report(name: &str, t: &Throughput) {
+    println!(
+        "{name:<36} {:>8} tasks in {:>8.3}s = {:>10.0} tasks/s",
+        t.tasks,
+        t.elapsed.as_secs_f64(),
+        t.tasks_per_sec()
+    );
+}
+
+fn scenario_json(t: &Throughput) -> String {
+    format!(
+        "{{\"tasks\": {}, \"seconds\": {:.6}, \"tasks_per_sec\": {:.1}}}",
+        t.tasks,
+        t.elapsed.as_secs_f64(),
+        t.tasks_per_sec()
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    opts: &Options,
+    tpe: &Throughput,
+    htex_base: &Throughput,
+    htex_opt: &Throughput,
+    expr_base: &Throughput,
+    expr_opt: &Throughput,
+    on_stats: &expr::CacheStats,
+) -> String {
+    let htex_speedup = htex_opt.tasks_per_sec() / htex_base.tasks_per_sec();
+    let expr_speedup = expr_opt.tasks_per_sec() / expr_base.tasks_per_sec();
+    format!(
+        "{{\n  \"smoke\": {},\n  \"time_scale\": {},\n  \"trials\": {},\n  \
+         \"threadpool_noop\": {},\n  \
+         \"htex_noop\": {{\n    \"baseline_batch_1\": {},\n    \
+         \"optimized_batch_8\": {},\n    \"speedup\": {:.3}\n  }},\n  \
+         \"expr_scatter\": {{\n    \"baseline_cache_off\": {},\n    \
+         \"optimized_cache_on\": {},\n    \"cache_hits\": {},\n    \
+         \"cache_misses\": {},\n    \"speedup\": {:.3},\n    \
+         \"improvement_pct\": {:.1}\n  }}\n}}\n",
+        opts.smoke,
+        opts.scale,
+        opts.trials,
+        scenario_json(tpe),
+        scenario_json(htex_base),
+        scenario_json(htex_opt),
+        htex_speedup,
+        scenario_json(expr_base),
+        scenario_json(expr_opt),
+        on_stats.hits,
+        on_stats.misses,
+        expr_speedup,
+        (expr_speedup - 1.0) * 100.0,
+    )
+}

@@ -1,0 +1,207 @@
+//! Throughput drivers for the submit→dispatch fast path.
+//!
+//! Three scenarios, each measured as tasks/second through the full
+//! DataFlowKernel submit→dispatch→complete pipeline:
+//!
+//! * **no-op storm, ThreadPool** — pure kernel overhead: submission,
+//!   dependency bookkeeping, promise resolution;
+//! * **no-op storm, HTEX** — the same storm through the pilot-job
+//!   executor over a modelled LAN, run once with `batch_size: 1` (the
+//!   pre-batching one-message-per-task protocol) and once batched, so the
+//!   per-message latency amortization is measured against its own
+//!   baseline;
+//! * **expression-heavy scatter** — every task evaluates the same set of
+//!   inline-Python expression fields over its own inputs (as a CWL
+//!   scatter step evaluates its tool's expression-bearing fields per
+//!   instance), run with the compiled-expression cache disabled
+//!   (pre-cache baseline: every evaluation lexes and parses) and enabled.
+//!
+//! The `throughput` binary drives these and emits `BENCH_dispatch.json`
+//! with baseline and optimized numbers side by side (see EXPERIMENTS.md).
+
+use expr::{cache, EvalContext, ExpressionEngine, PyEngine};
+use gridsim::LatencyModel;
+use parsl::{AppArg, Config, DataFlowKernel, FnApp, HtexConfig, LocalProvider};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yamlite::{vmap, Value};
+
+/// One measured scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct Throughput {
+    /// Tasks completed.
+    pub tasks: usize,
+    /// Wall-clock from first submission to last completion.
+    pub elapsed: Duration,
+}
+
+impl Throughput {
+    /// Completed tasks per second.
+    pub fn tasks_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs == 0.0 {
+            f64::INFINITY
+        } else {
+            self.tasks as f64 / secs
+        }
+    }
+}
+
+fn noop_body() -> parsl::AppBody {
+    FnApp::new(|_: &[Value]| Ok(Value::Null))
+}
+
+/// No-op storm through the ThreadPoolExecutor: measures raw kernel
+/// overhead per task with no executor latency in the way.
+pub fn run_noop_threadpool(tasks: usize, workers: usize) -> Result<Throughput, String> {
+    let dfk = DataFlowKernel::try_new(Config::local_threads(workers))?;
+    let start = Instant::now();
+    for _ in 0..tasks {
+        dfk.submit("noop", vec![], noop_body());
+    }
+    dfk.wait_all();
+    let elapsed = start.elapsed();
+    dfk.shutdown();
+    Ok(Throughput { tasks, elapsed })
+}
+
+/// No-op storm through HTEX over a modelled LAN (two nodes × two
+/// workers). `batch_size: 1` reproduces the pre-batching protocol — one
+/// network message (and one paid latency) per task in each direction.
+pub fn run_noop_htex(tasks: usize, batch_size: usize) -> Result<Throughput, String> {
+    let dfk = DataFlowKernel::try_new(Config::htex(
+        HtexConfig {
+            label: format!("tput-b{batch_size}"),
+            nodes: 2,
+            workers_per_node: 2,
+            latency: LatencyModel::cluster_lan(),
+            batch_size,
+            ..HtexConfig::default()
+        },
+        Arc::new(LocalProvider::new(2)),
+    ))?;
+    let start = Instant::now();
+    for _ in 0..tasks {
+        dfk.submit("noop", vec![], noop_body());
+    }
+    dfk.wait_all();
+    let elapsed = start.elapsed();
+    dfk.shutdown();
+    Ok(Throughput { tasks, elapsed })
+}
+
+/// The expression-bearing fields one scatter instance evaluates, mirroring
+/// a CWL tool whose arguments, stdout name, and output binding all carry
+/// inline-Python expressions (the paper's `InlinePythonRequirement`).
+/// Every instance evaluates the same sources over different inputs — the
+/// exact shape the compiled-expression cache exists for.
+const SCATTER_FSTRINGS: &[&str] = &[
+    "f\"{capitalize_word($(inputs.word))}\"",
+    "f\"{decorate($(inputs.word))}-{decorate($(inputs.tag))}\"",
+    "f\"{capitalize_word($(inputs.tag))}.{measure($(inputs.word))}.txt\"",
+    "f\"{measure($(inputs.word))}:{measure($(inputs.tag))}:{capitalize_word($(inputs.word))}\"",
+];
+const SCATTER_PARENS: &[&str] = &["len($(inputs.word))", "measure($(inputs.tag))"];
+
+const SCATTER_LIB: &str = "\
+def capitalize_word(word):
+    return word.title()
+
+def decorate(word):
+    return word.upper()
+
+def measure(word):
+    return len(word)
+";
+
+/// Expression-heavy scatter: `tasks` instances, each evaluating the full
+/// field set against its own context, dispatched through the ThreadPool
+/// DFK. With `cache_enabled: false` every evaluation re-lexes and
+/// re-parses its source (the pre-cache baseline); with it enabled each
+/// distinct source compiles once. Returns the run plus the cache counters
+/// observed during it.
+pub fn run_expr_scatter(
+    tasks: usize,
+    workers: usize,
+    cache_enabled: bool,
+) -> Result<(Throughput, expr::CacheStats), String> {
+    let engine =
+        Arc::new(PyEngine::compile(SCATTER_LIB).map_err(|e| format!("scatter lib: {e}"))?);
+    let was_enabled = cache::set_enabled(cache_enabled);
+    cache::clear_all();
+    cache::reset_stats();
+    let dfk = DataFlowKernel::try_new(Config::local_threads(workers))?;
+    let start = Instant::now();
+    for i in 0..tasks {
+        let engine = engine.clone();
+        let body = FnApp::new(move |vals: &[Value]| {
+            let word = vals[0].as_str().unwrap_or_default().to_string();
+            let ctx = EvalContext::from_inputs(vmap! {
+                "word" => word,
+                "tag" => format!("tag{}", vals[1].as_int().unwrap_or(0)),
+            });
+            let mut sink = String::new();
+            for src in SCATTER_FSTRINGS {
+                let v = engine
+                    .eval_literal(src, &ctx)
+                    .expect("scatter field is an f-string")
+                    .map_err(|e| parsl::TaskError::failed(e.to_string()))?;
+                sink.push_str(&v.to_display_string());
+            }
+            for src in SCATTER_PARENS {
+                let v = engine
+                    .eval_paren(src, &ctx)
+                    .map_err(|e| parsl::TaskError::failed(e.to_string()))?;
+                sink.push_str(&v.to_display_string());
+            }
+            Ok(Value::str(sink))
+        });
+        dfk.submit(
+            "scatter",
+            vec![AppArg::value(format!("word{i:04}")), AppArg::value(i as i64)],
+            body,
+        );
+    }
+    dfk.wait_all();
+    let elapsed = start.elapsed();
+    dfk.shutdown();
+    let stats = cache::stats();
+    cache::set_enabled(was_enabled);
+    cache::clear_all();
+    Ok((Throughput { tasks, elapsed }, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threadpool_storm_completes() {
+        let t = run_noop_threadpool(200, 4).unwrap();
+        assert_eq!(t.tasks, 200);
+        assert!(t.tasks_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn htex_storm_completes_batched_and_unbatched() {
+        gridsim::TimeScale::set(0.02);
+        let base = run_noop_htex(60, 1).unwrap();
+        let opt = run_noop_htex(60, 8).unwrap();
+        gridsim::TimeScale::set(1.0);
+        assert_eq!(base.tasks, 60);
+        assert_eq!(opt.tasks, 60);
+    }
+
+    #[test]
+    fn expr_scatter_cache_counters_reflect_mode() {
+        let (off, off_stats) = run_expr_scatter(50, 4, false).unwrap();
+        assert_eq!(off.tasks, 50);
+        assert_eq!(off_stats.hits, 0, "disabled cache must never hit");
+        let (on, on_stats) = run_expr_scatter(50, 4, true).unwrap();
+        assert_eq!(on.tasks, 50);
+        assert!(
+            on_stats.hits > on_stats.misses,
+            "repeated sources must hit: {on_stats:?}"
+        );
+    }
+}

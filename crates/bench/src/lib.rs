@@ -8,17 +8,24 @@
 //! * **Fig. 1b** — same on a single node: `parsl-cwl`
 //!   (ThreadPoolExecutor) vs cwltool `--parallel` vs Toil;
 //! * **Fig. 2** — expression-evaluation runtime vs word count:
-//!   InlineJavascript under cwltool/Toil vs InlinePython under `parsl-cwl`.
+//!   InlineJavascript under cwltool/Toil vs InlinePython under `parsl-cwl`;
+//! * **dispatch throughput** — tasks/second through the submit→dispatch
+//!   pipeline (`throughput` binary, [`dispatch`] module): no-op storms via
+//!   ThreadPool and HTEX plus an expression-heavy scatter, each measured
+//!   against its pre-optimization baseline (unbatched messaging,
+//!   expression cache disabled) and emitted as `BENCH_dispatch.json`.
 //!
 //! All modelled overheads scale with [`gridsim::TimeScale`]; the drivers
 //! here do not set it — the callers (the `figures` binary, the benches)
 //! choose the compression factor and record it.
 
+pub mod dispatch;
 pub mod fig1;
 pub mod fig2;
 pub mod stats;
 pub mod workload;
 
+pub use dispatch::{run_expr_scatter, run_noop_htex, run_noop_threadpool, Throughput};
 pub use fig1::{run_fig1, Fig1Config, Fig1System};
 pub use fig2::{run_fig2, Fig2System};
 pub use stats::{mean_stdev, time_trials};

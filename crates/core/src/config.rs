@@ -208,6 +208,11 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
                     .map(|ms| Duration::from_millis(ms.max(1) as u64))
                     .unwrap_or(defaults.heartbeat_threshold),
                 fault_plan: fault_plan.clone(),
+                batch_size: executor
+                    .get("batch_size")
+                    .and_then(Value::as_int)
+                    .map(|n| n.max(1) as usize)
+                    .unwrap_or(defaults.batch_size),
             };
             Config::htex(htex, provider).with_retry_policy(retry)
         }

@@ -7,17 +7,22 @@ use std::collections::HashMap;
 use yamlite::{Map, Value};
 
 /// Evaluate a single expression with the given global variables in scope
-/// (CWL provides `inputs`, `self`, and `runtime`).
+/// (CWL provides `inputs`, `self`, and `runtime`). The parsed AST comes
+/// from the process-wide [`crate::cache`] — repeated evaluations of the
+/// same source (every scatter instance) pay only tree-walking.
 pub fn eval_expression(src: &str, globals: &Map) -> Result<Value, EvalError> {
-    let expr = super::parser::parse_expression(src)?;
+    let expr = crate::cache::global::js_expr()
+        .get_or_compile(src, super::parser::parse_expression)?;
     let mut interp = Interp::new(globals);
     interp.eval(&expr)
 }
 
 /// Run a `${...}` statement body; the value of the first executed `return`
-/// is the result (reaching the end without `return` yields `null`).
+/// is the result (reaching the end without `return` yields `null`). The
+/// parsed body is cached like [`eval_expression`]'s AST.
 pub fn run_body(src: &str, globals: &Map) -> Result<Value, EvalError> {
-    let body = super::parser::parse_body(src)?;
+    let body = crate::cache::global::js_body()
+        .get_or_compile(src, super::parser::parse_body)?;
     let mut interp = Interp::new(globals);
     match interp.exec_block(&body)? {
         Flow::Return(v) => Ok(v),

@@ -13,6 +13,11 @@
 //! * [`py`] — a Python subset: `def` functions, f-strings, conditionals,
 //!   loops, `raise`, and a pragmatic builtin library (`len`, `range`, `str`
 //!   methods like `title`/`endswith`, …).
+//! * [`cache`] — the compiled-expression cache: each distinct expression
+//!   source lexes/parses once into an `Arc`'d AST (bounded LRU keyed by
+//!   source hash); repeated evaluations pay only tree-walking. The modelled
+//!   process-boundary costs below are *not* cached — they are per-evaluation
+//!   by construction, as in the systems they model.
 //! * [`paramref`] — `$(inputs.x)` CWL parameter references.
 //! * [`interp`] — CWL string interpolation: embedding any number of
 //!   `$(...)`/`${...}` fragments in a string, and the paper's f-string-like
@@ -28,6 +33,7 @@
 //! positions. Only the *process-boundary overhead* of the JS path is
 //! modelled (through [`gridsim::pay`]); everything else is genuine work.
 
+pub mod cache;
 pub mod engine;
 pub mod error;
 pub mod interp;
@@ -35,6 +41,7 @@ pub mod js;
 pub mod paramref;
 pub mod py;
 
+pub use cache::{CacheStats, ProgramCache};
 pub use engine::{EngineKind, ExpressionEngine, JsCostModel, JsEngine, PyEngine};
 pub use error::{EvalError, EvalErrorKind};
 pub use interp::{interpolate, Interpolatable};

@@ -80,7 +80,11 @@ impl PyLib {
     /// parameter references) against the CWL context `ctx` (a map providing
     /// `inputs`, `self`, `runtime`).
     pub fn eval_expression(&self, src: &str, ctx: &Map) -> Result<Value, EvalError> {
-        let expr = super::parser::parse_expression(src)?;
+        // The parsed AST is shared through the process-wide expression
+        // cache: scatter workloads evaluate the same source once per
+        // instance, and only the context differs between instances.
+        let expr = crate::cache::global::py_expr()
+            .get_or_compile(src, super::parser::parse_expression)?;
         let mut interp = PyInterp::new(&self.funcs, ctx.clone());
         interp.globals = self.globals.clone();
         interp.eval(&expr)

@@ -81,11 +81,52 @@ impl AppArg {
 
 struct TaskInner {
     id: TaskId,
-    label: String,
+    /// `Arc<str>` so attempts, retries, and memo keys share one allocation
+    /// instead of cloning a `String` per use.
+    label: Arc<str>,
     body: AppBody,
     args: Vec<AppArg>,
     retries_left: AtomicUsize,
     promise: Mutex<Option<Promise>>,
+}
+
+/// Shards in the memoization table. Power of two so the shard index is a
+/// mask of the fingerprint. Sixteen shards keep contention negligible even
+/// with every worker of a wide HTEX completing tasks at once.
+const MEMO_SHARDS: usize = 16;
+
+/// The memoization table, sharded by input fingerprint so concurrent
+/// lookups and inserts from many worker threads don't serialize on one
+/// lock. Values are `Arc`'d: a lookup clones only the `Arc` under the
+/// shard lock (hash → shard → get → drop); the deep `Value` clone a task
+/// result needs happens outside any lock.
+struct ShardedMemo {
+    shards: Vec<Mutex<MemoShard>>,
+}
+
+/// One shard's map: (label, fingerprint of resolved inputs) → result.
+type MemoShard = std::collections::HashMap<(Arc<str>, u64), Arc<Value>>;
+
+impl ShardedMemo {
+    fn new() -> Self {
+        Self {
+            shards: (0..MEMO_SHARDS)
+                .map(|_| Mutex::new(std::collections::HashMap::new()))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64) -> &Mutex<MemoShard> {
+        &self.shards[(fingerprint as usize) & (MEMO_SHARDS - 1)]
+    }
+
+    fn get(&self, label: &Arc<str>, fingerprint: u64) -> Option<Arc<Value>> {
+        self.shard(fingerprint).lock().get(&(label.clone(), fingerprint)).cloned()
+    }
+
+    fn insert(&self, label: Arc<str>, fingerprint: u64, value: Value) {
+        self.shard(fingerprint).lock().insert((label, fingerprint), Arc::new(value));
+    }
 }
 
 /// The dataflow kernel. Create with [`DataFlowKernel::new`]; returns an
@@ -96,9 +137,13 @@ pub struct DataFlowKernel {
     memoize: bool,
     /// Memo table: (label, fingerprint of resolved inputs) → successful
     /// result. Only successes are cached, matching Parsl's memoizer.
-    memo: Mutex<std::collections::HashMap<(String, u64), Value>>,
+    memo: ShardedMemo,
     next_id: AtomicU64,
-    outstanding: Mutex<usize>,
+    /// Tasks not yet in a terminal state. Submission and completion touch
+    /// only this atomic; `done_lock`/`all_done` exist solely so `wait_all`
+    /// can sleep, and the condvar is notified only on the 1→0 transition.
+    outstanding: AtomicUsize,
+    done_lock: Mutex<()>,
     all_done: Condvar,
     /// Shared with the executor so node-level events (NodeLost,
     /// BlockReplaced, Redispatched) land in the same log as task events.
@@ -154,9 +199,10 @@ impl DataFlowKernel {
             executor,
             retry,
             memoize,
-            memo: Mutex::new(std::collections::HashMap::new()),
+            memo: ShardedMemo::new(),
             next_id: AtomicU64::new(1),
-            outstanding: Mutex::new(0),
+            outstanding: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
             all_done: Condvar::new(),
             log,
         })
@@ -174,7 +220,7 @@ impl DataFlowKernel {
 
     /// Number of tasks not yet in a terminal state.
     pub fn outstanding(&self) -> usize {
-        *self.outstanding.lock()
+        self.outstanding.load(Ordering::Acquire)
     }
 
     /// Invoke an app: returns immediately with a future. The task launches
@@ -183,13 +229,13 @@ impl DataFlowKernel {
     pub fn submit(self: &Arc<Self>, label: &str, args: Vec<AppArg>, body: AppBody) -> AppFuture {
         let id = TaskId(self.next_id.fetch_add(1, Ordering::Relaxed));
         let (fut, promise) = promise_pair(id);
-        *self.outstanding.lock() += 1;
+        self.outstanding.fetch_add(1, Ordering::AcqRel);
         self.log.record(id, TaskEventKind::Submitted, label);
 
         let deps: Vec<AppFuture> = args.iter().filter_map(AppArg::dependency).collect();
         let task = Arc::new(TaskInner {
             id,
-            label: label.to_string(),
+            label: Arc::from(label),
             body,
             args,
             retries_left: AtomicUsize::new(self.retry.max_retries),
@@ -250,27 +296,34 @@ impl DataFlowKernel {
         }
         self.log.record(task.id, TaskEventKind::Launched, &task.label);
         // Memoization: a prior success with the same label and inputs
-        // short-circuits execution entirely.
-        if self.memoize {
-            let key = (task.label.clone(), fingerprint_inputs(&vals));
-            if let Some(cached) = self.memo.lock().get(&key).cloned() {
+        // short-circuits execution entirely. The fingerprint (which
+        // serializes every input value) is computed exactly once and
+        // reused for the memo insert when the attempt succeeds.
+        let fingerprint = if self.memoize { Some(fingerprint_inputs(&vals)) } else { None };
+        if let Some(fp) = fingerprint {
+            if let Some(cached) = self.memo.get(&task.label, fp) {
                 self.log.record(task.id, TaskEventKind::Memoized, &task.label);
-                self.finish(&task, Ok(cached));
+                self.finish(&task, Ok((*cached).clone()));
                 return;
             }
         }
-        self.attempt(task, Arc::new(vals));
+        self.attempt(task, Arc::new(vals), fingerprint);
     }
 
     /// Run one execution attempt on the executor; retry on failure while
     /// budget remains, honouring the policy's backoff schedule.
-    fn attempt(self: &Arc<Self>, task: Arc<TaskInner>, vals: Arc<Vec<Value>>) {
+    /// `fingerprint` is the precomputed input fingerprint when memoization
+    /// is on (`None` otherwise) — computed once in [`Self::launch`].
+    fn attempt(self: &Arc<Self>, task: Arc<TaskInner>, vals: Arc<Vec<Value>>, fingerprint: Option<u64>) {
         let (attempt_fut, attempt_promise) = promise_pair(task.id);
         let body = task.body.clone();
-        let vals_for_body = vals.clone();
+        // The completion callback needs `vals` only to relaunch a failed
+        // attempt; with no retry budget the body's reference is the last
+        // one and the callback captures nothing.
+        let vals_for_retry = (self.retry.max_retries > 0).then(|| vals.clone());
         self.executor.submit(TaskPayload {
             id: task.id,
-            body: Arc::new(move || body(&vals_for_body)),
+            body: Arc::new(move || body(&vals)),
             promise: attempt_promise.clone(),
         });
         // Walltime watchdog: race the executor with a timer holding a
@@ -292,9 +345,8 @@ impl DataFlowKernel {
         let dfk = self.clone();
         attempt_fut.on_complete(move |result| match result {
             Ok(value) => {
-                if dfk.memoize {
-                    let key = (task.label.clone(), fingerprint_inputs(&vals));
-                    dfk.memo.lock().insert(key, value.clone());
+                if let Some(fp) = fingerprint {
+                    dfk.memo.insert(task.label.clone(), fp, value.clone());
                 }
                 dfk.finish(&task, result.clone())
             }
@@ -314,19 +366,21 @@ impl DataFlowKernel {
                     }) {
                     Ok(prev) => {
                         dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
+                        let vals = vals_for_retry
+                            .clone()
+                            .expect("retry granted only when max_retries > 0");
                         let retry_index = dfk.retry.max_retries - prev + 1;
                         let delay = dfk.retry.backoff_for(retry_index);
                         if delay.is_zero() {
-                            dfk.attempt(task.clone(), vals.clone());
+                            dfk.attempt(task.clone(), vals, fingerprint);
                         } else {
                             let dfk = dfk.clone();
                             let task = task.clone();
-                            let vals = vals.clone();
                             let _ = std::thread::Builder::new()
                                 .name(format!("backoff-{}", task.id))
                                 .spawn(move || {
                                     std::thread::sleep(delay);
-                                    dfk.attempt(task, vals);
+                                    dfk.attempt(task, vals, fingerprint);
                                 });
                         }
                     }
@@ -343,18 +397,21 @@ impl DataFlowKernel {
         if let Some(promise) = task.promise.lock().take() {
             promise.complete(result);
         }
-        let mut outstanding = self.outstanding.lock();
-        *outstanding -= 1;
-        if *outstanding == 0 {
+        // Zero-transition protocol: only the finisher that drops the count
+        // to zero takes the lock, so the common case is one atomic RMW.
+        // Taking `done_lock` before notifying closes the race with a waiter
+        // that observed a non-zero count and is about to sleep.
+        if self.outstanding.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let _guard = self.done_lock.lock();
             self.all_done.notify_all();
         }
     }
 
     /// Block until every submitted task reaches a terminal state.
     pub fn wait_all(&self) {
-        let mut outstanding = self.outstanding.lock();
-        while *outstanding > 0 {
-            self.all_done.wait(&mut outstanding);
+        let mut guard = self.done_lock.lock();
+        while self.outstanding.load(Ordering::Acquire) > 0 {
+            self.all_done.wait(&mut guard);
         }
     }
 

@@ -12,11 +12,17 @@
 //!
 //! Nodes come from a [`Provider`] as pilot jobs (paying batch-queue wait);
 //! each granted node gets a *manager* with `workers_per_node` worker threads.
-//! A dispatcher thread drains the interchange queue and hands each task to a
-//! live manager round-robin; workers pay a modelled per-task dispatch
-//! latency — the cost of crossing the submit-side ↔ manager network
-//! boundary. The latency is paid **on the worker**, so dispatches pipeline
-//! exactly as real network transfers do.
+//! A dispatcher thread drains the interchange queue and hands tasks to live
+//! managers round-robin in **batches** of up to [`HtexConfig::batch_size`]:
+//! each batch crosses the submit-side ↔ manager network boundary as one
+//! message, so its modelled dispatch latency is paid once per message
+//! rather than once per task (the first worker to pick any task of the
+//! batch pays; the rest ride along). Results flow back the same way: each
+//! manager runs a reply aggregator that flushes completed tasks in batches,
+//! paying the result-path latency once per reply message. The latencies are
+//! paid **off the submit thread**, so transfers to different managers
+//! pipeline exactly as real network messages do. `batch_size: 1` recovers
+//! the unbatched one-message-per-task protocol.
 //!
 //! Fault tolerance, mirrored from Parsl's interchange/manager heartbeats:
 //! every manager runs a heartbeat thread; a monitor on the submit side
@@ -67,6 +73,11 @@ pub struct HtexConfig {
     pub min_nodes: usize,
     /// Scripted node deaths, for fault-injection experiments.
     pub fault_plan: Option<FaultPlan>,
+    /// Maximum tasks per interchange↔manager message. Each message pays
+    /// the modelled network latency once, so a batch of `k` tasks costs
+    /// one dispatch transfer instead of `k`; result replies are batched
+    /// symmetrically. `1` = the unbatched one-message-per-task protocol.
+    pub batch_size: usize,
 }
 
 impl Default for HtexConfig {
@@ -80,6 +91,7 @@ impl Default for HtexConfig {
             heartbeat_threshold: Duration::from_millis(250),
             min_nodes: 0,
             fault_plan: None,
+            batch_size: 8,
         }
     }
 }
@@ -98,12 +110,30 @@ impl HtexConfig {
 }
 
 enum WorkerMsg {
-    Task { seq: u64, payload: TaskPayload, finished: Arc<AtomicBool> },
+    Task {
+        seq: u64,
+        payload: TaskPayload,
+        finished: Arc<AtomicBool>,
+        /// Shared by every task of one interchange→manager message; the
+        /// first worker to claim it pays the message's dispatch latency.
+        ticket: Arc<AtomicBool>,
+    },
     Stop,
 }
 
 enum DispatchMsg {
     Task { payload: TaskPayload, finished: Arc<AtomicBool> },
+    Stop,
+}
+
+/// Worker → reply-aggregator traffic on one manager.
+enum ResultMsg {
+    Done {
+        seq: u64,
+        payload: TaskPayload,
+        finished: Arc<AtomicBool>,
+        result: crate::future::TaskResult,
+    },
     Stop,
 }
 
@@ -129,8 +159,12 @@ struct ManagerState {
     /// Tasks sent to this manager and not yet completed, keyed by a
     /// dispatch sequence number (task ids may repeat across attempts).
     in_flight: Mutex<HashMap<u64, TrackedTask>>,
+    /// Workers hand finished tasks to this manager's reply aggregator,
+    /// which completes them in batches (one result-latency per batch).
+    result_tx: Sender<ResultMsg>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     heartbeat: Mutex<Option<std::thread::JoinHandle<()>>>,
+    aggregator: Mutex<Option<std::thread::JoinHandle<()>>>,
     /// Held until shutdown so the pilot job is released exactly once,
     /// whether or not the node died.
     node: Mutex<Option<NodeHandle>>,
@@ -160,6 +194,8 @@ pub struct HighThroughputExecutor {
     heartbeat_period: Duration,
     heartbeat_threshold: Duration,
     min_nodes: usize,
+    /// Maximum tasks per interchange↔manager message (≥ 1).
+    batch_size: usize,
     /// Tasks submitted minus tasks finished — used by the scaling strategy.
     outstanding: AtomicUsize,
     next_seq: AtomicU64,
@@ -194,6 +230,7 @@ impl HighThroughputExecutor {
             heartbeat_period: config.heartbeat_period,
             heartbeat_threshold: config.heartbeat_threshold,
             min_nodes: config.min_nodes,
+            batch_size: config.batch_size.max(1),
             outstanding: AtomicUsize::new(0),
             next_seq: AtomicU64::new(1),
             closed: AtomicBool::new(false),
@@ -243,6 +280,7 @@ impl HighThroughputExecutor {
             };
             let node_name = node.spec.name.clone();
             let (tx, rx) = unbounded::<WorkerMsg>();
+            let (result_tx, result_rx) = unbounded::<ResultMsg>();
             let mgr = Arc::new(ManagerState {
                 node_name: node_name.clone(),
                 tx,
@@ -250,8 +288,10 @@ impl HighThroughputExecutor {
                 dead: AtomicBool::new(false),
                 lost_handled: AtomicBool::new(false),
                 in_flight: Mutex::new(HashMap::new()),
+                result_tx,
                 workers: Mutex::new(Vec::new()),
                 heartbeat: Mutex::new(None),
+                aggregator: Mutex::new(None),
                 node: Mutex::new(Some(node)),
                 worker_count: per_node,
             });
@@ -262,14 +302,26 @@ impl HighThroughputExecutor {
                     let mgr = mgr.clone();
                     let latency = self.latency.clone();
                     let plan = self.fault_plan.clone();
-                    let me = Arc::downgrade(self);
                     workers.push(
                         std::thread::Builder::new()
                             .name(format!("{}-{node_name}-w{w}", self.label))
-                            .spawn(move || worker_loop(mgr, rx, latency, plan, me))
+                            .spawn(move || worker_loop(mgr, rx, latency, plan))
                             .map_err(|e| format!("failed to spawn HTEX worker: {e}"))?,
                     );
                 }
+            }
+            {
+                let mgr_for_agg = mgr.clone();
+                let latency = self.latency.clone();
+                let plan = self.fault_plan.clone();
+                let cap = self.batch_size;
+                let me = Arc::downgrade(self);
+                *mgr.aggregator.lock() = Some(
+                    std::thread::Builder::new()
+                        .name(format!("{}-{node_name}-agg", self.label))
+                        .spawn(move || result_loop(mgr_for_agg, result_rx, latency, plan, cap, me))
+                        .map_err(|e| format!("failed to spawn HTEX aggregator: {e}"))?,
+                );
             }
             {
                 let mgr_for_beat = mgr.clone();
@@ -311,6 +363,10 @@ impl HighThroughputExecutor {
             }
             if let Some(hb) = mgr.heartbeat.lock().take() {
                 let _ = hb.join();
+            }
+            let _ = mgr.result_tx.send(ResultMsg::Stop);
+            if let Some(agg) = mgr.aggregator.lock().take() {
+                let _ = agg.join();
             }
             if let Some(node) = mgr.node.lock().take() {
                 nodes.push(node);
@@ -408,70 +464,66 @@ impl HighThroughputExecutor {
     }
 }
 
-/// Round-robin tasks from the interchange queue onto live managers. When no
-/// manager is alive, waits for the monitor to either provision a
-/// replacement or declare the executor failed.
+/// Round-robin batches of tasks from the interchange queue onto live
+/// managers. The dispatcher drains up to `batch_size` ready tasks per
+/// manager round-trip, so a burst of submissions becomes a handful of
+/// messages instead of one per task; the drained set is split evenly
+/// across live managers so batching never serializes a workload that
+/// could span nodes. When no manager is alive, waits for the monitor to
+/// either provision a replacement or declare the executor failed.
 fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>) {
     let mut rr = 0usize;
-    'next: while let Ok(msg) = rx.recv() {
-        let (payload, finished) = match msg {
-            DispatchMsg::Task { payload, finished } => (payload, finished),
-            DispatchMsg::Stop => return,
+    let mut stopping = false;
+    while !stopping {
+        let mut queue: std::collections::VecDeque<(TaskPayload, Arc<AtomicBool>)> =
+            std::collections::VecDeque::new();
+        match rx.recv() {
+            Ok(DispatchMsg::Task { payload, finished }) => queue.push_back((payload, finished)),
+            Ok(DispatchMsg::Stop) | Err(_) => return,
+        }
+        // Greedily drain whatever has already accumulated, up to one full
+        // message per live manager.
+        let cap = match htex.upgrade() {
+            Some(h) => h.batch_size * h.manager_count().max(1),
+            None => 1,
         };
-        loop {
+        while queue.len() < cap {
+            match rx.try_recv() {
+                Ok(DispatchMsg::Task { payload, finished }) => {
+                    queue.push_back((payload, finished))
+                }
+                Ok(DispatchMsg::Stop) => {
+                    stopping = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        while !queue.is_empty() {
             let Some(h) = htex.upgrade() else {
-                if !finished.swap(true, Ordering::SeqCst) {
-                    payload.promise.complete(Err(TaskError::Shutdown));
+                for (payload, finished) in queue {
+                    if !finished.swap(true, Ordering::SeqCst) {
+                        payload.promise.complete(Err(TaskError::Shutdown));
+                    }
                 }
                 return;
             };
-            let target = {
-                let managers = h.managers.lock();
-                let alive: Vec<Arc<ManagerState>> = managers
-                    .iter()
-                    .filter(|m| !m.dead.load(Ordering::SeqCst))
-                    .cloned()
-                    .collect();
-                if alive.is_empty() {
-                    None
-                } else {
-                    rr = rr.wrapping_add(1);
-                    Some(alive[rr % alive.len()].clone())
-                }
-            };
-            match target {
-                Some(mgr) => {
-                    let seq = h.next_seq.fetch_add(1, Ordering::SeqCst);
-                    mgr.in_flight.lock().insert(
-                        seq,
-                        TrackedTask { payload: payload.clone(), finished: finished.clone() },
-                    );
-                    let sent = mgr.tx.send(WorkerMsg::Task {
-                        seq,
-                        payload: payload.clone(),
-                        finished: finished.clone(),
-                    });
-                    if sent.is_ok() {
-                        // If the monitor processed this manager's loss
-                        // between our liveness check and the insert, the
-                        // drain may have missed the task — reclaim it and
-                        // dispatch elsewhere (None = the drain got it).
-                        if mgr.lost_handled.load(Ordering::SeqCst)
-                            && mgr.in_flight.lock().remove(&seq).is_some()
-                        {
-                            continue;
-                        }
-                        continue 'next;
-                    }
-                    // Manager channel already gone; retry elsewhere.
-                    mgr.in_flight.lock().remove(&seq);
-                }
-                None => {
-                    if h.closed.load(Ordering::SeqCst) {
+            let alive: Vec<Arc<ManagerState>> = h
+                .managers
+                .lock()
+                .iter()
+                .filter(|m| !m.dead.load(Ordering::SeqCst))
+                .cloned()
+                .collect();
+            if alive.is_empty() {
+                if h.closed.load(Ordering::SeqCst) {
+                    for (payload, finished) in queue.drain(..) {
                         h.fail_task(&payload, &finished, TaskError::Shutdown);
-                        continue 'next;
                     }
-                    if h.failed.load(Ordering::SeqCst) {
+                    break;
+                }
+                if h.failed.load(Ordering::SeqCst) {
+                    for (payload, finished) in queue.drain(..) {
                         h.fail_task(
                             &payload,
                             &finished,
@@ -480,10 +532,68 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
                                     .to_string(),
                             ),
                         );
-                        continue 'next;
                     }
-                    drop(h);
-                    std::thread::sleep(Duration::from_millis(2));
+                    break;
+                }
+                drop(h);
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            rr = rr.wrapping_add(1);
+            let mgr = alive[rr % alive.len()].clone();
+            // This manager's share of the drained batch: an even split,
+            // capped at one message's worth.
+            let k = queue.len().div_ceil(alive.len()).min(h.batch_size);
+            let chunk: Vec<(TaskPayload, Arc<AtomicBool>)> = queue.drain(..k).collect();
+            // One shared ticket per message: the first worker to pick any
+            // task of this chunk pays the dispatch latency, once.
+            let ticket = Arc::new(AtomicBool::new(false));
+            let mut seqs = Vec::with_capacity(chunk.len());
+            {
+                let mut in_flight = mgr.in_flight.lock();
+                for (payload, finished) in &chunk {
+                    let seq = h.next_seq.fetch_add(1, Ordering::SeqCst);
+                    in_flight.insert(
+                        seq,
+                        TrackedTask { payload: payload.clone(), finished: finished.clone() },
+                    );
+                    seqs.push(seq);
+                }
+            }
+            let mut send_failed_at = None;
+            for (i, (payload, finished)) in chunk.iter().enumerate() {
+                let sent = mgr.tx.send(WorkerMsg::Task {
+                    seq: seqs[i],
+                    payload: payload.clone(),
+                    finished: finished.clone(),
+                    ticket: ticket.clone(),
+                });
+                if sent.is_err() {
+                    send_failed_at = Some(i);
+                    break;
+                }
+            }
+            if let Some(i) = send_failed_at {
+                // Manager channel already gone; reclaim the unsent tail and
+                // retry elsewhere.
+                let mut in_flight = mgr.in_flight.lock();
+                for j in i..chunk.len() {
+                    if in_flight.remove(&seqs[j]).is_some() {
+                        queue.push_front(chunk[j].clone());
+                    }
+                }
+                continue;
+            }
+            // If the monitor processed this manager's loss between our
+            // liveness check and the inserts, its drain may have missed
+            // part of the chunk — reclaim those and dispatch elsewhere
+            // (entries already absent were claimed by the drain).
+            if mgr.lost_handled.load(Ordering::SeqCst) {
+                let mut in_flight = mgr.in_flight.lock();
+                for (j, seq) in seqs.iter().enumerate() {
+                    if in_flight.remove(seq).is_some() {
+                        queue.push_back(chunk[j].clone());
+                    }
                 }
             }
         }
@@ -491,13 +601,12 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
 }
 
 /// One worker slot on a node: pull, (maybe) die per the fault plan, run,
-/// claim, complete.
+/// hand the result to the manager's reply aggregator.
 fn worker_loop(
     mgr: Arc<ManagerState>,
     rx: Receiver<WorkerMsg>,
     latency: LatencyModel,
     plan: Option<FaultPlan>,
-    htex: Weak<HighThroughputExecutor>,
 ) {
     loop {
         let msg = match rx.recv_timeout(WORKER_POLL) {
@@ -510,8 +619,10 @@ fn worker_loop(
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
-        let (seq, payload, finished) = match msg {
-            WorkerMsg::Task { seq, payload, finished } => (seq, payload, finished),
+        let (seq, payload, finished, ticket) = match msg {
+            WorkerMsg::Task { seq, payload, finished, ticket } => {
+                (seq, payload, finished, ticket)
+            }
             WorkerMsg::Stop => return,
         };
         if mgr.dead.load(Ordering::SeqCst) {
@@ -527,9 +638,13 @@ fn worker_loop(
                 return;
             }
         }
-        // Pay the network dispatch cost on the worker so transfers to
-        // different workers overlap (pipelined dispatch).
-        latency.pay_dispatch();
+        // The whole batch crossed the network as one message: the first
+        // worker to pick any of its tasks pays the transfer cost (on the
+        // worker, so transfers to different managers overlap); the rest of
+        // the batch rides along free.
+        if !ticket.swap(true, Ordering::SeqCst) {
+            latency.pay_dispatch();
+        }
         let result = crate::executor::run_isolated(&payload.body);
         if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
             // The node died while the task ran: the result dies with it and
@@ -537,24 +652,116 @@ fn worker_loop(
             mgr.dead.store(true, Ordering::SeqCst);
             return;
         }
-        if finished.swap(true, Ordering::SeqCst) {
-            // Another dispatch attempt of the same submission already
-            // completed it (we were spuriously declared dead); discard.
-            mgr.in_flight.lock().remove(&seq);
-            continue;
+        // Completion claiming, backlog accounting, and the (batched)
+        // result-path latency all happen on the aggregator.
+        let _ = mgr.result_tx.send(ResultMsg::Done { seq, payload, finished, result });
+    }
+}
+
+/// One manager's reply aggregator: collects finished tasks from the node's
+/// workers and flushes them to the submit side in batches, paying the
+/// modelled result-path latency once per reply message instead of once per
+/// task. Keeps PR-level fault semantics: a result from a plan-dead node is
+/// dropped un-claimed, so its task stays in flight for re-dispatch.
+fn result_loop(
+    mgr: Arc<ManagerState>,
+    rx: Receiver<ResultMsg>,
+    latency: LatencyModel,
+    plan: Option<FaultPlan>,
+    batch_size: usize,
+    htex: Weak<HighThroughputExecutor>,
+) {
+    let mut stop = false;
+    while !stop {
+        let mut batch: Vec<(u64, TaskPayload, Arc<AtomicBool>, crate::future::TaskResult)> =
+            Vec::new();
+        match rx.recv_timeout(WORKER_POLL) {
+            Ok(ResultMsg::Done { seq, payload, finished, result }) => {
+                batch.push((seq, payload, finished, result))
+            }
+            Ok(ResultMsg::Stop) => stop = true,
+            Err(RecvTimeoutError::Timeout) => {
+                if !mgr.dead.load(Ordering::SeqCst) {
+                    continue;
+                }
+                // Dead manager: flush what the workers already produced
+                // (spurious deaths still deliver), then exit.
+                stop = true;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
         }
-        mgr.in_flight.lock().remove(&seq);
-        {
-            // Decrement the backlog BEFORE resolving the promise — and via
-            // a drop guard, so nothing on this path can leak the counter —
-            // because `wait_all` callers may observe the completion and
-            // immediately read `outstanding_tasks()`.
-            let h = htex.upgrade();
-            let _outstanding = h.as_ref().map(|h| OutstandingGuard(&h.outstanding));
-            latency.pay_result();
+        loop {
+            while batch.len() < batch_size {
+                match rx.try_recv() {
+                    Ok(ResultMsg::Done { seq, payload, finished, result }) => {
+                        batch.push((seq, payload, finished, result))
+                    }
+                    Ok(ResultMsg::Stop) => {
+                        stop = true;
+                        break;
+                    }
+                    Err(_) => break,
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            flush_results(&mgr, &latency, &plan, &htex, std::mem::take(&mut batch));
+            if !stop {
+                break;
+            }
+            // Stopping: keep flushing in message-sized batches until the
+            // queue is dry.
         }
-        // A panicking completion callback must not take the worker down
-        // (the counter is already settled above).
+    }
+}
+
+/// Deliver one reply message's worth of results.
+fn flush_results(
+    mgr: &ManagerState,
+    latency: &LatencyModel,
+    plan: &Option<FaultPlan>,
+    htex: &Weak<HighThroughputExecutor>,
+    batch: Vec<(u64, TaskPayload, Arc<AtomicBool>, crate::future::TaskResult)>,
+) {
+    if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
+        // The node died before this reply left it: the results die with it
+        // and the tasks stay in flight for the monitor to re-dispatch.
+        mgr.dead.store(true, Ordering::SeqCst);
+        return;
+    }
+    let mut completions = Vec::with_capacity(batch.len());
+    {
+        let mut in_flight = mgr.in_flight.lock();
+        for (seq, payload, finished, result) in batch {
+            in_flight.remove(&seq);
+            if finished.swap(true, Ordering::SeqCst) {
+                // Another dispatch attempt of the same submission already
+                // completed it (we were spuriously declared dead); discard.
+                continue;
+            }
+            completions.push((payload, result));
+        }
+    }
+    if completions.is_empty() {
+        return;
+    }
+    {
+        // Decrement the backlog BEFORE resolving the promises — and via
+        // drop guards, so nothing on this path can leak the counter —
+        // because `wait_all` callers may observe a completion and
+        // immediately read `outstanding_tasks()`.
+        let h = htex.upgrade();
+        let _outstanding: Vec<OutstandingGuard> = h
+            .as_ref()
+            .map(|h| completions.iter().map(|_| OutstandingGuard(&h.outstanding)).collect())
+            .unwrap_or_default();
+        // One reply message for the whole batch.
+        latency.pay_result();
+    }
+    for (payload, result) in completions {
+        // A panicking completion callback must not take the aggregator
+        // down (the counter is already settled above).
         let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             payload.promise.complete(result)
         }));
@@ -665,6 +872,12 @@ impl Executor for HighThroughputExecutor {
             }
             if let Some(hb) = mgr.heartbeat.lock().take() {
                 let _ = hb.join();
+            }
+            // Workers are joined, so no more results are coming: stop the
+            // aggregator after it drains and delivers what they produced.
+            let _ = mgr.result_tx.send(ResultMsg::Stop);
+            if let Some(agg) = mgr.aggregator.lock().take() {
+                let _ = agg.join();
             }
             // Whatever never ran (queued on a dead or stopping manager)
             // must still resolve.

@@ -54,7 +54,7 @@ pub mod provider;
 pub mod strategy;
 pub mod task;
 
-pub use apps::{run_command, CommandApp, CommandSpec, FnApp};
+pub use apps::{run_command, AppBody, CommandApp, CommandSpec, FnApp};
 pub use config::{Config, ExecutorChoice, RetryPolicy};
 pub use dfk::{AppArg, DataFlowKernel};
 pub use error::TaskError;

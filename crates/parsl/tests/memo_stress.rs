@@ -1,0 +1,155 @@
+//! Stress and equivalence tests for the sharded memoization table.
+//!
+//! The memo table is sharded by input fingerprint and shared by every
+//! thread that completes tasks, so it must stay correct when hammered from
+//! many submitters at once — and memoization must never change *what* a
+//! workflow computes, only how often bodies run.
+
+use parsl::{AppArg, Config, DataFlowKernel, FnApp, TaskError};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use yamlite::Value;
+
+/// Eight OS threads submit overlapping and distinct keys concurrently;
+/// after a sequential warm-up wave every shared key must be answered from
+/// the memo without a single extra execution.
+#[test]
+fn eight_threads_hammer_sharded_memo() {
+    const THREADS: usize = 8;
+    const SHARED_KEYS: usize = 32;
+    let dfk = DataFlowKernel::new(Config::local_threads(4).with_memoization());
+    let executions = Arc::new(AtomicUsize::new(0));
+    let body = {
+        let executions = executions.clone();
+        FnApp::new(move |vals: &[Value]| {
+            executions.fetch_add(1, Ordering::SeqCst);
+            Ok(Value::Int(vals[0].as_int().unwrap() * 7))
+        })
+    };
+
+    // Wave 1 (sequential): populate every shared key exactly once.
+    for k in 0..SHARED_KEYS {
+        let f = dfk.submit("shared", vec![AppArg::value(k as i64)], body.clone());
+        assert_eq!(f.result().unwrap(), Value::Int(k as i64 * 7));
+    }
+    assert_eq!(executions.load(Ordering::SeqCst), SHARED_KEYS);
+
+    // Wave 2: eight threads re-submit every shared key (pure hits) while
+    // also submitting thread-private keys (pure misses), all racing on the
+    // same shards.
+    let barrier = Arc::new(std::sync::Barrier::new(THREADS));
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let dfk = dfk.clone();
+            let body = body.clone();
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut futs = Vec::new();
+                for k in 0..SHARED_KEYS {
+                    futs.push((
+                        k as i64 * 7,
+                        dfk.submit("shared", vec![AppArg::value(k as i64)], body.clone()),
+                    ));
+                    let private = 1_000 + (t * SHARED_KEYS + k) as i64;
+                    futs.push((
+                        private * 7,
+                        dfk.submit("shared", vec![AppArg::value(private)], body.clone()),
+                    ));
+                }
+                for (want, f) in futs {
+                    assert_eq!(f.result().unwrap(), Value::Int(want));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    dfk.wait_all();
+
+    // Shared keys were all warm: only the private keys executed in wave 2.
+    let total = executions.load(Ordering::SeqCst);
+    assert_eq!(total, SHARED_KEYS + THREADS * SHARED_KEYS, "shared keys must all hit");
+    assert_eq!(dfk.monitoring().summary().memoized, THREADS * SHARED_KEYS);
+    dfk.shutdown();
+}
+
+/// Distinct labels with identical inputs land in the same shard (same
+/// fingerprint) but must never collide.
+#[test]
+fn same_fingerprint_different_labels_do_not_collide() {
+    let dfk = DataFlowKernel::new(Config::local_threads(4).with_memoization());
+    let labels: Vec<String> = (0..16).map(|i| format!("label{i}")).collect();
+    let handles: Vec<_> = labels
+        .iter()
+        .map(|label| {
+            let dfk = dfk.clone();
+            let label = label.clone();
+            std::thread::spawn(move || {
+                let tag = label.clone();
+                let body = FnApp::new(move |_: &[Value]| Ok(Value::str(tag.clone())));
+                for _ in 0..8 {
+                    let f = dfk.submit(&label, vec![AppArg::value(42i64)], body.clone());
+                    assert_eq!(f.result().unwrap(), Value::str(label.as_str()));
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    dfk.shutdown();
+}
+
+/// Run a deterministic workflow and serialize every result in submit
+/// order.
+fn run_workflow(ops: &[(u8, i64)], memoize: bool) -> Vec<String> {
+    let config = if memoize {
+        Config::local_threads(4).with_memoization()
+    } else {
+        Config::local_threads(4)
+    };
+    let dfk = DataFlowKernel::new(config);
+    let futs: Vec<_> = ops
+        .iter()
+        .map(|&(label_idx, input)| {
+            let label = format!("op{}", label_idx % 4);
+            let body = FnApp::new(move |vals: &[Value]| {
+                let n = vals[0]
+                    .as_int()
+                    .ok_or_else(|| TaskError::failed("non-int input"))?;
+                Ok(match label_idx % 4 {
+                    0 => Value::Int(n * n),
+                    1 => Value::str(format!("s{n}")),
+                    2 => Value::Seq(vec![Value::Int(n), Value::Int(n + 1)]),
+                    _ => Value::Bool(n % 2 == 0),
+                })
+            });
+            dfk.submit(&label, vec![AppArg::value(input)], body)
+        })
+        .collect();
+    let out = futs
+        .iter()
+        .map(|f| yamlite::to_string_flow(&f.result().unwrap()))
+        .collect();
+    dfk.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Memoization is an execution-count optimization only: for any mix of
+    /// repeated and distinct submissions, a memoized run produces
+    /// byte-identical outputs to a non-memoized one.
+    #[test]
+    fn memoized_and_plain_runs_agree(
+        ops in proptest::collection::vec((0u8..4, -20i64..20), 1..60)
+    ) {
+        let plain = run_workflow(&ops, false);
+        let memoized = run_workflow(&ops, true);
+        prop_assert_eq!(plain, memoized);
+    }
+}

@@ -30,6 +30,8 @@ fn run_with_fault(
                 heartbeat_threshold: Duration::from_millis(50),
                 min_nodes: 0,
                 fault_plan: Some(plan),
+                // Mid-batch kills must be as invisible as per-task ones.
+                batch_size: 3,
             },
             Arc::new(LocalProvider::new(1)),
         )

@@ -65,6 +65,9 @@ fn faulty_kernel(round: usize) -> (Arc<DataFlowKernel>, BatchScheduler) {
                 heartbeat_threshold: Duration::from_millis(60),
                 min_nodes: 3,
                 fault_plan: Some(plan),
+                // Batched dispatch: node01 dies mid-batch, so the unfinished
+                // remainder of its batch must be re-dispatched.
+                batch_size: 4,
             },
             Arc::new(SlurmProvider::new(sched.clone())),
         )
@@ -124,6 +127,90 @@ fn node_death_mid_workflow_recovers_deterministically() {
         // Shutdown returns every node, including the dead one's allocation.
         assert_eq!(sched.free_node_count(), 4, "round {round}");
     }
+}
+
+/// Batched dispatch meets a mid-batch node kill: localhost/0 receives a
+/// multi-task message, executes two of its tasks, and dies. Exactly the
+/// unfinished remainder must be re-dispatched — every task completes, no
+/// task is lost, and no completed task is double-counted.
+#[test]
+fn mid_batch_node_kill_redispatches_exactly_the_unfinished() {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    const TASKS: usize = 24;
+    let plan = FaultPlan::new().kill_after_tasks("localhost/0", 2);
+    let dfk = DataFlowKernel::try_new(Config::htex(
+        HtexConfig {
+            label: "mid-batch".into(),
+            nodes: 2,
+            workers_per_node: 1,
+            latency: LatencyModel::in_process(),
+            heartbeat_period: Duration::from_millis(5),
+            heartbeat_threshold: Duration::from_millis(60),
+            min_nodes: 0,
+            fault_plan: Some(plan.clone()),
+            // Multi-task messages: the kill lands in the middle of one.
+            batch_size: 6,
+        },
+        Arc::new(parsl::LocalProvider::new(1)),
+    ))
+    .unwrap();
+
+    let executions: Arc<Vec<AtomicUsize>> =
+        Arc::new((0..TASKS).map(|_| AtomicUsize::new(0)).collect());
+    let futs: Vec<_> = (0..TASKS)
+        .map(|i| {
+            let executions = executions.clone();
+            let body = FnApp::new(move |vals: &[Value]| {
+                let n = vals[0].as_int().unwrap() as usize;
+                executions[n].fetch_add(1, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(2));
+                Ok(Value::Int(n as i64 * 11))
+            });
+            dfk.submit("batched", vec![AppArg::value(i as i64)], body)
+        })
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap(),
+            Value::Int(i as i64 * 11),
+            "task {i}"
+        );
+    }
+    assert!(plan.is_dead("localhost/0"));
+
+    wait_for(&dfk, "node loss processed", |d| {
+        !d.monitoring().fault_summary().nodes_lost.is_empty()
+    });
+    let fs = dfk.monitoring().fault_summary();
+    assert_eq!(fs.nodes_lost, vec!["localhost/0".to_string()]);
+    assert!(
+        fs.tasks_redispatched >= 1,
+        "a mid-batch kill must strand at least one unfinished task"
+    );
+
+    // Per-task accounting: a task runs once, plus at most once per
+    // re-dispatch of that specific task — a result that died with the node
+    // re-executes, but nothing runs without having been re-dispatched.
+    let mut redispatches = [0usize; TASKS];
+    for e in dfk.monitoring().events() {
+        if e.kind == TaskEventKind::Redispatched && e.task.0 >= 1 {
+            redispatches[(e.task.0 - 1) as usize] += 1;
+        }
+    }
+    for i in 0..TASKS {
+        let runs = executions[i].load(Ordering::SeqCst);
+        assert!(runs >= 1, "task {i} never executed");
+        assert!(
+            runs <= 1 + redispatches[i],
+            "task {i} ran {runs} times with {} redispatches",
+            redispatches[i]
+        );
+        if redispatches[i] == 0 {
+            assert_eq!(runs, 1, "task {i} was never re-dispatched yet ran {runs} times");
+        }
+    }
+    assert_eq!(dfk.monitoring().summary().failed, 0);
+    dfk.shutdown();
 }
 
 #[test]
