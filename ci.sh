@@ -6,7 +6,13 @@ cd "$(dirname "$0")"
 
 cargo build --release
 cargo test -q
+cargo fmt --check
 cargo clippy --all-targets -- -D warnings
+
+# Static analysis gate: every shipped fixture and config must be
+# diagnostic-free, warnings included. (fixtures/broken/ is the analyzer's
+# own negative corpus and is deliberately not globbed here.)
+cargo run --release -p cwl --bin cwl-check -- --strict -q fixtures/*.cwl configs/
 
 # Benches must at least compile.
 cargo bench --no-run

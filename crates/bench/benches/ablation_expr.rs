@@ -27,8 +27,11 @@ fn bench_expr(c: &mut Criterion) {
 
     group.bench_function("js_expression", |b| {
         b.iter(|| {
-            js.eval_paren("inputs.word.charAt(0).toUpperCase() + inputs.word.slice(1)", &small)
-                .unwrap()
+            js.eval_paren(
+                "inputs.word.charAt(0).toUpperCase() + inputs.word.slice(1)",
+                &small,
+            )
+            .unwrap()
         });
     });
     group.bench_function("js_body", |b| {

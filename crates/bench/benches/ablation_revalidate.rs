@@ -27,7 +27,11 @@ fn bench_revalidate(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_revalidate");
     group.sample_size(10);
     for revalidate in [false, true] {
-        let name = if revalidate { "revalidate_on" } else { "revalidate_off" };
+        let name = if revalidate {
+            "revalidate_on"
+        } else {
+            "revalidate_off"
+        };
         let wf = wf.clone();
         let inputs = inputs.clone();
         let dir = dir.clone();

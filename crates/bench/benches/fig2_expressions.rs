@@ -10,7 +10,11 @@ fn bench_fig2(c: &mut Criterion) {
     let dir = scratch_dir("crit-fig2");
     let mut group = c.benchmark_group("fig2_expressions");
     group.sample_size(10);
-    for system in [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython] {
+    for system in [
+        Fig2System::CwltoolJs,
+        Fig2System::ToilJs,
+        Fig2System::ParslPython,
+    ] {
         for n_words in [8usize, 64] {
             let dir = dir.clone();
             group.bench_with_input(

@@ -27,8 +27,7 @@ fn bench_micro(c: &mut Criterion) {
         b.iter(|| cwl::validate_document(&doc));
     });
 
-    let tool_doc =
-        yamlite::parse_file(bench::fixtures_dir().join("resize_image.cwl")).unwrap();
+    let tool_doc = yamlite::parse_file(bench::fixtures_dir().join("resize_image.cwl")).unwrap();
     let tool = CommandLineTool::parse(&tool_doc).unwrap();
     let inputs = cwl::input::resolve_inputs(
         &tool.inputs,

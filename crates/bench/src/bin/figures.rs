@@ -45,19 +45,29 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     // Defaults calibrated on this repository's reference machine so the
     // cwltool/parsl ratio at the largest point lands near the paper's
     // ~1.5× (see EXPERIMENTS.md for the calibration notes).
-    let mut opts = Options { trials: 3, scale: 0.05, sweep: Sweep::Default, image_size: 128 };
+    let mut opts = Options {
+        trials: 3,
+        scale: 0.05,
+        sweep: Sweep::Default,
+        image_size: 128,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--trials" => {
-                opts.trials = next(args, &mut i, "--trials")?.parse().map_err(|_| "bad --trials")?;
+                opts.trials = next(args, &mut i, "--trials")?
+                    .parse()
+                    .map_err(|_| "bad --trials")?;
             }
             "--scale" => {
-                opts.scale = next(args, &mut i, "--scale")?.parse().map_err(|_| "bad --scale")?;
+                opts.scale = next(args, &mut i, "--scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale")?;
             }
             "--image-size" => {
-                opts.image_size =
-                    next(args, &mut i, "--image-size")?.parse().map_err(|_| "bad --image-size")?;
+                opts.image_size = next(args, &mut i, "--image-size")?
+                    .parse()
+                    .map_err(|_| "bad --image-size")?;
             }
             "--quick" => opts.sweep = Sweep::Quick,
             "--full" => opts.sweep = Sweep::Full,
@@ -70,7 +80,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn next<'a>(args: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
     *i += 1;
-    args.get(*i).map(String::as_str).ok_or_else(|| format!("{what} needs a value"))
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{what} needs a value"))
 }
 
 fn run(args: &[String]) -> Result<(), String> {
@@ -152,7 +164,11 @@ fn fig1(opts: &Options, three_node: bool) -> Result<(), String> {
 }
 
 fn fig2(opts: &Options) -> Result<(), String> {
-    let systems = [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython];
+    let systems = [
+        Fig2System::CwltoolJs,
+        Fig2System::ToilJs,
+        Fig2System::ParslPython,
+    ];
     println!("\n## fig2: expression-processing runtime (s) vs number of words (one node)");
     println!(
         "{:>8} {:>16} {:>16} {:>20}",

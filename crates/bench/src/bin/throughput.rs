@@ -62,21 +62,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--smoke" => opts.smoke = true,
             "--json" => opts.json = Some(next(args, &mut i, "--json")?.to_string()),
             "--tasks" => {
-                opts.tasks = next(args, &mut i, "--tasks")?.parse().map_err(|_| "bad --tasks")?;
+                opts.tasks = next(args, &mut i, "--tasks")?
+                    .parse()
+                    .map_err(|_| "bad --tasks")?;
                 tasks_set = true;
             }
             "--expr-tasks" => {
-                opts.expr_tasks =
-                    next(args, &mut i, "--expr-tasks")?.parse().map_err(|_| "bad --expr-tasks")?;
+                opts.expr_tasks = next(args, &mut i, "--expr-tasks")?
+                    .parse()
+                    .map_err(|_| "bad --expr-tasks")?;
                 expr_set = true;
             }
             "--trials" => {
-                opts.trials =
-                    next(args, &mut i, "--trials")?.parse().map_err(|_| "bad --trials")?;
+                opts.trials = next(args, &mut i, "--trials")?
+                    .parse()
+                    .map_err(|_| "bad --trials")?;
                 trials_set = true;
             }
             "--scale" => {
-                opts.scale = next(args, &mut i, "--scale")?.parse().map_err(|_| "bad --scale")?;
+                opts.scale = next(args, &mut i, "--scale")?
+                    .parse()
+                    .map_err(|_| "bad --scale")?;
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -101,7 +107,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 
 fn next<'a>(args: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
     *i += 1;
-    args.get(*i).map(String::as_str).ok_or_else(|| format!("{what} needs a value"))
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{what} needs a value"))
 }
 
 /// Best (highest-throughput) of `trials` runs.
@@ -163,7 +171,9 @@ fn run(args: &[String]) -> Result<(), String> {
     );
 
     if let Some(path) = &opts.json {
-        let json = render_json(&opts, &tpe, &htex_base, &htex_opt, &expr_base, &expr_opt, &on_stats);
+        let json = render_json(
+            &opts, &tpe, &htex_base, &htex_opt, &expr_base, &expr_opt, &on_stats,
+        );
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("# wrote {path}");
     }

@@ -125,8 +125,7 @@ pub fn run_expr_scatter(
     workers: usize,
     cache_enabled: bool,
 ) -> Result<(Throughput, expr::CacheStats), String> {
-    let engine =
-        Arc::new(PyEngine::compile(SCATTER_LIB).map_err(|e| format!("scatter lib: {e}"))?);
+    let engine = Arc::new(PyEngine::compile(SCATTER_LIB).map_err(|e| format!("scatter lib: {e}"))?);
     let was_enabled = cache::set_enabled(cache_enabled);
     cache::clear_all();
     cache::reset_stats();
@@ -158,7 +157,10 @@ pub fn run_expr_scatter(
         });
         dfk.submit(
             "scatter",
-            vec![AppArg::value(format!("word{i:04}")), AppArg::value(i as i64)],
+            vec![
+                AppArg::value(format!("word{i:04}")),
+                AppArg::value(i as i64),
+            ],
             body,
         );
     }

@@ -91,7 +91,11 @@ mod tests {
     fn all_systems_capitalize_words() {
         gridsim::TimeScale::set(0.01);
         let dir = crate::scratch_dir("fig2-smoke");
-        for system in [Fig2System::CwltoolJs, Fig2System::ToilJs, Fig2System::ParslPython] {
+        for system in [
+            Fig2System::CwltoolJs,
+            Fig2System::ToilJs,
+            Fig2System::ParslPython,
+        ] {
             let d = run_fig2(system, 4, 4, &dir, 0).unwrap();
             assert!(d > Duration::ZERO, "{system:?}");
         }
@@ -111,15 +115,17 @@ mod tests {
         let js_dir = fresh_run_dir(&dir, "js", 0);
         let runner = RefRunner::new(2, Arc::new(BuiltinDispatch));
         let js_report = runner
-            .run(crate::fixtures_dir().join("scatter_words_js.cwl"), &inputs, &js_dir)
+            .run(
+                crate::fixtures_dir().join("scatter_words_js.cwl"),
+                &inputs,
+                &js_dir,
+            )
             .unwrap();
 
         let py_dir = fresh_run_dir(&dir, "py", 0);
         let dfk = DataFlowKernel::try_new(Config::local_threads(2)).unwrap();
-        let prunner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&py_dir).with_builtin_tools(),
-        );
+        let prunner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&py_dir).with_builtin_tools());
         let py_out = prunner
             .run(crate::fixtures_dir().join("scatter_words_py.cwl"), &inputs)
             .unwrap();

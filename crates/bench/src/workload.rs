@@ -24,9 +24,7 @@ pub fn image_inputs(dir: &Path, n: usize, size: u32, seed: u64) -> Vec<Value> {
 
 /// Generate `n` deterministic words for the Fig. 2 sweep.
 pub fn words(n: usize) -> Vec<Value> {
-    (0..n)
-        .map(|i| Value::str(format!("word{i:04}")))
-        .collect()
+    (0..n).map(|i| Value::str(format!("word{i:04}"))).collect()
 }
 
 /// Fresh per-run working directory beneath `base` (runners must not share
@@ -56,7 +54,10 @@ mod tests {
 
     #[test]
     fn words_deterministic() {
-        assert_eq!(words(2), vec![Value::str("word0000"), Value::str("word0001")]);
+        assert_eq!(
+            words(2),
+            vec![Value::str("word0000"), Value::str("word0001")]
+        );
         assert_eq!(words(1024).len(), 1024);
     }
 }

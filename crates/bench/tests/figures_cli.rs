@@ -13,7 +13,11 @@ fn quick_fig2_produces_table() {
         .args(["fig2", "--quick", "--trials", "1", "--scale", "0.005"])
         .output()
         .expect("figures runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("## fig2"), "{text}");
     assert!(text.contains("cwltool-js"), "{text}");
@@ -27,10 +31,23 @@ fn quick_fig2_produces_table() {
 #[test]
 fn quick_fig1b_produces_table() {
     let out = figures()
-        .args(["fig1b", "--quick", "--trials", "1", "--scale", "0.005", "--image-size", "16"])
+        .args([
+            "fig1b",
+            "--quick",
+            "--trials",
+            "1",
+            "--scale",
+            "0.005",
+            "--image-size",
+            "16",
+        ])
         .output()
         .expect("figures runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("## fig1b"), "{text}");
     assert!(text.contains("parsl-threads"), "{text}");
@@ -42,11 +59,17 @@ fn bad_arguments_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown figure"));
 
-    let out = figures().args(["fig2", "--bogus"]).output().expect("figures runs");
+    let out = figures()
+        .args(["fig2", "--bogus"])
+        .output()
+        .expect("figures runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown option"));
 
-    let out = figures().args(["fig2", "--trials"]).output().expect("figures runs");
+    let out = figures()
+        .args(["fig2", "--trials"])
+        .output()
+        .expect("figures runs");
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("needs a value"));
 }

@@ -33,6 +33,9 @@
 //! run:
 //!   workdir: ./work
 //!   builtin_tools: true
+//! check:                  # cwl-check pre-run gate
+//!   pre_run: true         # analyze the document before executing
+//!   strict: false         # also refuse to run on warnings
 //! ```
 //!
 //! `retries: N` at the top level is still accepted as shorthand for
@@ -59,6 +62,11 @@ pub struct RunnerConfig {
     /// The fault plan, when a `fault:` block was configured (kept so
     /// callers can assert which nodes died).
     pub fault_plan: Option<FaultPlan>,
+    /// Run the `cwl::analyze` static pass before executing (the `cwl-check`
+    /// pre-run gate).
+    pub pre_run_check: bool,
+    /// Under `pre_run_check`, also refuse to run on warnings.
+    pub strict_check: bool,
 }
 
 /// Load a configuration from a YAML file.
@@ -98,7 +106,9 @@ fn parse_retry(v: &Value) -> RetryPolicy {
 
 /// Parse the `fault:` block into a [`FaultPlan`].
 fn parse_fault(v: &Value) -> Result<Option<FaultPlan>, String> {
-    let Some(block) = v.get("fault") else { return Ok(None) };
+    let Some(block) = v.get("fault") else {
+        return Ok(None);
+    };
     let mut plan = FaultPlan::new();
     if let Some(kills) = block.get("kill").and_then(Value::as_seq) {
         for kill in kills {
@@ -140,7 +150,11 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
             Config::local_threads(workers).with_retry_policy(retry)
         }
         "htex" | "high-throughput" => {
-            let nodes = executor.get("nodes").and_then(Value::as_int).unwrap_or(1).max(1) as usize;
+            let nodes = executor
+                .get("nodes")
+                .and_then(Value::as_int)
+                .unwrap_or(1)
+                .max(1) as usize;
             let workers_per_node = executor
                 .get("workers_per_node")
                 .and_then(Value::as_int)
@@ -230,11 +244,31 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .and_then(Value::as_bool)
         .unwrap_or(false);
 
-    Ok(RunnerConfig { parsl, workdir, builtin_tools, scheduler, fault_plan })
+    let check = v.get("check").cloned().unwrap_or(Value::Null);
+    let pre_run_check = check
+        .get("pre_run")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    let strict_check = check
+        .get("strict")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+
+    Ok(RunnerConfig {
+        parsl,
+        workdir,
+        builtin_tools,
+        scheduler,
+        fault_plan,
+        pre_run_check,
+        strict_check,
+    })
 }
 
 fn default_parallelism() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }
 
 #[cfg(test)]
@@ -246,7 +280,10 @@ mod tests {
     #[test]
     fn default_config_is_thread_pool() {
         let c = load_config_value(&Value::Null).unwrap();
-        assert!(matches!(c.parsl.executor, ExecutorChoice::ThreadPool { .. }));
+        assert!(matches!(
+            c.parsl.executor,
+            ExecutorChoice::ThreadPool { .. }
+        ));
         assert!(!c.builtin_tools);
         assert!(c.scheduler.is_none());
         assert!(c.fault_plan.is_none());
@@ -316,6 +353,17 @@ mod tests {
             _ => panic!("wrong executor"),
         }
         assert_eq!(c.parsl.retry.max_retries, 1);
+    }
+
+    #[test]
+    fn check_block_defaults_and_overrides() {
+        let c = load_config_value(&Value::Null).unwrap();
+        assert!(c.pre_run_check);
+        assert!(!c.strict_check);
+        let v = parse_str("check:\n  pre_run: false\n  strict: true\n").unwrap();
+        let c = load_config_value(&v).unwrap();
+        assert!(!c.pre_run_check);
+        assert!(c.strict_check);
     }
 
     #[test]

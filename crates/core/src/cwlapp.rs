@@ -36,7 +36,10 @@ impl Default for CwlAppOptions {
 impl CwlAppOptions {
     /// Options rooted at a specific working directory.
     pub fn in_dir(dir: impl Into<PathBuf>) -> Self {
-        Self { workdir_base: dir.into(), ..Default::default() }
+        Self {
+            workdir_base: dir.into(),
+            ..Default::default()
+        }
     }
 
     /// Use the in-process builtin tool dispatch.
@@ -130,7 +133,12 @@ impl CwlApp {
                 doc.class()
             ));
         };
-        Self::from_tool(dfk, tool, path.file_stem().map(|s| s.to_string_lossy().into_owned()), options)
+        Self::from_tool(
+            dfk,
+            tool,
+            path.file_stem().map(|s| s.to_string_lossy().into_owned()),
+            options,
+        )
     }
 
     /// Wrap an already-parsed tool.
@@ -142,8 +150,10 @@ impl CwlApp {
     ) -> Result<Self, String> {
         // parsl-cwl evaluates expressions in-process (the §V fast path), so
         // the JS engine carries no modelled process-boundary cost here.
-        let engine: Arc<dyn ExpressionEngine> =
-            Arc::from(cwlexec::engine_for(&tool.requirements, JsCostModel::free())?);
+        let engine: Arc<dyn ExpressionEngine> = Arc::from(cwlexec::engine_for(
+            &tool.requirements,
+            JsCostModel::free(),
+        )?);
         let dispatch = options.resolve_dispatch();
         let label = label
             .or_else(|| tool.id.clone())
@@ -228,7 +238,11 @@ impl<'a> CwlInvocation<'a> {
                 return Err(format!(
                     "tool {:?} has no input {name:?} (declared inputs: {})",
                     app.label,
-                    tool.inputs.iter().map(|i| i.id.as_str()).collect::<Vec<_>>().join(", ")
+                    tool.inputs
+                        .iter()
+                        .map(|i| i.id.as_str())
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 ));
             }
         }
@@ -301,7 +315,11 @@ impl<'a> CwlInvocation<'a> {
             .into_iter()
             .map(|path| DataFuture::new(File::new(path), future.clone()))
             .collect();
-        Ok(CwlRun { future, outputs, workdir })
+        Ok(CwlRun {
+            future,
+            outputs,
+            workdir,
+        })
     }
 }
 
@@ -348,9 +366,7 @@ fn predict_output_files(
         let Some(name) = name else { continue };
         let resolved = if expr::interp::has_expression(&name) {
             match interpolate(&name, engine, &ctx) {
-                Ok(v) if !v.to_display_string().is_empty() && !v.is_null() => {
-                    v.to_display_string()
-                }
+                Ok(v) if !v.to_display_string().is_empty() && !v.is_null() => v.to_display_string(),
                 _ => {
                     return Err(format!(
                         "output {:?} file name {name:?} depends on a future-valued input; \
@@ -406,7 +422,10 @@ mod tests {
             .submit()
             .unwrap();
         let file = run.output().result().unwrap();
-        assert_eq!(std::fs::read_to_string(file.path()).unwrap(), "Hello, World!\n");
+        assert_eq!(
+            std::fs::read_to_string(file.path()).unwrap(),
+            "Hello, World!\n"
+        );
         let outputs = run.future.result().unwrap();
         assert_eq!(outputs["output"]["basename"].as_str(), Some("hello.txt"));
         dfk.shutdown();
@@ -425,7 +444,10 @@ mod tests {
         .unwrap();
         let run = echo.call().submit().unwrap();
         let file = run.output().result().unwrap();
-        assert_eq!(std::fs::read_to_string(file.path()).unwrap(), "Hello World\n");
+        assert_eq!(
+            std::fs::read_to_string(file.path()).unwrap(),
+            "Hello World\n"
+        );
         dfk.shutdown();
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -444,7 +466,10 @@ mod tests {
 
         let resized = resize
             .call()
-            .arg("input_image", dir.join("input.rimg").to_string_lossy().into_owned())
+            .arg(
+                "input_image",
+                dir.join("input.rimg").to_string_lossy().into_owned(),
+            )
             .arg("size", 16i64)
             .arg("output_image", "resized.rimg")
             .submit()

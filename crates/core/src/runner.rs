@@ -45,16 +45,18 @@ pub fn parse_overrides(args: &[String]) -> Result<Map, String> {
 
 /// Load inputs from an optional YAML file plus `--key=value` overrides
 /// (overrides win).
-pub fn load_inputs(
-    inputs_file: Option<&Path>,
-    overrides: &Map,
-) -> Result<Map, String> {
+pub fn load_inputs(inputs_file: Option<&Path>, overrides: &Map) -> Result<Map, String> {
     let mut inputs = match inputs_file {
         None => Map::new(),
         Some(path) => match yamlite::parse_file(path).map_err(|e| e.to_string())? {
             Value::Map(m) => m,
             Value::Null => Map::new(),
-            other => return Err(format!("inputs file must be a mapping, got {}", other.kind())),
+            other => {
+                return Err(format!(
+                    "inputs file must be a mapping, got {}",
+                    other.kind()
+                ))
+            }
         },
     };
     for (k, v) in overrides.iter() {
@@ -70,6 +72,20 @@ pub fn run_tool_cli(
     cwl_path: &Path,
     inputs: &Map,
 ) -> Result<CliOutcome, String> {
+    // The cwl-check pre-run gate: refuse to start a run the static
+    // analyzer can already prove broken (configurable via `check:`).
+    if config.pre_run_check {
+        let report = cwl::analyze::analyze_file(cwl_path);
+        if !report.is_clean(config.strict_check) {
+            return Err(format!(
+                "static analysis found {} error(s), {} warning(s):\n{}",
+                report.error_count(),
+                report.warning_count(),
+                report.render_text().trim_end()
+            ));
+        }
+    }
+
     let doc = load_file(cwl_path)?;
     let dfk = DataFlowKernel::try_new(config.parsl)?;
     let mut options = CwlAppOptions::in_dir(&config.workdir);
@@ -82,7 +98,9 @@ pub fn run_tool_cli(
             let app = CwlApp::from_tool(
                 &dfk,
                 tool,
-                cwl_path.file_stem().map(|s| s.to_string_lossy().into_owned()),
+                cwl_path
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned()),
                 options,
             )?;
             let mut invocation = app.call();
@@ -105,7 +123,11 @@ pub fn run_tool_cli(
 
     let tasks = dfk.monitoring().summary().completed;
     dfk.shutdown();
-    Ok(CliOutcome { outputs, workdir: config.workdir, tasks })
+    Ok(CliOutcome {
+        outputs,
+        workdir: config.workdir,
+        tasks,
+    })
 }
 
 #[cfg(test)]

@@ -32,8 +32,15 @@ enum Node {
 /// How one tool input gets its value inside the task body.
 enum Slot {
     Lit(Value),
-    One { arg: usize, key: Option<String> },
-    Many { start: usize, len: usize, key: String },
+    One {
+        arg: usize,
+        key: Option<String>,
+    },
+    Many {
+        start: usize,
+        len: usize,
+        key: String,
+    },
 }
 
 /// Runs CWL workflows on a Parsl kernel.
@@ -47,7 +54,11 @@ impl ParslWorkflowRunner {
     /// Build a runner over an existing kernel.
     pub fn new(dfk: &Arc<DataFlowKernel>, options: CwlAppOptions) -> Self {
         let dispatch = options.resolve_dispatch();
-        Self { dfk: dfk.clone(), workdir_base: options.workdir_base, dispatch }
+        Self {
+            dfk: dfk.clone(),
+            workdir_base: options.workdir_base,
+            dispatch,
+        }
     }
 
     /// Execute the workflow at `path` with `provided` inputs; blocks until
@@ -58,9 +69,7 @@ impl ParslWorkflowRunner {
         let CwlDocument::Workflow(wf) = doc else {
             return Err(format!("{} is not a Workflow", path.display()));
         };
-        let diags = cwl::validate_document(
-            &yamlite::parse_file(path).map_err(|e| e.to_string())?,
-        );
+        let diags = cwl::validate_document(&yamlite::parse_file(path).map_err(|e| e.to_string())?);
         if !cwl::validate::is_valid(&diags) {
             return Err(format!("validation failed: {}", diags[0]));
         }
@@ -120,8 +129,8 @@ impl ParslWorkflowRunner {
         let order = wf.topo_order()?;
         for idx in order {
             let step = &wf.steps[idx];
-            let doc = resolve_run(&step.run, base_dir)
-                .map_err(|e| format!("step {:?}: {e}", step.id))?;
+            let doc =
+                resolve_run(&step.run, base_dir).map_err(|e| format!("step {:?}: {e}", step.id))?;
             let step_base = match &step.run {
                 cwl::workflow::RunRef::Path(p) => {
                     let p = if Path::new(p).is_absolute() {
@@ -137,9 +146,19 @@ impl ParslWorkflowRunner {
             // Gather this step's input nodes.
             let mut inputs: Vec<(String, Node, Option<String>)> = Vec::new();
             for si in &step.inputs {
+                if si.is_multi_source() {
+                    return Err(format!(
+                        "step {:?} input {:?}: multiple sources (linkMerge) are not \
+                         supported by the Parsl workflow compiler; use a single source",
+                        step.id, si.id
+                    ));
+                }
                 let node = match &si.source {
                     Some(src) => values.get(src).cloned().ok_or_else(|| {
-                        format!("step {:?} input {:?}: unknown source {src:?}", step.id, si.id)
+                        format!(
+                            "step {:?} input {:?}: unknown source {src:?}",
+                            step.id, si.id
+                        )
                     })?,
                     None => Node::Lit(si.default.clone().unwrap_or(Value::Null)),
                 };
@@ -190,10 +209,7 @@ impl ParslWorkflowRunner {
                         )?;
                         for out_id in &step.out {
                             let node = outs.get(out_id).cloned().ok_or_else(|| {
-                                format!(
-                                    "step {:?}: subworkflow lacks output {out_id:?}",
-                                    step.id
-                                )
+                                format!("step {:?}: subworkflow lacks output {out_id:?}", step.id)
                             })?;
                             values.insert(format!("{}/{}", step.id, out_id), node);
                         }
@@ -204,12 +220,13 @@ impl ParslWorkflowRunner {
                 // time (dynamic scatter would need join-app machinery).
                 let mut n: Option<usize> = None;
                 for target in &step.scatter {
-                    let (_, node, _) = inputs
-                        .iter()
-                        .find(|(id, _, _)| id == target)
-                        .ok_or_else(|| {
-                            format!("step {:?}: scatter target {target:?} not wired", step.id)
-                        })?;
+                    let (_, node, _) =
+                        inputs
+                            .iter()
+                            .find(|(id, _, _)| id == target)
+                            .ok_or_else(|| {
+                                format!("step {:?}: scatter target {target:?} not wired", step.id)
+                            })?;
                     let Node::Lit(Value::Seq(arr)) = node else {
                         return Err(format!(
                             "step {:?}: scatter over a dynamic (future-valued) array is not \
@@ -221,7 +238,8 @@ impl ParslWorkflowRunner {
                         None => n = Some(arr.len()),
                         Some(m) if m != arr.len() => {
                             return Err(format!(
-                                "step {:?}: scatter arrays disagree on length", step.id
+                                "step {:?}: scatter arrays disagree on length",
+                                step.id
                             ))
                         }
                         _ => {}
@@ -235,7 +253,9 @@ impl ParslWorkflowRunner {
                         .iter()
                         .map(|(id, node, vf)| {
                             let node = if step.scatter.contains(id) {
-                                let Node::Lit(Value::Seq(arr)) = node else { unreachable!() };
+                                let Node::Lit(Value::Seq(arr)) = node else {
+                                    unreachable!()
+                                };
                                 Node::Lit(arr[k].clone())
                             } else {
                                 node.clone()
@@ -278,7 +298,10 @@ impl ParslWorkflowRunner {
                     for out_id in &step.out {
                         values.insert(
                             format!("{}/{}", step.id, out_id),
-                            Node::Gather { futs: futs.clone(), key: out_id.clone() },
+                            Node::Gather {
+                                futs: futs.clone(),
+                                key: out_id.clone(),
+                            },
                         );
                     }
                 } else {
@@ -287,16 +310,10 @@ impl ParslWorkflowRunner {
                         let mut parts = Vec::with_capacity(sub_outs.len());
                         for outs in &sub_outs {
                             parts.push(outs.get(out_id).cloned().ok_or_else(|| {
-                                format!(
-                                    "step {:?}: subworkflow lacks output {out_id:?}",
-                                    step.id
-                                )
+                                format!("step {:?}: subworkflow lacks output {out_id:?}", step.id)
                             })?);
                         }
-                        values.insert(
-                            format!("{}/{}", step.id, out_id),
-                            gather_nodes(parts)?,
-                        );
+                        values.insert(format!("{}/{}", step.id, out_id), gather_nodes(parts)?);
                     }
                 }
             }
@@ -332,8 +349,10 @@ impl ParslWorkflowRunner {
             )),
             CwlDocument::Tool(tool) => {
                 let tool = Arc::new(tool.clone());
-                let tool_engine: Arc<dyn ExpressionEngine> =
-                    Arc::from(cwlexec::engine_for(&tool.requirements, JsCostModel::free())?);
+                let tool_engine: Arc<dyn ExpressionEngine> = Arc::from(cwlexec::engine_for(
+                    &tool.requirements,
+                    JsCostModel::free(),
+                )?);
 
                 // Translate input nodes into Parsl args + body slots.
                 let mut parsl_args: Vec<AppArg> = Vec::new();
@@ -374,14 +393,13 @@ impl ParslWorkflowRunner {
                     for (id, slot) in &slots {
                         let v = match slot {
                             Slot::Lit(v) => v.clone(),
-                            Slot::One { arg, key } => extract(&vals[*arg], key.as_deref())
-                                .map_err(TaskError::failed)?,
+                            Slot::One { arg, key } => {
+                                extract(&vals[*arg], key.as_deref()).map_err(TaskError::failed)?
+                            }
                             Slot::Many { start, len, key } => {
                                 let mut seq = Vec::with_capacity(*len);
                                 for v in &vals[*start..*start + *len] {
-                                    seq.push(
-                                        extract(v, Some(key)).map_err(TaskError::failed)?,
-                                    );
+                                    seq.push(extract(v, Some(key)).map_err(TaskError::failed)?);
                                 }
                                 Value::Seq(seq)
                             }
@@ -404,10 +422,9 @@ impl ParslWorkflowRunner {
                     // the tool; outputs become null.
                     if let Some(when) = &when {
                         let ctx = EvalContext::from_inputs(Value::Map(provided.clone()));
-                        let verdict =
-                            interpolate(when, wf_engine.as_ref(), &ctx).map_err(|e| {
-                                TaskError::failed(format!("step {step_id:?} when: {e}"))
-                            })?;
+                        let verdict = interpolate(when, wf_engine.as_ref(), &ctx).map_err(|e| {
+                            TaskError::failed(format!("step {step_id:?} when: {e}"))
+                        })?;
                         if !verdict.truthy() {
                             let mut skipped = Map::with_capacity(declared_outs.len());
                             for out_id in &declared_outs {
@@ -437,7 +454,10 @@ fn record(step: &Step, fut: AppFuture, values: &mut HashMap<String, Node>, _k: O
     for out_id in &step.out {
         values.insert(
             format!("{}/{}", step.id, out_id),
-            Node::Fut { fut: fut.clone(), key: Some(out_id.clone()) },
+            Node::Fut {
+                fut: fut.clone(),
+                key: Some(out_id.clone()),
+            },
         );
     }
 }
@@ -539,7 +559,7 @@ fn gather_nodes(parts: Vec<Node>) -> Result<Node, String> {
             other => {
                 let _ = other;
                 return Err(
-                    "cannot gather a mix of literal and future subworkflow outputs".to_string()
+                    "cannot gather a mix of literal and future subworkflow outputs".to_string(),
                 );
             }
         }
@@ -597,10 +617,8 @@ mod tests {
         let dir = workdir("pipe");
         imaging::write_rimg(dir.join("in.rimg"), &imaging::gradient(32, 32, 4)).unwrap();
         let dfk = DataFlowKernel::new(Config::local_threads(4));
-        let runner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
-        );
+        let runner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
         let outputs = runner
             .run(
                 fixtures().join("image_pipeline.cwl"),
@@ -612,9 +630,12 @@ mod tests {
                 }),
             )
             .unwrap();
-        let img =
-            imaging::read_rimg(outputs.get("final_output").unwrap()["path"].as_str().unwrap())
-                .unwrap();
+        let img = imaging::read_rimg(
+            outputs.get("final_output").unwrap()["path"]
+                .as_str()
+                .unwrap(),
+        )
+        .unwrap();
         assert_eq!((img.width(), img.height()), (16, 16));
         assert_eq!(dfk.monitoring().summary().completed, 3);
         dfk.shutdown();
@@ -631,10 +652,8 @@ mod tests {
             paths.push(Value::str(p.to_string_lossy().into_owned()));
         }
         let dfk = DataFlowKernel::new(Config::local_threads(4));
-        let runner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
-        );
+        let runner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
         let outputs = runner
             .run(
                 fixtures().join("scatter_images.cwl"),
@@ -662,11 +681,12 @@ mod tests {
     fn runs_word_scatter_python() {
         let dir = workdir("words");
         let dfk = DataFlowKernel::new(Config::local_threads(4));
-        let runner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
-        );
-        let words: Vec<Value> = ["alpha", "beta", "gamma"].iter().map(|w| Value::str(*w)).collect();
+        let runner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
+        let words: Vec<Value> = ["alpha", "beta", "gamma"]
+            .iter()
+            .map(|w| Value::str(*w))
+            .collect();
         let outputs = runner
             .run(
                 fixtures().join("scatter_words_py.cwl"),
@@ -688,10 +708,8 @@ mod tests {
     fn missing_input_rejected() {
         let dir = workdir("missing");
         let dfk = DataFlowKernel::new(Config::local_threads(1));
-        let runner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
-        );
+        let runner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
         let err = runner
             .run(fixtures().join("image_pipeline.cwl"), &Map::new())
             .unwrap_err();
@@ -703,11 +721,11 @@ mod tests {
     fn tool_file_rejected() {
         let dir = workdir("tool");
         let dfk = DataFlowKernel::new(Config::local_threads(1));
-        let runner = ParslWorkflowRunner::new(
-            &dfk,
-            CwlAppOptions::in_dir(&dir).with_builtin_tools(),
-        );
-        let err = runner.run(fixtures().join("echo.cwl"), &Map::new()).unwrap_err();
+        let runner =
+            ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
+        let err = runner
+            .run(fixtures().join("echo.cwl"), &Map::new())
+            .unwrap_err();
         assert!(err.contains("not a Workflow"), "{err}");
         dfk.shutdown();
     }

@@ -1,0 +1,475 @@
+//! Parse-only expression linting.
+//!
+//! Every `$(...)` and `${...}` fragment in the document is run through the
+//! same `expr::js` / `expr::py` parsers the runtime uses — via their
+//! `parse_only_*` entry points, which share the compiled-expression cache
+//! with execution but never evaluate anything. The linter rejects syntax
+//! errors at analysis time (E020/E021), flags free variables outside the
+//! CWL binding set — `inputs`, `self`, `runtime` — (E022), and gates
+//! `${...}` bodies on an expression requirement (E023).
+//!
+//! Engine selection mirrors `cwlexec::engine_for`: a document with
+//! `InlinePythonRequirement` lints its expressions as Python (including
+//! bare f-string literals), everything else as JavaScript. A plain
+//! `$(...)` parameter reference needs no requirement, so it is linted
+//! unconditionally. Inline `run:` documents contribute their IO signatures
+//! to the dataflow checker but are not descended into here.
+
+use super::{codes, entry_path, join, step_value, Sink};
+use crate::requirements::Requirements;
+use crate::tool::CommandLineTool;
+use crate::workflow::Workflow;
+use expr::js::ast::{Expr, Stmt};
+use expr::py::ast::{FSeg, PExpr, PStmt};
+use expr::Frag;
+use std::collections::HashSet;
+use yamlite::Value;
+
+/// The expression environment a document's requirements establish.
+pub(crate) struct LintEnv {
+    js: bool,
+    py: bool,
+    /// Names defined by the `expressionLib` of `InlinePythonRequirement`.
+    py_names: HashSet<String>,
+}
+
+/// Build the lint environment, diagnosing unusable requirement payloads.
+fn env_for(reqs: &Requirements, out: &mut Sink) -> LintEnv {
+    if !reqs.js_expression_lib.is_empty() {
+        // `cwlexec::engine_for` rejects this at run time; say so statically.
+        out.error(
+            codes::CWL_MODEL,
+            "requirements",
+            "InlineJavascriptRequirement expressionLib is not supported; \
+             inline the expression or use InlinePythonRequirement",
+        );
+    }
+    let mut py_names = HashSet::new();
+    if reqs.inline_python {
+        for lib in &reqs.py_expression_lib {
+            match expr::py::parse_only_module(lib) {
+                Err(e) => out.error(
+                    codes::PY_SYNTAX,
+                    "requirements",
+                    format!("expressionLib: {e}"),
+                ),
+                Ok(stmts) => collect_py_module_names(&stmts, &mut py_names),
+            }
+        }
+    }
+    LintEnv {
+        js: reqs.inline_javascript,
+        py: reqs.inline_python,
+        py_names,
+    }
+}
+
+/// Names an `expressionLib` module binds at module scope.
+fn collect_py_module_names(stmts: &[PStmt], names: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            PStmt::Def(f) => {
+                names.insert(f.name.clone());
+            }
+            PStmt::Assign(PExpr::Ident(n), _) => {
+                names.insert(n.clone());
+            }
+            PStmt::For(var, _, body) => {
+                names.insert(var.clone());
+                collect_py_module_names(body, names);
+            }
+            PStmt::If(branches, orelse) => {
+                for (_, body) in branches {
+                    collect_py_module_names(body, names);
+                }
+                collect_py_module_names(orelse, names);
+            }
+            PStmt::While(_, body) => collect_py_module_names(body, names),
+            _ => {}
+        }
+    }
+}
+
+/// Lint one interpolatable string field.
+pub(crate) fn lint_string(s: &str, path: &str, env: &LintEnv, out: &mut Sink) {
+    // Under InlinePythonRequirement a bare f-string literal is itself an
+    // expression (no `$(...)` wrapper), matching `PyEngine::eval_literal`.
+    if env.py && expr::is_fstring_literal(s) {
+        lint_py_expression(s.trim(), path, env, out);
+        return;
+    }
+    let frags = match expr::fragments(s) {
+        Err(e) => {
+            out.error(codes::JS_SYNTAX, path, e.to_string());
+            return;
+        }
+        Ok(f) => f,
+    };
+    for frag in &frags {
+        match frag {
+            Frag::Text(_) => {}
+            Frag::Paren(src) => {
+                if env.py {
+                    lint_py_expression(src, path, env, out);
+                } else {
+                    match expr::js::parse_only_expression(src) {
+                        Err(e) => out.error(codes::JS_SYNTAX, path, e.to_string()),
+                        Ok(ast) => js_expr_vars(&ast, &HashSet::new(), path, out),
+                    }
+                }
+            }
+            Frag::Body(src) => {
+                if !env.js && !env.py {
+                    out.error(
+                        codes::BODY_NEEDS_REQ,
+                        path,
+                        "`${...}` requires InlineJavascriptRequirement or \
+                         InlinePythonRequirement",
+                    );
+                } else if env.py {
+                    // PyEngine evaluates a body as a single expression.
+                    lint_py_expression(src.trim(), path, env, out);
+                } else {
+                    match expr::js::parse_only_body(src) {
+                        Err(e) => out.error(codes::JS_SYNTAX, path, e.to_string()),
+                        Ok(stmts) => {
+                            let mut locals = HashSet::new();
+                            js_hoist(&stmts, &mut locals);
+                            js_body_vars(&stmts, &locals, path, out);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn lint_py_expression(src: &str, path: &str, env: &LintEnv, out: &mut Sink) {
+    match expr::py::parse_only_expression(src) {
+        Err(e) => out.error(codes::PY_SYNTAX, path, e.to_string()),
+        Ok(ast) => py_expr_vars(&ast, env, &HashSet::new(), path, out),
+    }
+}
+
+// ---------------------------------------------------------------- JavaScript
+
+fn js_ident_allowed(name: &str, locals: &HashSet<String>) -> bool {
+    matches!(
+        name,
+        "inputs" | "self" | "runtime" | "NaN" | "Infinity" | "undefined"
+    ) || expr::js::stdlib::is_namespace(name)
+        || expr::js::stdlib::is_global_function(name)
+        || locals.contains(name)
+}
+
+/// Hoisting prepass: collect every name a body binds, anywhere. `var` has
+/// function scope and the evaluator is lenient about assigning to fresh
+/// names, so one flat set matches runtime behaviour.
+fn js_hoist(stmts: &[Stmt], locals: &mut HashSet<String>) {
+    for s in stmts {
+        match s {
+            Stmt::VarDecl(decls) => {
+                for (name, _) in decls {
+                    locals.insert(name.clone());
+                }
+            }
+            Stmt::Expr(Expr::Assign(target, _)) => {
+                if let Expr::Ident(name) = target.as_ref() {
+                    locals.insert(name.clone());
+                }
+            }
+            Stmt::If(_, then, orelse) => {
+                js_hoist(then, locals);
+                js_hoist(orelse, locals);
+            }
+            Stmt::While(_, body) => js_hoist(body, locals),
+            Stmt::For { init, body, .. } => {
+                if let Some(init) = init {
+                    js_hoist(std::slice::from_ref(init.as_ref()), locals);
+                }
+                js_hoist(body, locals);
+            }
+            Stmt::ForOf { var, body, .. } => {
+                locals.insert(var.clone());
+                js_hoist(body, locals);
+            }
+            _ => {}
+        }
+    }
+}
+
+fn js_body_vars(stmts: &[Stmt], locals: &HashSet<String>, path: &str, out: &mut Sink) {
+    for s in stmts {
+        match s {
+            Stmt::Expr(e) => js_expr_vars(e, locals, path, out),
+            Stmt::VarDecl(decls) => {
+                for (_, init) in decls {
+                    if let Some(e) = init {
+                        js_expr_vars(e, locals, path, out);
+                    }
+                }
+            }
+            Stmt::If(cond, then, orelse) => {
+                js_expr_vars(cond, locals, path, out);
+                js_body_vars(then, locals, path, out);
+                js_body_vars(orelse, locals, path, out);
+            }
+            Stmt::While(cond, body) => {
+                js_expr_vars(cond, locals, path, out);
+                js_body_vars(body, locals, path, out);
+            }
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
+                if let Some(init) = init {
+                    js_body_vars(std::slice::from_ref(init.as_ref()), locals, path, out);
+                }
+                if let Some(cond) = cond {
+                    js_expr_vars(cond, locals, path, out);
+                }
+                if let Some(update) = update {
+                    js_expr_vars(update, locals, path, out);
+                }
+                js_body_vars(body, locals, path, out);
+            }
+            Stmt::ForOf { iter, body, .. } => {
+                js_expr_vars(iter, locals, path, out);
+                js_body_vars(body, locals, path, out);
+            }
+            Stmt::Return(Some(e)) => js_expr_vars(e, locals, path, out),
+            Stmt::Return(None) | Stmt::Break | Stmt::Continue => {}
+        }
+    }
+}
+
+fn js_expr_vars(e: &Expr, locals: &HashSet<String>, path: &str, out: &mut Sink) {
+    match e {
+        Expr::Ident(name) => {
+            if !js_ident_allowed(name, locals) {
+                out.error(
+                    codes::UNBOUND_VAR,
+                    path,
+                    format!(
+                        "unbound variable {name:?} (expressions may use inputs, self, runtime)"
+                    ),
+                );
+            }
+        }
+        Expr::Array(items) => {
+            for item in items {
+                js_expr_vars(item, locals, path, out);
+            }
+        }
+        Expr::Object(pairs) => {
+            for (_, v) in pairs {
+                js_expr_vars(v, locals, path, out);
+            }
+        }
+        Expr::Member(obj, _) => js_expr_vars(obj, locals, path, out),
+        Expr::Index(obj, idx) => {
+            js_expr_vars(obj, locals, path, out);
+            js_expr_vars(idx, locals, path, out);
+        }
+        Expr::Call(callee, args) => {
+            js_expr_vars(callee, locals, path, out);
+            for a in args {
+                js_expr_vars(a, locals, path, out);
+            }
+        }
+        Expr::Unary(_, a) => js_expr_vars(a, locals, path, out),
+        Expr::Binary(_, a, b) | Expr::Logical(_, a, b) => {
+            js_expr_vars(a, locals, path, out);
+            js_expr_vars(b, locals, path, out);
+        }
+        Expr::Ternary(c, a, b) => {
+            js_expr_vars(c, locals, path, out);
+            js_expr_vars(a, locals, path, out);
+            js_expr_vars(b, locals, path, out);
+        }
+        Expr::Assign(target, value) => {
+            // Assignment to a bare identifier binds it (lenient evaluator);
+            // member/index targets still need a bound base.
+            if !matches!(target.as_ref(), Expr::Ident(_)) {
+                js_expr_vars(target, locals, path, out);
+            }
+            js_expr_vars(value, locals, path, out);
+        }
+        Expr::Null | Expr::Undefined | Expr::Bool(_) | Expr::Num(_) | Expr::Str(_) => {}
+    }
+}
+
+// -------------------------------------------------------------------- Python
+
+fn py_ident_allowed(name: &str, env: &LintEnv, locals: &HashSet<String>) -> bool {
+    matches!(name, "inputs" | "self" | "runtime")
+        || expr::py::builtins::is_builtin_name(name)
+        || expr::py::builtins::is_exception_name(name)
+        || env.py_names.contains(name)
+        || locals.contains(name)
+}
+
+fn py_expr_vars(e: &PExpr, env: &LintEnv, locals: &HashSet<String>, path: &str, out: &mut Sink) {
+    match e {
+        PExpr::Ident(name) => {
+            if !py_ident_allowed(name, env, locals) {
+                out.error(
+                    codes::UNBOUND_VAR,
+                    path,
+                    format!(
+                        "unbound variable {name:?} (expressions may use inputs, self, \
+                         runtime, and expressionLib names)"
+                    ),
+                );
+            }
+        }
+        PExpr::ParamRef(p) => {
+            let root = p.split(['.', '[']).next().unwrap_or(p);
+            if !matches!(root, "inputs" | "self" | "runtime") {
+                out.error(
+                    codes::UNBOUND_VAR,
+                    path,
+                    format!("parameter reference $({p}) must start with inputs, self, or runtime"),
+                );
+            }
+        }
+        PExpr::FString(segs) => {
+            for seg in segs {
+                if let FSeg::Expr(inner) = seg {
+                    py_expr_vars(inner, env, locals, path, out);
+                }
+            }
+        }
+        PExpr::List(items) => {
+            for item in items {
+                py_expr_vars(item, env, locals, path, out);
+            }
+        }
+        PExpr::Dict(pairs) => {
+            for (k, v) in pairs {
+                py_expr_vars(k, env, locals, path, out);
+                py_expr_vars(v, env, locals, path, out);
+            }
+        }
+        PExpr::Attr(obj, _) => py_expr_vars(obj, env, locals, path, out),
+        PExpr::Index(obj, idx) => {
+            py_expr_vars(obj, env, locals, path, out);
+            py_expr_vars(idx, env, locals, path, out);
+        }
+        PExpr::Slice(obj, lo, hi) => {
+            py_expr_vars(obj, env, locals, path, out);
+            if let Some(lo) = lo {
+                py_expr_vars(lo, env, locals, path, out);
+            }
+            if let Some(hi) = hi {
+                py_expr_vars(hi, env, locals, path, out);
+            }
+        }
+        PExpr::Call(callee, args) => {
+            py_expr_vars(callee, env, locals, path, out);
+            for a in args {
+                py_expr_vars(a, env, locals, path, out);
+            }
+        }
+        PExpr::Unary(_, a) => py_expr_vars(a, env, locals, path, out),
+        PExpr::Binary(_, a, b) | PExpr::BoolOp(_, a, b) => {
+            py_expr_vars(a, env, locals, path, out);
+            py_expr_vars(b, env, locals, path, out);
+        }
+        PExpr::Compare(first, rest) => {
+            py_expr_vars(first, env, locals, path, out);
+            for (_, e) in rest {
+                py_expr_vars(e, env, locals, path, out);
+            }
+        }
+        PExpr::Ternary { body, cond, orelse } => {
+            py_expr_vars(body, env, locals, path, out);
+            py_expr_vars(cond, env, locals, path, out);
+            py_expr_vars(orelse, env, locals, path, out);
+        }
+        PExpr::None_ | PExpr::Bool(_) | PExpr::Int(_) | PExpr::Float(_) | PExpr::Str(_) => {}
+    }
+}
+
+// ------------------------------------------------------------- entry points
+
+/// Lint every expression-bearing field of a `CommandLineTool`.
+pub(crate) fn lint_tool(tool: &CommandLineTool, doc: &Value, out: &mut Sink) {
+    let env = env_for(&tool.requirements, out);
+    for (i, arg) in tool.arguments.iter().enumerate() {
+        lint_value(
+            &arg.value,
+            &yamlite::span::item_path("arguments", i),
+            &env,
+            out,
+        );
+    }
+    for p in &tool.inputs {
+        let ppath = entry_path(doc, "", "inputs", &p.id);
+        if let Some(vf) = p.binding.as_ref().and_then(|b| b.value_from.as_ref()) {
+            lint_string(vf, &join(&ppath, "inputBinding.valueFrom"), &env, out);
+        }
+        if let Some(v) = &p.validate {
+            // E006 (missing InlinePythonRequirement) comes from check_tool;
+            // only lint the expression when it can actually run.
+            if env.py {
+                lint_py_expression(v.trim(), &join(&ppath, "validate"), &env, out);
+            }
+        }
+    }
+    for o in &tool.outputs {
+        if let Some(g) = &o.glob {
+            lint_string(
+                g,
+                &join(&entry_path(doc, "", "outputs", &o.id), "glob"),
+                &env,
+                out,
+            );
+        }
+    }
+    if let Some(s) = &tool.stdout {
+        lint_string(s, "stdout", &env, out);
+    }
+    if let Some(s) = &tool.stderr {
+        lint_string(s, "stderr", &env, out);
+    }
+}
+
+/// Lint `when` and `valueFrom` expressions of every workflow step.
+pub(crate) fn lint_workflow(wf: &Workflow, doc: &Value, out: &mut Sink) {
+    let env = env_for(&wf.requirements, out);
+    for step in &wf.steps {
+        let spath = entry_path(doc, "", "steps", &step.id);
+        let sval = step_value(doc, &step.id).cloned().unwrap_or(Value::Null);
+        if let Some(w) = &step.when {
+            lint_string(w, &join(&spath, "when"), &env, out);
+        }
+        for input in &step.inputs {
+            if let Some(vf) = &input.value_from {
+                let ipath = entry_path(&sval, &spath, "in", &input.id);
+                lint_string(vf, &join(&ipath, "valueFrom"), &env, out);
+            }
+        }
+    }
+}
+
+/// Recursively lint every string inside an argument value (arguments may be
+/// plain strings or structured entries).
+fn lint_value(v: &Value, path: &str, env: &LintEnv, out: &mut Sink) {
+    match v {
+        Value::Str(s) => lint_string(s, path, env, out),
+        Value::Seq(items) => {
+            for (i, item) in items.iter().enumerate() {
+                lint_value(item, &yamlite::span::item_path(path, i), env, out);
+            }
+        }
+        Value::Map(m) => {
+            for (k, val) in m.iter() {
+                lint_value(val, &join(path, k), env, out);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,173 @@
+//! Whole-document static analysis: typed dataflow checking and expression
+//! linting, producing span-carrying diagnostics with stable codes.
+//!
+//! This pass sits between loading and execution — the role `cwltool
+//! --validate` and Toil's pre-flight check play in the CWL ecosystem, plus
+//! an expression linter those runners cannot offer because they shell out to
+//! `node`: we own the `expr::js`/`expr::py` parsers, so every `$(...)` and
+//! `${...}` body is parsed (never evaluated) at analysis time.
+//!
+//! * [`diag`] — diagnostic model: stable `E0xx`/`W1xx` codes, severity,
+//!   source positions from [`yamlite::SpanIndex`], text + JSON rendering;
+//! * [`dataflow`] — the typed dataflow checker over the workflow graph:
+//!   link resolution, type assignability (with scatter array wrapping and
+//!   `when` optional wrapping), `linkMerge` shapes, scatter dimensionality,
+//!   cycles, dead steps, and unused outputs;
+//! * [`exprlint`] — parse-only expression linting: syntax errors and free
+//!   variables outside the CWL binding set (`inputs`, `self`, `runtime`),
+//!   plus requirement gating for `${...}` bodies.
+//!
+//! Entry points: [`analyze_file`] / [`analyze_str`] for source text (spans
+//! included), [`analyze_value`] for an already-parsed document.
+
+pub mod dataflow;
+pub mod diag;
+pub mod exprlint;
+
+pub use diag::{codes, Diag, Report};
+
+use crate::loader::{load_document, CwlDocument};
+use crate::validate::Severity;
+use std::path::Path;
+use yamlite::{parse_str_spanned, SpanIndex, Value};
+
+/// Diagnostic emission context shared by the checkers: resolves dotted
+/// paths to source positions through the span index.
+pub(crate) struct Sink<'a> {
+    spans: &'a SpanIndex,
+    report: &'a mut Report,
+}
+
+impl Sink<'_> {
+    fn push(&mut self, code: &'static str, severity: Severity, path: String, message: String) {
+        let position = self.spans.resolve(&path);
+        self.report.diags.push(Diag {
+            code,
+            severity,
+            path,
+            position,
+            message,
+        });
+    }
+
+    pub(crate) fn error(
+        &mut self,
+        code: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(code, Severity::Error, path.into(), message.into());
+    }
+
+    pub(crate) fn warning(
+        &mut self,
+        code: &'static str,
+        path: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        self.push(code, Severity::Warning, path.into(), message.into());
+    }
+}
+
+/// Analyze a document from source text. `file`, when given, names the
+/// report and provides the base directory for resolving step `run` paths.
+pub fn analyze_str(text: &str, file: Option<&Path>) -> Report {
+    let mut report = Report::new();
+    report.file = file.map(|p| p.display().to_string());
+    match parse_str_spanned(text) {
+        Err(e) => report.diags.push(Diag {
+            code: codes::YAML_PARSE,
+            severity: Severity::Error,
+            path: String::new(),
+            position: Some(e.position),
+            message: e.message,
+        }),
+        Ok((doc, spans)) => {
+            let base_dir = file.and_then(Path::parent);
+            analyze_value(&doc, &spans, base_dir, &mut report);
+        }
+    }
+    report.sort();
+    report
+}
+
+/// Analyze a CWL file on disk.
+pub fn analyze_file(path: impl AsRef<Path>) -> Report {
+    let path = path.as_ref();
+    match std::fs::read_to_string(path) {
+        Ok(text) => analyze_str(&text, Some(path)),
+        Err(e) => {
+            let mut report = Report::new();
+            report.file = Some(path.display().to_string());
+            report.diags.push(Diag {
+                code: codes::YAML_PARSE,
+                severity: Severity::Error,
+                path: String::new(),
+                position: None,
+                message: format!("cannot read {}: {e}", path.display()),
+            });
+            report
+        }
+    }
+}
+
+/// Analyze an already-parsed document, appending findings to `report`.
+/// Pass an empty [`SpanIndex`] when no span data is available — positions
+/// are then omitted from the diagnostics.
+pub fn analyze_value(doc: &Value, spans: &SpanIndex, base_dir: Option<&Path>, report: &mut Report) {
+    let mut sink = Sink { spans, report };
+    match doc.get("cwlVersion").and_then(Value::as_str) {
+        None => sink.error(codes::CWL_MODEL, "cwlVersion", "missing cwlVersion"),
+        Some(v) if !matches!(v, "v1.0" | "v1.1" | "v1.2") => sink.warning(
+            codes::ODD_VERSION,
+            "cwlVersion",
+            format!("unrecognized cwlVersion {v:?} (treating as v1.2)"),
+        ),
+        _ => {}
+    }
+    match load_document(doc) {
+        Err(e) => sink.error(codes::CWL_MODEL, "", e),
+        Ok(CwlDocument::Tool(tool)) => {
+            dataflow::check_tool(&tool, doc, &mut sink);
+            exprlint::lint_tool(&tool, doc, &mut sink);
+        }
+        Ok(CwlDocument::Workflow(wf)) => {
+            dataflow::check_workflow(&wf, doc, base_dir, &mut sink);
+            exprlint::lint_workflow(&wf, doc, &mut sink);
+        }
+    }
+}
+
+/// Join a path segment onto a dotted base path.
+pub(crate) fn join(base: &str, seg: &str) -> String {
+    yamlite::span::child_path(base, seg)
+}
+
+/// Path of an id-addressed entry inside `container[section]`, matching the
+/// document's actual layout: `section.id` when the section is a map,
+/// `section[i]` when it is a list of `id:`-carrying entries.
+pub(crate) fn entry_path(container: &Value, base: &str, section: &str, id: &str) -> String {
+    let section_path = join(base, section);
+    match container.get(section) {
+        Some(Value::Seq(items)) => {
+            for (i, item) in items.iter().enumerate() {
+                if item.get("id").and_then(Value::as_str) == Some(id) {
+                    return yamlite::span::item_path(&section_path, i);
+                }
+            }
+            section_path
+        }
+        _ => join(&section_path, id),
+    }
+}
+
+/// The raw YAML node of a step body, honouring both `steps:` layouts.
+pub(crate) fn step_value<'a>(doc: &'a Value, id: &str) -> Option<&'a Value> {
+    match doc.get("steps") {
+        Some(Value::Map(m)) => m.get(id),
+        Some(Value::Seq(items)) => items
+            .iter()
+            .find(|it| it.get("id").and_then(Value::as_str) == Some(id)),
+        _ => None,
+    }
+}

@@ -1,0 +1,118 @@
+//! `cwl-check` — whole-workflow static analyzer.
+//!
+//! Runs the [`cwl::analyze`] pass (typed dataflow checking + expression
+//! linting) over CWL files and prints span-carrying diagnostics with
+//! stable codes, as compiler-style text or JSON.
+//!
+//! ```text
+//! cwl-check [--json] [--strict] [-q] <file-or-dir>...
+//! ```
+//!
+//! Directories are scanned (non-recursively) for `*.cwl` / `*.yml` /
+//! `*.yaml`. Files without a `class:` key (e.g. runner configs) get YAML
+//! well-formedness checking only. Exit status: 0 clean, 1 findings,
+//! 2 usage error.
+
+use cwl::analyze::{analyze_file, analyze_str, Report};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cwl-check [--json] [--strict] [-q] <file-or-dir>...
+
+  --json    emit one JSON report object per file
+  --strict  treat warnings as failures
+  -q        suppress per-file OK lines";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut strict = false;
+    let mut quiet = false;
+    let mut targets: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--strict" => strict = true,
+            "-q" | "--quiet" => quiet = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("cwl-check: unknown flag {flag:?}\n{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => targets.push(PathBuf::from(path)),
+        }
+    }
+    if targets.is_empty() {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for target in &targets {
+        if target.is_dir() {
+            match collect_dir(target) {
+                Ok(mut found) => files.append(&mut found),
+                Err(e) => {
+                    eprintln!("cwl-check: cannot read directory {}: {e}", target.display());
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            files.push(target.clone());
+        }
+    }
+    files.sort();
+
+    let mut failed = false;
+    for file in &files {
+        let report = check_file(file);
+        failed |= !report.is_clean(strict);
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_text());
+            if report.diags.is_empty() && !quiet {
+                println!("{}: OK", file.display());
+            }
+        }
+    }
+    if failed {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Analyze one file. Documents without a `class:` key are not CWL — runner
+/// configs ride along in the same directories — so they only get YAML
+/// well-formedness checking.
+fn check_file(path: &Path) -> Report {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(_) => return analyze_file(path), // produces the cannot-read E001
+    };
+    let is_cwl = yamlite::parse_str(&text)
+        .map(|doc| doc.get("class").is_some())
+        .unwrap_or(true); // parse errors must be reported either way
+    if is_cwl {
+        analyze_str(&text, Some(path))
+    } else {
+        let mut report = Report::new();
+        report.file = Some(path.display().to_string());
+        report
+    }
+}
+
+fn collect_dir(dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let ext = path.extension().and_then(|e| e.to_str()).unwrap_or("");
+        if path.is_file() && matches!(ext, "cwl" | "yml" | "yaml") {
+            out.push(path);
+        }
+    }
+    Ok(out)
+}

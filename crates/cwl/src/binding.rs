@@ -33,10 +33,13 @@ struct Pending {
 /// Stringify a bound value for argv (File objects become their path).
 fn value_token(v: &Value) -> String {
     match v {
-        Value::Map(m) if m.get("class").and_then(Value::as_str) == Some("File")
-            || m.get("class").and_then(Value::as_str) == Some("Directory") =>
+        Value::Map(m)
+            if m.get("class").and_then(Value::as_str) == Some("File")
+                || m.get("class").and_then(Value::as_str) == Some("Directory") =>
         {
-            m.get("path").map(Value::to_display_string).unwrap_or_default()
+            m.get("path")
+                .map(Value::to_display_string)
+                .unwrap_or_default()
         }
         other => other.to_display_string(),
     }
@@ -113,8 +116,9 @@ pub fn build_command(
     // `arguments:` section.
     for (i, arg) in tool.arguments.iter().enumerate() {
         let value = match &arg.value {
-            Value::Str(s) => interpolate(s, engine, &ctx)
-                .map_err(|e| format!("argument {i}: {e}"))?,
+            Value::Str(s) => {
+                interpolate(s, engine, &ctx).map_err(|e| format!("argument {i}: {e}"))?
+            }
             other => other.clone(),
         };
         if value.is_null() {
@@ -129,13 +133,19 @@ pub fn build_command(
         };
         let tokens = bind_tokens(&binding, &value);
         if !tokens.is_empty() {
-            pending.push(Pending { position: arg.position, tie: (0, i), tokens });
+            pending.push(Pending {
+                position: arg.position,
+                tie: (0, i),
+                tokens,
+            });
         }
     }
 
     // Bound inputs.
     for (i, param) in tool.inputs.iter().enumerate() {
-        let Some(binding) = &param.binding else { continue };
+        let Some(binding) = &param.binding else {
+            continue;
+        };
         let mut value = inputs.get(&param.id).cloned().unwrap_or(Value::Null);
         if let Some(vf) = &binding.value_from {
             let mut vf_ctx = ctx.clone();
@@ -148,7 +158,11 @@ pub fn build_command(
         }
         let tokens = bind_tokens(binding, &value);
         if !tokens.is_empty() {
-            pending.push(Pending { position: binding.position, tie: (1, i), tokens });
+            pending.push(Pending {
+                position: binding.position,
+                tie: (1, i),
+                tokens,
+            });
         }
     }
 
@@ -159,7 +173,9 @@ pub fn build_command(
         argv.extend(p.tokens);
     }
     if argv.is_empty() {
-        return Err("tool produced an empty command line (no baseCommand or arguments)".to_string());
+        return Err(
+            "tool produced an empty command line (no baseCommand or arguments)".to_string(),
+        );
     }
 
     let eval_name = |src: &Option<String>, what: &str| -> Result<Option<String>, String> {
@@ -177,9 +193,7 @@ pub fn build_command(
 
     // An output of type `stdout` without an explicit redirect gets a
     // deterministic generated capture file, per spec.
-    if stdout.is_none()
-        && tool.outputs.iter().any(|o| o.typ == CwlType::Stdout)
-    {
+    if stdout.is_none() && tool.outputs.iter().any(|o| o.typ == CwlType::Stdout) {
         stdout = Some(format!(
             "{}_stdout.txt",
             tool.id.clone().unwrap_or_else(|| "tool".to_string())
@@ -194,7 +208,12 @@ pub fn build_command(
         env.push((k.clone(), value));
     }
 
-    Ok(BuiltCommand { argv, stdout, stderr, env })
+    Ok(BuiltCommand {
+        argv,
+        stdout,
+        stderr,
+        env,
+    })
 }
 
 #[cfg(test)]

@@ -32,15 +32,21 @@ pub fn normalize_file(v: &Value, class: &str) -> Result<Value, String> {
     m.insert("path", path.clone());
     m.insert(
         "basename",
-        p.file_name().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        p.file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
     );
     m.insert(
         "nameroot",
-        p.file_stem().map(|s| s.to_string_lossy().into_owned()).unwrap_or_default(),
+        p.file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default(),
     );
     m.insert(
         "nameext",
-        p.extension().map(|s| format!(".{}", s.to_string_lossy())).unwrap_or_default(),
+        p.extension()
+            .map(|s| format!(".{}", s.to_string_lossy()))
+            .unwrap_or_default(),
     );
     if let Ok(meta) = std::fs::metadata(p) {
         m.insert("size", meta.len() as i64);
@@ -96,8 +102,8 @@ pub fn resolve_inputs(params: &[InputParam], provided: &Map) -> Result<Map, Stri
                 param.id, param.typ
             ));
         }
-        let value = normalize_value(&raw, &param.typ)
-            .map_err(|e| format!("input {:?}: {e}", param.id))?;
+        let value =
+            normalize_value(&raw, &param.typ).map_err(|e| format!("input {:?}: {e}", param.id))?;
         resolved.insert(param.id.clone(), value);
     }
     Ok(resolved)
@@ -114,9 +120,8 @@ pub fn run_validate_hooks(
     let ctx = EvalContext::from_inputs(Value::Map(inputs.clone()));
     for param in &tool.inputs {
         if let Some(expr_src) = &param.validate {
-            expr::interpolate(expr_src.trim(), engine, &ctx).map_err(|e| {
-                format!("validation of input {:?} failed: {e}", param.id)
-            })?;
+            expr::interpolate(expr_src.trim(), engine, &ctx)
+                .map_err(|e| format!("validation of input {:?} failed: {e}", param.id))?;
         }
     }
     Ok(())
@@ -171,12 +176,16 @@ mod tests {
     fn resolve_rejects_missing_and_unknown() {
         let ps = params("  n:\n    type: int\n");
         let empty = Map::new();
-        assert!(resolve_inputs(&ps, &empty).unwrap_err().contains("missing required"));
+        assert!(resolve_inputs(&ps, &empty)
+            .unwrap_err()
+            .contains("missing required"));
         let bad = match vmap! {"nope" => 1i64, "n" => 1i64} {
             Value::Map(m) => m,
             _ => unreachable!(),
         };
-        assert!(resolve_inputs(&ps, &bad).unwrap_err().contains("unknown input"));
+        assert!(resolve_inputs(&ps, &bad)
+            .unwrap_err()
+            .contains("unknown input"));
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //!   relative to the referencing file;
 //! * [`validate`] — structural validation with precise diagnostics
 //!   (cwltool's `--validate` role);
+//! * [`analyze`] — whole-document static analysis (`cwl-check`): typed
+//!   dataflow checking, parse-only expression linting, span-carrying
+//!   diagnostics with stable codes;
 //! * [`binding`] — the command-line binding algorithm (position/prefix
 //!   sorting, array `itemSeparator`, boolean flags, `valueFrom`);
 //! * [`outputs`] — post-execution output collection (stdout capture, glob);
@@ -30,6 +33,7 @@
 //! [`expr::ExpressionEngine`] — JavaScript per the CWL spec, or the paper's
 //! inline Python.
 
+pub mod analyze;
 pub mod binding;
 pub mod input;
 pub mod loader;
@@ -40,6 +44,7 @@ pub mod types;
 pub mod validate;
 pub mod workflow;
 
+pub use analyze::{analyze_file, analyze_str, analyze_value, Diag, Report};
 pub use binding::{build_command, BuiltCommand};
 pub use loader::{load_document, load_file, CwlDocument};
 pub use requirements::Requirements;

@@ -85,7 +85,9 @@ mod tests {
     fn dispatch_on_class() {
         let tool = parse_str("class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: echo\ninputs: {}\noutputs: {}\n").unwrap();
         assert_eq!(load_document(&tool).unwrap().class(), "CommandLineTool");
-        let wf = parse_str("class: Workflow\ncwlVersion: v1.2\ninputs: {}\noutputs: {}\nsteps: {}\n").unwrap();
+        let wf =
+            parse_str("class: Workflow\ncwlVersion: v1.2\ninputs: {}\noutputs: {}\nsteps: {}\n")
+                .unwrap();
         let doc = load_document(&wf).unwrap();
         assert_eq!(doc.class(), "Workflow");
         assert!(doc.as_workflow().is_some());
@@ -122,7 +124,10 @@ mod tests {
 
     #[test]
     fn inline_run_resolution() {
-        let inline = parse_str("class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: ls\ninputs: {}\noutputs: {}\n").unwrap();
+        let inline = parse_str(
+            "class: CommandLineTool\ncwlVersion: v1.2\nbaseCommand: ls\ninputs: {}\noutputs: {}\n",
+        )
+        .unwrap();
         let run = RunRef::Inline(Box::new(inline));
         let doc = resolve_run(&run, Path::new("/nowhere")).unwrap();
         assert_eq!(doc.class(), "CommandLineTool");

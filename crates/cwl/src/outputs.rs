@@ -62,7 +62,10 @@ fn capture_value(
     let name = capture.ok_or_else(|| {
         format!("output {id:?} has type {what} but no {what} capture was configured")
     })?;
-    normalize_file(&Value::str(workdir.join(name).to_string_lossy().into_owned()), "File")
+    normalize_file(
+        &Value::str(workdir.join(name).to_string_lossy().into_owned()),
+        "File",
+    )
 }
 
 /// Minimal glob: literal names, `*` (all files), `*.ext` suffix, `name.*`
@@ -83,12 +86,16 @@ fn glob_in(workdir: &Path, pattern: &str) -> Result<Vec<String>, String> {
         .split_once('*')
         .expect("contains('*') checked above");
     if suffix.contains('*') {
-        return Err(format!("glob pattern {pattern:?} is too complex (one '*' supported)"));
+        return Err(format!(
+            "glob pattern {pattern:?} is too complex (one '*' supported)"
+        ));
     }
     let mut names: Vec<String> = entries
         .filter_map(|e| e.ok())
         .filter_map(|e| e.file_name().into_string().ok())
-        .filter(|n| n.starts_with(prefix) && n.ends_with(suffix) && n.len() >= prefix.len() + suffix.len())
+        .filter(|n| {
+            n.starts_with(prefix) && n.ends_with(suffix) && n.len() >= prefix.len() + suffix.len()
+        })
         .collect();
     names.sort();
     Ok(names)
@@ -108,7 +115,10 @@ fn materialize(
     };
     match typ {
         CwlType::Array(_) => Ok(Value::Seq(
-            matches.iter().map(|n| file_value(n)).collect::<Result<Vec<_>, _>>()?,
+            matches
+                .iter()
+                .map(|n| file_value(n))
+                .collect::<Result<Vec<_>, _>>()?,
         )),
         CwlType::Optional(inner) => {
             if matches.is_empty() {
@@ -118,7 +128,10 @@ fn materialize(
             }
         }
         _ => match matches {
-            [] => Err(format!("output {id:?}: no file matched the glob in {}", workdir.display())),
+            [] => Err(format!(
+                "output {id:?}: no file matched the glob in {}",
+                workdir.display()
+            )),
             [single] => file_value(single),
             many => Err(format!(
                 "output {id:?}: {} files matched but type is not an array",
@@ -164,9 +177,19 @@ mod tests {
         let dir = workdir("stdout");
         std::fs::write(dir.join("hello.txt"), "hi").unwrap();
         let t = tool("  output:\n    type: stdout\n", Some("hello.txt"));
-        let out = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, Some("hello.txt"), None)
-            .unwrap();
-        assert_eq!(out.get("output").unwrap()["basename"].as_str(), Some("hello.txt"));
+        let out = collect_outputs(
+            &t,
+            &inputs(),
+            &JsEngine::in_process(),
+            &dir,
+            Some("hello.txt"),
+            None,
+        )
+        .unwrap();
+        assert_eq!(
+            out.get("output").unwrap()["basename"].as_str(),
+            Some("hello.txt")
+        );
         assert_eq!(out.get("output").unwrap()["size"].as_int(), Some(2));
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -181,7 +204,10 @@ mod tests {
         );
         let out =
             collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
-        assert!(out.get("out").unwrap()["path"].as_str().unwrap().ends_with("resized.rimg"));
+        assert!(out.get("out").unwrap()["path"]
+            .as_str()
+            .unwrap()
+            .ends_with("resized.rimg"));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -195,7 +221,10 @@ mod tests {
         );
         let out =
             collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap();
-        assert_eq!(out.get("out").unwrap()["basename"].as_str(), Some("result.out"));
+        assert_eq!(
+            out.get("out").unwrap()["basename"].as_str(),
+            Some("result.out")
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -224,8 +253,8 @@ mod tests {
             "  out:\n    type: File\n    outputBinding:\n      glob: ghost.txt\n",
             None,
         );
-        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
-            .unwrap_err();
+        let err =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap_err();
         assert!(err.contains("no file matched"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -252,8 +281,8 @@ mod tests {
             "  out:\n    type: File\n    outputBinding:\n      glob: '*.rimg'\n",
             None,
         );
-        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
-            .unwrap_err();
+        let err =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap_err();
         assert!(err.contains("2 files matched"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -262,8 +291,8 @@ mod tests {
     fn unbound_nonoptional_output_errors() {
         let dir = workdir("unbound");
         let t = tool("  out:\n    type: File\n", None);
-        let err = collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None)
-            .unwrap_err();
+        let err =
+            collect_outputs(&t, &inputs(), &JsEngine::in_process(), &dir, None, None).unwrap_err();
         assert!(err.contains("no outputBinding.glob"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }

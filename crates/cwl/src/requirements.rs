@@ -92,7 +92,8 @@ impl Requirements {
                                 .and_then(Value::as_str)
                                 .ok_or("envDef entry missing envName")?;
                             let value = item.get("envValue").cloned().unwrap_or_default();
-                            self.env_vars.push((name.to_string(), value.to_display_string()));
+                            self.env_vars
+                                .push((name.to_string(), value.to_display_string()));
                         }
                     }
                     Value::Null => return Err("EnvVarRequirement missing envDef".to_string()),
@@ -108,8 +109,12 @@ impl Requirements {
             "StepInputExpressionRequirement" => self.step_input_expression = true,
             "ScatterFeatureRequirement" => self.scatter = true,
             "SubworkflowFeatureRequirement" => self.subworkflow = true,
-            "DockerRequirement" | "ShellCommandRequirement" | "InitialWorkDirRequirement"
-            | "SoftwareRequirement" | "NetworkAccess" | "WorkReuse" => {
+            "DockerRequirement"
+            | "ShellCommandRequirement"
+            | "InitialWorkDirRequirement"
+            | "SoftwareRequirement"
+            | "NetworkAccess"
+            | "WorkReuse" => {
                 self.ignored.push(class.to_string());
             }
             other => self.unknown.push(other.to_string()),
@@ -195,8 +200,12 @@ mod tests {
         )
         .unwrap();
         let r = Requirements::parse(&doc["requirements"]).unwrap();
-        assert!(r.env_vars.contains(&("LC_ALL".to_string(), "C".to_string())));
-        assert!(r.env_vars.contains(&("THREADS".to_string(), "4".to_string())));
+        assert!(r
+            .env_vars
+            .contains(&("LC_ALL".to_string(), "C".to_string())));
+        assert!(r
+            .env_vars
+            .contains(&("THREADS".to_string(), "4".to_string())));
 
         let doc = parse_str(
             "requirements:\n  - class: EnvVarRequirement\n    envDef:\n      - envName: A\n        envValue: b\n",
@@ -208,9 +217,10 @@ mod tests {
 
     #[test]
     fn parse_resources() {
-        let doc =
-            parse_str("requirements:\n  - class: ResourceRequirement\n    coresMin: 4\n    ramMin: 2048\n")
-                .unwrap();
+        let doc = parse_str(
+            "requirements:\n  - class: ResourceRequirement\n    coresMin: 4\n    ramMin: 2048\n",
+        )
+        .unwrap();
         let r = Requirements::parse(&doc["requirements"]).unwrap();
         let res = r.resources.unwrap();
         assert_eq!(res.cores_min, Some(4));

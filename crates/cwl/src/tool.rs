@@ -33,7 +33,10 @@ impl InputBinding {
                 .get("itemSeparator")
                 .and_then(Value::as_str)
                 .map(str::to_string),
-            value_from: m.get("valueFrom").and_then(Value::as_str).map(str::to_string),
+            value_from: m
+                .get("valueFrom")
+                .and_then(Value::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -168,11 +171,16 @@ impl CommandLineTool {
                 typ,
                 default: body.get("default").cloned(),
                 binding: match body.get("inputBinding") {
-                    Some(b) => Some(InputBinding::parse(b).map_err(|e| format!("input {id:?}: {e}"))?),
+                    Some(b) => {
+                        Some(InputBinding::parse(b).map_err(|e| format!("input {id:?}: {e}"))?)
+                    }
                     None => None,
                 },
                 doc: body.get("doc").and_then(Value::as_str).map(str::to_string),
-                validate: body.get("validate").and_then(Value::as_str).map(str::to_string),
+                validate: body
+                    .get("validate")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
             })
         })?;
 
@@ -200,11 +208,16 @@ impl CommandLineTool {
             arguments,
             inputs,
             outputs,
-            stdout: doc.get("stdout").and_then(Value::as_str).map(str::to_string),
-            stderr: doc.get("stderr").and_then(Value::as_str).map(str::to_string),
+            stdout: doc
+                .get("stdout")
+                .and_then(Value::as_str)
+                .map(str::to_string),
+            stderr: doc
+                .get("stderr")
+                .and_then(Value::as_str)
+                .map(str::to_string),
             requirements: {
-                let mut r =
-                    Requirements::parse(doc.get("requirements").unwrap_or(&Value::Null))?;
+                let mut r = Requirements::parse(doc.get("requirements").unwrap_or(&Value::Null))?;
                 if let Some(hints) = doc.get("hints") {
                     let h = Requirements::parse(hints)?;
                     r.merge_from(&h);
@@ -231,7 +244,9 @@ pub(crate) fn parse_params<T>(
     section: Option<&Value>,
     mut build: impl FnMut(&str, &Value) -> Result<T, String>,
 ) -> Result<Vec<T>, String> {
-    let Some(section) = section else { return Ok(Vec::new()) };
+    let Some(section) = section else {
+        return Ok(Vec::new());
+    };
     let mut out = Vec::new();
     match section {
         Value::Null => {}
@@ -257,7 +272,11 @@ pub(crate) fn parse_params<T>(
                 out.push(build(id, item)?);
             }
         }
-        other => return Err(format!("parameter section must be map or list, got {other:?}")),
+        other => {
+            return Err(format!(
+                "parameter section must be map or list, got {other:?}"
+            ))
+        }
     }
     Ok(out)
 }
@@ -331,8 +350,20 @@ outputs:
         .unwrap();
         let tool = CommandLineTool::parse(&doc).unwrap();
         assert_eq!(tool.base_command, vec!["imgtool", "resize"]);
-        assert_eq!(tool.input("size").unwrap().binding.as_ref().unwrap().prefix.as_deref(), Some("--size"));
-        assert_eq!(tool.output("resized").unwrap().glob.as_deref(), Some("$(inputs.output_image)"));
+        assert_eq!(
+            tool.input("size")
+                .unwrap()
+                .binding
+                .as_ref()
+                .unwrap()
+                .prefix
+                .as_deref(),
+            Some("--size")
+        );
+        assert_eq!(
+            tool.output("resized").unwrap().glob.as_deref(),
+            Some("$(inputs.output_image)")
+        );
     }
 
     #[test]

@@ -47,9 +47,9 @@ impl CwlType {
                             .ok_or_else(|| "array type missing 'items'".to_string())?;
                         Ok(CwlType::Array(Box::new(Self::parse(items)?)))
                     }
-                    "enum" | "record" => Err(format!(
-                        "CWL {t} types are outside the supported subset"
-                    )),
+                    "enum" | "record" => {
+                        Err(format!("CWL {t} types are outside the supported subset"))
+                    }
                     other => Self::parse_str(other),
                 }
             }
@@ -107,8 +107,14 @@ impl CwlType {
             CwlType::Str => matches!(value, Value::Str(_)),
             CwlType::File | CwlType::Directory => match value {
                 Value::Str(_) => true,
-                Value::Map(m) => m.get("class").and_then(Value::as_str)
-                    == Some(if *self == CwlType::File { "File" } else { "Directory" }),
+                Value::Map(m) => {
+                    m.get("class").and_then(Value::as_str)
+                        == Some(if *self == CwlType::File {
+                            "File"
+                        } else {
+                            "Directory"
+                        })
+                }
                 _ => false,
             },
             CwlType::Stdout | CwlType::Stderr => false, // output-only shorthands
@@ -167,7 +173,10 @@ mod tests {
         assert_eq!(CwlType::parse(&Value::str("string")).unwrap(), CwlType::Str);
         assert_eq!(CwlType::parse(&Value::str("int")).unwrap(), CwlType::Int);
         assert_eq!(CwlType::parse(&Value::str("File")).unwrap(), CwlType::File);
-        assert_eq!(CwlType::parse(&Value::str("stdout")).unwrap(), CwlType::Stdout);
+        assert_eq!(
+            CwlType::parse(&Value::str("stdout")).unwrap(),
+            CwlType::Stdout
+        );
     }
 
     #[test]

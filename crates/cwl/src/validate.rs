@@ -24,11 +24,19 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     fn error(path: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { severity: Severity::Error, path: path.into(), message: message.into() }
+        Self {
+            severity: Severity::Error,
+            path: path.into(),
+            message: message.into(),
+        }
     }
 
     fn warning(path: impl Into<String>, message: impl Into<String>) -> Self {
-        Self { severity: Severity::Warning, path: path.into(), message: message.into() }
+        Self {
+            severity: Severity::Warning,
+            path: path.into(),
+            message: message.into(),
+        }
     }
 }
 
@@ -133,7 +141,7 @@ fn validate_workflow(wf: &Workflow, diags: &mut Vec<Diagnostic>) {
     for step in &wf.steps {
         let loc = format!("steps.{}", step.id);
         for input in &step.inputs {
-            if let Some(src) = &input.source {
+            for src in &input.sources {
                 if !valid_source(src) {
                     diags.push(Diagnostic::error(
                         format!("{loc}.in.{}", input.id),
@@ -141,7 +149,15 @@ fn validate_workflow(wf: &Workflow, diags: &mut Vec<Diagnostic>) {
                     ));
                 }
             }
-            if input.source.is_none() && input.default.is_none() && input.value_from.is_none() {
+            if let Some(lm) = &input.link_merge {
+                if !matches!(lm.as_str(), "merge_nested" | "merge_flattened") {
+                    diags.push(Diagnostic::error(
+                        format!("{loc}.in.{}", input.id),
+                        format!("unknown linkMerge method {lm:?}"),
+                    ));
+                }
+            }
+            if input.sources.is_empty() && input.default.is_none() && input.value_from.is_none() {
                 diags.push(Diagnostic::error(
                     format!("{loc}.in.{}", input.id),
                     "step input has no source, default, or valueFrom",
@@ -157,7 +173,10 @@ fn validate_workflow(wf: &Workflow, diags: &mut Vec<Diagnostic>) {
         if step.when.is_some() && !matches!(wf.cwl_version.as_str(), "v1.2" | "") {
             diags.push(Diagnostic::error(
                 format!("{loc}.when"),
-                format!("conditional execution requires cwlVersion v1.2 (found {:?})", wf.cwl_version),
+                format!(
+                    "conditional execution requires cwlVersion v1.2 (found {:?})",
+                    wf.cwl_version
+                ),
             ));
         }
         if !step.scatter.is_empty() {
@@ -168,11 +187,31 @@ fn validate_workflow(wf: &Workflow, diags: &mut Vec<Diagnostic>) {
                 ));
             }
             for target in &step.scatter {
-                if !step.inputs.iter().any(|i| &i.id == target) {
+                let Some(input) = step.inputs.iter().find(|i| &i.id == target) else {
                     diags.push(Diagnostic::error(
                         format!("{loc}.scatter"),
                         format!("scatter target {target:?} is not a step input"),
                     ));
+                    continue;
+                };
+                // When the scatter source is a workflow input, its declared
+                // type must be an array (step-output sources need the run
+                // target resolved — the analyze module covers those).
+                if let [src] = input.sources.as_slice() {
+                    if !src.contains('/') {
+                        if let Some(wi) = wf.inputs.iter().find(|i| &i.id == src) {
+                            let is_array = matches!(
+                                wi.typ,
+                                crate::types::CwlType::Array(_) | crate::types::CwlType::Any
+                            );
+                            if !is_array {
+                                diags.push(Diagnostic::error(
+                                    format!("{loc}.scatter"),
+                                    format!("scatter source {src:?} has non-array type {}", wi.typ),
+                                ));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -233,7 +272,9 @@ mod tests {
 
     #[test]
     fn odd_version_warns_but_valid() {
-        let d = diags("cwlVersion: v9.9\nclass: CommandLineTool\nbaseCommand: x\ninputs: {}\noutputs: {}\n");
+        let d = diags(
+            "cwlVersion: v9.9\nclass: CommandLineTool\nbaseCommand: x\ninputs: {}\noutputs: {}\n",
+        );
         assert!(is_valid(&d));
         assert!(d.iter().any(|x| x.severity == Severity::Warning));
     }
@@ -249,7 +290,9 @@ mod tests {
         let e = errors(
             "cwlVersion: v1.2\nclass: CommandLineTool\nbaseCommand: cat\ninputs:\n  f:\n    type: File\n    validate: f\"{check($(inputs.f))}\"\noutputs: {}\n",
         );
-        assert!(e.iter().any(|d| d.message.contains("InlinePythonRequirement")));
+        assert!(e
+            .iter()
+            .any(|d| d.message.contains("InlinePythonRequirement")));
     }
 
     #[test]
@@ -304,8 +347,60 @@ steps:
     out: []
 "#,
         );
-        assert!(e.iter().any(|d| d.message.contains("ScatterFeatureRequirement")));
+        assert!(e
+            .iter()
+            .any(|d| d.message.contains("ScatterFeatureRequirement")));
         assert!(e.iter().any(|d| d.message.contains("not a step input")));
+    }
+
+    #[test]
+    fn scatter_over_non_array_input_flagged() {
+        let e = errors(
+            r#"
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  word: string
+outputs: {}
+steps:
+  s:
+    run: t.cwl
+    scatter: item
+    in:
+      item: word
+    out: []
+"#,
+        );
+        assert!(
+            e.iter()
+                .any(|d| d.message.contains("non-array type string")),
+            "{e:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_over_array_input_accepted() {
+        let e = errors(
+            r#"
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words: string[]
+outputs: {}
+steps:
+  s:
+    run: t.cwl
+    scatter: item
+    in:
+      item: words
+    out: []
+"#,
+        );
+        assert!(!e.iter().any(|d| d.message.contains("non-array")), "{e:?}");
     }
 
     #[test]
@@ -325,7 +420,9 @@ steps:
     out: []
 "#,
         );
-        assert!(e.iter().any(|d| d.message.contains("StepInputExpressionRequirement")));
+        assert!(e
+            .iter()
+            .any(|d| d.message.contains("StepInputExpressionRequirement")));
     }
 
     #[test]

@@ -30,13 +30,29 @@ pub struct WorkflowOutput {
 pub struct StepInput {
     /// The target tool-input id.
     pub id: String,
-    /// Upstream source: a workflow input id or `step/output`.
+    /// Upstream source when written as a single reference: a workflow input
+    /// id or `step/output`. `None` when `source:` is a list (see
+    /// [`Self::sources`]) or absent.
     pub source: Option<String>,
+    /// All upstream sources. One entry mirrors [`Self::source`]; several
+    /// entries come from a `source: [a, b]` list and are gathered per
+    /// [`Self::link_merge`].
+    pub sources: Vec<String>,
+    /// `linkMerge` behaviour for a list source: `merge_nested` (default)
+    /// or `merge_flattened`.
+    pub link_merge: Option<String>,
     /// Literal default when no source provided (or source is null).
     pub default: Option<Value>,
     /// Expression transforming the value
     /// (requires `StepInputExpressionRequirement`).
     pub value_from: Option<String>,
+}
+
+impl StepInput {
+    /// Whether this input gathers several sources (written as a list).
+    pub fn is_multi_source(&self) -> bool {
+        self.source.is_none() && !self.sources.is_empty()
+    }
 }
 
 /// What a step runs.
@@ -69,7 +85,7 @@ impl Step {
     pub fn upstream_steps(&self) -> Vec<&str> {
         self.inputs
             .iter()
-            .filter_map(|i| i.source.as_deref())
+            .flat_map(|i| i.sources.iter())
             .filter_map(|s| s.split_once('/').map(|(step, _)| step))
             .collect()
     }
@@ -91,7 +107,10 @@ impl Workflow {
     /// Parse a `class: Workflow` document.
     pub fn parse(doc: &Value) -> Result<Self, String> {
         if doc.get("class").and_then(Value::as_str) != Some("Workflow") {
-            return Err(format!("expected class: Workflow, got {:?}", doc.get("class")));
+            return Err(format!(
+                "expected class: Workflow, got {:?}",
+                doc.get("class")
+            ));
         }
         let inputs = parse_params(doc.get("inputs"), |id, body| {
             Ok(WorkflowInput {
@@ -164,8 +183,12 @@ impl Workflow {
     /// Topological order of step indices (Kahn's algorithm); errors on
     /// cycles or references to unknown steps.
     pub fn topo_order(&self) -> Result<Vec<usize>, String> {
-        let index: HashMap<&str, usize> =
-            self.steps.iter().enumerate().map(|(i, s)| (s.id.as_str(), i)).collect();
+        let index: HashMap<&str, usize> = self
+            .steps
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id.as_str(), i))
+            .collect();
         let mut indegree = vec![0usize; self.steps.len()];
         let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); self.steps.len()];
         for (i, step) in self.steps.iter().enumerate() {
@@ -180,8 +203,9 @@ impl Workflow {
                 }
             }
         }
-        let mut queue: Vec<usize> =
-            (0..self.steps.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.steps.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         let mut order = Vec::with_capacity(self.steps.len());
         while let Some(i) = queue.pop() {
             order.push(i);
@@ -222,7 +246,11 @@ fn parse_step(id: &str, body: &Value) -> Result<Step, String> {
                 inputs.push(parse_step_input(iid, item));
             }
         }
-        Some(other) => return Err(format!("step {id:?} 'in' must be a map or list, got {other:?}")),
+        Some(other) => {
+            return Err(format!(
+                "step {id:?} 'in' must be a map or list, got {other:?}"
+            ))
+        }
     }
     let out = match body.get("out") {
         None | Some(Value::Null) => Vec::new(),
@@ -249,9 +277,20 @@ fn parse_step(id: &str, body: &Value) -> Result<Step, String> {
             .filter_map(Value::as_str)
             .map(str::to_string)
             .collect(),
-        Some(other) => return Err(format!("step {id:?} scatter must be string or list: {other:?}")),
+        Some(other) => {
+            return Err(format!(
+                "step {id:?} scatter must be string or list: {other:?}"
+            ))
+        }
     };
-    Ok(Step { id: id.to_string(), run, inputs, out, scatter, when })
+    Ok(Step {
+        id: id.to_string(),
+        run,
+        inputs,
+        out,
+        scatter,
+        when,
+    })
 }
 
 fn parse_step_input(id: &str, body: &Value) -> StepInput {
@@ -260,19 +299,46 @@ fn parse_step_input(id: &str, body: &Value) -> StepInput {
         Value::Str(source) => StepInput {
             id: id.to_string(),
             source: Some(source.clone()),
+            sources: vec![source.clone()],
+            link_merge: None,
             default: None,
             value_from: None,
         },
-        Value::Map(m) => StepInput {
-            id: id.to_string(),
-            source: m.get("source").and_then(Value::as_str).map(str::to_string),
-            default: m.get("default").cloned(),
-            value_from: m.get("valueFrom").and_then(Value::as_str).map(str::to_string),
-        },
+        Value::Map(m) => {
+            // `source:` is a single reference or a list to gather.
+            let (source, sources) = match m.get("source") {
+                Some(Value::Str(s)) => (Some(s.clone()), vec![s.clone()]),
+                Some(Value::Seq(items)) => (
+                    None,
+                    items
+                        .iter()
+                        .filter_map(Value::as_str)
+                        .map(str::to_string)
+                        .collect(),
+                ),
+                _ => (None, Vec::new()),
+            };
+            StepInput {
+                id: id.to_string(),
+                source,
+                sources,
+                link_merge: m
+                    .get("linkMerge")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+                default: m.get("default").cloned(),
+                value_from: m
+                    .get("valueFrom")
+                    .and_then(Value::as_str)
+                    .map(str::to_string),
+            }
+        }
         // A literal (including null) acts as a default value.
         other => StepInput {
             id: id.to_string(),
             source: None,
+            sources: Vec::new(),
+            link_merge: None,
             default: Some(other.clone()),
             value_from: None,
         },
@@ -351,12 +417,22 @@ mod tests {
         let resize = wf.step("resize_image").unwrap();
         assert_eq!(resize.run, RunRef::Path("resize_image.cwl".into()));
         assert_eq!(resize.out, vec!["output_image"]);
-        let out_img = resize.inputs.iter().find(|i| i.id == "output_image").unwrap();
+        let out_img = resize
+            .inputs
+            .iter()
+            .find(|i| i.id == "output_image")
+            .unwrap();
         assert_eq!(out_img.value_from.as_deref(), Some("resized.rimg"));
 
         let filter = wf.step("filter_image").unwrap();
         assert_eq!(
-            filter.inputs.iter().find(|i| i.id == "input_image").unwrap().source.as_deref(),
+            filter
+                .inputs
+                .iter()
+                .find(|i| i.id == "input_image")
+                .unwrap()
+                .source
+                .as_deref(),
             Some("resize_image/output_image")
         );
     }
@@ -364,14 +440,12 @@ mod tests {
     #[test]
     fn upstream_and_topo_order() {
         let wf = image_workflow();
-        assert_eq!(wf.step("blur_image").unwrap().upstream_steps(), vec!["filter_image"]);
+        assert_eq!(
+            wf.step("blur_image").unwrap().upstream_steps(),
+            vec!["filter_image"]
+        );
         let order = wf.topo_order().unwrap();
-        let pos = |id: &str| {
-            order
-                .iter()
-                .position(|&i| wf.steps[i].id == id)
-                .unwrap()
-        };
+        let pos = |id: &str| order.iter().position(|&i| wf.steps[i].id == id).unwrap();
         assert!(pos("resize_image") < pos("filter_image"));
         assert!(pos("filter_image") < pos("blur_image"));
     }
@@ -447,7 +521,10 @@ steps:
         )
         .unwrap();
         let wf = Workflow::parse(&doc).unwrap();
-        assert_eq!(wf.step("s").unwrap().when.as_deref(), Some("$(inputs.r > 0)"));
+        assert_eq!(
+            wf.step("s").unwrap().when.as_deref(),
+            Some("$(inputs.r > 0)")
+        );
     }
 
     #[test]
@@ -471,7 +548,10 @@ steps:
         )
         .unwrap();
         let wf = Workflow::parse(&doc).unwrap();
-        assert!(matches!(wf.step("embedded").unwrap().run, RunRef::Inline(_)));
+        assert!(matches!(
+            wf.step("embedded").unwrap().run,
+            RunRef::Inline(_)
+        ));
     }
 
     #[test]

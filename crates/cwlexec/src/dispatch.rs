@@ -156,7 +156,11 @@ impl ToolDispatch for BuiltinDispatch {
                 let p = if p.exists() { p } else { name.into() };
                 let text = std::fs::read_to_string(&p)
                     .map_err(|e| format!("wc-words: {}: {e}", p.display()))?;
-                Self::write_stdout(cmd, workdir, &format!("{}\n", text.split_whitespace().count()))
+                Self::write_stdout(
+                    cmd,
+                    workdir,
+                    &format!("{}\n", text.split_whitespace().count()),
+                )
             }
             "sleepms" => {
                 let ms: u64 = argv
@@ -168,22 +172,33 @@ impl ToolDispatch for BuiltinDispatch {
                 Self::write_stdout(cmd, workdir, "slept\n")
             }
             "imgtool" => {
-                let sub = argv.get(1).map(String::as_str).ok_or("imgtool: missing subcommand")?;
+                let sub = argv
+                    .get(1)
+                    .map(String::as_str)
+                    .ok_or("imgtool: missing subcommand")?;
                 let (pos, opts) = parse_opts(&argv[2..])?;
                 let resolve = |name: &str| {
                     let p = workdir.join(name);
                     if p.exists() || name.starts_with('/') {
-                        if p.exists() { p } else { name.into() }
+                        if p.exists() {
+                            p
+                        } else {
+                            name.into()
+                        }
                     } else {
                         p
                     }
                 };
                 match sub {
                     "gen" => {
-                        let [out] = pos[..] else { return Err("imgtool gen: need out path".into()) };
+                        let [out] = pos[..] else {
+                            return Err("imgtool gen: need out path".into());
+                        };
                         let w = req_u32(&opts, "width")?;
                         let h = req_u32(&opts, "height")?;
-                        let seed = opt(&opts, "seed").and_then(|s| s.parse().ok()).unwrap_or(0u64);
+                        let seed = opt(&opts, "seed")
+                            .and_then(|s| s.parse().ok())
+                            .unwrap_or(0u64);
                         let img = match opt(&opts, "kind").unwrap_or("gradient") {
                             "gradient" => imaging::gradient(w, h, seed),
                             "noise" => imaging::noise(w, h, seed),
@@ -314,8 +329,13 @@ mod tests {
         BuiltinDispatch
             .run(&cmd(&["echo", "hello", "world"], Some("o.txt")), &dir)
             .unwrap();
-        assert_eq!(std::fs::read_to_string(dir.join("o.txt")).unwrap(), "hello world\n");
-        BuiltinDispatch.run(&cmd(&["cat", "o.txt", "o.txt"], Some("2x.txt")), &dir).unwrap();
+        assert_eq!(
+            std::fs::read_to_string(dir.join("o.txt")).unwrap(),
+            "hello world\n"
+        );
+        BuiltinDispatch
+            .run(&cmd(&["cat", "o.txt", "o.txt"], Some("2x.txt")), &dir)
+            .unwrap();
         assert_eq!(
             std::fs::read_to_string(dir.join("2x.txt")).unwrap(),
             "hello world\nhello world\n"
@@ -327,7 +347,9 @@ mod tests {
     fn builtin_wc_words() {
         let dir = workdir("wc");
         std::fs::write(dir.join("in.txt"), "one two  three\nfour").unwrap();
-        BuiltinDispatch.run(&cmd(&["wc-words", "in.txt"], Some("n.txt")), &dir).unwrap();
+        BuiltinDispatch
+            .run(&cmd(&["wc-words", "in.txt"], Some("n.txt")), &dir)
+            .unwrap();
         assert_eq!(std::fs::read_to_string(dir.join("n.txt")).unwrap(), "4\n");
         std::fs::remove_dir_all(&dir).unwrap();
     }
@@ -338,20 +360,41 @@ mod tests {
         BuiltinDispatch
             .run(
                 &cmd(
-                    &["imgtool", "gen", "src.rimg", "--width", "32", "--height", "32", "--seed", "7"],
+                    &[
+                        "imgtool", "gen", "src.rimg", "--width", "32", "--height", "32", "--seed",
+                        "7",
+                    ],
                     None,
                 ),
                 &dir,
             )
             .unwrap();
         BuiltinDispatch
-            .run(&cmd(&["imgtool", "resize", "src.rimg", "r.rimg", "--size", "16"], None), &dir)
+            .run(
+                &cmd(
+                    &["imgtool", "resize", "src.rimg", "r.rimg", "--size", "16"],
+                    None,
+                ),
+                &dir,
+            )
             .unwrap();
         BuiltinDispatch
-            .run(&cmd(&["imgtool", "sepia", "r.rimg", "s.rimg", "--sepia", "true"], None), &dir)
+            .run(
+                &cmd(
+                    &["imgtool", "sepia", "r.rimg", "s.rimg", "--sepia", "true"],
+                    None,
+                ),
+                &dir,
+            )
             .unwrap();
         BuiltinDispatch
-            .run(&cmd(&["imgtool", "blur", "s.rimg", "b.rimg", "--radius", "1"], None), &dir)
+            .run(
+                &cmd(
+                    &["imgtool", "blur", "s.rimg", "b.rimg", "--radius", "1"],
+                    None,
+                ),
+                &dir,
+            )
             .unwrap();
         let img = imaging::read_rimg(dir.join("b.rimg")).unwrap();
         assert_eq!((img.width(), img.height()), (16, 16));
@@ -361,12 +404,24 @@ mod tests {
     #[test]
     fn builtin_error_paths() {
         let dir = workdir("err");
-        assert!(BuiltinDispatch.run(&cmd(&["nonsense"], None), &dir).is_err());
-        assert!(BuiltinDispatch.run(&cmd(&["imgtool", "resize", "a", "b"], None), &dir).is_err());
         assert!(BuiltinDispatch
-            .run(&cmd(&["imgtool", "resize", "ghost.rimg", "o.rimg", "--size", "4"], None), &dir)
+            .run(&cmd(&["nonsense"], None), &dir)
             .is_err());
-        assert!(BuiltinDispatch.run(&cmd(&["cat", "ghost.txt"], Some("o")), &dir).is_err());
+        assert!(BuiltinDispatch
+            .run(&cmd(&["imgtool", "resize", "a", "b"], None), &dir)
+            .is_err());
+        assert!(BuiltinDispatch
+            .run(
+                &cmd(
+                    &["imgtool", "resize", "ghost.rimg", "o.rimg", "--size", "4"],
+                    None
+                ),
+                &dir
+            )
+            .is_err());
+        assert!(BuiltinDispatch
+            .run(&cmd(&["cat", "ghost.txt"], Some("o")), &dir)
+            .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -376,9 +431,16 @@ mod tests {
         SubprocessDispatch
             .run(&cmd(&["echo", "via", "subprocess"], Some("out.txt")), &dir)
             .unwrap();
-        assert_eq!(std::fs::read_to_string(dir.join("out.txt")).unwrap(), "via subprocess\n");
-        assert!(SubprocessDispatch.run(&cmd(&["false"], None), &dir).is_err());
-        assert!(SubprocessDispatch.run(&cmd(&["no-such-program-zzz"], None), &dir).is_err());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("out.txt")).unwrap(),
+            "via subprocess\n"
+        );
+        assert!(SubprocessDispatch
+            .run(&cmd(&["false"], None), &dir)
+            .is_err());
+        assert!(SubprocessDispatch
+            .run(&cmd(&["no-such-program-zzz"], None), &dir)
+            .is_err());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -398,8 +460,12 @@ mod tests {
     #[test]
     fn builtin_and_subprocess_agree_on_echo() {
         let dir = workdir("agree");
-        BuiltinDispatch.run(&cmd(&["echo", "same"], Some("a.txt")), &dir).unwrap();
-        SubprocessDispatch.run(&cmd(&["echo", "same"], Some("b.txt")), &dir).unwrap();
+        BuiltinDispatch
+            .run(&cmd(&["echo", "same"], Some("a.txt")), &dir)
+            .unwrap();
+        SubprocessDispatch
+            .run(&cmd(&["echo", "same"], Some("b.txt")), &dir)
+            .unwrap();
         assert_eq!(
             std::fs::read_to_string(dir.join("a.txt")).unwrap(),
             std::fs::read_to_string(dir.join("b.txt")).unwrap()

@@ -63,7 +63,10 @@ mod tests {
         let engine = engine_for(&r, JsCostModel::free()).unwrap();
         assert_eq!(engine.kind(), EngineKind::InlinePython);
         let ctx = EvalContext::from_inputs(yamlite::vmap! {"n" => 5i64});
-        assert_eq!(engine.eval_paren("dbl($(inputs.n))", &ctx).unwrap(), Value::Int(10));
+        assert_eq!(
+            engine.eval_paren("dbl($(inputs.n))", &ctx).unwrap(),
+            Value::Int(10)
+        );
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub fn execute_tool(
         cmd.stdout.as_deref(),
         cmd.stderr.as_deref(),
     )?;
-    Ok(ToolRun { outputs, command: cmd.argv })
+    Ok(ToolRun {
+        outputs,
+        command: cmd.argv,
+    })
 }
 
 #[cfg(test)]
@@ -142,7 +145,10 @@ outputs:
             "size" => 16i64,
         });
         let run = execute_tool(&t, &provided, &dir, engine.as_ref(), &BuiltinDispatch).unwrap();
-        let out_path = run.outputs.get("resized").unwrap()["path"].as_str().unwrap().to_string();
+        let out_path = run.outputs.get("resized").unwrap()["path"]
+            .as_str()
+            .unwrap()
+            .to_string();
         let img = imaging::read_rimg(&out_path).unwrap();
         assert_eq!((img.width(), img.height()), (16, 16));
         std::fs::remove_dir_all(&dir).unwrap();
@@ -182,8 +188,7 @@ stdout: out.txt
         let provided = as_map(vmap! {
             "data_file" => dir.join("data.txt").to_string_lossy().into_owned(),
         });
-        let err =
-            execute_tool(&t, &provided, &dir, engine.as_ref(), &BuiltinDispatch).unwrap_err();
+        let err = execute_tool(&t, &provided, &dir, engine.as_ref(), &BuiltinDispatch).unwrap_err();
         assert!(err.contains("Expected '.csv'"), "{err}");
         assert!(!dir.join("out.txt").exists(), "tool must not have run");
         std::fs::remove_dir_all(&dir).unwrap();

@@ -65,7 +65,10 @@ pub struct CacheStats {
 
 /// Current counter values.
 pub fn stats() -> CacheStats {
-    CacheStats { hits: HITS.load(Ordering::Relaxed), misses: MISSES.load(Ordering::Relaxed) }
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+    }
 }
 
 /// Zero the hit/miss counters (benchmark harness bookkeeping).
@@ -114,7 +117,10 @@ impl<T> ProgramCache<T> {
     pub fn new() -> Self {
         Self {
             shards: std::array::from_fn(|_| {
-                Mutex::new(Shard { map: HashMap::new(), tick: 0 })
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    tick: 0,
+                })
             }),
         }
     }
@@ -154,13 +160,23 @@ impl<T> ProgramCache<T> {
             // Evict the least-recently-used entry of this shard. A linear
             // scan over ≤128 entries only runs once the shard is full,
             // which a real workflow document never reaches.
-            if let Some(&lru) =
-                g.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k)
+            if let Some(&lru) = g
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
             {
                 g.map.remove(&lru);
             }
         }
-        g.map.insert(h, Entry { src: src.into(), prog: prog.clone(), last_used: tick });
+        g.map.insert(
+            h,
+            Entry {
+                src: src.into(),
+                prog: prog.clone(),
+                last_used: tick,
+            },
+        );
         Ok(prog)
     }
 
@@ -243,7 +259,9 @@ mod tests {
         assert_eq!(e.unwrap_err(), "syntax");
         assert_eq!(cache.len(), 0);
         // A later good compile of the same source still works.
-        let ok = cache.get_or_compile::<()>("boom", |s| Ok(s.to_string())).unwrap();
+        let ok = cache
+            .get_or_compile::<()>("boom", |s| Ok(s.to_string()))
+            .unwrap();
         assert_eq!(&*ok, "boom");
     }
 
@@ -270,9 +288,15 @@ mod tests {
         let cache: ProgramCache<usize> = ProgramCache::new();
         let total = SHARDS * SHARD_CAPACITY;
         for i in 0..total * 2 {
-            cache.get_or_compile::<()>(&format!("expr-{i}"), |_| Ok(i)).unwrap();
+            cache
+                .get_or_compile::<()>(&format!("expr-{i}"), |_| Ok(i))
+                .unwrap();
         }
-        assert!(cache.len() <= total, "cache grew past its bound: {}", cache.len());
+        assert!(
+            cache.len() <= total,
+            "cache grew past its bound: {}",
+            cache.len()
+        );
         assert!(!cache.is_empty());
     }
 
@@ -281,12 +305,16 @@ mod tests {
         let cache: ProgramCache<String> = ProgramCache::new();
         for i in 0..64 {
             let src = format!("inputs.field{i}");
-            let got = cache.get_or_compile::<()>(&src, |s| Ok(s.to_string())).unwrap();
+            let got = cache
+                .get_or_compile::<()>(&src, |s| Ok(s.to_string()))
+                .unwrap();
             assert_eq!(&*got, &src);
         }
         for i in 0..64 {
             let src = format!("inputs.field{i}");
-            let got = cache.get_or_compile::<()>(&src, |_| panic!("recompiled")).unwrap();
+            let got = cache
+                .get_or_compile::<()>(&src, |_| panic!("recompiled"))
+                .unwrap();
             assert_eq!(&*got, &src);
         }
     }

@@ -87,7 +87,10 @@ impl JsCostModel {
 
     /// No modelled cost (pure interpreter benchmarking).
     pub fn free() -> Self {
-        Self { spawn: Duration::ZERO, marshal_per_kib: Duration::ZERO }
+        Self {
+            spawn: Duration::ZERO,
+            marshal_per_kib: Duration::ZERO,
+        }
     }
 
     /// Pay the boundary cost for one evaluation over `ctx`.
@@ -159,12 +162,16 @@ impl PyEngine {
 
     /// Engine with an empty library (builtins only).
     pub fn empty() -> Self {
-        Self { lib: PyLib::default() }
+        Self {
+            lib: PyLib::default(),
+        }
     }
 
     /// Compile an `expressionLib` source block into an engine.
     pub fn compile(src: &str) -> Result<Self, EvalError> {
-        Ok(Self { lib: PyLib::compile(src)? })
+        Ok(Self {
+            lib: PyLib::compile(src)?,
+        })
     }
 
     /// Access the underlying library.
@@ -194,13 +201,10 @@ impl ExpressionEngine for PyEngine {
     fn eval_literal(&self, s: &str, ctx: &EvalContext) -> Option<Result<Value, EvalError>> {
         // The paper's signal that a string is an inline-Python expression:
         // it is written as a Python f-string literal.
-        let t = s.trim();
-        let is_fstring = (t.starts_with("f\"") && t.ends_with('"') && t.len() >= 3)
-            || (t.starts_with("f'") && t.ends_with('\'') && t.len() >= 3);
-        if !is_fstring {
+        if !crate::interp::is_fstring_literal(s) {
             return None;
         }
-        Some(self.lib.eval_expression(t, &ctx.to_globals()))
+        Some(self.lib.eval_expression(s.trim(), &ctx.to_globals()))
     }
 }
 
@@ -216,9 +220,13 @@ mod tests {
     #[test]
     fn js_engine_paren_and_body() {
         let e = JsEngine::in_process();
-        assert_eq!(e.eval_paren("inputs.message", &ctx()).unwrap(), Value::str("hello world"));
         assert_eq!(
-            e.eval_paren("inputs.message.toUpperCase()", &ctx()).unwrap(),
+            e.eval_paren("inputs.message", &ctx()).unwrap(),
+            Value::str("hello world")
+        );
+        assert_eq!(
+            e.eval_paren("inputs.message.toUpperCase()", &ctx())
+                .unwrap(),
             Value::str("HELLO WORLD")
         );
         assert_eq!(
@@ -230,8 +238,7 @@ mod tests {
 
     #[test]
     fn py_engine_fstring_literal() {
-        let engine =
-            PyEngine::compile("def shout(m):\n    return m.upper()\n").unwrap();
+        let engine = PyEngine::compile("def shout(m):\n    return m.upper()\n").unwrap();
         let out = engine
             .eval_literal("f\"{shout($(inputs.message))}!\"", &ctx())
             .unwrap()
@@ -256,7 +263,10 @@ mod tests {
     fn js_cost_scales_with_context_size() {
         // With TimeScale at default 1.0 this would sleep; use explicit
         // zero-cost check plus arithmetic check of the model itself.
-        let m = JsCostModel { spawn: Duration::from_millis(10), marshal_per_kib: Duration::from_millis(1) };
+        let m = JsCostModel {
+            spawn: Duration::from_millis(10),
+            marshal_per_kib: Duration::from_millis(1),
+        };
         assert_eq!(m.spawn, Duration::from_millis(10));
         let free = JsCostModel::free();
         assert!(free.spawn.is_zero());

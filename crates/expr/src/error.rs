@@ -47,12 +47,20 @@ pub struct EvalError {
 impl EvalError {
     /// Build an error with an unknown position.
     pub fn new(kind: EvalErrorKind, message: impl Into<String>) -> Self {
-        Self { kind, message: message.into(), line: 0 }
+        Self {
+            kind,
+            message: message.into(),
+            line: 0,
+        }
     }
 
     /// Build an error at a known 1-based line.
     pub fn at(kind: EvalErrorKind, message: impl Into<String>, line: usize) -> Self {
-        Self { kind, message: message.into(), line }
+        Self {
+            kind,
+            message: message.into(),
+            line,
+        }
     }
 
     /// Shorthand for a syntax error.
@@ -103,6 +111,9 @@ mod tests {
     #[test]
     fn kind_display() {
         assert_eq!(EvalErrorKind::Raised.to_string(), "exception");
-        assert_eq!(EvalErrorKind::Budget.to_string(), "evaluation budget exceeded");
+        assert_eq!(
+            EvalErrorKind::Budget.to_string(),
+            "evaluation budget exceeded"
+        );
     }
 }

@@ -10,7 +10,8 @@ use yamlite::Value;
 
 /// A scanned fragment of an interpolatable string.
 #[derive(Debug, Clone, PartialEq)]
-enum Frag {
+pub enum Frag {
+    /// Literal text between expressions.
     Text(String),
     /// `$(...)` content.
     Paren(String),
@@ -35,7 +36,8 @@ fn scan(s: &str) -> Result<Vec<Frag>, EvalError> {
             i += 2;
             continue;
         }
-        if bytes[i] == b'$' && i + 1 < bytes.len() && (bytes[i + 1] == b'(' || bytes[i + 1] == b'{') {
+        if bytes[i] == b'$' && i + 1 < bytes.len() && (bytes[i + 1] == b'(' || bytes[i + 1] == b'{')
+        {
             let open = bytes[i + 1];
             let close = if open == b'(' { b')' } else { b'}' };
             let start = i + 2;
@@ -72,7 +74,11 @@ fn scan(s: &str) -> Result<Vec<Frag>, EvalError> {
                 frags.push(Frag::Text(std::mem::take(&mut text)));
             }
             let content = s[start..j].to_string();
-            frags.push(if open == b'(' { Frag::Paren(content) } else { Frag::Body(content) });
+            frags.push(if open == b'(' {
+                Frag::Paren(content)
+            } else {
+                Frag::Body(content)
+            });
             i = j + 1;
             continue;
         }
@@ -84,6 +90,21 @@ fn scan(s: &str) -> Result<Vec<Frag>, EvalError> {
         frags.push(Frag::Text(text));
     }
     Ok(frags)
+}
+
+/// Split a string into its literal-text and expression fragments without
+/// evaluating anything. This is the same scanner [`interpolate`] uses, so a
+/// static analyzer sees exactly the fragments the runtime will evaluate.
+pub fn fragments(s: &str) -> Result<Vec<Frag>, EvalError> {
+    scan(s)
+}
+
+/// Whether a string is written in the paper's f-string notation
+/// (`f"..."` / `f'...'`), the marker for an inline-Python expression.
+pub fn is_fstring_literal(s: &str) -> bool {
+    let t = s.trim();
+    (t.starts_with("f\"") && t.ends_with('"') && t.len() >= 3)
+        || (t.starts_with("f'") && t.ends_with('\'') && t.len() >= 3)
 }
 
 /// Whether a string contains any expression fragments.
@@ -183,14 +204,20 @@ mod tests {
     #[test]
     fn plain_text_passthrough() {
         let e = JsEngine::in_process();
-        assert_eq!(interpolate("no exprs here", &e, &ctx()).unwrap(), Value::str("no exprs here"));
+        assert_eq!(
+            interpolate("no exprs here", &e, &ctx()).unwrap(),
+            Value::str("no exprs here")
+        );
         assert_eq!(interpolate("", &e, &ctx()).unwrap(), Value::str(""));
     }
 
     #[test]
     fn whole_string_reference_keeps_type() {
         let e = JsEngine::in_process();
-        assert_eq!(interpolate("$(inputs.size)", &e, &ctx()).unwrap(), Value::Int(1024));
+        assert_eq!(
+            interpolate("$(inputs.size)", &e, &ctx()).unwrap(),
+            Value::Int(1024)
+        );
         assert_eq!(
             interpolate("$(inputs.file)", &e, &ctx()).unwrap()["basename"],
             Value::str("img.png")

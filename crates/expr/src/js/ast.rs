@@ -95,7 +95,10 @@ pub enum Stmt {
 impl Expr {
     /// Whether this expression is a valid assignment target.
     pub fn is_lvalue(&self) -> bool {
-        matches!(self, Expr::Ident(_) | Expr::Member(_, _) | Expr::Index(_, _))
+        matches!(
+            self,
+            Expr::Ident(_) | Expr::Member(_, _) | Expr::Index(_, _)
+        )
     }
 }
 

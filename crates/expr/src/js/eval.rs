@@ -11,8 +11,8 @@ use yamlite::{Map, Value};
 /// from the process-wide [`crate::cache`] — repeated evaluations of the
 /// same source (every scatter instance) pay only tree-walking.
 pub fn eval_expression(src: &str, globals: &Map) -> Result<Value, EvalError> {
-    let expr = crate::cache::global::js_expr()
-        .get_or_compile(src, super::parser::parse_expression)?;
+    let expr =
+        crate::cache::global::js_expr().get_or_compile(src, super::parser::parse_expression)?;
     let mut interp = Interp::new(globals);
     interp.eval(&expr)
 }
@@ -21,8 +21,7 @@ pub fn eval_expression(src: &str, globals: &Map) -> Result<Value, EvalError> {
 /// is the result (reaching the end without `return` yields `null`). The
 /// parsed body is cached like [`eval_expression`]'s AST.
 pub fn run_body(src: &str, globals: &Map) -> Result<Value, EvalError> {
-    let body = crate::cache::global::js_body()
-        .get_or_compile(src, super::parser::parse_body)?;
+    let body = crate::cache::global::js_body().get_or_compile(src, super::parser::parse_body)?;
     let mut interp = Interp::new(globals);
     match interp.exec_block(&body)? {
         Flow::Return(v) => Ok(v),
@@ -35,7 +34,11 @@ pub fn js_number_to_string(n: f64) -> String {
     if n.is_nan() {
         "NaN".to_string()
     } else if n.is_infinite() {
-        if n > 0.0 { "Infinity".into() } else { "-Infinity".into() }
+        if n > 0.0 {
+            "Infinity".into()
+        } else {
+            "-Infinity".into()
+        }
     } else if n == n.trunc() && n.abs() < 9.0e15 {
         format!("{}", n as i64)
     } else {
@@ -71,7 +74,11 @@ pub fn js_to_number(v: &Value) -> f64 {
     match v {
         Value::Null => 0.0,
         Value::Bool(b) => {
-            if *b { 1.0 } else { 0.0 }
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
         }
         Value::Int(i) => *i as f64,
         Value::Float(f) => *f,
@@ -116,7 +123,10 @@ impl Interp {
         for (k, v) in globals.iter() {
             top.insert(k.to_string(), v.clone());
         }
-        Self { scopes: vec![top], budget: DEFAULT_BUDGET }
+        Self {
+            scopes: vec![top],
+            budget: DEFAULT_BUDGET,
+        }
     }
 
     fn spend(&mut self) -> Result<(), EvalError> {
@@ -202,7 +212,12 @@ impl Interp {
                 }
                 Ok(Flow::Normal)
             }
-            Stmt::For { init, cond, update, body } => {
+            Stmt::For {
+                init,
+                cond,
+                update,
+                body,
+            } => {
                 if let Some(init) = init {
                     self.exec(init)?;
                 }
@@ -468,10 +483,18 @@ fn binary(op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
     match op {
         BinOp::Add => {
             if matches!(l, Value::Str(_)) || matches!(r, Value::Str(_)) {
-                Ok(Value::Str(format!("{}{}", js_to_string(l), js_to_string(r))))
+                Ok(Value::Str(format!(
+                    "{}{}",
+                    js_to_string(l),
+                    js_to_string(r)
+                )))
             } else if matches!(l, Value::Seq(_)) || matches!(r, Value::Seq(_)) {
                 // JS array + anything stringifies; keep that behaviour.
-                Ok(Value::Str(format!("{}{}", js_to_string(l), js_to_string(r))))
+                Ok(Value::Str(format!(
+                    "{}{}",
+                    js_to_string(l),
+                    js_to_string(r)
+                )))
             } else {
                 Ok(num(js_to_number(l) + js_to_number(r)))
             }

@@ -126,7 +126,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EvalError> {
                 let n: f64 = text
                     .parse()
                     .map_err(|_| EvalError::syntax(format!("bad number literal {text:?}"), line))?;
-                out.push(SpannedTok { tok: Tok::Num(n), line });
+                out.push(SpannedTok {
+                    tok: Tok::Num(n),
+                    line,
+                });
             }
             b'"' | b'\'' => {
                 let quote = b;
@@ -182,7 +185,10 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EvalError> {
                         i += ch.len_utf8();
                     }
                 }
-                out.push(SpannedTok { tok: Tok::Str(s), line });
+                out.push(SpannedTok {
+                    tok: Tok::Str(s),
+                    line,
+                });
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' | b'$' => {
                 let start = i;
@@ -216,8 +222,9 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EvalError> {
                 out.push(SpannedTok { tok, line });
             }
             _ => {
-                let (tok, len) = lex_punct(&bytes[i..])
-                    .ok_or_else(|| EvalError::syntax(format!("unexpected character {:?}", b as char), line))?;
+                let (tok, len) = lex_punct(&bytes[i..]).ok_or_else(|| {
+                    EvalError::syntax(format!("unexpected character {:?}", b as char), line)
+                })?;
                 out.push(SpannedTok { tok, line });
                 i += len;
             }
@@ -228,10 +235,7 @@ pub fn lex(src: &str) -> Result<Vec<SpannedTok>, EvalError> {
 
 fn lex_punct(rest: &[u8]) -> Option<(Tok, usize)> {
     // Longest match first.
-    let three: &[(&[u8], Tok)] = &[
-        (b"===", Tok::EqEqEq),
-        (b"!==", Tok::NotEqEqEq),
-    ];
+    let three: &[(&[u8], Tok)] = &[(b"===", Tok::EqEqEq), (b"!==", Tok::NotEqEqEq)];
     for (pat, tok) in three {
         if rest.starts_with(pat) {
             return Some((tok.clone(), 3));
@@ -292,7 +296,10 @@ mod tests {
 
     #[test]
     fn numbers() {
-        assert_eq!(toks("1 2.5 1e3"), vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(1000.0)]);
+        assert_eq!(
+            toks("1 2.5 1e3"),
+            vec![Tok::Num(1.0), Tok::Num(2.5), Tok::Num(1000.0)]
+        );
     }
 
     #[test]
@@ -311,7 +318,12 @@ mod tests {
     fn keywords_vs_idents() {
         assert_eq!(
             toks("var foo return trueish"),
-            vec![Tok::Var, Tok::Ident("foo".into()), Tok::Return, Tok::Ident("trueish".into())]
+            vec![
+                Tok::Var,
+                Tok::Ident("foo".into()),
+                Tok::Return,
+                Tok::Ident("trueish".into())
+            ]
         );
     }
 
@@ -320,14 +332,18 @@ mod tests {
         assert_eq!(toks("=== == ="), vec![Tok::EqEqEq, Tok::EqEq, Tok::Assign]);
         assert_eq!(toks("!== != !"), vec![Tok::NotEqEqEq, Tok::NotEq, Tok::Not]);
         assert_eq!(toks("<= < >= >"), vec![Tok::Le, Tok::Lt, Tok::Ge, Tok::Gt]);
-        assert_eq!(toks("++ += +"), vec![Tok::PlusPlus, Tok::PlusAssign, Tok::Plus]);
+        assert_eq!(
+            toks("++ += +"),
+            vec![Tok::PlusPlus, Tok::PlusAssign, Tok::Plus]
+        );
     }
 
     #[test]
     fn comments_ignored() {
-        assert_eq!(toks("1 // comment\n2 /* block\nmore */ 3"), vec![
-            Tok::Num(1.0), Tok::Num(2.0), Tok::Num(3.0)
-        ]);
+        assert_eq!(
+            toks("1 // comment\n2 /* block\nmore */ 3"),
+            vec![Tok::Num(1.0), Tok::Num(2.0), Tok::Num(3.0)]
+        );
     }
 
     #[test]
@@ -339,7 +355,10 @@ mod tests {
 
     #[test]
     fn dollar_in_identifiers() {
-        assert_eq!(toks("$job _x"), vec![Tok::Ident("$job".into()), Tok::Ident("_x".into())]);
+        assert_eq!(
+            toks("$job _x"),
+            vec![Tok::Ident("$job".into()), Tok::Ident("_x".into())]
+        );
     }
 
     #[test]

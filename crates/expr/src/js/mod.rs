@@ -20,6 +20,24 @@ pub mod stdlib;
 pub use eval::{eval_expression, js_to_number, js_to_string, run_body};
 pub use parser::{parse_body, parse_expression};
 
+use crate::cache;
+use crate::error::EvalError;
+use std::sync::Arc;
+
+/// Lex and parse a `$(...)` expression without evaluating it and without
+/// charging the modelled engine-spawn cost. Shares the compiled-expression
+/// cache with [`eval_expression`], so a document that is linted and then
+/// executed parses each distinct expression exactly once.
+pub fn parse_only_expression(src: &str) -> Result<Arc<ast::Expr>, EvalError> {
+    cache::global::js_expr().get_or_compile(src, parser::parse_expression)
+}
+
+/// Lex and parse a `${...}` statement body without executing it. Shares the
+/// compiled-body cache with [`run_body`].
+pub fn parse_only_body(src: &str) -> Result<Arc<Vec<ast::Stmt>>, EvalError> {
+    cache::global::js_body().get_or_compile(src, parser::parse_body)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -165,7 +165,10 @@ impl Parser {
         self.next(); // for
         self.expect(&Tok::LParen, "'(' after for")?;
         // Disambiguate `for (var x of xs)` from the classic form.
-        let is_decl = matches!(self.peek(), Some(Tok::Var) | Some(Tok::Let) | Some(Tok::Const));
+        let is_decl = matches!(
+            self.peek(),
+            Some(Tok::Var) | Some(Tok::Let) | Some(Tok::Const)
+        );
         if is_decl {
             let save = self.pos;
             self.next();
@@ -175,7 +178,11 @@ impl Parser {
                     let iter = self.expression()?;
                     self.expect(&Tok::RParen, "')' after for-of")?;
                     let body = self.block_or_single()?;
-                    return Ok(Stmt::ForOf { var: name, iter, body });
+                    return Ok(Stmt::ForOf {
+                        var: name,
+                        iter,
+                        body,
+                    });
                 }
             }
             self.pos = save;
@@ -199,7 +206,12 @@ impl Parser {
         };
         self.expect(&Tok::RParen, "')' after for clauses")?;
         let body = self.block_or_single()?;
-        Ok(Stmt::For { init, cond, update, body })
+        Ok(Stmt::For {
+            init,
+            cond,
+            update,
+            body,
+        })
     }
 
     fn block_or_single(&mut self) -> Result<Vec<Stmt>, EvalError> {
@@ -408,7 +420,11 @@ impl Parser {
                     // Desugar `x++` to `x = x + 1` (value semantics differ
                     // from JS post-increment, acceptable for CWL usage where
                     // the result value is almost never consumed).
-                    let op = if self.peek() == Some(&Tok::PlusPlus) { BinOp::Add } else { BinOp::Sub };
+                    let op = if self.peek() == Some(&Tok::PlusPlus) {
+                        BinOp::Add
+                    } else {
+                        BinOp::Sub
+                    };
                     self.next();
                     if !e.is_lvalue() {
                         return Err(self.err_here("invalid increment target"));
@@ -463,9 +479,9 @@ impl Parser {
                             Some(Tok::Str(s)) => s,
                             Some(Tok::Num(n)) => crate::js::eval::js_number_to_string(n),
                             other => {
-                                return Err(self.err_here(format!(
-                                    "expected object key, found {other:?}"
-                                )))
+                                return Err(
+                                    self.err_here(format!("expected object key, found {other:?}"))
+                                )
                             }
                         };
                         self.expect(&Tok::Colon, "':' after object key")?;
@@ -497,7 +513,10 @@ mod tests {
         assert_eq!(
             e,
             Expr::Member(
-                Box::new(Expr::Member(Box::new(Expr::Ident("inputs".into())), "message".into())),
+                Box::new(Expr::Member(
+                    Box::new(Expr::Ident("inputs".into())),
+                    "message".into()
+                )),
                 "length".into()
             )
         );
@@ -584,9 +603,8 @@ mod tests {
 
     #[test]
     fn else_if_chain() {
-        let body =
-            parse_body("if (a) { return 1; } else if (b) { return 2; } else { return 3; }")
-                .unwrap();
+        let body = parse_body("if (a) { return 1; } else if (b) { return 2; } else { return 3; }")
+            .unwrap();
         match &body[0] {
             Stmt::If(_, _, els) => match &els[0] {
                 Stmt::If(_, _, els2) => assert_eq!(els2.len(), 1),

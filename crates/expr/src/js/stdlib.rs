@@ -8,7 +8,10 @@ use yamlite::{Map, Value};
 
 /// Whether `name` is a built-in namespace object (`Math.floor(...)` style).
 pub fn is_namespace(name: &str) -> bool {
-    matches!(name, "Math" | "JSON" | "Object" | "Array" | "Number" | "String")
+    matches!(
+        name,
+        "Math" | "JSON" | "Object" | "Array" | "Number" | "String"
+    )
 }
 
 /// JS `typeof`.
@@ -58,7 +61,10 @@ pub fn get_index(obj: &Value, idx: &Value) -> Result<Value, EvalError> {
         }
         Value::Map(m) => Ok(m.get(&js_to_string(idx)).cloned().unwrap_or(Value::Null)),
         Value::Null => Err(EvalError::type_err("cannot index null")),
-        other => Err(EvalError::type_err(format!("cannot index {}", other.kind()))),
+        other => Err(EvalError::type_err(format!(
+            "cannot index {}",
+            other.kind()
+        ))),
     }
 }
 
@@ -93,7 +99,11 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalErr
     let norm_range = |start: f64, end: f64| -> (usize, usize) {
         let len = chars.len() as f64;
         let fix = |x: f64| -> usize {
-            let x = if x < 0.0 { (len + x).max(0.0) } else { x.min(len) };
+            let x = if x < 0.0 {
+                (len + x).max(0.0)
+            } else {
+                x.min(len)
+            };
             x as usize
         };
         let (a, b) = (fix(start), fix(end));
@@ -122,7 +132,9 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalErr
         "trim" => Ok(Value::str(s.trim())),
         "charAt" => {
             let i = js_to_number(&arg(args, 0)).max(0.0) as usize;
-            Ok(Value::Str(chars.get(i).map(|c| c.to_string()).unwrap_or_default()))
+            Ok(Value::Str(
+                chars.get(i).map(|c| c.to_string()).unwrap_or_default(),
+            ))
         }
         "indexOf" => {
             let needle = js_to_string(&arg(args, 0));
@@ -140,7 +152,11 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalErr
         }
         "slice" | "substring" => {
             let start = js_to_number(&arg(args, 0));
-            let end = if args.len() > 1 { js_to_number(&arg(args, 1)) } else { chars.len() as f64 };
+            let end = if args.len() > 1 {
+                js_to_number(&arg(args, 1))
+            } else {
+                chars.len() as f64
+            };
             let (a, b) = if method == "substring" {
                 let (x, y) = (start.max(0.0), end.max(0.0));
                 ((x.min(y)) as usize, (x.max(y)) as usize)
@@ -181,7 +197,11 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalErr
         }
         "padStart" | "padEnd" => {
             let target = js_to_number(&arg(args, 0)).max(0.0) as usize;
-            let pad = if args.len() > 1 { js_to_string(&arg(args, 1)) } else { " ".to_string() };
+            let pad = if args.len() > 1 {
+                js_to_string(&arg(args, 1))
+            } else {
+                " ".to_string()
+            };
             let cur = chars.len();
             if cur >= target || pad.is_empty() {
                 return Ok(Value::str(s));
@@ -198,7 +218,9 @@ fn string_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalErr
             }))
         }
         "toString" => Ok(Value::str(s)),
-        other => Err(EvalError::type_err(format!("unknown string method {other:?}"))),
+        other => Err(EvalError::type_err(format!(
+            "unknown string method {other:?}"
+        ))),
     }
 }
 
@@ -213,12 +235,20 @@ fn array_method(
                 Value::Null => ",".to_string(),
                 other => js_to_string(&other),
             };
-            let joined = items.iter().map(js_to_string).collect::<Vec<_>>().join(&sep);
+            let joined = items
+                .iter()
+                .map(js_to_string)
+                .collect::<Vec<_>>()
+                .join(&sep);
             Ok((Value::Str(joined), None))
         }
         "indexOf" => {
             let needle = arg(args, 0);
-            let idx = items.iter().position(|v| v == &needle).map(|i| i as i64).unwrap_or(-1);
+            let idx = items
+                .iter()
+                .position(|v| v == &needle)
+                .map(|i| i as i64)
+                .unwrap_or(-1);
             Ok((Value::Int(idx), None))
         }
         "includes" => {
@@ -228,13 +258,24 @@ fn array_method(
         "slice" => {
             let len = items.len() as f64;
             let fix = |x: f64| -> usize {
-                let x = if x < 0.0 { (len + x).max(0.0) } else { x.min(len) };
+                let x = if x < 0.0 {
+                    (len + x).max(0.0)
+                } else {
+                    x.min(len)
+                };
                 x as usize
             };
             let start = fix(js_to_number(&arg(args, 0)));
-            let end = if args.len() > 1 { fix(js_to_number(&arg(args, 1))) } else { items.len() };
+            let end = if args.len() > 1 {
+                fix(js_to_number(&arg(args, 1)))
+            } else {
+                items.len()
+            };
             let end = end.max(start);
-            Ok((Value::Seq(items[start..end.min(items.len())].to_vec()), None))
+            Ok((
+                Value::Seq(items[start..end.min(items.len())].to_vec()),
+                None,
+            ))
         }
         "concat" => {
             let mut out = items.clone();
@@ -277,7 +318,11 @@ fn array_method(
             Ok((v, Some(Value::Seq(items))))
         }
         "shift" => {
-            let v = if items.is_empty() { Value::Null } else { items.remove(0) };
+            let v = if items.is_empty() {
+                Value::Null
+            } else {
+                items.remove(0)
+            };
             Ok((v, Some(Value::Seq(items))))
         }
         "unshift" => {
@@ -291,7 +336,9 @@ fn array_method(
             let joined = items.iter().map(js_to_string).collect::<Vec<_>>().join(",");
             Ok((Value::Str(joined), None))
         }
-        other => Err(EvalError::type_err(format!("unknown array method {other:?}"))),
+        other => Err(EvalError::type_err(format!(
+            "unknown array method {other:?}"
+        ))),
     }
 }
 
@@ -305,7 +352,9 @@ fn map_method(m: &Map, method: &str, _args: &[Value]) -> Result<Value, EvalError
             // A map member that is not a method: JS would look it up and
             // fail to call it; report a clearer error.
             let _ = m;
-            Err(EvalError::type_err(format!("unknown object method {other:?}")))
+            Err(EvalError::type_err(format!(
+                "unknown object method {other:?}"
+            )))
         }
     }
 }
@@ -317,7 +366,9 @@ fn number_method(n: f64, method: &str, args: &[Value]) -> Result<Value, EvalErro
             Ok(Value::Str(format!("{n:.digits$}")))
         }
         "toString" => Ok(Value::Str(super::eval::js_number_to_string(n))),
-        other => Err(EvalError::type_err(format!("unknown number method {other:?}"))),
+        other => Err(EvalError::type_err(format!(
+            "unknown number method {other:?}"
+        ))),
     }
 }
 
@@ -371,7 +422,10 @@ fn math(method: &str, args: &[Value]) -> Result<Value, EvalError> {
             Ok(num(m))
         }
         "max" => {
-            let m = args.iter().map(js_to_number).fold(f64::NEG_INFINITY, f64::max);
+            let m = args
+                .iter()
+                .map(js_to_number)
+                .fold(f64::NEG_INFINITY, f64::max);
             Ok(num(m))
         }
         "log" => Ok(num(a.ln())),
@@ -389,11 +443,18 @@ fn json(method: &str, args: &[Value]) -> Result<Value, EvalError> {
         "stringify" => Ok(Value::Str(yamlite::to_string_flow(&arg(args, 0)))),
         "parse" => {
             let text = js_to_string(&arg(args, 0));
-            yamlite::parse_str(&text)
-                .map_err(|e| EvalError::type_err(format!("JSON.parse: {e}")))
+            yamlite::parse_str(&text).map_err(|e| EvalError::type_err(format!("JSON.parse: {e}")))
         }
         other => Err(EvalError::name(format!("JSON.{other} is not defined"))),
     }
+}
+
+/// Whether `name` is a bare global function [`call_global`] can dispatch.
+pub fn is_global_function(name: &str) -> bool {
+    matches!(
+        name,
+        "parseInt" | "parseFloat" | "String" | "Number" | "Boolean" | "isNaN"
+    )
 }
 
 /// Call a bare global function (`parseInt(x)` style).

@@ -44,5 +44,5 @@ pub mod py;
 pub use cache::{CacheStats, ProgramCache};
 pub use engine::{EngineKind, ExpressionEngine, JsCostModel, JsEngine, PyEngine};
 pub use error::{EvalError, EvalErrorKind};
-pub use interp::{interpolate, Interpolatable};
+pub use interp::{fragments, interpolate, is_fstring_literal, Frag, Interpolatable};
 pub use paramref::EvalContext;

@@ -22,7 +22,11 @@ pub struct EvalContext {
 impl EvalContext {
     /// Build a context from an inputs map with default runtime values.
     pub fn from_inputs(inputs: Value) -> Self {
-        Self { inputs, self_: Value::Null, runtime: default_runtime() }
+        Self {
+            inputs,
+            self_: Value::Null,
+            runtime: default_runtime(),
+        }
     }
 
     /// Flatten into the globals map the engines expect.
@@ -65,9 +69,7 @@ fn parse_segments(path: &str) -> Option<Vec<Seg>> {
 
     let read_ident = |i: &mut usize| -> Option<String> {
         let start = *i;
-        while *i < bytes.len()
-            && (bytes[*i].is_ascii_alphanumeric() || bytes[*i] == b'_')
-        {
+        while *i < bytes.len() && (bytes[*i].is_ascii_alphanumeric() || bytes[*i] == b'_') {
             *i += 1;
         }
         if *i == start || bytes[start].is_ascii_digit() {
@@ -133,15 +135,14 @@ pub fn resolve(globals: &Map, path: &str) -> Result<Value, EvalError> {
             .get(root)
             .cloned()
             .ok_or_else(|| EvalError::name(format!("unknown reference root {root:?}")))?,
-        Seg::Index(_) => {
-            return Err(EvalError::name("reference cannot start with an index"))
-        }
+        Seg::Index(_) => return Err(EvalError::name("reference cannot start with an index")),
     };
     for seg in &segs[1..] {
         cur = match (seg, &cur) {
-            (Seg::Field(f), Value::Map(m)) => m.get(f).cloned().ok_or_else(|| {
-                EvalError::name(format!("reference {path:?}: no field {f:?}"))
-            })?,
+            (Seg::Field(f), Value::Map(m)) => m
+                .get(f)
+                .cloned()
+                .ok_or_else(|| EvalError::name(format!("reference {path:?}: no field {f:?}")))?,
             (Seg::Index(i), Value::Seq(items)) => {
                 let len = items.len() as i64;
                 let j = if *i < 0 { len + i } else { *i };
@@ -188,7 +189,10 @@ mod tests {
 
     #[test]
     fn simple_field() {
-        assert_eq!(resolve(&globals(), "inputs.message").unwrap(), Value::str("hi"));
+        assert_eq!(
+            resolve(&globals(), "inputs.message").unwrap(),
+            Value::str("hi")
+        );
         assert_eq!(resolve(&globals(), "runtime.cores").unwrap(), Value::Int(4));
     }
 
@@ -206,8 +210,14 @@ mod tests {
 
     #[test]
     fn quoted_field() {
-        assert_eq!(resolve(&globals(), "inputs[\"weird key\"]").unwrap(), Value::Int(1));
-        assert_eq!(resolve(&globals(), "inputs['weird key']").unwrap(), Value::Int(1));
+        assert_eq!(
+            resolve(&globals(), "inputs[\"weird key\"]").unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            resolve(&globals(), "inputs['weird key']").unwrap(),
+            Value::Int(1)
+        );
     }
 
     #[test]

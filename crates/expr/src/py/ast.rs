@@ -87,7 +87,10 @@ pub enum PExpr {
 impl PExpr {
     /// Whether this expression is a valid assignment target.
     pub fn is_lvalue(&self) -> bool {
-        matches!(self, PExpr::Ident(_) | PExpr::Attr(_, _) | PExpr::Index(_, _))
+        matches!(
+            self,
+            PExpr::Ident(_) | PExpr::Attr(_, _) | PExpr::Index(_, _)
+        )
     }
 }
 

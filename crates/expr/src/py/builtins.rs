@@ -68,7 +68,11 @@ fn py_float_str(f: f64) -> String {
     if f.is_nan() {
         "nan".into()
     } else if f.is_infinite() {
-        if f > 0.0 { "inf".into() } else { "-inf".into() }
+        if f > 0.0 {
+            "inf".into()
+        } else {
+            "-inf".into()
+        }
     } else if f == f.trunc() && f.abs() < 1e16 {
         format!("{f:.1}")
     } else {
@@ -171,12 +175,16 @@ pub fn binary(op: PBinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
         PBinOp::FloorDiv => {
             if let Some((a, b)) = both_ints(l, r) {
                 if b == 0 {
-                    return Err(EvalError::raised("ZeroDivisionError: integer division by zero"));
+                    return Err(EvalError::raised(
+                        "ZeroDivisionError: integer division by zero",
+                    ));
                 }
                 Ok(Value::Int(py_floor_div(a, b)))
             } else if let (Some(a), Some(b)) = (as_number(l), as_number(r)) {
                 if b == 0.0 {
-                    return Err(EvalError::raised("ZeroDivisionError: float floor division by zero"));
+                    return Err(EvalError::raised(
+                        "ZeroDivisionError: float floor division by zero",
+                    ));
                 }
                 Ok(Value::Float((a / b).floor()))
             } else {
@@ -186,7 +194,9 @@ pub fn binary(op: PBinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
         PBinOp::Mod => {
             if let Some((a, b)) = both_ints(l, r) {
                 if b == 0 {
-                    return Err(EvalError::raised("ZeroDivisionError: integer modulo by zero"));
+                    return Err(EvalError::raised(
+                        "ZeroDivisionError: integer modulo by zero",
+                    ));
                 }
                 Ok(Value::Int(a - py_floor_div(a, b) * b))
             } else if let (Some(a), Some(b)) = (as_number(l), as_number(r)) {
@@ -343,7 +353,9 @@ pub fn get_index(obj: &Value, idx: &Value) -> Result<Value, EvalError> {
             let len = items.len() as i64;
             let j = if i < 0 { len + i } else { i };
             if j < 0 || j >= len {
-                return Err(EvalError::raised(format!("IndexError: list index {i} out of range")));
+                return Err(EvalError::raised(format!(
+                    "IndexError: list index {i} out of range"
+                )));
             }
             Ok(items[j as usize].clone())
         }
@@ -405,14 +417,22 @@ pub fn get_slice(
             let len = items.len() as i64;
             let a = clamp(bound(start, 0)?, len);
             let b = clamp(bound(end, len)?, len);
-            Ok(Value::Seq(if a < b { items[a..b].to_vec() } else { Vec::new() }))
+            Ok(Value::Seq(if a < b {
+                items[a..b].to_vec()
+            } else {
+                Vec::new()
+            }))
         }
         Value::Str(s) => {
             let chars: Vec<char> = s.chars().collect();
             let len = chars.len() as i64;
             let a = clamp(bound(start, 0)?, len);
             let b = clamp(bound(end, len)?, len);
-            Ok(Value::Str(if a < b { chars[a..b].iter().collect() } else { String::new() }))
+            Ok(Value::Str(if a < b {
+                chars[a..b].iter().collect()
+            } else {
+                String::new()
+            }))
         }
         other => Err(EvalError::type_err(format!(
             "'{}' object is not sliceable",
@@ -438,6 +458,31 @@ fn require_args(name: &str, args: &[Value], min: usize, max: usize) -> Result<()
 const MAX_RANGE: i64 = 10_000_000;
 
 /// Call a builtin function by name.
+/// Whether `name` is a builtin function [`call_builtin`] can dispatch.
+pub fn is_builtin_name(name: &str) -> bool {
+    matches!(
+        name,
+        "len"
+            | "str"
+            | "repr"
+            | "int"
+            | "float"
+            | "bool"
+            | "abs"
+            | "round"
+            | "min"
+            | "max"
+            | "sum"
+            | "sorted"
+            | "reversed"
+            | "range"
+            | "enumerate"
+            | "list"
+            | "type"
+            | "print"
+    )
+}
+
 pub fn call_builtin(
     name: &str,
     args: &[Value],
@@ -477,7 +522,9 @@ pub fn call_builtin(
             Value::Float(f) => Ok(Value::Float(*f)),
             Value::Bool(b) => Ok(Value::Float(*b as i64 as f64)),
             Value::Str(s) => s.trim().parse::<f64>().map(Value::Float).map_err(|_| {
-                EvalError::raised(format!("ValueError: could not convert string to float: '{s}'"))
+                EvalError::raised(format!(
+                    "ValueError: could not convert string to float: '{s}'"
+                ))
             }),
             other => Err(EvalError::type_err(format!(
                 "float() argument must be a string or a number, not '{}'",
@@ -496,7 +543,10 @@ pub fn call_builtin(
         "round" => {
             require_args("round", args, 1, 2)?;
             let n = as_number(&args[0]).ok_or_else(|| {
-                EvalError::type_err(format!("round() argument must be a number, not '{}'", type_name(&args[0])))
+                EvalError::type_err(format!(
+                    "round() argument must be a number, not '{}'",
+                    type_name(&args[0])
+                ))
             })?;
             if args.len() == 2 {
                 let digits = match &args[1] {
@@ -521,14 +571,19 @@ pub fn call_builtin(
                 args.to_vec()
             };
             if items.is_empty() {
-                return Err(EvalError::raised(format!("ValueError: {name}() arg is an empty sequence")));
+                return Err(EvalError::raised(format!(
+                    "ValueError: {name}() arg is an empty sequence"
+                )));
             }
             let mut best = items[0].clone();
             for item in &items[1..] {
-                let ord = py_cmp(item, &best).ok_or_else(|| {
-                    EvalError::type_err("values are not comparable".to_string())
-                })?;
-                let take = if name == "min" { ord.is_lt() } else { ord.is_gt() };
+                let ord = py_cmp(item, &best)
+                    .ok_or_else(|| EvalError::type_err("values are not comparable".to_string()))?;
+                let take = if name == "min" {
+                    ord.is_lt()
+                } else {
+                    ord.is_gt()
+                };
                 if take {
                     best = item.clone();
                 }
@@ -538,7 +593,11 @@ pub fn call_builtin(
         "sum" => {
             require_args("sum", args, 1, 2)?;
             let items = iterate(&args[0])?;
-            let mut acc = if args.len() == 2 { args[1].clone() } else { Value::Int(0) };
+            let mut acc = if args.len() == 2 {
+                args[1].clone()
+            } else {
+                Value::Int(0)
+            };
             for item in &items {
                 acc = binary(PBinOp::Add, &acc, item)?;
             }
@@ -582,7 +641,9 @@ pub fn call_builtin(
                 _ => (geti(&args[0])?, geti(&args[1])?, geti(&args[2])?),
             };
             if step == 0 {
-                return Err(EvalError::raised("ValueError: range() arg 3 must not be zero"));
+                return Err(EvalError::raised(
+                    "ValueError: range() arg 3 must not be zero",
+                ));
             }
             // i128 arithmetic avoids overflow on pathological bounds.
             let (start_w, stop_w, step_w) = (start as i128, stop as i128, step as i128);
@@ -592,7 +653,9 @@ pub fn call_builtin(
                 ((start_w - stop_w).max(0) + (-step_w) - 1) / (-step_w)
             };
             if count > MAX_RANGE as i128 {
-                return Err(EvalError::type_err(format!("range of {count} elements exceeds limit")));
+                return Err(EvalError::type_err(format!(
+                    "range of {count} elements exceeds limit"
+                )));
             }
             let mut out = Vec::with_capacity(count as usize);
             let mut x = start;
@@ -760,8 +823,12 @@ fn str_method(s: &str, method: &str, args: &[Value]) -> Result<Value, EvalError>
                 Ok(Value::Str(format!("{}{}", "0".repeat(width - len), s)))
             }
         }
-        "isdigit" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_ascii_digit()))),
-        "isalpha" => Ok(Value::Bool(!s.is_empty() && s.chars().all(|c| c.is_alphabetic()))),
+        "isdigit" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_ascii_digit()),
+        )),
+        "isalpha" => Ok(Value::Bool(
+            !s.is_empty() && s.chars().all(|c| c.is_alphabetic()),
+        )),
         "format" => Err(EvalError::new(
             crate::error::EvalErrorKind::Unsupported,
             "str.format() is not supported; use f-strings",
@@ -804,7 +871,9 @@ fn list_method(
         }
         "pop" => {
             let v = if args.is_empty() {
-                items.pop().ok_or_else(|| EvalError::raised("IndexError: pop from empty list"))?
+                items
+                    .pop()
+                    .ok_or_else(|| EvalError::raised("IndexError: pop from empty list"))?
             } else {
                 let i = match &args[0] {
                     Value::Int(i) => *i,
@@ -939,8 +1008,12 @@ mod tests {
             yamlite::vseq![0i64, 1i64, 2i64]
         );
         assert_eq!(
-            call_builtin("range", &[Value::Int(5), Value::Int(1), Value::Int(-2)], &mut p)
-                .unwrap(),
+            call_builtin(
+                "range",
+                &[Value::Int(5), Value::Int(1), Value::Int(-2)],
+                &mut p
+            )
+            .unwrap(),
             yamlite::vseq![5i64, 3i64]
         );
         assert!(call_builtin("range", &[Value::Int(i64::MAX)], &mut p).is_err());
@@ -950,9 +1023,18 @@ mod tests {
     fn builtin_aggregates() {
         let mut p = Vec::new();
         let xs = yamlite::vseq![3i64, 1i64, 2i64];
-        assert_eq!(call_builtin("min", std::slice::from_ref(&xs), &mut p).unwrap(), Value::Int(1));
-        assert_eq!(call_builtin("max", std::slice::from_ref(&xs), &mut p).unwrap(), Value::Int(3));
-        assert_eq!(call_builtin("sum", std::slice::from_ref(&xs), &mut p).unwrap(), Value::Int(6));
+        assert_eq!(
+            call_builtin("min", std::slice::from_ref(&xs), &mut p).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            call_builtin("max", std::slice::from_ref(&xs), &mut p).unwrap(),
+            Value::Int(3)
+        );
+        assert_eq!(
+            call_builtin("sum", std::slice::from_ref(&xs), &mut p).unwrap(),
+            Value::Int(6)
+        );
         assert_eq!(
             call_builtin("sorted", &[xs], &mut p).unwrap(),
             yamlite::vseq![1i64, 2i64, 3i64]
@@ -963,9 +1045,15 @@ mod tests {
     #[test]
     fn str_methods() {
         let m = |s: &str, name: &str, args: &[Value]| str_method(s, name, args).unwrap();
-        assert_eq!(m("a-b-c", "split", &[Value::str("-")]), yamlite::vseq!["a", "b", "c"]);
+        assert_eq!(
+            m("a-b-c", "split", &[Value::str("-")]),
+            yamlite::vseq!["a", "b", "c"]
+        );
         assert_eq!(m(" a  b ", "split", &[]), yamlite::vseq!["a", "b"]);
-        assert_eq!(m("-", "join", &[yamlite::vseq!["a", "b"]]), Value::str("a-b"));
+        assert_eq!(
+            m("-", "join", &[yamlite::vseq!["a", "b"]]),
+            Value::str("a-b")
+        );
         assert_eq!(m("abcabc", "count", &[Value::str("bc")]), Value::Int(2));
         assert_eq!(m("7", "zfill", &[Value::Int(3)]), Value::str("007"));
         assert_eq!(m("-7", "zfill", &[Value::Int(4)]), Value::str("-007"));
@@ -981,12 +1069,18 @@ mod tests {
             Value::Map(m) => m,
             _ => unreachable!(),
         };
-        assert_eq!(dict_method(&m, "get", &[Value::str("a")]).unwrap(), Value::Int(1));
+        assert_eq!(
+            dict_method(&m, "get", &[Value::str("a")]).unwrap(),
+            Value::Int(1)
+        );
         assert_eq!(
             dict_method(&m, "get", &[Value::str("z"), Value::Int(9)]).unwrap(),
             Value::Int(9)
         );
-        assert_eq!(dict_method(&m, "keys", &[]).unwrap(), yamlite::vseq!["a", "b"]);
+        assert_eq!(
+            dict_method(&m, "keys", &[]).unwrap(),
+            yamlite::vseq!["a", "b"]
+        );
     }
 
     #[test]
@@ -994,7 +1088,12 @@ mod tests {
         assert!(compare(CmpOp::Lt, &Value::str("a"), &Value::str("b")).unwrap());
         assert!(compare(CmpOp::Eq, &Value::Int(2), &Value::Float(2.0)).unwrap());
         assert!(compare(CmpOp::In, &Value::str("el"), &Value::str("hello")).unwrap());
-        assert!(compare(CmpOp::Lt, &yamlite::vseq![1i64], &yamlite::vseq![1i64, 2i64]).unwrap());
+        assert!(compare(
+            CmpOp::Lt,
+            &yamlite::vseq![1i64],
+            &yamlite::vseq![1i64, 2i64]
+        )
+        .unwrap());
         assert!(compare(CmpOp::Lt, &Value::str("a"), &Value::Int(1)).is_err());
     }
 }

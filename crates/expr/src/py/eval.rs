@@ -83,8 +83,8 @@ impl PyLib {
         // The parsed AST is shared through the process-wide expression
         // cache: scatter workloads evaluate the same source once per
         // instance, and only the context differs between instances.
-        let expr = crate::cache::global::py_expr()
-            .get_or_compile(src, super::parser::parse_expression)?;
+        let expr =
+            crate::cache::global::py_expr().get_or_compile(src, super::parser::parse_expression)?;
         let mut interp = PyInterp::new(&self.funcs, ctx.clone());
         interp.globals = self.globals.clone();
         interp.eval(&expr)
@@ -493,11 +493,7 @@ impl<'l> PyInterp<'l> {
                     }
                     cur = obj;
                 }
-                other => {
-                    return Err(EvalError::type_err(format!(
-                        "cannot assign to {other:?}"
-                    )))
-                }
+                other => return Err(EvalError::type_err(format!("cannot assign to {other:?}"))),
             }
         };
         segs.reverse();
@@ -608,9 +604,15 @@ def valid_file(file, ext):
         assert_eq!(lib.eval_expression("7 // 2", &c).unwrap(), Value::Int(3));
         assert_eq!(lib.eval_expression("-7 // 2", &c).unwrap(), Value::Int(-4));
         assert_eq!(lib.eval_expression("7 % -3", &c).unwrap(), Value::Int(-2));
-        assert_eq!(lib.eval_expression("2 ** 10", &c).unwrap(), Value::Int(1024));
+        assert_eq!(
+            lib.eval_expression("2 ** 10", &c).unwrap(),
+            Value::Int(1024)
+        );
         assert_eq!(lib.eval_expression("-2 ** 2", &c).unwrap(), Value::Int(-4));
-        assert_eq!(lib.eval_expression("'ab' * 3", &c).unwrap(), Value::str("ababab"));
+        assert_eq!(
+            lib.eval_expression("'ab' * 3", &c).unwrap(),
+            Value::str("ababab")
+        );
         assert_eq!(
             lib.eval_expression("[1] + [2, 3]", &c).unwrap(),
             yamlite::vseq![1i64, 2i64, 3i64]
@@ -628,10 +630,17 @@ def valid_file(file, ext):
     fn chained_comparison_semantics() {
         let lib = PyLib::default();
         let c = ctx();
-        assert_eq!(lib.eval_expression("1 < 2 < 3", &c).unwrap(), Value::Bool(true));
-        assert_eq!(lib.eval_expression("1 < 2 > 3", &c).unwrap(), Value::Bool(false));
         assert_eq!(
-            lib.eval_expression("0 <= $(inputs.count) < 10", &c).unwrap(),
+            lib.eval_expression("1 < 2 < 3", &c).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            lib.eval_expression("1 < 2 > 3", &c).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            lib.eval_expression("0 <= $(inputs.count) < 10", &c)
+                .unwrap(),
             Value::Bool(true)
         );
     }
@@ -641,7 +650,8 @@ def valid_file(file, ext):
         let lib = PyLib::default();
         let c = ctx();
         assert_eq!(
-            lib.eval_expression("f\"n={1 + 1} s={'x'.upper()}\"", &c).unwrap(),
+            lib.eval_expression("f\"n={1 + 1} s={'x'.upper()}\"", &c)
+                .unwrap(),
             Value::str("n=2 s=X")
         );
         assert_eq!(
@@ -692,7 +702,10 @@ def odd_sum(limit):
     return total
 ";
         let lib = PyLib::compile(src).unwrap();
-        assert_eq!(lib.eval_expression("odd_sum(10)", &ctx()).unwrap(), Value::Int(25));
+        assert_eq!(
+            lib.eval_expression("odd_sum(10)", &ctx()).unwrap(),
+            Value::Int(25)
+        );
     }
 
     #[test]
@@ -708,7 +721,10 @@ def odd_sum(limit):
             "def fact(n):\n    return 1 if n <= 1 else n * fact(n - 1)\n\ndef inf(n):\n    return inf(n + 1)\n",
         )
         .unwrap();
-        assert_eq!(lib.eval_expression("fact(10)", &ctx()).unwrap(), Value::Int(3628800));
+        assert_eq!(
+            lib.eval_expression("fact(10)", &ctx()).unwrap(),
+            Value::Int(3628800)
+        );
         let err = lib.eval_expression("inf(0)", &ctx()).unwrap_err();
         assert_eq!(err.kind, EvalErrorKind::Budget);
     }
@@ -725,12 +741,19 @@ def odd_sum(limit):
         let lib = PyLib::default();
         let c = ctx();
         assert_eq!(
-            lib.eval_expression("'big' if $(inputs.count) > 3 else 'small'", &c).unwrap(),
+            lib.eval_expression("'big' if $(inputs.count) > 3 else 'small'", &c)
+                .unwrap(),
             Value::str("big")
         );
-        assert_eq!(lib.eval_expression("None or 'dflt'", &c).unwrap(), Value::str("dflt"));
+        assert_eq!(
+            lib.eval_expression("None or 'dflt'", &c).unwrap(),
+            Value::str("dflt")
+        );
         assert_eq!(lib.eval_expression("0 and 1", &c).unwrap(), Value::Int(0));
-        assert_eq!(lib.eval_expression("not []", &c).unwrap(), Value::Bool(true));
+        assert_eq!(
+            lib.eval_expression("not []", &c).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
@@ -759,10 +782,22 @@ def odd_sum(limit):
     fn slices_and_negative_indexing() {
         let lib = PyLib::default();
         let c = ctx();
-        assert_eq!(lib.eval_expression("'hello'[1:3]", &c).unwrap(), Value::str("el"));
-        assert_eq!(lib.eval_expression("'hello'[-1]", &c).unwrap(), Value::str("o"));
-        assert_eq!(lib.eval_expression("[1, 2, 3][:2]", &c).unwrap(), yamlite::vseq![1i64, 2i64]);
-        assert_eq!(lib.eval_expression("[1, 2, 3][-2:]", &c).unwrap(), yamlite::vseq![2i64, 3i64]);
+        assert_eq!(
+            lib.eval_expression("'hello'[1:3]", &c).unwrap(),
+            Value::str("el")
+        );
+        assert_eq!(
+            lib.eval_expression("'hello'[-1]", &c).unwrap(),
+            Value::str("o")
+        );
+        assert_eq!(
+            lib.eval_expression("[1, 2, 3][:2]", &c).unwrap(),
+            yamlite::vseq![1i64, 2i64]
+        );
+        assert_eq!(
+            lib.eval_expression("[1, 2, 3][-2:]", &c).unwrap(),
+            yamlite::vseq![2i64, 3i64]
+        );
     }
 
     #[test]
@@ -802,7 +837,9 @@ def build():
     #[test]
     fn paramref_missing_errors() {
         let lib = PyLib::default();
-        let err = lib.eval_expression("$(inputs.nope.deeper)", &ctx()).unwrap_err();
+        let err = lib
+            .eval_expression("$(inputs.nope.deeper)", &ctx())
+            .unwrap_err();
         assert_eq!(err.kind, EvalErrorKind::Name);
     }
 }

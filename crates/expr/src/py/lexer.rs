@@ -212,16 +212,25 @@ pub fn lex(raw_src: &str) -> Result<Vec<SpannedTok>, EvalError> {
         if paren_depth == 0 {
             let indent = line.len() - trimmed.len();
             if line[..indent].contains('\t') {
-                return Err(EvalError::syntax("tabs are not allowed in indentation", line_no));
+                return Err(EvalError::syntax(
+                    "tabs are not allowed in indentation",
+                    line_no,
+                ));
             }
             let current = *indents.last().expect("indent stack never empty");
             if indent > current {
                 indents.push(indent);
-                out.push(SpannedTok { tok: Tok::Indent, line: line_no });
+                out.push(SpannedTok {
+                    tok: Tok::Indent,
+                    line: line_no,
+                });
             } else {
                 while indent < *indents.last().expect("indent stack never empty") {
                     indents.pop();
-                    out.push(SpannedTok { tok: Tok::Dedent, line: line_no });
+                    out.push(SpannedTok {
+                        tok: Tok::Dedent,
+                        line: line_no,
+                    });
                 }
                 if indent != *indents.last().expect("indent stack never empty") {
                     return Err(EvalError::syntax("inconsistent dedent", line_no));
@@ -232,15 +241,24 @@ pub fn lex(raw_src: &str) -> Result<Vec<SpannedTok>, EvalError> {
         lex_line(trimmed, line_no, &mut out, &mut paren_depth)?;
 
         if paren_depth == 0 {
-            out.push(SpannedTok { tok: Tok::Newline, line: line_no });
+            out.push(SpannedTok {
+                tok: Tok::Newline,
+                line: line_no,
+            });
         }
     }
     if paren_depth > 0 {
-        return Err(EvalError::syntax("unterminated bracket at end of source", src.lines().count()));
+        return Err(EvalError::syntax(
+            "unterminated bracket at end of source",
+            src.lines().count(),
+        ));
     }
     while indents.len() > 1 {
         indents.pop();
-        out.push(SpannedTok { tok: Tok::Dedent, line: src.lines().count() });
+        out.push(SpannedTok {
+            tok: Tok::Dedent,
+            line: src.lines().count(),
+        });
     }
     Ok(out)
 }
@@ -264,7 +282,10 @@ fn lex_line(
                 while i < bytes.len() && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
                     i += 1;
                 }
-                if i < bytes.len() && bytes[i] == b'.' && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit()) {
+                if i < bytes.len()
+                    && bytes[i] == b'.'
+                    && bytes.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
                     is_float = true;
                     i += 1;
                     while i < bytes.len() && bytes[i].is_ascii_digit() {
@@ -295,14 +316,18 @@ fn lex_line(
             }
             b'"' | b'\'' => {
                 let (text, len) = lex_string(&s[i..], line)?;
-                out.push(SpannedTok { tok: Tok::Str(text), line });
+                out.push(SpannedTok {
+                    tok: Tok::Str(text),
+                    line,
+                });
                 i += len;
             }
-            b'f' | b'F'
-                if bytes.get(i + 1).is_some_and(|c| *c == b'"' || *c == b'\'') =>
-            {
+            b'f' | b'F' if bytes.get(i + 1).is_some_and(|c| *c == b'"' || *c == b'\'') => {
                 let (parts, len) = lex_fstring(&s[i + 1..], line)?;
-                out.push(SpannedTok { tok: Tok::FString(parts), line });
+                out.push(SpannedTok {
+                    tok: Tok::FString(parts),
+                    line,
+                });
                 i += 1 + len;
             }
             b'$' if bytes.get(i + 1) == Some(&b'(') => {
@@ -324,7 +349,10 @@ fn lex_line(
                     j += 1;
                 }
                 if depth != 0 {
-                    return Err(EvalError::syntax("unterminated $( parameter reference", line));
+                    return Err(EvalError::syntax(
+                        "unterminated $( parameter reference",
+                        line,
+                    ));
                 }
                 out.push(SpannedTok {
                     tok: Tok::ParamRef(s[start..j].trim().to_string()),
@@ -577,7 +605,13 @@ mod tests {
     fn numbers_int_vs_float() {
         assert_eq!(
             toks("1 2.5 1e3 1_000"),
-            vec![Tok::Int(1), Tok::Float(2.5), Tok::Float(1000.0), Tok::Int(1000), Tok::Newline]
+            vec![
+                Tok::Int(1),
+                Tok::Float(2.5),
+                Tok::Float(1000.0),
+                Tok::Int(1000),
+                Tok::Newline
+            ]
         );
     }
 
@@ -656,7 +690,10 @@ mod tests {
         let ts = toks(r#"f"{capitalize_words($(inputs.message))}""#);
         match &ts[0] {
             Tok::FString(parts) => {
-                assert_eq!(parts, &vec![FPart::Expr("capitalize_words($(inputs.message))".into())]);
+                assert_eq!(
+                    parts,
+                    &vec![FPart::Expr("capitalize_words($(inputs.message))".into())]
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -16,6 +16,23 @@ pub use builtins::{py_repr, py_str};
 pub use eval::PyLib;
 pub use parser::{parse_expression, parse_module};
 
+use crate::cache;
+use crate::error::EvalError;
+use std::sync::Arc;
+
+/// Lex and parse a Python expression without evaluating it. Shares the
+/// compiled-expression cache with [`PyLib::eval_expression`].
+pub fn parse_only_expression(src: &str) -> Result<Arc<ast::PExpr>, EvalError> {
+    cache::global::py_expr().get_or_compile(src, parser::parse_expression)
+}
+
+/// Lex and parse an `expressionLib` module without executing any of its
+/// top-level statements (unlike [`PyLib::compile`], which runs them to build
+/// module globals). This is the safe entry point for static analysis.
+pub fn parse_only_module(src: &str) -> Result<Vec<ast::PStmt>, EvalError> {
+    parser::parse_module(src)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -47,7 +64,8 @@ def describe(x):
         let lib = PyLib::compile(src).unwrap();
         assert_eq!(lib.function_names(), vec!["describe", "scale"]);
         assert_eq!(
-            lib.eval_expression("describe($(inputs.n))", &ctx()).unwrap(),
+            lib.eval_expression("describe($(inputs.n))", &ctx())
+                .unwrap(),
             Value::str("big: 60")
         );
         assert_eq!(

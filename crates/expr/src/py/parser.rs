@@ -186,7 +186,10 @@ impl Parser {
         if self.eat(&Tok::Newline) || self.at_end() {
             Ok(())
         } else {
-            Err(self.err_here(format!("expected end of statement, found {:?}", self.peek())))
+            Err(self.err_here(format!(
+                "expected end of statement, found {:?}",
+                self.peek()
+            )))
         }
     }
 
@@ -212,7 +215,12 @@ impl Parser {
         }
         self.expect(&Tok::RParen, "')' after parameters")?;
         let body = self.suite()?;
-        Ok(PStmt::Def(PyFunction { name, params, body, line }))
+        Ok(PStmt::Def(PyFunction {
+            name,
+            params,
+            body,
+            line,
+        }))
     }
 
     fn if_statement(&mut self) -> Result<PStmt, EvalError> {
@@ -611,10 +619,22 @@ else:
 
     #[test]
     fn slices() {
-        assert!(matches!(parse_expression("w[1:]").unwrap(), PExpr::Slice(_, Some(_), None)));
-        assert!(matches!(parse_expression("w[:2]").unwrap(), PExpr::Slice(_, None, Some(_))));
-        assert!(matches!(parse_expression("w[1:2]").unwrap(), PExpr::Slice(_, Some(_), Some(_))));
-        assert!(matches!(parse_expression("w[i]").unwrap(), PExpr::Index(_, _)));
+        assert!(matches!(
+            parse_expression("w[1:]").unwrap(),
+            PExpr::Slice(_, Some(_), None)
+        ));
+        assert!(matches!(
+            parse_expression("w[:2]").unwrap(),
+            PExpr::Slice(_, None, Some(_))
+        ));
+        assert!(matches!(
+            parse_expression("w[1:2]").unwrap(),
+            PExpr::Slice(_, Some(_), Some(_))
+        ));
+        assert!(matches!(
+            parse_expression("w[i]").unwrap(),
+            PExpr::Index(_, _)
+        ));
     }
 
     #[test]

@@ -16,13 +16,21 @@ pub struct NodeSpec {
 impl NodeSpec {
     /// Build a node spec.
     pub fn new(name: impl Into<String>, cores: usize, mem_gib: usize) -> Self {
-        Self { name: name.into(), cores, mem_gib }
+        Self {
+            name: name.into(),
+            cores,
+            mem_gib,
+        }
     }
 }
 
 impl fmt::Display for NodeSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} cores, {} GiB)", self.name, self.cores, self.mem_gib)
+        write!(
+            f,
+            "{} ({} cores, {} GiB)",
+            self.name, self.cores, self.mem_gib
+        )
     }
 }
 
@@ -37,11 +45,19 @@ pub struct ClusterSpec {
 
 impl ClusterSpec {
     /// A homogeneous cluster of `n_nodes` identical nodes.
-    pub fn homogeneous(name: impl Into<String>, n_nodes: usize, cores: usize, mem_gib: usize) -> Self {
+    pub fn homogeneous(
+        name: impl Into<String>,
+        n_nodes: usize,
+        cores: usize,
+        mem_gib: usize,
+    ) -> Self {
         let nodes = (0..n_nodes)
             .map(|i| NodeSpec::new(format!("node{:02}", i + 1), cores, mem_gib))
             .collect();
-        Self { name: name.into(), nodes }
+        Self {
+            name: name.into(),
+            nodes,
+        }
     }
 
     /// The paper's evaluation cluster: 3 nodes × 48 logical CPUs × 126 GiB.
@@ -108,9 +124,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_specs() {
-        let empty = ClusterSpec { name: "x".into(), nodes: vec![] };
+        let empty = ClusterSpec {
+            name: "x".into(),
+            nodes: vec![],
+        };
         assert!(empty.validate().is_err());
-        let zero = ClusterSpec { name: "x".into(), nodes: vec![NodeSpec::new("n", 0, 1)] };
+        let zero = ClusterSpec {
+            name: "x".into(),
+            nodes: vec![NodeSpec::new("n", 0, 1)],
+        };
         assert!(zero.validate().is_err());
     }
 

@@ -84,10 +84,12 @@ impl FaultPlan {
 
     /// Kill `node` once `delay` has elapsed from now.
     pub fn kill_after(self, node: impl Into<String>, delay: Duration) -> Self {
-        self.state
-            .lock()
-            .triggers
-            .insert(node.into(), Trigger::AfterElapsed { at: Instant::now() + delay });
+        self.state.lock().triggers.insert(
+            node.into(),
+            Trigger::AfterElapsed {
+                at: Instant::now() + delay,
+            },
+        );
         self
     }
 

@@ -62,7 +62,11 @@ pub struct LatencyModel {
 impl LatencyModel {
     /// No modelled latency — same-process execution (ThreadPoolExecutor).
     pub fn in_process() -> Self {
-        Self { dispatch: Duration::ZERO, result: Duration::ZERO, jitter_frac: 0.0 }
+        Self {
+            dispatch: Duration::ZERO,
+            result: Duration::ZERO,
+            jitter_frac: 0.0,
+        }
     }
 
     /// A LAN hop between the submit side and a pilot-job manager, as in
@@ -118,7 +122,10 @@ mod tests {
         let old = TimeScale::get();
         TimeScale::set(0.25);
         assert!((TimeScale::get() - 0.25).abs() < 1e-9);
-        assert_eq!(scaled(Duration::from_millis(100)), Duration::from_millis(25));
+        assert_eq!(
+            scaled(Duration::from_millis(100)),
+            Duration::from_millis(25)
+        );
         TimeScale::set(old);
     }
 
@@ -154,7 +161,10 @@ mod tests {
         };
         for _ in 0..200 {
             let j = m.jittered(m.dispatch);
-            assert!(j >= Duration::from_millis(5) && j <= Duration::from_millis(15), "{j:?}");
+            assert!(
+                j >= Duration::from_millis(5) && j <= Duration::from_millis(15),
+                "{j:?}"
+            );
         }
     }
 

@@ -56,7 +56,11 @@ pub struct JobRequest {
 impl JobRequest {
     /// Request `nodes` whole nodes.
     pub fn nodes(nodes: usize, label: impl Into<String>) -> Self {
-        Self { nodes, label: label.into(), walltime: None }
+        Self {
+            nodes,
+            label: label.into(),
+            walltime: None,
+        }
     }
 
     /// Limit the job's running time; it is preempted when the limit passes.
@@ -94,7 +98,10 @@ impl Default for SchedulerConfig {
 impl SchedulerConfig {
     /// No modelled latencies at all (unit tests).
     pub fn immediate() -> Self {
-        Self { submit_latency: Duration::ZERO, grant_latency: Duration::ZERO }
+        Self {
+            submit_latency: Duration::ZERO,
+            grant_latency: Duration::ZERO,
+        }
     }
 }
 
@@ -201,7 +208,10 @@ impl BatchScheduler {
         if let Some(limit) = walltime {
             self.arm_walltime(id, limit);
         }
-        Ok(JobHandle { id, scheduler: self.clone() })
+        Ok(JobHandle {
+            id,
+            scheduler: self.clone(),
+        })
     }
 
     /// Spawn the timer that preempts `id` once it has run for `limit`.
@@ -229,7 +239,10 @@ impl BatchScheduler {
     pub fn preempt(&self, id: JobId) -> Result<(), String> {
         {
             let mut st = self.inner.state.lock();
-            let job = st.jobs.get_mut(&id).ok_or_else(|| format!("{id} is unknown"))?;
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .ok_or_else(|| format!("{id} is unknown"))?;
             match job.state {
                 JobState::Running => {
                     job.state = JobState::Preempted;
@@ -250,11 +263,7 @@ impl BatchScheduler {
     /// FCFS grant pass; caller holds the lock.
     fn grant_locked(&self, st: &mut SchedState) {
         while let Some(&head) = st.queue.front() {
-            let need = st
-                .jobs
-                .get(&head)
-                .map(|j| j.request.nodes)
-                .unwrap_or(0);
+            let need = st.jobs.get(&head).map(|j| j.request.nodes).unwrap_or(0);
             if need > st.free_nodes.len() {
                 // Strict FCFS: the head blocks everything behind it
                 // (mirrors a conservative Slurm configuration).
@@ -319,7 +328,10 @@ impl BatchScheduler {
     pub fn release(&self, id: JobId) -> Result<(), String> {
         {
             let mut st = self.inner.state.lock();
-            let job = st.jobs.get_mut(&id).ok_or_else(|| format!("{id} is unknown"))?;
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .ok_or_else(|| format!("{id} is unknown"))?;
             match job.state {
                 JobState::Running => {
                     job.state = JobState::Completed;
@@ -341,7 +353,10 @@ impl BatchScheduler {
     pub fn cancel(&self, id: JobId) -> Result<(), String> {
         {
             let mut st = self.inner.state.lock();
-            let job = st.jobs.get_mut(&id).ok_or_else(|| format!("{id} is unknown"))?;
+            let job = st
+                .jobs
+                .get_mut(&id)
+                .ok_or_else(|| format!("{id} is unknown"))?;
             match job.state {
                 JobState::Pending => {
                     job.state = JobState::Cancelled;
@@ -380,7 +395,9 @@ impl std::fmt::Debug for JobHandle {
 impl JobHandle {
     /// Current state.
     pub fn state(&self) -> JobState {
-        self.scheduler.state(self.id).expect("job belongs to this scheduler")
+        self.scheduler
+            .state(self.id)
+            .expect("job belongs to this scheduler")
     }
 
     /// Wait until running; returns granted node indices.

@@ -85,15 +85,22 @@ pub fn decode(bytes: &[u8]) -> Result<Image, CodecError> {
         )));
     }
     if &bytes[..4] != MAGIC {
-        return Err(CodecError::Format("bad magic (not an .rimg file)".to_string()));
+        return Err(CodecError::Format(
+            "bad magic (not an .rimg file)".to_string(),
+        ));
     }
     if bytes[4] != VERSION {
-        return Err(CodecError::Format(format!("unsupported version {}", bytes[4])));
+        return Err(CodecError::Format(format!(
+            "unsupported version {}",
+            bytes[4]
+        )));
     }
     let width = u32::from_le_bytes(bytes[5..9].try_into().expect("fixed slice"));
     let height = u32::from_le_bytes(bytes[9..13].try_into().expect("fixed slice"));
     if width == 0 || height == 0 || width > MAX_DIM || height > MAX_DIM {
-        return Err(CodecError::Format(format!("invalid dimensions {width}x{height}")));
+        return Err(CodecError::Format(format!(
+            "invalid dimensions {width}x{height}"
+        )));
     }
     let pixel_len = (width as usize) * (height as usize) * 3;
     let expect = 13 + pixel_len + 8;
@@ -111,8 +118,7 @@ pub fn decode(bytes: &[u8]) -> Result<Image, CodecError> {
             "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
         )));
     }
-    Image::from_raw(width, height, bytes[13..13 + pixel_len].to_vec())
-        .map_err(CodecError::Format)
+    Image::from_raw(width, height, bytes[13..13 + pixel_len].to_vec()).map_err(CodecError::Format)
 }
 
 /// Write an image to a `.rimg` file.
@@ -171,7 +177,10 @@ mod tests {
     #[test]
     fn rejects_truncation() {
         let bytes = encode(&noise(4, 4, 0));
-        assert!(matches!(decode(&bytes[..bytes.len() - 3]), Err(CodecError::Format(_))));
+        assert!(matches!(
+            decode(&bytes[..bytes.len() - 3]),
+            Err(CodecError::Format(_))
+        ));
         assert!(matches!(decode(&bytes[..10]), Err(CodecError::Format(_))));
         assert!(matches!(decode(b""), Err(CodecError::Format(_))));
     }
@@ -193,6 +202,9 @@ mod tests {
 
     #[test]
     fn missing_file_is_io_error() {
-        assert!(matches!(read_rimg("/no/such/file.rimg"), Err(CodecError::Io(_))));
+        assert!(matches!(
+            read_rimg("/no/such/file.rimg"),
+            Err(CodecError::Io(_))
+        ));
     }
 }

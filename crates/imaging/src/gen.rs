@@ -84,7 +84,10 @@ mod tests {
         let img = noise(32, 32, 7);
         let (r, g, b) = img.mean_rgb();
         for m in [r, g, b] {
-            assert!(m > 100.0 && m < 155.0, "mean {m} implausible for uniform noise");
+            assert!(
+                m > 100.0 && m < 155.0,
+                "mean {m} implausible for uniform noise"
+            );
         }
     }
 }

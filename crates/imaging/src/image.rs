@@ -47,7 +47,11 @@ impl Image {
             .checked_mul(height as usize)
             .and_then(|n| n.checked_mul(3))
             .expect("image too large");
-        Self { width, height, data: vec![0; len] }
+        Self {
+            width,
+            height,
+            data: vec![0; len],
+        }
     }
 
     /// Wrap raw RGB bytes (must be exactly `width * height * 3` long).
@@ -62,7 +66,11 @@ impl Image {
                 data.len()
             ));
         }
-        Ok(Self { width, height, data })
+        Ok(Self {
+            width,
+            height,
+            data,
+        })
     }
 
     /// Width in pixels.

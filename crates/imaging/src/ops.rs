@@ -238,10 +238,7 @@ mod tests {
                         let p = {
                             let px = img.get_clamped(x + dx, y);
                             let _ = px;
-                            img.get_clamped(
-                                (x + dx).clamp(0, 6),
-                                (y + dy).clamp(0, 4),
-                            )
+                            img.get_clamped((x + dx).clamp(0, 6), (y + dy).clamp(0, 4))
                         };
                         sums[0] += p.r as u32;
                         sums[1] += p.g as u32;
@@ -251,7 +248,10 @@ mod tests {
                 let n = (2 * r + 1) * (2 * r + 1);
                 let got = fast.get(x as u32, y as u32);
                 // Integer division in two passes loses at most 1 per pass.
-                assert!((got.r as i32 - (sums[0] / n) as i32).abs() <= 2, "at ({x},{y})");
+                assert!(
+                    (got.r as i32 - (sums[0] / n) as i32).abs() <= 2,
+                    "at ({x},{y})"
+                );
                 assert!((got.g as i32 - (sums[1] / n) as i32).abs() <= 2);
                 assert!((got.b as i32 - (sums[2] / n) as i32).abs() <= 2);
             }

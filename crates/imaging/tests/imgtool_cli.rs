@@ -30,7 +30,16 @@ fn gen_resize_sepia_blur_info_pipeline() {
         out
     };
 
-    run(&["gen", &p("src.rimg"), "--width", "64", "--height", "48", "--seed", "5"]);
+    run(&[
+        "gen",
+        &p("src.rimg"),
+        "--width",
+        "64",
+        "--height",
+        "48",
+        "--seed",
+        "5",
+    ]);
     run(&["resize", &p("src.rimg"), &p("r.rimg"), "--size", "32"]);
     run(&["sepia", &p("r.rimg"), &p("s.rimg"), "--sepia", "true"]);
     run(&["blur", &p("s.rimg"), &p("b.rimg"), "--radius", "2"]);
@@ -41,10 +50,7 @@ fn gen_resize_sepia_blur_info_pipeline() {
 
     // The binary's output must equal the library's computation.
     let src = imaging::read_rimg(dir.join("src.rimg")).unwrap();
-    let expect = imaging::box_blur(
-        &imaging::sepia(&imaging::resize_bilinear(&src, 32, 32)),
-        2,
-    );
+    let expect = imaging::box_blur(&imaging::sepia(&imaging::resize_bilinear(&src, 32, 32)), 2);
     let got = imaging::read_rimg(dir.join("b.rimg")).unwrap();
     assert_eq!(got.fingerprint(), expect.fingerprint());
     let _ = std::fs::remove_dir_all(&dir);
@@ -55,7 +61,10 @@ fn cli_error_paths() {
     let dir = scratch("errors");
     let fail = |args: &[&str]| {
         let out = imgtool().args(args).output().expect("imgtool runs");
-        assert!(!out.status.success(), "imgtool {args:?} unexpectedly succeeded");
+        assert!(
+            !out.status.success(),
+            "imgtool {args:?} unexpectedly succeeded"
+        );
         String::from_utf8_lossy(&out.stderr).into_owned()
     };
     assert!(fail(&[]).contains("usage"));

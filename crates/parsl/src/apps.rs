@@ -43,7 +43,10 @@ pub struct CommandSpec {
 impl CommandSpec {
     /// A spec running `argv` in the current directory.
     pub fn new(argv: Vec<String>) -> Self {
-        Self { argv, ..Default::default() }
+        Self {
+            argv,
+            ..Default::default()
+        }
     }
 
     /// Render as a shell-like string (for logs).
@@ -118,8 +121,14 @@ pub fn run_command(spec: &CommandSpec) -> Result<Value, TaskError> {
         let detail = if let Some(stderr_path) = &spec.stderr {
             format!("see {}", stderr_path.display())
         } else {
-            let tail: String = stderr_text.chars().rev().take(400).collect::<String>()
-                .chars().rev().collect();
+            let tail: String = stderr_text
+                .chars()
+                .rev()
+                .take(400)
+                .collect::<String>()
+                .chars()
+                .rev()
+                .collect();
             tail
         };
         return Err(TaskError::failed(format!(
@@ -248,6 +257,9 @@ mod tests {
     #[test]
     fn fn_app_body() {
         let body = FnApp::new(|vals| Ok(Value::Int(vals.iter().filter_map(|v| v.as_int()).sum())));
-        assert_eq!(body(&[Value::Int(2), Value::Int(3)]).unwrap(), Value::Int(5));
+        assert_eq!(
+            body(&[Value::Int(2), Value::Int(3)]).unwrap(),
+            Value::Int(5)
+        );
     }
 }

@@ -58,7 +58,10 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// `n` retries, no backoff — Parsl's plain `retries=n`.
     pub fn retries(n: usize) -> Self {
-        Self { max_retries: n, ..Self::default() }
+        Self {
+            max_retries: n,
+            ..Self::default()
+        }
     }
 
     /// The jittered delay before retry number `retry_index` (1-based):
@@ -69,7 +72,10 @@ impl RetryPolicy {
         if self.initial_backoff.is_zero() || retry_index == 0 {
             return Duration::ZERO;
         }
-        let growth = self.multiplier.max(1.0).powi(retry_index.saturating_sub(1) as i32);
+        let growth = self
+            .multiplier
+            .max(1.0)
+            .powi(retry_index.saturating_sub(1) as i32);
         let base =
             (self.initial_backoff.as_secs_f64() * growth).min(self.max_backoff.as_secs_f64());
         let jitter = if self.jitter_frac > 0.0 {
@@ -149,7 +155,10 @@ mod tests {
     fn builders() {
         let c = Config::local_threads(8).with_retries(2);
         assert_eq!(c.retry.max_retries, 2);
-        assert!(matches!(c.executor, ExecutorChoice::ThreadPool { workers: 8 }));
+        assert!(matches!(
+            c.executor,
+            ExecutorChoice::ThreadPool { workers: 8 }
+        ));
         let c = Config::local_threads(1).with_walltime(Duration::from_secs(5));
         assert_eq!(c.retry.walltime, Some(Duration::from_secs(5)));
     }

@@ -121,11 +121,16 @@ impl ShardedMemo {
     }
 
     fn get(&self, label: &Arc<str>, fingerprint: u64) -> Option<Arc<Value>> {
-        self.shard(fingerprint).lock().get(&(label.clone(), fingerprint)).cloned()
+        self.shard(fingerprint)
+            .lock()
+            .get(&(label.clone(), fingerprint))
+            .cloned()
     }
 
     fn insert(&self, label: Arc<str>, fingerprint: u64, value: Value) {
-        self.shard(fingerprint).lock().insert((label, fingerprint), Arc::new(value));
+        self.shard(fingerprint)
+            .lock()
+            .insert((label, fingerprint), Arc::new(value));
     }
 }
 
@@ -179,9 +184,10 @@ impl DataFlowKernel {
             ExecutorChoice::ThreadPool { workers } => {
                 ThreadPoolExecutor::new(format!("{label}-tpe"), workers)
             }
-            ExecutorChoice::Htex { config: hc, provider } => {
-                HighThroughputExecutor::start(hc, provider)?
-            }
+            ExecutorChoice::Htex {
+                config: hc,
+                provider,
+            } => HighThroughputExecutor::start(hc, provider)?,
         };
         Ok(Self::from_parts(executor, config.retry, config.memoize))
     }
@@ -294,15 +300,21 @@ impl DataFlowKernel {
                 }
             }
         }
-        self.log.record(task.id, TaskEventKind::Launched, &task.label);
+        self.log
+            .record(task.id, TaskEventKind::Launched, &task.label);
         // Memoization: a prior success with the same label and inputs
         // short-circuits execution entirely. The fingerprint (which
         // serializes every input value) is computed exactly once and
         // reused for the memo insert when the attempt succeeds.
-        let fingerprint = if self.memoize { Some(fingerprint_inputs(&vals)) } else { None };
+        let fingerprint = if self.memoize {
+            Some(fingerprint_inputs(&vals))
+        } else {
+            None
+        };
         if let Some(fp) = fingerprint {
             if let Some(cached) = self.memo.get(&task.label, fp) {
-                self.log.record(task.id, TaskEventKind::Memoized, &task.label);
+                self.log
+                    .record(task.id, TaskEventKind::Memoized, &task.label);
                 self.finish(&task, Ok((*cached).clone()));
                 return;
             }
@@ -314,7 +326,12 @@ impl DataFlowKernel {
     /// budget remains, honouring the policy's backoff schedule.
     /// `fingerprint` is the precomputed input fingerprint when memoization
     /// is on (`None` otherwise) — computed once in [`Self::launch`].
-    fn attempt(self: &Arc<Self>, task: Arc<TaskInner>, vals: Arc<Vec<Value>>, fingerprint: Option<u64>) {
+    fn attempt(
+        self: &Arc<Self>,
+        task: Arc<TaskInner>,
+        vals: Arc<Vec<Value>>,
+        fingerprint: Option<u64>,
+    ) {
         let (attempt_fut, attempt_promise) = promise_pair(task.id);
         let body = task.body.clone();
         // The completion callback needs `vals` only to relaunch a failed
@@ -337,7 +354,8 @@ impl DataFlowKernel {
                 .name(format!("walltime-{}", task.id))
                 .spawn(move || {
                     if watched.result_timeout(walltime).is_none() {
-                        dfk.log.record(task.id, TaskEventKind::TimedOut, &task.label);
+                        dfk.log
+                            .record(task.id, TaskEventKind::TimedOut, &task.label);
                         attempt_promise.complete(Err(TaskError::Timeout(walltime)));
                     }
                 });
@@ -355,14 +373,16 @@ impl DataFlowKernel {
                 // the upstream outcome — and shutdown means there is
                 // nothing left to run on. Execution failures (including
                 // timeouts and lost executors) retry.
-                let retryable = !matches!(
-                    e,
-                    TaskError::DependencyFailed { .. } | TaskError::Shutdown
-                );
+                let retryable =
+                    !matches!(e, TaskError::DependencyFailed { .. } | TaskError::Shutdown);
                 match task
                     .retries_left
                     .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
-                        if retryable { n.checked_sub(1) } else { None }
+                        if retryable {
+                            n.checked_sub(1)
+                        } else {
+                            None
+                        }
                     }) {
                     Ok(prev) => {
                         dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
@@ -392,7 +412,11 @@ impl DataFlowKernel {
 
     /// Resolve the task's public future and update accounting.
     fn finish(&self, task: &TaskInner, result: TaskResult) {
-        let kind = if result.is_ok() { TaskEventKind::Completed } else { TaskEventKind::Failed };
+        let kind = if result.is_ok() {
+            TaskEventKind::Completed
+        } else {
+            TaskEventKind::Failed
+        };
         self.log.record(task.id, kind, &task.label);
         if let Some(promise) = task.promise.lock().take() {
             promise.complete(result);
@@ -447,8 +471,16 @@ mod tests {
     #[test]
     fn simple_chain() {
         let dfk = dfk();
-        let a = dfk.submit("a", vec![AppArg::value(1i64), AppArg::value(2i64)], add_app());
-        let b = dfk.submit("b", vec![AppArg::future(&a), AppArg::value(10i64)], add_app());
+        let a = dfk.submit(
+            "a",
+            vec![AppArg::value(1i64), AppArg::value(2i64)],
+            add_app(),
+        );
+        let b = dfk.submit(
+            "b",
+            vec![AppArg::future(&a), AppArg::value(10i64)],
+            add_app(),
+        );
         assert_eq!(b.result().unwrap(), Value::Int(13));
         dfk.shutdown();
     }
@@ -457,8 +489,16 @@ mod tests {
     fn diamond_dependencies() {
         let dfk = dfk();
         let root = dfk.submit("root", vec![AppArg::value(1i64)], add_app());
-        let left = dfk.submit("l", vec![AppArg::future(&root), AppArg::value(10i64)], add_app());
-        let right = dfk.submit("r", vec![AppArg::future(&root), AppArg::value(100i64)], add_app());
+        let left = dfk.submit(
+            "l",
+            vec![AppArg::future(&root), AppArg::value(10i64)],
+            add_app(),
+        );
+        let right = dfk.submit(
+            "r",
+            vec![AppArg::future(&root), AppArg::value(100i64)],
+            add_app(),
+        );
         let join = dfk.submit(
             "join",
             vec![AppArg::future(&left), AppArg::future(&right)],
@@ -523,7 +563,11 @@ mod tests {
     #[test]
     fn retries_exhaust() {
         let dfk = DataFlowKernel::new(Config::local_threads(2).with_retries(2));
-        let fut = dfk.submit("always-bad", vec![], FnApp::new(|_| Err(TaskError::failed("no"))));
+        let fut = dfk.submit(
+            "always-bad",
+            vec![],
+            FnApp::new(|_| Err(TaskError::failed("no"))),
+        );
         assert!(fut.result().is_err());
         assert_eq!(dfk.monitoring().summary().retried, 2);
         dfk.shutdown();
@@ -591,7 +635,9 @@ mod tests {
             "consume",
             vec![AppArg::data(&outs1[0])],
             FnApp::new(|vals| {
-                let path = vals[0].as_str().ok_or_else(|| TaskError::failed("no path"))?;
+                let path = vals[0]
+                    .as_str()
+                    .ok_or_else(|| TaskError::failed("no path"))?;
                 let text = std::fs::read_to_string(path).map_err(TaskError::failed)?;
                 Ok(Value::str(text.trim()))
             }),
@@ -626,7 +672,10 @@ mod tests {
         let futs: Vec<AppFuture> = (0..200)
             .map(|i| dfk.submit("w", vec![AppArg::value(i as i64)], add_app()))
             .collect();
-        let total: i64 = futs.iter().map(|f| f.result().unwrap().as_int().unwrap()).sum();
+        let total: i64 = futs
+            .iter()
+            .map(|f| f.result().unwrap().as_int().unwrap())
+            .sum();
         assert_eq!(total, (0..200).sum::<i64>());
         dfk.shutdown();
     }
@@ -673,15 +722,22 @@ mod tests {
             })
         };
         // First submission fails — failures are not cached.
-        assert!(dfk.submit("flaky", vec![AppArg::value(1i64)], flaky.clone()).result().is_err());
+        assert!(dfk
+            .submit("flaky", vec![AppArg::value(1i64)], flaky.clone())
+            .result()
+            .is_err());
         // Second submission with the same inputs re-executes and succeeds.
         assert_eq!(
-            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky.clone()).result().unwrap(),
+            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky.clone())
+                .result()
+                .unwrap(),
             Value::str("ok")
         );
         // Third is a memo hit of the success.
         assert_eq!(
-            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky).result().unwrap(),
+            dfk.submit("flaky", vec![AppArg::value(1i64)], flaky)
+                .result()
+                .unwrap(),
             Value::str("ok")
         );
         assert_eq!(attempts.load(Ordering::SeqCst), 2);
@@ -700,7 +756,11 @@ mod tests {
         assert_eq!(via_future.result().unwrap(), Value::Int(9));
         let via_literal = dfk.submit("sel", vec![AppArg::value(9i64)], body);
         assert_eq!(via_literal.result().unwrap(), Value::Int(9));
-        assert_eq!(runs.load(Ordering::SeqCst), 1, "resolved-value memo must hit");
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            1,
+            "resolved-value memo must hit"
+        );
         dfk.shutdown();
     }
 
@@ -748,16 +808,19 @@ mod tests {
         );
         fut.result().unwrap();
         // Two retries, each preceded by a 40ms (no-jitter) backoff.
-        assert!(start.elapsed() >= Duration::from_millis(80), "{:?}", start.elapsed());
+        assert!(
+            start.elapsed() >= Duration::from_millis(80),
+            "{:?}",
+            start.elapsed()
+        );
         assert_eq!(attempts.load(Ordering::SeqCst), 3);
         dfk.shutdown();
     }
 
     #[test]
     fn walltime_kills_runaway_attempt() {
-        let dfk = DataFlowKernel::new(
-            Config::local_threads(2).with_walltime(Duration::from_millis(40)),
-        );
+        let dfk =
+            DataFlowKernel::new(Config::local_threads(2).with_walltime(Duration::from_millis(40)));
         let fut = dfk.submit(
             "runaway",
             vec![],
@@ -776,9 +839,8 @@ mod tests {
 
     #[test]
     fn walltime_spares_fast_tasks() {
-        let dfk = DataFlowKernel::new(
-            Config::local_threads(2).with_walltime(Duration::from_secs(5)),
-        );
+        let dfk =
+            DataFlowKernel::new(Config::local_threads(2).with_walltime(Duration::from_secs(5)));
         let fut = dfk.submit("quick", vec![], FnApp::new(|_| Ok(Value::Int(1))));
         assert_eq!(fut.result().unwrap(), Value::Int(1));
         assert_eq!(dfk.monitoring().summary().timed_out, 0);
@@ -843,8 +905,7 @@ mod tests {
             inner: ThreadPoolExecutor::new("inner", 2),
             tripped: std::sync::atomic::AtomicBool::new(false),
         });
-        let dfk =
-            DataFlowKernel::with_executor(flaky, Config::local_threads(0).with_retries(2));
+        let dfk = DataFlowKernel::with_executor(flaky, Config::local_threads(0).with_retries(2));
         // First submission is lost with ExecutorLost → retried → succeeds.
         let survivor = dfk.submit("survivor", vec![], FnApp::new(|_| Ok(Value::Int(7))));
         assert_eq!(survivor.result().unwrap(), Value::Int(7));

@@ -58,7 +58,11 @@ mod tests {
     fn display_variants() {
         assert_eq!(TaskError::failed("boom").to_string(), "task failed: boom");
         assert_eq!(
-            TaskError::DependencyFailed { dep: TaskId(3), reason: "x".into() }.to_string(),
+            TaskError::DependencyFailed {
+                dep: TaskId(3),
+                reason: "x".into()
+            }
+            .to_string(),
             "dependency task3 failed: x"
         );
         assert!(TaskError::Shutdown.to_string().contains("shut down"));

@@ -177,7 +177,14 @@ mod tests {
         body: impl Fn() -> Result<Value, TaskError> + Send + Sync + 'static,
     ) -> (crate::future::AppFuture, TaskPayload) {
         let (fut, promise) = promise_pair(TaskId(id));
-        (fut, TaskPayload { id: TaskId(id), body: Arc::new(body), promise })
+        (
+            fut,
+            TaskPayload {
+                id: TaskId(id),
+                body: Arc::new(body),
+                promise,
+            },
+        )
     }
 
     #[test]

@@ -55,10 +55,19 @@ pub struct Promise {
 /// Create a connected future/promise pair for task `id`.
 pub fn promise_pair(id: TaskId) -> (AppFuture, Promise) {
     let shared = Arc::new(Shared {
-        state: Mutex::new(FutState { result: None, callbacks: Vec::new() }),
+        state: Mutex::new(FutState {
+            result: None,
+            callbacks: Vec::new(),
+        }),
         cond: Condvar::new(),
     });
-    (AppFuture { shared: shared.clone(), id }, Promise { shared })
+    (
+        AppFuture {
+            shared: shared.clone(),
+            id,
+        },
+        Promise { shared },
+    )
 }
 
 impl Promise {
@@ -256,7 +265,9 @@ mod tests {
     #[test]
     fn double_complete_first_wins() {
         let (fut, p1) = promise_pair(TaskId(1));
-        let p2 = Promise { shared: p1.shared.clone() };
+        let p2 = Promise {
+            shared: p1.shared.clone(),
+        };
         p1.complete(Ok(Value::Int(1)));
         p2.complete(Ok(Value::Int(2)));
         assert_eq!(fut.result().unwrap(), Value::Int(1));
@@ -295,7 +306,10 @@ mod tests {
         assert_eq!(df.filepath(), std::path::Path::new("/tmp/out.rimg"));
         assert!(!df.done());
         promise.complete(Ok(Value::Null));
-        assert_eq!(df.result().unwrap().path(), std::path::Path::new("/tmp/out.rimg"));
+        assert_eq!(
+            df.result().unwrap().path(),
+            std::path::Path::new("/tmp/out.rimg")
+        );
     }
 
     #[test]

@@ -122,7 +122,10 @@ enum WorkerMsg {
 }
 
 enum DispatchMsg {
-    Task { payload: TaskPayload, finished: Arc<AtomicBool> },
+    Task {
+        payload: TaskPayload,
+        finished: Arc<AtomicBool>,
+    },
     Stop,
 }
 
@@ -213,10 +216,7 @@ impl HighThroughputExecutor {
     /// Provision nodes through `provider` and start managers. Blocks until
     /// the pilot job(s) are granted — like Parsl blocking on first tasks
     /// until workers connect.
-    pub fn start(
-        config: HtexConfig,
-        provider: Arc<dyn Provider>,
-    ) -> Result<Arc<Self>, String> {
+    pub fn start(config: HtexConfig, provider: Arc<dyn Provider>) -> Result<Arc<Self>, String> {
         let (dispatch_tx, dispatch_rx) = unbounded::<DispatchMsg>();
         let htex = Arc::new(Self {
             label: config.label,
@@ -264,10 +264,7 @@ impl HighThroughputExecutor {
         self.add_block_inner(nodes).map(|(added, _)| added)
     }
 
-    fn add_block_inner(
-        self: &Arc<Self>,
-        nodes: usize,
-    ) -> Result<(usize, Vec<String>), String> {
+    fn add_block_inner(self: &Arc<Self>, nodes: usize) -> Result<(usize, Vec<String>), String> {
         let granted = self.provider.provision(nodes)?;
         let mut added = 0usize;
         let mut names = Vec::with_capacity(granted.len());
@@ -411,7 +408,8 @@ impl HighThroughputExecutor {
     /// its in-flight tasks and restore capacity if below the floor.
     fn handle_node_loss(self: &Arc<Self>, mgr: &Arc<ManagerState>) {
         self.note(TaskId(0), TaskEventKind::NodeLost, &mgr.node_name);
-        self.worker_total.fetch_sub(mgr.worker_count, Ordering::SeqCst);
+        self.worker_total
+            .fetch_sub(mgr.worker_count, Ordering::SeqCst);
         let orphans: Vec<TrackedTask> = {
             let mut in_flight = mgr.in_flight.lock();
             in_flight.drain().map(|(_, t)| t).collect()
@@ -421,9 +419,10 @@ impl HighThroughputExecutor {
                 continue;
             }
             self.note(t.payload.id, TaskEventKind::Redispatched, &mgr.node_name);
-            let _ = self
-                .dispatch_tx
-                .send(DispatchMsg::Task { payload: t.payload, finished: t.finished });
+            let _ = self.dispatch_tx.send(DispatchMsg::Task {
+                payload: t.payload,
+                finished: t.finished,
+            });
         }
         let alive = self.manager_count();
         if alive < self.min_nodes {
@@ -489,9 +488,7 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
         };
         while queue.len() < cap {
             match rx.try_recv() {
-                Ok(DispatchMsg::Task { payload, finished }) => {
-                    queue.push_back((payload, finished))
-                }
+                Ok(DispatchMsg::Task { payload, finished }) => queue.push_back((payload, finished)),
                 Ok(DispatchMsg::Stop) => {
                     stopping = true;
                     break;
@@ -555,7 +552,10 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
                     let seq = h.next_seq.fetch_add(1, Ordering::SeqCst);
                     in_flight.insert(
                         seq,
-                        TrackedTask { payload: payload.clone(), finished: finished.clone() },
+                        TrackedTask {
+                            payload: payload.clone(),
+                            finished: finished.clone(),
+                        },
                     );
                     seqs.push(seq);
                 }
@@ -620,9 +620,12 @@ fn worker_loop(
             Err(RecvTimeoutError::Disconnected) => return,
         };
         let (seq, payload, finished, ticket) = match msg {
-            WorkerMsg::Task { seq, payload, finished, ticket } => {
-                (seq, payload, finished, ticket)
-            }
+            WorkerMsg::Task {
+                seq,
+                payload,
+                finished,
+                ticket,
+            } => (seq, payload, finished, ticket),
             WorkerMsg::Stop => return,
         };
         if mgr.dead.load(Ordering::SeqCst) {
@@ -654,7 +657,12 @@ fn worker_loop(
         }
         // Completion claiming, backlog accounting, and the (batched)
         // result-path latency all happen on the aggregator.
-        let _ = mgr.result_tx.send(ResultMsg::Done { seq, payload, finished, result });
+        let _ = mgr.result_tx.send(ResultMsg::Done {
+            seq,
+            payload,
+            finished,
+            result,
+        });
     }
 }
 
@@ -676,9 +684,12 @@ fn result_loop(
         let mut batch: Vec<(u64, TaskPayload, Arc<AtomicBool>, crate::future::TaskResult)> =
             Vec::new();
         match rx.recv_timeout(WORKER_POLL) {
-            Ok(ResultMsg::Done { seq, payload, finished, result }) => {
-                batch.push((seq, payload, finished, result))
-            }
+            Ok(ResultMsg::Done {
+                seq,
+                payload,
+                finished,
+                result,
+            }) => batch.push((seq, payload, finished, result)),
             Ok(ResultMsg::Stop) => stop = true,
             Err(RecvTimeoutError::Timeout) => {
                 if !mgr.dead.load(Ordering::SeqCst) {
@@ -693,9 +704,12 @@ fn result_loop(
         loop {
             while batch.len() < batch_size {
                 match rx.try_recv() {
-                    Ok(ResultMsg::Done { seq, payload, finished, result }) => {
-                        batch.push((seq, payload, finished, result))
-                    }
+                    Ok(ResultMsg::Done {
+                        seq,
+                        payload,
+                        finished,
+                        result,
+                    }) => batch.push((seq, payload, finished, result)),
                     Ok(ResultMsg::Stop) => {
                         stop = true;
                         break;
@@ -754,7 +768,12 @@ fn flush_results(
         let h = htex.upgrade();
         let _outstanding: Vec<OutstandingGuard> = h
             .as_ref()
-            .map(|h| completions.iter().map(|_| OutstandingGuard(&h.outstanding)).collect())
+            .map(|h| {
+                completions
+                    .iter()
+                    .map(|_| OutstandingGuard(&h.outstanding))
+                    .collect()
+            })
             .unwrap_or_default();
         // One reply message for the whole batch.
         latency.pay_result();
@@ -785,7 +804,8 @@ fn heartbeat_loop(
         if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
             return;
         }
-        mgr.last_beat.store(h.start.elapsed().as_millis() as u64, Ordering::SeqCst);
+        mgr.last_beat
+            .store(h.start.elapsed().as_millis() as u64, Ordering::SeqCst);
     }
 }
 
@@ -807,8 +827,7 @@ fn monitor_loop(htex: Weak<HighThroughputExecutor>) {
             {
                 mgr.dead.store(true, Ordering::SeqCst);
             }
-            if mgr.dead.load(Ordering::SeqCst) && !mgr.lost_handled.swap(true, Ordering::SeqCst)
-            {
+            if mgr.dead.load(Ordering::SeqCst) && !mgr.lost_handled.swap(true, Ordering::SeqCst) {
                 h.handle_node_loss(mgr);
             }
         }
@@ -827,10 +846,10 @@ impl Executor for HighThroughputExecutor {
         }
         self.outstanding.fetch_add(1, Ordering::SeqCst);
         let finished = Arc::new(AtomicBool::new(false));
-        if let Err(send_err) = self
-            .dispatch_tx
-            .send(DispatchMsg::Task { payload: task, finished })
-        {
+        if let Err(send_err) = self.dispatch_tx.send(DispatchMsg::Task {
+            payload: task,
+            finished,
+        }) {
             if let DispatchMsg::Task { payload, finished } = send_err.0 {
                 self.fail_task(&payload, &finished, TaskError::Shutdown);
             }
@@ -978,8 +997,7 @@ mod tests {
     fn slurm_nodes_released_on_shutdown() {
         let sched = BatchScheduler::new(ClusterSpec::small(3, 2), SchedulerConfig::immediate());
         let provider = Arc::new(SlurmProvider::new(sched.clone()));
-        let htex =
-            HighThroughputExecutor::start(no_latency("htex", 2, 1), provider).unwrap();
+        let htex = HighThroughputExecutor::start(no_latency("htex", 2, 1), provider).unwrap();
         assert_eq!(sched.free_node_count(), 1);
         let fut = submit_value(&htex, 1);
         fut.result().unwrap();
@@ -1052,7 +1070,11 @@ mod tests {
             futs.push(fut);
         }
         std::thread::sleep(Duration::from_millis(30));
-        assert!(htex.outstanding_tasks() >= 3, "{}", htex.outstanding_tasks());
+        assert!(
+            htex.outstanding_tasks() >= 3,
+            "{}",
+            htex.outstanding_tasks()
+        );
         drop(held);
         for f in &futs {
             f.result().unwrap();
@@ -1183,7 +1205,9 @@ mod tests {
         htex.attach_monitoring(log.clone());
         let futs: Vec<_> = (1..=8).map(|i| submit_value(&htex, i)).collect();
         for f in &futs {
-            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap();
+            f.result_timeout(Duration::from_secs(10))
+                .expect("task hung")
+                .unwrap();
         }
         let deadline = Instant::now() + Duration::from_secs(5);
         while log.summary().blocks_replaced == 0 && Instant::now() < deadline {
@@ -1223,7 +1247,9 @@ mod tests {
         .unwrap();
         let futs: Vec<_> = (1..=8).map(|i| submit_value(&htex, i)).collect();
         for f in &futs {
-            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap();
+            f.result_timeout(Duration::from_secs(10))
+                .expect("task hung")
+                .unwrap();
         }
         let started = Instant::now();
         htex.shutdown();

@@ -84,7 +84,10 @@ impl Default for MonitoringLog {
 impl MonitoringLog {
     /// An empty log; timestamps are relative to this call.
     pub fn new() -> Self {
-        Self { start: Instant::now(), events: Mutex::new(Vec::new()) }
+        Self {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
     }
 
     /// Append an event.

@@ -18,7 +18,9 @@ pub struct NodeHandle {
 
 impl std::fmt::Debug for NodeHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("NodeHandle").field("spec", &self.spec).finish()
+        f.debug_struct("NodeHandle")
+            .field("spec", &self.spec)
+            .finish()
     }
 }
 
@@ -50,12 +52,16 @@ pub struct LocalProvider {
 impl LocalProvider {
     /// A local provider exposing `cores_per_node` cores.
     pub fn new(cores_per_node: usize) -> Self {
-        Self { cores_per_node: cores_per_node.max(1) }
+        Self {
+            cores_per_node: cores_per_node.max(1),
+        }
     }
 
     /// Use the host's available parallelism.
     pub fn auto() -> Self {
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
         Self::new(cores)
     }
 }
@@ -112,7 +118,10 @@ impl Provider for SlurmProvider {
         let cluster = self.scheduler.cluster();
         Ok(granted
             .into_iter()
-            .map(|idx| NodeHandle { spec: cluster.nodes[idx].clone(), job: Some(job.clone()) })
+            .map(|idx| NodeHandle {
+                spec: cluster.nodes[idx].clone(),
+                job: Some(job.clone()),
+            })
             .collect())
     }
 

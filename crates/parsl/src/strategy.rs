@@ -76,7 +76,11 @@ impl Strategy {
                 })
                 .expect("spawn strategy thread")
         };
-        Self { stop, scale_outs, thread: Some(thread) }
+        Self {
+            stop,
+            scale_outs,
+            thread: Some(thread),
+        }
     }
 
     /// How many scale-out events have fired.
@@ -181,7 +185,10 @@ mod tests {
         .unwrap();
         let mut strategy = Strategy::start(
             htex.clone(),
-            ScalingPolicy { interval: Duration::from_millis(5), ..Default::default() },
+            ScalingPolicy {
+                interval: Duration::from_millis(5),
+                ..Default::default()
+            },
         );
         std::thread::sleep(Duration::from_millis(50));
         strategy.stop();

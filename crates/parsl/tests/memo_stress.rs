@@ -71,7 +71,11 @@ fn eight_threads_hammer_sharded_memo() {
 
     // Shared keys were all warm: only the private keys executed in wave 2.
     let total = executions.load(Ordering::SeqCst);
-    assert_eq!(total, SHARED_KEYS + THREADS * SHARED_KEYS, "shared keys must all hit");
+    assert_eq!(
+        total,
+        SHARED_KEYS + THREADS * SHARED_KEYS,
+        "shared keys must all hit"
+    );
     assert_eq!(dfk.monitoring().summary().memoized, THREADS * SHARED_KEYS);
     dfk.shutdown();
 }

@@ -27,17 +27,13 @@ fn dag_strategy() -> impl Strategy<Value = DagSpec> {
             }
             let node_strats: Vec<_> = (0..total)
                 .map(|i| {
-                    let earlier: Vec<usize> = (0..i)
-                        .filter(|j| layer_of[*j] < layer_of[i])
-                        .collect();
+                    let earlier: Vec<usize> =
+                        (0..i).filter(|j| layer_of[*j] < layer_of[i]).collect();
                     let deps = if earlier.is_empty() {
                         Just(Vec::new()).boxed()
                     } else {
-                        proptest::collection::vec(
-                            proptest::sample::select(earlier),
-                            0..3usize,
-                        )
-                        .boxed()
+                        proptest::collection::vec(proptest::sample::select(earlier), 0..3usize)
+                            .boxed()
                     };
                     (-100i64..100, deps)
                 })

@@ -47,7 +47,12 @@ fn run_with_fault(
         .collect();
     let got = futs
         .iter()
-        .map(|f| f.result().expect("task survives node loss").as_int().unwrap())
+        .map(|f| {
+            f.result()
+                .expect("task survives node loss")
+                .as_int()
+                .unwrap()
+        })
         .collect();
     let lost = dfk.monitoring().fault_summary().nodes_lost.len();
     dfk.shutdown();

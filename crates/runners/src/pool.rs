@@ -29,17 +29,15 @@ where
             let rtx = rtx.clone();
             scope.spawn(move |_| {
                 while let Ok((i, job)) = rx.recv() {
-                    let result =
-                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(job)).unwrap_or_else(
-                            |p| {
-                                let msg = p
-                                    .downcast_ref::<&str>()
-                                    .map(|s| s.to_string())
-                                    .or_else(|| p.downcast_ref::<String>().cloned())
-                                    .unwrap_or_else(|| "job panicked".to_string());
-                                Err(format!("job panicked: {msg}"))
-                            },
-                        );
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job))
+                        .unwrap_or_else(|p| {
+                            let msg = p
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| p.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "job panicked".to_string());
+                            Err(format!("job panicked: {msg}"))
+                        });
                     let _ = rtx.send((i, result));
                 }
             });

@@ -42,6 +42,12 @@ pub struct ExecProfile {
     /// Write job/result files into this job store per task (Toil's
     /// file-backed job store; real I/O).
     pub job_store: Option<PathBuf>,
+    /// Run the `cwl::analyze` static pass before execution and refuse to
+    /// start when it reports errors (cwltool's pre-flight `--validate`
+    /// role, but with typed dataflow + expression linting).
+    pub precheck: bool,
+    /// Under `precheck`, also refuse to start on warnings.
+    pub precheck_strict: bool,
 }
 
 impl ExecProfile {
@@ -58,6 +64,8 @@ impl ExecProfile {
             submit_latency: Duration::ZERO,
             poll_interval: Duration::ZERO,
             job_store: None,
+            precheck: false,
+            precheck_strict: false,
         }
     }
 
@@ -76,6 +84,8 @@ impl ExecProfile {
             submit_latency: Duration::ZERO,
             poll_interval: Duration::ZERO,
             job_store: None,
+            precheck: true,
+            precheck_strict: false,
         }
     }
 
@@ -93,6 +103,8 @@ impl ExecProfile {
             submit_latency: Duration::from_millis(20),
             poll_interval: Duration::from_millis(40),
             job_store: Some(job_store),
+            precheck: true,
+            precheck_strict: false,
         }
     }
 }

@@ -19,12 +19,16 @@ pub struct RefRunner {
 impl RefRunner {
     /// Runner with `slots` parallel job slots (the paper uses all cores).
     pub fn new(slots: usize, dispatch: Arc<dyn ToolDispatch>) -> Self {
-        Self { exec: WorkflowExecutor::new(ExecProfile::cwltool_like(slots), dispatch) }
+        Self {
+            exec: WorkflowExecutor::new(ExecProfile::cwltool_like(slots), dispatch),
+        }
     }
 
     /// Runner with a custom profile (ablations).
     pub fn with_profile(profile: ExecProfile, dispatch: Arc<dyn ToolDispatch>) -> Self {
-        Self { exec: WorkflowExecutor::new(profile, dispatch) }
+        Self {
+            exec: WorkflowExecutor::new(profile, dispatch),
+        }
     }
 
     /// Validate a document the way `cwltool --validate` does.
@@ -143,7 +147,12 @@ mod tests {
             .unwrap();
         // 4 images × 3 stages.
         assert_eq!(report.tasks, 12);
-        let outs = report.outputs.get("final_outputs").unwrap().as_seq().unwrap();
+        let outs = report
+            .outputs
+            .get("final_outputs")
+            .unwrap()
+            .as_seq()
+            .unwrap();
         assert_eq!(outs.len(), 4);
         for out in outs {
             let img = imaging::read_rimg(out["path"].as_str().unwrap()).unwrap();
@@ -156,8 +165,11 @@ mod tests {
     fn validation_failure_blocks_run() {
         let dir = workdir("badval");
         let bad = dir.join("bad.cwl");
-        std::fs::write(&bad, "cwlVersion: v1.2\nclass: CommandLineTool\ninputs: {}\noutputs: {}\n")
-            .unwrap();
+        std::fs::write(
+            &bad,
+            "cwlVersion: v1.2\nclass: CommandLineTool\ninputs: {}\noutputs: {}\n",
+        )
+        .unwrap();
         let runner = RefRunner::new(2, Arc::new(BuiltinDispatch));
         let err = runner.run(&bad, &Map::new(), &dir).unwrap_err();
         assert!(err.contains("validation failed"), "{err}");

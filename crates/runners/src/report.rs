@@ -54,7 +54,10 @@ mod tests {
         };
         assert_eq!(r.throughput(), 5.0);
         assert!(r.to_string().contains("10 tasks in 2.000s"));
-        let inst = RunReport { elapsed: Duration::ZERO, ..r };
+        let inst = RunReport {
+            elapsed: Duration::ZERO,
+            ..r
+        };
         assert!(inst.throughput().is_infinite());
     }
 }

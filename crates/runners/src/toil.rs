@@ -26,10 +26,7 @@ impl ToilRunner {
         dispatch: Arc<dyn ToolDispatch>,
     ) -> Self {
         Self {
-            exec: WorkflowExecutor::new(
-                ExecProfile::toil_like(slots, job_store.clone()),
-                dispatch,
-            ),
+            exec: WorkflowExecutor::new(ExecProfile::toil_like(slots, job_store.clone()), dispatch),
             job_store,
         }
     }

@@ -45,7 +45,11 @@ pub struct WorkflowExecutor {
 impl WorkflowExecutor {
     /// Build an executor.
     pub fn new(profile: ExecProfile, dispatch: Arc<dyn ToolDispatch>) -> Self {
-        Self { profile, dispatch, tasks: AtomicUsize::new(0) }
+        Self {
+            profile,
+            dispatch,
+            tasks: AtomicUsize::new(0),
+        }
     }
 
     /// Execute the CWL file at `path` with `provided` inputs, placing all
@@ -68,6 +72,20 @@ impl WorkflowExecutor {
         )
         .map_err(|e| format!("{}: {e}", path.display()))?;
         let base_dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+
+        // Pre-run gate: refuse to start a run the static analyzer can
+        // already prove broken (type-mismatched links, bad expressions).
+        if self.profile.precheck {
+            let report = cwl::analyze::analyze_str(&raw, Some(path));
+            if !report.is_clean(self.profile.precheck_strict) {
+                return Err(format!(
+                    "static analysis found {} error(s), {} warning(s):\n{}",
+                    report.error_count(),
+                    report.warning_count(),
+                    report.render_text().trim_end()
+                ));
+            }
+        }
 
         self.tasks.store(0, Ordering::SeqCst);
         let start = Instant::now();
@@ -115,11 +133,13 @@ impl WorkflowExecutor {
         // pay the batch submit latency.
         let task_no = self.tasks.fetch_add(1, Ordering::SeqCst);
         let job_file = if let Some(store) = &self.profile.job_store {
-            std::fs::create_dir_all(store)
-                .map_err(|e| format!("cannot create job store: {e}"))?;
+            std::fs::create_dir_all(store).map_err(|e| format!("cannot create job store: {e}"))?;
             let job_file = store.join(format!("job-{task_no}.yml"));
             let mut desc = Map::new();
-            desc.insert("tool", tool.id.clone().unwrap_or_else(|| "anonymous".into()));
+            desc.insert(
+                "tool",
+                tool.id.clone().unwrap_or_else(|| "anonymous".into()),
+            );
             desc.insert("inputs", Value::Map(provided.clone()));
             std::fs::write(&job_file, yamlite::to_string(&Value::Map(desc)))
                 .map_err(|e| format!("cannot write job file: {e}"))?;
@@ -130,16 +150,19 @@ impl WorkflowExecutor {
         };
 
         let engine = engine_for(&tool.requirements, self.profile.js_cost.clone())?;
-        let result = execute_tool(tool, provided, workdir, engine.as_ref(), self.dispatch.as_ref());
+        let result = execute_tool(
+            tool,
+            provided,
+            workdir,
+            engine.as_ref(),
+            self.dispatch.as_ref(),
+        );
 
         if let Some(job_file) = job_file {
             // Persist the outcome and pay the leader's poll-discovery delay
             // (half an interval on average).
             let status = if result.is_ok() { "done" } else { "failed" };
-            let _ = std::fs::write(
-                job_file.with_extension("status"),
-                format!("{status}\n"),
-            );
+            let _ = std::fs::write(job_file.with_extension("status"), format!("{status}\n"));
             gridsim::pay(self.profile.poll_interval / 2);
         }
 
@@ -188,8 +211,9 @@ impl WorkflowExecutor {
                     } else {
                         base_dir.join(p)
                     };
-                    let raw = std::fs::read_to_string(&path)
-                        .map_err(|e| format!("step {:?}: cannot read {}: {e}", step.id, path.display()))?;
+                    let raw = std::fs::read_to_string(&path).map_err(|e| {
+                        format!("step {:?}: cannot read {}: {e}", step.id, path.display())
+                    })?;
                     let doc = load_document(
                         &yamlite::parse_str(&raw)
                             .map_err(|e| format!("step {:?}: {e}", step.id))?,
@@ -210,7 +234,11 @@ impl WorkflowExecutor {
                     step.id
                 ));
             }
-            resolved.push(ResolvedStep { doc, raw, base_dir: step_base });
+            resolved.push(ResolvedStep {
+                doc,
+                raw,
+                base_dir: step_base,
+            });
         }
 
         // Expression engine for step-level valueFrom.
@@ -223,12 +251,15 @@ impl WorkflowExecutor {
             let ready: Vec<usize> = (0..wf.steps.len())
                 .filter(|i| !done.contains(i))
                 .filter(|&i| {
-                    wf.steps[i]
-                        .upstream_steps()
-                        .iter()
-                        .all(|up| wf.step(up).is_some() && done.contains(
-                            &wf.steps.iter().position(|s| &s.id == up).expect("validated"),
-                        ))
+                    wf.steps[i].upstream_steps().iter().all(|up| {
+                        wf.step(up).is_some()
+                            && done.contains(
+                                &wf.steps
+                                    .iter()
+                                    .position(|s| &s.id == up)
+                                    .expect("validated"),
+                            )
+                    })
                 })
                 .collect();
             if ready.is_empty() {
@@ -250,7 +281,13 @@ impl WorkflowExecutor {
                 let base = self.step_base_inputs(step, &wf_inputs, &completed)?;
                 if step.scatter.is_empty() {
                     let inputs = self.apply_value_from(step, base, wf_engine.as_ref())?;
-                    jobs.push(Job { step_idx: i, scatter_idx: None, inputs, rstep, step });
+                    jobs.push(Job {
+                        step_idx: i,
+                        scatter_idx: None,
+                        inputs,
+                        rstep,
+                        step,
+                    });
                 } else {
                     let n = scatter_len(step, &base)?;
                     for k in 0..n {
@@ -264,7 +301,13 @@ impl WorkflowExecutor {
                             inst.insert(target.clone(), element);
                         }
                         let inputs = self.apply_value_from(step, inst, wf_engine.as_ref())?;
-                        jobs.push(Job { step_idx: i, scatter_idx: Some(k), inputs, rstep, step });
+                        jobs.push(Job {
+                            step_idx: i,
+                            scatter_idx: Some(k),
+                            inputs,
+                            rstep,
+                            step,
+                        });
                     }
                 }
             }
@@ -358,10 +401,9 @@ impl WorkflowExecutor {
                     .cloned()
                     .ok_or_else(|| format!("outputSource {:?} never produced", out.output_source))?
             } else {
-                wf_inputs
-                    .get(&out.output_source)
-                    .cloned()
-                    .ok_or_else(|| format!("outputSource {:?} is not an input", out.output_source))?
+                wf_inputs.get(&out.output_source).cloned().ok_or_else(|| {
+                    format!("outputSource {:?} is not an input", out.output_source)
+                })?
             };
             outputs.insert(out.id.clone(), value);
         }
@@ -378,17 +420,55 @@ impl WorkflowExecutor {
     ) -> Result<Map, String> {
         let mut out = Map::with_capacity(step.inputs.len());
         for input in &step.inputs {
-            let mut value = match &input.source {
-                Some(src) if src.contains('/') => completed.get(src).cloned().ok_or_else(|| {
-                    format!("step {:?} input {:?}: source {src:?} not ready", step.id, input.id)
-                })?,
-                Some(src) => wf_inputs.get(src).cloned().ok_or_else(|| {
-                    format!(
-                        "step {:?} input {:?}: unknown workflow input {src:?}",
-                        step.id, input.id
-                    )
-                })?,
-                None => Value::Null,
+            let resolve_one = |src: &str| -> Result<Value, String> {
+                if src.contains('/') {
+                    completed.get(src).cloned().ok_or_else(|| {
+                        format!(
+                            "step {:?} input {:?}: source {src:?} not ready",
+                            step.id, input.id
+                        )
+                    })
+                } else {
+                    wf_inputs.get(src).cloned().ok_or_else(|| {
+                        format!(
+                            "step {:?} input {:?}: unknown workflow input {src:?}",
+                            step.id, input.id
+                        )
+                    })
+                }
+            };
+            let mut value = if input.is_multi_source() {
+                // Gather a source list according to linkMerge (default
+                // merge_nested: one array element per listed source).
+                let gathered: Vec<Value> = input
+                    .sources
+                    .iter()
+                    .map(|s| resolve_one(s))
+                    .collect::<Result<_, _>>()?;
+                match input.link_merge.as_deref().unwrap_or("merge_nested") {
+                    "merge_flattened" => {
+                        let mut flat = Vec::new();
+                        for v in gathered {
+                            match v {
+                                Value::Seq(items) => flat.extend(items),
+                                other => flat.push(other),
+                            }
+                        }
+                        Value::Seq(flat)
+                    }
+                    "merge_nested" => Value::Seq(gathered),
+                    other => {
+                        return Err(format!(
+                            "step {:?} input {:?}: unknown linkMerge method {other:?}",
+                            step.id, input.id
+                        ))
+                    }
+                }
+            } else {
+                match &input.source {
+                    Some(src) => resolve_one(src)?,
+                    None => Value::Null,
+                }
             };
             if value.is_null() {
                 if let Some(default) = &input.default {
@@ -428,12 +508,12 @@ impl WorkflowExecutor {
 fn scatter_len(step: &Step, inputs: &Map) -> Result<usize, String> {
     let mut len: Option<usize> = None;
     for target in &step.scatter {
-        let arr = inputs
-            .get(target)
-            .and_then(Value::as_seq)
-            .ok_or_else(|| {
-                format!("step {:?}: scatter target {target:?} is not an array", step.id)
-            })?;
+        let arr = inputs.get(target).and_then(Value::as_seq).ok_or_else(|| {
+            format!(
+                "step {:?}: scatter target {target:?} is not an array",
+                step.id
+            )
+        })?;
         match len {
             None => len = Some(arr.len()),
             Some(n) if n != arr.len() => {
@@ -457,7 +537,10 @@ fn record_outputs(
 ) -> Result<(), String> {
     for out_id in &step.out {
         let v = outputs.get(out_id).cloned().ok_or_else(|| {
-            format!("step {:?} did not produce declared output {out_id:?}", step.id)
+            format!(
+                "step {:?} did not produce declared output {out_id:?}",
+                step.id
+            )
         })?;
         completed.insert(format!("{}/{}", step.id, out_id), v);
     }

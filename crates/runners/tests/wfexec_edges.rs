@@ -282,8 +282,13 @@ steps:
     let mut inputs = Map::new();
     inputs.insert("msg", Value::str("roundtrip"));
     let report = exec().run_file(&wf, &inputs, dir.join("run")).unwrap();
-    assert_eq!(report.outputs.get("original").unwrap(), &Value::str("roundtrip"));
-    assert!(report.outputs.get("echoed").unwrap()["path"].as_str().is_some());
+    assert_eq!(
+        report.outputs.get("original").unwrap(),
+        &Value::str("roundtrip")
+    );
+    assert!(report.outputs.get("echoed").unwrap()["path"]
+        .as_str()
+        .is_some());
     gridsim::TimeScale::set(1.0);
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -180,15 +180,21 @@ fn needs_quoting(s: &str) -> bool {
     if !matches!(resolve_scalar(s), Value::Str(_)) {
         return true;
     }
-    if s.starts_with(['-', '?', '|', '>', '&', '*', '!', '%', '@', '`', '"', '\'', '[', ']', '{', '}', '#'])
-        && !s.is_empty()
+    if s.starts_with([
+        '-', '?', '|', '>', '&', '*', '!', '%', '@', '`', '"', '\'', '[', ']', '{', '}', '#',
+    ]) && !s.is_empty()
     {
         // `-word` is fine, but `- word` or bare `-` is structural.
         if s == "-" || s.starts_with("- ") || !s.starts_with('-') {
             return true;
         }
     }
-    if s.contains(": ") || s.ends_with(':') || s.contains(" #") || s.contains('\n') || s.contains('\t') {
+    if s.contains(": ")
+        || s.ends_with(':')
+        || s.contains(" #")
+        || s.contains('\n')
+        || s.contains('\t')
+    {
         return true;
     }
     false
@@ -241,8 +247,20 @@ mod tests {
     #[test]
     fn strings_needing_quotes_roundtrip() {
         for s in [
-            "true", "null", "42", "3.5", "- dash", "a: b", "trailing ", " lead",
-            "has # comment", "", "it's", "quote\"inside", "multi\nline", "0x10",
+            "true",
+            "null",
+            "42",
+            "3.5",
+            "- dash",
+            "a: b",
+            "trailing ",
+            " lead",
+            "has # comment",
+            "",
+            "it's",
+            "quote\"inside",
+            "multi\nline",
+            "0x10",
         ] {
             let v = vmap! {"k" => s};
             assert_eq!(roundtrip(&v), v, "failed for {s:?}");

@@ -40,7 +40,10 @@ pub struct ParseError {
 impl ParseError {
     /// Build an error at a known position.
     pub fn at(message: impl Into<String>, position: Position) -> Self {
-        Self { message: message.into(), position }
+        Self {
+            message: message.into(),
+            position,
+        }
     }
 }
 
@@ -59,7 +62,10 @@ mod tests {
     #[test]
     fn display_known_position() {
         let e = ParseError::at("bad token", Position::new(3, 7));
-        assert_eq!(e.to_string(), "YAML parse error at line 3, column 7: bad token");
+        assert_eq!(
+            e.to_string(),
+            "YAML parse error at line 3, column 7: bad token"
+        );
     }
 
     #[test]

@@ -38,11 +38,13 @@ pub mod emit;
 pub mod error;
 pub mod parse;
 pub mod path;
+pub mod span;
 pub mod value;
 
 pub use emit::{to_string, to_string_flow};
 pub use error::{ParseError, Position};
-pub use parse::parse_str;
+pub use parse::{parse_str, parse_str_spanned};
+pub use span::SpanIndex;
 pub use value::{Map, Value};
 
 /// Parse a YAML document from a file path.

@@ -7,6 +7,7 @@
 //! collections (and therefore JSON).
 
 use crate::error::{ParseError, Position};
+use crate::span::SpanIndex;
 use crate::value::{Map, Value};
 
 /// Parse a single YAML document from a string.
@@ -14,11 +15,28 @@ use crate::value::{Map, Value};
 /// A leading `---` document marker is accepted; content after a second
 /// document marker is rejected (multi-document streams are out of scope).
 pub fn parse_str(text: &str) -> Result<Value, ParseError> {
+    parse_impl(text, false).map(|(v, _)| v)
+}
+
+/// Parse a single YAML document and also return a [`SpanIndex`] recording
+/// the source position of every block mapping key and sequence item, keyed
+/// by dotted path (`steps[0].scatter`). Nodes inside flow collections fall
+/// back to their nearest block-level ancestor via [`SpanIndex::resolve`].
+pub fn parse_str_spanned(text: &str) -> Result<(Value, SpanIndex), ParseError> {
+    parse_impl(text, true).map(|(v, s)| (v, s.unwrap_or_default()))
+}
+
+fn parse_impl(text: &str, spanned: bool) -> Result<(Value, Option<SpanIndex>), ParseError> {
     let lines = scan_lines(text)?;
     if lines.is_empty() {
-        return Ok(Value::Null);
+        return Ok((Value::Null, spanned.then(SpanIndex::new)));
     }
-    let mut p = Parser { lines, pos: 0 };
+    let mut p = Parser {
+        lines,
+        pos: 0,
+        path: String::new(),
+        spans: spanned.then(SpanIndex::new),
+    };
     let v = p.parse_node(0)?;
     if let Some(line) = p.peek() {
         return Err(ParseError::at(
@@ -26,7 +44,7 @@ pub fn parse_str(text: &str) -> Result<Value, ParseError> {
             Position::new(line.number, line.indent + 1),
         ));
     }
-    Ok(v)
+    Ok((v, p.spans))
 }
 
 /// A raw content line with its indentation and source position.
@@ -56,7 +74,11 @@ fn scan_lines(text: &str) -> Result<Vec<Line>, ParseError> {
         }
         let content = &without_cr[indent..];
         if content.is_empty() {
-            out.push(Line { indent, content: String::new(), number });
+            out.push(Line {
+                indent,
+                content: String::new(),
+                number,
+            });
             continue;
         }
         if content == "---" || content.starts_with("--- ") {
@@ -70,14 +92,22 @@ fn scan_lines(text: &str) -> Result<Vec<Line>, ParseError> {
             // Content may follow the marker on the same line: `--- foo`.
             let rest = content.trim_start_matches("---").trim_start();
             if !rest.is_empty() {
-                out.push(Line { indent, content: rest.to_string(), number });
+                out.push(Line {
+                    indent,
+                    content: rest.to_string(),
+                    number,
+                });
             }
             continue;
         }
         if content == "..." {
             break; // explicit end-of-document
         }
-        out.push(Line { indent, content: content.to_string(), number });
+        out.push(Line {
+            indent,
+            content: content.to_string(),
+            number,
+        });
     }
     Ok(out)
 }
@@ -91,6 +121,10 @@ fn is_ignorable(content: &str) -> bool {
 struct Parser {
     lines: Vec<Line>,
     pos: usize,
+    /// Dotted path of the node currently being parsed (span recording only).
+    path: String,
+    /// When `Some`, key/item positions are recorded here as parsing proceeds.
+    spans: Option<SpanIndex>,
 }
 
 impl Parser {
@@ -106,10 +140,44 @@ impl Parser {
         ParseError::at(msg, Position::new(line.number, line.indent + 1))
     }
 
+    /// Extend the current path with a mapping key, returning the length to
+    /// truncate back to. No-op (returns the current length) when spans are
+    /// not being recorded.
+    fn push_key(&mut self, key: &str) -> usize {
+        let saved = self.path.len();
+        if self.spans.is_some() {
+            if !self.path.is_empty() {
+                self.path.push('.');
+            }
+            self.path.push_str(key);
+        }
+        saved
+    }
+
+    /// Extend the current path with a sequence index (see [`Self::push_key`]).
+    fn push_index(&mut self, index: usize) -> usize {
+        let saved = self.path.len();
+        if self.spans.is_some() {
+            self.path.push('[');
+            self.path.push_str(&index.to_string());
+            self.path.push(']');
+        }
+        saved
+    }
+
+    /// Record the position of the node at the current path.
+    fn record(&mut self, line: usize, col: usize) {
+        if let Some(spans) = self.spans.as_mut() {
+            spans.insert(self.path.clone(), Position::new(line, col));
+        }
+    }
+
     /// Parse the node starting at the current line, which must have
     /// `indent >= min_indent`. Returns `Null` when there is no such node.
     fn parse_node(&mut self, min_indent: usize) -> Result<Value, ParseError> {
-        let Some(line) = self.peek() else { return Ok(Value::Null) };
+        let Some(line) = self.peek() else {
+            return Ok(Value::Null);
+        };
         if line.indent < min_indent {
             return Ok(Value::Null);
         }
@@ -158,6 +226,8 @@ impl Parser {
             let rest = rest.trim_end();
             self.pos += 1;
 
+            let saved = self.push_key(&key);
+            self.record(line.number, indent + 1);
             let value = if rest.is_empty() {
                 self.parse_child_value(indent)?
             } else if let Some(header) = BlockScalarHeader::parse(rest) {
@@ -165,6 +235,7 @@ impl Parser {
             } else {
                 parse_flow_scalar(rest, line.number, colon + 2)?
             };
+            self.path.truncate(saved);
             map.insert(key, value);
         }
         Ok(Value::Map(map))
@@ -174,7 +245,9 @@ impl Parser {
     /// either a more-indented block, a sequence at the *same* indent (YAML
     /// permits this), or null.
     fn parse_child_value(&mut self, parent_indent: usize) -> Result<Value, ParseError> {
-        let Some(next) = self.peek() else { return Ok(Value::Null) };
+        let Some(next) = self.peek() else {
+            return Ok(Value::Null);
+        };
         let next_indent = next.indent;
         let next_is_dash = next.content == "-" || next.content.starts_with("- ");
         if next_indent > parent_indent {
@@ -200,6 +273,8 @@ impl Parser {
             let rest_full = line.content[after_dash_offset.min(line.content.len())..].to_string();
             let rest_trimmed = strip_comment(rest_full.trim_start()).trim_end().to_string();
 
+            let saved = self.push_index(items.len());
+            self.record(line.number, indent + 1);
             if rest_trimmed.is_empty() {
                 // `-` alone: nested node on following more-indented lines.
                 self.pos += 1;
@@ -225,6 +300,7 @@ impl Parser {
                 self.pos += 1;
                 items.push(parse_flow_scalar(&rest_trimmed, line.number, indent + 3)?);
             }
+            self.path.truncate(saved);
         }
         Ok(Value::Seq(items))
     }
@@ -365,7 +441,11 @@ impl BlockScalarHeader {
                 _ => return None, // trailing junk: not a header
             }
         }
-        Some(Self { folded, chomp, explicit_indent })
+        Some(Self {
+            folded,
+            chomp,
+            explicit_indent,
+        })
     }
 }
 
@@ -398,9 +478,10 @@ fn find_key_colon(content: &str) -> Option<usize> {
                 b']' | b'}' => depth = depth.saturating_sub(1),
                 b'#' if i > 0 && bytes[i - 1].is_ascii_whitespace() => return None,
                 b':' if depth == 0
-                    && (i + 1 >= bytes.len() || bytes[i + 1].is_ascii_whitespace()) => {
-                        return Some(i);
-                    }
+                    && (i + 1 >= bytes.len() || bytes[i + 1].is_ascii_whitespace()) =>
+                {
+                    return Some(i);
+                }
                 _ => {}
             }
         }
@@ -504,7 +585,13 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn new(s: &'a str, line: usize, col: usize) -> Self {
-        Self { s, bytes: s.as_bytes(), i: 0, line, col }
+        Self {
+            s,
+            bytes: s.as_bytes(),
+            i: 0,
+            line,
+            col,
+        }
     }
 
     fn at_end(&self) -> bool {
@@ -703,9 +790,7 @@ impl<'a> Cursor<'a> {
                 FlowCtx::Top => false,
                 FlowCtx::Seq => b == b',' || b == b']',
                 FlowCtx::MapValue => b == b',' || b == b'}',
-                FlowCtx::MapKey => {
-                    b == b':' || b == b',' || b == b'}'
-                }
+                FlowCtx::MapKey => b == b':' || b == b',' || b == b'}',
             };
             if stop {
                 break;
@@ -990,7 +1075,10 @@ stdout: hello.txt
         assert_eq!(v["cwlVersion"].as_str(), Some("v1.2"));
         assert_eq!(v["class"].as_str(), Some("CommandLineTool"));
         assert_eq!(v["inputs"]["message"]["type"].as_str(), Some("string"));
-        assert_eq!(v["inputs"]["message"]["inputBinding"]["position"].as_int(), Some(1));
+        assert_eq!(
+            v["inputs"]["message"]["inputBinding"]["position"].as_int(),
+            Some(1)
+        );
         assert_eq!(v["stdout"].as_str(), Some("hello.txt"));
     }
 
@@ -999,7 +1087,10 @@ stdout: hello.txt
         let text = "requirements:\n  - class: StepInputExpressionRequirement\n  - class: ScatterFeatureRequirement\n";
         let v = parse_str(text).unwrap();
         let reqs = v["requirements"].as_seq().unwrap();
-        assert_eq!(reqs[0]["class"].as_str(), Some("StepInputExpressionRequirement"));
+        assert_eq!(
+            reqs[0]["class"].as_str(),
+            Some("StepInputExpressionRequirement")
+        );
         assert_eq!(reqs[1]["class"].as_str(), Some("ScatterFeatureRequirement"));
     }
 
@@ -1047,6 +1138,57 @@ stdout: hello.txt
     #[test]
     fn inline_seq_item_scalar_types() {
         let v = parse_str("- null\n- 3\n- 2.5\n").unwrap();
-        assert_eq!(v, Value::Seq(vec![Value::Null, Value::Int(3), Value::Float(2.5)]));
+        assert_eq!(
+            v,
+            Value::Seq(vec![Value::Null, Value::Int(3), Value::Float(2.5)])
+        );
+    }
+
+    #[test]
+    fn spanned_records_mapping_keys() {
+        let text = "a: 1\nnested:\n  x: 2\n  y: 3\n";
+        let (v, spans) = parse_str_spanned(text).unwrap();
+        assert_eq!(v["nested"]["y"].as_int(), Some(3));
+        assert_eq!(spans.get("a"), Some(Position::new(1, 1)));
+        assert_eq!(spans.get("nested"), Some(Position::new(2, 1)));
+        assert_eq!(spans.get("nested.x"), Some(Position::new(3, 3)));
+        assert_eq!(spans.get("nested.y"), Some(Position::new(4, 3)));
+    }
+
+    #[test]
+    fn spanned_records_sequence_items() {
+        let text = "steps:\n  - name: one\n    cmd: echo\n  - name: two\n";
+        let (_, spans) = parse_str_spanned(text).unwrap();
+        assert_eq!(spans.get("steps"), Some(Position::new(1, 1)));
+        assert_eq!(spans.get("steps[0]"), Some(Position::new(2, 3)));
+        assert_eq!(spans.get("steps[0].name"), Some(Position::new(2, 5)));
+        assert_eq!(spans.get("steps[0].cmd"), Some(Position::new(3, 5)));
+        assert_eq!(spans.get("steps[1]"), Some(Position::new(4, 3)));
+        assert_eq!(spans.get("steps[1].name"), Some(Position::new(4, 5)));
+    }
+
+    #[test]
+    fn spanned_resolve_flow_children_to_ancestor() {
+        let text = "m: {a: 1, b: [x, y]}\n";
+        let (v, spans) = parse_str_spanned(text).unwrap();
+        assert_eq!(v["m"]["a"].as_int(), Some(1));
+        // Flow children are not individually recorded but resolve to the key.
+        assert_eq!(spans.get("m.b[1]"), None);
+        assert_eq!(spans.resolve("m.b[1]"), Some(Position::new(1, 1)));
+    }
+
+    #[test]
+    fn spanned_skips_comment_lines() {
+        let text = "# header\n# more\na: 1\nb:\n  # interior\n  c: 2\n";
+        let (_, spans) = parse_str_spanned(text).unwrap();
+        assert_eq!(spans.get("a"), Some(Position::new(3, 1)));
+        assert_eq!(spans.get("b.c"), Some(Position::new(6, 3)));
+    }
+
+    #[test]
+    fn plain_parse_records_no_spans() {
+        // `parse_str` must not pay for span bookkeeping.
+        let v = parse_str("a:\n  - x\n").unwrap();
+        assert_eq!(v["a"][0].as_str(), Some("x"));
     }
 }

@@ -65,7 +65,9 @@ pub fn get<'a>(value: &'a Value, path: &str) -> Option<&'a Value> {
 /// sequence indices must already exist. Returns `false` when the path cannot
 /// be applied (e.g. indexing a scalar).
 pub fn set(value: &mut Value, path: &str, new: Value) -> bool {
-    let Some(segments) = parse_path(path) else { return false };
+    let Some(segments) = parse_path(path) else {
+        return false;
+    };
     let mut cur = value;
     for (pos, seg) in segments.iter().enumerate() {
         let last = pos + 1 == segments.len();
@@ -74,7 +76,9 @@ pub fn set(value: &mut Value, path: &str, new: Value) -> bool {
                 if cur.is_null() {
                     *cur = Value::Map(crate::Map::new());
                 }
-                let Some(map) = cur.as_map_mut() else { return false };
+                let Some(map) = cur.as_map_mut() else {
+                    return false;
+                };
                 if !map.contains_key(k) {
                     map.insert(k.clone(), Value::Null);
                 }
@@ -86,8 +90,12 @@ pub fn set(value: &mut Value, path: &str, new: Value) -> bool {
                 cur = slot;
             }
             Segment::Index(i) => {
-                let Some(seq) = cur.as_seq_mut() else { return false };
-                let Some(slot) = seq.get_mut(*i) else { return false };
+                let Some(seq) = cur.as_seq_mut() else {
+                    return false;
+                };
+                let Some(slot) = seq.get_mut(*i) else {
+                    return false;
+                };
                 if last {
                     *slot = new;
                     return true;

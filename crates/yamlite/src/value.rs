@@ -22,7 +22,9 @@ impl Map {
 
     /// Create an empty map with room for `n` entries.
     pub fn with_capacity(n: usize) -> Self {
-        Self { entries: Vec::with_capacity(n) }
+        Self {
+            entries: Vec::with_capacity(n),
+        }
     }
 
     /// Number of entries.
@@ -42,7 +44,10 @@ impl Map {
 
     /// Mutable lookup by key.
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
-        self.entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v)
+        self.entries
+            .iter_mut()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
     }
 
     /// True when `key` is present.
@@ -293,7 +298,11 @@ pub(crate) fn format_float(f: f64) -> String {
     if f.is_nan() {
         ".nan".to_string()
     } else if f.is_infinite() {
-        if f > 0.0 { ".inf".to_string() } else { "-.inf".to_string() }
+        if f > 0.0 {
+            ".inf".to_string()
+        } else {
+            "-.inf".to_string()
+        }
     } else if f == f.trunc() && f.abs() < 1e15 {
         format!("{f:.1}")
     } else {

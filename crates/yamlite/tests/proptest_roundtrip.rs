@@ -14,7 +14,9 @@ fn scalar() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         (-1.0e9..1.0e9f64).prop_map(|f| Value::Float((f * 1e3).round() / 1e3)),
         // Printable strings, including YAML-hostile ones.
-        proptest::string::string_regex("[ -~]{0,24}").unwrap().prop_map(Value::Str),
+        proptest::string::string_regex("[ -~]{0,24}")
+            .unwrap()
+            .prop_map(Value::Str),
         prop_oneof![
             Just("true".to_string()),
             Just("null".to_string()),
@@ -37,9 +39,8 @@ fn value() -> impl Strategy<Value = Value> {
     scalar().prop_recursive(3, 24, 4, |inner| {
         prop_oneof![
             proptest::collection::vec(inner.clone(), 0..4).prop_map(Value::Seq),
-            proptest::collection::vec((key(), inner), 0..4).prop_map(|pairs| {
-                Value::Map(pairs.into_iter().collect::<Map>())
-            }),
+            proptest::collection::vec((key(), inner), 0..4)
+                .prop_map(|pairs| { Value::Map(pairs.into_iter().collect::<Map>()) }),
         ]
     })
 }

@@ -77,10 +77,7 @@ fn main() -> Result<(), String> {
             out.basename()
         );
     }
-    println!(
-        "{} tasks executed",
-        dfk.monitoring().summary().completed
-    );
+    println!("{} tasks executed", dfk.monitoring().summary().completed);
     dfk.shutdown();
     Ok(())
 }

@@ -39,7 +39,10 @@ fn main() -> Result<(), String> {
     let validate = CwlApp::load(&dfk, fixtures.join("validate_csv.cwl"), opts())?;
     let ok = validate
         .call()
-        .arg("data_file", workdir.join("data.csv").to_string_lossy().into_owned())
+        .arg(
+            "data_file",
+            workdir.join("data.csv").to_string_lossy().into_owned(),
+        )
         .submit()?;
     ok.future.result().map_err(|e| e.to_string())?;
     println!("data.csv accepted");
@@ -48,7 +51,10 @@ fn main() -> Result<(), String> {
     std::fs::write(workdir.join("notes.txt"), "not a csv").map_err(|e| e.to_string())?;
     let bad = validate
         .call()
-        .arg("data_file", workdir.join("notes.txt").to_string_lossy().into_owned())
+        .arg(
+            "data_file",
+            workdir.join("notes.txt").to_string_lossy().into_owned(),
+        )
         .submit()?;
     match bad.future.result() {
         Err(e) => {

@@ -82,7 +82,10 @@ fn main() -> Result<(), String> {
     let start = Instant::now();
     let outputs = parsl_runner.run(&wf, &inputs)?;
     let elapsed = start.elapsed();
-    let n_out = outputs.get("final_outputs").and_then(Value::as_seq).map(|s| s.len());
+    let n_out = outputs
+        .get("final_outputs")
+        .and_then(Value::as_seq)
+        .map(|s| s.len());
     println!(
         "  parsl-htex: {} tasks in {:.3}s ({} outputs)",
         dfk.monitoring().summary().completed,

@@ -1,0 +1,21 @@
+# E020: unparseable JavaScript in a valueFrom expression.
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: StepInputExpressionRequirement
+inputs:
+  x: string
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        y: string
+      outputs: {}
+    in:
+      y:
+        source: x
+        valueFrom: $(inputs.x +)
+    out: []

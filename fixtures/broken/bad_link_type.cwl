@@ -1,0 +1,17 @@
+# E011: an int workflow input feeds a File tool input.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  count: int
+outputs: {}
+steps:
+  consume:
+    run:
+      class: CommandLineTool
+      baseCommand: cat
+      inputs:
+        f: File
+      outputs: {}
+    in:
+      f: count
+    out: []

@@ -1,0 +1,14 @@
+# E018: the step lists an out entry the run target does not declare.
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs: {}
+      outputs: {}
+    in: {}
+    out: [nope]

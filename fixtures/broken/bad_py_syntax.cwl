@@ -1,0 +1,11 @@
+# E021: the InlinePythonRequirement expressionLib does not parse.
+cwlVersion: v1.2
+class: CommandLineTool
+requirements:
+  - class: InlinePythonRequirement
+    expressionLib:
+      - |
+        def broken(
+baseCommand: echo
+inputs: {}
+outputs: {}

@@ -1,0 +1,8 @@
+# E023: a ${...} body without any inline-expression requirement.
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+arguments:
+  - ${ return 42; }
+inputs: {}
+outputs: {}

@@ -1,0 +1,30 @@
+# E017: steps a and b feed each other.
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  a:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: Any
+      outputs:
+        o:
+          type: stdout
+    in:
+      x: b/o
+    out: [o]
+  b:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: Any
+      outputs:
+        o:
+          type: stdout
+    in:
+      x: a/o
+    out: [o]

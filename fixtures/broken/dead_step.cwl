@@ -1,0 +1,34 @@
+# W101: step b contributes to no workflow output (strict-only failure).
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: string
+outputs:
+  out:
+    type: File
+    outputSource: a/o
+steps:
+  a:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      x: x
+    out: [o]
+  b:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      x: x
+    out: [o]

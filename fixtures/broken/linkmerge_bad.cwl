@@ -1,0 +1,20 @@
+# E015: unknown linkMerge method.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  a: string
+  b: string
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        items: string[]
+      outputs: {}
+    in:
+      items:
+        source: [a, b]
+        linkMerge: merge_zip
+    out: []

@@ -1,0 +1,15 @@
+# E026: the run target's required input f is never wired.
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: cat
+      inputs:
+        f: File
+      outputs: {}
+    in: {}
+    out: []

@@ -1,0 +1,17 @@
+# W103: an optional workflow input feeds a required tool input.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: string?
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: string
+      outputs: {}
+    in:
+      x: x
+    out: []

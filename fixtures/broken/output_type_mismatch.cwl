@@ -1,0 +1,22 @@
+# E016: the workflow output declares int but its source produces a File.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: string
+outputs:
+  result:
+    type: int
+    outputSource: s/o
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        x: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      x: x
+    out: [o]

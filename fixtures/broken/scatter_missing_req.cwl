@@ -1,0 +1,18 @@
+# E014: scatter without ScatterFeatureRequirement.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  words: string[]
+outputs: {}
+steps:
+  cap:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        item: string
+      outputs: {}
+    scatter: item
+    in:
+      item: words
+    out: []

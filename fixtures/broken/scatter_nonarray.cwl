@@ -1,0 +1,20 @@
+# E013: scatter over a plain string workflow input.
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  word: string
+outputs: {}
+steps:
+  cap:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        item: string
+      outputs: {}
+    scatter: item
+    in:
+      item: word
+    out: []

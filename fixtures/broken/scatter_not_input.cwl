@@ -1,0 +1,20 @@
+# E012: the scatter target is not one of the step's inputs.
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words: string[]
+outputs: {}
+steps:
+  cap:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        item: string
+      outputs: {}
+    scatter: nothere
+    in:
+      item: words
+    out: []

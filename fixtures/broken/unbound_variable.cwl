@@ -1,0 +1,8 @@
+# E022: an expression references a name outside inputs/self/runtime.
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: echo
+arguments:
+  - $(undeclared_name)
+inputs: {}
+outputs: {}

@@ -1,0 +1,20 @@
+# E010: a step input names a source that does not exist.
+cwlVersion: v1.2
+class: Workflow
+inputs: {}
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: cat
+      inputs:
+        f:
+          type: File
+          default:
+            class: File
+            path: /dev/null
+      outputs: {}
+    in:
+      f: nonexistent
+    out: []

@@ -1,0 +1,19 @@
+# E024: valueFrom without StepInputExpressionRequirement.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  x: string
+outputs: {}
+steps:
+  s:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      inputs:
+        y: string
+      outputs: {}
+    in:
+      y:
+        source: x
+        valueFrom: $(self)
+    out: []

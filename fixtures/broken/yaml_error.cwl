@@ -1,0 +1,6 @@
+# E001: this is not well-formed YAML.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+    x: string
+  badly_dedented: true

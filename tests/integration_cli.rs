@@ -37,7 +37,11 @@ fn runs_echo_with_flag_inputs() {
         .arg("--message=Hello from the CLI")
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("hello.txt"), "stdout: {stdout}");
     let produced = std::fs::read_to_string(dir.join("work").join("echo_0").join("hello.txt"))
@@ -66,7 +70,11 @@ fn runs_tool_with_inputs_file() {
         .arg(&inputs)
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let produced = std::fs::read_to_string(dir.join("work").join("echo_0").join("hello.txt"))
         .expect("output file exists");
     assert_eq!(produced, "from inputs.yml\n");
@@ -86,7 +94,11 @@ fn validate_mode_reports_diagnostics() {
     let dir = scratch("badval");
     let bad = dir.join("bad.cwl");
     std::fs::write(&bad, "class: CommandLineTool\ninputs: {}\noutputs: {}\n").unwrap();
-    let res = parsl_cwl().arg("--validate").arg(&bad).output().expect("binary runs");
+    let res = parsl_cwl()
+        .arg("--validate")
+        .arg(&bad)
+        .output()
+        .expect("binary runs");
     assert!(!res.status.success());
     let text = String::from_utf8_lossy(&res.stdout);
     assert!(text.contains("cwlVersion"), "{text}");
@@ -123,7 +135,11 @@ fn workflow_execution_through_cli() {
         .arg("--radius=1")
         .output()
         .expect("binary runs");
-    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+    assert!(
+        output.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&output.stderr)
+    );
     let stdout = String::from_utf8_lossy(&output.stdout);
     assert!(stdout.contains("final_output"), "stdout: {stdout}");
     assert!(stdout.contains("blurred.rimg"), "stdout: {stdout}");

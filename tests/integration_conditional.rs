@@ -26,7 +26,10 @@ fn inputs(dir: &Path, radius: i64) -> Map {
         imaging::write_rimg(&img, &imaging::gradient(24, 24, 1)).unwrap();
     }
     let mut m = Map::new();
-    m.insert("input_image", Value::str(img.to_string_lossy().into_owned()));
+    m.insert(
+        "input_image",
+        Value::str(img.to_string_lossy().into_owned()),
+    );
     m.insert("size", Value::Int(12));
     m.insert("radius", Value::Int(radius));
     m
@@ -40,7 +43,9 @@ fn refrunner_when_true_runs_and_false_skips() {
     let runner = RefRunner::new(2, Arc::new(BuiltinDispatch));
 
     let on = runner.run(&wf, &inputs(&dir, 2), dir.join("on")).unwrap();
-    assert!(on.outputs.get("blurred_output").unwrap()["path"].as_str().is_some());
+    assert!(on.outputs.get("blurred_output").unwrap()["path"]
+        .as_str()
+        .is_some());
     assert_eq!(on.tasks, 2);
 
     let off = runner.run(&wf, &inputs(&dir, 0), dir.join("off")).unwrap();
@@ -48,7 +53,9 @@ fn refrunner_when_true_runs_and_false_skips() {
     // Only the resize task ran.
     assert_eq!(off.tasks, 1);
     // The unconditional output is still produced.
-    assert!(off.outputs.get("resized_output").unwrap()["path"].as_str().is_some());
+    assert!(off.outputs.get("resized_output").unwrap()["path"]
+        .as_str()
+        .is_some());
     gridsim::TimeScale::set(1.0);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -59,15 +66,19 @@ fn parsl_compiler_when_semantics_match() {
     let dir = scratch("parsl");
     let wf = fixtures().join("conditional_blur.cwl");
     let dfk = DataFlowKernel::new(Config::local_threads(2));
-    let runner =
-        ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(dir.join("w")).with_builtin_tools());
+    let runner = ParslWorkflowRunner::new(
+        &dfk,
+        CwlAppOptions::in_dir(dir.join("w")).with_builtin_tools(),
+    );
 
     let on = runner.run(&wf, &inputs(&dir, 2)).unwrap();
     assert!(on.get("blurred_output").unwrap()["path"].as_str().is_some());
 
     let off = runner.run(&wf, &inputs(&dir, 0)).unwrap();
     assert!(off.get("blurred_output").unwrap().is_null());
-    assert!(off.get("resized_output").unwrap()["path"].as_str().is_some());
+    assert!(off.get("resized_output").unwrap()["path"]
+        .as_str()
+        .is_some());
     dfk.shutdown();
     gridsim::TimeScale::set(1.0);
     let _ = std::fs::remove_dir_all(&dir);
@@ -117,14 +128,24 @@ steps:
     // The fixture references resize_image.cwl/blur_image.cwl relative to
     // its own location, so write it into the fixtures directory's sibling
     // space by copying those tools next to it instead.
-    std::fs::copy(fixtures().join("resize_image.cwl"), dir.join("resize_image.cwl")).unwrap();
-    std::fs::copy(fixtures().join("blur_image.cwl"), dir.join("blur_image.cwl")).unwrap();
+    std::fs::copy(
+        fixtures().join("resize_image.cwl"),
+        dir.join("resize_image.cwl"),
+    )
+    .unwrap();
+    std::fs::copy(
+        fixtures().join("blur_image.cwl"),
+        dir.join("blur_image.cwl"),
+    )
+    .unwrap();
     let wf = dir.join("gated.cwl");
     std::fs::write(&wf, wf_src).unwrap();
 
     let dfk = DataFlowKernel::new(Config::local_threads(2));
-    let runner =
-        ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(dir.join("w")).with_builtin_tools());
+    let runner = ParslWorkflowRunner::new(
+        &dfk,
+        CwlAppOptions::in_dir(dir.join("w")).with_builtin_tools(),
+    );
 
     // Large resize target → file over the gate → blur runs.
     let big = runner.run(&wf, &inputs(&dir, 0).tap_set_size(40)).unwrap();

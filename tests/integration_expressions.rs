@@ -84,7 +84,11 @@ fn validate_hook_enforced_by_baseline_runner_too() {
         Value::str(base.join("good.csv").to_string_lossy().into_owned()),
     );
     runner
-        .run(fixtures().join("validate_csv.cwl"), &inputs, base.join("ok"))
+        .run(
+            fixtures().join("validate_csv.cwl"),
+            &inputs,
+            base.join("ok"),
+        )
         .unwrap();
 
     let mut inputs = Map::new();
@@ -93,7 +97,11 @@ fn validate_hook_enforced_by_baseline_runner_too() {
         Value::str(base.join("bad.json").to_string_lossy().into_owned()),
     );
     let err = runner
-        .run(fixtures().join("validate_csv.cwl"), &inputs, base.join("bad"))
+        .run(
+            fixtures().join("validate_csv.cwl"),
+            &inputs,
+            base.join("bad"),
+        )
         .unwrap_err();
     assert!(err.contains("Expected '.csv'"), "{err}");
     gridsim::TimeScale::set(1.0);

@@ -84,12 +84,20 @@ fn workflow_on_parsl_fails_downstream_cleanly() {
         CwlAppOptions::in_dir(&dir).with_dispatch(flaky.clone()),
     );
     let mut inputs = Map::new();
-    inputs.insert("input_image", Value::str(dir.join("in.rimg").to_string_lossy().into_owned()));
+    inputs.insert(
+        "input_image",
+        Value::str(dir.join("in.rimg").to_string_lossy().into_owned()),
+    );
     inputs.insert("size", Value::Int(8));
     inputs.insert("sepia", Value::Bool(false));
     inputs.insert("radius", Value::Int(1));
-    let err = runner.run(fixtures().join("image_pipeline.cwl"), &inputs).unwrap_err();
-    assert!(err.contains("injected") || err.contains("dependency"), "{err}");
+    let err = runner
+        .run(fixtures().join("image_pipeline.cwl"), &inputs)
+        .unwrap_err();
+    assert!(
+        err.contains("injected") || err.contains("dependency"),
+        "{err}"
+    );
     // Only the first stage's dispatch ran; the rest were short-circuited.
     assert_eq!(flaky.invocations(), 1);
     let summary = dfk.monitoring().summary();
@@ -112,7 +120,9 @@ fn baseline_runners_surface_injected_failures() {
         profile,
         Arc::new(FlakyDispatch::new(BuiltinDispatch, usize::MAX / 2)),
     );
-    let err = runner.run(fixtures().join("echo.cwl"), &inputs, dir.join("ref")).unwrap_err();
+    let err = runner
+        .run(fixtures().join("echo.cwl"), &inputs, dir.join("ref"))
+        .unwrap_err();
     assert!(err.contains("injected"), "{err}");
 
     let toil = ToilRunner::single_machine(
@@ -120,7 +130,9 @@ fn baseline_runners_surface_injected_failures() {
         dir.join("js"),
         Arc::new(FlakyDispatch::new(BuiltinDispatch, usize::MAX / 2)),
     );
-    let err = toil.run(fixtures().join("echo.cwl"), &inputs, dir.join("toil")).unwrap_err();
+    let err = toil
+        .run(fixtures().join("echo.cwl"), &inputs, dir.join("toil"))
+        .unwrap_err();
     assert!(err.contains("injected"), "{err}");
     // The job store still recorded the failed job.
     let statuses: Vec<String> = std::fs::read_dir(dir.join("js"))

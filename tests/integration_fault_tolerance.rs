@@ -171,7 +171,9 @@ fn mid_batch_node_kill_redispatches_exactly_the_unfinished() {
         .collect();
     for (i, f) in futs.iter().enumerate() {
         assert_eq!(
-            f.result_timeout(Duration::from_secs(10)).expect("task hung").unwrap(),
+            f.result_timeout(Duration::from_secs(10))
+                .expect("task hung")
+                .unwrap(),
             Value::Int(i as i64 * 11),
             "task {i}"
         );
@@ -206,7 +208,10 @@ fn mid_batch_node_kill_redispatches_exactly_the_unfinished() {
             redispatches[i]
         );
         if redispatches[i] == 0 {
-            assert_eq!(runs, 1, "task {i} was never re-dispatched yet ran {runs} times");
+            assert_eq!(
+                runs, 1,
+                "task {i} was never re-dispatched yet ran {runs} times"
+            );
         }
     }
     assert_eq!(dfk.monitoring().summary().failed, 0);

@@ -64,21 +64,18 @@ fn all_three_systems_agree_on_scattered_pipeline() {
 
     // Toil-like.
     let toil_dir = base.join("toil");
-    let toil_report =
-        ToilRunner::single_machine(4, toil_dir.join("js"), Arc::new(BuiltinDispatch))
-            .run(&wf, &inputs, &toil_dir)
-            .unwrap();
+    let toil_report = ToilRunner::single_machine(4, toil_dir.join("js"), Arc::new(BuiltinDispatch))
+        .run(&wf, &inputs, &toil_dir)
+        .unwrap();
     let toil_prints = fingerprints(toil_report.outputs.get("final_outputs").unwrap());
 
     // parsl-cwl.
     let parsl_dir = base.join("parsl");
     let dfk = DataFlowKernel::new(Config::local_threads(4));
-    let parsl_out = ParslWorkflowRunner::new(
-        &dfk,
-        CwlAppOptions::in_dir(&parsl_dir).with_builtin_tools(),
-    )
-    .run(&wf, &inputs)
-    .unwrap();
+    let parsl_out =
+        ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&parsl_dir).with_builtin_tools())
+            .run(&wf, &inputs)
+            .unwrap();
     dfk.shutdown();
     let parsl_prints = fingerprints(parsl_out.get("final_outputs").unwrap());
 
@@ -135,7 +132,10 @@ fn manual_parsl_chain_matches_workflow_runner() {
 
     // Workflow-compiled.
     let mut inputs = Map::new();
-    inputs.insert("input_image", Value::str(input.to_string_lossy().into_owned()));
+    inputs.insert(
+        "input_image",
+        Value::str(input.to_string_lossy().into_owned()),
+    );
     inputs.insert("size", Value::Int(18));
     inputs.insert("sepia", Value::Bool(true));
     inputs.insert("radius", Value::Int(1));
@@ -145,9 +145,12 @@ fn manual_parsl_chain_matches_workflow_runner() {
     )
     .run(fixtures().join("image_pipeline.cwl"), &inputs)
     .unwrap();
-    let wf_img =
-        imaging::read_rimg(wf_out.get("final_output").unwrap()["path"].as_str().unwrap())
-            .unwrap();
+    let wf_img = imaging::read_rimg(
+        wf_out.get("final_output").unwrap()["path"]
+            .as_str()
+            .unwrap(),
+    )
+    .unwrap();
     dfk.shutdown();
 
     assert_eq!(hand_img.fingerprint(), wf_img.fingerprint());

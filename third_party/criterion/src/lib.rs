@@ -36,12 +36,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`, as real criterion renders it.
     pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
-        Self { id: format!("{}/{}", function_name.into(), parameter) }
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
     }
 
     /// A parameter-only id.
     pub fn from_parameter(parameter: impl Display) -> Self {
-        Self { id: parameter.to_string() }
+        Self {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -128,7 +132,10 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iterations: self.sample_size as u64, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b);
         self.report(&id.into_id(), &b);
         self
@@ -144,14 +151,21 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        let mut b = Bencher { iterations: self.sample_size as u64, elapsed: Duration::ZERO };
+        let mut b = Bencher {
+            iterations: self.sample_size as u64,
+            elapsed: Duration::ZERO,
+        };
         f(&mut b, input);
         self.report(&id.into_id(), &b);
         self
     }
 
     fn report(&self, id: &str, b: &Bencher) {
-        let mean = if b.iterations > 0 { b.elapsed / b.iterations as u32 } else { Duration::ZERO };
+        let mean = if b.iterations > 0 {
+            b.elapsed / b.iterations as u32
+        } else {
+            Duration::ZERO
+        };
         println!(
             "{}/{id}: {:?} mean over {} iterations",
             self.name, mean, b.iterations
@@ -172,7 +186,11 @@ pub struct Criterion {
 impl Criterion {
     /// Open a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), criterion: self, sample_size: 10 }
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
     }
 
     /// Run a standalone benchmark outside any group.

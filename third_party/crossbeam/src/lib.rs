@@ -87,7 +87,12 @@ pub mod channel {
             senders: AtomicUsize::new(1),
             receivers: AtomicUsize::new(1),
         });
-        (Sender { shared: shared.clone() }, Receiver { shared })
+        (
+            Sender {
+                shared: shared.clone(),
+            },
+            Receiver { shared },
+        )
     }
 
     impl<T> Sender<T> {
@@ -110,7 +115,9 @@ pub mod channel {
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.shared.senders.fetch_add(1, Ordering::SeqCst);
-            Self { shared: self.shared.clone() }
+            Self {
+                shared: self.shared.clone(),
+            }
         }
     }
 
@@ -127,7 +134,11 @@ pub mod channel {
     impl<T> Receiver<T> {
         /// Block until a message arrives or all senders disconnect.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = queue.pop_front() {
                     return Ok(v);
@@ -146,7 +157,11 @@ pub mod channel {
         /// Block up to `timeout` for a message.
         pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
             let deadline = Instant::now() + timeout;
-            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             loop {
                 if let Some(v) = queue.pop_front() {
                     return Ok(v);
@@ -172,7 +187,11 @@ pub mod channel {
 
         /// Pop a message without blocking.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
             if let Some(v) = queue.pop_front() {
                 return Ok(v);
             }
@@ -184,7 +203,11 @@ pub mod channel {
 
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
-            self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner).len()
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len()
         }
 
         /// Whether the queue is currently empty.
@@ -196,7 +219,9 @@ pub mod channel {
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
             self.shared.receivers.fetch_add(1, Ordering::SeqCst);
-            Self { shared: self.shared.clone() }
+            Self {
+                shared: self.shared.clone(),
+            }
         }
     }
 

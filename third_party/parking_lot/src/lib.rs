@@ -24,12 +24,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Create a mutex protecting `value`.
     pub const fn new(value: T) -> Self {
-        Self { inner: std::sync::Mutex::new(value) }
+        Self {
+            inner: std::sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -44,9 +48,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(std::sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -106,14 +110,19 @@ pub struct Condvar {
 impl Condvar {
     /// Create a condition variable.
     pub const fn new() -> Self {
-        Self { inner: std::sync::Condvar::new() }
+        Self {
+            inner: std::sync::Condvar::new(),
+        }
     }
 
     /// Block until notified. The guard is released while parked and
     /// re-acquired before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard present");
-        let inner = self.inner.wait(inner).unwrap_or_else(PoisonError::into_inner);
+        let inner = self
+            .inner
+            .wait(inner)
+            .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
     }
 
@@ -139,7 +148,9 @@ impl Condvar {
             .wait_timeout(inner, timeout)
             .unwrap_or_else(PoisonError::into_inner);
         guard.inner = Some(inner);
-        WaitTimeoutResult { timed_out: result.timed_out() }
+        WaitTimeoutResult {
+            timed_out: result.timed_out(),
+        }
     }
 
     /// Wake one waiter.

@@ -23,8 +23,10 @@ pub use strategy::{Just, Strategy};
 pub mod prelude {
     pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
     pub use crate::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Per-`proptest!` configuration (subset: case count only).
@@ -187,7 +189,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *l != *r,
             "assertion failed: {} != {}\n  both: {:?}",
-            stringify!($left), stringify!($right), l
+            stringify!($left),
+            stringify!($right),
+            l
         );
     }};
 }
@@ -197,9 +201,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err(
-                $crate::test_runner::TestCaseError::Reject(stringify!($cond)),
-            );
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject(
+                stringify!($cond),
+            ));
         }
     };
 }

@@ -69,7 +69,9 @@ pub trait Strategy {
     where
         Self: Sized + 'static,
     {
-        BoxedStrategy { gen: Arc::new(move |rng: &mut TestRng| self.generate(rng)) }
+        BoxedStrategy {
+            gen: Arc::new(move |rng: &mut TestRng| self.generate(rng)),
+        }
     }
 }
 
@@ -80,7 +82,9 @@ pub struct BoxedStrategy<T> {
 
 impl<T> Clone for BoxedStrategy<T> {
     fn clone(&self) -> Self {
-        Self { gen: self.gen.clone() }
+        Self {
+            gen: self.gen.clone(),
+        }
     }
 }
 
@@ -248,7 +252,9 @@ impl<T: Arbitrary> Strategy for Any<T> {
 
 /// Unconstrained values of `T` (proptest's `any::<T>()`).
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: PhantomData }
+    Any {
+        _marker: PhantomData,
+    }
 }
 
 macro_rules! impl_strategy_for_int_range {
@@ -380,9 +386,11 @@ mod tests {
             Leaf(i64),
             Node(Vec<Tree>),
         }
-        let s = (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 16, 4, |inner| {
-            crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
-        });
+        let s = (0i64..10)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 4, |inner| {
+                crate::collection::vec(inner, 0..3).prop_map(Tree::Node)
+            });
         let mut r = rng();
         for _ in 0..50 {
             let _ = s.generate(&mut r);

@@ -74,9 +74,9 @@ fn parse(pattern: &str) -> Result<Pattern, Error> {
                         }
                         mut item => {
                             if item == '\\' {
-                                let esc = chars.next().ok_or_else(|| {
-                                    Error(format!("{pattern}: dangling escape"))
-                                })?;
+                                let esc = chars
+                                    .next()
+                                    .ok_or_else(|| Error(format!("{pattern}: dangling escape")))?;
                                 item = resolve_escape(esc);
                             }
                             if pending_range {
@@ -134,9 +134,7 @@ fn parse(pattern: &str) -> Result<Pattern, Error> {
                     match chars.next() {
                         Some('}') => break,
                         Some(d) => spec.push(d),
-                        None => {
-                            return Err(Error(format!("{pattern}: unterminated quantifier")))
-                        }
+                        None => return Err(Error(format!("{pattern}: unterminated quantifier"))),
                     }
                 }
                 let parse_u32 = |s: &str| {
@@ -201,7 +199,9 @@ impl Strategy for RegexGeneratorStrategy {
 
 /// Build a string strategy from `pattern`.
 pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
-    Ok(RegexGeneratorStrategy { pattern: parse(pattern)? })
+    Ok(RegexGeneratorStrategy {
+        pattern: parse(pattern)?,
+    })
 }
 
 /// Parse + generate in one step (used by the `&str: Strategy` impl).

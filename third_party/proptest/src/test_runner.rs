@@ -26,7 +26,9 @@ pub struct TestRng {
 impl TestRng {
     /// A generator starting from `seed`.
     pub fn from_seed(seed: u64) -> Self {
-        Self { state: seed ^ 0x5bf0_3635_d290_9d5f }
+        Self {
+            state: seed ^ 0x5bf0_3635_d290_9d5f,
+        }
     }
 
     /// Next raw 64-bit value.
