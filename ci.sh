@@ -5,7 +5,19 @@ set -euo pipefail
 cd "$(dirname "$0")"
 
 cargo build --release
+
+# Test suite, held to a wall-clock budget so the tier-1 gate cannot creep
+# into unusable territory (override for slow machines).
+TEST_BUDGET_SECS="${CI_TEST_BUDGET_SECS:-600}"
+test_start=$(date +%s)
 cargo test -q
+test_elapsed=$(( $(date +%s) - test_start ))
+echo "test suite took ${test_elapsed}s (budget ${TEST_BUDGET_SECS}s)"
+if [ "$test_elapsed" -gt "$TEST_BUDGET_SECS" ]; then
+    echo "error: test suite exceeded its ${TEST_BUDGET_SECS}s budget" >&2
+    exit 1
+fi
+
 cargo fmt --check
 cargo clippy --all-targets -- -D warnings
 
@@ -21,3 +33,25 @@ cargo bench --no-run
 # and the compiled-expression cache end to end. The committed
 # BENCH_dispatch.json comes from a full run (no --smoke); see EXPERIMENTS.md.
 cargo run --release -p bench --bin throughput -- --smoke --json target/BENCH_dispatch.smoke.json
+
+# Observability smoke: run a workflow with monitoring on, then summarize the
+# exported trace with parsl-trace in both human and JSON form. The JSON
+# output must name every diamond task.
+rm -rf target/trace-smoke-work target/trace-smoke.jsonl target/trace-smoke.jsonl.chrome.json
+cargo run --release -p cwl_parsl --bin parsl-cwl -- \
+    configs/trace-smoke.yml fixtures/diamond.cwl --message='trace smoke'
+test -s target/trace-smoke.jsonl
+test -s target/trace-smoke.jsonl.chrome.json
+cargo run --release -p obs --bin parsl-trace -- target/trace-smoke.jsonl
+trace_json=$(cargo run --release -p obs --bin parsl-trace -- target/trace-smoke.jsonl --json)
+for step in seed left right join; do
+    echo "$trace_json" | grep -q "\"$step\"" || {
+        echo "error: parsl-trace --json is missing task \"$step\"" >&2
+        exit 1
+    }
+done
+
+# Disabled-monitoring overhead gate: the instrumented pipeline with
+# monitoring off must stay within noise of the committed pre-instrumentation
+# numbers (tolerance overridable via BENCH_CHECK_TOLERANCE).
+cargo run --release -p bench --bin throughput -- --check BENCH_dispatch.json

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! throughput [--smoke] [--json PATH] [--tasks N] [--expr-tasks N]
-//!            [--trials N] [--scale F]
+//!            [--trials N] [--scale F] [--check PATH] [--tolerance F]
 //! ```
 //!
 //! Runs three scenarios through the DataFlowKernel and prints tasks/sec
@@ -20,6 +20,14 @@
 //! writes the numbers as JSON (the committed `BENCH_dispatch.json` is
 //! produced by a full run). Each scenario runs `--trials` times and the
 //! best run is reported, which filters scheduler noise on small machines.
+//!
+//! `--check PATH` compares this run against a committed reference JSON and
+//! fails if any scenario's throughput regressed by more than `--tolerance`
+//! (default 0.05, overridable via `BENCH_CHECK_TOLERANCE`). The reference
+//! predates the observability instrumentation, so the check doubles as the
+//! zero-cost-when-disabled guarantee: the instrumented-but-disabled
+//! pipeline must stay within noise of the uninstrumented numbers. Only
+//! meaningful against a reference produced with the same task counts.
 
 use bench::dispatch::{run_expr_scatter, run_noop_htex, run_noop_threadpool, Throughput};
 use std::process::ExitCode;
@@ -31,6 +39,8 @@ struct Options {
     expr_tasks: usize,
     trials: usize,
     scale: f64,
+    check: Option<String>,
+    tolerance: f64,
 }
 
 fn main() -> ExitCode {
@@ -52,6 +62,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
         expr_tasks: 2_000,
         trials: 3,
         scale: 1.0,
+        check: None,
+        tolerance: std::env::var("BENCH_CHECK_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.05),
     };
     let mut tasks_set = false;
     let mut expr_set = false;
@@ -83,6 +98,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.scale = next(args, &mut i, "--scale")?
                     .parse()
                     .map_err(|_| "bad --scale")?;
+            }
+            "--check" => opts.check = Some(next(args, &mut i, "--check")?.to_string()),
+            "--tolerance" => {
+                opts.tolerance = next(args, &mut i, "--tolerance")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance")?;
             }
             other => return Err(format!("unknown option {other:?}")),
         }
@@ -177,7 +198,66 @@ fn run(args: &[String]) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
         println!("# wrote {path}");
     }
+    if let Some(path) = &opts.check {
+        check_regressions(
+            path,
+            opts.tolerance,
+            &[
+                ("threadpool_noop", tpe.tasks_per_sec()),
+                ("htex_noop.optimized_batch_8", htex_opt.tasks_per_sec()),
+                ("expr_scatter.optimized_cache_on", expr_opt.tasks_per_sec()),
+            ],
+        )?;
+    }
     Ok(())
+}
+
+/// Compare measured throughputs against the reference JSON at `path`;
+/// error if any scenario fell more than `tolerance` below its reference.
+fn check_regressions(path: &str, tolerance: f64, measured: &[(&str, f64)]) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json = obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    println!(
+        "# regression check vs {path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    let mut failures = Vec::new();
+    for (key, now) in measured {
+        let mut node = &json;
+        for part in key.split('.') {
+            node = node
+                .get(part)
+                .ok_or_else(|| format!("{path}: missing {key:?}"))?;
+        }
+        let reference = node
+            .get("tasks_per_sec")
+            .and_then(obs::json::Json::as_f64)
+            .ok_or_else(|| format!("{path}: {key:?} has no tasks_per_sec"))?;
+        let ratio = now / reference;
+        let verdict = if ratio >= 1.0 - tolerance {
+            "ok"
+        } else {
+            "REGRESSED"
+        };
+        println!(
+            "  {key:<34} {now:>10.0} vs {reference:>10.0} tasks/s ({:+.1}%) {verdict}",
+            (ratio - 1.0) * 100.0
+        );
+        if ratio < 1.0 - tolerance {
+            failures.push(format!(
+                "{key}: {now:.0} tasks/s is {:.1}% below reference {reference:.0}",
+                (1.0 - ratio) * 100.0
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "throughput regressions:\n  {}",
+            failures.join("\n  ")
+        ))
+    }
 }
 
 fn report(name: &str, t: &Throughput) {

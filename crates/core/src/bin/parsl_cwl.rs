@@ -65,5 +65,11 @@ fn run(args: &[String]) -> Result<(), String> {
         outcome.tasks,
         outcome.workdir.display()
     );
+    if let Some(trace) = &outcome.trace {
+        eprintln!(
+            "parsl-cwl: trace written to {} (inspect with parsl-trace)",
+            trace.display()
+        );
+    }
     Ok(())
 }

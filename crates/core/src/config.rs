@@ -104,6 +104,46 @@ fn parse_retry(v: &Value) -> RetryPolicy {
     policy
 }
 
+/// Parse the `monitoring:` block into an [`obs::ObsConfig`].
+///
+/// ```yaml
+/// monitoring:
+///   enabled: true
+///   sample_rate: 1.0      # fraction of tasks whose spans are recorded
+///   export: trace.jsonl   # JSONL trace path (read by parsl-trace)
+///   sinks: [jsonl, chrome]
+/// ```
+fn parse_monitoring(v: &Value) -> Result<obs::ObsConfig, String> {
+    let mut cfg = obs::ObsConfig::default();
+    let Some(block) = v.get("monitoring") else {
+        return Ok(cfg);
+    };
+    cfg.enabled = block
+        .get("enabled")
+        .and_then(Value::as_bool)
+        // Writing a `monitoring:` block at all means "turn it on" unless
+        // explicitly disabled.
+        .unwrap_or(true);
+    if let Some(r) = block.get("sample_rate").and_then(Value::as_float) {
+        cfg.sample_rate = r.clamp(0.0, 1.0);
+    }
+    if let Some(p) = block.get("export").and_then(Value::as_str) {
+        cfg.export_path = Some(PathBuf::from(p));
+    }
+    if let Some(sinks) = block.get("sinks").and_then(Value::as_seq) {
+        cfg.sink_jsonl = false;
+        cfg.sink_chrome = false;
+        for s in sinks {
+            match s.as_str() {
+                Some("jsonl") => cfg.sink_jsonl = true,
+                Some("chrome") => cfg.sink_chrome = true,
+                other => return Err(format!("unknown monitoring sink {other:?}")),
+            }
+        }
+    }
+    Ok(cfg)
+}
+
 /// Parse the `fault:` block into a [`FaultPlan`].
 fn parse_fault(v: &Value) -> Result<Option<FaultPlan>, String> {
     let Some(block) = v.get("fault") else {
@@ -138,6 +178,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .unwrap_or("thread-pool");
     let retry = parse_retry(v);
     let fault_plan = parse_fault(v)?;
+    let monitoring = parse_monitoring(v)?;
 
     let mut scheduler = None;
     let parsl = match kind {
@@ -254,6 +295,8 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .and_then(Value::as_bool)
         .unwrap_or(false);
 
+    let parsl = parsl.with_monitoring(monitoring);
+
     Ok(RunnerConfig {
         parsl,
         workdir,
@@ -364,6 +407,30 @@ mod tests {
         let c = load_config_value(&v).unwrap();
         assert!(!c.pre_run_check);
         assert!(c.strict_check);
+    }
+
+    #[test]
+    fn monitoring_block_parses() {
+        let c = load_config_value(&Value::Null).unwrap();
+        assert!(!c.parsl.monitoring.enabled, "monitoring must default off");
+
+        let v = parse_str(
+            "monitoring:\n  sample_rate: 0.5\n  export: /tmp/t.jsonl\n  sinks: [jsonl, chrome]\n",
+        )
+        .unwrap();
+        let c = load_config_value(&v).unwrap();
+        let m = &c.parsl.monitoring;
+        assert!(m.enabled, "a monitoring block implies enabled");
+        assert_eq!(m.sample_rate, 0.5);
+        assert_eq!(m.export_path, Some(PathBuf::from("/tmp/t.jsonl")));
+        assert!(m.sink_jsonl);
+        assert!(m.sink_chrome);
+
+        let v = parse_str("monitoring:\n  enabled: false\n  export: x.jsonl\n").unwrap();
+        assert!(!load_config_value(&v).unwrap().parsl.monitoring.enabled);
+
+        let v = parse_str("monitoring:\n  sinks: [bogus]\n").unwrap();
+        assert!(load_config_value(&v).is_err());
     }
 
     #[test]

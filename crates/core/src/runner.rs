@@ -23,6 +23,9 @@ pub struct CliOutcome {
     pub workdir: std::path::PathBuf,
     /// Number of Parsl tasks executed.
     pub tasks: usize,
+    /// Where the trace was exported, when monitoring was configured with
+    /// an export path.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 /// Parse `--key=value` command-line input overrides. Values go through YAML
@@ -87,6 +90,11 @@ pub fn run_tool_cli(
     }
 
     let doc = load_file(cwl_path)?;
+    let trace = if config.parsl.monitoring.enabled {
+        config.parsl.monitoring.export_path.clone()
+    } else {
+        None
+    };
     let dfk = DataFlowKernel::try_new(config.parsl)?;
     let mut options = CwlAppOptions::in_dir(&config.workdir);
     if config.builtin_tools {
@@ -127,6 +135,7 @@ pub fn run_tool_cli(
         outputs,
         workdir: config.workdir,
         tasks,
+        trace,
     })
 }
 

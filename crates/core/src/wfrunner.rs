@@ -443,7 +443,15 @@ impl ParslWorkflowRunner {
                     .map_err(|e| TaskError::failed(format!("step {step_id:?}: {e}")))?;
                     Ok(Value::Map(run.outputs))
                 });
-                Ok(self.dfk.submit(task_name, parsl_args, body))
+                let fut = self.dfk.submit(task_name, parsl_args, body);
+                // Join the Parsl task id to the CWL step id in the lineage
+                // table (scatter instances share the step id; the task label
+                // keeps the per-instance index).
+                let obs = self.dfk.observability();
+                if obs.is_enabled() {
+                    obs.lineage_bind_step(fut.id().0, &step.id);
+                }
+                Ok(fut)
             }
         }
     }

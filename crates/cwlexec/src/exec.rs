@@ -30,7 +30,20 @@ pub fn execute_tool(
     let inputs = cwl::input::resolve_inputs(&tool.inputs, provided)?;
     cwl::input::run_validate_hooks(tool, &inputs, engine)?;
     let cmd = build_command(tool, &inputs, engine)?;
-    dispatch.run(&cmd, workdir)?;
+    // Tool dispatch has no handle to a run, so it records against the
+    // process-global observability instance (disabled unless a run
+    // enables it).
+    let obs = obs::global();
+    if obs.is_enabled() {
+        let t0 = obs.now_us();
+        let run = dispatch.run(&cmd, workdir);
+        obs.counter(obs::names::DISPATCH_EXECS).incr();
+        obs.histogram(obs::names::DISPATCH_EXEC_US)
+            .record(obs.now_us().saturating_sub(t0));
+        run?;
+    } else {
+        dispatch.run(&cmd, workdir)?;
+    }
     let outputs = cwl::outputs::collect_outputs(
         tool,
         &inputs,

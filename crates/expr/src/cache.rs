@@ -77,6 +77,20 @@ pub fn reset_stats() {
     MISSES.store(0, Ordering::Relaxed);
 }
 
+/// Process-global observability counters for the cache, resolved once so
+/// the hit path never pays the registry's name lookup.
+fn obs_counters() -> &'static (Arc<obs::Counter>, Arc<obs::Counter>) {
+    static C: std::sync::OnceLock<(Arc<obs::Counter>, Arc<obs::Counter>)> =
+        std::sync::OnceLock::new();
+    C.get_or_init(|| {
+        let g = obs::global();
+        (
+            g.counter(obs::names::EXPR_CACHE_HITS),
+            g.counter(obs::names::EXPR_CACHE_MISSES),
+        )
+    })
+}
+
 /// FNV-1a over the source text.
 fn fnv1a(src: &str) -> u64 {
     const OFFSET: u64 = 0xcbf29ce484222325;
@@ -147,11 +161,17 @@ impl<T> ProgramCache<T> {
                 if &*e.src == src {
                     e.last_used = tick;
                     HITS.fetch_add(1, Ordering::Relaxed);
+                    if obs::global().is_enabled() {
+                        obs_counters().0.incr();
+                    }
                     return Ok(e.prog.clone());
                 }
             }
         }
         MISSES.fetch_add(1, Ordering::Relaxed);
+        if obs::global().is_enabled() {
+            obs_counters().1.incr();
+        }
         let prog = Arc::new(compile(src)?);
         let mut g = shard.lock();
         g.tick += 1;

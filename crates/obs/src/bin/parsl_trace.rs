@@ -1,0 +1,77 @@
+//! `parsl-trace` — inspect an exported trace.
+//!
+//! ```text
+//! parsl-trace <trace.jsonl>                  # summary table
+//! parsl-trace <trace.jsonl> --json           # machine-readable summary
+//! parsl-trace <trace.jsonl> --critical-path  # per-task stage breakdown
+//! parsl-trace <trace.jsonl> --critical-path --top 5
+//! ```
+//!
+//! Traces are written by running with a `monitoring:` config block, e.g.:
+//!
+//! ```yaml
+//! monitoring:
+//!   enabled: true
+//!   export: target/trace.jsonl
+//! ```
+
+use obs::report;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("parsl-trace: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let usage = "usage: parsl-trace <trace.jsonl> [--json] [--critical-path] [--top N]";
+    let mut path = None;
+    let mut json = false;
+    let mut critical = false;
+    let mut top = 20usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => json = true,
+            "--critical-path" => critical = true,
+            "--top" => {
+                i += 1;
+                top = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--top needs a number")?;
+            }
+            "--help" | "-h" => {
+                println!("{usage}");
+                return Ok(());
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option {other:?}\n{usage}"))
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    return Err(format!("unexpected argument {other:?}\n{usage}"));
+                }
+            }
+        }
+        i += 1;
+    }
+    let path = path.ok_or(usage)?;
+    let trace = report::load_trace(std::path::Path::new(&path))?;
+
+    if json {
+        println!("{}", report::summary_json(&trace));
+    } else if critical {
+        print!("{}", report::critical_path_text(&trace, top));
+    } else {
+        print!("{}", report::summary_text(&trace));
+        println!("\n(use --critical-path for the per-task stage breakdown)");
+    }
+    Ok(())
+}

@@ -1,0 +1,91 @@
+//! Monotonic run-anchored clock.
+//!
+//! Every timestamp in a trace is "microseconds since the run started", read
+//! from a single [`std::time::Instant`] anchor. On top of the OS monotonic
+//! clock, [`RunClock::now_us`] enforces a *global* non-decreasing sequence
+//! across threads: a reading can never be smaller than any reading whose
+//! call already completed, which makes timestamps taken under a shared lock
+//! sorted in lock order by construction.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// A clock anchored at its creation instant, returning monotonically
+/// non-decreasing microsecond offsets.
+#[derive(Debug)]
+pub struct RunClock {
+    start: Instant,
+    last_us: AtomicU64,
+}
+
+impl RunClock {
+    /// Anchor a new clock at "now".
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            last_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Microseconds since the run started. Never decreases, even when the
+    /// calls race across threads: each completed call establishes a floor
+    /// for every later call.
+    pub fn now_us(&self) -> u64 {
+        let raw = self.start.elapsed().as_micros() as u64;
+        let prev = self.last_us.fetch_max(raw, Ordering::AcqRel);
+        raw.max(prev)
+    }
+
+    /// [`RunClock::now_us`] as a `Duration` offset from run start.
+    pub fn now(&self) -> Duration {
+        Duration::from_micros(self.now_us())
+    }
+}
+
+impl Default for RunClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn never_decreases_single_thread() {
+        let clock = RunClock::new();
+        let mut last = 0;
+        for _ in 0..10_000 {
+            let t = clock.now_us();
+            assert!(t >= last);
+            last = t;
+        }
+    }
+
+    #[test]
+    fn serialized_readings_are_sorted_across_threads() {
+        // Readings taken under a shared mutex must come out sorted in lock
+        // order — the property the monitoring log depends on.
+        let clock = Arc::new(RunClock::new());
+        let seq = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let clock = clock.clone();
+                let seq = seq.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let mut s = seq.lock();
+                        s.push(clock.now_us());
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = seq.lock();
+        assert!(s.windows(2).all(|w| w[0] <= w[1]), "clock went backwards");
+    }
+}

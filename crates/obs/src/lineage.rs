@@ -1,0 +1,105 @@
+//! Task lineage: one record per Parsl task joining the Parsl task id to
+//! the CWL step id it implements (when the task came through the
+//! `core`/`runners` bridge) plus the submit → dispatch → complete
+//! timestamps and the attempt count.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The life of one task across layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageRecord {
+    /// Parsl task id (also the span lineage id).
+    pub task: u64,
+    /// Task label at submit time.
+    pub label: String,
+    /// CWL step id, when the task was compiled from a workflow step.
+    pub cwl_step: Option<String>,
+    /// Submit timestamp, µs since run start.
+    pub submit_us: u64,
+    /// First dispatch timestamp, µs since run start (0 = never
+    /// dispatched, e.g. memoized or dependency-failed).
+    pub dispatch_us: u64,
+    /// Completion timestamp, µs since run start (0 = still running).
+    pub complete_us: u64,
+    /// Dispatch attempts (retries and re-dispatches included).
+    pub attempts: u32,
+    /// Terminal outcome: `completed`, `failed`, or `memoized`.
+    pub outcome: Option<String>,
+}
+
+const SHARDS: usize = 8;
+
+pub(crate) struct LineageTable {
+    shards: [Mutex<HashMap<u64, LineageRecord>>; SHARDS],
+}
+
+impl LineageTable {
+    pub(crate) fn new() -> Self {
+        Self {
+            shards: [(); SHARDS].map(|_| Mutex::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, task: u64) -> &Mutex<HashMap<u64, LineageRecord>> {
+        &self.shards[(task as usize) % SHARDS]
+    }
+
+    pub(crate) fn submit(&self, task: u64, label: &str, at_us: u64) {
+        self.shard(task)
+            .lock()
+            .entry(task)
+            .or_insert_with(|| LineageRecord {
+                task,
+                label: label.to_string(),
+                cwl_step: None,
+                submit_us: at_us,
+                dispatch_us: 0,
+                complete_us: 0,
+                attempts: 0,
+                outcome: None,
+            });
+    }
+
+    pub(crate) fn with<R>(&self, task: u64, f: impl FnOnce(&mut LineageRecord) -> R) -> Option<R> {
+        self.shard(task).lock().get_mut(&task).map(f)
+    }
+
+    /// All records, sorted by task id.
+    pub(crate) fn snapshot(&self) -> Vec<LineageRecord> {
+        let mut all = Vec::new();
+        for shard in &self.shards {
+            all.extend(shard.lock().values().cloned());
+        }
+        all.sort_by_key(|r| r.task);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submit_is_idempotent_and_snapshot_sorted() {
+        let t = LineageTable::new();
+        t.submit(2, "b", 20);
+        t.submit(1, "a", 10);
+        t.submit(1, "a-again", 99); // first submit wins
+        let snap = t.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].task, 1);
+        assert_eq!(snap[0].label, "a");
+        assert_eq!(snap[0].submit_us, 10);
+        assert_eq!(snap[1].task, 2);
+    }
+
+    #[test]
+    fn with_mutates_existing_records_only() {
+        let t = LineageTable::new();
+        t.submit(7, "x", 1);
+        assert_eq!(t.with(7, |r| r.attempts += 1), Some(()));
+        assert_eq!(t.with(8, |r| r.attempts += 1), None);
+        assert_eq!(t.snapshot()[0].attempts, 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property tests for the sharded metrics registry: concurrent updates
+//! from N threads must merge to *exact* totals, and histogram ranks must
+//! be monotone.
+
+use obs::{Observability, SpanKind};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Striped counters lose nothing under contention: the merged value
+    /// equals the sum of everything every thread added.
+    #[test]
+    fn concurrent_counter_updates_merge_exactly(
+        per_thread in vec(vec(1u64..1000, 1..50), 2..8),
+    ) {
+        let obs = Observability::on();
+        let counter = obs.counter("prop.counter");
+        let expected: u64 = per_thread.iter().flatten().sum();
+        let threads: Vec<_> = per_thread
+            .into_iter()
+            .map(|adds| {
+                let counter = counter.clone();
+                std::thread::spawn(move || {
+                    for n in adds {
+                        counter.add(n);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        prop_assert_eq!(counter.value(), expected);
+    }
+
+    /// Histograms under concurrent recording keep exact count/sum/max and
+    /// a monotone rank function that ends at the total count.
+    #[test]
+    fn concurrent_histogram_updates_merge_exactly(
+        per_thread in vec(vec(0u64..2_000_000, 1..60), 2..8),
+    ) {
+        let obs = Observability::on();
+        let hist = obs.histogram("prop.histogram");
+        let all: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        let expected_count = all.len() as u64;
+        let expected_sum: u64 = all.iter().sum();
+        let expected_max = all.iter().copied().max().unwrap_or(0);
+
+        let threads: Vec<_> = per_thread
+            .into_iter()
+            .map(|values| {
+                let hist = hist.clone();
+                std::thread::spawn(move || {
+                    for v in values {
+                        hist.record(v);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+
+        prop_assert_eq!(hist.count(), expected_count);
+        prop_assert_eq!(hist.sum(), expected_sum);
+        prop_assert_eq!(hist.max(), expected_max);
+
+        // Ranks are monotone non-decreasing and account for every sample.
+        let ranks = hist.cumulative_ranks();
+        prop_assert!(ranks.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert_eq!(*ranks.last().unwrap(), expected_count);
+
+        // Quantiles are monotone in q and bounded by the max.
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let values: Vec<u64> = qs.iter().map(|&q| hist.value_at_quantile(q)).collect();
+        prop_assert!(values.windows(2).all(|w| w[0] <= w[1]), "{:?}", values);
+        prop_assert!(*values.last().unwrap() <= expected_max);
+    }
+
+    /// Sampled span recording from many threads never loses a sampled
+    /// span and never records an unsampled one.
+    #[test]
+    fn concurrent_span_recording_is_lossless(threads in 2usize..6, per_thread in 1usize..40) {
+        let obs = Arc::new(Observability::on());
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let lineage = (t * per_thread + i) as u64 + 1;
+                        let span = obs.start_span(SpanKind::WorkerExec, lineage, 0, "w");
+                        obs.finish_span(span);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let spans = obs.spans();
+        prop_assert_eq!(spans.len(), threads * per_thread);
+        // Ids are unique and timestamps well-formed.
+        let mut ids: Vec<u64> = spans.iter().map(|s| s.id).collect();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), spans.len());
+        prop_assert!(spans.iter().all(|s| s.end_us >= s.start_us));
+    }
+}

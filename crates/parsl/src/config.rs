@@ -99,6 +99,9 @@ pub struct Config {
     pub memoize: bool,
     /// Label for logs.
     pub label: String,
+    /// Observability: span/metric/lineage recording and trace export
+    /// (disabled by default — every record path stays a single branch).
+    pub monitoring: obs::ObsConfig,
 }
 
 impl Config {
@@ -109,6 +112,7 @@ impl Config {
             retry: RetryPolicy::default(),
             memoize: false,
             label: "local".to_string(),
+            monitoring: obs::ObsConfig::default(),
         }
     }
 
@@ -119,6 +123,7 @@ impl Config {
             retry: RetryPolicy::default(),
             memoize: false,
             label: "htex".to_string(),
+            monitoring: obs::ObsConfig::default(),
         }
     }
 
@@ -145,6 +150,12 @@ impl Config {
         self.memoize = true;
         self
     }
+
+    /// Configure observability (spans, metrics, lineage, trace export).
+    pub fn with_monitoring(mut self, monitoring: obs::ObsConfig) -> Self {
+        self.monitoring = monitoring;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +172,9 @@ mod tests {
         ));
         let c = Config::local_threads(1).with_walltime(Duration::from_secs(5));
         assert_eq!(c.retry.walltime, Some(Duration::from_secs(5)));
+        let c = Config::local_threads(1).with_monitoring(obs::ObsConfig::on());
+        assert!(c.monitoring.enabled);
+        assert!(!Config::local_threads(1).monitoring.enabled);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::future::{promise_pair, AppFuture, DataFuture, Promise, TaskResult};
 use crate::htex::HighThroughputExecutor;
 use crate::monitoring::{MonitoringLog, TaskEventKind};
 use crate::task::TaskId;
+use obs::{names, ObsConfig, Observability, SpanCtx, SpanKind};
 use parking_lot::{Condvar, Mutex};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
@@ -88,6 +89,9 @@ struct TaskInner {
     args: Vec<AppArg>,
     retries_left: AtomicUsize,
     promise: Mutex<Option<Promise>>,
+    /// The task's `Submit` span id — the root every later span for this
+    /// task hangs off (0 when monitoring is off or the task unsampled).
+    root_span: u64,
 }
 
 /// Shards in the memoization table. Power of two so the shard index is a
@@ -153,6 +157,20 @@ pub struct DataFlowKernel {
     /// Shared with the executor so node-level events (NodeLost,
     /// BlockReplaced, Redispatched) land in the same log as task events.
     log: Arc<MonitoringLog>,
+    /// This run's observability instance, shared with the executor so
+    /// executor-side spans land in the same trace.
+    obs: Arc<Observability>,
+    /// Pre-resolved metric handles so hot paths skip the registry lookup.
+    metrics: DfkMetrics,
+}
+
+/// Handles to the kernel's well-known metrics, resolved once at startup.
+struct DfkMetrics {
+    submitted: Arc<obs::Counter>,
+    retries: Arc<obs::Counter>,
+    memo_hits: Arc<obs::Counter>,
+    memo_misses: Arc<obs::Counter>,
+    outstanding: Arc<obs::Gauge>,
 }
 
 /// FNV-1a fingerprint of a task's resolved input values.
@@ -189,18 +207,43 @@ impl DataFlowKernel {
                 provider,
             } => HighThroughputExecutor::start(hc, provider)?,
         };
-        Ok(Self::from_parts(executor, config.retry, config.memoize))
+        Ok(Self::from_parts(
+            executor,
+            config.retry,
+            config.memoize,
+            config.monitoring,
+        ))
     }
 
     /// Build a kernel on an already-running executor — for custom executors
     /// and fault-injection tests.
     pub fn with_executor(executor: Arc<dyn Executor>, config: Config) -> Arc<Self> {
-        Self::from_parts(executor, config.retry, config.memoize)
+        Self::from_parts(executor, config.retry, config.memoize, config.monitoring)
     }
 
-    fn from_parts(executor: Arc<dyn Executor>, retry: RetryPolicy, memoize: bool) -> Arc<Self> {
+    fn from_parts(
+        executor: Arc<dyn Executor>,
+        retry: RetryPolicy,
+        memoize: bool,
+        monitoring: ObsConfig,
+    ) -> Arc<Self> {
         let log = Arc::new(MonitoringLog::new());
         executor.attach_monitoring(log.clone());
+        let obs = Arc::new(Observability::new(monitoring));
+        if obs.is_enabled() {
+            // Layers with no handle to a kernel (expression cache, tool
+            // dispatch, providers) record against the process-global
+            // instance; export folds its metrics into this run's trace.
+            obs::global().set_enabled(true);
+        }
+        executor.attach_observability(obs.clone());
+        let metrics = DfkMetrics {
+            submitted: obs.counter(names::DFK_SUBMITTED),
+            retries: obs.counter(names::DFK_RETRIES),
+            memo_hits: obs.counter(names::MEMO_HITS),
+            memo_misses: obs.counter(names::MEMO_MISSES),
+            outstanding: obs.gauge(names::DFK_OUTSTANDING),
+        };
         Arc::new(Self {
             executor,
             retry,
@@ -211,6 +254,8 @@ impl DataFlowKernel {
             done_lock: Mutex::new(()),
             all_done: Condvar::new(),
             log,
+            obs,
+            metrics,
         })
     }
 
@@ -222,6 +267,11 @@ impl DataFlowKernel {
     /// Monitoring log for this kernel.
     pub fn monitoring(&self) -> &MonitoringLog {
         &self.log
+    }
+
+    /// This run's observability instance (spans, metrics, lineage).
+    pub fn observability(&self) -> &Arc<Observability> {
+        &self.obs
     }
 
     /// Number of tasks not yet in a terminal state.
@@ -237,6 +287,15 @@ impl DataFlowKernel {
         let (fut, promise) = promise_pair(id);
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         self.log.record(id, TaskEventKind::Submitted, label);
+        // The Submit span is this task's trace root; its id is valid as a
+        // parent from the moment it opens, so spans from a synchronous
+        // launch below nest correctly.
+        let submit_span = self.obs.start_span(SpanKind::Submit, id.0, 0, label);
+        if self.obs.is_enabled() {
+            self.obs.lineage_submit(id.0, label);
+            self.metrics.submitted.incr();
+            self.metrics.outstanding.add(1);
+        }
 
         let deps: Vec<AppFuture> = args.iter().filter_map(AppArg::dependency).collect();
         let task = Arc::new(TaskInner {
@@ -246,6 +305,7 @@ impl DataFlowKernel {
             args,
             retries_left: AtomicUsize::new(self.retry.max_retries),
             promise: Mutex::new(Some(promise)),
+            root_span: submit_span.id(),
         });
 
         if deps.is_empty() {
@@ -265,6 +325,7 @@ impl DataFlowKernel {
                 });
             }
         }
+        self.obs.finish_span(submit_span);
         fut
     }
 
@@ -312,11 +373,23 @@ impl DataFlowKernel {
             None
         };
         if let Some(fp) = fingerprint {
-            if let Some(cached) = self.memo.get(&task.label, fp) {
+            let lookup =
+                self.obs
+                    .start_span(SpanKind::MemoLookup, task.id.0, task.root_span, &task.label);
+            let cached = self.memo.get(&task.label, fp);
+            self.obs.finish_span(lookup);
+            if let Some(cached) = cached {
                 self.log
                     .record(task.id, TaskEventKind::Memoized, &task.label);
+                if self.obs.is_enabled() {
+                    self.metrics.memo_hits.incr();
+                    self.obs.lineage_complete(task.id.0, "memoized");
+                }
                 self.finish(&task, Ok((*cached).clone()));
                 return;
+            }
+            if self.obs.is_enabled() {
+                self.metrics.memo_misses.incr();
             }
         }
         self.attempt(task, Arc::new(vals), fingerprint);
@@ -338,11 +411,23 @@ impl DataFlowKernel {
         // attempt; with no retry budget the body's reference is the last
         // one and the callback captures nothing.
         let vals_for_retry = (self.retry.max_retries > 0).then(|| vals.clone());
+        // The Dispatch span covers the executor hand-off; executor-side
+        // spans (enqueue, recv, exec, result) parent onto it via the
+        // payload's trace context.
+        let dispatch =
+            self.obs
+                .start_span(SpanKind::Dispatch, task.id.0, task.root_span, &task.label);
+        self.obs.lineage_dispatch(task.id.0);
         self.executor.submit(TaskPayload {
             id: task.id,
             body: Arc::new(move || body(&vals)),
             promise: attempt_promise.clone(),
+            ctx: SpanCtx {
+                lineage: task.id.0,
+                parent: dispatch.id(),
+            },
         });
+        self.obs.finish_span(dispatch);
         // Walltime watchdog: race the executor with a timer holding a
         // clone of the attempt promise — first completion wins, so a
         // finished task makes the watchdog's completion a no-op.
@@ -356,6 +441,12 @@ impl DataFlowKernel {
                     if watched.result_timeout(walltime).is_none() {
                         dfk.log
                             .record(task.id, TaskEventKind::TimedOut, &task.label);
+                        dfk.obs.instant_span(
+                            SpanKind::TimedOut,
+                            task.id.0,
+                            task.root_span,
+                            &task.label,
+                        );
                         attempt_promise.complete(Err(TaskError::Timeout(walltime)));
                     }
                 });
@@ -386,6 +477,15 @@ impl DataFlowKernel {
                     }) {
                     Ok(prev) => {
                         dfk.log.record(task.id, TaskEventKind::Retried, &task.label);
+                        if dfk.obs.is_enabled() {
+                            dfk.obs.instant_span(
+                                SpanKind::Retry,
+                                task.id.0,
+                                task.root_span,
+                                &task.label,
+                            );
+                            dfk.metrics.retries.incr();
+                        }
                         let vals = vals_for_retry
                             .clone()
                             .expect("retry granted only when max_retries > 0");
@@ -418,6 +518,16 @@ impl DataFlowKernel {
             TaskEventKind::Failed
         };
         self.log.record(task.id, kind, &task.label);
+        if self.obs.is_enabled() {
+            // Memoized tasks recorded their (sticky) outcome in `launch`.
+            let outcome = if result.is_ok() {
+                "completed"
+            } else {
+                "failed"
+            };
+            self.obs.lineage_complete(task.id.0, outcome);
+            self.metrics.outstanding.add(-1);
+        }
         if let Some(promise) = task.promise.lock().take() {
             promise.complete(result);
         }
@@ -439,10 +549,14 @@ impl DataFlowKernel {
         }
     }
 
-    /// Wait for all tasks, then stop the executor.
+    /// Wait for all tasks, then stop the executor and export the trace
+    /// (when monitoring is configured with an export path).
     pub fn shutdown(&self) {
         self.wait_all();
         self.executor.shutdown();
+        if let Err(e) = self.obs.export() {
+            eprintln!("warning: trace export failed: {e}");
+        }
     }
 }
 

@@ -7,6 +7,7 @@ use crate::future::{Promise, TaskResult};
 use crate::monitoring::MonitoringLog;
 use crate::task::TaskId;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use obs::{names, Observability, SpanCtx, SpanKind};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use yamlite::Value;
@@ -28,6 +29,9 @@ pub struct TaskPayload {
     pub body: TaskBody,
     /// The promise resolved with the outcome.
     pub promise: Promise,
+    /// Trace context: the lineage id and the dispatch span executor-side
+    /// spans hang off. [`SpanCtx::NONE`] when monitoring is off.
+    pub ctx: SpanCtx,
 }
 
 impl TaskPayload {
@@ -75,6 +79,10 @@ pub trait Executor: Send + Sync {
     /// Attach a monitoring log for executor-level events (node loss,
     /// re-dispatch). Default: no executor-level events.
     fn attach_monitoring(&self, _log: Arc<MonitoringLog>) {}
+
+    /// Attach the run's observability instance so the executor can record
+    /// spans and metrics. Default: the executor records nothing.
+    fn attach_observability(&self, _obs: Arc<Observability>) {}
 }
 
 enum Msg {
@@ -90,6 +98,7 @@ pub struct ThreadPoolExecutor {
     workers: parking_lot::Mutex<Vec<std::thread::JoinHandle<()>>>,
     worker_count: usize,
     closed: AtomicBool,
+    obs: Arc<parking_lot::Mutex<Arc<Observability>>>,
 }
 
 impl ThreadPoolExecutor {
@@ -98,14 +107,16 @@ impl ThreadPoolExecutor {
         let workers = workers.max(1);
         let label = label.into();
         let (tx, rx) = unbounded::<Msg>();
+        let obs = Arc::new(parking_lot::Mutex::new(Arc::new(Observability::off())));
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx: Receiver<Msg> = rx.clone();
+            let obs = obs.clone();
             let name = format!("{label}-worker-{i}");
             handles.push(
                 std::thread::Builder::new()
                     .name(name)
-                    .spawn(move || worker_loop(rx))
+                    .spawn(move || worker_loop(rx, obs))
                     .expect("failed to spawn worker thread"),
             );
         }
@@ -115,14 +126,33 @@ impl ThreadPoolExecutor {
             workers: parking_lot::Mutex::new(handles),
             worker_count: workers,
             closed: AtomicBool::new(false),
+            obs,
         })
     }
 }
 
-fn worker_loop(rx: Receiver<Msg>) {
+fn worker_loop(rx: Receiver<Msg>, obs: Arc<parking_lot::Mutex<Arc<Observability>>>) {
     while let Ok(msg) = rx.recv() {
         match msg {
-            Msg::Task(task) => task.run(),
+            Msg::Task(task) => {
+                let obs = obs.lock().clone();
+                if obs.is_enabled() {
+                    let ctx = task.ctx;
+                    let span = obs.start_span(
+                        SpanKind::WorkerExec,
+                        ctx.lineage,
+                        ctx.parent,
+                        "thread-pool",
+                    );
+                    let start = obs.now_us();
+                    task.run();
+                    obs.histogram(names::TASK_EXEC_US)
+                        .record(obs.now_us().saturating_sub(start));
+                    obs.finish_span(span);
+                } else {
+                    task.run();
+                }
+            }
             Msg::Stop => break,
         }
     }
@@ -163,6 +193,10 @@ impl Executor for ThreadPoolExecutor {
             let _ = handle.join();
         }
     }
+
+    fn attach_observability(&self, obs: Arc<Observability>) {
+        *self.obs.lock() = obs;
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +217,7 @@ mod tests {
                 id: TaskId(id),
                 body: Arc::new(body),
                 promise,
+                ctx: SpanCtx::NONE,
             },
         )
     }

@@ -45,6 +45,7 @@ use crate::provider::{NodeHandle, Provider};
 use crate::task::TaskId;
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use gridsim::{FaultPlan, LatencyModel};
+use obs::{names, Observability, SpanKind};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -208,6 +209,10 @@ pub struct HighThroughputExecutor {
     failed: AtomicBool,
     start: Instant,
     log: Mutex<Option<Arc<MonitoringLog>>>,
+    /// The run's observability instance, swapped in by
+    /// [`Executor::attach_observability`] after the DFK builds it. Shared
+    /// (`Arc<Mutex<..>>`) with worker threads spawned before the attach.
+    obs: Arc<Mutex<Arc<Observability>>>,
     dispatcher: Mutex<Option<std::thread::JoinHandle<()>>>,
     monitor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
@@ -237,6 +242,7 @@ impl HighThroughputExecutor {
             failed: AtomicBool::new(false),
             start: Instant::now(),
             log: Mutex::new(None),
+            obs: Arc::new(Mutex::new(Arc::new(Observability::off()))),
             dispatcher: Mutex::new(None),
             monitor: Mutex::new(None),
         });
@@ -265,7 +271,15 @@ impl HighThroughputExecutor {
     }
 
     fn add_block_inner(self: &Arc<Self>, nodes: usize) -> Result<(usize, Vec<String>), String> {
+        let obs = self.obs.lock().clone();
+        // Covers the provider round-trip (batch-queue wait included). An
+        // unfinished span from an Err return is simply dropped.
+        let provision_span = obs.start_span(SpanKind::BlockProvision, 0, 0, &self.label);
         let granted = self.provider.provision(nodes)?;
+        obs.finish_span(provision_span);
+        if obs.is_enabled() {
+            obs.counter(names::HTEX_BLOCKS_ADDED).incr();
+        }
         let mut added = 0usize;
         let mut names = Vec::with_capacity(granted.len());
         let mut new_mgrs = Vec::with_capacity(granted.len());
@@ -299,10 +313,11 @@ impl HighThroughputExecutor {
                     let mgr = mgr.clone();
                     let latency = self.latency.clone();
                     let plan = self.fault_plan.clone();
+                    let obs = self.obs.clone();
                     workers.push(
                         std::thread::Builder::new()
                             .name(format!("{}-{node_name}-w{w}", self.label))
-                            .spawn(move || worker_loop(mgr, rx, latency, plan))
+                            .spawn(move || worker_loop(mgr, rx, latency, plan, obs))
                             .map_err(|e| format!("failed to spawn HTEX worker: {e}"))?,
                     );
                 }
@@ -408,6 +423,11 @@ impl HighThroughputExecutor {
     /// its in-flight tasks and restore capacity if below the floor.
     fn handle_node_loss(self: &Arc<Self>, mgr: &Arc<ManagerState>) {
         self.note(TaskId(0), TaskEventKind::NodeLost, &mgr.node_name);
+        let obs = self.obs.lock().clone();
+        // The loss event is node-level (lineage 0); each orphan's
+        // Redispatched span parents onto it, linking the task's lineage to
+        // the loss that forced the re-queue.
+        let loss_span = obs.instant_span(SpanKind::NodeLost, 0, 0, &mgr.node_name);
         self.worker_total
             .fetch_sub(mgr.worker_count, Ordering::SeqCst);
         let orphans: Vec<TrackedTask> = {
@@ -419,6 +439,15 @@ impl HighThroughputExecutor {
                 continue;
             }
             self.note(t.payload.id, TaskEventKind::Redispatched, &mgr.node_name);
+            if obs.is_enabled() {
+                obs.instant_span(
+                    SpanKind::Redispatched,
+                    t.payload.ctx.lineage,
+                    loss_span,
+                    &mgr.node_name,
+                );
+                obs.counter(names::HTEX_REDISPATCHES).incr();
+            }
             let _ = self.dispatch_tx.send(DispatchMsg::Task {
                 payload: t.payload,
                 finished: t.finished,
@@ -542,6 +571,21 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
             // capped at one message's worth.
             let k = queue.len().div_ceil(alive.len()).min(h.batch_size);
             let chunk: Vec<(TaskPayload, Arc<AtomicBool>)> = queue.drain(..k).collect();
+            let obs = h.obs.lock().clone();
+            if obs.is_enabled() {
+                // Batch occupancy: how full each interchange→manager
+                // message actually was.
+                obs.histogram(names::HTEX_BATCH_OCCUPANCY)
+                    .record(chunk.len() as u64);
+                for (payload, _) in &chunk {
+                    obs.instant_span(
+                        SpanKind::BatchEnqueue,
+                        payload.ctx.lineage,
+                        payload.ctx.parent,
+                        &mgr.node_name,
+                    );
+                }
+            }
             // One shared ticket per message: the first worker to pick any
             // task of this chunk pays the dispatch latency, once.
             let ticket = Arc::new(AtomicBool::new(false));
@@ -607,6 +651,7 @@ fn worker_loop(
     rx: Receiver<WorkerMsg>,
     latency: LatencyModel,
     plan: Option<FaultPlan>,
+    obs: Arc<Mutex<Arc<Observability>>>,
 ) {
     loop {
         let msg = match rx.recv_timeout(WORKER_POLL) {
@@ -648,7 +693,30 @@ fn worker_loop(
         if !ticket.swap(true, Ordering::SeqCst) {
             latency.pay_dispatch();
         }
-        let result = crate::executor::run_isolated(&payload.body);
+        let obs = obs.lock().clone();
+        let result = if obs.is_enabled() {
+            let ctx = payload.ctx;
+            obs.instant_span(
+                SpanKind::ManagerRecv,
+                ctx.lineage,
+                ctx.parent,
+                &mgr.node_name,
+            );
+            let span = obs.start_span(
+                SpanKind::WorkerExec,
+                ctx.lineage,
+                ctx.parent,
+                &mgr.node_name,
+            );
+            let t0 = obs.now_us();
+            let result = crate::executor::run_isolated(&payload.body);
+            obs.histogram(names::TASK_EXEC_US)
+                .record(obs.now_us().saturating_sub(t0));
+            obs.finish_span(span);
+            result
+        } else {
+            crate::executor::run_isolated(&payload.body)
+        };
         if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
             // The node died while the task ran: the result dies with it and
             // the task stays in flight for re-dispatch.
@@ -778,6 +846,19 @@ fn flush_results(
         // One reply message for the whole batch.
         latency.pay_result();
     }
+    if let Some(h) = htex.upgrade() {
+        let obs = h.obs.lock().clone();
+        if obs.is_enabled() {
+            for (payload, _) in &completions {
+                obs.instant_span(
+                    SpanKind::ResultReturn,
+                    payload.ctx.lineage,
+                    payload.ctx.parent,
+                    &mgr.node_name,
+                );
+            }
+        }
+    }
     for (payload, result) in completions {
         // A panicking completion callback must not take the aggregator
         // down (the counter is already settled above).
@@ -826,6 +907,10 @@ fn monitor_loop(htex: Weak<HighThroughputExecutor>) {
                 && now_ms.saturating_sub(mgr.last_beat.load(Ordering::SeqCst)) > threshold_ms
             {
                 mgr.dead.store(true, Ordering::SeqCst);
+                let obs = h.obs.lock().clone();
+                if obs.is_enabled() {
+                    obs.counter(names::HTEX_HEARTBEAT_MISSES).incr();
+                }
             }
             if mgr.dead.load(Ordering::SeqCst) && !mgr.lost_handled.swap(true, Ordering::SeqCst) {
                 h.handle_node_loss(mgr);
@@ -915,6 +1000,18 @@ impl Executor for HighThroughputExecutor {
     fn attach_monitoring(&self, log: Arc<MonitoringLog>) {
         *self.log.lock() = Some(log);
     }
+
+    fn attach_observability(&self, obs: Arc<Observability>) {
+        *self.obs.lock() = obs;
+    }
+}
+
+impl HighThroughputExecutor {
+    /// The observability instance currently attached (a disabled stand-in
+    /// until the DFK attaches the run's own).
+    pub fn observability(&self) -> Arc<Observability> {
+        self.obs.lock().clone()
+    }
 }
 
 #[cfg(test)]
@@ -942,6 +1039,7 @@ mod tests {
             id: TaskId(i),
             body: Arc::new(move || Ok(Value::Int(i as i64))),
             promise,
+            ctx: obs::SpanCtx::NONE,
         });
         fut
     }
@@ -1029,6 +1127,7 @@ mod tests {
                     Ok(Value::Null)
                 }),
                 promise,
+                ctx: obs::SpanCtx::NONE,
             });
             futs.push(fut);
         }
@@ -1066,6 +1165,7 @@ mod tests {
                     Ok(Value::Null)
                 }),
                 promise,
+                ctx: obs::SpanCtx::NONE,
             });
             futs.push(fut);
         }
@@ -1096,6 +1196,7 @@ mod tests {
             id: TaskId(1),
             body: Arc::new(|| Ok(Value::Int(1))),
             promise,
+            ctx: obs::SpanCtx::NONE,
         });
         match fut.result_timeout(Duration::from_secs(2)) {
             Some(Err(TaskError::Shutdown)) => {}

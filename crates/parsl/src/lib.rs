@@ -66,3 +66,7 @@ pub use monitoring::{FaultSummary, MonitoringLog, TaskEvent, TaskEventKind};
 pub use provider::{LocalProvider, NodeHandle, Provider, SlurmProvider};
 pub use strategy::{ScalingPolicy, Strategy};
 pub use task::{TaskId, TaskState};
+
+// Re-export the observability surface callers need to configure and read
+// traces without depending on `obs` directly.
+pub use obs::{ObsConfig, Observability, SpanCtx, SpanKind, SpanRecord};

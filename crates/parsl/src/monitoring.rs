@@ -3,8 +3,9 @@
 //! harness and tests can query.
 
 use crate::task::{TaskId, TaskState};
+use obs::RunClock;
 use parking_lot::Mutex;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// What happened to a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,8 +71,13 @@ pub struct FaultSummary {
 }
 
 /// The in-memory event log.
+///
+/// Timestamps come from a [`RunClock`] anchored at log creation — a
+/// monotonic clock, never wall time — and are read while holding the
+/// events lock, so `at` values are non-decreasing in log order even when
+/// many threads record concurrently.
 pub struct MonitoringLog {
-    start: Instant,
+    clock: RunClock,
     events: Mutex<Vec<TaskEvent>>,
 }
 
@@ -85,17 +91,21 @@ impl MonitoringLog {
     /// An empty log; timestamps are relative to this call.
     pub fn new() -> Self {
         Self {
-            start: Instant::now(),
+            clock: RunClock::new(),
             events: Mutex::new(Vec::new()),
         }
     }
 
     /// Append an event.
     pub fn record(&self, task: TaskId, kind: TaskEventKind, label: &str) {
-        self.events.lock().push(TaskEvent {
+        let mut events = self.events.lock();
+        // Read the clock under the lock: the RunClock is monotone across
+        // completed readings, so serialized reads are sorted in push order.
+        let at = self.clock.now();
+        events.push(TaskEvent {
             task,
             kind,
-            at: self.start.elapsed(),
+            at,
             label: label.to_string(),
         });
     }
@@ -244,6 +254,35 @@ mod tests {
         let events = log.events();
         assert_eq!(final_state(&events, TaskId(0)), None);
         assert_eq!(final_state(&events, TaskId(1)), Some(TaskState::Launched));
+    }
+
+    /// Regression: timestamps must be monotonic within a run. Events are
+    /// stamped from a run-anchored monotonic clock read under the events
+    /// lock, so `at` can never go backwards in log order — even with many
+    /// threads racing to record.
+    #[test]
+    fn timestamps_never_go_backwards_across_threads() {
+        use std::sync::Arc;
+        let log = Arc::new(MonitoringLog::new());
+        let threads: Vec<_> = (0..8)
+            .map(|t| {
+                let log = log.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250 {
+                        log.record(TaskId(t * 1000 + i), TaskEventKind::Submitted, "race");
+                    }
+                })
+            })
+            .collect();
+        for th in threads {
+            th.join().unwrap();
+        }
+        let events = log.events();
+        assert_eq!(events.len(), 8 * 250);
+        assert!(
+            events.windows(2).all(|w| w[0].at <= w[1].at),
+            "event timestamps went backwards"
+        );
     }
 
     #[test]

@@ -111,10 +111,19 @@ impl SlurmProvider {
 
 impl Provider for SlurmProvider {
     fn provision(&self, nodes: usize) -> Result<Vec<NodeHandle>, String> {
+        // Providers have no handle to a run, so they record against the
+        // process-global instance (disabled unless a run enables it).
+        let obs = obs::global();
+        let t0 = obs.now_us();
         let job = self
             .scheduler
             .submit(JobRequest::nodes(nodes, format!("parsl-pilot-{nodes}n")))?;
         let granted = job.wait_running(self.queue_timeout)?;
+        if obs.is_enabled() {
+            obs.counter(obs::names::PROVIDER_PROVISIONS).incr();
+            obs.histogram(obs::names::PROVIDER_PROVISION_US)
+                .record(obs.now_us().saturating_sub(t0));
+        }
         let cluster = self.scheduler.cluster();
         Ok(granted
             .into_iter()

@@ -70,6 +70,10 @@ impl Strategy {
                                 .min(policy.max_nodes - htex.manager_count());
                             if want > 0 && htex.add_block(want).is_ok() {
                                 scale_outs.fetch_add(1, Ordering::SeqCst);
+                                let obs = htex.observability();
+                                if obs.is_enabled() {
+                                    obs.counter(obs::names::STRATEGY_SCALE_OUTS).incr();
+                                }
                             }
                         }
                     }
@@ -151,6 +155,7 @@ mod tests {
                     Ok(Value::Null)
                 }),
                 promise,
+                ctx: obs::SpanCtx::NONE,
             });
             futs.push(fut);
         }

@@ -2,7 +2,7 @@
 //! must produce exactly the values a sequential reference evaluation gives,
 //! regardless of executor interleaving.
 
-use parsl::{AppArg, Config, DataFlowKernel, FnApp};
+use parsl::{AppArg, Config, DataFlowKernel, FnApp, ObsConfig};
 use proptest::prelude::*;
 use yamlite::Value;
 
@@ -116,5 +116,57 @@ proptest! {
             .collect();
         dfk.shutdown();
         prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn dag_lineage_records_every_task_exactly_once(dag in dag_strategy(), workers in 1usize..6) {
+        // With monitoring on, the lineage table must hold one record per
+        // submitted task — no drops, no duplicates — and each record's
+        // timestamps must respect submit ≤ dispatch ≤ complete.
+        let dfk = DataFlowKernel::new(
+            Config::local_threads(workers).with_monitoring(ObsConfig::on()),
+        );
+        let obs = dfk.observability().clone();
+        let body = FnApp::new(|vals: &[Value]| {
+            Ok(Value::Int(vals.iter().filter_map(Value::as_int).sum()))
+        });
+        let mut futs = Vec::with_capacity(dag.nodes.len());
+        for (i, (constant, deps)) in dag.nodes.iter().enumerate() {
+            let mut args = vec![AppArg::value(*constant)];
+            for d in deps {
+                let f: &parsl::AppFuture = &futs[*d];
+                args.push(AppArg::future(f));
+            }
+            futs.push(dfk.submit(&format!("node{i}"), args, body.clone()));
+        }
+        for f in &futs {
+            f.result().expect("task ok");
+        }
+        dfk.shutdown();
+
+        let mut records = obs.lineage_records();
+        prop_assert_eq!(records.len(), dag.nodes.len(), "one record per task");
+        records.sort_by_key(|r| r.task);
+        let mut labels: Vec<&str> = records.iter().map(|r| r.label.as_str()).collect();
+        labels.sort_unstable();
+        let mut expected_labels: Vec<String> =
+            (0..dag.nodes.len()).map(|i| format!("node{i}")).collect();
+        expected_labels.sort_unstable();
+        prop_assert_eq!(
+            labels,
+            expected_labels.iter().map(String::as_str).collect::<Vec<_>>()
+        );
+        for w in records.windows(2) {
+            prop_assert!(w[0].task < w[1].task, "task ids are unique");
+        }
+        for r in &records {
+            prop_assert_eq!(r.outcome.as_deref(), Some("completed"), "{}", r.label);
+            prop_assert_eq!(r.attempts, 1, "{}", r.label);
+            prop_assert!(
+                r.submit_us <= r.dispatch_us && r.dispatch_us <= r.complete_us,
+                "{}: submit {} ≤ dispatch {} ≤ complete {}",
+                r.label, r.submit_us, r.dispatch_us, r.complete_us
+            );
+        }
     }
 }

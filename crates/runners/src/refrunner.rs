@@ -31,6 +31,13 @@ impl RefRunner {
         }
     }
 
+    /// Attach a per-run observability instance (spans and lineage records
+    /// for subsequent runs land there).
+    pub fn with_observability(mut self, obs: Arc<obs::Observability>) -> Self {
+        self.exec = self.exec.with_observability(obs);
+        self
+    }
+
     /// Validate a document the way `cwltool --validate` does.
     pub fn validate(path: impl AsRef<Path>) -> Result<Vec<cwl::Diagnostic>, String> {
         let doc = yamlite::parse_file(path.as_ref()).map_err(|e| e.to_string())?;

@@ -15,6 +15,7 @@ use cwl::workflow::{RunRef, Step, Workflow};
 use cwl::CommandLineTool;
 use cwlexec::{engine_for, execute_tool, ToolDispatch};
 use expr::{interpolate, EvalContext};
+use obs::{Observability, SpanKind};
 use std::collections::{HashMap, HashSet};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -40,6 +41,9 @@ pub struct WorkflowExecutor {
     pub profile: ExecProfile,
     dispatch: Arc<dyn ToolDispatch>,
     tasks: AtomicUsize,
+    /// Per-run observability; `None` falls back to the process-global
+    /// instance (disabled unless a run enables it).
+    obs: Option<Arc<Observability>>,
 }
 
 impl WorkflowExecutor {
@@ -49,7 +53,19 @@ impl WorkflowExecutor {
             profile,
             dispatch,
             tasks: AtomicUsize::new(0),
+            obs: None,
         }
+    }
+
+    /// Attach a per-run observability instance (traces + lineage for this
+    /// executor's runs land there instead of the process-global one).
+    pub fn with_observability(mut self, obs: Arc<Observability>) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
+    fn obs(&self) -> &Observability {
+        self.obs.as_deref().unwrap_or_else(|| obs::global())
     }
 
     /// Execute the CWL file at `path` with `provided` inputs, placing all
@@ -89,16 +105,30 @@ impl WorkflowExecutor {
 
         self.tasks.store(0, Ordering::SeqCst);
         let start = Instant::now();
+        // Root span for the whole run; every leaf task hangs off it. An
+        // early-error `?` drops the span unfinished, which never records.
+        let wf_label = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| self.profile.name.clone());
+        let wf_span = self
+            .obs()
+            .start_span(SpanKind::WorkflowRun, 0, 0, &wf_label);
+        let root = wf_span.id();
         let outputs = match &doc {
             CwlDocument::Tool(tool) => {
                 // Single-tool runs pay the coordinator setup once.
                 let bytes = yamlite::to_string_flow(&Value::Map(provided.clone())).len();
                 let kib = (bytes as f64 / 1024.0).ceil() as u32;
                 gridsim::pay(self.profile.setup_per_task + self.profile.setup_per_kib * kib);
-                self.run_tool_task(tool, Some(&raw), provided, workdir)?
+                let label = tool.id.clone().unwrap_or_else(|| "tool".to_string());
+                self.run_tool_task(tool, Some(&raw), provided, workdir, &label, None, root)?
             }
-            CwlDocument::Workflow(wf) => self.run_workflow(wf, &base_dir, provided, workdir)?,
+            CwlDocument::Workflow(wf) => {
+                self.run_workflow(wf, &base_dir, provided, workdir, root)?
+            }
         };
+        self.obs().finish_span(wf_span);
         Ok(RunReport {
             runner: self.profile.name.clone(),
             outputs,
@@ -108,13 +138,30 @@ impl WorkflowExecutor {
     }
 
     /// Execute one leaf tool task, paying the profile's per-task costs.
+    #[allow(clippy::too_many_arguments)]
     fn run_tool_task(
         &self,
         tool: &CommandLineTool,
         raw: Option<&str>,
         provided: &Map,
         workdir: &Path,
+        label: &str,
+        step: Option<&str>,
+        parent: u64,
     ) -> Result<Map, String> {
+        let task_no = self.tasks.fetch_add(1, Ordering::SeqCst);
+        // Lineage ids are 1-based (0 means "no task" in span records).
+        let lineage = task_no as u64 + 1;
+        let obs = self.obs();
+        let span = obs.start_span(SpanKind::ToolExec, lineage, parent, label);
+        if obs.is_enabled() {
+            obs.lineage_submit(lineage, label);
+            obs.lineage_dispatch(lineage);
+            if let Some(step) = step {
+                obs.lineage_bind_step(lineage, step);
+            }
+        }
+
         // Per-task interpreter/process start-up.
         gridsim::pay(self.profile.per_task_overhead);
 
@@ -131,7 +178,6 @@ impl WorkflowExecutor {
 
         // Toil-style job store round trip: persist the job description,
         // pay the batch submit latency.
-        let task_no = self.tasks.fetch_add(1, Ordering::SeqCst);
         let job_file = if let Some(store) = &self.profile.job_store {
             std::fs::create_dir_all(store).map_err(|e| format!("cannot create job store: {e}"))?;
             let job_file = store.join(format!("job-{task_no}.yml"));
@@ -166,6 +212,15 @@ impl WorkflowExecutor {
             gridsim::pay(self.profile.poll_interval / 2);
         }
 
+        if obs.is_enabled() {
+            let outcome = if result.is_ok() {
+                "completed"
+            } else {
+                "failed"
+            };
+            obs.lineage_complete(lineage, outcome);
+        }
+        obs.finish_span(span);
         result.map(|run| run.outputs)
     }
 
@@ -176,6 +231,7 @@ impl WorkflowExecutor {
         base_dir: &Path,
         provided: &Map,
         workdir: &Path,
+        parent: u64,
     ) -> Result<Map, String> {
         // Check structure first (cheap; mirrors runners validating upfront).
         wf.topo_order()?;
@@ -335,6 +391,12 @@ impl WorkflowExecutor {
                     let inputs = job.inputs.clone();
                     let rstep = job.rstep;
                     let step = job.step;
+                    // Scatter instances keep the index in the label but
+                    // share the bare step id in the lineage record.
+                    let label = match job.scatter_idx {
+                        None => step.id.clone(),
+                        Some(k) => format!("{}_{k}", step.id),
+                    };
                     let wf_engine = &wf_engine;
                     move || -> Result<Map, String> {
                         // CWL v1.2 conditional execution: a falsy `when`
@@ -353,10 +415,18 @@ impl WorkflowExecutor {
                         }
                         match &rstep.doc {
                             CwlDocument::Tool(tool) => self
-                                .run_tool_task(tool, rstep.raw.as_deref(), &inputs, &job_dir)
+                                .run_tool_task(
+                                    tool,
+                                    rstep.raw.as_deref(),
+                                    &inputs,
+                                    &job_dir,
+                                    &label,
+                                    Some(&step.id),
+                                    parent,
+                                )
                                 .map_err(|e| format!("step {:?}: {e}", step.id)),
                             CwlDocument::Workflow(sub) => self
-                                .run_workflow(sub, &rstep.base_dir, &inputs, &job_dir)
+                                .run_workflow(sub, &rstep.base_dir, &inputs, &job_dir, parent)
                                 .map_err(|e| format!("step {:?}: {e}", step.id)),
                         }
                     }

@@ -1,0 +1,13 @@
+# Diamond-DAG building block: pass a text file through unchanged.
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+inputs:
+  text:
+    type: File
+    inputBinding:
+      position: 1
+outputs:
+  output:
+    type: stdout
+stdout: copy.txt

@@ -1,0 +1,34 @@
+# Diamond DAG for the golden-trace harness: one producer fans out to two
+# parallel copies whose outputs join in a final concatenation.
+cwlVersion: v1.2
+class: Workflow
+doc: Echo a message, copy it along two branches, and join the branches.
+inputs:
+  message:
+    type: string
+outputs:
+  joined:
+    type: File
+    outputSource: join/output
+steps:
+  seed:
+    run: echo.cwl
+    in:
+      message: message
+    out: [output]
+  left:
+    run: copy_text.cwl
+    in:
+      text: seed/output
+    out: [output]
+  right:
+    run: copy_text.cwl
+    in:
+      text: seed/output
+    out: [output]
+  join:
+    run: join_text.cwl
+    in:
+      left: left/output
+      right: right/output
+    out: [output]

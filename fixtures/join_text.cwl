@@ -1,0 +1,17 @@
+# Diamond-DAG building block: concatenate the two branch outputs.
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: cat
+inputs:
+  left:
+    type: File
+    inputBinding:
+      position: 1
+  right:
+    type: File
+    inputBinding:
+      position: 2
+outputs:
+  output:
+    type: stdout
+stdout: joined.txt

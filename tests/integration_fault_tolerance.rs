@@ -250,6 +250,102 @@ fn cwl_workflow_survives_node_loss() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Fault-path trace coverage: a killed manager must leave a `NodeLost`
+/// span, and every task re-queued by the loss must leave a `Redispatched`
+/// span whose parent is that `NodeLost` span and whose lineage id joins it
+/// back to the task's original `Submit`/`Dispatch` spans.
+#[test]
+fn node_loss_produces_linked_trace_spans() {
+    use parsl::SpanKind;
+    use std::collections::HashSet;
+
+    const TASKS: usize = 24;
+    let plan = FaultPlan::new().kill_after_tasks("localhost/0", 2);
+    let dfk = DataFlowKernel::try_new(
+        Config::htex(
+            HtexConfig {
+                label: "fault-trace".into(),
+                nodes: 2,
+                workers_per_node: 1,
+                latency: LatencyModel::in_process(),
+                heartbeat_period: Duration::from_millis(5),
+                heartbeat_threshold: Duration::from_millis(60),
+                min_nodes: 0,
+                fault_plan: Some(plan),
+                batch_size: 6,
+            },
+            Arc::new(parsl::LocalProvider::new(1)),
+        )
+        .with_monitoring(parsl::ObsConfig::on()),
+    )
+    .unwrap();
+    let obs = dfk.observability().clone();
+
+    let body = FnApp::new(|vals: &[Value]| {
+        std::thread::sleep(Duration::from_millis(2));
+        Ok(Value::Int(vals[0].as_int().unwrap() * 7))
+    });
+    let futs: Vec<_> = (0..TASKS)
+        .map(|i| dfk.submit("traced", vec![AppArg::value(i as i64)], body.clone()))
+        .collect();
+    for (i, f) in futs.iter().enumerate() {
+        assert_eq!(
+            f.result_timeout(Duration::from_secs(10))
+                .expect("task hung")
+                .unwrap(),
+            Value::Int(i as i64 * 7),
+            "task {i}"
+        );
+    }
+    wait_for(&dfk, "node loss processed", |d| {
+        !d.monitoring().fault_summary().nodes_lost.is_empty()
+    });
+    dfk.shutdown();
+
+    let spans = obs.spans();
+    let lost: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::NodeLost)
+        .collect();
+    assert!(!lost.is_empty(), "node death must leave a NodeLost span");
+    for s in &lost {
+        assert_eq!(s.name, "localhost/0", "the scripted node is the one lost");
+        assert_eq!(s.lineage, 0, "node loss is a node event, not a task event");
+    }
+    let lost_ids: HashSet<u64> = lost.iter().map(|s| s.id).collect();
+
+    let redispatched: Vec<_> = spans
+        .iter()
+        .filter(|s| s.kind == SpanKind::Redispatched)
+        .collect();
+    assert!(
+        !redispatched.is_empty(),
+        "a mid-batch kill must strand and re-dispatch at least one task"
+    );
+    for r in &redispatched {
+        assert!(
+            lost_ids.contains(&r.parent),
+            "Redispatched span {} must hang off the NodeLost span that caused it",
+            r.id
+        );
+        assert_ne!(r.lineage, 0, "re-dispatch is attributed to a task");
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Dispatch && s.lineage == r.lineage),
+            "lineage {} joins the re-dispatch to the task's original Dispatch span",
+            r.lineage
+        );
+        assert!(
+            spans
+                .iter()
+                .any(|s| s.kind == SpanKind::Submit && s.lineage == r.lineage),
+            "lineage {} joins the re-dispatch to the task's Submit span",
+            r.lineage
+        );
+    }
+}
+
 #[test]
 fn yaml_fault_config_drives_injection() {
     let rc = load_config_file(configs().join("htex-fault.yml")).unwrap();

@@ -1,0 +1,271 @@
+//! Golden-trace tests: the *shape* of the span tree each runner produces
+//! for a diamond DAG and a scatter workflow is locked in under
+//! `tests/goldens/`. The goldens record structure (kind nesting and
+//! deterministic task labels), never timestamps or node names, so they are
+//! stable across machines and runs. After an intentional instrumentation
+//! change, regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDENS=1 cargo test -p cwl_parsl --test integration_trace_golden
+//! ```
+
+use cwl_parsl::{CwlAppOptions, ParslWorkflowRunner};
+use parsl::{
+    Config, DataFlowKernel, HtexConfig, LocalProvider, ObsConfig, Observability, SpanKind,
+    SpanRecord,
+};
+use runners::RefRunner;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use yamlite::{vmap, Map, Value};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("trace-golden-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+fn as_map(v: Value) -> Map {
+    match v {
+        Value::Map(m) => m,
+        _ => unreachable!(),
+    }
+}
+
+/// Tests share the global gridsim time scale; serialize them so one test
+/// restoring real time cannot slow another mid-run.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Render the span forest as a normalized, deterministic shape string.
+///
+/// Normalization rules:
+/// * spans not tied to a task are dropped (`BlockProvision`, `NodeLost` —
+///   whether elastic scaling fires mid-run is timing-dependent), except the
+///   `WorkflowRun` root whose name is the fixture file;
+/// * names are kept only for spans labelled by task/step (deterministic);
+///   transport spans are labelled by node name, which varies;
+/// * siblings sort by their rendered subtree, so arrival order is erased.
+fn render_shape(spans: &[SpanRecord]) -> String {
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
+    let mut roots: Vec<&SpanRecord> = Vec::new();
+    for s in spans {
+        if s.lineage == 0 && s.kind != SpanKind::WorkflowRun {
+            continue;
+        }
+        if s.parent != 0 && ids.contains(&s.parent) {
+            children.entry(s.parent).or_default().push(s);
+        } else {
+            roots.push(s);
+        }
+    }
+    fn render(
+        span: &SpanRecord,
+        children: &BTreeMap<u64, Vec<&SpanRecord>>,
+        depth: usize,
+    ) -> String {
+        let named = matches!(
+            span.kind,
+            SpanKind::WorkflowRun
+                | SpanKind::Submit
+                | SpanKind::MemoLookup
+                | SpanKind::Dispatch
+                | SpanKind::ToolExec
+                | SpanKind::Retry
+                | SpanKind::TimedOut
+        );
+        let mut line = format!("{}{}", "  ".repeat(depth), span.kind.as_str());
+        if named {
+            line.push_str(&format!(" {:?}", span.name));
+        }
+        line.push('\n');
+        let mut subtrees: Vec<String> = children
+            .get(&span.id)
+            .map(|kids| {
+                kids.iter()
+                    .map(|k| render(k, children, depth + 1))
+                    .collect()
+            })
+            .unwrap_or_default();
+        subtrees.sort();
+        line.extend(subtrees);
+        line
+    }
+    let mut rendered: Vec<String> = roots.iter().map(|r| render(r, &children, 0)).collect();
+    rendered.sort();
+    rendered.concat()
+}
+
+fn check_golden(name: &str, actual: &str) {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/goldens")
+        .join(name);
+    if std::env::var("UPDATE_GOLDENS").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {} ({e}); generate it with UPDATE_GOLDENS=1",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, actual,
+        "trace shape drifted from golden {name}; if the change is \
+         intentional, regenerate with UPDATE_GOLDENS=1"
+    );
+}
+
+/// Run a workflow on the reference runner with tracing attached; return the
+/// normalized span shape.
+fn ref_trace(fixture: &str, inputs: Map, tag: &str) -> String {
+    let dir = scratch(tag);
+    let obs = Arc::new(Observability::on());
+    let runner =
+        RefRunner::new(2, Arc::new(cwlexec::BuiltinDispatch)).with_observability(obs.clone());
+    runner.run(fixtures().join(fixture), &inputs, &dir).unwrap();
+    let shape = render_shape(&obs.spans());
+    let _ = std::fs::remove_dir_all(&dir);
+    shape
+}
+
+/// Run a workflow on the Parsl path over HTEX with monitoring enabled;
+/// return the normalized span shape.
+fn htex_trace(fixture: &str, inputs: Map, tag: &str) -> String {
+    let dir = scratch(tag);
+    let config = Config::htex(
+        HtexConfig {
+            label: format!("golden-{tag}"),
+            nodes: 1,
+            workers_per_node: 2,
+            latency: gridsim::LatencyModel::in_process(),
+            ..HtexConfig::default()
+        },
+        Arc::new(LocalProvider::new(2)),
+    )
+    .with_memoization()
+    .with_monitoring(ObsConfig::on());
+    let dfk = DataFlowKernel::try_new(config).unwrap();
+    let obs = dfk.observability().clone();
+    let runner = ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
+    runner.run(fixtures().join(fixture), &inputs).unwrap();
+    dfk.shutdown();
+    let shape = render_shape(&obs.spans());
+    let _ = std::fs::remove_dir_all(&dir);
+    shape
+}
+
+fn diamond_inputs() -> Map {
+    as_map(vmap! {"message" => "trace me"})
+}
+
+fn scatter_inputs() -> Map {
+    as_map(vmap! {
+        "words" => Value::Seq(vec![
+            Value::str("alpha"),
+            Value::str("beta"),
+            Value::str("gamma"),
+        ]),
+    })
+}
+
+#[test]
+fn diamond_reference_runner_matches_golden() {
+    let _guard = serial();
+    gridsim::TimeScale::set(0.0);
+    let shape = ref_trace("diamond.cwl", diamond_inputs(), "diamond-ref");
+    gridsim::TimeScale::set(1.0);
+    check_golden("diamond_ref.txt", &shape);
+}
+
+#[test]
+fn diamond_htex_matches_golden() {
+    let _guard = serial();
+    gridsim::TimeScale::set(0.0);
+    let shape = htex_trace("diamond.cwl", diamond_inputs(), "diamond-htex");
+    gridsim::TimeScale::set(1.0);
+    check_golden("diamond_htex.txt", &shape);
+}
+
+#[test]
+fn scatter_reference_runner_matches_golden() {
+    let _guard = serial();
+    gridsim::TimeScale::set(0.0);
+    let shape = ref_trace("scatter_words_py.cwl", scatter_inputs(), "scatter-ref");
+    gridsim::TimeScale::set(1.0);
+    check_golden("scatter_ref.txt", &shape);
+}
+
+#[test]
+fn scatter_htex_matches_golden() {
+    let _guard = serial();
+    gridsim::TimeScale::set(0.0);
+    let shape = htex_trace("scatter_words_py.cwl", scatter_inputs(), "scatter-htex");
+    gridsim::TimeScale::set(1.0);
+    check_golden("scatter_htex.txt", &shape);
+}
+
+/// The lineage table must join every Parsl task to its CWL step, with
+/// monotone submit → dispatch → complete timestamps.
+#[test]
+fn diamond_htex_lineage_joins_tasks_to_steps() {
+    let _guard = serial();
+    gridsim::TimeScale::set(0.0);
+    let dir = scratch("diamond-lineage");
+    let config = Config::htex(
+        HtexConfig {
+            label: "golden-lineage".into(),
+            nodes: 1,
+            workers_per_node: 2,
+            latency: gridsim::LatencyModel::in_process(),
+            ..HtexConfig::default()
+        },
+        Arc::new(LocalProvider::new(2)),
+    )
+    .with_monitoring(ObsConfig::on());
+    let dfk = DataFlowKernel::try_new(config).unwrap();
+    let obs = dfk.observability().clone();
+    let runner = ParslWorkflowRunner::new(&dfk, CwlAppOptions::in_dir(&dir).with_builtin_tools());
+    runner
+        .run(fixtures().join("diamond.cwl"), &diamond_inputs())
+        .unwrap();
+    dfk.shutdown();
+    gridsim::TimeScale::set(1.0);
+
+    let mut records = obs.lineage_records();
+    records.sort_by(|a, b| a.cwl_step.cmp(&b.cwl_step));
+    let steps: Vec<&str> = records
+        .iter()
+        .map(|r| r.cwl_step.as_deref().expect("every task bound to a step"))
+        .collect();
+    assert_eq!(steps, vec!["join", "left", "right", "seed"]);
+    for r in &records {
+        assert_eq!(
+            Some(r.label.as_str()),
+            r.cwl_step.as_deref(),
+            "diamond labels are bare step ids"
+        );
+        assert_eq!(r.attempts, 1, "{}", r.label);
+        assert_eq!(r.outcome.as_deref(), Some("completed"), "{}", r.label);
+        assert!(
+            r.submit_us <= r.dispatch_us && r.dispatch_us <= r.complete_us,
+            "{}: submit {} dispatch {} complete {}",
+            r.label,
+            r.submit_us,
+            r.dispatch_us,
+            r.complete_us
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
