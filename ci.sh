@@ -51,6 +51,109 @@ for step in seed left right join; do
     }
 done
 
+# Crash-resume smoke: kill parsl-cwl mid-run with SIGKILL, resume from the
+# checkpoint journal, and require the resumed run to report replayed tasks
+# through parsl-trace. The workflow is generated under target/ (not
+# fixtures/) so the cwl-check gate's corpus is unchanged; each step gates on
+# the previous one so the kill window is wide.
+rm -rf target/ckpt-smoke target/ckpt-smoke-work target/ckpt-smoke.jsonl
+mkdir -p target/ckpt-smoke
+cat > target/ckpt-smoke/slow_step.cwl <<'EOF'
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: sleepms
+inputs:
+  ms:
+    type: int
+    inputBinding:
+      position: 1
+  gate:
+    type: File?
+    inputBinding:
+      position: 2
+outputs:
+  output:
+    type: stdout
+stdout: slept.txt
+EOF
+cat > target/ckpt-smoke/slow.cwl <<'EOF'
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  first_ms:
+    type: int
+outputs:
+  done:
+    type: File
+    outputSource: s4/output
+steps:
+  s1:
+    run: slow_step.cwl
+    in:
+      ms: first_ms
+    out: [output]
+  s2:
+    run: slow_step.cwl
+    in:
+      ms:
+        default: 800
+      gate: s1/output
+    out: [output]
+  s3:
+    run: slow_step.cwl
+    in:
+      ms:
+        default: 800
+      gate: s2/output
+    out: [output]
+  s4:
+    run: slow_step.cwl
+    in:
+      ms:
+        default: 800
+      gate: s3/output
+    out: [output]
+EOF
+cat > target/ckpt-smoke/config.yml <<'EOF'
+executor:
+  kind: thread-pool
+  workers: 1
+checkpoint:
+  mode: task-exit
+monitoring:
+  enabled: true
+  sample_rate: 1.0
+  export: target/ckpt-smoke.jsonl
+  sinks: [jsonl]
+run:
+  workdir: ./target/ckpt-smoke-work
+  builtin_tools: true
+EOF
+./target/release/parsl-cwl target/ckpt-smoke/config.yml \
+    target/ckpt-smoke/slow.cwl --first_ms=10 >/dev/null 2>&1 &
+smoke_pid=$!
+ckpt_journal=target/ckpt-smoke-work/ckpt/journal.ckpt
+# A journal with at least one task record is well past the ~40-byte header.
+for _ in $(seq 1 600); do
+    size=$(stat -c %s "$ckpt_journal" 2>/dev/null || echo 0)
+    [ "$size" -gt 120 ] && break
+    kill -0 "$smoke_pid" 2>/dev/null || break
+    sleep 0.05
+done
+kill -9 "$smoke_pid" 2>/dev/null || true
+wait "$smoke_pid" 2>/dev/null || true
+test -s "$ckpt_journal"
+./target/release/parsl-cwl target/ckpt-smoke/config.yml \
+    target/ckpt-smoke/slow.cwl --first_ms=10 --resume target/ckpt-smoke-work
+replayed=$(cargo run --release -p obs --bin parsl-trace -- target/ckpt-smoke.jsonl --json \
+    | grep -o '"name":"ckpt.replayed","kind":"counter","value":[0-9]*' \
+    | grep -o '[0-9]*$')
+if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
+    echo "error: resumed run replayed no checkpointed tasks (ckpt.replayed=${replayed:-missing})" >&2
+    exit 1
+fi
+echo "crash-resume smoke: $replayed task(s) replayed from the journal"
+
 # Disabled-monitoring overhead gate: the instrumented pipeline with
 # monitoring off must stay within noise of the committed pre-instrumentation
 # numbers (tolerance overridable via BENCH_CHECK_TOLERANCE).

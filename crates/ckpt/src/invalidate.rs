@@ -1,0 +1,88 @@
+//! Trust rules for loaded journal records.
+//!
+//! A journal record is a *claim* that a task completed with a given result.
+//! Before seeding the memo table from it, the resume path must check the
+//! claim still holds:
+//!
+//! - the journal's `run_hash` matches the workflow + inputs being resumed
+//!   (checked by the caller against [`crate::Header::run_hash`]);
+//! - every `class: File` object in the result still exists on disk — a
+//!   deleted or moved output means the task must re-run, not replay.
+
+use std::path::{Path, PathBuf};
+use yamlite::Value;
+
+/// Parse a record's serialized result back into a value. Fails only on a
+/// journal written by a buggy or incompatible serializer; callers treat a
+/// failure as "invalidate this record".
+pub fn parse_result(serialized: &str) -> Result<Value, String> {
+    yamlite::parse_str(serialized).map_err(|e| format!("ckpt: unparseable journaled result: {e}"))
+}
+
+/// Walk a result value and collect the `path` of every `class: File`
+/// object that no longer exists on disk. An empty return means the record
+/// is replayable as far as file outputs are concerned.
+pub fn missing_file_outputs(value: &Value) -> Vec<PathBuf> {
+    let mut missing = Vec::new();
+    walk(value, &mut missing);
+    missing
+}
+
+fn walk(value: &Value, missing: &mut Vec<PathBuf>) {
+    match value {
+        Value::Map(map) => {
+            let is_file = map.get("class").and_then(Value::as_str) == Some("File");
+            if is_file {
+                if let Some(path) = map.get("path").and_then(Value::as_str) {
+                    if !Path::new(path).exists() {
+                        missing.push(PathBuf::from(path));
+                    }
+                }
+            }
+            for (_, v) in map.iter() {
+                walk(v, missing);
+            }
+        }
+        Value::Seq(items) => {
+            for v in items {
+                walk(v, missing);
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_missing_file_paths() {
+        let dir = std::env::temp_dir().join(format!("ckpt-inv-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let present = dir.join("present.txt");
+        std::fs::write(&present, "x").unwrap();
+        let gone = dir.join("gone.txt");
+        let _ = std::fs::remove_file(&gone);
+
+        let yaml = format!(
+            "{{out: {{class: File, path: {}, basename: present.txt}}, extra: [{{class: File, path: {}}}]}}",
+            present.display(),
+            gone.display()
+        );
+        let value = parse_result(&yaml).unwrap();
+        let missing = missing_file_outputs(&value);
+        assert_eq!(missing, vec![gone]);
+    }
+
+    #[test]
+    fn non_file_values_are_replayable() {
+        let value = parse_result("{count: 3, name: hello, nested: {class: Directory}}").unwrap();
+        assert!(missing_file_outputs(&value).is_empty());
+    }
+
+    #[test]
+    fn garbage_results_fail_parse() {
+        assert!(parse_result("{unclosed: [").is_err());
+    }
+}

@@ -2,12 +2,28 @@
 //!
 //! ```text
 //! parsl-cwl <config.yml> <doc.cwl> [inputs.yml] [--key=value ...]
+//! parsl-cwl <config.yml> <doc.cwl> --resume <run-dir> [inputs...]
 //! parsl-cwl --validate <doc.cwl>
 //! ```
 
-use cwl_parsl::{load_config_file, run_tool_cli};
+use cwl_parsl::{load_config_file, run_tool_cli_resumable};
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+const USAGE: &str = "usage: parsl-cwl <config.yml> <doc.cwl> [inputs.yml] [--key=value ...]
+       parsl-cwl <config.yml> <doc.cwl> --resume <run-dir> [inputs.yml] [--key=value ...]
+       parsl-cwl --validate <doc.cwl>
+
+options:
+  --resume <run-dir>   resume a crashed run from its checkpoint journal
+                       (<run-dir> is the journal directory, the workdir
+                       containing ckpt/, or the journal file itself);
+                       requires a `checkpoint:` block in the config
+  --validate <doc>     statically validate a CWL document and exit
+  --help               print this message
+
+Input overrides are written --key=value (values parse as YAML scalars).
+Flags not listed above and not of --key=value form are rejected.";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,6 +37,13 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    if args.first().map(String::as_str) == Some("--help") {
+        println!("{USAGE}");
+        return Ok(());
+    }
     if args.first().map(String::as_str) == Some("--validate") {
         let path = args.get(1).ok_or("usage: parsl-cwl --validate <doc.cwl>")?;
         let doc = yamlite::parse_file(path).map_err(|e| e.to_string())?;
@@ -36,25 +59,47 @@ fn run(args: &[String]) -> Result<(), String> {
         };
     }
 
-    let usage = "usage: parsl-cwl <config.yml> <doc.cwl> [inputs.yml] [--key=value ...]";
-    let config_path = args.first().ok_or(usage)?;
-    let cwl_path = args.get(1).ok_or(usage)?;
+    let config_path = args.first().ok_or(USAGE)?;
+    let cwl_path = args.get(1).ok_or(USAGE)?;
     let mut inputs_file: Option<PathBuf> = None;
     let mut overrides = Vec::new();
-    for arg in &args[2..] {
-        if arg.starts_with("--") {
+    let mut resume: Option<PathBuf> = None;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        if let Some(value) = arg.strip_prefix("--resume=") {
+            resume = Some(PathBuf::from(value));
+        } else if arg == "--resume" {
+            let value = rest
+                .next()
+                .ok_or(format!("--resume needs a run directory\n{USAGE}"))?;
+            resume = Some(PathBuf::from(value));
+        } else if arg == "--help" {
+            println!("{USAGE}");
+            return Ok(());
+        } else if let Some(flag) = arg.strip_prefix("--") {
+            // Only --key=value input overrides remain legal; a bare flag
+            // here is a typo'd option, not an input, and silently treating
+            // it as one hid mistakes like `--resume` without a checkpoint.
+            if !flag.contains('=') {
+                return Err(format!("unknown flag {arg:?}\n{USAGE}"));
+            }
             overrides.push(arg.clone());
         } else if inputs_file.is_none() {
             inputs_file = Some(PathBuf::from(arg));
         } else {
-            return Err(format!("unexpected argument {arg:?}\n{usage}"));
+            return Err(format!("unexpected argument {arg:?}\n{USAGE}"));
         }
     }
 
     let config = load_config_file(config_path)?;
     let override_map = cwl_parsl::runner::parse_overrides(&overrides)?;
     let inputs = cwl_parsl::runner::load_inputs(inputs_file.as_deref(), &override_map)?;
-    let outcome = run_tool_cli(config, std::path::Path::new(cwl_path), &inputs)?;
+    let outcome = run_tool_cli_resumable(
+        config,
+        std::path::Path::new(cwl_path),
+        &inputs,
+        resume.as_deref(),
+    )?;
 
     println!(
         "{}",
@@ -65,6 +110,25 @@ fn run(args: &[String]) -> Result<(), String> {
         outcome.tasks,
         outcome.workdir.display()
     );
+    if let Some(ckpt) = &outcome.ckpt {
+        eprintln!(
+            "parsl-cwl: checkpoint journal {} ({} replayed, {} appended, {} invalidated{}{})",
+            ckpt.journal.display(),
+            ckpt.replayed,
+            ckpt.appended,
+            ckpt.invalidated,
+            if ckpt.torn {
+                ", torn tail truncated"
+            } else {
+                ""
+            },
+            if ckpt.stale {
+                ", stale journal set aside"
+            } else {
+                ""
+            },
+        );
+    }
     if let Some(trace) = &outcome.trace {
         eprintln!(
             "parsl-cwl: trace written to {} (inspect with parsl-trace)",

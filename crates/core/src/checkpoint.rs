@@ -1,0 +1,216 @@
+//! Crash-resume orchestration for `parsl-cwl` runs: binding a checkpoint
+//! journal to a run, and deciding which journal records a resumed run may
+//! trust.
+//!
+//! A journal is only as good as its validation. Three rules, applied in
+//! order on resume:
+//!
+//! 1. **Stale workflow or inputs.** The journal header's `run_hash` covers
+//!    every CWL file the workflow references plus the root input object.
+//!    On mismatch, the whole journal is set aside (renamed to
+//!    `journal.ckpt.stale`) and the run starts a fresh one — replaying
+//!    results computed by a *different* workflow would be silent
+//!    corruption.
+//! 2. **Torn tail.** Handled by `ckpt` itself: the damaged suffix is
+//!    truncated before any append.
+//! 3. **Deleted outputs.** A record whose result names a `class: File`
+//!    path that no longer exists is dropped (the task re-runs); records are
+//!    also deduplicated last-wins so a re-run's fresh record supersedes the
+//!    invalidated one on the next resume.
+
+use crate::config::CheckpointSettings;
+use ckpt::{Header, Journal, LoadedJournal, Record};
+use cwl::loader::{load_file, CwlDocument};
+use cwl::workflow::RunRef;
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use yamlite::{Map, Value};
+
+/// Journal file name inside the checkpoint directory.
+pub const JOURNAL_FILE: &str = "journal.ckpt";
+
+/// Hash the run identity: every CWL file the workflow references
+/// (recursively through `run:`), chained with the root input object. Two
+/// runs share a hash exactly when replaying one's results in the other is
+/// sound.
+pub fn run_hash(cwl_path: &Path, inputs: &Map) -> Result<u64, String> {
+    let mut h = ckpt::FNV_OFFSET;
+    let mut visited = HashSet::new();
+    h = hash_document(cwl_path, h, &mut visited)?;
+    h = ckpt::fnv1a(
+        h,
+        yamlite::to_string_flow(&Value::Map(inputs.clone())).as_bytes(),
+    );
+    Ok(h)
+}
+
+fn hash_document(path: &Path, mut h: u64, visited: &mut HashSet<PathBuf>) -> Result<u64, String> {
+    let canonical = path
+        .canonicalize()
+        .map_err(|e| format!("cannot hash {}: {e}", path.display()))?;
+    if !visited.insert(canonical.clone()) {
+        return Ok(h);
+    }
+    let bytes =
+        std::fs::read(&canonical).map_err(|e| format!("cannot hash {}: {e}", path.display()))?;
+    h = ckpt::fnv1a(h, &bytes);
+    // Recurse into referenced step files so editing a tool invalidates
+    // journals of every workflow that runs it. Inline run blocks are
+    // already covered by the parent file's bytes.
+    if let Ok(CwlDocument::Workflow(wf)) = load_file(&canonical) {
+        let base = canonical.parent().unwrap_or(Path::new("."));
+        for step in &wf.steps {
+            if let RunRef::Path(p) = &step.run {
+                h = hash_document(&base.join(p), h, visited)?;
+            }
+        }
+    }
+    Ok(h)
+}
+
+/// A journal bound to the current run, plus what a resume recovered.
+pub struct PreparedCkpt {
+    /// The open journal the kernel will append to.
+    pub journal: Arc<Journal>,
+    /// Validated records to seed the memo table with.
+    pub seed: Vec<Record>,
+    /// Records rejected during validation (stale hash, missing output
+    /// files). Parse failures surface later via `seed_checkpoint`.
+    pub invalidated: usize,
+    /// Whether a torn tail was truncated on load.
+    pub torn: bool,
+    /// Whether the whole journal was set aside as stale.
+    pub stale: bool,
+}
+
+/// Resolve where the journal lives for this run.
+pub fn journal_path(settings: &CheckpointSettings, workdir: &Path) -> PathBuf {
+    settings
+        .dir
+        .clone()
+        .unwrap_or_else(|| workdir.join("ckpt"))
+        .join(JOURNAL_FILE)
+}
+
+/// Locate the journal under a `--resume` argument: the run directory
+/// itself, its `ckpt/` subdirectory, or a direct path to the journal file.
+fn resolve_resume_journal(resume: &Path) -> Result<PathBuf, String> {
+    if resume.is_file() {
+        return Ok(resume.to_path_buf());
+    }
+    for candidate in [
+        resume.join(JOURNAL_FILE),
+        resume.join("ckpt").join(JOURNAL_FILE),
+    ] {
+        if candidate.is_file() {
+            return Ok(candidate);
+        }
+    }
+    Err(format!(
+        "--resume: no {JOURNAL_FILE} found under {}",
+        resume.display()
+    ))
+}
+
+/// Bind a journal to this run. `None` when checkpointing is off (an
+/// explicit `--resume` with checkpointing off is an error, not a silent
+/// full re-run). A fresh run refuses to clobber an existing journal; a
+/// resume validates and truncates per the module rules.
+pub fn prepare(
+    settings: &CheckpointSettings,
+    workdir: &Path,
+    resume: Option<&Path>,
+    hash: u64,
+    label: &str,
+) -> Result<Option<PreparedCkpt>, String> {
+    let Some(sync) = settings.sync_mode() else {
+        if resume.is_some() {
+            return Err(
+                "--resume requires checkpointing: add a `checkpoint:` block to the config"
+                    .to_string(),
+            );
+        }
+        return Ok(None);
+    };
+    let header = Header {
+        version: 1,
+        run_hash: hash,
+        label: label.to_string(),
+    };
+
+    let Some(resume) = resume else {
+        let path = journal_path(settings, workdir);
+        if path.exists() {
+            return Err(format!(
+                "a checkpoint journal already exists at {}; resume it with --resume {} or remove it",
+                path.display(),
+                path.parent().unwrap_or(Path::new(".")).display()
+            ));
+        }
+        let journal = Journal::create(&path, &header, sync)?;
+        return Ok(Some(PreparedCkpt {
+            journal: Arc::new(journal),
+            seed: Vec::new(),
+            invalidated: 0,
+            torn: false,
+            stale: false,
+        }));
+    };
+
+    let path = resolve_resume_journal(resume)?;
+    let loaded = ckpt::load(&path)?;
+    if loaded.header.run_hash != hash {
+        // Different workflow or inputs: nothing in this journal can be
+        // trusted. Set it aside (kept for post-mortems) and start fresh.
+        let stale_path = path.with_extension("ckpt.stale");
+        std::fs::rename(&path, &stale_path)
+            .map_err(|e| format!("cannot set aside stale journal: {e}"))?;
+        let journal = Journal::create(&path, &header, sync)?;
+        return Ok(Some(PreparedCkpt {
+            journal: Arc::new(journal),
+            seed: Vec::new(),
+            invalidated: loaded.records.len(),
+            torn: loaded.torn,
+            stale: true,
+        }));
+    }
+
+    let (journal, loaded) = Journal::resume(&path, sync)?;
+    let torn = loaded.torn;
+    let (seed, invalidated) = validate_records(loaded);
+    Ok(Some(PreparedCkpt {
+        journal: Arc::new(journal),
+        seed,
+        invalidated,
+        torn,
+        stale: false,
+    }))
+}
+
+/// Apply the record-level trust rules: deduplicate by memo key (last
+/// record wins — a re-run after invalidation supersedes the stale entry)
+/// and drop records whose `class: File` outputs no longer exist.
+fn validate_records(loaded: LoadedJournal) -> (Vec<Record>, usize) {
+    let total = loaded.records.len();
+    let mut by_key: HashMap<(String, u64), Record> = HashMap::new();
+    let mut order: Vec<(String, u64)> = Vec::new();
+    for rec in loaded.records {
+        let key = (rec.label.clone(), rec.fingerprint);
+        if by_key.insert(key.clone(), rec).is_none() {
+            order.push(key);
+        }
+    }
+    let mut seed = Vec::new();
+    let mut invalidated = total - order.len();
+    for key in order {
+        let rec = by_key.remove(&key).expect("key recorded on insert");
+        match ckpt::invalidate::parse_result(&rec.result) {
+            Ok(value) if ckpt::invalidate::missing_file_outputs(&value).is_empty() => {
+                seed.push(rec)
+            }
+            _ => invalidated += 1,
+        }
+    }
+    (seed, invalidated)
+}

@@ -36,6 +36,10 @@
 //! check:                  # cwl-check pre-run gate
 //!   pre_run: true         # analyze the document before executing
 //!   strict: false         # also refuse to run on warnings
+//! checkpoint:             # durable crash-resume journal
+//!   mode: task-exit       # off | task-exit | periodic
+//!   dir: ./work/ckpt      # journal directory (default: <workdir>/ckpt)
+//!   period_ms: 500        # fsync interval for periodic mode
 //! ```
 //!
 //! `retries: N` at the top level is still accepted as shorthand for
@@ -67,6 +71,51 @@ pub struct RunnerConfig {
     pub pre_run_check: bool,
     /// Under `pre_run_check`, also refuse to run on warnings.
     pub strict_check: bool,
+    /// Durable checkpointing of task completions (the `checkpoint:` block).
+    pub checkpoint: CheckpointSettings,
+}
+
+/// When completed tasks are made durable in the checkpoint journal.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckpointMode {
+    /// No journal (the default): a crashed run loses all completed work.
+    Off,
+    /// fsync the journal on every task completion.
+    TaskExit,
+    /// Append without syncing; a background flusher fsyncs on an interval.
+    Periodic,
+}
+
+/// The parsed `checkpoint:` block.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CheckpointSettings {
+    /// Journal durability mode.
+    pub mode: CheckpointMode,
+    /// Journal directory; `None` defaults to `<workdir>/ckpt` at run time.
+    pub dir: Option<PathBuf>,
+    /// fsync interval for [`CheckpointMode::Periodic`].
+    pub period: Duration,
+}
+
+impl Default for CheckpointSettings {
+    fn default() -> Self {
+        Self {
+            mode: CheckpointMode::Off,
+            dir: None,
+            period: Duration::from_millis(500),
+        }
+    }
+}
+
+impl CheckpointSettings {
+    /// The journal sync mode, unless checkpointing is off.
+    pub fn sync_mode(&self) -> Option<ckpt::SyncMode> {
+        match self.mode {
+            CheckpointMode::Off => None,
+            CheckpointMode::TaskExit => Some(ckpt::SyncMode::TaskExit),
+            CheckpointMode::Periodic => Some(ckpt::SyncMode::Periodic(self.period)),
+        }
+    }
 }
 
 /// Load a configuration from a YAML file.
@@ -76,7 +125,11 @@ pub fn load_config_file(path: impl AsRef<Path>) -> Result<RunnerConfig, String> 
 }
 
 /// Parse the `retry:` block (or the legacy top-level `retries:` count).
-fn parse_retry(v: &Value) -> RetryPolicy {
+/// Values that would misbehave at retry time — `jitter` outside `[0, 1]`,
+/// a negative `multiplier` — are load errors, not silent clamps: a typo'd
+/// policy should fail before the run starts, with the offending value in
+/// the message.
+fn parse_retry(v: &Value) -> Result<RetryPolicy, String> {
     let mut policy = RetryPolicy::default();
     if let Some(n) = v.get("retries").and_then(Value::as_int) {
         policy.max_retries = n.max(0) as usize;
@@ -89,19 +142,47 @@ fn parse_retry(v: &Value) -> RetryPolicy {
             policy.initial_backoff = Duration::from_millis(ms.max(0) as u64);
         }
         if let Some(m) = block.get("multiplier").and_then(Value::as_float) {
-            policy.multiplier = m.max(1.0);
+            policy.multiplier = m;
         }
         if let Some(ms) = block.get("max_backoff_ms").and_then(Value::as_int) {
             policy.max_backoff = Duration::from_millis(ms.max(0) as u64);
         }
         if let Some(j) = block.get("jitter").and_then(Value::as_float) {
-            policy.jitter_frac = j.clamp(0.0, 1.0);
+            policy.jitter_frac = j;
         }
         if let Some(ms) = block.get("walltime_ms").and_then(Value::as_int) {
             policy.walltime = Some(Duration::from_millis(ms.max(1) as u64));
         }
     }
-    policy
+    policy.validate()?;
+    Ok(policy)
+}
+
+/// Parse the `checkpoint:` block. Writing the block at all means "turn it
+/// on" (in `task-exit` mode) unless `mode: off` is explicit — mirroring the
+/// `monitoring:` block's convention.
+fn parse_checkpoint(v: &Value) -> Result<CheckpointSettings, String> {
+    let mut settings = CheckpointSettings::default();
+    let Some(block) = v.get("checkpoint") else {
+        return Ok(settings);
+    };
+    settings.mode = match block.get("mode").and_then(Value::as_str) {
+        None | Some("task-exit") => CheckpointMode::TaskExit,
+        Some("periodic") => CheckpointMode::Periodic,
+        Some("off") => CheckpointMode::Off,
+        Some(other) => {
+            return Err(format!(
+                "unknown checkpoint mode {other:?} (expected off, task-exit, or periodic)"
+            ))
+        }
+    };
+    if let Some(dir) = block.get("dir").and_then(Value::as_str) {
+        settings.dir = Some(PathBuf::from(dir));
+    }
+    if let Some(ms) = block.get("period_ms").and_then(Value::as_int) {
+        settings.period = Duration::from_millis(ms.max(1) as u64);
+    }
+    Ok(settings)
 }
 
 /// Parse the `monitoring:` block into an [`obs::ObsConfig`].
@@ -176,9 +257,10 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         .get("kind")
         .and_then(Value::as_str)
         .unwrap_or("thread-pool");
-    let retry = parse_retry(v);
+    let retry = parse_retry(v)?;
     let fault_plan = parse_fault(v)?;
     let monitoring = parse_monitoring(v)?;
+    let checkpoint = parse_checkpoint(v)?;
 
     let mut scheduler = None;
     let parsl = match kind {
@@ -305,6 +387,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         fault_plan,
         pre_run_check,
         strict_check,
+        checkpoint,
     })
 }
 
@@ -431,6 +514,60 @@ mod tests {
 
         let v = parse_str("monitoring:\n  sinks: [bogus]\n").unwrap();
         assert!(load_config_value(&v).is_err());
+    }
+
+    #[test]
+    fn out_of_range_jitter_is_a_load_error() {
+        // Regression: a negative jitter used to be silently clamped (and,
+        // fed directly to RetryPolicy, could panic in gen_range).
+        let v = parse_str("retry:\n  jitter: -0.3\n").unwrap();
+        let err = match load_config_value(&v) {
+            Err(e) => e,
+            Ok(_) => panic!("negative jitter must be rejected"),
+        };
+        assert!(err.contains("retry.jitter"), "{err}");
+        assert!(err.contains("-0.3"), "{err}");
+        let v = parse_str("retry:\n  jitter: 2.5\n").unwrap();
+        assert!(load_config_value(&v).is_err());
+        // In-range values still load.
+        let v = parse_str("retry:\n  jitter: 0.25\n").unwrap();
+        assert_eq!(load_config_value(&v).unwrap().parsl.retry.jitter_frac, 0.25);
+    }
+
+    #[test]
+    fn checkpoint_block_parses() {
+        let c = load_config_value(&Value::Null).unwrap();
+        assert_eq!(c.checkpoint, CheckpointSettings::default());
+        assert_eq!(c.checkpoint.mode, CheckpointMode::Off);
+        assert!(c.checkpoint.sync_mode().is_none());
+
+        // A bare block implies task-exit mode.
+        let v = parse_str("checkpoint: {}\n").unwrap();
+        let c = load_config_value(&v).unwrap();
+        assert_eq!(c.checkpoint.mode, CheckpointMode::TaskExit);
+        assert_eq!(c.checkpoint.sync_mode(), Some(ckpt::SyncMode::TaskExit));
+
+        let v =
+            parse_str("checkpoint:\n  mode: periodic\n  dir: /tmp/j\n  period_ms: 250\n").unwrap();
+        let c = load_config_value(&v).unwrap();
+        assert_eq!(c.checkpoint.mode, CheckpointMode::Periodic);
+        assert_eq!(c.checkpoint.dir, Some(PathBuf::from("/tmp/j")));
+        assert_eq!(
+            c.checkpoint.sync_mode(),
+            Some(ckpt::SyncMode::Periodic(Duration::from_millis(250)))
+        );
+
+        let v = parse_str("checkpoint:\n  mode: off\n  dir: /tmp/j\n").unwrap();
+        assert_eq!(
+            load_config_value(&v).unwrap().checkpoint.mode,
+            CheckpointMode::Off
+        );
+
+        let v = parse_str("checkpoint:\n  mode: sometimes\n").unwrap();
+        match load_config_value(&v) {
+            Err(e) => assert!(e.contains("checkpoint mode"), "{e}"),
+            Ok(_) => panic!("unknown checkpoint mode must be rejected"),
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! any document carrying `InlinePythonRequirement` gets its expressions
 //! evaluated in-process by the Python-subset interpreter.
 
+pub mod checkpoint;
 pub mod config;
 pub mod cwlapp;
 pub mod runner;
@@ -27,5 +28,5 @@ pub mod wfrunner;
 
 pub use config::{load_config_file, load_config_value, RunnerConfig};
 pub use cwlapp::{CwlApp, CwlAppOptions, CwlInvocation, CwlRun};
-pub use runner::{run_tool_cli, CliOutcome};
+pub use runner::{run_tool_cli, run_tool_cli_resumable, CkptReport, CliOutcome};
 pub use wfrunner::ParslWorkflowRunner;

@@ -7,6 +7,7 @@
 //! $ parsl-cwl config.yml echo.cwl --message='Hello'
 //! ```
 
+use crate::checkpoint;
 use crate::config::RunnerConfig;
 use crate::cwlapp::{CwlApp, CwlAppOptions};
 use crate::wfrunner::ParslWorkflowRunner;
@@ -26,6 +27,26 @@ pub struct CliOutcome {
     /// Where the trace was exported, when monitoring was configured with
     /// an export path.
     pub trace: Option<std::path::PathBuf>,
+    /// Checkpoint activity, when a journal was configured.
+    pub ckpt: Option<CkptReport>,
+}
+
+/// End-of-run checkpoint accounting for the CLI and tests.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CkptReport {
+    /// The journal file in use.
+    pub journal: std::path::PathBuf,
+    /// Tasks satisfied from the journal without re-executing.
+    pub replayed: usize,
+    /// Completions appended this run.
+    pub appended: usize,
+    /// Journal records rejected on resume (stale hash, missing outputs,
+    /// unparseable results).
+    pub invalidated: usize,
+    /// A torn tail was detected and truncated on resume.
+    pub torn: bool,
+    /// The whole journal was set aside as stale (workflow/inputs changed).
+    pub stale: bool,
 }
 
 /// Parse `--key=value` command-line input overrides. Values go through YAML
@@ -75,6 +96,19 @@ pub fn run_tool_cli(
     cwl_path: &Path,
     inputs: &Map,
 ) -> Result<CliOutcome, String> {
+    run_tool_cli_resumable(config, cwl_path, inputs, None)
+}
+
+/// [`run_tool_cli`], optionally resuming a crashed run's checkpoint
+/// journal (`--resume <run-dir>`). The resumed run must use the same
+/// config (workdir in particular): journaled results reference files
+/// staged under the crashed run's directories.
+pub fn run_tool_cli_resumable(
+    mut config: RunnerConfig,
+    cwl_path: &Path,
+    inputs: &Map,
+    resume: Option<&Path>,
+) -> Result<CliOutcome, String> {
     // The cwl-check pre-run gate: refuse to start a run the static
     // analyzer can already prove broken (configurable via `check:`).
     if config.pre_run_check {
@@ -95,7 +129,35 @@ pub fn run_tool_cli(
     } else {
         None
     };
+
+    // Bind the checkpoint journal before the kernel exists so the very
+    // first completion is journaled. The run hash walks every referenced
+    // CWL file — only worth computing when a journal is in play.
+    let prepared = if config.checkpoint.sync_mode().is_some() || resume.is_some() {
+        let hash = checkpoint::run_hash(cwl_path, inputs)?;
+        let label = cwl_path
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        checkpoint::prepare(&config.checkpoint, &config.workdir, resume, hash, &label)?
+    } else {
+        None
+    };
+    if let Some(p) = &prepared {
+        config.parsl = config.parsl.with_checkpoint(p.journal.clone());
+    }
+
     let dfk = DataFlowKernel::try_new(config.parsl)?;
+    let mut invalidated = 0usize;
+    if let Some(p) = &prepared {
+        let (_seeded, unparseable) = dfk.seed_checkpoint(&p.seed);
+        invalidated = p.invalidated + unparseable;
+        if invalidated > 0 {
+            dfk.observability()
+                .counter(obs::names::CKPT_INVALIDATED)
+                .add(invalidated as u64);
+        }
+    }
     let mut options = CwlAppOptions::in_dir(&config.workdir);
     if config.builtin_tools {
         options = options.with_builtin_tools();
@@ -131,11 +193,23 @@ pub fn run_tool_cli(
 
     let tasks = dfk.monitoring().summary().completed;
     dfk.shutdown();
+    let ckpt = prepared.map(|p| {
+        let stats = dfk.checkpoint_stats().unwrap_or_default();
+        CkptReport {
+            journal: p.journal.path().to_path_buf(),
+            replayed: stats.replayed,
+            appended: stats.appended,
+            invalidated,
+            torn: p.torn,
+            stale: p.stale,
+        }
+    });
     Ok(CliOutcome {
         outputs,
         workdir: config.workdir,
         tasks,
         trace,
+        ckpt,
     })
 }
 

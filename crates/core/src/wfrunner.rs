@@ -451,6 +451,9 @@ impl ParslWorkflowRunner {
                 if obs.is_enabled() {
                     obs.lineage_bind_step(fut.id().0, &step.id);
                 }
+                // Same join for the checkpoint journal, so a resume can
+                // report which CWL steps it skipped (no-op without one).
+                self.dfk.bind_step(fut.id(), &step.id);
                 Ok(fut)
             }
         }

@@ -251,6 +251,13 @@ pub mod names {
     pub const DISPATCH_EXEC_US: &str = "cwlexec.dispatch.exec_us";
     /// Histogram: task body execution latency on workers, µs.
     pub const TASK_EXEC_US: &str = "parsl.task.exec_us";
+    /// Counter: task completions appended to the checkpoint journal.
+    pub const CKPT_APPEND: &str = "ckpt.append";
+    /// Counter: tasks satisfied from a resumed journal (not re-executed).
+    pub const CKPT_REPLAYED: &str = "ckpt.replayed";
+    /// Counter: journal records rejected on resume (stale workflow hash,
+    /// deleted output files, unparseable results).
+    pub const CKPT_INVALIDATED: &str = "ckpt.invalidated";
 }
 
 /// A point-in-time reading of one metric, for export and reporting.

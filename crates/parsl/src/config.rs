@@ -64,10 +64,37 @@ impl RetryPolicy {
         }
     }
 
+    /// Reject policies that would misbehave at retry time: `jitter_frac`
+    /// outside `[0, 1]` (a negative value would make the jitter range
+    /// empty, and > 1 could scale a delay negative), non-finite floats,
+    /// and a growth factor below zero. Config loaders call this so bad
+    /// user YAML fails at load with a clear message instead of panicking
+    /// mid-retry-storm.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.jitter_frac.is_finite() || !(0.0..=1.0).contains(&self.jitter_frac) {
+            return Err(format!(
+                "retry.jitter must be a finite fraction in [0, 1], got {}",
+                self.jitter_frac
+            ));
+        }
+        if !self.multiplier.is_finite() || self.multiplier < 0.0 {
+            return Err(format!(
+                "retry.multiplier must be a finite non-negative number, got {}",
+                self.multiplier
+            ));
+        }
+        Ok(())
+    }
+
     /// The jittered delay before retry number `retry_index` (1-based):
     /// `initial_backoff * multiplier^(retry_index-1)`, capped at
     /// `max_backoff`, then scaled by a random factor in
     /// `[1-jitter_frac, 1+jitter_frac]`.
+    ///
+    /// Defensive against policies built without [`Self::validate`]: a
+    /// non-finite or out-of-range `jitter_frac` is clamped into `[0, 1]`
+    /// here rather than handed to `gen_range` (where a negative fraction
+    /// makes the range empty and panics).
     pub fn backoff_for(&self, retry_index: usize) -> Duration {
         if self.initial_backoff.is_zero() || retry_index == 0 {
             return Duration::ZERO;
@@ -78,12 +105,18 @@ impl RetryPolicy {
             .powi(retry_index.saturating_sub(1) as i32);
         let base =
             (self.initial_backoff.as_secs_f64() * growth).min(self.max_backoff.as_secs_f64());
-        let jitter = if self.jitter_frac > 0.0 {
-            1.0 + rand::thread_rng().gen_range(-self.jitter_frac..self.jitter_frac)
+        let frac = if self.jitter_frac.is_finite() {
+            self.jitter_frac.clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        let jitter = if frac > 0.0 {
+            1.0 + rand::thread_rng().gen_range(-frac..frac)
         } else {
             1.0
         };
-        Duration::from_secs_f64((base * jitter).max(0.0))
+        let secs = (base * jitter).max(0.0);
+        Duration::from_secs_f64(if secs.is_finite() { secs } else { 0.0 })
     }
 }
 
@@ -102,6 +135,12 @@ pub struct Config {
     /// Observability: span/metric/lineage recording and trace export
     /// (disabled by default — every record path stays a single branch).
     pub monitoring: obs::ObsConfig,
+    /// Checkpoint journal: when set, every successful non-memoized task
+    /// completion is appended to it, and the kernel forces memoization on
+    /// (checkpointing *is* durable memoization — Parsl's model). Seed the
+    /// memo table from a loaded journal with
+    /// [`crate::DataFlowKernel::seed_checkpoint`].
+    pub checkpoint: Option<Arc<ckpt::Journal>>,
 }
 
 impl Config {
@@ -113,6 +152,7 @@ impl Config {
             memoize: false,
             label: "local".to_string(),
             monitoring: obs::ObsConfig::default(),
+            checkpoint: None,
         }
     }
 
@@ -124,6 +164,7 @@ impl Config {
             memoize: false,
             label: "htex".to_string(),
             monitoring: obs::ObsConfig::default(),
+            checkpoint: None,
         }
     }
 
@@ -154,6 +195,12 @@ impl Config {
     /// Configure observability (spans, metrics, lineage, trace export).
     pub fn with_monitoring(mut self, monitoring: obs::ObsConfig) -> Self {
         self.monitoring = monitoring;
+        self
+    }
+
+    /// Attach a checkpoint journal (implies memoization).
+    pub fn with_checkpoint(mut self, journal: Arc<ckpt::Journal>) -> Self {
+        self.checkpoint = Some(journal);
         self
     }
 }
@@ -209,6 +256,46 @@ mod tests {
             assert!(d >= Duration::from_millis(75), "{d:?}");
             assert!(d <= Duration::from_millis(125), "{d:?}");
         }
+    }
+
+    #[test]
+    fn negative_jitter_does_not_panic() {
+        // Regression: a negative jitter_frac made `gen_range(-j..j)` an
+        // empty range. backoff_for must clamp, not panic.
+        let policy = RetryPolicy {
+            max_retries: 1,
+            initial_backoff: Duration::from_millis(50),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(1),
+            jitter_frac: -0.5,
+            walltime: None,
+        };
+        assert_eq!(policy.backoff_for(1), Duration::from_millis(50));
+        let nan = RetryPolicy {
+            jitter_frac: f64::NAN,
+            initial_backoff: Duration::from_millis(50),
+            ..policy.clone()
+        };
+        assert_eq!(nan.backoff_for(1), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn validate_rejects_bad_policies() {
+        let ok = RetryPolicy::default();
+        assert!(ok.validate().is_ok());
+        for bad_jitter in [-0.1, 1.5, f64::NAN, f64::INFINITY] {
+            let p = RetryPolicy {
+                jitter_frac: bad_jitter,
+                ..RetryPolicy::default()
+            };
+            let err = p.validate().unwrap_err();
+            assert!(err.contains("retry.jitter"), "{err}");
+        }
+        let p = RetryPolicy {
+            multiplier: -2.0,
+            ..RetryPolicy::default()
+        };
+        assert!(p.validate().unwrap_err().contains("retry.multiplier"));
     }
 
     #[test]

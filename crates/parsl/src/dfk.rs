@@ -162,6 +162,9 @@ pub struct DataFlowKernel {
     obs: Arc<Observability>,
     /// Pre-resolved metric handles so hot paths skip the registry lookup.
     metrics: DfkMetrics,
+    /// Durable checkpointing, when configured (None keeps the completion
+    /// path checkpoint-free apart from this one branch).
+    ckpt: Option<CkptState>,
 }
 
 /// Handles to the kernel's well-known metrics, resolved once at startup.
@@ -171,6 +174,33 @@ struct DfkMetrics {
     memo_hits: Arc<obs::Counter>,
     memo_misses: Arc<obs::Counter>,
     outstanding: Arc<obs::Gauge>,
+}
+
+/// Checkpointing state: the journal plus the bookkeeping that separates a
+/// *replay* (memo hit on a journal-seeded key) from an ordinary memo hit.
+struct CkptState {
+    journal: Arc<ckpt::Journal>,
+    /// Memo keys seeded from the journal on resume; a hit on one of these
+    /// means the resumed run skipped a task the crashed run had finished.
+    seeded: Mutex<std::collections::HashSet<(Arc<str>, u64)>>,
+    /// Task id → CWL step id, bound by the workflow compiler so journal
+    /// records carry the originating step.
+    steps: Mutex<std::collections::HashMap<u64, String>>,
+    /// Independent of the obs counters so `checkpoint_stats` works with
+    /// monitoring off.
+    appended: AtomicUsize,
+    replayed: AtomicUsize,
+    append_metric: Arc<obs::Counter>,
+    replay_metric: Arc<obs::Counter>,
+}
+
+/// A snapshot of checkpoint activity for end-of-run reporting.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CkptStats {
+    /// Completions appended to the journal by this kernel.
+    pub appended: usize,
+    /// Tasks satisfied from seeded journal records instead of executing.
+    pub replayed: usize,
 }
 
 /// FNV-1a fingerprint of a task's resolved input values.
@@ -212,13 +242,20 @@ impl DataFlowKernel {
             config.retry,
             config.memoize,
             config.monitoring,
+            config.checkpoint,
         ))
     }
 
     /// Build a kernel on an already-running executor — for custom executors
     /// and fault-injection tests.
     pub fn with_executor(executor: Arc<dyn Executor>, config: Config) -> Arc<Self> {
-        Self::from_parts(executor, config.retry, config.memoize, config.monitoring)
+        Self::from_parts(
+            executor,
+            config.retry,
+            config.memoize,
+            config.monitoring,
+            config.checkpoint,
+        )
     }
 
     fn from_parts(
@@ -226,6 +263,7 @@ impl DataFlowKernel {
         retry: RetryPolicy,
         memoize: bool,
         monitoring: ObsConfig,
+        checkpoint: Option<Arc<ckpt::Journal>>,
     ) -> Arc<Self> {
         let log = Arc::new(MonitoringLog::new());
         executor.attach_monitoring(log.clone());
@@ -244,10 +282,21 @@ impl DataFlowKernel {
             memo_misses: obs.counter(names::MEMO_MISSES),
             outstanding: obs.gauge(names::DFK_OUTSTANDING),
         };
+        let ckpt = checkpoint.map(|journal| CkptState {
+            journal,
+            seeded: Mutex::new(std::collections::HashSet::new()),
+            steps: Mutex::new(std::collections::HashMap::new()),
+            appended: AtomicUsize::new(0),
+            replayed: AtomicUsize::new(0),
+            append_metric: obs.counter(names::CKPT_APPEND),
+            replay_metric: obs.counter(names::CKPT_REPLAYED),
+        });
         Arc::new(Self {
             executor,
             retry,
-            memoize,
+            // Checkpointing is durable memoization: a journal implies the
+            // memo table, or replays would have nowhere to land.
+            memoize: memoize || ckpt.is_some(),
             memo: ShardedMemo::new(),
             next_id: AtomicU64::new(1),
             outstanding: AtomicUsize::new(0),
@@ -256,6 +305,7 @@ impl DataFlowKernel {
             log,
             obs,
             metrics,
+            ckpt,
         })
     }
 
@@ -277,6 +327,56 @@ impl DataFlowKernel {
     /// Number of tasks not yet in a terminal state.
     pub fn outstanding(&self) -> usize {
         self.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Seed the memo table from journal records loaded on resume. Records
+    /// whose result fails to parse are skipped (counted as the second
+    /// element of the return value); callers have already applied the
+    /// stale-hash and missing-file invalidation rules. Later memo hits on
+    /// seeded keys are counted as *replays*, not plain memo hits.
+    ///
+    /// No-op (all records "invalid") when the kernel has no checkpoint
+    /// journal — seeding without one would replay results that nothing
+    /// guards.
+    pub fn seed_checkpoint(&self, records: &[ckpt::Record]) -> (usize, usize) {
+        let Some(ckpt) = &self.ckpt else {
+            return (0, records.len());
+        };
+        let mut seeded = 0usize;
+        let mut invalid = 0usize;
+        for rec in records {
+            match ckpt::invalidate::parse_result(&rec.result) {
+                Ok(value) => {
+                    let label: Arc<str> = Arc::from(rec.label.as_str());
+                    ckpt.seeded.lock().insert((label.clone(), rec.fingerprint));
+                    self.memo.insert(label, rec.fingerprint, value);
+                    seeded += 1;
+                }
+                Err(_) => invalid += 1,
+            }
+        }
+        (seeded, invalid)
+    }
+
+    /// Record that a task originated from a CWL workflow step, so its
+    /// journal record carries the step id. No-op without a checkpoint.
+    pub fn bind_step(&self, id: TaskId, step: &str) {
+        if let Some(ckpt) = &self.ckpt {
+            ckpt.steps.lock().insert(id.0, step.to_string());
+        }
+    }
+
+    /// Checkpoint activity so far, when checkpointing is configured.
+    pub fn checkpoint_stats(&self) -> Option<CkptStats> {
+        self.ckpt.as_ref().map(|c| CkptStats {
+            appended: c.appended.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+        })
+    }
+
+    /// The checkpoint journal, when configured.
+    pub fn checkpoint_journal(&self) -> Option<&Arc<ckpt::Journal>> {
+        self.ckpt.as_ref().map(|c| &c.journal)
     }
 
     /// Invoke an app: returns immediately with a future. The task launches
@@ -381,9 +481,26 @@ impl DataFlowKernel {
             if let Some(cached) = cached {
                 self.log
                     .record(task.id, TaskEventKind::Memoized, &task.label);
+                // A hit on a journal-seeded key is a *replay*: the crashed
+                // run finished this task and the resume is skipping it.
+                let replayed = self
+                    .ckpt
+                    .as_ref()
+                    .map(|c| {
+                        let hit = c.seeded.lock().contains(&(task.label.clone(), fp));
+                        if hit {
+                            c.replayed.fetch_add(1, Ordering::Relaxed);
+                            c.replay_metric.incr();
+                        }
+                        hit
+                    })
+                    .unwrap_or(false);
                 if self.obs.is_enabled() {
                     self.metrics.memo_hits.incr();
-                    self.obs.lineage_complete(task.id.0, "memoized");
+                    self.obs.lineage_complete(
+                        task.id.0,
+                        if replayed { "replayed" } else { "memoized" },
+                    );
                 }
                 self.finish(&task, Ok((*cached).clone()));
                 return;
@@ -456,6 +573,24 @@ impl DataFlowKernel {
             Ok(value) => {
                 if let Some(fp) = fingerprint {
                     dfk.memo.insert(task.label.clone(), fp, value.clone());
+                    // Durable completion record. Journal failures degrade
+                    // to a warning — losing checkpoint coverage must not
+                    // fail a task that actually succeeded.
+                    if let Some(ckpt) = &dfk.ckpt {
+                        let record = ckpt::Record {
+                            label: task.label.to_string(),
+                            fingerprint: fp,
+                            step: ckpt.steps.lock().get(&task.id.0).cloned(),
+                            result: yamlite::to_string_flow(value),
+                        };
+                        match ckpt.journal.append(&record) {
+                            Ok(()) => {
+                                ckpt.appended.fetch_add(1, Ordering::Relaxed);
+                                ckpt.append_metric.incr();
+                            }
+                            Err(e) => eprintln!("warning: {e}"),
+                        }
+                    }
                 }
                 dfk.finish(&task, result.clone())
             }
@@ -554,6 +689,13 @@ impl DataFlowKernel {
     pub fn shutdown(&self) {
         self.wait_all();
         self.executor.shutdown();
+        // Make periodic-mode journal appends durable before declaring the
+        // run finished (TaskExit mode already synced each one).
+        if let Some(ckpt) = &self.ckpt {
+            if let Err(e) = ckpt.journal.flush() {
+                eprintln!("warning: {e}");
+            }
+        }
         if let Err(e) = self.obs.export() {
             eprintln!("warning: trace export failed: {e}");
         }
@@ -893,6 +1035,69 @@ mod tests {
         dfk.submit("x", vec![], body).result().unwrap();
         assert_eq!(runs.load(Ordering::SeqCst), 2);
         dfk.shutdown();
+    }
+
+    #[test]
+    fn checkpoint_appends_then_replays_without_reexecution() {
+        let dir = std::env::temp_dir().join(format!("parsl-ckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dfk-roundtrip.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let header = ckpt::Header {
+            version: 1,
+            run_hash: 42,
+            label: "dfk-test".into(),
+        };
+
+        // First run: completions land in the journal.
+        let journal =
+            Arc::new(ckpt::Journal::create(&path, &header, ckpt::SyncMode::TaskExit).unwrap());
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_checkpoint(journal));
+        let a = dfk.submit("a", vec![AppArg::value(1i64)], add_app());
+        let b = dfk.submit(
+            "b",
+            vec![AppArg::future(&a), AppArg::value(10i64)],
+            add_app(),
+        );
+        assert_eq!(b.result().unwrap(), Value::Int(11));
+        dfk.shutdown();
+        let stats = dfk.checkpoint_stats().unwrap();
+        assert_eq!(
+            stats,
+            CkptStats {
+                appended: 2,
+                replayed: 0
+            }
+        );
+
+        // Second run resumes the journal: same submissions replay from the
+        // seeded memo table; bodies never execute, nothing re-appends.
+        let (journal, loaded) = ckpt::Journal::resume(&path, ckpt::SyncMode::TaskExit).unwrap();
+        assert_eq!(loaded.records.len(), 2);
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_checkpoint(Arc::new(journal)));
+        assert_eq!(dfk.seed_checkpoint(&loaded.records), (2, 0));
+        let executions = Arc::new(AtomicUsize::new(0));
+        let body = {
+            let executions = executions.clone();
+            FnApp::new(move |_: &[Value]| {
+                executions.fetch_add(1, Ordering::SeqCst);
+                panic!("journaled task must not re-execute");
+            })
+        };
+        let a = dfk.submit("a", vec![AppArg::value(1i64)], body.clone());
+        let b = dfk.submit("b", vec![AppArg::future(&a), AppArg::value(10i64)], body);
+        assert_eq!(b.result().unwrap(), Value::Int(11));
+        dfk.shutdown();
+        assert_eq!(executions.load(Ordering::SeqCst), 0);
+        let stats = dfk.checkpoint_stats().unwrap();
+        assert_eq!(
+            stats,
+            CkptStats {
+                appended: 0,
+                replayed: 2
+            }
+        );
+        assert_eq!(ckpt::load(&path).unwrap().records.len(), 2);
     }
 
     #[test]

@@ -96,8 +96,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(report.tasks, 1);
+        assert_eq!(report.run_dir.parent(), Some(dir.as_path()));
         assert_eq!(
-            std::fs::read_to_string(dir.join("hello.txt")).unwrap(),
+            std::fs::read_to_string(report.run_dir.join("hello.txt")).unwrap(),
             "from refrunner\n"
         );
         std::fs::remove_dir_all(&dir).unwrap();

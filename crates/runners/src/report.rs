@@ -1,5 +1,6 @@
 //! Run reports: what a runner returns besides the output object.
 
+use std::path::PathBuf;
 use std::time::Duration;
 use yamlite::Map;
 
@@ -15,6 +16,9 @@ pub struct RunReport {
     pub tasks: usize,
     /// Wall-clock makespan.
     pub elapsed: Duration,
+    /// The run's private staging directory (a unique `run-*` subdirectory
+    /// of the caller's workdir; all job directories live under it).
+    pub run_dir: PathBuf,
 }
 
 impl RunReport {
@@ -51,6 +55,7 @@ mod tests {
             outputs: Map::new(),
             tasks: 10,
             elapsed: Duration::from_secs(2),
+            run_dir: PathBuf::from("w/run-0"),
         };
         assert_eq!(r.throughput(), 5.0);
         assert!(r.to_string().contains("10 tasks in 2.000s"));

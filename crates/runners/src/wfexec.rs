@@ -81,6 +81,10 @@ impl WorkflowExecutor {
         let workdir = workdir.as_ref();
         std::fs::create_dir_all(workdir)
             .map_err(|e| format!("cannot create workdir {}: {e}", workdir.display()))?;
+        // Every run stages under its own `run-*` subdirectory: two runs
+        // sharing a workdir (concurrent invocations, or a rerun after a
+        // crash) must never clobber each other's staged files.
+        let run_dir = unique_run_dir(workdir)?;
         let raw = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let doc = load_document(
@@ -122,10 +126,10 @@ impl WorkflowExecutor {
                 let kib = (bytes as f64 / 1024.0).ceil() as u32;
                 gridsim::pay(self.profile.setup_per_task + self.profile.setup_per_kib * kib);
                 let label = tool.id.clone().unwrap_or_else(|| "tool".to_string());
-                self.run_tool_task(tool, Some(&raw), provided, workdir, &label, None, root)?
+                self.run_tool_task(tool, Some(&raw), provided, &run_dir, &label, None, root)?
             }
             CwlDocument::Workflow(wf) => {
-                self.run_workflow(wf, &base_dir, provided, workdir, root)?
+                self.run_workflow(wf, &base_dir, provided, &run_dir, root)?
             }
         };
         self.obs().finish_span(wf_span);
@@ -134,6 +138,7 @@ impl WorkflowExecutor {
             outputs,
             tasks: self.tasks.load(Ordering::SeqCst),
             elapsed: start.elapsed(),
+            run_dir,
         })
     }
 
@@ -571,6 +576,29 @@ impl WorkflowExecutor {
             }
         }
         Ok(out)
+    }
+}
+
+/// Create a fresh `run-<pid>-<n>` subdirectory of `workdir`. Uniqueness is
+/// claimed by `create_dir`'s atomicity, not by the name alone: a process
+/// counter makes the common case one attempt, and the retry loop resolves
+/// races with other processes (or leftovers from earlier runs).
+fn unique_run_dir(workdir: &Path) -> Result<PathBuf, String> {
+    static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
+    let pid = std::process::id();
+    loop {
+        let n = RUN_SEQ.fetch_add(1, Ordering::SeqCst);
+        let candidate = workdir.join(format!("run-{pid}-{n}"));
+        match std::fs::create_dir(&candidate) {
+            Ok(()) => return Ok(candidate),
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Err(e) => {
+                return Err(format!(
+                    "cannot create run directory {}: {e}",
+                    candidate.display()
+                ))
+            }
+        }
     }
 }
 
