@@ -34,6 +34,11 @@ cargo bench --no-run
 # BENCH_dispatch.json comes from a full run (no --smoke); see EXPERIMENTS.md.
 cargo run --release -p bench --bin throughput -- --smoke --json target/BENCH_dispatch.smoke.json
 
+# Stage-in throughput smoke: the zero-copy ladder vs the byte-copy baseline
+# over a small scatter, with byte-identity verified inside the driver. The
+# committed BENCH_staging.json comes from a full run; see EXPERIMENTS.md.
+cargo run --release -p bench --bin staging -- --smoke --json target/BENCH_staging.smoke.json
+
 # Observability smoke: run a workflow with monitoring on, then summarize the
 # exported trace with parsl-trace in both human and JSON form. The JSON
 # output must name every diamond task.
@@ -49,6 +54,19 @@ for step in seed left right join; do
         echo "error: parsl-trace --json is missing task \"$step\"" >&2
         exit 1
     }
+done
+
+# Data-plane smoke, on the same trace: the diamond's fan-out must have
+# staged at least one input by link (not copy) and saved bytes doing it.
+for metric in stage.links stage.bytes_saved; do
+    value=$(echo "$trace_json" \
+        | grep -o "\"name\":\"$metric\",\"kind\":\"counter\",\"value\":[0-9]*" \
+        | grep -o '[0-9]*$')
+    if [ -z "$value" ] || [ "$value" -eq 0 ]; then
+        echo "error: data plane staged nothing zero-copy ($metric=${value:-missing})" >&2
+        exit 1
+    fi
+    echo "data-plane smoke: $metric=$value"
 done
 
 # Crash-resume smoke: kill parsl-cwl mid-run with SIGKILL, resume from the
@@ -158,3 +176,8 @@ echo "crash-resume smoke: $replayed task(s) replayed from the journal"
 # monitoring off must stay within noise of the committed pre-instrumentation
 # numbers (tolerance overridable via BENCH_CHECK_TOLERANCE).
 cargo run --release -p bench --bin throughput -- --check BENCH_dispatch.json
+
+# Data-plane regression gate: the link-vs-copy speedup on the full
+# 1000-image scatter must hold the 3x floor and stay within tolerance of
+# the committed BENCH_staging.json.
+cargo run --release -p bench --bin staging -- --check BENCH_staging.json

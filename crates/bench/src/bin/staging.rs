@@ -1,0 +1,307 @@
+//! `staging` — data-plane stage-in throughput driver (EXPERIMENTS.md).
+//!
+//! ```text
+//! staging [--smoke] [--json PATH] [--images N] [--px N] [--trials N]
+//!         [--check PATH] [--tolerance F]
+//! ```
+//!
+//! Measures the Fig. 1 scatter workload's stage-in: one input image fanned
+//! out to `--images` task directories, byte-copy baseline vs the zero-copy
+//! ladder (`link`) vs the probing `auto` mode. Every staged destination is
+//! re-hashed, so a run also proves the fast path is byte-identical to the
+//! baseline.
+//!
+//! `--smoke` shrinks the scatter for CI. `--json PATH` writes the numbers
+//! (the committed `BENCH_staging.json` comes from a full run). `--check
+//! PATH` re-measures and gates on the link-vs-copy *speedup ratio*, which
+//! self-normalizes across machines: it must stay above the 3x floor the
+//! data plane is sized for (full runs only) and within `--tolerance`
+//! (default 0.5 — link timing is metadata-bound and noisy; override via
+//! `BENCH_CHECK_TOLERANCE`) of the reference ratio. Check runs get up to
+//! three fresh measurement attempts; the first clean one passes.
+
+use bench::staging::{run_scatter_stage_in, write_scatter_input, StagingRun};
+use datastore::StageMode;
+use std::process::ExitCode;
+
+struct Options {
+    smoke: bool,
+    json: Option<String>,
+    images: usize,
+    px: u32,
+    trials: usize,
+    check: Option<String>,
+    tolerance: f64,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("staging: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        smoke: false,
+        json: None,
+        images: 1000,
+        px: 512,
+        trials: 3,
+        check: None,
+        tolerance: std::env::var("BENCH_CHECK_TOLERANCE")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0.5),
+    };
+    let mut images_set = false;
+    let mut trials_set = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => opts.smoke = true,
+            "--json" => opts.json = Some(next(args, &mut i, "--json")?.to_string()),
+            "--images" => {
+                opts.images = next(args, &mut i, "--images")?
+                    .parse()
+                    .map_err(|_| "bad --images")?;
+                images_set = true;
+            }
+            "--px" => {
+                opts.px = next(args, &mut i, "--px")?
+                    .parse()
+                    .map_err(|_| "bad --px")?;
+            }
+            "--trials" => {
+                opts.trials = next(args, &mut i, "--trials")?
+                    .parse()
+                    .map_err(|_| "bad --trials")?;
+                trials_set = true;
+            }
+            "--check" => opts.check = Some(next(args, &mut i, "--check")?.to_string()),
+            "--tolerance" => {
+                opts.tolerance = next(args, &mut i, "--tolerance")?
+                    .parse()
+                    .map_err(|_| "bad --tolerance")?;
+            }
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    if opts.smoke {
+        if !images_set {
+            opts.images = 60;
+        }
+        if !trials_set {
+            opts.trials = 1;
+        }
+    }
+    if opts.images == 0 || opts.trials == 0 {
+        return Err("--images and --trials must be at least 1".to_string());
+    }
+    Ok(opts)
+}
+
+fn next<'a>(args: &'a [String], i: &mut usize, what: &str) -> Result<&'a str, String> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{what} needs a value"))
+}
+
+/// Best (highest-throughput) of `trials` runs.
+fn best(
+    trials: usize,
+    mut f: impl FnMut() -> Result<StagingRun, String>,
+) -> Result<StagingRun, String> {
+    let mut top: Option<StagingRun> = None;
+    for _ in 0..trials {
+        let t = f()?;
+        if top
+            .as_ref()
+            .is_none_or(|b| t.files_per_sec() > b.files_per_sec())
+        {
+            top = Some(t);
+        }
+    }
+    Ok(top.expect("trials >= 1"))
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let opts = parse_options(args)?;
+    let scratch = std::env::temp_dir().join(format!("bench-staging-{}", std::process::id()));
+    // Link timings are metadata-bound and vary several-fold with ambient
+    // machine state (writeback, cache pressure from whatever ran before).
+    // A regression gate is after a capability — "the ladder still
+    // delivers" — so re-measure afresh up to three times and pass on the
+    // first clean attempt; a real regression (ladder degraded to copying)
+    // fails every one.
+    let attempts = if opts.check.is_some() { 3 } else { 1 };
+    let mut result = Ok(());
+    for attempt in 1..=attempts {
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).map_err(|e| e.to_string())?;
+        result = measure(&opts, &scratch);
+        // The copy runs dirty hundreds of MB; never leave them behind.
+        let _ = std::fs::remove_dir_all(&scratch);
+        match &result {
+            Ok(()) => break,
+            Err(e) if attempt < attempts => {
+                eprintln!("staging: attempt {attempt}/{attempts} failed ({e}); re-measuring");
+            }
+            Err(_) => {}
+        }
+    }
+    result
+}
+
+fn measure(opts: &Options, scratch: &std::path::Path) -> Result<(), String> {
+    let src = scratch.join("input.rimg");
+    let bytes = write_scatter_input(&src, opts.px)?;
+
+    println!(
+        "# stage-in throughput: {} images x {} bytes, best of {} trial(s)",
+        opts.images, bytes, opts.trials
+    );
+
+    // Untimed warm-up: the first staging pass after a build or test run
+    // pays for cold dentry/inode caches and whatever writeback is still
+    // draining; none of that belongs to any mode's measurement.
+    run_scatter_stage_in(scratch, &src, StageMode::Link, opts.images)?;
+
+    // Link modes go first: the copy baseline dirties ~N x image-size of
+    // page cache, and its writeback would otherwise contend with the
+    // metadata-bound link timings.
+    let link = best(opts.trials, || {
+        run_scatter_stage_in(scratch, &src, StageMode::Link, opts.images)
+    })?;
+    report("link", &link);
+    let auto = best(opts.trials, || {
+        run_scatter_stage_in(scratch, &src, StageMode::Auto, opts.images)
+    })?;
+    report("auto", &auto);
+    let copy = best(opts.trials, || {
+        run_scatter_stage_in(scratch, &src, StageMode::Copy, opts.images)
+    })?;
+    report("copy (baseline)", &copy);
+
+    // Byte-identity across modes: every staged tree hashed to one digest
+    // inside each run; the modes must also agree with each other.
+    if copy.staged_digest != link.staged_digest || copy.staged_digest != auto.staged_digest {
+        return Err("staged content differs between modes".to_string());
+    }
+    println!(
+        "  outputs byte-identical across modes ({})",
+        copy.staged_digest.checksum()
+    );
+
+    let link_speedup = link.files_per_sec() / copy.files_per_sec();
+    let auto_speedup = auto.files_per_sec() / copy.files_per_sec();
+    println!("  -> link speedup: {link_speedup:.2}x, auto speedup: {auto_speedup:.2}x");
+
+    if let Some(path) = &opts.json {
+        let json = render_json(opts, bytes, &copy, &link, &auto);
+        std::fs::write(path, json).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("# wrote {path}");
+    }
+    if let Some(path) = &opts.check {
+        check_regression(path, opts.tolerance, &link, link_speedup)?;
+        if !opts.smoke && link_speedup < 3.0 {
+            return Err(format!(
+                "link-mode stage-in is only {link_speedup:.2}x the copy baseline \
+                 (the data plane is sized for >= 3x at this scatter width)"
+            ));
+        }
+        println!("# check passed");
+    }
+    Ok(())
+}
+
+/// Compare the link-vs-copy speedup against the committed reference.
+fn check_regression(
+    path: &str,
+    tolerance: f64,
+    link: &StagingRun,
+    link_speedup: f64,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let json = obs::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    let reference = json
+        .get("speedup_link_vs_copy")
+        .and_then(obs::json::Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing speedup_link_vs_copy"))?;
+    let ratio = link_speedup / reference;
+    println!(
+        "# regression check vs {path} (tolerance {:.0}%): speedup {link_speedup:.2}x vs \
+         {reference:.2}x reference ({:+.1}%), link {:.0} files/s",
+        tolerance * 100.0,
+        (ratio - 1.0) * 100.0,
+        link.files_per_sec(),
+    );
+    if ratio < 1.0 - tolerance {
+        return Err(format!(
+            "zero-copy advantage regressed: {link_speedup:.2}x is {:.1}% below the \
+             reference {reference:.2}x",
+            (1.0 - ratio) * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn report(name: &str, r: &StagingRun) {
+    println!(
+        "{name:<18} {:>6} files in {:>8.4}s = {:>9.0} files/s ({:>8.1} MB/s); \
+         {} links, {} copies, {} bytes saved",
+        r.files,
+        r.elapsed.as_secs_f64(),
+        r.files_per_sec(),
+        r.mb_per_sec(),
+        r.stats.links,
+        r.stats.copies,
+        r.stats.bytes_saved
+    );
+}
+
+fn mode_json(r: &StagingRun) -> String {
+    format!(
+        "{{\"files\": {}, \"seconds\": {:.6}, \"files_per_sec\": {:.1}, \
+         \"mb_per_sec\": {:.1}, \"links\": {}, \"copies\": {}, \
+         \"bytes_saved\": {}, \"bytes_copied\": {}}}",
+        r.files,
+        r.elapsed.as_secs_f64(),
+        r.files_per_sec(),
+        r.mb_per_sec(),
+        r.stats.links,
+        r.stats.copies,
+        r.stats.bytes_saved,
+        r.stats.bytes_copied
+    )
+}
+
+fn render_json(
+    opts: &Options,
+    bytes: u64,
+    copy: &StagingRun,
+    link: &StagingRun,
+    auto: &StagingRun,
+) -> String {
+    format!(
+        "{{\n  \"smoke\": {},\n  \"images\": {},\n  \"bytes_per_image\": {},\n  \
+         \"copy\": {},\n  \"link\": {},\n  \"auto\": {},\n  \
+         \"speedup_link_vs_copy\": {:.3},\n  \"speedup_auto_vs_copy\": {:.3},\n  \
+         \"outputs_identical\": true,\n  \"staged_checksum\": \"{}\"\n}}\n",
+        opts.smoke,
+        opts.images,
+        bytes,
+        mode_json(copy),
+        mode_json(link),
+        mode_json(auto),
+        link.files_per_sec() / copy.files_per_sec(),
+        auto.files_per_sec() / copy.files_per_sec(),
+        copy.staged_digest.checksum(),
+    )
+}

@@ -13,7 +13,10 @@
 //!   pipeline (`throughput` binary, [`dispatch`] module): no-op storms via
 //!   ThreadPool and HTEX plus an expression-heavy scatter, each measured
 //!   against its pre-optimization baseline (unbatched messaging,
-//!   expression cache disabled) and emitted as `BENCH_dispatch.json`.
+//!   expression cache disabled) and emitted as `BENCH_dispatch.json`;
+//! * **stage-in throughput** — the data plane's zero-copy ladder vs the
+//!   byte-copy baseline on the Fig. 1 scatter (`staging` binary,
+//!   [`staging`] module), emitted as `BENCH_staging.json`.
 //!
 //! All modelled overheads scale with [`gridsim::TimeScale`]; the drivers
 //! here do not set it — the callers (the `figures` binary, the benches)
@@ -22,6 +25,7 @@
 pub mod dispatch;
 pub mod fig1;
 pub mod fig2;
+pub mod staging;
 pub mod stats;
 pub mod workload;
 

@@ -1,0 +1,142 @@
+//! Stage-in throughput over the Fig. 1 scatter workload: one input image
+//! fanned out to N task working directories, the motivating case for the
+//! content-addressed data plane ("hash once, link N times").
+//!
+//! Each mode runs the identical loop through a fresh [`Stager`]; only the
+//! materialization differs. `Copy` is the baseline (what cwltool-style
+//! staging does per task); `Link`/`Auto` climb the hardlink → reflink →
+//! copy ladder. The staged trees are digested afterwards so the driver can
+//! assert the zero-copy path produced byte-identical inputs.
+
+use datastore::{ContentStore, Digest, StageMode, StageStats, Stager};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// One mode's measurement.
+#[derive(Clone, Debug)]
+pub struct StagingRun {
+    /// Staging mode measured.
+    pub mode: StageMode,
+    /// Files materialized (scatter width).
+    pub files: usize,
+    /// Size of the scattered input, bytes.
+    pub bytes_per_file: u64,
+    /// Wall-clock for the stage-in loop only (store open and input
+    /// generation excluded).
+    pub elapsed: Duration,
+    /// The stager's counters after the run.
+    pub stats: StageStats,
+    /// Digest of every staged destination (they must all agree).
+    pub staged_digest: Digest,
+}
+
+impl StagingRun {
+    pub fn files_per_sec(&self) -> f64 {
+        self.files as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    pub fn mb_per_sec(&self) -> f64 {
+        (self.files as u64 * self.bytes_per_file) as f64
+            / 1e6
+            / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Write the scatter input: a deterministic gradient image, as in the
+/// paper's Fig. 1 image workload.
+pub fn write_scatter_input(path: &Path, px: u32) -> Result<u64, String> {
+    imaging::write_rimg(path, &imaging::gradient(px, px, 7))
+        .map_err(|e| format!("writing {}: {e}", path.display()))?;
+    std::fs::metadata(path)
+        .map(|m| m.len())
+        .map_err(|e| format!("stat {}: {e}", path.display()))
+}
+
+/// Stage `src` into `files` per-task directories under a fresh run
+/// directory, timing the loop. The run directory (store included) is
+/// recreated so every trial starts cold.
+pub fn run_scatter_stage_in(
+    scratch: &Path,
+    src: &Path,
+    mode: StageMode,
+    files: usize,
+) -> Result<StagingRun, String> {
+    let run_dir = scratch.join(format!("run-{}", mode.as_str()));
+    let _ = std::fs::remove_dir_all(&run_dir);
+    std::fs::create_dir_all(&run_dir).map_err(|e| format!("mkdir {}: {e}", run_dir.display()))?;
+    let store = ContentStore::open(run_dir.join("cas"))
+        .map_err(|e| format!("opening store under {}: {e}", run_dir.display()))?;
+    let stager = Stager::new(store, mode);
+    let bytes_per_file = std::fs::metadata(src)
+        .map(|m| m.len())
+        .map_err(|e| format!("stat {}: {e}", src.display()))?;
+
+    let mut dests = Vec::with_capacity(files);
+    let start = Instant::now();
+    for k in 0..files {
+        let dest = run_dir.join(format!("task_{k}")).join("input.rimg");
+        stager
+            .stage_file(src, &dest)
+            .map_err(|e| format!("staging {}: {e}", dest.display()))?;
+        dests.push(dest);
+    }
+    let elapsed = start.elapsed();
+
+    let staged_digest = verify_identical(&dests)?;
+    Ok(StagingRun {
+        mode,
+        files,
+        bytes_per_file,
+        elapsed,
+        stats: stager.stats(),
+        staged_digest,
+    })
+}
+
+/// Digest every staged destination and require them to agree; returns the
+/// common digest. Bounded sample? No — identity is the whole point, so
+/// all destinations are read.
+fn verify_identical(dests: &[PathBuf]) -> Result<Digest, String> {
+    let mut common: Option<Digest> = None;
+    for dest in dests {
+        let d = Digest::of_file(dest).map_err(|e| format!("hashing {}: {e}", dest.display()))?;
+        match common {
+            None => common = Some(d),
+            Some(c) if c != d => {
+                return Err(format!(
+                    "staged outputs diverge: {} hashes {} (expected {})",
+                    dest.display(),
+                    d.checksum(),
+                    c.checksum()
+                ))
+            }
+            _ => {}
+        }
+    }
+    common.ok_or_else(|| "no files staged".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn modes_agree_and_link_saves_bytes() {
+        let scratch = std::env::temp_dir().join(format!("bench-staging-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&scratch);
+        std::fs::create_dir_all(&scratch).unwrap();
+        let src = scratch.join("input.rimg");
+        write_scatter_input(&src, 16).unwrap();
+
+        let copy = run_scatter_stage_in(&scratch, &src, StageMode::Copy, 8).unwrap();
+        let link = run_scatter_stage_in(&scratch, &src, StageMode::Link, 8).unwrap();
+        assert_eq!(copy.staged_digest, link.staged_digest);
+        assert_eq!(copy.stats.copies, 8);
+        assert_eq!(link.stats.links + link.stats.copies, 8);
+        // On any filesystem with hardlinks, the link run writes no bytes.
+        if link.stats.copies == 0 {
+            assert_eq!(link.stats.bytes_saved, 8 * link.bytes_per_file);
+        }
+        std::fs::remove_dir_all(&scratch).ok();
+    }
+}

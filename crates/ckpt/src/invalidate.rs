@@ -23,29 +23,63 @@ pub fn parse_result(serialized: &str) -> Result<Value, String> {
 /// object that no longer exists on disk. An empty return means the record
 /// is replayable as far as file outputs are concerned.
 pub fn missing_file_outputs(value: &Value) -> Vec<PathBuf> {
-    let mut missing = Vec::new();
-    walk(value, &mut missing);
-    missing
+    let mut stale = Vec::new();
+    walk(value, &mut |_, _| true, false, &mut stale);
+    stale
 }
 
-fn walk(value: &Value, missing: &mut Vec<PathBuf>) {
+/// Like [`missing_file_outputs`], but a `class: File` that *does* exist
+/// is additionally checked against `verify(path, expected_checksum)` when
+/// the record carries a `checksum` — so an output truncated or modified
+/// in place invalidates the record instead of replaying as a stale memo
+/// hit. `verify` returns whether the on-disk content still matches.
+pub fn stale_file_outputs(
+    value: &Value,
+    verify: &mut dyn FnMut(&Path, &str) -> bool,
+) -> Vec<PathBuf> {
+    let mut stale = Vec::new();
+    walk(value, verify, true, &mut stale);
+    stale
+}
+
+fn walk(
+    value: &Value,
+    verify: &mut dyn FnMut(&Path, &str) -> bool,
+    check_content: bool,
+    stale: &mut Vec<PathBuf>,
+) {
     match value {
         Value::Map(map) => {
             let is_file = map.get("class").and_then(Value::as_str) == Some("File");
             if is_file {
                 if let Some(path) = map.get("path").and_then(Value::as_str) {
-                    if !Path::new(path).exists() {
-                        missing.push(PathBuf::from(path));
+                    let p = Path::new(path);
+                    if !p.exists() {
+                        stale.push(PathBuf::from(path));
+                    } else if check_content {
+                        if let Some(sum) = map.get("checksum").and_then(Value::as_str) {
+                            // Cheap pre-check: a recorded size mismatch is
+                            // already disqualifying without hashing.
+                            let size_ok = match map.get("size").and_then(Value::as_int) {
+                                Some(len) => std::fs::metadata(p)
+                                    .map(|m| m.len() == len as u64)
+                                    .unwrap_or(false),
+                                None => true,
+                            };
+                            if !size_ok || !verify(p, sum) {
+                                stale.push(PathBuf::from(path));
+                            }
+                        }
                     }
                 }
             }
             for (_, v) in map.iter() {
-                walk(v, missing);
+                walk(v, verify, check_content, stale);
             }
         }
         Value::Seq(items) => {
             for v in items {
-                walk(v, missing);
+                walk(v, verify, check_content, stale);
             }
         }
         _ => {}
@@ -84,5 +118,41 @@ mod tests {
     #[test]
     fn garbage_results_fail_parse() {
         assert!(parse_result("{unclosed: [").is_err());
+    }
+
+    #[test]
+    fn checksum_mismatch_marks_record_stale() {
+        let dir = std::env::temp_dir().join(format!("ckpt-sum-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let out = dir.join("out.txt");
+        std::fs::write(&out, b"payload").unwrap();
+        let yaml = format!(
+            "{{out: {{class: File, path: {}, size: 7, checksum: 'xxh64:0000000000000001'}}}}",
+            out.display()
+        );
+        let value = parse_result(&yaml).unwrap();
+
+        // Digest verifier agrees: replayable.
+        assert!(stale_file_outputs(&value, &mut |_, _| true).is_empty());
+        // Digest verifier disagrees: the existing file is stale.
+        assert_eq!(
+            stale_file_outputs(&value, &mut |_, _| false),
+            vec![out.clone()]
+        );
+
+        // A truncated output fails the recorded-size pre-check before any
+        // verifier runs.
+        std::fs::write(&out, b"pay").unwrap();
+        let mut called = false;
+        let stale = stale_file_outputs(&value, &mut |_, _| {
+            called = true;
+            true
+        });
+        assert_eq!(stale, vec![out.clone()]);
+        assert!(!called);
+
+        // The legacy exists-only check still replays it.
+        assert!(missing_file_outputs(&value).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -190,7 +190,9 @@ pub fn prepare(
 
 /// Apply the record-level trust rules: deduplicate by memo key (last
 /// record wins — a re-run after invalidation supersedes the stale entry)
-/// and drop records whose `class: File` outputs no longer exist.
+/// and drop records whose `class: File` outputs no longer exist or whose
+/// on-disk content no longer matches the recorded digest (a truncated or
+/// modified-in-place output re-runs instead of replaying).
 fn validate_records(loaded: LoadedJournal) -> (Vec<Record>, usize) {
     let total = loaded.records.len();
     let mut by_key: HashMap<(String, u64), Record> = HashMap::new();
@@ -203,14 +205,41 @@ fn validate_records(loaded: LoadedJournal) -> (Vec<Record>, usize) {
     }
     let mut seed = Vec::new();
     let mut invalidated = total - order.len();
+    let mut verify = |path: &Path, expected: &str| content_matches(path, expected);
     for key in order {
         let rec = by_key.remove(&key).expect("key recorded on insert");
         match ckpt::invalidate::parse_result(&rec.result) {
-            Ok(value) if ckpt::invalidate::missing_file_outputs(&value).is_empty() => {
+            Ok(value) if ckpt::invalidate::stale_file_outputs(&value, &mut verify).is_empty() => {
                 seed.push(rec)
             }
             _ => invalidated += 1,
         }
     }
     (seed, invalidated)
+}
+
+/// Does the file's current content match a recorded `checksum` string?
+/// Unknown checksum formats replay (fail open: the format predates or
+/// postdates this build; existence was already checked). Hashing goes
+/// through the process-global digest index, so a file the data plane
+/// already ingested costs a metadata stat, not a re-read.
+fn content_matches(path: &Path, expected: &str) -> bool {
+    let Some(want_hash) = expected
+        .strip_prefix("xxh64:")
+        .and_then(|hex| u64::from_str_radix(hex, 16).ok())
+    else {
+        return true;
+    };
+    if let Some(d) = datastore::index::global().lookup_current(path) {
+        return d.hash == want_hash;
+    }
+    match datastore::Digest::of_file(path) {
+        Ok(d) => {
+            if let (Ok(canonical), Ok(meta)) = (path.canonicalize(), std::fs::metadata(path)) {
+                datastore::index::global().record(&canonical, &meta, d);
+            }
+            d.hash == want_hash
+        }
+        Err(_) => false,
+    }
 }

@@ -40,11 +40,16 @@
 //!   mode: task-exit       # off | task-exit | periodic
 //!   dir: ./work/ckpt      # journal directory (default: <workdir>/ckpt)
 //!   period_ms: 500        # fsync interval for periodic mode
+//! staging:                # content-addressed data plane
+//!   mode: auto            # copy | link | auto (default auto)
+//!   dir: /shared/cas      # shared store (default: per-run <workdir>/cas)
+//!   pool: 8               # parallel stage-in pool width
 //! ```
 //!
 //! `retries: N` at the top level is still accepted as shorthand for
 //! `retry: {max_retries: N}`.
 
+use cwlexec::StagingSettings;
 use gridsim::{BatchScheduler, ClusterSpec, FaultPlan, LatencyModel, SchedulerConfig};
 use parsl::{Config, HtexConfig, LocalProvider, Provider, RetryPolicy, SlurmProvider};
 use std::path::{Path, PathBuf};
@@ -73,6 +78,8 @@ pub struct RunnerConfig {
     pub strict_check: bool,
     /// Durable checkpointing of task completions (the `checkpoint:` block).
     pub checkpoint: CheckpointSettings,
+    /// Content-addressed data plane (the `staging:` block).
+    pub staging: StagingSettings,
 }
 
 /// When completed tasks are made durable in the checkpoint journal.
@@ -185,6 +192,27 @@ fn parse_checkpoint(v: &Value) -> Result<CheckpointSettings, String> {
     Ok(settings)
 }
 
+/// Parse the `staging:` block into [`StagingSettings`]. Absent block =
+/// defaults (auto mode, per-run store).
+fn parse_staging(v: &Value) -> Result<StagingSettings, String> {
+    let mut settings = StagingSettings::default();
+    let Some(block) = v.get("staging") else {
+        return Ok(settings);
+    };
+    if let Some(mode) = block.get("mode").and_then(Value::as_str) {
+        settings.mode = datastore::StageMode::parse(mode).ok_or_else(|| {
+            format!("unknown staging mode {mode:?} (expected copy, link, or auto)")
+        })?;
+    }
+    if let Some(dir) = block.get("dir").and_then(Value::as_str) {
+        settings.dir = Some(PathBuf::from(dir));
+    }
+    if let Some(pool) = block.get("pool").and_then(Value::as_int) {
+        settings.pool = pool.max(1) as usize;
+    }
+    Ok(settings)
+}
+
 /// Parse the `monitoring:` block into an [`obs::ObsConfig`].
 ///
 /// ```yaml
@@ -261,6 +289,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
     let fault_plan = parse_fault(v)?;
     let monitoring = parse_monitoring(v)?;
     let checkpoint = parse_checkpoint(v)?;
+    let staging = parse_staging(v)?;
 
     let mut scheduler = None;
     let parsl = match kind {
@@ -388,6 +417,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         pre_run_check,
         strict_check,
         checkpoint,
+        staging,
     })
 }
 
@@ -567,6 +597,32 @@ mod tests {
         match load_config_value(&v) {
             Err(e) => assert!(e.contains("checkpoint mode"), "{e}"),
             Ok(_) => panic!("unknown checkpoint mode must be rejected"),
+        }
+    }
+
+    #[test]
+    fn staging_block_parses() {
+        let c = load_config_value(&Value::Null).unwrap();
+        assert_eq!(c.staging, StagingSettings::default());
+        assert_eq!(c.staging.mode, datastore::StageMode::Auto);
+        assert!(c.staging.dir.is_none());
+
+        let v = parse_str("staging:\n  mode: copy\n  dir: /shared/cas\n  pool: 8\n").unwrap();
+        let c = load_config_value(&v).unwrap();
+        assert_eq!(c.staging.mode, datastore::StageMode::Copy);
+        assert_eq!(c.staging.dir, Some(PathBuf::from("/shared/cas")));
+        assert_eq!(c.staging.pool, 8);
+
+        let v = parse_str("staging:\n  mode: link\n").unwrap();
+        assert_eq!(
+            load_config_value(&v).unwrap().staging.mode,
+            datastore::StageMode::Link
+        );
+
+        let v = parse_str("staging:\n  mode: teleport\n").unwrap();
+        match load_config_value(&v) {
+            Err(e) => assert!(e.contains("staging mode"), "{e}"),
+            Ok(_) => panic!("unknown staging mode must be rejected"),
         }
     }
 

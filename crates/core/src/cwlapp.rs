@@ -3,7 +3,11 @@
 use cwl::loader::{load_file, CwlDocument};
 use cwl::types::CwlType;
 use cwl::CommandLineTool;
-use cwlexec::{execute_tool, BuiltinDispatch, SubprocessDispatch, ToolDispatch};
+use cwlexec::{
+    execute_tool_staged, BuiltinDispatch, StageCtx, StagingSettings, SubprocessDispatch,
+    ToolDispatch,
+};
+use datastore::Stager;
 use expr::{interpolate, EvalContext, ExpressionEngine, JsCostModel};
 use parsl::{AppArg, AppFuture, DataFlowKernel, DataFuture, File, TaskError};
 use std::path::{Path, PathBuf};
@@ -21,6 +25,13 @@ pub struct CwlAppOptions {
     /// Explicit dispatch override (failure injection, custom sandboxes);
     /// takes precedence over `builtin_tools`.
     pub dispatch: Option<Arc<dyn ToolDispatch>>,
+    /// Data-plane configuration (`staging:` block); used to open a
+    /// per-run content store under `workdir_base` unless `stager` is set.
+    pub staging: StagingSettings,
+    /// Pre-built stager shared across apps in one run (the CLI builds one
+    /// so every task and the prestage pool hit the same store and the
+    /// run can publish one set of stage counters).
+    pub stager: Option<Arc<Stager>>,
 }
 
 impl Default for CwlAppOptions {
@@ -29,6 +40,8 @@ impl Default for CwlAppOptions {
             workdir_base: std::env::temp_dir().join(format!("cwl-parsl-{}", std::process::id())),
             builtin_tools: false,
             dispatch: None,
+            staging: StagingSettings::default(),
+            stager: None,
         }
     }
 }
@@ -54,12 +67,33 @@ impl CwlAppOptions {
         self
     }
 
+    /// Use specific data-plane settings.
+    pub fn with_staging(mut self, staging: StagingSettings) -> Self {
+        self.staging = staging;
+        self
+    }
+
+    /// Share an already-open stager instead of building one.
+    pub fn with_stager(mut self, stager: Arc<Stager>) -> Self {
+        self.stager = Some(stager);
+        self
+    }
+
     /// Resolve the dispatch implied by these options.
     pub(crate) fn resolve_dispatch(&self) -> Arc<dyn ToolDispatch> {
         match &self.dispatch {
             Some(d) => d.clone(),
             None if self.builtin_tools => Arc::new(BuiltinDispatch),
             None => Arc::new(SubprocessDispatch),
+        }
+    }
+
+    /// Resolve the stager implied by these options (shared one, else a
+    /// store rooted under the workdir base).
+    pub(crate) fn resolve_stager(&self) -> Result<Arc<Stager>, String> {
+        match &self.stager {
+            Some(s) => Ok(s.clone()),
+            None => self.staging.build(&self.workdir_base),
         }
     }
 }
@@ -72,6 +106,7 @@ pub struct CwlApp {
     dfk: Arc<DataFlowKernel>,
     engine: Arc<dyn ExpressionEngine>,
     dispatch: Arc<dyn ToolDispatch>,
+    stager: Arc<Stager>,
     workdir_base: PathBuf,
     label: String,
     seq: AtomicU64,
@@ -155,6 +190,7 @@ impl CwlApp {
             JsCostModel::free(),
         )?);
         let dispatch = options.resolve_dispatch();
+        let stager = options.resolve_stager()?;
         let label = label
             .or_else(|| tool.id.clone())
             .unwrap_or_else(|| "cwl-tool".to_string());
@@ -163,10 +199,16 @@ impl CwlApp {
             dfk: dfk.clone(),
             engine,
             dispatch,
+            stager,
             workdir_base: options.workdir_base,
             label,
             seq: AtomicU64::new(0),
         })
+    }
+
+    /// The data plane this app stages through.
+    pub fn stager(&self) -> &Arc<Stager> {
+        &self.stager
     }
 
     /// The underlying tool definition.
@@ -286,6 +328,14 @@ impl<'a> CwlInvocation<'a> {
         // The task body: reconstruct the full input object and run the tool.
         let engine = app.engine.clone();
         let dispatch = app.dispatch.clone();
+        let stager = app.stager.clone();
+        let obs = app.dfk.observability().clone();
+        // Task id for the staging spans' lineage: assigned by submit()
+        // below, so the body reads it through a cell. A no-dependency task
+        // can race the store and see 0 — spans then record untracked,
+        // which is harmless.
+        let lineage = Arc::new(AtomicU64::new(0));
+        let body_lineage = lineage.clone();
         let body_tool = tool.clone();
         let body_workdir = workdir.clone();
         let body_slots = slots;
@@ -299,18 +349,26 @@ impl<'a> CwlInvocation<'a> {
                 };
                 provided.insert(name.clone(), v);
             }
-            let run = execute_tool(
+            let ctx = StageCtx {
+                stager: &stager,
+                obs: &obs,
+                lineage: body_lineage.load(Ordering::Acquire),
+                parent: 0,
+            };
+            let run = execute_tool_staged(
                 &body_tool,
                 &provided,
                 &body_workdir,
                 engine.as_ref(),
                 dispatch.as_ref(),
+                Some(&ctx),
             )
             .map_err(TaskError::failed)?;
             Ok(Value::Map(run.outputs))
         });
 
         let future = app.dfk.submit(&app.label, parsl_args, body);
+        lineage.store(future.id().0, Ordering::Release);
         let outputs = predicted
             .into_iter()
             .map(|path| DataFuture::new(File::new(path), future.clone()))

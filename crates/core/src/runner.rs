@@ -162,6 +162,13 @@ pub fn run_tool_cli_resumable(
     if config.builtin_tools {
         options = options.with_builtin_tools();
     }
+    // One data plane for the whole run: every task stages through the
+    // same content store, and the run publishes one set of counters.
+    let stager = config.staging.build(&config.workdir)?;
+    options = options
+        .with_staging(config.staging.clone())
+        .with_stager(stager.clone());
+    prestage_inputs(&stager, inputs, config.staging.pool);
 
     let outputs = match doc {
         CwlDocument::Tool(tool) => {
@@ -192,6 +199,9 @@ pub fn run_tool_cli_resumable(
     };
 
     let tasks = dfk.monitoring().summary().completed;
+    // Before shutdown: export (inside shutdown) folds metrics into the
+    // trace, so the stage counters must land first.
+    cwlexec::publish_stage_stats(dfk.observability(), stager.stats());
     dfk.shutdown();
     let ckpt = prepared.map(|p| {
         let stats = dfk.checkpoint_stats().unwrap_or_default();
@@ -211,6 +221,46 @@ pub fn run_tool_cli_resumable(
         trace,
         ckpt,
     })
+}
+
+/// Hash the run's root `class:File` inputs into the content store up
+/// front, in parallel — tasks consuming them then stage by index hit.
+/// Best-effort: unreadable paths surface later as per-task errors.
+fn prestage_inputs(stager: &datastore::Stager, inputs: &Map, pool: usize) {
+    let mut paths = Vec::new();
+    for (_, v) in inputs.iter() {
+        collect_file_paths(v, &mut paths);
+    }
+    paths.sort();
+    paths.dedup();
+    if paths.is_empty() {
+        return;
+    }
+    let _ = stager.store().ingest_parallel(&paths, pool.max(1));
+}
+
+/// Collect `class: File` paths from an input value, recursively.
+fn collect_file_paths(value: &Value, out: &mut Vec<std::path::PathBuf>) {
+    match value {
+        Value::Map(m) => {
+            if m.get("class").and_then(|c| c.as_str()) == Some("File") {
+                if let Some(p) = m.get("path").or_else(|| m.get("location")) {
+                    if let Some(p) = p.as_str() {
+                        out.push(std::path::PathBuf::from(p));
+                    }
+                }
+            }
+            for (_, v) in m.iter() {
+                collect_file_paths(v, out);
+            }
+        }
+        Value::Seq(s) => {
+            for v in s {
+                collect_file_paths(v, out);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]

@@ -12,11 +12,13 @@
 use crate::cwlapp::CwlAppOptions;
 use cwl::loader::{load_file, resolve_run, CwlDocument};
 use cwl::workflow::{Step, Workflow};
-use cwlexec::{execute_tool, ToolDispatch};
+use cwlexec::{execute_tool_staged, StageCtx, ToolDispatch};
+use datastore::Stager;
 use expr::{interpolate, EvalContext, ExpressionEngine, JsCostModel};
 use parsl::{AppArg, AppFuture, DataFlowKernel, TaskError};
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use yamlite::{Map, Value};
 
@@ -48,17 +50,26 @@ pub struct ParslWorkflowRunner {
     dfk: Arc<DataFlowKernel>,
     workdir_base: PathBuf,
     dispatch: Arc<dyn ToolDispatch>,
+    // Deferred so `new` stays infallible; surfaced by `run`.
+    stager: Result<Arc<Stager>, String>,
 }
 
 impl ParslWorkflowRunner {
     /// Build a runner over an existing kernel.
     pub fn new(dfk: &Arc<DataFlowKernel>, options: CwlAppOptions) -> Self {
         let dispatch = options.resolve_dispatch();
+        let stager = options.resolve_stager();
         Self {
             dfk: dfk.clone(),
             workdir_base: options.workdir_base,
             dispatch,
+            stager,
         }
+    }
+
+    /// The data plane tasks stage through (when the store opened).
+    pub fn stager(&self) -> Option<&Arc<Stager>> {
+        self.stager.as_ref().ok()
     }
 
     /// Execute the workflow at `path` with `provided` inputs; blocks until
@@ -74,6 +85,9 @@ impl ParslWorkflowRunner {
             return Err(format!("validation failed: {}", diags[0]));
         }
         let base_dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+        // A data plane that failed to open fails the run up front, not one
+        // task at a time.
+        self.stager.as_ref().map_err(|e| e.clone())?;
 
         let mut given: HashMap<String, Node> = HashMap::new();
         for (k, v) in provided.iter() {
@@ -383,6 +397,12 @@ impl ParslWorkflowRunner {
 
                 let workdir = self.workdir_base.join(task_name);
                 let dispatch = self.dispatch.clone();
+                let stager = self.stager.as_ref().map_err(|e| e.clone())?.clone();
+                let obs = self.dfk.observability().clone();
+                // Task id for staging-span lineage, assigned after submit;
+                // a racing no-dependency task may read 0 (untracked spans).
+                let lineage = Arc::new(AtomicU64::new(0));
+                let body_lineage = lineage.clone();
                 let wf_engine = wf_engine.clone();
                 let step_id = step.id.clone();
                 let when = step.when.clone();
@@ -433,17 +453,25 @@ impl ParslWorkflowRunner {
                             return Ok(Value::Map(skipped));
                         }
                     }
-                    let run = execute_tool(
+                    let ctx = StageCtx {
+                        stager: &stager,
+                        obs: &obs,
+                        lineage: body_lineage.load(Ordering::Acquire),
+                        parent: 0,
+                    };
+                    let run = execute_tool_staged(
                         &tool,
                         &provided,
                         &workdir,
                         tool_engine.as_ref(),
                         dispatch.as_ref(),
+                        Some(&ctx),
                     )
                     .map_err(|e| TaskError::failed(format!("step {step_id:?}: {e}")))?;
                     Ok(Value::Map(run.outputs))
                 });
                 let fut = self.dfk.submit(task_name, parsl_args, body);
+                lineage.store(fut.id().0, Ordering::Release);
                 // Join the Parsl task id to the CWL step id in the lineage
                 // table (scatter instances share the step id; the task label
                 // keeps the per-instance index).

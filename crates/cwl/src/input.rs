@@ -51,6 +51,14 @@ pub fn normalize_file(v: &Value, class: &str) -> Result<Value, String> {
     if let Ok(meta) = std::fs::metadata(p) {
         m.insert("size", meta.len() as i64);
     }
+    // A content digest attached upstream (data plane, output collection)
+    // survives normalization; it is how staged files are revalidated
+    // without re-reading bytes.
+    if let Value::Map(src) = v {
+        if let Some(checksum) = src.get("checksum") {
+            m.insert("checksum", checksum.clone());
+        }
+    }
     Ok(Value::Map(m))
 }
 
@@ -155,6 +163,12 @@ mod tests {
     fn normalize_file_from_object() {
         let v = normalize_file(&vmap! {"class" => "File", "path" => "/a/b.csv"}, "File").unwrap();
         assert_eq!(v["basename"].as_str(), Some("b.csv"));
+        let v = normalize_file(
+            &vmap! {"class" => "File", "path" => "/a/b.csv", "checksum" => "xxh64:00000000000000ab"},
+            "File",
+        )
+        .unwrap();
+        assert_eq!(v["checksum"].as_str(), Some("xxh64:00000000000000ab"));
         assert!(normalize_file(&vmap! {"class" => "Directory", "path" => "/d"}, "File").is_err());
         assert!(normalize_file(&vmap! {"class" => "File"}, "File").is_err());
         assert!(normalize_file(&Value::Int(3), "File").is_err());

@@ -1,10 +1,12 @@
 //! The per-tool execution pipeline shared by every runner.
 
 use crate::dispatch::ToolDispatch;
+use crate::staging::StageCtx;
 use cwl::{build_command, CommandLineTool};
 use expr::ExpressionEngine;
+use obs::SpanKind;
 use std::path::Path;
-use yamlite::Map;
+use yamlite::{Map, Value};
 
 /// The result of one tool execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -25,9 +27,38 @@ pub fn execute_tool(
     engine: &dyn ExpressionEngine,
     dispatch: &dyn ToolDispatch,
 ) -> Result<ToolRun, String> {
+    execute_tool_staged(tool, provided, workdir, engine, dispatch, None)
+}
+
+/// [`execute_tool`] with the data plane attached: inputs are staged into
+/// `workdir` through the content store (zero-copy where the filesystem
+/// allows), and collected outputs are registered back as CAS handles with
+/// their content digest attached — the next step links instead of copying.
+pub fn execute_tool_staged(
+    tool: &CommandLineTool,
+    provided: &Map,
+    workdir: &Path,
+    engine: &dyn ExpressionEngine,
+    dispatch: &dyn ToolDispatch,
+    staging: Option<&StageCtx<'_>>,
+) -> Result<ToolRun, String> {
     std::fs::create_dir_all(workdir)
         .map_err(|e| format!("cannot create workdir {}: {e}", workdir.display()))?;
-    let inputs = cwl::input::resolve_inputs(&tool.inputs, provided)?;
+    let mut inputs = cwl::input::resolve_inputs(&tool.inputs, provided)?;
+    if let Some(ctx) = staging {
+        let span = ctx
+            .obs
+            .start_span(SpanKind::StageIn, ctx.lineage, ctx.parent, "stage_in");
+        let staged = ctx
+            .stager
+            .stage_value(&Value::Map(inputs), workdir)
+            .map_err(|e| format!("stage-in into {}: {e}", workdir.display()))?;
+        ctx.obs.finish_span(span);
+        inputs = match staged {
+            Value::Map(m) => m,
+            _ => unreachable!("stage_value preserves value shape"),
+        };
+    }
     cwl::input::run_validate_hooks(tool, &inputs, engine)?;
     let cmd = build_command(tool, &inputs, engine)?;
     // Tool dispatch has no handle to a run, so it records against the
@@ -44,7 +75,7 @@ pub fn execute_tool(
     } else {
         dispatch.run(&cmd, workdir)?;
     }
-    let outputs = cwl::outputs::collect_outputs(
+    let mut outputs = cwl::outputs::collect_outputs(
         tool,
         &inputs,
         engine,
@@ -52,10 +83,47 @@ pub fn execute_tool(
         cmd.stdout.as_deref(),
         cmd.stderr.as_deref(),
     )?;
+    if let Some(ctx) = staging {
+        let span = ctx
+            .obs
+            .start_span(SpanKind::StageOut, ctx.lineage, ctx.parent, "stage_out");
+        for (_, v) in outputs.iter_mut() {
+            register_output_files(ctx, v);
+        }
+        ctx.obs.finish_span(span);
+    }
     Ok(ToolRun {
         outputs,
         command: cmd.argv,
     })
+}
+
+/// Bind every collected `class: File` into the content store and attach
+/// its digest. Registration failures are not fatal — the output is still
+/// valid, it just won't be linkable downstream.
+fn register_output_files(ctx: &StageCtx<'_>, value: &mut Value) {
+    match value {
+        Value::Map(map) => {
+            if map.get("class").and_then(Value::as_str) == Some("File") {
+                if let Some(path) = map.get("path").and_then(Value::as_str) {
+                    if let Ok(digest) = ctx.stager.register_output(Path::new(path)) {
+                        map.insert("checksum", digest.checksum());
+                        map.insert("size", digest.len as i64);
+                    }
+                    return;
+                }
+            }
+            for (_, v) in map.iter_mut() {
+                register_output_files(ctx, v);
+            }
+        }
+        Value::Seq(items) => {
+            for v in items {
+                register_output_files(ctx, v);
+            }
+        }
+        _ => {}
+    }
 }
 
 #[cfg(test)]
@@ -205,6 +273,89 @@ stdout: out.txt
         assert!(err.contains("Expected '.csv'"), "{err}");
         assert!(!dir.join("out.txt").exists(), "tool must not have run");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The staged pipeline: a File input outside the workdir is
+    /// materialized through the content store, the run produces the same
+    /// result as the unstaged path, and collected File outputs come back
+    /// with their digest attached and bracketed by stage spans.
+    #[test]
+    fn staged_execution_stages_inputs_and_attaches_digests() {
+        use crate::staging::StageCtx;
+        use datastore::{ContentStore, StageMode, Stager};
+
+        let dir = workdir("staged");
+        let src_dir = workdir("staged-src");
+        imaging::write_rimg(src_dir.join("input.rimg"), &imaging::gradient(32, 32, 1)).unwrap();
+        let t = tool(
+            r#"
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [imgtool, resize]
+inputs:
+  input_image:
+    type: File
+    inputBinding: {position: 1}
+  output_image:
+    type: string
+    inputBinding: {position: 2}
+  size:
+    type: int
+    inputBinding: {position: 3, prefix: --size}
+outputs:
+  resized:
+    type: File
+    outputBinding:
+      glob: $(inputs.output_image)
+"#,
+        );
+        let engine = engine_for(&t.requirements, JsCostModel::free()).unwrap();
+        let provided = as_map(vmap! {
+            "input_image" => src_dir.join("input.rimg").to_string_lossy().into_owned(),
+            "output_image" => "resized.rimg",
+            "size" => 16i64,
+        });
+        let store = ContentStore::open(dir.join("cas")).unwrap();
+        let stager = Stager::new(store, StageMode::Link);
+        let obs = obs::Observability::on();
+        let ctx = StageCtx {
+            stager: &stager,
+            obs: &obs,
+            lineage: 7,
+            parent: 0,
+        };
+        let run = execute_tool_staged(
+            &t,
+            &provided,
+            &dir,
+            engine.as_ref(),
+            &BuiltinDispatch,
+            Some(&ctx),
+        )
+        .unwrap();
+
+        // The tool ran against the staged copy inside its workdir.
+        let staged_input = dir.join("input.rimg");
+        assert!(staged_input.exists(), "input was not staged into workdir");
+        assert_eq!(run.command[2], staged_input.to_string_lossy());
+
+        // The output File carries its content digest.
+        let out = run.outputs.get("resized").unwrap();
+        let checksum = out["checksum"].as_str().unwrap();
+        assert!(checksum.starts_with("xxh64:"), "{checksum}");
+        let out_path = out["path"].as_str().unwrap();
+        let size = out["size"].as_int().unwrap() as u64;
+        assert_eq!(size, std::fs::metadata(out_path).unwrap().len());
+
+        // The input went through the zero-copy ladder, and both phases of
+        // the data plane left spans on the task's lineage.
+        assert_eq!(stager.stats().links, 1);
+        let kinds: Vec<SpanKind> = obs.spans().iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SpanKind::StageIn), "{kinds:?}");
+        assert!(kinds.contains(&SpanKind::StageOut), "{kinds:?}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&src_dir).unwrap();
     }
 
     #[test]

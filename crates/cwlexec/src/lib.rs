@@ -17,12 +17,17 @@
 //!   (`imgtool`, `echo`, `cat`, `sleepms`, `wc-words`) and executes them
 //!   in-process, which keeps thousand-task benchmark sweeps hermetic while
 //!   exercising the identical binding/collection code path;
-//! * [`execute_tool`] — the full per-tool pipeline.
+//! * [`execute_tool`] — the full per-tool pipeline; [`execute_tool_staged`]
+//!   is the same pipeline with the content-addressed data plane attached
+//!   (inputs staged zero-copy into the workdir, outputs registered as CAS
+//!   handles with digests).
 
 pub mod dispatch;
 pub mod engine;
 pub mod exec;
+pub mod staging;
 
 pub use dispatch::{BuiltinDispatch, FlakyDispatch, SubprocessDispatch, ToolDispatch};
 pub use engine::engine_for;
-pub use exec::{execute_tool, ToolRun};
+pub use exec::{execute_tool, execute_tool_staged, ToolRun};
+pub use staging::{publish_stage_stats, StageCtx, StagingSettings};

@@ -1,0 +1,65 @@
+//! The execution engine's view of the data plane: configuration, the
+//! per-task staging context, and publication of stage counters into the
+//! observability layer.
+
+use datastore::{ContentStore, StageMode, StageStats, Stager};
+use obs::Observability;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// The `staging:` config block, resolved. Shared by every runner.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StagingSettings {
+    /// How files materialize in task workdirs.
+    pub mode: StageMode,
+    /// Content-store directory. `None` = per-run (`<run dir>/cas`); a
+    /// path points several runs at one shared store.
+    pub dir: Option<PathBuf>,
+    /// Parallel stage-in pool width (prestage hashing).
+    pub pool: usize,
+}
+
+impl Default for StagingSettings {
+    fn default() -> Self {
+        StagingSettings {
+            mode: StageMode::Auto,
+            dir: None,
+            pool: 4,
+        }
+    }
+}
+
+impl StagingSettings {
+    /// Open the store (under `run_dir` unless pinned by config) and build
+    /// a stager in the configured mode.
+    pub fn build(&self, run_dir: &std::path::Path) -> Result<Arc<Stager>, String> {
+        let root = self.dir.clone().unwrap_or_else(|| run_dir.join("cas"));
+        let store = ContentStore::open(&root)
+            .map_err(|e| format!("cannot open content store {}: {e}", root.display()))?;
+        Ok(Stager::new(store, self.mode))
+    }
+}
+
+/// Per-task staging context threaded into [`crate::execute_tool_staged`]:
+/// the stager plus where its spans should land.
+pub struct StageCtx<'a> {
+    pub stager: &'a Stager,
+    /// Observability instance for stage spans (a per-run instance, so
+    /// spans appear in the exported trace next to the task's other spans).
+    pub obs: &'a Observability,
+    /// Lineage (task) id the spans belong to; 0 = untracked.
+    pub lineage: u64,
+    /// Parent span id (usually the task's exec span).
+    pub parent: u64,
+}
+
+/// Fold a stager's cumulative counters into an observability instance.
+/// Called once per run, after execution and before export — stagers are
+/// shared across concurrent tasks, so per-task deltas would race.
+pub fn publish_stage_stats(obs: &Observability, stats: StageStats) {
+    obs.counter(obs::names::STAGE_HITS).add(stats.hits);
+    obs.counter(obs::names::STAGE_LINKS).add(stats.links);
+    obs.counter(obs::names::STAGE_COPIES).add(stats.copies);
+    obs.counter(obs::names::STAGE_BYTES_SAVED)
+        .add(stats.bytes_saved);
+}

@@ -1,0 +1,128 @@
+//! A small sharded in-memory index from canonical path to content
+//! digest, validated by `(len, mtime)` so an edited file never serves a
+//! stale digest. One process-global instance backs every store: the same
+//! input scattered to 1000 tasks is hashed once, and `parsl::File` can
+//! answer `checksum()`/`size()` without touching the data plane crates.
+
+use crate::digest::Digest;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fs::Metadata;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Stripe count; a power of two so stripe selection is a mask.
+pub const STRIPES: usize = 16;
+
+#[derive(Clone, Copy)]
+struct Entry {
+    len: u64,
+    mtime_ns: i128,
+    digest: Digest,
+}
+
+/// Sharded `(path, len, mtime) -> digest` cache.
+pub struct PathIndex {
+    stripes: [Mutex<HashMap<PathBuf, Entry>>; STRIPES],
+    hits: AtomicU64,
+}
+
+impl Default for PathIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn mtime_ns(meta: &Metadata) -> i128 {
+    meta.modified()
+        .ok()
+        .and_then(|t| {
+            t.duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_nanos() as i128)
+                .ok()
+        })
+        .unwrap_or(-1)
+}
+
+fn stripe_of(path: &Path) -> usize {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    path.hash(&mut h);
+    (h.finish() as usize) & (STRIPES - 1)
+}
+
+impl PathIndex {
+    pub fn new() -> Self {
+        PathIndex {
+            stripes: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// Digest for `path` if cached and still valid against `meta`.
+    pub fn lookup(&self, path: &Path, meta: &Metadata) -> Option<Digest> {
+        let stripe = self.stripes[stripe_of(path)].lock();
+        let e = stripe.get(path)?;
+        if e.len == meta.len() && e.mtime_ns == mtime_ns(meta) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            Some(e.digest)
+        } else {
+            None
+        }
+    }
+
+    /// Digest for `path` if cached and still valid on disk right now.
+    pub fn lookup_current(&self, path: &Path) -> Option<Digest> {
+        let canonical = path.canonicalize().ok()?;
+        let meta = std::fs::metadata(&canonical).ok()?;
+        self.lookup(&canonical, &meta)
+    }
+
+    /// Record a freshly computed digest.
+    pub fn record(&self, path: &Path, meta: &Metadata, digest: Digest) {
+        let entry = Entry {
+            len: meta.len(),
+            mtime_ns: mtime_ns(meta),
+            digest,
+        };
+        self.stripes[stripe_of(path)]
+            .lock()
+            .insert(path.to_path_buf(), entry);
+    }
+
+    /// How many lookups were served from the cache (digest not recomputed).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+/// The process-global index.
+pub fn global() -> &'static PathIndex {
+    static GLOBAL: OnceLock<PathIndex> = OnceLock::new();
+    GLOBAL.get_or_init(PathIndex::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stale_metadata_misses() {
+        let dir = std::env::temp_dir().join(format!("ds-index-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("f.txt");
+        std::fs::write(&p, b"one").unwrap();
+        let canonical = p.canonicalize().unwrap();
+        let meta = std::fs::metadata(&canonical).unwrap();
+        let idx = PathIndex::new();
+        let d = Digest::of_bytes(b"one");
+        idx.record(&canonical, &meta, d);
+        assert_eq!(idx.lookup(&canonical, &meta), Some(d));
+        assert_eq!(idx.lookup_current(&p), Some(d));
+
+        std::fs::write(&p, b"grew bigger").unwrap();
+        assert_eq!(idx.lookup_current(&p), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

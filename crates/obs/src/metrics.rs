@@ -258,6 +258,17 @@ pub mod names {
     /// Counter: journal records rejected on resume (stale workflow hash,
     /// deleted output files, unparseable results).
     pub const CKPT_INVALIDATED: &str = "ckpt.invalidated";
+    /// Counter: staging requests served from the digest index (no bytes
+    /// read or written — the content was already hashed or in place).
+    pub const STAGE_HITS: &str = "stage.hits";
+    /// Counter: files materialized by hardlink or reflink (zero-copy).
+    pub const STAGE_LINKS: &str = "stage.links";
+    /// Counter: files materialized by byte copy (ladder fallback, or
+    /// `staging.mode: copy`).
+    pub const STAGE_COPIES: &str = "stage.copies";
+    /// Counter: bytes a copying stager would have written that the link
+    /// ladder avoided.
+    pub const STAGE_BYTES_SAVED: &str = "stage.bytes_saved";
 }
 
 /// A point-in-time reading of one metric, for export and reporting.

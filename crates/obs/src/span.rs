@@ -25,8 +25,12 @@ pub enum SpanKind {
     ManagerRecv,
     /// The task body executing on a worker.
     WorkerExec,
+    /// Input files being staged into a task workdir (data plane).
+    StageIn,
     /// A tool process executing (reference runner / cwlexec layer).
     ToolExec,
+    /// Outputs being registered with the content store after collection.
+    StageOut,
     /// The result message completing the task's promise.
     ResultReturn,
     /// A retry being scheduled after a failed attempt.
@@ -43,7 +47,7 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Every kind, in causal order.
-    pub const ALL: [SpanKind; 14] = [
+    pub const ALL: [SpanKind; 16] = [
         SpanKind::WorkflowRun,
         SpanKind::Submit,
         SpanKind::MemoLookup,
@@ -51,7 +55,9 @@ impl SpanKind {
         SpanKind::BatchEnqueue,
         SpanKind::ManagerRecv,
         SpanKind::WorkerExec,
+        SpanKind::StageIn,
         SpanKind::ToolExec,
+        SpanKind::StageOut,
         SpanKind::ResultReturn,
         SpanKind::Retry,
         SpanKind::TimedOut,
@@ -70,7 +76,9 @@ impl SpanKind {
             SpanKind::BatchEnqueue => "batch_enqueue",
             SpanKind::ManagerRecv => "manager_recv",
             SpanKind::WorkerExec => "worker_exec",
+            SpanKind::StageIn => "stage_in",
             SpanKind::ToolExec => "tool_exec",
+            SpanKind::StageOut => "stage_out",
             SpanKind::ResultReturn => "result_return",
             SpanKind::Retry => "retry",
             SpanKind::TimedOut => "timed_out",

@@ -3,24 +3,70 @@
 //! differences (local, FTP, Globus); here all execution is node-local, so
 //! the type carries path metadata and existence checks, keeping the same
 //! API shape the CWL bridge expects.
+//!
+//! When the data plane has seen the file, a `File` also carries its
+//! content digest: `size()` and `checksum()` answer from the digest index
+//! without touching the filesystem. Identity (`Eq`/`Hash`) stays
+//! path-based — the digest is metadata about the path's content, not part
+//! of which file the handle names.
 
+use datastore::Digest;
 use std::path::{Path, PathBuf};
 
 /// A file handle exchanged between apps.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone)]
 pub struct File {
     path: PathBuf,
+    digest: Option<Digest>,
+}
+
+impl PartialEq for File {
+    fn eq(&self, other: &Self) -> bool {
+        self.path == other.path
+    }
+}
+
+impl Eq for File {}
+
+impl std::hash::Hash for File {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.path.hash(state);
+    }
 }
 
 impl File {
     /// Wrap a path.
     pub fn new(path: impl Into<PathBuf>) -> Self {
-        Self { path: path.into() }
+        Self {
+            path: path.into(),
+            digest: None,
+        }
+    }
+
+    /// Wrap a path with a known content digest.
+    pub fn with_digest(path: impl Into<PathBuf>, digest: Digest) -> Self {
+        Self {
+            path: path.into(),
+            digest: Some(digest),
+        }
     }
 
     /// The underlying path.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+
+    /// The content digest: the one the handle carries, else whatever the
+    /// process-global digest index knows about the path right now.
+    pub fn digest(&self) -> Option<Digest> {
+        self.digest
+            .or_else(|| datastore::index::global().lookup_current(&self.path))
+    }
+
+    /// The CWL-style checksum string (`xxh64:<hex>`), if the content has
+    /// been digested by the data plane.
+    pub fn checksum(&self) -> Option<String> {
+        self.digest().map(|d| d.checksum())
     }
 
     /// The file name portion (CWL's `basename`).
@@ -52,8 +98,12 @@ impl File {
         self.path.exists()
     }
 
-    /// Size in bytes (None when missing).
+    /// Size in bytes, served from the digest when known (None when the
+    /// file is missing and undigested).
     pub fn size(&self) -> Option<u64> {
+        if let Some(d) = self.digest {
+            return Some(d.len);
+        }
         std::fs::metadata(&self.path).ok().map(|m| m.len())
     }
 
@@ -67,6 +117,9 @@ impl File {
         m.insert("nameext", self.nameext());
         if let Some(size) = self.size() {
             m.insert("size", size as i64);
+        }
+        if let Some(checksum) = self.checksum() {
+            m.insert("checksum", checksum);
         }
         yamlite::Value::Map(m)
     }
@@ -120,6 +173,29 @@ mod tests {
         std::fs::write(&p, b"hello").unwrap();
         assert!(f.exists());
         assert_eq!(f.size(), Some(5));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn digest_serves_size_and_checksum() {
+        let d = Digest::of_bytes(b"pixels");
+        let f = File::with_digest("/data/never-read.rimg", d);
+        // Size and checksum come from the digest, no filesystem access.
+        assert_eq!(f.size(), Some(6));
+        assert_eq!(f.checksum(), Some(d.checksum()));
+        // Identity stays path-based.
+        assert_eq!(f, File::new("/data/never-read.rimg"));
+
+        // An index-recorded file serves its checksum through plain handles.
+        let dir = std::env::temp_dir().join(format!("parsl-file-d-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("indexed.bin");
+        std::fs::write(&p, b"indexed contents").unwrap();
+        let canonical = p.canonicalize().unwrap();
+        let meta = std::fs::metadata(&canonical).unwrap();
+        let d2 = Digest::of_bytes(b"indexed contents");
+        datastore::index::global().record(&canonical, &meta, d2);
+        assert_eq!(File::new(&p).checksum(), Some(d2.checksum()));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -1,5 +1,7 @@
 //! Execution profiles: the per-architecture cost structure of each runner.
 
+use cwlexec::StagingSettings;
+use datastore::StageMode;
 use expr::JsCostModel;
 use std::path::PathBuf;
 use std::time::Duration;
@@ -48,6 +50,10 @@ pub struct ExecProfile {
     pub precheck: bool,
     /// Under `precheck`, also refuse to start on warnings.
     pub precheck_strict: bool,
+    /// Data-plane configuration. The baseline profiles stage by byte
+    /// copy (what cwltool and Toil actually do); `bare` uses the
+    /// zero-copy ladder.
+    pub staging: StagingSettings,
 }
 
 impl ExecProfile {
@@ -66,6 +72,7 @@ impl ExecProfile {
             job_store: None,
             precheck: false,
             precheck_strict: false,
+            staging: StagingSettings::default(),
         }
     }
 
@@ -86,6 +93,10 @@ impl ExecProfile {
             job_store: None,
             precheck: true,
             precheck_strict: false,
+            staging: StagingSettings {
+                mode: StageMode::Copy,
+                ..StagingSettings::default()
+            },
         }
     }
 
@@ -105,6 +116,10 @@ impl ExecProfile {
             job_store: Some(job_store),
             precheck: true,
             precheck_strict: false,
+            staging: StagingSettings {
+                mode: StageMode::Copy,
+                ..StagingSettings::default()
+            },
         }
     }
 }

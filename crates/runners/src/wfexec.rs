@@ -13,7 +13,8 @@ use cwl::input::normalize_value;
 use cwl::loader::{load_document, resolve_run, CwlDocument};
 use cwl::workflow::{RunRef, Step, Workflow};
 use cwl::CommandLineTool;
-use cwlexec::{engine_for, execute_tool, ToolDispatch};
+use cwlexec::{engine_for, execute_tool_staged, StageCtx, ToolDispatch};
+use datastore::Stager;
 use expr::{interpolate, EvalContext};
 use obs::{Observability, SpanKind};
 use std::collections::{HashMap, HashSet};
@@ -107,6 +108,10 @@ impl WorkflowExecutor {
             }
         }
 
+        // The run's data plane: a content store under the run directory
+        // (or a shared one, if config pins `staging.dir`).
+        let stager = self.profile.staging.build(&run_dir)?;
+
         self.tasks.store(0, Ordering::SeqCst);
         let start = Instant::now();
         // Root span for the whole run; every leaf task hangs off it. An
@@ -126,13 +131,25 @@ impl WorkflowExecutor {
                 let kib = (bytes as f64 / 1024.0).ceil() as u32;
                 gridsim::pay(self.profile.setup_per_task + self.profile.setup_per_kib * kib);
                 let label = tool.id.clone().unwrap_or_else(|| "tool".to_string());
-                self.run_tool_task(tool, Some(&raw), provided, &run_dir, &label, None, root)?
+                self.run_tool_task(
+                    tool,
+                    Some(&raw),
+                    provided,
+                    &run_dir,
+                    &label,
+                    None,
+                    root,
+                    &stager,
+                )?
             }
             CwlDocument::Workflow(wf) => {
-                self.run_workflow(wf, &base_dir, provided, &run_dir, root)?
+                self.run_workflow(wf, &base_dir, provided, &run_dir, root, &stager)?
             }
         };
         self.obs().finish_span(wf_span);
+        // Fold the run's staging counters into the trace exactly once
+        // (stagers are shared across tasks; deltas would race).
+        cwlexec::publish_stage_stats(self.obs(), stager.stats());
         Ok(RunReport {
             runner: self.profile.name.clone(),
             outputs,
@@ -153,6 +170,7 @@ impl WorkflowExecutor {
         label: &str,
         step: Option<&str>,
         parent: u64,
+        stager: &Arc<Stager>,
     ) -> Result<Map, String> {
         let task_no = self.tasks.fetch_add(1, Ordering::SeqCst);
         // Lineage ids are 1-based (0 means "no task" in span records).
@@ -201,12 +219,19 @@ impl WorkflowExecutor {
         };
 
         let engine = engine_for(&tool.requirements, self.profile.js_cost.clone())?;
-        let result = execute_tool(
+        let stage_ctx = StageCtx {
+            stager,
+            obs,
+            lineage,
+            parent: span.id(),
+        };
+        let result = execute_tool_staged(
             tool,
             provided,
             workdir,
             engine.as_ref(),
             self.dispatch.as_ref(),
+            Some(&stage_ctx),
         );
 
         if let Some(job_file) = job_file {
@@ -237,6 +262,7 @@ impl WorkflowExecutor {
         provided: &Map,
         workdir: &Path,
         parent: u64,
+        stager: &Arc<Stager>,
     ) -> Result<Map, String> {
         // Check structure first (cheap; mirrors runners validating upfront).
         wf.topo_order()?;
@@ -385,6 +411,12 @@ impl WorkflowExecutor {
                 }
             }
 
+            // Prestage: hash every distinct input file of this wave on
+            // the staging pool before any job runs, so a file scattered
+            // across the wave is ingested once, in parallel with its
+            // siblings — per-job stage-in then only links.
+            self.prestage_wave(jobs.iter().map(|job| &job.inputs), stager);
+
             // Run this wave's jobs on the bounded pool.
             let closures: Vec<_> = jobs
                 .iter()
@@ -428,10 +460,18 @@ impl WorkflowExecutor {
                                     &label,
                                     Some(&step.id),
                                     parent,
+                                    stager,
                                 )
                                 .map_err(|e| format!("step {:?}: {e}", step.id)),
                             CwlDocument::Workflow(sub) => self
-                                .run_workflow(sub, &rstep.base_dir, &inputs, &job_dir, parent)
+                                .run_workflow(
+                                    sub,
+                                    &rstep.base_dir,
+                                    &inputs,
+                                    &job_dir,
+                                    parent,
+                                    stager,
+                                )
                                 .map_err(|e| format!("step {:?}: {e}", step.id)),
                         }
                     }
@@ -483,6 +523,39 @@ impl WorkflowExecutor {
             outputs.insert(out.id.clone(), value);
         }
         Ok(outputs)
+    }
+
+    /// Ingest every distinct `class: File` referenced by a wave's job
+    /// inputs on the bounded staging pool. Errors are deliberately
+    /// swallowed here: a missing file surfaces with full context when the
+    /// owning task stages it for real.
+    fn prestage_wave<'a>(&self, inputs: impl Iterator<Item = &'a Map>, stager: &Arc<Stager>) {
+        let mut seen: HashSet<PathBuf> = HashSet::new();
+        for map in inputs {
+            for (_, v) in map.iter() {
+                collect_file_paths(v, &mut seen);
+            }
+        }
+        if seen.len() < 2 {
+            // One file (or none) gains nothing from the pool; the task's
+            // own stage-in handles it.
+            for path in &seen {
+                let _ = stager.store().ingest(path);
+            }
+            return;
+        }
+        let store = stager.store();
+        let jobs: Vec<_> = seen
+            .into_iter()
+            .map(|path| {
+                let store = Arc::clone(store);
+                move || {
+                    let _ = store.ingest(&path);
+                    Ok::<(), String>(())
+                }
+            })
+            .collect();
+        let _ = run_parallel(jobs, self.profile.staging.pool.max(1));
     }
 
     /// Resolve a step's inputs from sources and defaults (pre-scatter,
@@ -599,6 +672,29 @@ fn unique_run_dir(workdir: &Path) -> Result<PathBuf, String> {
                 ))
             }
         }
+    }
+}
+
+/// Collect the `path` of every `class: File` object in a value.
+fn collect_file_paths(value: &Value, out: &mut HashSet<PathBuf>) {
+    match value {
+        Value::Map(map) => {
+            if map.get("class").and_then(Value::as_str) == Some("File") {
+                if let Some(p) = map.get("path").and_then(Value::as_str) {
+                    out.insert(PathBuf::from(p));
+                }
+                return;
+            }
+            for (_, v) in map.iter() {
+                collect_file_paths(v, out);
+            }
+        }
+        Value::Seq(items) => {
+            for v in items {
+                collect_file_paths(v, out);
+            }
+        }
+        _ => {}
     }
 }
 

@@ -456,6 +456,68 @@ fn deleted_file_output_invalidates_record_and_reruns_task() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Same-size, same-path corruption: an exists-check (and even a size
+/// check) would wrongly replay the record. The data plane's content
+/// digest, journaled with each `class: File` output, catches it.
+#[test]
+fn corrupted_file_output_fails_digest_check_and_reruns_task() {
+    let dir = scratch("corrupt");
+    let wf = fixtures().join("diamond.cwl");
+    let inputs = diamond_inputs();
+
+    let (result, prepared, _) =
+        run_checkpointed(&wf, &inputs, &dir, None, CountingDispatch::new(), 1);
+    let outputs = result.unwrap();
+    let expected = output_bytes(&outputs, "joined");
+    drop(prepared);
+
+    // Overwrite `left`'s output with different bytes of the same length:
+    // still present, same size, wrong content.
+    let journal_path = dir.join("ckpt").join("journal.ckpt");
+    let loaded = ckpt::load(&journal_path).unwrap();
+    let left = loaded
+        .records
+        .iter()
+        .find(|r| r.step.as_deref() == Some("left"))
+        .expect("left step journaled with its CWL step id");
+    let parsed = ckpt::invalidate::parse_result(&left.result).unwrap();
+    assert!(
+        parsed["output"]["checksum"]
+            .as_str()
+            .is_some_and(|c| c.starts_with("xxh64:")),
+        "journaled outputs must carry the data plane's content digest"
+    );
+    let left_file = parsed["output"]["path"].as_str().unwrap().to_string();
+    let original = std::fs::read(&left_file).unwrap();
+    let corrupted: Vec<u8> = original.iter().map(|_| b'X').collect();
+    assert_eq!(corrupted.len(), original.len());
+    std::fs::write(&left_file, &corrupted).unwrap();
+
+    let counting = CountingDispatch::new();
+    let (result, prepared, stats) = run_checkpointed(
+        &wf,
+        &inputs,
+        &dir,
+        Some(&dir.join("ckpt")),
+        counting.clone(),
+        1,
+    );
+    assert_eq!(
+        prepared.invalidated, 1,
+        "the digest mismatch must invalidate exactly the corrupted record"
+    );
+    let outputs = result.unwrap();
+    assert_eq!(output_bytes(&outputs, "joined"), expected);
+    assert_eq!(counting.runs(), 1, "only `left` re-executes");
+    assert_eq!(stats.replayed, 3);
+    assert_eq!(
+        std::fs::read(&left_file).unwrap(),
+        original,
+        "the re-run must restore the corrupted output's true content"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Editing the workflow (or its inputs) makes the journal untrustworthy:
 /// it is set aside whole and the run starts over.
 #[test]

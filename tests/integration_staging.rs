@@ -1,0 +1,234 @@
+//! Data-plane correctness: zero-copy staging must be invisible to
+//! workflow semantics.
+//!
+//! * Property tests: for arbitrary inputs over the diamond and scatter
+//!   fixtures, `staging: {mode: link}` and `{mode: copy}` produce
+//!   byte-identical workflow outputs (the zero-copy ladder is a pure
+//!   optimization).
+//! * Concurrency stress: two simultaneous runs pointed at one shared CAS
+//!   directory — no clobbered objects, no leaked temp files, and the
+//!   second run's identical content deduplicates instead of duplicating.
+
+use cwl_parsl::config::{load_config_value, RunnerConfig};
+use cwl_parsl::runner::run_tool_cli;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use yamlite::{Map, Value};
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "staging-int-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A thread-pool runner config with the given `staging:` block.
+fn config(workdir: &Path, mode: &str, store: Option<&Path>) -> RunnerConfig {
+    let store_line = store
+        .map(|d| format!("  dir: {}\n", d.display()))
+        .unwrap_or_default();
+    let yaml = format!(
+        "executor:\n  kind: thread-pool\n  workers: 4\n\
+         run:\n  workdir: {}\n  builtin_tools: true\n\
+         staging:\n  mode: {mode}\n{store_line}",
+        workdir.display()
+    );
+    load_config_value(&yamlite::parse_str(&yaml).unwrap()).unwrap()
+}
+
+/// Collect the bytes of every `class: File` in an output value, in
+/// deterministic (traversal) order.
+fn collect_output_bytes(value: &Value, out: &mut Vec<Vec<u8>>) {
+    match value {
+        Value::Map(m) => {
+            if m.get("class").and_then(Value::as_str) == Some("File") {
+                let path = m.get("path").and_then(Value::as_str).unwrap();
+                out.push(std::fs::read(path).unwrap());
+                return;
+            }
+            for (_, v) in m.iter() {
+                collect_output_bytes(v, out);
+            }
+        }
+        Value::Seq(s) => {
+            for v in s {
+                collect_output_bytes(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Run `wf` under the given staging mode in a fresh workdir; return every
+/// file output's bytes.
+fn run_mode(wf: &Path, inputs: &Map, mode: &str, tag: &str) -> Vec<Vec<u8>> {
+    let dir = scratch(&format!("{tag}-{mode}"));
+    let outcome = run_tool_cli(config(&dir, mode, None), wf, inputs)
+        .unwrap_or_else(|e| panic!("{mode} run of {} failed: {e}", wf.display()));
+    let mut bytes = Vec::new();
+    collect_output_bytes(&Value::Map(outcome.outputs), &mut bytes);
+    assert!(!bytes.is_empty(), "workflow produced no file outputs");
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn write_images(dir: &Path, seeds: &[u64]) -> Value {
+    let mut paths = Vec::new();
+    for (i, seed) in seeds.iter().enumerate() {
+        let p = dir.join(format!("img{i}.rimg"));
+        imaging::write_rimg(&p, &imaging::gradient(24, 24, *seed)).unwrap();
+        paths.push(Value::str(p.to_string_lossy().into_owned()));
+    }
+    Value::Seq(paths)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Diamond fixture: link-staged and copy-staged runs agree for any
+    /// message.
+    #[test]
+    fn diamond_outputs_identical_across_modes(msg in "[A-Za-z0-9 .,!-]{1,32}") {
+        let wf = fixtures().join("diamond.cwl");
+        let mut inputs = Map::new();
+        inputs.insert("message", Value::str(msg));
+        let copy = run_mode(&wf, &inputs, "copy", "diamond");
+        let link = run_mode(&wf, &inputs, "link", "diamond");
+        prop_assert_eq!(copy, link);
+    }
+
+    /// Scatter fixture (inline Python): agreement for any word list.
+    #[test]
+    fn word_scatter_outputs_identical_across_modes(
+        words in proptest::collection::vec("[a-z]{1,8}", 1..5usize)
+    ) {
+        let wf = fixtures().join("scatter_words_py.cwl");
+        let mut inputs = Map::new();
+        inputs.insert(
+            "words",
+            Value::Seq(words.iter().map(|w| Value::str(w.as_str())).collect()),
+        );
+        let copy = run_mode(&wf, &inputs, "copy", "words");
+        let link = run_mode(&wf, &inputs, "link", "words");
+        prop_assert_eq!(copy, link);
+    }
+
+    /// Image scatter: root `File[]` inputs (the staged-fan-out case) give
+    /// identical pipeline outputs under every mode, auto included.
+    #[test]
+    fn image_scatter_outputs_identical_across_modes(
+        seeds in proptest::collection::vec(0u64..100, 1..4usize),
+        size in 8u32..24,
+    ) {
+        let wf = fixtures().join("scatter_images.cwl");
+        let img_dir = scratch("imgs");
+        let mut inputs = Map::new();
+        inputs.insert("input_images", write_images(&img_dir, &seeds));
+        inputs.insert("size", Value::Int(size as i64));
+        inputs.insert("sepia", Value::Bool(true));
+        inputs.insert("radius", Value::Int(1));
+        let copy = run_mode(&wf, &inputs, "copy", "imgs");
+        let link = run_mode(&wf, &inputs, "link", "imgs");
+        let auto = run_mode(&wf, &inputs, "auto", "imgs");
+        let _ = std::fs::remove_dir_all(&img_dir);
+        prop_assert_eq!(&copy, &link);
+        prop_assert_eq!(&copy, &auto);
+    }
+}
+
+/// Count the objects in a CAS directory.
+fn object_count(store: &Path) -> usize {
+    let mut n = 0;
+    for shard in std::fs::read_dir(store.join("objects")).unwrap() {
+        let shard = shard.unwrap().path();
+        if shard.is_dir() {
+            n += std::fs::read_dir(shard).unwrap().count();
+        }
+    }
+    n
+}
+
+/// Any temp files left under the store (partial copies that were never
+/// atomically renamed in).
+fn leaked_tmp(store: &Path) -> Vec<String> {
+    let mut leaked = Vec::new();
+    for shard in std::fs::read_dir(store.join("objects")).unwrap() {
+        let shard = shard.unwrap().path();
+        if !shard.is_dir() {
+            continue;
+        }
+        for f in std::fs::read_dir(shard).unwrap() {
+            let name = f.unwrap().file_name().to_string_lossy().into_owned();
+            if name.contains("tmp") {
+                leaked.push(name);
+            }
+        }
+    }
+    leaked
+}
+
+/// Two simultaneous runs sharing one CAS dir: both must finish with
+/// correct outputs, leave no torn objects behind, and the duplicate
+/// content must deduplicate (object count unchanged vs a single run).
+#[test]
+fn concurrent_runs_share_one_store_without_clobbering() {
+    let base = scratch("shared");
+    let store = base.join("cas");
+    let wf = fixtures().join("scatter_images.cwl");
+    let img_dir = base.join("imgs");
+    std::fs::create_dir_all(&img_dir).unwrap();
+    let mut inputs = Map::new();
+    inputs.insert("input_images", write_images(&img_dir, &[1, 2, 3]));
+    inputs.insert("size", Value::Int(12));
+    inputs.insert("sepia", Value::Bool(false));
+    inputs.insert("radius", Value::Int(1));
+
+    // Warm run: establishes the expected outputs and the full object set.
+    let warm_dir = base.join("warm");
+    let warm = run_tool_cli(config(&warm_dir, "link", Some(&store)), &wf, &inputs).unwrap();
+    let mut expected = Vec::new();
+    collect_output_bytes(&Value::Map(warm.outputs), &mut expected);
+    let warm_objects = object_count(&store);
+    assert!(warm_objects > 0);
+
+    // Two racing runs of the identical workload against the same store.
+    let results: Vec<Vec<Vec<u8>>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..2)
+            .map(|k| {
+                let wf = wf.clone();
+                let inputs = inputs.clone();
+                let run_dir = base.join(format!("racer{k}"));
+                let cfg = config(&run_dir, "link", Some(&store));
+                s.spawn(move || {
+                    let outcome = run_tool_cli(cfg, &wf, &inputs)
+                        .unwrap_or_else(|e| panic!("racer {k} failed: {e}"));
+                    let mut bytes = Vec::new();
+                    collect_output_bytes(&Value::Map(outcome.outputs), &mut bytes);
+                    bytes
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (k, bytes) in results.iter().enumerate() {
+        assert_eq!(bytes, &expected, "racer {k} diverged from the warm run");
+    }
+    assert_eq!(
+        object_count(&store),
+        warm_objects,
+        "identical content must deduplicate, not multiply"
+    );
+    assert_eq!(leaked_tmp(&store), Vec::<String>::new());
+    let _ = std::fs::remove_dir_all(&base);
+}

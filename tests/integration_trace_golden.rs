@@ -50,7 +50,9 @@ fn serial() -> std::sync::MutexGuard<'static, ()> {
 /// Normalization rules:
 /// * spans not tied to a task are dropped (`BlockProvision`, `NodeLost` —
 ///   whether elastic scaling fires mid-run is timing-dependent), except the
-///   `WorkflowRun` root whose name is the fixture file;
+///   `WorkflowRun` root whose name is the fixture file, and stage spans,
+///   which fire exactly once per task execution but may lose the lineage
+///   race (a task body can start before the submitter records its id);
 /// * names are kept only for spans labelled by task/step (deterministic);
 ///   transport spans are labelled by node name, which varies;
 /// * siblings sort by their rendered subtree, so arrival order is erased.
@@ -59,7 +61,11 @@ fn render_shape(spans: &[SpanRecord]) -> String {
     let ids: std::collections::HashSet<u64> = spans.iter().map(|s| s.id).collect();
     let mut roots: Vec<&SpanRecord> = Vec::new();
     for s in spans {
-        if s.lineage == 0 && s.kind != SpanKind::WorkflowRun {
+        let keep_untracked = matches!(
+            s.kind,
+            SpanKind::WorkflowRun | SpanKind::StageIn | SpanKind::StageOut
+        );
+        if s.lineage == 0 && !keep_untracked {
             continue;
         }
         if s.parent != 0 && ids.contains(&s.parent) {
