@@ -19,12 +19,26 @@ if [ "$test_elapsed" -gt "$TEST_BUDGET_SECS" ]; then
 fi
 
 cargo fmt --check
-cargo clippy --all-targets -- -D warnings
+cargo clippy --workspace --all-targets -- -D warnings
 
 # Static analysis gate: every shipped fixture and config must be
 # diagnostic-free, warnings included. (fixtures/broken/ is the analyzer's
 # own negative corpus and is deliberately not globbed here.)
 cargo run --release -p cwl --bin cwl-check -- --strict -q fixtures/*.cwl configs/
+
+# Run-config lint gate: every shipped config must type-check against the
+# parsl-lint schema, warnings included.
+cargo run --release -p cwl_parsl --bin parsl-lint -- --strict -q configs/
+
+# The analyzer must still CATCH what it exists to catch: a clean exit on
+# the negative corpus would mean the effect/feasibility passes regressed.
+for bad in effect_collision unschedulable; do
+    if cargo run --release -p cwl --bin cwl-check -- --strict -q \
+        "fixtures/broken/$bad.cwl" >/dev/null 2>&1; then
+        echo "error: cwl-check --strict passed fixtures/broken/$bad.cwl" >&2
+        exit 1
+    fi
+done
 
 # Benches must at least compile.
 cargo bench --no-run

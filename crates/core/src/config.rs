@@ -126,8 +126,38 @@ impl CheckpointSettings {
 }
 
 /// Load a configuration from a YAML file.
+///
+/// The file is first run through the `parsl-lint` pass ([`crate::lint`]),
+/// honouring the config's own `check:` block: with `pre_run: true` (the
+/// default) lint *errors* (unknown keys, bad values/combos, unreachable
+/// staging dirs) fail the load; with `strict: true` warnings do too.
+/// [`load_config_value`] stays gate-free for programmatic construction.
 pub fn load_config_file(path: impl AsRef<Path>) -> Result<RunnerConfig, String> {
-    let v = yamlite::parse_file(path.as_ref()).map_err(|e| e.to_string())?;
+    let path = path.as_ref();
+    let (v, spans) = yamlite::parse_file_spanned(path).map_err(|e| e.to_string())?;
+    let check = v.get("check").cloned().unwrap_or(Value::Null);
+    let pre_run = check
+        .get("pre_run")
+        .and_then(Value::as_bool)
+        .unwrap_or(true);
+    let strict = check
+        .get("strict")
+        .and_then(Value::as_bool)
+        .unwrap_or(false);
+    if pre_run {
+        let mut report = cwl::analyze::Report::new();
+        report.file = Some(path.display().to_string());
+        crate::lint::lint_value(&v, &spans, &mut report);
+        report.sort();
+        if !report.is_clean(strict) {
+            return Err(format!(
+                "config lint found {} error(s), {} warning(s):\n{}",
+                report.error_count(),
+                report.warning_count(),
+                report.render_text().trim_end()
+            ));
+        }
+    }
     load_config_value(&v)
 }
 
@@ -210,6 +240,9 @@ fn parse_staging(v: &Value) -> Result<StagingSettings, String> {
     if let Some(pool) = block.get("pool").and_then(Value::as_int) {
         settings.pool = pool.max(1) as usize;
     }
+    // A pinned dir that can never be created should fail at load, not
+    // after tasks have started.
+    settings.validate()?;
     Ok(settings)
 }
 

@@ -23,6 +23,7 @@
 pub mod checkpoint;
 pub mod config;
 pub mod cwlapp;
+pub mod lint;
 pub mod runner;
 pub mod wfrunner;
 

@@ -111,8 +111,13 @@ pub fn run_tool_cli_resumable(
 ) -> Result<CliOutcome, String> {
     // The cwl-check pre-run gate: refuse to start a run the static
     // analyzer can already prove broken (configurable via `check:`).
+    // The configured executor's capacity feeds the feasibility pass, so a
+    // ResourceRequirement no node can satisfy fails here, not mid-run.
     if config.pre_run_check {
-        let report = cwl::analyze::analyze_file(cwl_path);
+        let opts = cwl::analyze::AnalyzeOptions {
+            capacity: Some(crate::lint::executor_capacity(&config.parsl)),
+        };
+        let report = cwl::analyze::analyze_file_opts(cwl_path, &opts);
         if !report.is_clean(config.strict_check) {
             return Err(format!(
                 "static analysis found {} error(s), {} warning(s):\n{}",

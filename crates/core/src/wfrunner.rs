@@ -470,18 +470,16 @@ impl ParslWorkflowRunner {
                     .map_err(|e| TaskError::failed(format!("step {step_id:?}: {e}")))?;
                     Ok(Value::Map(run.outputs))
                 });
-                let fut = self.dfk.submit(task_name, parsl_args, body);
+                // `submit_bound` joins the Parsl task id to the CWL step id
+                // in both the lineage table and the checkpoint journal
+                // before the task can launch — binding after submit races a
+                // fast worker journaling a step-less record. Scatter
+                // instances share the step id; the task label keeps the
+                // per-instance index.
+                let fut = self
+                    .dfk
+                    .submit_bound(task_name, Some(&step.id), parsl_args, body);
                 lineage.store(fut.id().0, Ordering::Release);
-                // Join the Parsl task id to the CWL step id in the lineage
-                // table (scatter instances share the step id; the task label
-                // keeps the per-instance index).
-                let obs = self.dfk.observability();
-                if obs.is_enabled() {
-                    obs.lineage_bind_step(fut.id().0, &step.id);
-                }
-                // Same join for the checkpoint journal, so a resume can
-                // report which CWL steps it skipped (no-op without one).
-                self.dfk.bind_step(fut.id(), &step.id);
                 Ok(fut)
             }
         }

@@ -36,6 +36,24 @@
 //! | W104 | unrecognized cwlVersion |
 //! | W105 | requirement recognized but ignored by this runner |
 //! | W106 | unknown requirement |
+//!
+//! cwl-check v2 adds the runtime-plane codes. `E03x`/`W11x` come from the
+//! effect and feasibility passes over CWL documents; `E04x`/`W12x` come
+//! from the `parsl-lint` run-config analyzer (which reuses this framework):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | E030 | write-write collision between steps with no ordering edge |
+//! | E031 | scatter shards write a shared path that does not vary per shard |
+//! | E032 | ResourceRequirement statically unschedulable |
+//! | W110 | writable InitialWorkDirRequirement entry may mutate a staged input |
+//! | W111 | ResourceRequirement near executor capacity |
+//! | E041 | unknown config key |
+//! | E042 | invalid config value |
+//! | E043 | invalid config combination |
+//! | E044 | staging dir not writable |
+//! | W120 | config setting has no effect |
+//! | W121 | two configs share one checkpoint dir |
 
 use crate::validate::Severity;
 use yamlite::Position;
@@ -67,12 +85,23 @@ pub mod codes {
     pub const UNWIRED_INPUT: &str = "E026";
     pub const WHEN_NEEDS_V12: &str = "E027";
     pub const UNKNOWN_STEP_INPUT: &str = "E028";
+    pub const EFFECT_COLLISION: &str = "E030";
+    pub const SCATTER_EFFECT: &str = "E031";
+    pub const UNSCHEDULABLE: &str = "E032";
+    pub const CFG_UNKNOWN_KEY: &str = "E041";
+    pub const CFG_VALUE: &str = "E042";
+    pub const CFG_COMBO: &str = "E043";
+    pub const CFG_STAGING_DIR: &str = "E044";
     pub const DEAD_STEP: &str = "W101";
     pub const UNUSED_OUTPUT: &str = "W102";
     pub const OPTIONAL_COERCION: &str = "W103";
     pub const ODD_VERSION: &str = "W104";
     pub const IGNORED_REQ: &str = "W105";
     pub const UNKNOWN_REQ: &str = "W106";
+    pub const WRITABLE_INPUT: &str = "W110";
+    pub const NEAR_CAPACITY: &str = "W111";
+    pub const CFG_NO_EFFECT: &str = "W120";
+    pub const CFG_SHARED_CKPT: &str = "W121";
 }
 
 /// One analysis finding with a stable code and a best-effort source span.
@@ -86,6 +115,10 @@ pub struct Diag {
     /// 1-based line/column in the source file, when span data is available.
     pub position: Option<Position>,
     pub message: String,
+    /// File the finding is in, when it differs from the report's file —
+    /// set for findings surfaced from a *referenced* tool file, so the
+    /// rendering points at the tool source, not the referencing workflow.
+    pub file: Option<String>,
 }
 
 impl std::fmt::Display for Diag {
@@ -162,7 +195,7 @@ impl Report {
         let mut out = String::new();
         let file = self.file.as_deref().unwrap_or("<input>");
         for d in &self.diags {
-            out.push_str(file);
+            out.push_str(d.file.as_deref().unwrap_or(file));
             out.push(':');
             out.push_str(&d.to_string());
             out.push('\n');
@@ -196,6 +229,10 @@ impl Report {
             match d.position {
                 Some(p) => out.push_str(&format!(",\"line\":{},\"column\":{}", p.line, p.col)),
                 None => out.push_str(",\"line\":null,\"column\":null"),
+            }
+            if let Some(f) = &d.file {
+                out.push_str(",\"file\":");
+                json_string(f, &mut out);
             }
             out.push_str(",\"path\":");
             json_string(&d.path, &mut out);
@@ -239,6 +276,7 @@ mod tests {
                     path: "steps.s.in.x".into(),
                     position: Some(Position::new(7, 5)),
                     message: "source type string does not match sink type File".into(),
+                    file: None,
                 },
                 Diag {
                     code: codes::UNUSED_OUTPUT,
@@ -246,6 +284,7 @@ mod tests {
                     path: "steps.s".into(),
                     position: None,
                     message: "output \"o\" is never consumed".into(),
+                    file: None,
                 },
             ],
         }

@@ -22,14 +22,28 @@
 
 pub mod dataflow;
 pub mod diag;
+pub mod effects;
 pub mod exprlint;
+pub mod plan;
 
 pub use diag::{codes, Diag, Report};
+pub use plan::ExecutorCapacity;
 
 use crate::loader::{load_document, CwlDocument};
 use crate::validate::Severity;
+use crate::workflow::{RunRef, Workflow};
+use std::collections::BTreeMap;
 use std::path::Path;
 use yamlite::{parse_str_spanned, SpanIndex, Value};
+
+/// Options for the cwl-check v2 passes. The default runs every pass that
+/// needs no external context; adding an [`ExecutorCapacity`] additionally
+/// checks `ResourceRequirement`s against the configured executor.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Executor capacity for the feasibility pass (from a run config).
+    pub capacity: Option<ExecutorCapacity>,
+}
 
 /// Diagnostic emission context shared by the checkers: resolves dotted
 /// paths to source positions through the span index.
@@ -47,6 +61,7 @@ impl Sink<'_> {
             path,
             position,
             message,
+            file: None,
         });
     }
 
@@ -72,6 +87,11 @@ impl Sink<'_> {
 /// Analyze a document from source text. `file`, when given, names the
 /// report and provides the base directory for resolving step `run` paths.
 pub fn analyze_str(text: &str, file: Option<&Path>) -> Report {
+    analyze_str_opts(text, file, &AnalyzeOptions::default())
+}
+
+/// [`analyze_str`] with explicit [`AnalyzeOptions`].
+pub fn analyze_str_opts(text: &str, file: Option<&Path>, opts: &AnalyzeOptions) -> Report {
     let mut report = Report::new();
     report.file = file.map(|p| p.display().to_string());
     match parse_str_spanned(text) {
@@ -81,10 +101,11 @@ pub fn analyze_str(text: &str, file: Option<&Path>) -> Report {
             path: String::new(),
             position: Some(e.position),
             message: e.message,
+            file: None,
         }),
         Ok((doc, spans)) => {
             let base_dir = file.and_then(Path::parent);
-            analyze_value(&doc, &spans, base_dir, &mut report);
+            analyze_value_opts(&doc, &spans, base_dir, opts, &mut report);
         }
     }
     report.sort();
@@ -93,9 +114,14 @@ pub fn analyze_str(text: &str, file: Option<&Path>) -> Report {
 
 /// Analyze a CWL file on disk.
 pub fn analyze_file(path: impl AsRef<Path>) -> Report {
+    analyze_file_opts(path, &AnalyzeOptions::default())
+}
+
+/// [`analyze_file`] with explicit [`AnalyzeOptions`].
+pub fn analyze_file_opts(path: impl AsRef<Path>, opts: &AnalyzeOptions) -> Report {
     let path = path.as_ref();
     match std::fs::read_to_string(path) {
-        Ok(text) => analyze_str(&text, Some(path)),
+        Ok(text) => analyze_str_opts(&text, Some(path), opts),
         Err(e) => {
             let mut report = Report::new();
             report.file = Some(path.display().to_string());
@@ -105,6 +131,7 @@ pub fn analyze_file(path: impl AsRef<Path>) -> Report {
                 path: String::new(),
                 position: None,
                 message: format!("cannot read {}: {e}", path.display()),
+                file: None,
             });
             report
         }
@@ -115,25 +142,109 @@ pub fn analyze_file(path: impl AsRef<Path>) -> Report {
 /// Pass an empty [`SpanIndex`] when no span data is available — positions
 /// are then omitted from the diagnostics.
 pub fn analyze_value(doc: &Value, spans: &SpanIndex, base_dir: Option<&Path>, report: &mut Report) {
-    let mut sink = Sink { spans, report };
-    match doc.get("cwlVersion").and_then(Value::as_str) {
-        None => sink.error(codes::CWL_MODEL, "cwlVersion", "missing cwlVersion"),
-        Some(v) if !matches!(v, "v1.0" | "v1.1" | "v1.2") => sink.warning(
-            codes::ODD_VERSION,
-            "cwlVersion",
-            format!("unrecognized cwlVersion {v:?} (treating as v1.2)"),
-        ),
-        _ => {}
-    }
-    match load_document(doc) {
-        Err(e) => sink.error(codes::CWL_MODEL, "", e),
-        Ok(CwlDocument::Tool(tool)) => {
-            dataflow::check_tool(&tool, doc, &mut sink);
-            exprlint::lint_tool(&tool, doc, &mut sink);
+    analyze_value_opts(doc, spans, base_dir, &AnalyzeOptions::default(), report)
+}
+
+/// [`analyze_value`] with explicit [`AnalyzeOptions`].
+pub fn analyze_value_opts(
+    doc: &Value,
+    spans: &SpanIndex,
+    base_dir: Option<&Path>,
+    opts: &AnalyzeOptions,
+    report: &mut Report,
+) {
+    let loaded = load_document(doc);
+    {
+        let mut sink = Sink { spans, report };
+        match doc.get("cwlVersion").and_then(Value::as_str) {
+            None => sink.error(codes::CWL_MODEL, "cwlVersion", "missing cwlVersion"),
+            Some(v) if !matches!(v, "v1.0" | "v1.1" | "v1.2") => sink.warning(
+                codes::ODD_VERSION,
+                "cwlVersion",
+                format!("unrecognized cwlVersion {v:?} (treating as v1.2)"),
+            ),
+            _ => {}
         }
-        Ok(CwlDocument::Workflow(wf)) => {
-            dataflow::check_workflow(&wf, doc, base_dir, &mut sink);
-            exprlint::lint_workflow(&wf, doc, &mut sink);
+        match &loaded {
+            Err(e) => sink.error(codes::CWL_MODEL, "", e.clone()),
+            Ok(CwlDocument::Tool(tool)) => {
+                dataflow::check_tool(tool, doc, &mut sink);
+                exprlint::lint_tool(tool, doc, &mut sink);
+                effects::check_tool(tool, &mut sink);
+                plan::check_tool(tool, opts.capacity.as_ref(), &mut sink);
+            }
+            Ok(CwlDocument::Workflow(wf)) => {
+                dataflow::check_workflow(wf, doc, base_dir, &mut sink);
+                exprlint::lint_workflow(wf, doc, &mut sink);
+                effects::check_workflow(wf, doc, base_dir, &mut sink);
+                plan::check_workflow(wf, doc, base_dir, opts.capacity.as_ref(), &mut sink);
+            }
+        }
+    }
+    // File-local findings inside *referenced* tool files, deduped per file.
+    if let (Ok(CwlDocument::Workflow(wf)), Some(dir)) = (&loaded, base_dir) {
+        check_referenced_tools(wf, dir, report);
+    }
+}
+
+/// File-local error codes a referenced tool file surfaces into the
+/// referencing workflow's report (once per file, not once per step).
+const REFERENCED_FILE_CODES: &[&str] = &[
+    codes::NO_COMMAND,
+    codes::DUPLICATE_ID,
+    codes::VALIDATE_NEEDS_PY,
+    codes::JS_SYNTAX,
+    codes::PY_SYNTAX,
+    codes::UNBOUND_VAR,
+    codes::BODY_NEEDS_REQ,
+];
+
+/// Analyze each tool file referenced by `run:` paths exactly once, no
+/// matter how many steps reference it, and surface its file-local errors
+/// annotated with the referencing steps. Referenced *workflows* are not
+/// descended into (they get their own report when checked themselves, and
+/// skipping them keeps reference cycles harmless).
+fn check_referenced_tools(wf: &Workflow, base_dir: &Path, report: &mut Report) {
+    // Group referencing steps per resolved path; BTreeMap keeps the
+    // output order stable across runs.
+    let mut refs: BTreeMap<std::path::PathBuf, Vec<&str>> = BTreeMap::new();
+    for step in &wf.steps {
+        if let RunRef::Path(p) = &step.run {
+            let path = if Path::new(p).is_absolute() {
+                std::path::PathBuf::from(p)
+            } else {
+                base_dir.join(p)
+            };
+            let path = path.canonicalize().unwrap_or(path);
+            refs.entry(path).or_default().push(&step.id);
+        }
+    }
+    for (path, steps) in refs {
+        let Ok(text) = std::fs::read_to_string(&path) else {
+            continue; // unloadable targets are already E003
+        };
+        let is_tool = yamlite::parse_str(&text)
+            .ok()
+            .and_then(|d| d.get("class").and_then(Value::as_str).map(str::to_string))
+            == Some("CommandLineTool".to_string());
+        if !is_tool {
+            continue;
+        }
+        let sub = analyze_str(&text, Some(&path));
+        let note = format!(
+            " (referenced from {} step{}: {})",
+            steps.len(),
+            if steps.len() == 1 { "" } else { "s" },
+            steps.join(", ")
+        );
+        for d in sub.diags {
+            if REFERENCED_FILE_CODES.contains(&d.code) {
+                report.diags.push(Diag {
+                    message: format!("{}{note}", d.message),
+                    file: Some(path.display().to_string()),
+                    ..d
+                });
+            }
         }
     }
 }

@@ -1,0 +1,578 @@
+//! Feasibility analysis: `ResourceRequirement` propagation through nested
+//! workflows × scatter width, checked against the configured executor
+//! capacity, plus a critical-path lower bound on the makespan.
+//!
+//! Two kinds of findings:
+//!
+//! * **E032 (unschedulable)** — a task whose declared resources can never
+//!   be placed: `coresMin > coresMax` (self-contradictory, no capacity
+//!   needed), or `coresMin`/`ramMin` exceeding what any single node of the
+//!   configured executor offers;
+//! * **W111 (near capacity)** — a task demanding ≥ 75% of a node: it
+//!   schedules, but nothing else co-schedules with it, so the effective
+//!   parallelism collapses.
+//!
+//! The [`PlanSummary`] (printed by `cwl-check --plan`) reports task
+//! counts, the critical-path length, and the resulting makespan lower
+//! bound `max(critical path, ceil(work / slots))` in task units — the
+//! classic greedy-scheduling bound (work law / span law).
+
+use super::{codes, entry_path, join, Sink};
+use crate::loader::{resolve_run, CwlDocument};
+use crate::requirements::ResourceRequirement;
+use crate::tool::CommandLineTool;
+use crate::workflow::{Step, Workflow};
+use std::collections::HashMap;
+use std::path::Path;
+use yamlite::Value;
+
+/// Static capacity of a configured executor, as the feasibility pass sees
+/// it. Built from a run config ([`Self::from_run_config`]) or from a live
+/// `parsl::Config` (see `cwl_parsl::config::executor_capacity`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutorCapacity {
+    /// Human label for messages (`"htex (3 nodes × 4 workers)"`).
+    pub label: String,
+    /// Total concurrent task slots across the executor.
+    pub slots: usize,
+    /// Cores a single node offers, when known.
+    pub cores_per_node: Option<i64>,
+    /// RAM (MiB) a single node offers, when known.
+    pub ram_per_node_mb: Option<i64>,
+}
+
+impl ExecutorCapacity {
+    /// Parse executor capacity out of a parsl-cwl run config value,
+    /// mirroring `core::config::load_config_value`'s executor/provider
+    /// interpretation (including the simulated cluster's 126 GiB nodes).
+    pub fn from_run_config(v: &Value) -> Self {
+        let executor = v.get("executor").cloned().unwrap_or(Value::Null);
+        let kind = executor
+            .get("kind")
+            .and_then(Value::as_str)
+            .unwrap_or("thread-pool");
+        let host_cores = std::thread::available_parallelism()
+            .map(|n| n.get() as i64)
+            .unwrap_or(4);
+        match kind {
+            "htex" | "high-throughput" => {
+                let nodes = executor
+                    .get("nodes")
+                    .and_then(Value::as_int)
+                    .unwrap_or(1)
+                    .max(1);
+                let provider = v.get("provider").cloned().unwrap_or(Value::Null);
+                let (cores_per_node, ram_per_node_mb) = match provider
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .unwrap_or("local")
+                {
+                    "slurm" => {
+                        let cluster = provider.get("cluster").cloned().unwrap_or(Value::Null);
+                        let cores = cluster
+                            .get("cores_per_node")
+                            .and_then(Value::as_int)
+                            .unwrap_or(host_cores)
+                            .max(1);
+                        // The simulated cluster's homogeneous nodes carry
+                        // 126 GiB each (core::config hardcodes this).
+                        (Some(cores), Some(126 * 1024))
+                    }
+                    _ => {
+                        let cores = provider
+                            .get("cores_per_node")
+                            .and_then(Value::as_int)
+                            .unwrap_or(host_cores)
+                            .max(1);
+                        (Some(cores), None)
+                    }
+                };
+                let workers_per_node = executor
+                    .get("workers_per_node")
+                    .and_then(Value::as_int)
+                    .unwrap_or(0)
+                    .max(0);
+                let wpn = if workers_per_node == 0 {
+                    cores_per_node.unwrap_or(1)
+                } else {
+                    workers_per_node
+                };
+                ExecutorCapacity {
+                    label: format!("htex ({nodes} node(s) x {wpn} worker(s))"),
+                    slots: (nodes * wpn).max(1) as usize,
+                    cores_per_node,
+                    ram_per_node_mb,
+                }
+            }
+            // Anything else is treated as the thread-pool default; unknown
+            // kinds are parsl-lint's E042, not this pass's concern.
+            _ => {
+                let workers = executor
+                    .get("workers")
+                    .and_then(Value::as_int)
+                    .unwrap_or(host_cores)
+                    .max(1);
+                ExecutorCapacity {
+                    label: format!("thread-pool ({workers} worker(s))"),
+                    slots: workers as usize,
+                    // The thread pool shares the host; per-task core/RAM
+                    // reservations are not enforced, so min-demands are
+                    // only checked against the host's core count.
+                    cores_per_node: Some(host_cores),
+                    ram_per_node_mb: None,
+                }
+            }
+        }
+    }
+}
+
+/// Check one resource declaration. `where_` anchors the diagnostic; `who`
+/// names the task in messages.
+fn check_resources(
+    res: &ResourceRequirement,
+    capacity: Option<&ExecutorCapacity>,
+    who: &str,
+    where_: &str,
+    out: &mut Sink,
+) {
+    if let (Some(min), Some(max)) = (res.cores_min, res.cores_max) {
+        if min > max {
+            out.error(
+                codes::UNSCHEDULABLE,
+                where_,
+                format!("{who}: coresMin {min} exceeds coresMax {max}; no schedule satisfies it"),
+            );
+            return;
+        }
+    }
+    if let (Some(min), Some(max)) = (res.ram_min, res.ram_max) {
+        if min > max {
+            out.error(
+                codes::UNSCHEDULABLE,
+                where_,
+                format!("{who}: ramMin {min} exceeds ramMax {max}; no schedule satisfies it"),
+            );
+            return;
+        }
+    }
+    let Some(cap) = capacity else { return };
+    let mut blocked = false;
+    if let (Some(min), Some(node)) = (res.cores_min, cap.cores_per_node) {
+        if min > node {
+            blocked = true;
+            out.error(
+                codes::UNSCHEDULABLE,
+                where_,
+                format!(
+                    "{who}: coresMin {min} exceeds the {node} cores a node of \
+                     {} offers; statically unschedulable",
+                    cap.label
+                ),
+            );
+        }
+    }
+    if let (Some(min), Some(node)) = (res.ram_min, cap.ram_per_node_mb) {
+        if min > node {
+            blocked = true;
+            out.error(
+                codes::UNSCHEDULABLE,
+                where_,
+                format!(
+                    "{who}: ramMin {min} MiB exceeds the {node} MiB a node of \
+                     {} offers; statically unschedulable",
+                    cap.label
+                ),
+            );
+        }
+    }
+    if blocked {
+        return;
+    }
+    // Near-capacity: ≥ 75% of a node's cores or RAM.
+    if let (Some(min), Some(node)) = (res.cores_min, cap.cores_per_node) {
+        if min * 4 >= node * 3 {
+            out.warning(
+                codes::NEAR_CAPACITY,
+                where_,
+                format!(
+                    "{who}: coresMin {min} is >= 75% of a {node}-core node of {}; \
+                     nothing co-schedules with it",
+                    cap.label
+                ),
+            );
+        }
+    }
+    if let (Some(min), Some(node)) = (res.ram_min, cap.ram_per_node_mb) {
+        if min * 4 >= node * 3 {
+            out.warning(
+                codes::NEAR_CAPACITY,
+                where_,
+                format!(
+                    "{who}: ramMin {min} MiB is >= 75% of a {node} MiB node of {}; \
+                     nothing co-schedules with it",
+                    cap.label
+                ),
+            );
+        }
+    }
+}
+
+/// Feasibility check for a standalone tool document.
+pub(crate) fn check_tool(
+    tool: &CommandLineTool,
+    capacity: Option<&ExecutorCapacity>,
+    out: &mut Sink,
+) {
+    if let Some(res) = &tool.requirements.resources {
+        check_resources(res, capacity, "tool", "requirements", out);
+    }
+}
+
+/// Literal scatter width of a step: the length of a literal array default
+/// bound to the scattered input (step default, or the sourced workflow
+/// input's default). `None` = statically unknown.
+fn scatter_width(wf: &Workflow, step: &Step) -> Option<usize> {
+    let target = step.scatter.first()?;
+    let si = step.inputs.iter().find(|i| &i.id == target)?;
+    if let Some(Value::Seq(items)) = &si.default {
+        return Some(items.len());
+    }
+    let src = si.sources.first()?;
+    if src.contains('/') {
+        return None; // fed by another step: width unknown statically
+    }
+    let wi = wf.inputs.iter().find(|i| &i.id == src)?;
+    match &wi.default {
+        Some(Value::Seq(items)) => Some(items.len()),
+        _ => None,
+    }
+}
+
+/// Per-workflow aggregate the recursion returns: task count and
+/// critical-path length, both in task units.
+#[derive(Debug, Clone, Copy, Default)]
+struct SubPlan {
+    tasks: usize,
+    critical_path: usize,
+    width_unknown: bool,
+}
+
+/// Walk a workflow, checking each step's effective resources and summing
+/// task counts. `depth` caps nested-workflow recursion (cycles between
+/// files would otherwise hang the analyzer).
+fn walk_workflow(
+    wf: &Workflow,
+    base_dir: Option<&Path>,
+    capacity: Option<&ExecutorCapacity>,
+    inherited: Option<&ResourceRequirement>,
+    depth: usize,
+    mut diag: Option<(&Value, &mut Sink)>,
+) -> SubPlan {
+    let outer = wf.requirements.resources.as_ref().or(inherited);
+    let mut per_step: HashMap<&str, SubPlan> = HashMap::new();
+    for step in &wf.steps {
+        let width = if step.scatter.is_empty() {
+            Some(1)
+        } else {
+            scatter_width(wf, step)
+        };
+        let resolved = match (base_dir, &step.run) {
+            (Some(dir), _) => resolve_run(&step.run, dir).ok(),
+            (None, crate::workflow::RunRef::Inline(_)) => {
+                resolve_run(&step.run, Path::new(".")).ok()
+            }
+            (None, _) => None,
+        };
+        let inner = match &resolved {
+            Some(CwlDocument::Tool(tool)) => {
+                let res = tool.requirements.resources.as_ref().or(outer);
+                if let Some(res) = res {
+                    if let Some((doc, out)) = diag.as_mut() {
+                        let spath = entry_path(doc, "", "steps", &step.id);
+                        // Inline tools carry their requirements in this
+                        // document, so the span can point straight at them;
+                        // path-referenced tools anchor on the `run:` line.
+                        let anchor = match &step.run {
+                            crate::workflow::RunRef::Inline(_) => {
+                                join(&join(&spath, "run"), "requirements")
+                            }
+                            _ => join(&spath, "run"),
+                        };
+                        check_resources(
+                            res,
+                            capacity,
+                            &format!("step {:?}", step.id),
+                            &anchor,
+                            out,
+                        );
+                    }
+                }
+                SubPlan {
+                    tasks: 1,
+                    critical_path: 1,
+                    width_unknown: false,
+                }
+            }
+            Some(CwlDocument::Workflow(sub)) if depth > 0 => {
+                // Nested diagnostics stay anchored on the outer step: the
+                // sub-file has its own spans only when checked itself.
+                let sub_plan = walk_workflow(sub, base_dir, capacity, outer, depth - 1, None);
+                if let Some((doc, out)) = diag.as_mut() {
+                    nested_resource_errors(
+                        sub,
+                        base_dir,
+                        capacity,
+                        outer,
+                        depth - 1,
+                        doc,
+                        step,
+                        out,
+                    );
+                }
+                sub_plan
+            }
+            _ => SubPlan {
+                tasks: 1,
+                critical_path: 1,
+                width_unknown: false,
+            },
+        };
+        let w = width.unwrap_or(1);
+        per_step.insert(
+            step.id.as_str(),
+            SubPlan {
+                tasks: inner.tasks * w.max(1),
+                // Shards run in parallel: scatter widens work, not the path.
+                critical_path: inner.critical_path,
+                width_unknown: width.is_none() || inner.width_unknown,
+            },
+        );
+    }
+
+    // Critical path: longest chain through the step DAG, weighting each
+    // step by its inner critical path. topo_order fails only on cycles
+    // (E017 already reported); fall back to unordered sum-free estimate.
+    let mut longest: HashMap<&str, usize> = HashMap::new();
+    let order = wf
+        .topo_order()
+        .unwrap_or_else(|_| (0..wf.steps.len()).collect());
+    let mut cp = 0usize;
+    for i in order {
+        let step = &wf.steps[i];
+        let weight = per_step
+            .get(step.id.as_str())
+            .map(|p| p.critical_path)
+            .unwrap_or(1);
+        let from_upstream = step
+            .upstream_steps()
+            .iter()
+            .filter_map(|u| longest.get(u))
+            .copied()
+            .max()
+            .unwrap_or(0);
+        let total = from_upstream + weight;
+        longest.insert(step.id.as_str(), total);
+        cp = cp.max(total);
+    }
+
+    SubPlan {
+        tasks: per_step.values().map(|p| p.tasks).sum(),
+        critical_path: cp,
+        width_unknown: per_step.values().any(|p| p.width_unknown),
+    }
+}
+
+/// Surface E032/W111 for tools inside a *nested* workflow, anchored on the
+/// outer step that runs it.
+#[allow(clippy::too_many_arguments)]
+fn nested_resource_errors(
+    sub: &Workflow,
+    base_dir: Option<&Path>,
+    capacity: Option<&ExecutorCapacity>,
+    inherited: Option<&ResourceRequirement>,
+    depth: usize,
+    doc: &Value,
+    outer_step: &Step,
+    out: &mut Sink,
+) {
+    let outer = sub.requirements.resources.as_ref().or(inherited);
+    for step in &sub.steps {
+        let resolved = match (base_dir, &step.run) {
+            (Some(dir), _) => resolve_run(&step.run, dir).ok(),
+            (None, crate::workflow::RunRef::Inline(_)) => {
+                resolve_run(&step.run, Path::new(".")).ok()
+            }
+            (None, _) => None,
+        };
+        match &resolved {
+            Some(CwlDocument::Tool(tool)) => {
+                if let Some(res) = tool.requirements.resources.as_ref().or(outer) {
+                    let spath = entry_path(doc, "", "steps", &outer_step.id);
+                    check_resources(
+                        res,
+                        capacity,
+                        &format!("nested step {:?} (via step {:?})", step.id, outer_step.id),
+                        &join(&spath, "run"),
+                        out,
+                    );
+                }
+            }
+            Some(CwlDocument::Workflow(deeper)) if depth > 0 => {
+                nested_resource_errors(
+                    deeper,
+                    base_dir,
+                    capacity,
+                    outer,
+                    depth - 1,
+                    doc,
+                    outer_step,
+                    out,
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Workflow-level feasibility diagnostics (E032 / W111).
+pub(crate) fn check_workflow(
+    wf: &Workflow,
+    doc: &Value,
+    base_dir: Option<&Path>,
+    capacity: Option<&ExecutorCapacity>,
+    out: &mut Sink,
+) {
+    walk_workflow(wf, base_dir, capacity, None, 8, Some((doc, out)));
+}
+
+/// The `cwl-check --plan` summary: task counts, critical path, and the
+/// makespan lower bound in task units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanSummary {
+    /// Total task instances (scatter widths × nested tasks).
+    pub tasks: usize,
+    /// Longest dependency chain, in task units.
+    pub critical_path: usize,
+    /// Executor slots the bound was computed against, when capacity known.
+    pub slots: Option<usize>,
+    /// Some scatter width could not be determined statically (counted as
+    /// one shard; the real plan is at least this large).
+    pub width_unknown: bool,
+}
+
+impl PlanSummary {
+    /// Greedy-scheduling lower bound: `max(span, ceil(work / slots))`.
+    pub fn makespan_lower_bound(&self) -> usize {
+        let work_bound = match self.slots {
+            Some(s) if s > 0 => self.tasks.div_ceil(s),
+            _ => 0,
+        };
+        self.critical_path.max(work_bound)
+    }
+
+    /// One-line human rendering (used by `cwl-check --plan`).
+    pub fn render(&self) -> String {
+        let tasks = if self.width_unknown {
+            format!(">= {}", self.tasks)
+        } else {
+            format!("{}", self.tasks)
+        };
+        match self.slots {
+            Some(s) => format!(
+                "plan: {tasks} task(s), critical path {} — makespan >= {} task-unit(s) on {} slot(s)",
+                self.critical_path,
+                self.makespan_lower_bound(),
+                s
+            ),
+            None => format!(
+                "plan: {tasks} task(s), critical path {} — makespan >= {} task-unit(s)",
+                self.critical_path,
+                self.makespan_lower_bound()
+            ),
+        }
+    }
+}
+
+/// Compute the plan summary for a CWL file (tool or workflow).
+pub fn plan_file(path: &Path, capacity: Option<&ExecutorCapacity>) -> Result<PlanSummary, String> {
+    let doc = crate::loader::load_file(path)?;
+    let base_dir = path.parent();
+    let sub = match &doc {
+        CwlDocument::Tool(_) => SubPlan {
+            tasks: 1,
+            critical_path: 1,
+            width_unknown: false,
+        },
+        CwlDocument::Workflow(wf) => walk_workflow(wf, base_dir, capacity, None, 8, None),
+    };
+    Ok(PlanSummary {
+        tasks: sub.tasks,
+        critical_path: sub.critical_path,
+        slots: capacity.map(|c| c.slots),
+        width_unknown: sub.width_unknown,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use yamlite::parse_str;
+
+    #[test]
+    fn capacity_from_thread_pool_config() {
+        let v = parse_str("executor:\n  kind: thread-pool\n  workers: 6\n").unwrap();
+        let cap = ExecutorCapacity::from_run_config(&v);
+        assert_eq!(cap.slots, 6);
+        assert!(cap.cores_per_node.is_some());
+        assert!(cap.ram_per_node_mb.is_none());
+    }
+
+    #[test]
+    fn capacity_from_htex_slurm_config() {
+        let v = parse_str(
+            "executor:\n  kind: htex\n  nodes: 3\n  workers_per_node: 4\nprovider:\n  kind: slurm\n  cluster:\n    nodes: 3\n    cores_per_node: 8\n",
+        )
+        .unwrap();
+        let cap = ExecutorCapacity::from_run_config(&v);
+        assert_eq!(cap.slots, 12);
+        assert_eq!(cap.cores_per_node, Some(8));
+        assert_eq!(cap.ram_per_node_mb, Some(126 * 1024));
+    }
+
+    #[test]
+    fn capacity_htex_workers_default_to_cores() {
+        let v = parse_str(
+            "executor:\n  kind: htex\n  nodes: 2\nprovider:\n  kind: local\n  cores_per_node: 5\n",
+        )
+        .unwrap();
+        let cap = ExecutorCapacity::from_run_config(&v);
+        assert_eq!(cap.slots, 10);
+        assert_eq!(cap.cores_per_node, Some(5));
+    }
+
+    #[test]
+    fn makespan_bound_is_max_of_span_and_work() {
+        let p = PlanSummary {
+            tasks: 10,
+            critical_path: 2,
+            slots: Some(4),
+            width_unknown: false,
+        };
+        // work bound: ceil(10/4) = 3 > span 2.
+        assert_eq!(p.makespan_lower_bound(), 3);
+        let p = PlanSummary {
+            tasks: 4,
+            critical_path: 4,
+            slots: Some(4),
+            width_unknown: false,
+        };
+        assert_eq!(p.makespan_lower_bound(), 4);
+        let p = PlanSummary {
+            tasks: 7,
+            critical_path: 3,
+            slots: None,
+            width_unknown: false,
+        };
+        assert_eq!(p.makespan_lower_bound(), 3);
+    }
+}

@@ -1,11 +1,12 @@
 //! `cwl-check` — whole-workflow static analyzer.
 //!
-//! Runs the [`cwl::analyze`] pass (typed dataflow checking + expression
-//! linting) over CWL files and prints span-carrying diagnostics with
+//! Runs the [`cwl::analyze`] passes (typed dataflow checking, expression
+//! linting, effect analysis, and — given a run config — feasibility
+//! analysis) over CWL files and prints span-carrying diagnostics with
 //! stable codes, as compiler-style text or JSON.
 //!
 //! ```text
-//! cwl-check [--json] [--strict] [-q] <file-or-dir>...
+//! cwl-check [--json] [--strict] [-q] [--plan] [--config <yml>] <file-or-dir>...
 //! ```
 //!
 //! Directories are scanned (non-recursively) for `*.cwl` / `*.yml` /
@@ -13,26 +14,43 @@
 //! well-formedness checking only. Exit status: 0 clean, 1 findings,
 //! 2 usage error.
 
-use cwl::analyze::{analyze_file, analyze_str, Report};
+use cwl::analyze::{
+    analyze_file_opts, analyze_str_opts, plan, AnalyzeOptions, ExecutorCapacity, Report,
+};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cwl-check [--json] [--strict] [-q] <file-or-dir>...
+const USAGE: &str =
+    "usage: cwl-check [--json] [--strict] [-q] [--plan] [--config <yml>] <file-or-dir>...
 
-  --json    emit one JSON report object per file
-  --strict  treat warnings as failures
-  -q        suppress per-file OK lines";
+  --json          emit one JSON report object per file
+  --strict        treat warnings as failures
+  -q              suppress per-file OK lines
+  --plan          print a makespan lower bound per CWL file
+  --config <yml>  run config providing executor capacity for the
+                  feasibility pass (E032/W111) and --plan slot counts";
 
 fn main() -> ExitCode {
     let mut json = false;
     let mut strict = false;
     let mut quiet = false;
+    let mut plan_mode = false;
+    let mut config: Option<PathBuf> = None;
     let mut targets: Vec<PathBuf> = Vec::new();
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
             "--strict" => strict = true,
             "-q" | "--quiet" => quiet = true,
+            "--plan" => plan_mode = true,
+            "--config" => match args.next() {
+                Some(p) => config = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("cwl-check: --config requires a file argument\n{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -48,6 +66,20 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     }
+
+    let capacity = match &config {
+        None => None,
+        Some(path) => match yamlite::parse_file(path) {
+            Ok(doc) => Some(ExecutorCapacity::from_run_config(&doc)),
+            Err(e) => {
+                eprintln!("cwl-check: cannot read config {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+    };
+    let opts = AnalyzeOptions {
+        capacity: capacity.clone(),
+    };
 
     let mut files: Vec<PathBuf> = Vec::new();
     for target in &targets {
@@ -67,7 +99,7 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     for file in &files {
-        let report = check_file(file);
+        let (report, is_cwl) = check_file(file, &opts);
         failed |= !report.is_clean(strict);
         if json {
             println!("{}", report.to_json());
@@ -75,6 +107,12 @@ fn main() -> ExitCode {
             print!("{}", report.render_text());
             if report.diags.is_empty() && !quiet {
                 println!("{}: OK", file.display());
+            }
+        }
+        if plan_mode && is_cwl && !json {
+            match plan::plan_file(file, capacity.as_ref()) {
+                Ok(summary) => println!("{}: {}", file.display(), summary.render()),
+                Err(e) => eprintln!("{}: plan unavailable: {e}", file.display()),
             }
         }
     }
@@ -87,21 +125,22 @@ fn main() -> ExitCode {
 
 /// Analyze one file. Documents without a `class:` key are not CWL — runner
 /// configs ride along in the same directories — so they only get YAML
-/// well-formedness checking.
-fn check_file(path: &Path) -> Report {
+/// well-formedness checking. The second return says whether the file was
+/// treated as CWL (and so participates in `--plan`).
+fn check_file(path: &Path, opts: &AnalyzeOptions) -> (Report, bool) {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
-        Err(_) => return analyze_file(path), // produces the cannot-read E001
+        Err(_) => return (analyze_file_opts(path, opts), false), // cannot-read E001
     };
     let is_cwl = yamlite::parse_str(&text)
         .map(|doc| doc.get("class").is_some())
         .unwrap_or(true); // parse errors must be reported either way
     if is_cwl {
-        analyze_str(&text, Some(path))
+        (analyze_str_opts(&text, Some(path), opts), true)
     } else {
         let mut report = Report::new();
         report.file = Some(path.display().to_string());
-        report
+        (report, false)
     }
 }
 

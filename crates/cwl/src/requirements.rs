@@ -8,6 +8,24 @@ use yamlite::Value;
 pub struct ResourceRequirement {
     pub cores_min: Option<i64>,
     pub ram_min: Option<i64>,
+    pub cores_max: Option<i64>,
+    pub ram_max: Option<i64>,
+}
+
+/// One `InitialWorkDirRequirement` listing entry. The runner does not
+/// materialize these (the class stays on the ignored list, W105), but the
+/// effect analysis reads them: a `writable: true` entry referencing a
+/// staged input is a shared-object mutation hazard, and literal entry
+/// names join the step's static write-set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkdirEntry {
+    /// `entryname:` — the file name created in the working directory.
+    pub entryname: Option<String>,
+    /// `entry:` — the content (a literal or an expression like
+    /// `$(inputs.x)`).
+    pub entry: Option<String>,
+    /// `writable: true` requests an in-place mutable copy.
+    pub writable: bool,
 }
 
 /// Parsed requirements of a tool or workflow.
@@ -33,6 +51,9 @@ pub struct Requirements {
     pub scatter: bool,
     /// `SubworkflowFeatureRequirement`.
     pub subworkflow: bool,
+    /// `InitialWorkDirRequirement` listing entries (parsed for the effect
+    /// analysis even though the class itself is on the ignored list).
+    pub initial_workdir: Vec<WorkdirEntry>,
     /// Requirement classes we recognized but deliberately ignore
     /// (e.g. DockerRequirement — containers are out of scope; recorded so
     /// validation can warn).
@@ -104,14 +125,35 @@ impl Requirements {
                 self.resources = Some(ResourceRequirement {
                     cores_min: body.get("coresMin").and_then(Value::as_int),
                     ram_min: body.get("ramMin").and_then(Value::as_int),
+                    cores_max: body.get("coresMax").and_then(Value::as_int),
+                    ram_max: body.get("ramMax").and_then(Value::as_int),
                 });
             }
             "StepInputExpressionRequirement" => self.step_input_expression = true,
             "ScatterFeatureRequirement" => self.scatter = true,
             "SubworkflowFeatureRequirement" => self.subworkflow = true,
+            "InitialWorkDirRequirement" => {
+                // Not materialized by the runner (W105), but the listing
+                // feeds the effect analysis.
+                if let Some(Value::Seq(items)) = body.get("listing") {
+                    for item in items {
+                        self.initial_workdir.push(WorkdirEntry {
+                            entryname: item
+                                .get("entryname")
+                                .and_then(Value::as_str)
+                                .map(str::to_string),
+                            entry: item.get("entry").map(Value::to_display_string),
+                            writable: item
+                                .get("writable")
+                                .and_then(Value::as_bool)
+                                .unwrap_or(false),
+                        });
+                    }
+                }
+                self.ignored.push(class.to_string());
+            }
             "DockerRequirement"
             | "ShellCommandRequirement"
-            | "InitialWorkDirRequirement"
             | "SoftwareRequirement"
             | "NetworkAccess"
             | "WorkReuse" => {
@@ -225,6 +267,44 @@ mod tests {
         let res = r.resources.unwrap();
         assert_eq!(res.cores_min, Some(4));
         assert_eq!(res.ram_min, Some(2048));
+    }
+
+    #[test]
+    fn parse_resource_bounds() {
+        let doc = parse_str(
+            "requirements:\n  - class: ResourceRequirement\n    coresMin: 4\n    coresMax: 8\n    ramMin: 1024\n    ramMax: 2048\n",
+        )
+        .unwrap();
+        let res = Requirements::parse(&doc["requirements"])
+            .unwrap()
+            .resources
+            .unwrap();
+        assert_eq!(res.cores_max, Some(8));
+        assert_eq!(res.ram_max, Some(2048));
+    }
+
+    #[test]
+    fn parse_initial_workdir_listing() {
+        let doc = parse_str(
+            "requirements:\n  - class: InitialWorkDirRequirement\n    listing:\n      - entryname: settings.json\n        entry: '{}'\n      - entry: $(inputs.image)\n        writable: true\n",
+        )
+        .unwrap();
+        let r = Requirements::parse(&doc["requirements"]).unwrap();
+        // The class is still on the ignored list (the runner does not
+        // materialize listings) ...
+        assert_eq!(r.ignored, vec!["InitialWorkDirRequirement"]);
+        // ... but the listing is captured for the effect analysis.
+        assert_eq!(r.initial_workdir.len(), 2);
+        assert_eq!(
+            r.initial_workdir[0].entryname.as_deref(),
+            Some("settings.json")
+        );
+        assert!(!r.initial_workdir[0].writable);
+        assert_eq!(
+            r.initial_workdir[1].entry.as_deref(),
+            Some("$(inputs.image)")
+        );
+        assert!(r.initial_workdir[1].writable);
     }
 
     #[test]

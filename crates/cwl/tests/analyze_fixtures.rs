@@ -5,7 +5,9 @@
 //! loop: workflows the analyzer passes execute their expressions without
 //! syntax errors.
 
-use cwl::analyze::{analyze_file, analyze_str, codes};
+use cwl::analyze::{
+    analyze_file, analyze_file_opts, analyze_str, codes, AnalyzeOptions, ExecutorCapacity,
+};
 use cwl::loader::CwlDocument;
 use expr::{interpolate, EvalContext, JsEngine};
 use proptest::prelude::*;
@@ -38,31 +40,57 @@ fn all_fixtures_are_clean_even_under_strict() {
     );
 }
 
+/// An 8-core single-node capacity, for the capacity-dependent entries.
+fn eight_core_node() -> ExecutorCapacity {
+    ExecutorCapacity {
+        label: "test (1 node(s) x 8 worker(s))".to_string(),
+        slots: 8,
+        cores_per_node: Some(8),
+        ram_per_node_mb: Some(16 * 1024),
+    }
+}
+
 #[test]
 fn broken_corpus_produces_expected_codes() {
-    let expected = [
-        ("bad_link_type.cwl", codes::LINK_TYPE),
-        ("scatter_nonarray.cwl", codes::SCATTER_NOT_ARRAY),
-        ("scatter_not_input.cwl", codes::SCATTER_NOT_INPUT),
-        ("scatter_missing_req.cwl", codes::SCATTER_NEEDS_REQ),
-        ("cycle.cwl", codes::CYCLE),
-        ("unknown_source.cwl", codes::UNKNOWN_SOURCE),
-        ("bad_js_syntax.cwl", codes::JS_SYNTAX),
-        ("bad_py_syntax.cwl", codes::PY_SYNTAX),
-        ("unbound_variable.cwl", codes::UNBOUND_VAR),
-        ("body_missing_req.cwl", codes::BODY_NEEDS_REQ),
-        ("valuefrom_missing_req.cwl", codes::VALUE_FROM_NEEDS_REQ),
-        ("missing_required_input.cwl", codes::UNWIRED_INPUT),
-        ("bad_out.cwl", codes::BAD_STEP_OUT),
-        ("linkmerge_bad.cwl", codes::LINK_MERGE),
-        ("output_type_mismatch.cwl", codes::OUTPUT_TYPE),
-        ("yaml_error.cwl", codes::YAML_PARSE),
-        ("dead_step.cwl", codes::DEAD_STEP),
-        ("optional_coercion.cwl", codes::OPTIONAL_COERCION),
+    // (file, expected code, executor capacity handed to the analyzer).
+    let expected: [(&str, &str, Option<ExecutorCapacity>); 23] = [
+        ("bad_link_type.cwl", codes::LINK_TYPE, None),
+        ("scatter_nonarray.cwl", codes::SCATTER_NOT_ARRAY, None),
+        ("scatter_not_input.cwl", codes::SCATTER_NOT_INPUT, None),
+        ("scatter_missing_req.cwl", codes::SCATTER_NEEDS_REQ, None),
+        ("cycle.cwl", codes::CYCLE, None),
+        ("unknown_source.cwl", codes::UNKNOWN_SOURCE, None),
+        ("bad_js_syntax.cwl", codes::JS_SYNTAX, None),
+        ("bad_py_syntax.cwl", codes::PY_SYNTAX, None),
+        ("unbound_variable.cwl", codes::UNBOUND_VAR, None),
+        ("body_missing_req.cwl", codes::BODY_NEEDS_REQ, None),
+        (
+            "valuefrom_missing_req.cwl",
+            codes::VALUE_FROM_NEEDS_REQ,
+            None,
+        ),
+        ("missing_required_input.cwl", codes::UNWIRED_INPUT, None),
+        ("bad_out.cwl", codes::BAD_STEP_OUT, None),
+        ("linkmerge_bad.cwl", codes::LINK_MERGE, None),
+        ("output_type_mismatch.cwl", codes::OUTPUT_TYPE, None),
+        ("yaml_error.cwl", codes::YAML_PARSE, None),
+        ("dead_step.cwl", codes::DEAD_STEP, None),
+        ("optional_coercion.cwl", codes::OPTIONAL_COERCION, None),
+        ("effect_collision.cwl", codes::EFFECT_COLLISION, None),
+        ("scatter_effect.cwl", codes::SCATTER_EFFECT, None),
+        ("writable_input.cwl", codes::WRITABLE_INPUT, None),
+        ("unschedulable.cwl", codes::UNSCHEDULABLE, None),
+        // W111 only fires against a capacity: coresMin 6 vs an 8-core node.
+        (
+            "near_capacity.cwl",
+            codes::NEAR_CAPACITY,
+            Some(eight_core_node()),
+        ),
     ];
-    for (file, code) in expected {
+    for (file, code, capacity) in expected {
         let path = fixtures_dir().join("broken").join(file);
-        let report = analyze_file(&path);
+        let opts = AnalyzeOptions { capacity };
+        let report = analyze_file_opts(&path, &opts);
         assert!(
             report.has_code(code),
             "{file} should produce {code}:\n{}",
@@ -93,7 +121,122 @@ fn broken_corpus_is_complete() {
                 == Some("cwl")
         })
         .count();
-    assert_eq!(count, 18);
+    assert_eq!(count, 23);
+}
+
+#[test]
+fn ordered_shared_writers_are_not_flagged() {
+    // A chain a -> b where both write ../log.txt: the dataflow edge orders
+    // the writes, so the effect pass must stay silent. Remove the edge and
+    // the same pair becomes E030.
+    let chained = shared_writer_workflow(&[vec![], vec![0]]);
+    let report = analyze_str(&chained, None);
+    assert!(
+        !report.has_code(codes::EFFECT_COLLISION),
+        "ordered writers flagged:\n{}",
+        report.render_text()
+    );
+    let parallel = shared_writer_workflow(&[vec![], vec![]]);
+    let report = analyze_str(&parallel, None);
+    assert!(
+        report.has_code(codes::EFFECT_COLLISION),
+        "unordered writers missed:\n{}",
+        report.render_text()
+    );
+
+    // Diamond shape: s0 -> s1, s0 -> s2, {s1, s2} -> s3. The only
+    // unordered pair is (s1, s2).
+    let diamond = shared_writer_workflow(&[vec![], vec![0], vec![0], vec![1, 2]]);
+    let report = analyze_str(&diamond, None);
+    let collisions: Vec<_> = report
+        .diags
+        .iter()
+        .filter(|d| d.code == codes::EFFECT_COLLISION)
+        .collect();
+    assert_eq!(collisions.len(), 1, "{}", report.render_text());
+    assert!(
+        collisions[0].message.contains("\"s1\""),
+        "{}",
+        collisions[0]
+    );
+    assert!(
+        collisions[0].message.contains("\"s2\""),
+        "{}",
+        collisions[0]
+    );
+}
+
+/// Build a workflow of `deps.len()` steps, step `i` depending on the steps
+/// in `deps[i]` (indices < i), every step writing `../log.txt` via stdout.
+fn shared_writer_workflow(deps: &[Vec<usize>]) -> String {
+    let mut doc = String::from("cwlVersion: v1.2\nclass: Workflow\ninputs:\n  x: string\n");
+    doc.push_str("outputs:\n");
+    for (i, _) in deps.iter().enumerate() {
+        doc.push_str(&format!(
+            "  out{i}:\n    type: File\n    outputSource: s{i}/o\n"
+        ));
+    }
+    doc.push_str("steps:\n");
+    for (i, ds) in deps.iter().enumerate() {
+        doc.push_str(&format!(
+            "  s{i}:\n    run:\n      class: CommandLineTool\n"
+        ));
+        doc.push_str("      baseCommand: echo\n      stdout: ../log.txt\n");
+        doc.push_str("      inputs:\n        m: string\n");
+        for d in ds {
+            doc.push_str(&format!("        d{d}: File\n"));
+        }
+        doc.push_str("      outputs:\n        o:\n          type: stdout\n");
+        doc.push_str("    in:\n      m: x\n");
+        for d in ds {
+            doc.push_str(&format!("      d{d}: s{d}/o\n"));
+        }
+        doc.push_str("    out: [o]\n");
+    }
+    doc
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness *and* completeness of the effect pass on random DAGs
+    /// whose steps all write the same shared path: E030 fires iff some
+    /// pair of steps has no ordering edge between them.
+    #[test]
+    fn effect_collisions_match_reachability(
+        edges in proptest::collection::vec(proptest::collection::vec(any::<bool>(), 5), 2..6)
+    ) {
+        // deps[i] = sorted indices j < i with an edge j -> i.
+        let n = edges.len();
+        let deps: Vec<Vec<usize>> = (0..n)
+            .map(|i| (0..i).filter(|&j| edges[i][j]).collect())
+            .collect();
+
+        // Ground truth: transitive reachability over the chosen edges.
+        let mut reach = vec![vec![false; n]; n];
+        for (i, ds) in deps.iter().enumerate() {
+            for &j in ds {
+                reach[j][i] = true;
+                let ancestors: Vec<usize> = (0..n).filter(|&k| reach[k][j]).collect();
+                for k in ancestors {
+                    reach[k][i] = true;
+                }
+            }
+        }
+        let unordered_pair_exists = (0..n).any(|a| {
+            (a + 1..n).any(|b| !reach[a][b] && !reach[b][a])
+        });
+
+        let doc = shared_writer_workflow(&deps);
+        let report = analyze_str(&doc, None);
+        prop_assert_eq!(
+            report.has_code(codes::EFFECT_COLLISION),
+            unordered_pair_exists,
+            "deps {:?}:\n{}",
+            deps,
+            report.render_text()
+        );
+    }
 }
 
 #[test]

@@ -38,6 +38,49 @@ impl StagingSettings {
             .map_err(|e| format!("cannot open content store {}: {e}", root.display()))?;
         Ok(Stager::new(store, self.mode))
     }
+
+    /// Reject settings that would fail mid-run: a pinned `staging.dir`
+    /// whose deepest existing ancestor is not a writable directory (the
+    /// store `open` would error only after tasks started), and a
+    /// nonsensical pool width. Config loaders call this so bad user YAML
+    /// fails at load with a clear message.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.pool == 0 {
+            return Err("staging.pool must be at least 1".to_string());
+        }
+        let Some(dir) = &self.dir else { return Ok(()) };
+        // Walk up to the deepest ancestor that exists; the store will
+        // mkdir -p the rest, so that ancestor is what must be writable.
+        let mut probe = dir.as_path();
+        loop {
+            if probe.exists() {
+                if !probe.is_dir() {
+                    return Err(format!(
+                        "staging.dir {}: ancestor {} exists but is not a directory",
+                        dir.display(),
+                        probe.display()
+                    ));
+                }
+                let marker = probe.join(format!(".staging-probe-{}", std::process::id()));
+                return match std::fs::File::create(&marker) {
+                    Ok(_) => {
+                        let _ = std::fs::remove_file(&marker);
+                        Ok(())
+                    }
+                    Err(e) => Err(format!(
+                        "staging.dir {} is not writable ({} at {})",
+                        dir.display(),
+                        e,
+                        probe.display()
+                    )),
+                };
+            }
+            match probe.parent() {
+                Some(p) if p != probe => probe = p,
+                _ => return Ok(()), // relative path with no existing prefix
+            }
+        }
+    }
 }
 
 /// Per-task staging context threaded into [`crate::execute_tool_staged`]:
@@ -62,4 +105,41 @@ pub fn publish_stage_stats(obs: &Observability, stats: StageStats) {
     obs.counter(obs::names::STAGE_COPIES).add(stats.copies);
     obs.counter(obs::names::STAGE_BYTES_SAVED)
         .add(stats.bytes_saved);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_defaults_and_existing_dirs() {
+        assert!(StagingSettings::default().validate().is_ok());
+        let s = StagingSettings {
+            dir: Some(std::env::temp_dir().join("staging-validate-test/cas")),
+            ..Default::default()
+        };
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_zero_pool() {
+        let s = StagingSettings {
+            pool: 0,
+            ..Default::default()
+        };
+        assert!(s.validate().unwrap_err().contains("staging.pool"));
+    }
+
+    #[test]
+    fn validate_rejects_file_ancestor() {
+        // /etc/passwd exists and is not a directory, so no path below it
+        // can ever be created (this also holds when running as root,
+        // unlike permission-based probes).
+        let s = StagingSettings {
+            dir: Some(PathBuf::from("/etc/passwd/cas")),
+            ..Default::default()
+        };
+        let err = s.validate().unwrap_err();
+        assert!(err.contains("not a directory"), "{err}");
+    }
 }

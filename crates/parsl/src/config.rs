@@ -120,6 +120,27 @@ impl RetryPolicy {
     }
 }
 
+/// Static capacity of a configured executor, introspected *before* any
+/// node is provisioned — input to the pre-run feasibility analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Capacity {
+    /// Nodes the executor will hold (1 for the thread pool).
+    pub nodes: usize,
+    /// Worker slots per node.
+    pub workers_per_node: usize,
+    /// Cores a single node offers, when the provider can say statically.
+    pub cores_per_node: Option<usize>,
+    /// RAM (GiB) a single node offers, when known.
+    pub mem_gib_per_node: Option<usize>,
+}
+
+impl Capacity {
+    /// Total concurrent task slots.
+    pub fn total_slots(&self) -> usize {
+        self.nodes.max(1) * self.workers_per_node.max(1)
+    }
+}
+
 /// Kernel configuration (a small subset of Parsl's `Config`).
 pub struct Config {
     /// Executor choice.
@@ -202,6 +223,41 @@ impl Config {
     pub fn with_checkpoint(mut self, journal: Arc<ckpt::Journal>) -> Self {
         self.checkpoint = Some(journal);
         self
+    }
+
+    /// Static capacity of the configured executor, for pre-run feasibility
+    /// checks. Provisions nothing; provider knowledge comes from
+    /// [`Provider::node_capacity_hint`].
+    pub fn capacity(&self) -> Capacity {
+        match &self.executor {
+            ExecutorChoice::ThreadPool { workers } => {
+                let host = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(4);
+                Capacity {
+                    nodes: 1,
+                    workers_per_node: (*workers).max(1),
+                    cores_per_node: Some(host),
+                    mem_gib_per_node: None,
+                }
+            }
+            ExecutorChoice::Htex { config, provider } => {
+                let hint = provider.node_capacity_hint();
+                let cores = hint.map(|(c, _)| c);
+                let mem = hint.and_then(|(_, m)| if m > 0 { Some(m) } else { None });
+                let wpn = if config.workers_per_node > 0 {
+                    config.workers_per_node
+                } else {
+                    cores.unwrap_or(1)
+                };
+                Capacity {
+                    nodes: config.nodes.max(1),
+                    workers_per_node: wpn.max(1),
+                    cores_per_node: cores,
+                    mem_gib_per_node: mem,
+                }
+            }
+        }
     }
 }
 
@@ -296,6 +352,33 @@ mod tests {
             ..RetryPolicy::default()
         };
         assert!(p.validate().unwrap_err().contains("retry.multiplier"));
+    }
+
+    #[test]
+    fn thread_pool_capacity() {
+        let cap = Config::local_threads(6).capacity();
+        assert_eq!(cap.nodes, 1);
+        assert_eq!(cap.workers_per_node, 6);
+        assert_eq!(cap.total_slots(), 6);
+        assert!(cap.cores_per_node.is_some());
+        assert!(cap.mem_gib_per_node.is_none());
+    }
+
+    #[test]
+    fn htex_capacity_uses_provider_hint() {
+        use crate::htex::HtexConfig;
+        use crate::provider::LocalProvider;
+        let htex = HtexConfig {
+            nodes: 3,
+            workers_per_node: 0, // one per core
+            ..HtexConfig::default()
+        };
+        let cap = Config::htex(htex, Arc::new(LocalProvider::new(4))).capacity();
+        assert_eq!(cap.nodes, 3);
+        assert_eq!(cap.workers_per_node, 4);
+        assert_eq!(cap.total_slots(), 12);
+        assert_eq!(cap.cores_per_node, Some(4));
+        assert_eq!(cap.mem_gib_per_node, None); // local provider: mem unknown
     }
 
     #[test]

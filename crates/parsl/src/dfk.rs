@@ -383,7 +383,24 @@ impl DataFlowKernel {
     /// once every future among `args` has completed; any failed dependency
     /// fails this task without launching it.
     pub fn submit(self: &Arc<Self>, label: &str, args: Vec<AppArg>, body: AppBody) -> AppFuture {
+        self.submit_bound(label, None, args, body)
+    }
+
+    /// `submit`, with the originating CWL step id bound before the task can
+    /// launch. Binding after `submit` returns races the worker: a fast task
+    /// could journal its completion record before the submitting thread gets
+    /// to `bind_step`, dropping the step id from the record.
+    pub fn submit_bound(
+        self: &Arc<Self>,
+        label: &str,
+        step: Option<&str>,
+        args: Vec<AppArg>,
+        body: AppBody,
+    ) -> AppFuture {
         let id = TaskId(self.next_id.fetch_add(1, Ordering::Relaxed));
+        if let Some(step) = step {
+            self.bind_step(id, step);
+        }
         let (fut, promise) = promise_pair(id);
         self.outstanding.fetch_add(1, Ordering::AcqRel);
         self.log.record(id, TaskEventKind::Submitted, label);
@@ -393,6 +410,9 @@ impl DataFlowKernel {
         let submit_span = self.obs.start_span(SpanKind::Submit, id.0, 0, label);
         if self.obs.is_enabled() {
             self.obs.lineage_submit(id.0, label);
+            if let Some(step) = step {
+                self.obs.lineage_bind_step(id.0, step);
+            }
             self.metrics.submitted.incr();
             self.metrics.outstanding.add(1);
         }

@@ -55,7 +55,7 @@ pub mod strategy;
 pub mod task;
 
 pub use apps::{run_command, AppBody, CommandApp, CommandSpec, FnApp};
-pub use config::{Config, ExecutorChoice, RetryPolicy};
+pub use config::{Capacity, Config, ExecutorChoice, RetryPolicy};
 pub use dfk::{AppArg, CkptStats, DataFlowKernel};
 pub use error::TaskError;
 pub use executor::{Executor, TaskBody, TaskPayload, ThreadPoolExecutor};

@@ -42,6 +42,13 @@ pub trait Provider: Send + Sync {
 
     /// Provider label for logs.
     fn label(&self) -> &str;
+
+    /// Static per-node capacity as `(cores, mem_gib)`, *without*
+    /// provisioning anything — used by the pre-run feasibility analysis.
+    /// `None` means the provider cannot say until nodes are granted.
+    fn node_capacity_hint(&self) -> Option<(usize, usize)> {
+        None
+    }
 }
 
 /// Runs on the submitting machine: grants immediately, no queue.
@@ -82,6 +89,11 @@ impl Provider for LocalProvider {
 
     fn label(&self) -> &str {
         "local"
+    }
+
+    fn node_capacity_hint(&self) -> Option<(usize, usize)> {
+        // mem 0 = unknown: the local machine does not enforce a budget.
+        Some((self.cores_per_node, 0))
     }
 }
 
@@ -149,6 +161,12 @@ impl Provider for SlurmProvider {
 
     fn label(&self) -> &str {
         &self.label
+    }
+
+    fn node_capacity_hint(&self) -> Option<(usize, usize)> {
+        let cluster = self.scheduler.cluster();
+        let node = cluster.nodes.first()?;
+        Some((node.cores, node.mem_gib))
     }
 }
 

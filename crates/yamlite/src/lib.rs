@@ -57,6 +57,20 @@ pub fn parse_file(path: impl AsRef<std::path::Path>) -> Result<Value, ParseError
     parse_str(&text)
 }
 
+/// Parse a YAML document from a file path, keeping the span side-table so
+/// diagnostics can point back into the source (the `parse_file` analogue
+/// of [`parse_str_spanned`]).
+pub fn parse_file_spanned(
+    path: impl AsRef<std::path::Path>,
+) -> Result<(Value, SpanIndex), ParseError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| ParseError {
+        message: format!("cannot read {}: {e}", path.display()),
+        position: Position::default(),
+    })?;
+    parse_str_spanned(&text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,41 @@
+# E030: audit_a and audit_b both write ../audit.log (the shared run
+# directory, escaping their private task dirs) with no dataflow edge
+# ordering them — last writer wins nondeterministically.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  a_out:
+    type: File
+    outputSource: audit_a/o
+  b_out:
+    type: File
+    outputSource: audit_b/o
+steps:
+  audit_a:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: ../audit.log
+      inputs:
+        m: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      m: msg
+    out: [o]
+  audit_b:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      stdout: ../audit.log
+      inputs:
+        m: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      m: msg
+    out: [o]

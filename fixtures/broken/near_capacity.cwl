@@ -1,0 +1,17 @@
+# W111: coresMin 6 demands >= 75% of an 8-core node — the tool schedules,
+# but nothing co-schedules with it. Capacity-dependent: this file is only
+# flagged when the analyzer is given an executor capacity (the corpus test
+# supplies an 8-core node; without one the file is clean).
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: sort
+requirements:
+  - class: ResourceRequirement
+    coresMin: 6
+    ramMin: 2048
+inputs:
+  data: File
+outputs:
+  sorted:
+    type: stdout
+stdout: sorted.txt

@@ -1,0 +1,28 @@
+# E031: every scatter shard of `upper` runs concurrently, and all of them
+# write the same absolute path /tmp/upper.txt — the name does not vary
+# per shard.
+cwlVersion: v1.2
+class: Workflow
+requirements:
+  - class: ScatterFeatureRequirement
+inputs:
+  words: string[]
+outputs:
+  shouts:
+    type: File[]
+    outputSource: upper/o
+steps:
+  upper:
+    run:
+      class: CommandLineTool
+      baseCommand: tr
+      stdout: /tmp/upper.txt
+      inputs:
+        w: string
+      outputs:
+        o:
+          type: stdout
+    scatter: w
+    in:
+      w: words
+    out: [o]

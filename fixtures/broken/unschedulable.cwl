@@ -1,0 +1,27 @@
+# E032: coresMin 64 exceeds coresMax 8 — self-contradictory, no schedule
+# satisfies it regardless of executor capacity.
+cwlVersion: v1.2
+class: Workflow
+inputs:
+  msg: string
+outputs:
+  out:
+    type: File
+    outputSource: crunch/o
+steps:
+  crunch:
+    run:
+      class: CommandLineTool
+      baseCommand: echo
+      requirements:
+        - class: ResourceRequirement
+          coresMin: 64
+          coresMax: 8
+      inputs:
+        m: string
+      outputs:
+        o:
+          type: stdout
+    in:
+      m: msg
+    out: [o]

@@ -1,0 +1,18 @@
+# W110: a writable InitialWorkDirRequirement entry referencing a staged
+# File input — under the content-addressed data plane an in-place write
+# would corrupt the object every other consumer links to.
+cwlVersion: v1.2
+class: CommandLineTool
+baseCommand: [python3, process.py]
+requirements:
+  - class: InitialWorkDirRequirement
+    listing:
+      - entry: $(inputs.image)
+        writable: true
+inputs:
+  image: File
+outputs:
+  processed:
+    type: File
+    outputBinding:
+      glob: processed.png
