@@ -312,6 +312,17 @@ impl Journal {
         header: &Header,
         mode: SyncMode,
     ) -> Result<Self, String> {
+        Self::create_with_clock(path, header, mode, simtest::real_clock())
+    }
+
+    /// [`Journal::create`] with an explicit clock for the periodic flusher —
+    /// under a virtual clock the flush cadence follows logical time.
+    pub fn create_with_clock(
+        path: impl Into<PathBuf>,
+        header: &Header,
+        mode: SyncMode,
+        clock: simtest::ClockRef,
+    ) -> Result<Self, String> {
         let path = path.into();
         if let Some(dir) = path.parent() {
             std::fs::create_dir_all(dir)
@@ -328,7 +339,7 @@ impl Journal {
             .and_then(|_| file.sync_data())
             .map_err(|e| format!("ckpt: cannot write journal header: {e}"))?;
         sync_parent_dir(&path);
-        Ok(Self::from_file(path, file, mode))
+        Ok(Self::from_file(path, file, mode, clock))
     }
 
     /// Open an existing journal for appending: verify it with [`load`],
@@ -337,6 +348,15 @@ impl Journal {
     pub fn resume(
         path: impl Into<PathBuf>,
         mode: SyncMode,
+    ) -> Result<(Self, LoadedJournal), String> {
+        Self::resume_with_clock(path, mode, simtest::real_clock())
+    }
+
+    /// [`Journal::resume`] with an explicit clock for the periodic flusher.
+    pub fn resume_with_clock(
+        path: impl Into<PathBuf>,
+        mode: SyncMode,
+        clock: simtest::ClockRef,
     ) -> Result<(Self, LoadedJournal), String> {
         let path = path.into();
         let loaded = load(&path)?;
@@ -353,22 +373,24 @@ impl Journal {
         let mut file = file;
         file.seek(std::io::SeekFrom::End(0))
             .map_err(|e| format!("ckpt: cannot seek journal: {e}"))?;
-        Ok((Self::from_file(path, file, mode), loaded))
+        Ok((Self::from_file(path, file, mode, clock), loaded))
     }
 
-    fn from_file(path: PathBuf, file: File, mode: SyncMode) -> Self {
+    fn from_file(path: PathBuf, file: File, mode: SyncMode, clock: simtest::ClockRef) -> Self {
         let state = Arc::new(Mutex::new(WriterState { file }));
         let stop = Arc::new(AtomicBool::new(false));
         let flusher = if let SyncMode::Periodic(period) = mode {
             let state = state.clone();
             let stop = stop.clone();
             Some(std::thread::spawn(move || {
+                // Short ticks (on the journal's clock) so a stop request is
+                // honoured promptly even when the period is long.
                 let tick = period
                     .min(Duration::from_millis(50))
                     .max(Duration::from_millis(1));
                 let mut since_sync = Duration::ZERO;
                 while !stop.load(Ordering::Relaxed) {
-                    std::thread::sleep(tick);
+                    clock.sleep(tick);
                     since_sync += tick;
                     if since_sync >= period {
                         let _ = state.lock().file.sync_data();

@@ -412,6 +412,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
                     .and_then(Value::as_int)
                     .map(|n| n.max(1) as usize)
                     .unwrap_or(defaults.batch_size),
+                clock: defaults.clock,
             };
             Config::htex(htex, provider).with_retry_policy(retry)
         }

@@ -1,0 +1,123 @@
+//! `simrun` — drive the deterministic executor simulation from the CLI.
+//!
+//! ```text
+//! simrun --log <seed>              print the byte-stable event log for one seed
+//! simrun --suite --seeds 1,2,3     run the invariant suite over a seed list
+//! simrun --suite --count 50 [--base B]   ... over B..B+50
+//! ```
+//!
+//! The suite checks, per seed: no lost tasks, no double completions, and no
+//! task accepted from a node it was re-dispatched away from. On any
+//! violation it prints the reproducing seed and the exact replay command,
+//! then exits nonzero — the contract ci.sh relies on.
+
+use gridsim::sim::Scenario;
+use std::process::exit;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simrun --log <seed>\n       simrun --suite (--seeds a,b,c | --count N [--base B])"
+    );
+    exit(2);
+}
+
+fn parse_u64(s: &str) -> u64 {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("simrun: not a u64 seed: {s:?}");
+        exit(2);
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mode = None;
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut count: Option<u64> = None;
+    let mut base: u64 = 1;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--log" => {
+                mode = Some("log");
+                seeds.push(parse_u64(
+                    it.next().map(String::as_str).unwrap_or_else(|| usage()),
+                ));
+            }
+            "--suite" => mode = Some("suite"),
+            "--seeds" => {
+                let list = it.next().unwrap_or_else(|| usage());
+                seeds.extend(list.split(',').filter(|s| !s.is_empty()).map(parse_u64));
+            }
+            "--count" => count = Some(parse_u64(it.next().unwrap_or_else(|| usage()))),
+            "--base" => base = parse_u64(it.next().unwrap_or_else(|| usage())),
+            _ => usage(),
+        }
+    }
+    if let Some(n) = count {
+        seeds.extend(base..base + n);
+    }
+
+    match mode {
+        Some("log") => {
+            let sc = Scenario::from_seed(seeds[0]);
+            let report = sc.run();
+            print!("{}", report.event_log());
+            if !report.violations.is_empty() {
+                for v in &report.violations {
+                    eprintln!("violation: {v}");
+                }
+                exit(1);
+            }
+        }
+        Some("suite") => {
+            if seeds.is_empty() {
+                usage();
+            }
+            let mut failed = false;
+            for &seed in &seeds {
+                let sc = Scenario::from_seed(seed);
+                let report = sc.run();
+                let ok = report.violations.is_empty() && report.all_completed();
+                if ok {
+                    println!(
+                        "seed {seed}: ok ({} shape, {} tasks, {} node(s) lost, {} redispatch(es), makespan {}us)",
+                        sc.shape,
+                        report.labels.len(),
+                        report.nodes_lost.len(),
+                        report.redispatches,
+                        report.makespan_us
+                    );
+                } else {
+                    failed = true;
+                    println!("seed {seed}: FAILED ({} shape)", sc.shape);
+                    for v in &report.violations {
+                        println!("  violation: {v}");
+                    }
+                    for &t in &report.stranded {
+                        println!("  stranded: {}", report.labels[t]);
+                    }
+                }
+            }
+            if failed {
+                let bad: Vec<String> = seeds
+                    .iter()
+                    .filter(|&&s| {
+                        let r = Scenario::from_seed(s).run();
+                        !(r.violations.is_empty() && r.all_completed())
+                    })
+                    .map(|s| s.to_string())
+                    .collect();
+                eprintln!(
+                    "simrun: invariant suite FAILED for seed(s) {}; replay with:",
+                    bad.join(", ")
+                );
+                for s in &bad {
+                    eprintln!("  cargo run -p gridsim --bin simrun -- --log {s}");
+                }
+                exit(1);
+            }
+            println!("simrun: {} seed(s) passed the invariant suite", seeds.len());
+        }
+        _ => usage(),
+    }
+}

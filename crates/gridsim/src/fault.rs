@@ -2,7 +2,8 @@
 //!
 //! A [`FaultPlan`] scripts node deaths so fault-tolerance machinery can be
 //! exercised deterministically: kill a named node after it has fully
-//! executed N tasks, after a wall-clock delay, or immediately. Executors
+//! executed N tasks, after a delay on the plan's clock (wall-clock by
+//! default, a virtual clock under simulation), or immediately. Executors
 //! consult the plan from their workers ([`FaultPlan::note_task`]) and
 //! heartbeat threads ([`FaultPlan::is_dead`]); a dead node stops executing
 //! and stops heartbeating, exactly as if its manager process were gone.
@@ -14,28 +15,42 @@
 //! trigger fires, which is what fault-tolerance tests need to observe.
 
 use parking_lot::Mutex;
+use simtest::ClockRef;
 use std::collections::HashMap;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 #[derive(Debug)]
 enum Trigger {
     /// Let `remaining` more arrivals run; the next one after that dies.
     AfterTasks { remaining: usize },
-    /// Dead once this instant passes.
-    AfterElapsed { at: Instant },
+    /// Dead once the plan's clock passes this offset.
+    AfterElapsed { at: Duration },
 }
 
-#[derive(Debug, Default)]
 struct FaultState {
+    /// Time source for elapsed-time triggers: the process-wide real clock by
+    /// default, a virtual clock under simulation (so deaths land at chosen
+    /// *logical* instants).
+    clock: ClockRef,
     triggers: HashMap<String, Trigger>,
-    dead: HashMap<String, Instant>,
+    dead: HashMap<String, Duration>,
+}
+
+impl Default for FaultState {
+    fn default() -> Self {
+        Self {
+            clock: simtest::real_clock(),
+            triggers: HashMap::new(),
+            dead: HashMap::new(),
+        }
+    }
 }
 
 impl FaultState {
     /// Promote elapsed-time triggers whose deadline has passed.
     fn apply_elapsed(&mut self) {
-        let now = Instant::now();
+        let now = self.clock.now();
         let expired: Vec<String> = self
             .triggers
             .iter()
@@ -67,9 +82,17 @@ impl std::fmt::Debug for FaultPlan {
 }
 
 impl FaultPlan {
-    /// A plan with no scripted faults.
+    /// A plan with no scripted faults, timed against the real clock.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A plan timed against an explicit clock — under a virtual clock,
+    /// `kill_after` fires at a logical instant rather than a wall-clock one.
+    pub fn with_clock(clock: ClockRef) -> Self {
+        let plan = Self::default();
+        plan.state.lock().clock = clock;
+        plan
     }
 
     /// Kill `node` after it has fully executed `tasks` task arrivals; the
@@ -82,14 +105,14 @@ impl FaultPlan {
         self
     }
 
-    /// Kill `node` once `delay` has elapsed from now.
+    /// Kill `node` once `delay` has elapsed on the plan's clock.
     pub fn kill_after(self, node: impl Into<String>, delay: Duration) -> Self {
-        self.state.lock().triggers.insert(
-            node.into(),
-            Trigger::AfterElapsed {
-                at: Instant::now() + delay,
-            },
-        );
+        {
+            let mut st = self.state.lock();
+            let at = st.clock.now() + delay;
+            st.triggers
+                .insert(node.into(), Trigger::AfterElapsed { at });
+        }
         self
     }
 
@@ -98,7 +121,8 @@ impl FaultPlan {
         let node = node.into();
         let mut st = self.state.lock();
         st.triggers.remove(&node);
-        st.dead.insert(node, Instant::now());
+        let now = st.clock.now();
+        st.dead.insert(node, now);
         drop(st);
         self
     }
@@ -116,7 +140,8 @@ impl FaultPlan {
             Some(Trigger::AfterTasks { remaining }) => {
                 if *remaining == 0 {
                     st.triggers.remove(node);
-                    st.dead.insert(node.to_string(), Instant::now());
+                    let now = st.clock.now();
+                    st.dead.insert(node.to_string(), now);
                     true
                 } else {
                     *remaining -= 1;
@@ -193,6 +218,20 @@ mod tests {
         let plan = FaultPlan::new().kill_now("node03");
         assert!(plan.is_dead("node03"));
         assert!(plan.note_task("node03"));
+    }
+
+    #[test]
+    fn elapsed_trigger_follows_virtual_clock() {
+        let vc = simtest::VirtualClock::new();
+        vc.set_auto(false);
+        let plan = FaultPlan::with_clock(vc.clone()).kill_after("node01", Duration::from_secs(60));
+        // A full real-time pause changes nothing: only logical time counts.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!plan.is_dead("node01"));
+        vc.advance(Duration::from_secs(59));
+        assert!(!plan.is_dead("node01"));
+        vc.advance(Duration::from_secs(1));
+        assert!(plan.is_dead("node01"));
     }
 
     #[test]

@@ -48,6 +48,15 @@ pub fn pay(d: Duration) {
     }
 }
 
+/// [`pay`], but sleeping on an explicit clock — under a virtual clock the
+/// modelled overhead elapses logically instead of burning wall time.
+pub fn pay_on(clock: &dyn simtest::Clock, d: Duration) {
+    let d = scaled(d);
+    if !d.is_zero() {
+        clock.sleep(d);
+    }
+}
+
 /// Per-boundary latency model used by executors and runners.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LatencyModel {
@@ -88,6 +97,16 @@ impl LatencyModel {
     /// Pay the result-direction cost.
     pub fn pay_result(&self) {
         pay(self.jittered(self.result));
+    }
+
+    /// Pay the dispatch-direction cost on an explicit clock.
+    pub fn pay_dispatch_on(&self, clock: &dyn simtest::Clock) {
+        pay_on(clock, self.jittered(self.dispatch));
+    }
+
+    /// Pay the result-direction cost on an explicit clock.
+    pub fn pay_result_on(&self, clock: &dyn simtest::Clock) {
+        pay_on(clock, self.jittered(self.result));
     }
 
     fn jittered(&self, base: Duration) -> Duration {

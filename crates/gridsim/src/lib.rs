@@ -24,6 +24,7 @@ pub mod cluster;
 pub mod fault;
 pub mod latency;
 pub mod scheduler;
+pub mod sim;
 
 pub use cluster::{ClusterSpec, NodeSpec};
 pub use fault::FaultPlan;
@@ -31,3 +32,4 @@ pub use latency::{pay, scaled, LatencyModel, TimeScale};
 pub use scheduler::{
     BatchScheduler, JobHandle, JobId, JobRequest, JobState, PreemptHook, SchedulerConfig,
 };
+pub use sim::{Scenario, SimConfig, SimDag, SimEvent, SimEventKind, SimFault, SimReport};

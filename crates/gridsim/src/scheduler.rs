@@ -562,11 +562,9 @@ mod tests {
             .submit(JobRequest::nodes(1, "short").with_walltime(Duration::from_millis(25)))
             .unwrap();
         assert_eq!(j.state(), JobState::Running);
-        // Spin until the walltime timer fires.
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while j.state() == JobState::Running && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(5));
-        }
+        // Deadline-bounded wait for the walltime timer (a real-time timer
+        // thread by design) to fire.
+        assert!(simtest::wait_until(Duration::from_secs(2), || j.state() != JobState::Running));
         assert_eq!(j.state(), JobState::Preempted);
         assert_eq!(s.free_node_count(), 1);
         assert_eq!(*hits.lock(), 1);

@@ -89,13 +89,30 @@ impl RetryPolicy {
     /// The jittered delay before retry number `retry_index` (1-based):
     /// `initial_backoff * multiplier^(retry_index-1)`, capped at
     /// `max_backoff`, then scaled by a random factor in
-    /// `[1-jitter_frac, 1+jitter_frac]`.
+    /// `[1-jitter_frac, 1+jitter_frac]` drawn from the thread-local RNG.
     ///
+    /// Nondeterministic by design (retry storms across a fleet must
+    /// de-synchronize); the kernel itself always goes through
+    /// [`Self::backoff_for_seeded`] so a seeded run replays the exact same
+    /// backoff schedule.
+    pub fn backoff_for(&self, retry_index: usize) -> Duration {
+        self.backoff_with(retry_index, |frac| {
+            rand::thread_rng().gen_range(-frac..frac)
+        })
+    }
+
+    /// [`Self::backoff_for`] with the jitter drawn from a seeded RNG:
+    /// identical `(policy, seed, call sequence)` ⇒ identical delays, the
+    /// property the deterministic simulation harness asserts on.
+    pub fn backoff_for_seeded(&self, retry_index: usize, rng: &mut simtest::SimRng) -> Duration {
+        self.backoff_with(retry_index, |frac| rng.gen_range_f64(-frac, frac))
+    }
+
     /// Defensive against policies built without [`Self::validate`]: a
     /// non-finite or out-of-range `jitter_frac` is clamped into `[0, 1]`
-    /// here rather than handed to `gen_range` (where a negative fraction
-    /// makes the range empty and panics).
-    pub fn backoff_for(&self, retry_index: usize) -> Duration {
+    /// here rather than handed to the jitter draw (where a negative
+    /// fraction makes the range empty — a panic for `thread_rng`).
+    fn backoff_with(&self, retry_index: usize, draw: impl FnOnce(f64) -> f64) -> Duration {
         if self.initial_backoff.is_zero() || retry_index == 0 {
             return Duration::ZERO;
         }
@@ -110,11 +127,7 @@ impl RetryPolicy {
         } else {
             0.0
         };
-        let jitter = if frac > 0.0 {
-            1.0 + rand::thread_rng().gen_range(-frac..frac)
-        } else {
-            1.0
-        };
+        let jitter = if frac > 0.0 { 1.0 + draw(frac) } else { 1.0 };
         let secs = (base * jitter).max(0.0);
         Duration::from_secs_f64(if secs.is_finite() { secs } else { 0.0 })
     }
@@ -162,6 +175,16 @@ pub struct Config {
     /// memo table from a loaded journal with
     /// [`crate::DataFlowKernel::seed_checkpoint`].
     pub checkpoint: Option<Arc<ckpt::Journal>>,
+    /// Time source for every kernel-side sleep and timestamp (retry
+    /// backoff, heartbeats, monitoring). The process-wide real clock by
+    /// default; a [`simtest::VirtualClock`] under the deterministic
+    /// simulation harness. Propagated into the HTEX executor when the
+    /// kernel starts it.
+    pub clock: simtest::ClockRef,
+    /// Seed for the kernel's RNG (retry jitter). `None` (the default)
+    /// seeds from entropy; `Some(s)` makes the backoff schedule a pure
+    /// function of the seed, for replayable simulation runs.
+    pub seed: Option<u64>,
 }
 
 impl Config {
@@ -174,6 +197,8 @@ impl Config {
             label: "local".to_string(),
             monitoring: obs::ObsConfig::default(),
             checkpoint: None,
+            clock: simtest::real_clock(),
+            seed: None,
         }
     }
 
@@ -186,6 +211,8 @@ impl Config {
             label: "htex".to_string(),
             monitoring: obs::ObsConfig::default(),
             checkpoint: None,
+            clock: simtest::real_clock(),
+            seed: None,
         }
     }
 
@@ -222,6 +249,18 @@ impl Config {
     /// Attach a checkpoint journal (implies memoization).
     pub fn with_checkpoint(mut self, journal: Arc<ckpt::Journal>) -> Self {
         self.checkpoint = Some(journal);
+        self
+    }
+
+    /// Run the kernel (and any HTEX it starts) on an explicit clock.
+    pub fn with_clock(mut self, clock: simtest::ClockRef) -> Self {
+        self.clock = clock;
+        self
+    }
+
+    /// Seed the kernel's RNG so retry jitter is reproducible.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
         self
     }
 
@@ -386,5 +425,120 @@ mod tests {
         let policy = RetryPolicy::retries(3);
         assert_eq!(policy.backoff_for(1), Duration::ZERO);
         assert_eq!(policy.backoff_for(3), Duration::ZERO);
+    }
+
+    /// The seeded path must be a pure function of (policy, seed, call
+    /// sequence) — two RNGs with the same seed replay byte-identical
+    /// backoff schedules, across the full boundary grid of jitter and
+    /// multiplier values.
+    #[test]
+    fn seeded_backoff_identical_for_identical_seeds() {
+        for jitter in [0.0, 0.001, 0.5, 1.0] {
+            for multiplier in [0.0, 1.0, 2.0, 1e6] {
+                let policy = RetryPolicy {
+                    max_retries: 8,
+                    initial_backoff: Duration::from_millis(10),
+                    multiplier,
+                    max_backoff: Duration::from_secs(5),
+                    jitter_frac: jitter,
+                    walltime: None,
+                };
+                for seed in [0u64, 1, 42, u64::MAX] {
+                    let mut a = simtest::SimRng::seeded(seed);
+                    let mut b = simtest::SimRng::seeded(seed);
+                    let seq_a: Vec<Duration> = (0..8)
+                        .map(|i| policy.backoff_for_seeded(i, &mut a))
+                        .collect();
+                    let seq_b: Vec<Duration> = (0..8)
+                        .map(|i| policy.backoff_for_seeded(i, &mut b))
+                        .collect();
+                    assert_eq!(
+                        seq_a, seq_b,
+                        "jitter={jitter} multiplier={multiplier} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_backoff_differs_across_seeds() {
+        let policy = RetryPolicy {
+            max_retries: 4,
+            initial_backoff: Duration::from_millis(100),
+            multiplier: 2.0,
+            max_backoff: Duration::from_secs(30),
+            jitter_frac: 0.5,
+            walltime: None,
+        };
+        let mut a = simtest::SimRng::seeded(1);
+        let mut b = simtest::SimRng::seeded(2);
+        let seq_a: Vec<Duration> = (1..8)
+            .map(|i| policy.backoff_for_seeded(i, &mut a))
+            .collect();
+        let seq_b: Vec<Duration> = (1..8)
+            .map(|i| policy.backoff_for_seeded(i, &mut b))
+            .collect();
+        assert_ne!(seq_a, seq_b);
+    }
+
+    /// Boundary values through the seeded path: jitter 0 and 1, multiplier
+    /// 0 (clamped to 1) and exactly 1 — delays stay in band and never
+    /// panic, matching the thread-rng path's clamping semantics.
+    #[test]
+    fn seeded_backoff_boundary_values_stay_in_band() {
+        let mut rng = simtest::SimRng::seeded(7);
+        // jitter_frac == 1.0: band is [0, 2*base].
+        let full = RetryPolicy {
+            max_retries: 1,
+            initial_backoff: Duration::from_millis(100),
+            multiplier: 1.0,
+            max_backoff: Duration::from_secs(1),
+            jitter_frac: 1.0,
+            walltime: None,
+        };
+        for _ in 0..200 {
+            let d = full.backoff_for_seeded(1, &mut rng);
+            assert!(d <= Duration::from_millis(200), "{d:?}");
+        }
+        // jitter_frac == 0.0: exact, regardless of the RNG state.
+        let exact = RetryPolicy {
+            jitter_frac: 0.0,
+            ..full.clone()
+        };
+        assert_eq!(
+            exact.backoff_for_seeded(1, &mut rng),
+            Duration::from_millis(100)
+        );
+        // multiplier 0 clamps to 1 (no shrink), multiplier 1 is flat.
+        for m in [0.0, 1.0] {
+            let flat = RetryPolicy {
+                multiplier: m,
+                jitter_frac: 0.0,
+                ..full.clone()
+            };
+            assert_eq!(
+                flat.backoff_for_seeded(5, &mut rng),
+                Duration::from_millis(100)
+            );
+        }
+        // Out-of-range jitter is clamped, not panicked on, exactly like the
+        // thread-rng path.
+        let bad = RetryPolicy {
+            jitter_frac: -0.5,
+            ..full.clone()
+        };
+        assert_eq!(
+            bad.backoff_for_seeded(1, &mut rng),
+            Duration::from_millis(100)
+        );
+        let nan = RetryPolicy {
+            jitter_frac: f64::NAN,
+            ..full
+        };
+        assert_eq!(
+            nan.backoff_for_seeded(1, &mut rng),
+            Duration::from_millis(100)
+        );
     }
 }

@@ -165,6 +165,13 @@ pub struct DataFlowKernel {
     /// Durable checkpointing, when configured (None keeps the completion
     /// path checkpoint-free apart from this one branch).
     ckpt: Option<CkptState>,
+    /// Kernel time source: retry-backoff sleeps and the monitoring log's
+    /// run clock go through this, so a virtual clock makes backoff elapse
+    /// in logical time.
+    clock: simtest::ClockRef,
+    /// Jitter RNG for the retry backoff schedule — seeded from
+    /// [`Config::seed`] so a simulated run replays identical delays.
+    rng: Mutex<simtest::SimRng>,
 }
 
 /// Handles to the kernel's well-known metrics, resolved once at startup.
@@ -233,9 +240,17 @@ impl DataFlowKernel {
                 ThreadPoolExecutor::new(format!("{label}-tpe"), workers)
             }
             ExecutorChoice::Htex {
-                config: hc,
+                config: mut hc,
                 provider,
-            } => HighThroughputExecutor::start(hc, provider)?,
+            } => {
+                // A non-default kernel clock is the run-wide time source:
+                // the HTEX it starts must read the same one, or heartbeats
+                // and backoff would disagree about when "now" is.
+                if !Arc::ptr_eq(&config.clock, &simtest::real_clock()) {
+                    hc.clock = config.clock.clone();
+                }
+                HighThroughputExecutor::start(hc, provider)?
+            }
         };
         Ok(Self::from_parts(
             executor,
@@ -243,6 +258,8 @@ impl DataFlowKernel {
             config.memoize,
             config.monitoring,
             config.checkpoint,
+            config.clock,
+            config.seed,
         ))
     }
 
@@ -255,17 +272,22 @@ impl DataFlowKernel {
             config.memoize,
             config.monitoring,
             config.checkpoint,
+            config.clock,
+            config.seed,
         )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn from_parts(
         executor: Arc<dyn Executor>,
         retry: RetryPolicy,
         memoize: bool,
         monitoring: ObsConfig,
         checkpoint: Option<Arc<ckpt::Journal>>,
+        clock: simtest::ClockRef,
+        seed: Option<u64>,
     ) -> Arc<Self> {
-        let log = Arc::new(MonitoringLog::new());
+        let log = Arc::new(MonitoringLog::with_clock(clock.clone()));
         executor.attach_monitoring(log.clone());
         let obs = Arc::new(Observability::new(monitoring));
         if obs.is_enabled() {
@@ -306,6 +328,11 @@ impl DataFlowKernel {
             obs,
             metrics,
             ckpt,
+            clock,
+            rng: Mutex::new(match seed {
+                Some(s) => simtest::SimRng::seeded(s),
+                None => simtest::SimRng::from_entropy(),
+            }),
         })
     }
 
@@ -645,7 +672,9 @@ impl DataFlowKernel {
                             .clone()
                             .expect("retry granted only when max_retries > 0");
                         let retry_index = dfk.retry.max_retries - prev + 1;
-                        let delay = dfk.retry.backoff_for(retry_index);
+                        let delay = dfk
+                            .retry
+                            .backoff_for_seeded(retry_index, &mut dfk.rng.lock());
                         if delay.is_zero() {
                             dfk.attempt(task.clone(), vals, fingerprint);
                         } else {
@@ -654,7 +683,7 @@ impl DataFlowKernel {
                             let _ = std::thread::Builder::new()
                                 .name(format!("backoff-{}", task.id))
                                 .spawn(move || {
-                                    std::thread::sleep(delay);
+                                    dfk.clock.sleep(delay);
                                     dfk.attempt(task, vals, fingerprint);
                                 });
                         }

@@ -50,7 +50,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How often idle workers wake to check whether their manager died.
 const WORKER_POLL: Duration = Duration::from_millis(10);
@@ -79,6 +79,11 @@ pub struct HtexConfig {
     /// one dispatch transfer instead of `k`; result replies are batched
     /// symmetrically. `1` = the unbatched one-message-per-task protocol.
     pub batch_size: usize,
+    /// Time source for heartbeats, staleness detection, and modelled
+    /// latency sleeps. Defaults to the real clock; the simulation harness
+    /// swaps in a [`simtest::VirtualClock`] so heartbeat-loss schedules run
+    /// in logical time instead of wall time.
+    pub clock: simtest::ClockRef,
 }
 
 impl Default for HtexConfig {
@@ -93,6 +98,7 @@ impl Default for HtexConfig {
             min_nodes: 0,
             fault_plan: None,
             batch_size: 8,
+            clock: simtest::real_clock(),
         }
     }
 }
@@ -207,7 +213,9 @@ pub struct HighThroughputExecutor {
     /// Set when every node is lost and no replacement could be provisioned;
     /// pending tasks then fail with [`TaskError::ExecutorLost`].
     failed: AtomicBool,
-    start: Instant,
+    /// Time source for heartbeats and staleness detection — real in
+    /// production, virtual under the simulation harness.
+    clock: simtest::ClockRef,
     log: Mutex<Option<Arc<MonitoringLog>>>,
     /// The run's observability instance, swapped in by
     /// [`Executor::attach_observability`] after the DFK builds it. Shared
@@ -240,7 +248,7 @@ impl HighThroughputExecutor {
             next_seq: AtomicU64::new(1),
             closed: AtomicBool::new(false),
             failed: AtomicBool::new(false),
-            start: Instant::now(),
+            clock: config.clock,
             log: Mutex::new(None),
             obs: Arc::new(Mutex::new(Arc::new(Observability::off()))),
             dispatcher: Mutex::new(None),
@@ -295,7 +303,7 @@ impl HighThroughputExecutor {
             let mgr = Arc::new(ManagerState {
                 node_name: node_name.clone(),
                 tx,
-                last_beat: AtomicU64::new(self.start.elapsed().as_millis() as u64),
+                last_beat: AtomicU64::new(self.clock.now().as_millis() as u64),
                 dead: AtomicBool::new(false),
                 lost_handled: AtomicBool::new(false),
                 in_flight: Mutex::new(HashMap::new()),
@@ -314,10 +322,11 @@ impl HighThroughputExecutor {
                     let latency = self.latency.clone();
                     let plan = self.fault_plan.clone();
                     let obs = self.obs.clone();
+                    let clock = self.clock.clone();
                     workers.push(
                         std::thread::Builder::new()
                             .name(format!("{}-{node_name}-w{w}", self.label))
-                            .spawn(move || worker_loop(mgr, rx, latency, plan, obs))
+                            .spawn(move || worker_loop(mgr, rx, latency, plan, obs, clock))
                             .map_err(|e| format!("failed to spawn HTEX worker: {e}"))?,
                     );
                 }
@@ -328,10 +337,13 @@ impl HighThroughputExecutor {
                 let plan = self.fault_plan.clone();
                 let cap = self.batch_size;
                 let me = Arc::downgrade(self);
+                let clock = self.clock.clone();
                 *mgr.aggregator.lock() = Some(
                     std::thread::Builder::new()
                         .name(format!("{}-{node_name}-agg", self.label))
-                        .spawn(move || result_loop(mgr_for_agg, result_rx, latency, plan, cap, me))
+                        .spawn(move || {
+                            result_loop(mgr_for_agg, result_rx, latency, plan, cap, me, clock)
+                        })
                         .map_err(|e| format!("failed to spawn HTEX aggregator: {e}"))?,
                 );
             }
@@ -340,10 +352,11 @@ impl HighThroughputExecutor {
                 let plan = self.fault_plan.clone();
                 let period = self.heartbeat_period;
                 let me = Arc::downgrade(self);
+                let clock = self.clock.clone();
                 *mgr.heartbeat.lock() = Some(
                     std::thread::Builder::new()
                         .name(format!("{}-{node_name}-hb", self.label))
-                        .spawn(move || heartbeat_loop(mgr_for_beat, period, plan, me))
+                        .spawn(move || heartbeat_loop(mgr_for_beat, period, plan, me, clock))
                         .map_err(|e| format!("failed to spawn HTEX heartbeat: {e}"))?,
                 );
             }
@@ -561,8 +574,9 @@ fn dispatcher_loop(rx: Receiver<DispatchMsg>, htex: Weak<HighThroughputExecutor>
                     }
                     break;
                 }
+                let clock = h.clock.clone();
                 drop(h);
-                std::thread::sleep(Duration::from_millis(2));
+                clock.sleep(Duration::from_millis(2));
                 continue;
             }
             rr = rr.wrapping_add(1);
@@ -652,6 +666,7 @@ fn worker_loop(
     latency: LatencyModel,
     plan: Option<FaultPlan>,
     obs: Arc<Mutex<Arc<Observability>>>,
+    clock: simtest::ClockRef,
 ) {
     loop {
         let msg = match rx.recv_timeout(WORKER_POLL) {
@@ -691,7 +706,7 @@ fn worker_loop(
         // worker, so transfers to different managers overlap); the rest of
         // the batch rides along free.
         if !ticket.swap(true, Ordering::SeqCst) {
-            latency.pay_dispatch();
+            latency.pay_dispatch_on(&*clock);
         }
         let obs = obs.lock().clone();
         let result = if obs.is_enabled() {
@@ -746,6 +761,7 @@ fn result_loop(
     plan: Option<FaultPlan>,
     batch_size: usize,
     htex: Weak<HighThroughputExecutor>,
+    clock: simtest::ClockRef,
 ) {
     let mut stop = false;
     while !stop {
@@ -788,7 +804,14 @@ fn result_loop(
             if batch.is_empty() {
                 break;
             }
-            flush_results(&mgr, &latency, &plan, &htex, std::mem::take(&mut batch));
+            flush_results(
+                &mgr,
+                &latency,
+                &plan,
+                &htex,
+                &clock,
+                std::mem::take(&mut batch),
+            );
             if !stop {
                 break;
             }
@@ -804,6 +827,7 @@ fn flush_results(
     latency: &LatencyModel,
     plan: &Option<FaultPlan>,
     htex: &Weak<HighThroughputExecutor>,
+    clock: &simtest::ClockRef,
     batch: Vec<(u64, TaskPayload, Arc<AtomicBool>, crate::future::TaskResult)>,
 ) {
     if plan.as_ref().is_some_and(|p| p.is_dead(&mgr.node_name)) {
@@ -844,7 +868,7 @@ fn flush_results(
             })
             .unwrap_or_default();
         // One reply message for the whole batch.
-        latency.pay_result();
+        latency.pay_result_on(&**clock);
     }
     if let Some(h) = htex.upgrade() {
         let obs = h.obs.lock().clone();
@@ -875,9 +899,10 @@ fn heartbeat_loop(
     period: Duration,
     plan: Option<FaultPlan>,
     htex: Weak<HighThroughputExecutor>,
+    clock: simtest::ClockRef,
 ) {
     loop {
-        std::thread::sleep(period);
+        clock.sleep(period);
         let Some(h) = htex.upgrade() else { return };
         if h.closed.load(Ordering::SeqCst) || mgr.dead.load(Ordering::SeqCst) {
             return;
@@ -886,7 +911,7 @@ fn heartbeat_loop(
             return;
         }
         mgr.last_beat
-            .store(h.start.elapsed().as_millis() as u64, Ordering::SeqCst);
+            .store(clock.now().as_millis() as u64, Ordering::SeqCst);
     }
 }
 
@@ -900,7 +925,8 @@ fn monitor_loop(htex: Weak<HighThroughputExecutor>) {
         }
         let period = h.heartbeat_period;
         let threshold_ms = h.heartbeat_threshold.as_millis() as u64;
-        let now_ms = h.start.elapsed().as_millis() as u64;
+        let clock = h.clock.clone();
+        let now_ms = clock.now().as_millis() as u64;
         let managers: Vec<Arc<ManagerState>> = h.managers.lock().clone();
         for mgr in &managers {
             if !mgr.dead.load(Ordering::SeqCst)
@@ -917,7 +943,7 @@ fn monitor_loop(htex: Weak<HighThroughputExecutor>) {
             }
         }
         drop(h);
-        std::thread::sleep(period);
+        clock.sleep(period);
     }
 }
 
@@ -1011,6 +1037,12 @@ impl HighThroughputExecutor {
     /// until the DFK attaches the run's own).
     pub fn observability(&self) -> Arc<Observability> {
         self.obs.lock().clone()
+    }
+
+    /// The executor's time source (real or virtual) — shared with the
+    /// scaling strategy so its polling interval runs on the same clock.
+    pub fn clock(&self) -> simtest::ClockRef {
+        self.clock.clone()
     }
 }
 
@@ -1169,9 +1201,8 @@ mod tests {
             });
             futs.push(fut);
         }
-        std::thread::sleep(Duration::from_millis(30));
         assert!(
-            htex.outstanding_tasks() >= 3,
+            simtest::wait_until(Duration::from_secs(5), || htex.outstanding_tasks() >= 3),
             "{}",
             htex.outstanding_tasks()
         );
@@ -1234,10 +1265,9 @@ mod tests {
         }
         assert!(plan.is_dead("localhost/0"));
         // The monitor notices the death within a heartbeat or two.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while htex.manager_count() != 1 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        assert!(simtest::wait_until(Duration::from_secs(5), || htex
+            .manager_count()
+            == 1));
         assert_eq!(htex.manager_count(), 1);
         assert_eq!(htex.lost_nodes(), vec!["localhost/0".to_string()]);
         let summary = log.summary();
@@ -1267,10 +1297,9 @@ mod tests {
         )
         .unwrap();
         htex.attach_monitoring(log.clone());
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while htex.manager_count() != 1 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        assert!(simtest::wait_until(Duration::from_secs(5), || htex
+            .manager_count()
+            == 1));
         assert_eq!(htex.manager_count(), 1);
         assert_eq!(log.summary().node_lost, 1);
         // The surviving node still executes work.
@@ -1310,10 +1339,9 @@ mod tests {
                 .expect("task hung")
                 .unwrap();
         }
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while log.summary().blocks_replaced == 0 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        log.wait_for_events(Duration::from_secs(5), |events| {
+            crate::monitoring::TaskSummary::from_events(events).blocks_replaced > 0
+        });
         let summary = log.summary();
         assert_eq!(summary.node_lost, 1);
         assert_eq!(summary.blocks_replaced, 1);
@@ -1352,7 +1380,7 @@ mod tests {
                 .expect("task hung")
                 .unwrap();
         }
-        let started = Instant::now();
+        let started = std::time::Instant::now();
         htex.shutdown();
         assert!(
             started.elapsed() < Duration::from_secs(5),
@@ -1360,10 +1388,9 @@ mod tests {
         );
         // Both allocations come back; if the queued replacement was granted
         // after shutdown, the closed executor tears it down again.
-        let deadline = Instant::now() + Duration::from_secs(5);
-        while sched.free_node_count() != 2 && Instant::now() < deadline {
-            std::thread::sleep(Duration::from_millis(10));
-        }
+        assert!(simtest::wait_until(Duration::from_secs(5), || sched
+            .free_node_count()
+            == 2));
         assert_eq!(sched.free_node_count(), 2);
     }
 

@@ -4,8 +4,8 @@
 
 use crate::task::{TaskId, TaskState};
 use obs::RunClock;
-use parking_lot::Mutex;
-use std::time::Duration;
+use parking_lot::{Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// What happened to a task.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,6 +54,30 @@ pub struct TaskSummary {
     pub blocks_replaced: usize,
 }
 
+impl TaskSummary {
+    /// Aggregate an event slice — usable inside
+    /// [`MonitoringLog::wait_for_events`] predicates, where the log's own
+    /// accessors would re-entrantly take the events lock.
+    pub fn from_events(events: &[TaskEvent]) -> Self {
+        let mut s = TaskSummary::default();
+        for e in events {
+            match e.kind {
+                TaskEventKind::Submitted => s.submitted += 1,
+                TaskEventKind::Completed => s.completed += 1,
+                TaskEventKind::Failed => s.failed += 1,
+                TaskEventKind::Retried => s.retried += 1,
+                TaskEventKind::Memoized => s.memoized += 1,
+                TaskEventKind::NodeLost => s.node_lost += 1,
+                TaskEventKind::Redispatched => s.redispatched += 1,
+                TaskEventKind::TimedOut => s.timed_out += 1,
+                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
+                TaskEventKind::Launched => {}
+            }
+        }
+        s
+    }
+}
+
 /// Aggregated fault-handling view of a run — the numbers the paper's
 /// fault-injection experiment reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -70,6 +94,24 @@ pub struct FaultSummary {
     pub retries: usize,
 }
 
+impl FaultSummary {
+    /// Aggregate an event slice (see [`TaskSummary::from_events`]).
+    pub fn from_events(events: &[TaskEvent]) -> Self {
+        let mut s = FaultSummary::default();
+        for e in events {
+            match e.kind {
+                TaskEventKind::NodeLost => s.nodes_lost.push(e.label.clone()),
+                TaskEventKind::Redispatched => s.tasks_redispatched += 1,
+                TaskEventKind::TimedOut => s.tasks_timed_out += 1,
+                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
+                TaskEventKind::Retried => s.retries += 1,
+                _ => {}
+            }
+        }
+        s
+    }
+}
+
 /// The in-memory event log.
 ///
 /// Timestamps come from a [`RunClock`] anchored at log creation — a
@@ -79,6 +121,15 @@ pub struct FaultSummary {
 pub struct MonitoringLog {
     clock: RunClock,
     events: Mutex<Vec<TaskEvent>>,
+    /// Notified on every `record` while a waiter is registered, so tests
+    /// and shutdown paths can wait for a condition instead of
+    /// sleep-polling.
+    recorded: Condvar,
+    /// Threads currently blocked in [`MonitoringLog::wait_for_events`].
+    /// `record` skips the condvar notify when this is zero — with the
+    /// std-backed condvar a notify is a syscall even with no waiters,
+    /// which is most of the per-event cost on the dispatch hot path.
+    waiters: std::sync::atomic::AtomicUsize,
 }
 
 impl Default for MonitoringLog {
@@ -90,9 +141,17 @@ impl Default for MonitoringLog {
 impl MonitoringLog {
     /// An empty log; timestamps are relative to this call.
     pub fn new() -> Self {
+        Self::with_clock(simtest::real_clock())
+    }
+
+    /// An empty log stamped from an explicit time source (a virtual clock
+    /// under simulation).
+    pub fn with_clock(clock: simtest::ClockRef) -> Self {
         Self {
-            clock: RunClock::new(),
+            clock: RunClock::with_clock(clock),
             events: Mutex::new(Vec::new()),
+            recorded: Condvar::new(),
+            waiters: std::sync::atomic::AtomicUsize::new(0),
         }
     }
 
@@ -108,6 +167,13 @@ impl MonitoringLog {
             at,
             label: label.to_string(),
         });
+        drop(events);
+        // The waiter count is raised under the events lock, so a waiter
+        // that missed this event is visible here by the time the lock is
+        // released — no lost wakeups.
+        if self.waiters.load(std::sync::atomic::Ordering::SeqCst) > 0 {
+            self.recorded.notify_all();
+        }
     }
 
     /// Snapshot of all events so far.
@@ -115,42 +181,47 @@ impl MonitoringLog {
         self.events.lock().clone()
     }
 
+    /// Deadline-bounded condition wait over the event log: blocks until
+    /// `pred` holds for the events recorded so far, waking on every new
+    /// record, and gives up after `timeout` (real time). Returns the final
+    /// value of `pred`.
+    ///
+    /// This is the synchronization primitive integration tests use instead
+    /// of sleep-and-poll: no fixed sleeps, no lost wakeups (the predicate
+    /// is re-evaluated under the same lock `record` takes), and a hard
+    /// upper bound on how long a failing run can hang.
+    pub fn wait_for_events(
+        &self,
+        timeout: Duration,
+        mut pred: impl FnMut(&[TaskEvent]) -> bool,
+    ) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut events = self.events.lock();
+        // Registered under the lock: any `record` that runs after this
+        // point sees the waiter once it releases the lock and notifies.
+        self.waiters
+            .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        let result = loop {
+            if pred(&events) {
+                break true;
+            }
+            if self.recorded.wait_until(&mut events, deadline).timed_out() {
+                break pred(&events);
+            }
+        };
+        self.waiters
+            .fetch_sub(1, std::sync::atomic::Ordering::SeqCst);
+        result
+    }
+
     /// Aggregate counts.
     pub fn summary(&self) -> TaskSummary {
-        let events = self.events.lock();
-        let mut s = TaskSummary::default();
-        for e in events.iter() {
-            match e.kind {
-                TaskEventKind::Submitted => s.submitted += 1,
-                TaskEventKind::Completed => s.completed += 1,
-                TaskEventKind::Failed => s.failed += 1,
-                TaskEventKind::Retried => s.retried += 1,
-                TaskEventKind::Memoized => s.memoized += 1,
-                TaskEventKind::NodeLost => s.node_lost += 1,
-                TaskEventKind::Redispatched => s.redispatched += 1,
-                TaskEventKind::TimedOut => s.timed_out += 1,
-                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
-                TaskEventKind::Launched => {}
-            }
-        }
-        s
+        TaskSummary::from_events(&self.events.lock())
     }
 
     /// The fault-handling story of the run, for experiment reports.
     pub fn fault_summary(&self) -> FaultSummary {
-        let events = self.events.lock();
-        let mut s = FaultSummary::default();
-        for e in events.iter() {
-            match e.kind {
-                TaskEventKind::NodeLost => s.nodes_lost.push(e.label.clone()),
-                TaskEventKind::Redispatched => s.tasks_redispatched += 1,
-                TaskEventKind::TimedOut => s.tasks_timed_out += 1,
-                TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
-                TaskEventKind::Retried => s.retries += 1,
-                _ => {}
-            }
-        }
-        s
+        FaultSummary::from_events(&self.events.lock())
     }
 
     /// Observed makespan: time from first submit to last completion event.
@@ -287,12 +358,34 @@ mod tests {
 
     #[test]
     fn makespan_spans_first_to_last() {
-        let log = MonitoringLog::new();
+        // Virtual clock: the elapsed time between records is exact logical
+        // time, not a wall-clock sleep the scheduler may stretch.
+        let vc = simtest::VirtualClock::new();
+        vc.set_auto(false);
+        let log = MonitoringLog::with_clock(vc.clone());
         log.record(TaskId(1), TaskEventKind::Submitted, "a");
-        std::thread::sleep(Duration::from_millis(15));
+        vc.advance(Duration::from_millis(15));
         log.record(TaskId(1), TaskEventKind::Completed, "a");
-        assert!(log.makespan().unwrap() >= Duration::from_millis(10));
+        assert_eq!(log.makespan().unwrap(), Duration::from_millis(15));
         let empty = MonitoringLog::new();
         assert!(empty.makespan().is_none());
+    }
+
+    #[test]
+    fn wait_for_events_wakes_on_record() {
+        use std::sync::Arc;
+        let log = Arc::new(MonitoringLog::new());
+        let writer = log.clone();
+        let t = std::thread::spawn(move || {
+            for i in 0..3 {
+                writer.record(TaskId(i), TaskEventKind::Completed, "w");
+            }
+        });
+        assert!(log.wait_for_events(Duration::from_secs(5), |ev| {
+            TaskSummary::from_events(ev).completed == 3
+        }));
+        t.join().unwrap();
+        // A predicate that can never hold returns false at the deadline.
+        assert!(!log.wait_for_events(Duration::from_millis(20), |ev| ev.len() > 100));
     }
 }

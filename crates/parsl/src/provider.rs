@@ -210,7 +210,10 @@ mod tests {
         // Second provision must wait until the first block is released.
         let p2 = SlurmProvider::new(sched.clone());
         let handle = std::thread::spawn(move || p2.provision(1));
-        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            simtest::wait_until(Duration::from_secs(5), || sched.queue_depth() == 1),
+            "second provision should be queued"
+        );
         p.release(first);
         let second = handle.join().unwrap().unwrap();
         assert_eq!(second.len(), 1);

@@ -58,8 +58,11 @@ impl Strategy {
                 .name("parsl-strategy".to_string())
                 .spawn(move || {
                     use crate::executor::Executor as _;
+                    // Sample on the executor's clock so the strategy runs in
+                    // virtual time under the simulation harness.
+                    let clock = htex.clock();
                     while !stop.load(Ordering::SeqCst) {
-                        std::thread::sleep(policy.interval);
+                        clock.sleep(policy.interval);
                         let workers = htex.worker_count().max(1);
                         let backlog = htex.outstanding_tasks();
                         if backlog > workers * policy.tasks_per_worker
@@ -116,6 +119,7 @@ mod tests {
     use crate::provider::SlurmProvider;
     use crate::task::TaskId;
     use gridsim::{BatchScheduler, ClusterSpec, LatencyModel, SchedulerConfig};
+    use simtest::Clock as _;
     use yamlite::Value;
 
     #[test]
@@ -176,6 +180,9 @@ mod tests {
 
     #[test]
     fn does_not_scale_when_idle() {
+        // Virtual clock: fifty strategy ticks of idleness elapse in logical
+        // time instead of a wall-clock sleep.
+        let vc = simtest::VirtualClock::new();
         let sched = BatchScheduler::new(ClusterSpec::small(3, 1), SchedulerConfig::immediate());
         let htex = HighThroughputExecutor::start(
             HtexConfig {
@@ -183,6 +190,7 @@ mod tests {
                 nodes: 1,
                 workers_per_node: 1,
                 latency: LatencyModel::in_process(),
+                clock: vc.clone(),
                 ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched)),
@@ -195,7 +203,8 @@ mod tests {
                 ..Default::default()
             },
         );
-        std::thread::sleep(Duration::from_millis(50));
+        assert!(simtest::wait_until(Duration::from_secs(10), || vc.now()
+            >= Duration::from_millis(250)));
         strategy.stop();
         assert_eq!(htex.manager_count(), 1);
         assert_eq!(strategy.scale_out_events(), 0);

@@ -32,6 +32,7 @@ fn run_with_fault(
                 fault_plan: Some(plan),
                 // Mid-batch kills must be as invisible as per-task ones.
                 batch_size: 3,
+                ..HtexConfig::default()
             },
             Arc::new(LocalProvider::new(1)),
         )

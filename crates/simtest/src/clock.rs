@@ -1,0 +1,278 @@
+//! Real and virtual time sources behind one trait.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+/// A monotone time source the executor stack reads and sleeps through.
+///
+/// `now()` is the time since the clock's epoch (process start for the shared
+/// real clock, construction for a virtual one). All durations measured
+/// through one clock are mutually consistent; mixing clocks is a bug.
+pub trait Clock: Send + Sync {
+    /// Time elapsed since this clock's epoch.
+    fn now(&self) -> Duration;
+
+    /// Block the calling thread for `d` of this clock's time.
+    fn sleep(&self, d: Duration);
+
+    /// True for virtual clocks; lets callers skip real-time pacing.
+    fn is_virtual(&self) -> bool {
+        false
+    }
+}
+
+/// Shared handle to a clock implementation.
+pub type ClockRef = Arc<dyn Clock>;
+
+/// Wall-clock time, anchored at the first call to [`real_clock`].
+pub struct RealClock {
+    start: Instant,
+}
+
+impl RealClock {
+    pub fn new() -> Self {
+        RealClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    fn sleep(&self, d: Duration) {
+        std::thread::sleep(d);
+    }
+}
+
+/// The process-wide real clock. Every component that is not explicitly
+/// configured with a virtual clock shares this one, so timestamps taken in
+/// different crates are comparable.
+pub fn real_clock() -> ClockRef {
+    static GLOBAL: OnceLock<Arc<RealClock>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(RealClock::new())).clone()
+}
+
+struct VcState {
+    now: Duration,
+    next_ticket: u64,
+    /// Pending sleeper deadlines, ordered by (deadline, arrival ticket).
+    /// The head of this queue is the next logical instant anything can
+    /// happen at; auto-advance jumps straight to it.
+    sleepers: BTreeSet<(Duration, u64)>,
+}
+
+/// Virtual time advanced by an event queue of sleeper deadlines.
+///
+/// Every `sleep(d)` registers a deadline and blocks. When auto-advance is on
+/// (the default) and the system has been idle for a short real-time grace
+/// window, the clock jumps to the earliest registered deadline and wakes its
+/// sleeper — so a 250ms heartbeat timeout "elapses" in about a millisecond
+/// of real time, and sleepers always fire in logical-deadline order
+/// (ties broken by registration order).
+///
+/// The grace window exists because the clock cannot see threads that are
+/// *about* to sleep: it only advances once every running thread has either
+/// blocked on the clock or stayed silent for `grace` of real time. Tests
+/// that want full manual control call `set_auto(false)` and drive time with
+/// [`VirtualClock::advance`].
+pub struct VirtualClock {
+    state: Mutex<VcState>,
+    cond: Condvar,
+    auto: AtomicBool,
+    grace: Duration,
+}
+
+impl VirtualClock {
+    /// Auto-advancing virtual clock with a 1ms idle grace window.
+    pub fn new() -> Arc<Self> {
+        Self::with_grace(Duration::from_millis(1))
+    }
+
+    /// Auto-advancing virtual clock with an explicit idle grace window.
+    pub fn with_grace(grace: Duration) -> Arc<Self> {
+        Arc::new(VirtualClock {
+            state: Mutex::new(VcState {
+                now: Duration::ZERO,
+                next_ticket: 0,
+                sleepers: BTreeSet::new(),
+            }),
+            cond: Condvar::new(),
+            auto: AtomicBool::new(true),
+            grace,
+        })
+    }
+
+    /// Enable or disable idle auto-advance.
+    pub fn set_auto(&self, on: bool) {
+        self.auto.store(on, Ordering::SeqCst);
+        self.cond.notify_all();
+    }
+
+    /// Advance virtual time by `d`, waking every sleeper whose deadline has
+    /// now passed.
+    pub fn advance(&self, d: Duration) {
+        let mut st = self.state.lock();
+        st.now += d;
+        self.cond.notify_all();
+    }
+
+    /// Advance virtual time to `t` (no-op if time is already past it).
+    pub fn advance_to(&self, t: Duration) {
+        let mut st = self.state.lock();
+        if t > st.now {
+            st.now = t;
+            self.cond.notify_all();
+        }
+    }
+
+    /// Number of threads currently blocked in `sleep`.
+    pub fn sleeper_count(&self) -> usize {
+        self.state.lock().sleepers.len()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> Duration {
+        self.state.lock().now
+    }
+
+    fn sleep(&self, d: Duration) {
+        if d.is_zero() {
+            return;
+        }
+        let mut st = self.state.lock();
+        let deadline = st.now + d;
+        let ticket = st.next_ticket;
+        st.next_ticket += 1;
+        st.sleepers.insert((deadline, ticket));
+        loop {
+            if st.now >= deadline {
+                st.sleepers.remove(&(deadline, ticket));
+                // A new sleeper now holds the queue head; make sure it
+                // re-evaluates instead of waiting out another grace window.
+                self.cond.notify_all();
+                return;
+            }
+            let timed_out = self.cond.wait_for(&mut st, self.grace).timed_out();
+            // Only the sleeper holding the earliest deadline advances the
+            // clock, and only after a full grace window of real idleness —
+            // that is what serialises wakeups into logical order.
+            if timed_out
+                && self.auto.load(Ordering::SeqCst)
+                && st.sleepers.iter().next().copied() == Some((deadline, ticket))
+            {
+                st.now = deadline;
+                self.cond.notify_all();
+            }
+        }
+    }
+
+    fn is_virtual(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use parking_lot::Mutex as PMutex;
+
+    #[test]
+    fn real_clock_is_monotone_and_shared() {
+        let c1 = real_clock();
+        let c2 = real_clock();
+        let a = c1.now();
+        let b = c2.now();
+        assert!(b >= a);
+        assert!(!c1.is_virtual());
+    }
+
+    #[test]
+    fn virtual_sleep_fires_without_wall_time() {
+        let vc = VirtualClock::new();
+        let start = Instant::now();
+        // An hour of virtual time must elapse in well under a second.
+        vc.sleep(Duration::from_secs(3600));
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(vc.now(), Duration::from_secs(3600));
+    }
+
+    #[test]
+    fn sleepers_wake_in_deadline_order() {
+        let vc = VirtualClock::new();
+        let order: Arc<PMutex<Vec<u32>>> = Arc::new(PMutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        // Spawn in reverse-deadline order to prove the queue, not spawn
+        // order, decides who wakes first.
+        for (label, ms) in [(3u32, 30u64), (2, 20), (1, 10)] {
+            let vc = vc.clone();
+            let order = order.clone();
+            handles.push(std::thread::spawn(move || {
+                vc.sleep(Duration::from_millis(ms));
+                order.lock().push(label);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn manual_advance_wakes_sleeper() {
+        let vc = VirtualClock::new();
+        vc.set_auto(false);
+        let vc2 = vc.clone();
+        let h = std::thread::spawn(move || {
+            vc2.sleep(Duration::from_millis(500));
+            vc2.now()
+        });
+        // Wait until the sleeper has registered, then drive time by hand.
+        while vc.sleeper_count() == 0 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        vc.advance(Duration::from_millis(499));
+        assert_eq!(vc.sleeper_count(), 1);
+        vc.advance(Duration::from_millis(1));
+        assert!(h.join().unwrap() >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn simultaneous_deadlines_all_wake() {
+        let vc = VirtualClock::new();
+        vc.set_auto(false);
+        let order: Arc<PMutex<Vec<u32>>> = Arc::new(PMutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for label in 0u32..4 {
+            let vc = vc.clone();
+            let order = order.clone();
+            while vc.sleeper_count() != label as usize {
+                std::thread::sleep(Duration::from_micros(100));
+            }
+            handles.push(std::thread::spawn(move || {
+                vc.sleep(Duration::from_millis(10));
+                order.lock().push(label);
+            }));
+        }
+        while vc.sleeper_count() != 4 {
+            std::thread::sleep(Duration::from_micros(100));
+        }
+        vc.advance(Duration::from_millis(10));
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(order.lock().len(), 4);
+    }
+}

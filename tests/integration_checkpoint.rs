@@ -298,6 +298,7 @@ fn aborted_htex_run_resumes_on_healthy_executor() {
             min_nodes: 0,
             fault_plan: Some(FaultPlan::new().kill_after_tasks("node01", 2)),
             batch_size: 1,
+            ..HtexConfig::default()
         },
         Arc::new(SlurmProvider::new(sched)),
     )
@@ -657,23 +658,18 @@ fn sigkill_mid_run_then_resume_completes() {
         .expect("binary runs");
 
     // Wait for at least one durable record, then SIGKILL the process.
+    // Deadline-bounded wall-clock wait: the observed state lives in another
+    // process's filesystem writes, so there is no in-process condvar or
+    // virtual clock to hang this on — polling the journal file is the only
+    // signal available.
     let journal = work.join("ckpt").join("journal.ckpt");
-    let deadline = std::time::Instant::now() + Duration::from_secs(30);
-    loop {
-        if let Ok(loaded) = ckpt::load(&journal) {
-            if !loaded.records.is_empty() {
-                break;
-            }
-        }
+    let appeared = simtest::wait_until(Duration::from_secs(30), || {
         if let Some(status) = child.try_wait().unwrap() {
             panic!("parsl-cwl finished before it could be killed: {status}");
         }
-        assert!(
-            std::time::Instant::now() < deadline,
-            "no journal record appeared in time"
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
+        ckpt::load(&journal).is_ok_and(|loaded| !loaded.records.is_empty())
+    });
+    assert!(appeared, "no journal record appeared in time");
     child.kill().unwrap();
     child.wait().unwrap();
 

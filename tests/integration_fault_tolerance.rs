@@ -11,7 +11,8 @@ use cwl_parsl::config::load_config_file;
 use cwl_parsl::{CwlApp, CwlAppOptions};
 use gridsim::{BatchScheduler, ClusterSpec, FaultPlan, LatencyModel, SchedulerConfig};
 use parsl::{
-    AppArg, Config, DataFlowKernel, FnApp, HtexConfig, RetryPolicy, SlurmProvider, TaskEventKind,
+    AppArg, Config, DataFlowKernel, FaultSummary, FnApp, HtexConfig, RetryPolicy, SlurmProvider,
+    TaskEvent, TaskEventKind,
 };
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
@@ -28,17 +29,15 @@ fn configs() -> PathBuf {
 
 /// Wait (bounded) for an expected monitoring condition: fault handling runs
 /// on the monitor thread, so events like `BlockReplaced` can land slightly
-/// after the workflow's futures resolve.
-fn wait_for(dfk: &DataFlowKernel, what: &str, cond: impl Fn(&DataFlowKernel) -> bool) {
-    let deadline = std::time::Instant::now() + Duration::from_secs(5);
-    while !cond(dfk) {
-        assert!(
-            std::time::Instant::now() < deadline,
-            "timed out waiting for {what}; events: {:?}",
-            dfk.monitoring().events()
-        );
-        std::thread::sleep(Duration::from_millis(5));
-    }
+/// after the workflow's futures resolve. Condvar-notified on every recorded
+/// event — no sleep-and-poll.
+fn wait_for(dfk: &DataFlowKernel, what: &str, cond: impl FnMut(&[TaskEvent]) -> bool) {
+    assert!(
+        dfk.monitoring()
+            .wait_for_events(Duration::from_secs(5), cond),
+        "timed out waiting for {what}; events: {:?}",
+        dfk.monitoring().events()
+    );
 }
 
 fn scratch(tag: &str) -> PathBuf {
@@ -68,6 +67,7 @@ fn faulty_kernel(round: usize) -> (Arc<DataFlowKernel>, BatchScheduler) {
                 // Batched dispatch: node01 dies mid-batch, so the unfinished
                 // remainder of its batch must be re-dispatched.
                 batch_size: 4,
+                ..HtexConfig::default()
             },
             Arc::new(SlurmProvider::new(sched.clone())),
         )
@@ -101,8 +101,8 @@ fn node_death_mid_workflow_recovers_deterministically() {
             );
         }
 
-        wait_for(&dfk, "block replacement", |d| {
-            d.monitoring().fault_summary().blocks_replaced == 1
+        wait_for(&dfk, "block replacement", |evs| {
+            FaultSummary::from_events(evs).blocks_replaced == 1
         });
         let fs = dfk.monitoring().fault_summary();
         assert_eq!(
@@ -150,6 +150,7 @@ fn mid_batch_node_kill_redispatches_exactly_the_unfinished() {
             fault_plan: Some(plan.clone()),
             // Multi-task messages: the kill lands in the middle of one.
             batch_size: 6,
+            ..HtexConfig::default()
         },
         Arc::new(parsl::LocalProvider::new(1)),
     ))
@@ -180,8 +181,8 @@ fn mid_batch_node_kill_redispatches_exactly_the_unfinished() {
     }
     assert!(plan.is_dead("localhost/0"));
 
-    wait_for(&dfk, "node loss processed", |d| {
-        !d.monitoring().fault_summary().nodes_lost.is_empty()
+    wait_for(&dfk, "node loss processed", |evs| {
+        !FaultSummary::from_events(evs).nodes_lost.is_empty()
     });
     let fs = dfk.monitoring().fault_summary();
     assert_eq!(fs.nodes_lost, vec!["localhost/0".to_string()]);
@@ -273,6 +274,7 @@ fn node_loss_produces_linked_trace_spans() {
                 min_nodes: 0,
                 fault_plan: Some(plan),
                 batch_size: 6,
+                ..HtexConfig::default()
             },
             Arc::new(parsl::LocalProvider::new(1)),
         )
@@ -297,8 +299,8 @@ fn node_loss_produces_linked_trace_spans() {
             "task {i}"
         );
     }
-    wait_for(&dfk, "node loss processed", |d| {
-        !d.monitoring().fault_summary().nodes_lost.is_empty()
+    wait_for(&dfk, "node loss processed", |evs| {
+        !FaultSummary::from_events(evs).nodes_lost.is_empty()
     });
     dfk.shutdown();
 
@@ -363,8 +365,8 @@ fn yaml_fault_config_drives_injection() {
     for (i, f) in futs.iter().enumerate() {
         assert_eq!(f.result().unwrap(), Value::Int(3 * i as i64));
     }
-    wait_for(&dfk, "block replacement", |d| {
-        d.monitoring().fault_summary().blocks_replaced == 1
+    wait_for(&dfk, "block replacement", |evs| {
+        FaultSummary::from_events(evs).blocks_replaced == 1
     });
     let fs = dfk.monitoring().fault_summary();
     assert_eq!(fs.nodes_lost, vec!["node02".to_string()]);

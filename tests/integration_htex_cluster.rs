@@ -90,9 +90,12 @@ fn pilot_job_waits_in_queue_behind_other_work() {
             Arc::new(SlurmProvider::new(sched2)),
         ))
     });
-    // The kernel cannot start while the blocker holds all nodes.
-    std::thread::sleep(Duration::from_millis(50));
-    assert_eq!(sched.queue_depth(), 1, "pilot job should be queued");
+    // The kernel cannot start while the blocker holds all nodes; wait
+    // (bounded) for its pilot-job request to reach the batch queue.
+    assert!(
+        simtest::wait_until(Duration::from_secs(5), || sched.queue_depth() == 1),
+        "pilot job should be queued"
+    );
     blocker.release().unwrap();
     let dfk = starter.join().unwrap().unwrap();
     dfk.shutdown();
