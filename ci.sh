@@ -210,6 +210,106 @@ if [ -z "$replayed" ] || [ "$replayed" -eq 0 ]; then
 fi
 echo "crash-resume smoke: $replayed task(s) replayed from the journal"
 
+# Service smoke: one warm parsl-serve daemon runs several workflows
+# concurrently, is SIGTERMed mid-run, restarts with --resume replaying the
+# interrupted run's journal, and drains cleanly. The slow workflow reuses
+# the crash-resume smoke's gated sleepms steps so the kill window is wide.
+rm -rf target/serve-smoke target/serve-smoke-work target/serve-smoke.jsonl
+mkdir -p target/serve-smoke
+cp target/ckpt-smoke/slow_step.cwl target/ckpt-smoke/slow.cwl target/serve-smoke/
+cat > target/serve-smoke/config.yml <<'EOF'
+executor:
+  kind: thread-pool
+  workers: 4
+monitoring:
+  enabled: true
+  sample_rate: 1.0
+  export: target/serve-smoke.jsonl
+  sinks: [jsonl]
+run:
+  workdir: ./target/serve-smoke-work
+  builtin_tools: true
+serve:
+  max_in_flight: 3
+  tenants:
+    alice: 2.0
+    bob: 1.0
+EOF
+cat > target/serve-smoke/words.yml <<'EOF'
+words: [serve, smoke, gate]
+EOF
+serve_cfg=target/serve-smoke/config.yml
+serve_sock=target/serve-smoke-work/serve.sock
+wait_for_socket() {
+    for _ in $(seq 1 200); do
+        [ -S "$serve_sock" ] && return 0
+        sleep 0.05
+    done
+    echo "error: parsl-serve never bound $serve_sock" >&2
+    exit 1
+}
+./target/release/parsl-serve "$serve_cfg" &
+serve_pid=$!
+wait_for_socket
+# Two concurrent submissions from different tenants through one daemon.
+./target/release/parsl-cwl submit "$serve_cfg" fixtures/diamond.cwl \
+    --message='serve smoke' --tenant=alice
+./target/release/parsl-cwl submit "$serve_cfg" fixtures/scatter_words_py.cwl \
+    target/serve-smoke/words.yml --tenant=bob
+for _ in $(seq 1 600); do
+    finished=$(./target/release/parsl-cwl status "$serve_cfg" \
+        | grep -c 'state=completed' || true)
+    [ "$finished" -ge 2 ] && break
+    sleep 0.1
+done
+if [ "${finished:-0}" -lt 2 ]; then
+    echo "error: concurrent serve runs never completed:" >&2
+    ./target/release/parsl-cwl status "$serve_cfg" >&2 || true
+    exit 1
+fi
+echo "serve smoke: 2 concurrent runs completed"
+# Third run, then SIGTERM the daemon mid-run (after >=1 journaled task).
+./target/release/parsl-cwl submit "$serve_cfg" target/serve-smoke/slow.cwl \
+    --first_ms=10 --tenant=alice
+serve_journal=target/serve-smoke-work/runs/run-2/ckpt/journal.ckpt
+for _ in $(seq 1 600); do
+    size=$(stat -c %s "$serve_journal" 2>/dev/null || echo 0)
+    [ "$size" -gt 120 ] && break
+    sleep 0.05
+done
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+test -s "$serve_journal"
+# Restart with --resume: the interrupted run must replay, not re-execute.
+./target/release/parsl-serve "$serve_cfg" --resume &
+serve_pid=$!
+wait_for_socket
+for _ in $(seq 1 600); do
+    line=$(./target/release/parsl-cwl status "$serve_cfg" 2 | grep '^run 2 ' || true)
+    echo "$line" | grep -q 'state=completed' && break
+    sleep 0.1
+done
+echo "$line" | grep -q 'state=completed' || {
+    echo "error: resumed serve run never completed: $line" >&2
+    exit 1
+}
+resumed_replayed=$(echo "$line" | grep -o 'replayed=[0-9]*' | grep -o '[0-9]*$')
+if [ -z "$resumed_replayed" ] || [ "$resumed_replayed" -eq 0 ]; then
+    echo "error: resumed serve run replayed nothing: $line" >&2
+    exit 1
+fi
+./target/release/parsl-cwl drain "$serve_cfg" --wait
+wait "$serve_pid"
+# The drained daemon exported its trace; replay must be visible there too.
+serve_replayed=$(cargo run --release -p obs --bin parsl-trace -- target/serve-smoke.jsonl --json \
+    | grep -o '"name":"ckpt.replayed","kind":"counter","value":[0-9]*' \
+    | grep -o '[0-9]*$')
+if [ -z "$serve_replayed" ] || [ "$serve_replayed" -eq 0 ]; then
+    echo "error: serve trace shows no replayed tasks (ckpt.replayed=${serve_replayed:-missing})" >&2
+    exit 1
+fi
+echo "serve smoke: resumed run replayed $resumed_replayed task(s) (trace ckpt.replayed=$serve_replayed), drained cleanly"
+
 # Disabled-monitoring overhead gate: the instrumented pipeline with
 # monitoring off must stay within noise of the committed pre-instrumentation
 # numbers (tolerance overridable via BENCH_CHECK_TOLERANCE).

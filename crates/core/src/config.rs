@@ -44,6 +44,14 @@
 //!   mode: auto            # copy | link | auto (default auto)
 //!   dir: /shared/cas      # shared store (default: per-run <workdir>/cas)
 //!   pool: 8               # parallel stage-in pool width
+//! serve:                  # parsl-serve daemon (multi-run service)
+//!   socket: ./work/serve.sock  # UDS path (default: <workdir>/serve.sock)
+//!   max_in_flight: 4      # runs executing concurrently
+//!   queue_cap: 64         # queued runs before backpressure rejection
+//!   default_weight: 1.0   # fair-share weight for unlisted tenants
+//!   tenants:              # per-tenant fair-share weights
+//!     alice: 3.0
+//!     bob: 1.0
 //! ```
 //!
 //! `retries: N` at the top level is still accepted as shorthand for
@@ -80,6 +88,56 @@ pub struct RunnerConfig {
     pub checkpoint: CheckpointSettings,
     /// Content-addressed data plane (the `staging:` block).
     pub staging: StagingSettings,
+    /// Multi-run service daemon settings (the `serve:` block).
+    pub serve: ServeSettings,
+}
+
+/// The parsed `serve:` block — settings for the `parsl-serve` daemon.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeSettings {
+    /// Unix-domain socket path; `None` defaults to `<workdir>/serve.sock`.
+    pub socket: Option<PathBuf>,
+    /// Maximum number of runs executing concurrently; further admitted
+    /// runs wait in the queue.
+    pub max_in_flight: usize,
+    /// Maximum number of queued-but-not-started runs before submissions
+    /// are rejected with backpressure.
+    pub queue_cap: usize,
+    /// Per-tenant fair-share weights (name, weight). Tenants not listed
+    /// get [`ServeSettings::default_weight`].
+    pub tenants: Vec<(String, f64)>,
+    /// Fair-share weight for tenants without an explicit entry.
+    pub default_weight: f64,
+}
+
+impl Default for ServeSettings {
+    fn default() -> Self {
+        Self {
+            socket: None,
+            max_in_flight: 4,
+            queue_cap: 64,
+            tenants: Vec::new(),
+            default_weight: 1.0,
+        }
+    }
+}
+
+impl ServeSettings {
+    /// Resolve the socket path against the configured workdir.
+    pub fn socket_path(&self, workdir: &Path) -> PathBuf {
+        self.socket
+            .clone()
+            .unwrap_or_else(|| workdir.join("serve.sock"))
+    }
+
+    /// The fair-share weight for a tenant.
+    pub fn weight_for(&self, tenant: &str) -> f64 {
+        self.tenants
+            .iter()
+            .find(|(name, _)| name == tenant)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.default_weight)
+    }
 }
 
 /// When completed tasks are made durable in the checkpoint journal.
@@ -272,6 +330,9 @@ fn parse_monitoring(v: &Value) -> Result<obs::ObsConfig, String> {
     if let Some(p) = block.get("export").and_then(Value::as_str) {
         cfg.export_path = Some(PathBuf::from(p));
     }
+    if let Some(cap) = block.get("events_cap").and_then(Value::as_int) {
+        cfg.events_cap = cap.max(1) as usize;
+    }
     if let Some(sinks) = block.get("sinks").and_then(Value::as_seq) {
         cfg.sink_jsonl = false;
         cfg.sink_chrome = false;
@@ -284,6 +345,51 @@ fn parse_monitoring(v: &Value) -> Result<obs::ObsConfig, String> {
         }
     }
     Ok(cfg)
+}
+
+/// Parse the `serve:` block into [`ServeSettings`]. Absent block =
+/// defaults (the daemon can still run; clients then use the default
+/// `<workdir>/serve.sock`). Misconfigurations that would wedge the
+/// service — a zero in-flight limit, a non-positive fair-share weight —
+/// are load errors, mirroring `parse_retry`.
+fn parse_serve(v: &Value) -> Result<ServeSettings, String> {
+    let mut settings = ServeSettings::default();
+    let Some(block) = v.get("serve") else {
+        return Ok(settings);
+    };
+    if let Some(p) = block.get("socket").and_then(Value::as_str) {
+        settings.socket = Some(PathBuf::from(p));
+    }
+    if let Some(n) = block.get("max_in_flight").and_then(Value::as_int) {
+        if n < 1 {
+            return Err(format!("serve.max_in_flight must be >= 1 (got {n})"));
+        }
+        settings.max_in_flight = n as usize;
+    }
+    if let Some(n) = block.get("queue_cap").and_then(Value::as_int) {
+        if n < 1 {
+            return Err(format!("serve.queue_cap must be >= 1 (got {n})"));
+        }
+        settings.queue_cap = n as usize;
+    }
+    if let Some(w) = block.get("default_weight").and_then(Value::as_float) {
+        if w <= 0.0 {
+            return Err(format!("serve.default_weight must be > 0 (got {w})"));
+        }
+        settings.default_weight = w;
+    }
+    if let Some(tenants) = block.get("tenants").and_then(Value::as_map) {
+        for (name, weight) in tenants.iter() {
+            let w = weight
+                .as_float()
+                .ok_or_else(|| format!("serve.tenants.{name} must be a number"))?;
+            if w <= 0.0 {
+                return Err(format!("serve.tenants.{name} must be > 0 (got {w})"));
+            }
+            settings.tenants.push((name.to_string(), w));
+        }
+    }
+    Ok(settings)
 }
 
 /// Parse the `fault:` block into a [`FaultPlan`].
@@ -323,6 +429,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
     let monitoring = parse_monitoring(v)?;
     let checkpoint = parse_checkpoint(v)?;
     let staging = parse_staging(v)?;
+    let serve = parse_serve(v)?;
 
     let mut scheduler = None;
     let parsl = match kind {
@@ -452,6 +559,7 @@ pub fn load_config_value(v: &Value) -> Result<RunnerConfig, String> {
         strict_check,
         checkpoint,
         staging,
+        serve,
     })
 }
 

@@ -32,6 +32,11 @@ pub struct CwlAppOptions {
     /// so every task and the prestage pool hit the same store and the
     /// run can publish one set of stage counters).
     pub stager: Option<Arc<Stager>>,
+    /// Service run tag: when set, every task submitted through this app
+    /// (or a workflow runner built from these options) carries the run's
+    /// identity — fair-share scheduling, per-run journaling, and lineage
+    /// namespacing all key off it.
+    pub run_tag: Option<parsl::RunTag>,
 }
 
 impl Default for CwlAppOptions {
@@ -42,6 +47,7 @@ impl Default for CwlAppOptions {
             dispatch: None,
             staging: StagingSettings::default(),
             stager: None,
+            run_tag: None,
         }
     }
 }
@@ -79,6 +85,12 @@ impl CwlAppOptions {
         self
     }
 
+    /// Tag every submission with a service run identity.
+    pub fn with_run_tag(mut self, tag: parsl::RunTag) -> Self {
+        self.run_tag = Some(tag);
+        self
+    }
+
     /// Resolve the dispatch implied by these options.
     pub(crate) fn resolve_dispatch(&self) -> Arc<dyn ToolDispatch> {
         match &self.dispatch {
@@ -109,6 +121,7 @@ pub struct CwlApp {
     stager: Arc<Stager>,
     workdir_base: PathBuf,
     label: String,
+    run_tag: Option<parsl::RunTag>,
     seq: AtomicU64,
 }
 
@@ -202,6 +215,7 @@ impl CwlApp {
             stager,
             workdir_base: options.workdir_base,
             label,
+            run_tag: options.run_tag,
             seq: AtomicU64::new(0),
         })
     }
@@ -367,7 +381,12 @@ impl<'a> CwlInvocation<'a> {
             Ok(Value::Map(run.outputs))
         });
 
-        let future = app.dfk.submit(&app.label, parsl_args, body);
+        let future = match &app.run_tag {
+            Some(tag) => app
+                .dfk
+                .submit_tagged(&app.label, None, parsl_args, body, tag.clone()),
+            None => app.dfk.submit(&app.label, parsl_args, body),
+        };
         lineage.store(future.id().0, Ordering::Release);
         let outputs = predicted
             .into_iter()

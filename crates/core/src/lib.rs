@@ -24,10 +24,11 @@ pub mod checkpoint;
 pub mod config;
 pub mod cwlapp;
 pub mod lint;
+pub mod proto;
 pub mod runner;
 pub mod wfrunner;
 
-pub use config::{load_config_file, load_config_value, RunnerConfig};
+pub use config::{load_config_file, load_config_value, RunnerConfig, ServeSettings};
 pub use cwlapp::{CwlApp, CwlAppOptions, CwlInvocation, CwlRun};
 pub use runner::{run_tool_cli, run_tool_cli_resumable, CkptReport, CliOutcome};
 pub use wfrunner::ParslWorkflowRunner;

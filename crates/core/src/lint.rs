@@ -14,6 +14,8 @@
 //!   than the cluster has, a fault kill with two trigger conditions);
 //! * **E044** — a pinned `staging.dir` that can never be created
 //!   (delegates to [`StagingSettings::validate`]);
+//! * **E045** — a `serve.socket` path the daemon can never bind (the
+//!   deepest existing ancestor is not a writable directory);
 //! * **W120** — a setting the chosen executor/mode never reads;
 //! * **W121** — cross-file: two configs sharing one checkpoint journal
 //!   directory (resumes would mix runs).
@@ -41,6 +43,7 @@ const TOP_KEYS: &[&str] = &[
     "checkpoint",
     "staging",
     "monitoring",
+    "serve",
 ];
 const EXECUTOR_KEYS: &[&str] = &[
     "kind",
@@ -69,7 +72,14 @@ const RUN_KEYS: &[&str] = &["workdir", "builtin_tools"];
 const CHECK_KEYS: &[&str] = &["pre_run", "strict"];
 const CHECKPOINT_KEYS: &[&str] = &["mode", "dir", "period_ms"];
 const STAGING_KEYS: &[&str] = &["mode", "dir", "pool"];
-const MONITORING_KEYS: &[&str] = &["enabled", "sample_rate", "export", "sinks"];
+const MONITORING_KEYS: &[&str] = &["enabled", "sample_rate", "export", "sinks", "events_cap"];
+const SERVE_KEYS: &[&str] = &[
+    "socket",
+    "max_in_flight",
+    "queue_cap",
+    "tenants",
+    "default_weight",
+];
 
 const EXECUTOR_KINDS: &[&str] = &[
     "thread-pool",
@@ -228,6 +238,61 @@ fn check_fraction(block: &Value, base: &str, key: &str, sink: &mut CfgSink) {
     }
 }
 
+/// E042 unless `block[key]`, when present, is a finite number `> 0`
+/// (fair-share weights: a zero or negative weight starves the tenant).
+fn check_weight(block: &Value, base: &str, key: &str, sink: &mut CfgSink) {
+    let Some(v) = block.get(key) else { return };
+    match v.as_float() {
+        Some(f) if f.is_finite() && f > 0.0 => {}
+        _ => sink.error(
+            codes::CFG_VALUE,
+            child(base, key),
+            format!(
+                "{base}.{key} must be a number > 0, got {}",
+                v.to_display_string()
+            ),
+        ),
+    }
+}
+
+/// E045 probe: the deepest existing ancestor of `sock`'s parent must be a
+/// writable directory, or `bind()` can never create the socket there.
+fn probe_socket_dir(sock: &Path) -> Result<(), String> {
+    let parent = match sock.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => return Ok(()), // bare filename: binds in the cwd
+    };
+    let mut probe = parent;
+    loop {
+        if probe.exists() {
+            if !probe.is_dir() {
+                return Err(format!(
+                    "serve.socket {}: ancestor {} exists but is not a directory",
+                    sock.display(),
+                    probe.display()
+                ));
+            }
+            let marker = probe.join(format!(".serve-probe-{}", std::process::id()));
+            return match std::fs::File::create(&marker) {
+                Ok(_) => {
+                    let _ = std::fs::remove_file(&marker);
+                    Ok(())
+                }
+                Err(e) => Err(format!(
+                    "serve.socket {} is not creatable ({} at {})",
+                    sock.display(),
+                    e,
+                    probe.display()
+                )),
+            };
+        }
+        match probe.parent() {
+            Some(p) if p != probe => probe = p,
+            _ => return Ok(()), // relative path with no existing prefix
+        }
+    }
+}
+
 /// E042 unless `block[key]`, when present, is one of `allowed`.
 fn check_enum(block: &Value, base: &str, key: &str, allowed: &[&str], sink: &mut CfgSink) {
     let Some(v) = block.get(key) else { return };
@@ -381,6 +446,7 @@ pub fn lint_value(doc: &Value, spans: &SpanIndex, report: &mut Report) {
     check_keys(&monitoring, "monitoring", MONITORING_KEYS, sink);
     check_bool(&monitoring, "monitoring", "enabled", sink);
     check_fraction(&monitoring, "monitoring", "sample_rate", sink);
+    check_int(&monitoring, "monitoring", "events_cap", 1, sink);
     if let Some(sinks) = monitoring.get("sinks").and_then(Value::as_seq) {
         for (i, s) in sinks.iter().enumerate() {
             let ok = s
@@ -397,6 +463,37 @@ pub fn lint_value(doc: &Value, spans: &SpanIndex, report: &mut Report) {
                     ),
                 );
             }
+        }
+    }
+
+    let serve = doc.get("serve").cloned().unwrap_or(Value::Null);
+    check_keys(&serve, "serve", SERVE_KEYS, sink);
+    check_int(&serve, "serve", "max_in_flight", 1, sink);
+    check_int(&serve, "serve", "queue_cap", 1, sink);
+    check_weight(&serve, "serve", "default_weight", sink);
+    if let Some(tenants) = serve.get("tenants").cloned() {
+        match &tenants {
+            Value::Map(m) => {
+                for (name, _) in m.iter() {
+                    check_weight(&tenants, "serve.tenants", name, sink);
+                }
+            }
+            other => sink.error(
+                codes::CFG_VALUE,
+                "serve.tenants",
+                format!(
+                    "serve.tenants must be a map of tenant -> weight, got {}",
+                    other.to_display_string()
+                ),
+            ),
+        }
+    }
+    // E045: a socket path the daemon can never bind — same probe idiom as
+    // the staging-dir check (walk up to the deepest existing ancestor,
+    // which is what `bind()` needs to be a writable directory).
+    if let Some(sock) = serve.get("socket").and_then(Value::as_str) {
+        if let Err(e) = probe_socket_dir(Path::new(sock)) {
+            sink.error(codes::CFG_SERVE_SOCKET, "serve.socket", e);
         }
     }
 
@@ -700,6 +797,41 @@ mod tests {
     fn unreachable_staging_dir_is_e044() {
         let r = lint("staging:\n  dir: /etc/passwd/cas\n");
         assert!(r.has_code(codes::CFG_STAGING_DIR), "{}", r.render_text());
+    }
+
+    #[test]
+    fn serve_block_is_linted() {
+        let r = lint(
+            "serve:\n  socket: /tmp/s.sock\n  max_in_flight: 2\n  queue_cap: 8\n  default_weight: 1.5\n  tenants:\n    alice: 3\n    bob: 1\n",
+        );
+        assert!(r.is_clean(true), "{}", r.render_text());
+
+        let r = lint("serve:\n  max_in_flight: 0\n");
+        assert!(r.has_code(codes::CFG_VALUE), "{}", r.render_text());
+        let r = lint("serve:\n  queue_cap: 0\n");
+        assert!(r.has_code(codes::CFG_VALUE));
+        let r = lint("serve:\n  default_weight: 0\n");
+        assert!(r.has_code(codes::CFG_VALUE));
+        let r = lint("serve:\n  tenants:\n    alice: -1\n");
+        assert!(r.has_code(codes::CFG_VALUE));
+        let r = lint("serve:\n  tenants: [alice, bob]\n");
+        assert!(r.has_code(codes::CFG_VALUE));
+        let r = lint("serve:\n  max_inflight: 2\n");
+        assert!(r.has_code(codes::CFG_UNKNOWN_KEY));
+    }
+
+    #[test]
+    fn unbindable_serve_socket_is_e045() {
+        let r = lint("serve:\n  socket: /etc/passwd/serve.sock\n");
+        assert!(r.has_code(codes::CFG_SERVE_SOCKET), "{}", r.render_text());
+    }
+
+    #[test]
+    fn monitoring_events_cap_is_linted() {
+        let r = lint("monitoring:\n  events_cap: 4096\n");
+        assert!(r.is_clean(true), "{}", r.render_text());
+        let r = lint("monitoring:\n  events_cap: 0\n");
+        assert!(r.has_code(codes::CFG_VALUE), "{}", r.render_text());
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub struct ParslWorkflowRunner {
     dispatch: Arc<dyn ToolDispatch>,
     // Deferred so `new` stays infallible; surfaced by `run`.
     stager: Result<Arc<Stager>, String>,
+    /// Service run identity stamped on every submitted task.
+    run_tag: Option<parsl::RunTag>,
 }
 
 impl ParslWorkflowRunner {
@@ -64,6 +66,7 @@ impl ParslWorkflowRunner {
             workdir_base: options.workdir_base,
             dispatch,
             stager,
+            run_tag: options.run_tag,
         }
     }
 
@@ -476,9 +479,18 @@ impl ParslWorkflowRunner {
                 // fast worker journaling a step-less record. Scatter
                 // instances share the step id; the task label keeps the
                 // per-instance index.
-                let fut = self
-                    .dfk
-                    .submit_bound(task_name, Some(&step.id), parsl_args, body);
+                let fut = match &self.run_tag {
+                    Some(tag) => self.dfk.submit_tagged(
+                        task_name,
+                        Some(&step.id),
+                        parsl_args,
+                        body,
+                        tag.clone(),
+                    ),
+                    None => self
+                        .dfk
+                        .submit_bound(task_name, Some(&step.id), parsl_args, body),
+                };
                 lineage.store(fut.id().0, Ordering::Release);
                 Ok(fut)
             }

@@ -52,6 +52,7 @@
 //! | E042 | invalid config value |
 //! | E043 | invalid config combination |
 //! | E044 | staging dir not writable |
+//! | E045 | serve socket dir not writable |
 //! | W120 | config setting has no effect |
 //! | W121 | two configs share one checkpoint dir |
 
@@ -92,6 +93,7 @@ pub mod codes {
     pub const CFG_VALUE: &str = "E042";
     pub const CFG_COMBO: &str = "E043";
     pub const CFG_STAGING_DIR: &str = "E044";
+    pub const CFG_SERVE_SOCKET: &str = "E045";
     pub const DEAD_STEP: &str = "W101";
     pub const UNUSED_OUTPUT: &str = "W102";
     pub const OPTIONAL_COERCION: &str = "W103";

@@ -42,9 +42,13 @@ pub fn lineage_line(r: &LineageRecord) -> String {
         Some(o) => format!("\"{}\"", escape(o)),
         None => "null".to_string(),
     };
+    let run = match &r.run {
+        Some(n) => format!("\"{}\"", escape(n)),
+        None => "null".to_string(),
+    };
     format!(
         "{{\"type\":\"lineage\",\"task\":{},\"label\":\"{}\",\"cwl_step\":{step},\
-         \"submit_us\":{},\"dispatch_us\":{},\"complete_us\":{},\
+         \"run\":{run},\"submit_us\":{},\"dispatch_us\":{},\"complete_us\":{},\
          \"attempts\":{},\"outcome\":{outcome}}}",
         r.task,
         escape(&r.label),
@@ -165,6 +169,7 @@ mod tests {
             task: 4,
             label: "l".into(),
             cwl_step: Some("resize".into()),
+            run: Some("alice/run-3".into()),
             submit_us: 1,
             dispatch_us: 2,
             complete_us: 3,

@@ -32,7 +32,7 @@ pub mod report;
 pub mod span;
 
 pub use clock::RunClock;
-pub use config::ObsConfig;
+pub use config::{ObsConfig, DEFAULT_EVENTS_CAP};
 pub use lineage::LineageRecord;
 pub use metrics::{names, Counter, Gauge, Histogram, MetricSnapshot, MetricValue, Registry};
 pub use span::{ActiveSpan, SpanCtx, SpanKind, SpanRecord};
@@ -243,6 +243,15 @@ impl Observability {
         }
         self.lineage
             .with(task, |r| r.cwl_step = Some(step.to_string()));
+    }
+
+    /// Bind the service run a task belongs to (`tenant/run-id`), so a
+    /// multi-run daemon's trace joins every task to the right submission.
+    pub fn lineage_bind_run(&self, task: u64, run: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lineage.with(task, |r| r.run = Some(run.to_string()));
     }
 
     /// Record a task reaching a terminal state.

@@ -15,6 +15,9 @@ pub struct LineageRecord {
     pub label: String,
     /// CWL step id, when the task was compiled from a workflow step.
     pub cwl_step: Option<String>,
+    /// Service run namespace (`tenant/run-id`), when the task was
+    /// submitted through a multi-run daemon. `None` for one-shot runs.
+    pub run: Option<String>,
     /// Submit timestamp, µs since run start.
     pub submit_us: u64,
     /// First dispatch timestamp, µs since run start (0 = never
@@ -53,6 +56,7 @@ impl LineageTable {
                 task,
                 label: label.to_string(),
                 cwl_step: None,
+                run: None,
                 submit_us: at_us,
                 dispatch_us: 0,
                 complete_us: 0,

@@ -269,6 +269,17 @@ pub mod names {
     /// Counter: bytes a copying stager would have written that the link
     /// ladder avoided.
     pub const STAGE_BYTES_SAVED: &str = "stage.bytes_saved";
+    /// Counter: submissions accepted into the service queue.
+    pub const SERVE_QUEUED: &str = "serve.queued";
+    /// Counter: queued runs promoted to active execution.
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Counter: submissions rejected at the door (infeasible or over
+    /// the backpressure limit).
+    pub const SERVE_REJECTED: &str = "serve.rejected";
+    /// Gauge: runs currently executing in the daemon.
+    pub const SERVE_ACTIVE: &str = "serve.active";
+    /// Histogram: time a ready task waited in the fair-share queue, µs.
+    pub const SERVE_QUEUE_WAIT_US: &str = "serve.queue_wait_us";
 }
 
 /// A point-in-time reading of one metric, for export and reporting.

@@ -104,6 +104,7 @@ fn parse_lineage(v: &Json, lineno: usize) -> Result<LineageRecord, String> {
         task: field_u64(v, "task", lineno)?,
         label: field_str(v, "label", lineno)?,
         cwl_step: v.get("cwl_step").and_then(Json::as_str).map(str::to_string),
+        run: v.get("run").and_then(Json::as_str).map(str::to_string),
         submit_us: field_u64(v, "submit_us", lineno)?,
         dispatch_us: field_u64(v, "dispatch_us", lineno)?,
         complete_us: field_u64(v, "complete_us", lineno)?,

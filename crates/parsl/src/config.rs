@@ -185,6 +185,12 @@ pub struct Config {
     /// seeds from entropy; `Some(s)` makes the backoff schedule a pure
     /// function of the seed, for replayable simulation runs.
     pub seed: Option<u64>,
+    /// Dispatch gate for multi-run service scheduling: when set, every
+    /// *tagged* task whose dependencies are met is offered to the gate
+    /// instead of dispatching straight to the executor, so a fair-share
+    /// scheduler can decide which run's tasks go next. Untagged tasks
+    /// bypass the gate.
+    pub gate: Option<Arc<dyn crate::dfk::DispatchGate>>,
 }
 
 impl Config {
@@ -199,6 +205,7 @@ impl Config {
             checkpoint: None,
             clock: simtest::real_clock(),
             seed: None,
+            gate: None,
         }
     }
 
@@ -213,6 +220,7 @@ impl Config {
             checkpoint: None,
             clock: simtest::real_clock(),
             seed: None,
+            gate: None,
         }
     }
 
@@ -249,6 +257,13 @@ impl Config {
     /// Attach a checkpoint journal (implies memoization).
     pub fn with_checkpoint(mut self, journal: Arc<ckpt::Journal>) -> Self {
         self.checkpoint = Some(journal);
+        self
+    }
+
+    /// Route tagged-task dispatch through a [`crate::dfk::DispatchGate`]
+    /// (the multi-run service's fair-share scheduler).
+    pub fn with_gate(mut self, gate: Arc<dyn crate::dfk::DispatchGate>) -> Self {
+        self.gate = Some(gate);
         self
     }
 

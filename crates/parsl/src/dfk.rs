@@ -80,6 +80,82 @@ impl AppArg {
     }
 }
 
+/// Identifies the service run a task belongs to when the kernel hosts
+/// many concurrent workflow runs (the `parsl-serve` daemon). Untagged
+/// tasks — everything submitted through [`DataFlowKernel::submit`] /
+/// [`DataFlowKernel::submit_bound`] — behave exactly as before.
+#[derive(Clone, Debug)]
+pub struct RunTag {
+    /// Daemon-assigned run id (also the key for the run's journal).
+    pub run: u64,
+    /// Fair-share tenant the run was submitted under.
+    pub tenant: Arc<str>,
+    /// Memo namespace mixed into input fingerprints so tasks from
+    /// *different* workflows can never collide in the shared memo table,
+    /// while identical workflows share the namespace and still dedupe
+    /// across runs. Conventionally the workflow run hash.
+    pub memo_ns: u64,
+}
+
+impl RunTag {
+    /// The run's lineage namespace, as exported in the trace.
+    pub fn lineage_name(&self) -> String {
+        format!("{}/run-{}", self.tenant, self.run)
+    }
+}
+
+/// A tagged task whose dependencies are met and whose memo lookup missed:
+/// the gate now owns when (or whether) it executes. Call
+/// [`GatedLaunch::launch`] — from any thread, now or later — to dispatch
+/// it, or [`GatedLaunch::abort`] to fail it without executing.
+pub struct GatedLaunch {
+    dfk: Arc<DataFlowKernel>,
+    task: Arc<TaskInner>,
+    vals: Arc<Vec<Value>>,
+    fingerprint: Option<u64>,
+}
+
+impl GatedLaunch {
+    /// The run this task belongs to.
+    pub fn tag(&self) -> &RunTag {
+        self.task
+            .tag
+            .as_ref()
+            .expect("GatedLaunch exists only for tagged tasks")
+    }
+
+    /// Task label (app name).
+    pub fn label(&self) -> &str {
+        &self.task.label
+    }
+
+    /// Dispatch the task to the executor. The gate receives
+    /// [`DispatchGate::finished`] when the task reaches a terminal state.
+    pub fn launch(self) {
+        self.task.gated.store(true, Ordering::Release);
+        self.dfk.attempt(self.task, self.vals, self.fingerprint);
+    }
+
+    /// Fail the task without executing it (run cancellation). The gate is
+    /// *not* notified — it never dispatched this task.
+    pub fn abort(self, reason: &str) {
+        self.dfk
+            .finish(&self.task, Err(TaskError::failed(reason.to_string())));
+    }
+}
+
+/// Scheduling hook between dependency resolution and the executor: a
+/// fair-share scheduler implements this to decide which run's ready tasks
+/// dispatch next. Only tasks submitted with a [`RunTag`] are gated.
+pub trait DispatchGate: Send + Sync {
+    /// A tagged task became runnable. The implementation must eventually
+    /// call [`GatedLaunch::launch`] or [`GatedLaunch::abort`].
+    fn ready(&self, launch: GatedLaunch);
+    /// A task this gate launched reached a terminal state; its slot is
+    /// free. Called once per `launch()`, never for aborted tasks.
+    fn finished(&self, tag: &RunTag);
+}
+
 struct TaskInner {
     id: TaskId,
     /// `Arc<str>` so attempts, retries, and memo keys share one allocation
@@ -92,6 +168,14 @@ struct TaskInner {
     /// The task's `Submit` span id — the root every later span for this
     /// task hangs off (0 when monitoring is off or the task unsampled).
     root_span: u64,
+    /// CWL step id, carried on the task so per-run journal records can
+    /// name it without the kernel-wide step map.
+    step: Option<String>,
+    /// Service run this task belongs to (`None` for one-shot kernels).
+    tag: Option<RunTag>,
+    /// Set when a [`DispatchGate`] launched this task; the terminal
+    /// `finish` then owes the gate a `finished` callback.
+    gated: std::sync::atomic::AtomicBool,
 }
 
 /// Shards in the memoization table. Power of two so the shard index is a
@@ -172,6 +256,12 @@ pub struct DataFlowKernel {
     /// Jitter RNG for the retry backoff schedule — seeded from
     /// [`Config::seed`] so a simulated run replays identical delays.
     rng: Mutex<simtest::SimRng>,
+    /// Multi-run dispatch gate (fair-share scheduling), when configured.
+    gate: Option<Arc<dyn DispatchGate>>,
+    /// Per-run checkpoint journals for a kernel hosting many concurrent
+    /// runs; keyed by [`RunTag::run`]. Independent of the legacy
+    /// single-journal `ckpt` state used by one-shot kernels.
+    run_ckpts: Mutex<std::collections::HashMap<u64, Arc<RunCkpt>>>,
 }
 
 /// Handles to the kernel's well-known metrics, resolved once at startup.
@@ -195,6 +285,19 @@ struct CkptState {
     steps: Mutex<std::collections::HashMap<u64, String>>,
     /// Independent of the obs counters so `checkpoint_stats` works with
     /// monitoring off.
+    appended: AtomicUsize,
+    replayed: AtomicUsize,
+    append_metric: Arc<obs::Counter>,
+    replay_metric: Arc<obs::Counter>,
+}
+
+/// One service run's journal inside a multi-run kernel. Fingerprints in
+/// these journals are already namespace-mixed (see [`RunTag::memo_ns`]),
+/// so seeding on resume lands on the same keys tagged launches compute.
+struct RunCkpt {
+    journal: Arc<ckpt::Journal>,
+    /// Memo keys seeded from this run's journal on resume.
+    seeded: Mutex<std::collections::HashSet<(Arc<str>, u64)>>,
     appended: AtomicUsize,
     replayed: AtomicUsize,
     append_metric: Arc<obs::Counter>,
@@ -260,6 +363,7 @@ impl DataFlowKernel {
             config.checkpoint,
             config.clock,
             config.seed,
+            config.gate,
         ))
     }
 
@@ -274,6 +378,7 @@ impl DataFlowKernel {
             config.checkpoint,
             config.clock,
             config.seed,
+            config.gate,
         )
     }
 
@@ -286,8 +391,12 @@ impl DataFlowKernel {
         checkpoint: Option<Arc<ckpt::Journal>>,
         clock: simtest::ClockRef,
         seed: Option<u64>,
+        gate: Option<Arc<dyn DispatchGate>>,
     ) -> Arc<Self> {
-        let log = Arc::new(MonitoringLog::with_clock(clock.clone()));
+        let log = Arc::new(MonitoringLog::with_clock_and_cap(
+            clock.clone(),
+            monitoring.events_cap,
+        ));
         executor.attach_monitoring(log.clone());
         let obs = Arc::new(Observability::new(monitoring));
         if obs.is_enabled() {
@@ -333,6 +442,8 @@ impl DataFlowKernel {
                 Some(s) => simtest::SimRng::seeded(s),
                 None => simtest::SimRng::from_entropy(),
             }),
+            gate,
+            run_ckpts: Mutex::new(std::collections::HashMap::new()),
         })
     }
 
@@ -401,6 +512,79 @@ impl DataFlowKernel {
         })
     }
 
+    // ---- multi-run service support -------------------------------------
+
+    /// Attach a per-run checkpoint journal for a service run. Completions
+    /// of tasks tagged with this run id append here (with their
+    /// namespace-mixed fingerprints); the legacy single-journal path is
+    /// untouched. Tagged tasks always compute fingerprints, so a run
+    /// journal works even on a kernel built without `memoize`.
+    pub fn attach_run_journal(&self, run: u64, journal: Arc<ckpt::Journal>) {
+        self.run_ckpts.lock().insert(
+            run,
+            Arc::new(RunCkpt {
+                journal,
+                seeded: Mutex::new(std::collections::HashSet::new()),
+                appended: AtomicUsize::new(0),
+                replayed: AtomicUsize::new(0),
+                append_metric: self.obs.counter(names::CKPT_APPEND),
+                replay_metric: self.obs.counter(names::CKPT_REPLAYED),
+            }),
+        );
+    }
+
+    /// Seed the shared memo table from a resumed run journal (the per-run
+    /// analogue of [`DataFlowKernel::seed_checkpoint`]). Record
+    /// fingerprints are already namespace-mixed, so hits land only on
+    /// tasks tagged with the same workflow namespace. Returns
+    /// `(seeded, invalid)`; no-op when `run` has no attached journal.
+    pub fn seed_run_checkpoint(&self, run: u64, records: &[ckpt::Record]) -> (usize, usize) {
+        let Some(rc) = self.run_ckpt(run) else {
+            return (0, records.len());
+        };
+        let mut seeded = 0usize;
+        let mut invalid = 0usize;
+        for rec in records {
+            match ckpt::invalidate::parse_result(&rec.result) {
+                Ok(value) => {
+                    let label: Arc<str> = Arc::from(rec.label.as_str());
+                    rc.seeded.lock().insert((label.clone(), rec.fingerprint));
+                    self.memo.insert(label, rec.fingerprint, value);
+                    seeded += 1;
+                }
+                Err(_) => invalid += 1,
+            }
+        }
+        (seeded, invalid)
+    }
+
+    /// Checkpoint activity for one service run, when its journal is
+    /// attached.
+    pub fn run_checkpoint_stats(&self, run: u64) -> Option<CkptStats> {
+        self.run_ckpt(run).map(|c| CkptStats {
+            appended: c.appended.load(Ordering::Relaxed),
+            replayed: c.replayed.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Flush and detach a service run's journal, returning its final
+    /// stats. The run's memo entries stay — cross-run dedupe is the point
+    /// of the shared table.
+    pub fn detach_run_journal(&self, run: u64) -> Option<CkptStats> {
+        let rc = self.run_ckpts.lock().remove(&run)?;
+        if let Err(e) = rc.journal.flush() {
+            eprintln!("warning: {e}");
+        }
+        Some(CkptStats {
+            appended: rc.appended.load(Ordering::Relaxed),
+            replayed: rc.replayed.load(Ordering::Relaxed),
+        })
+    }
+
+    fn run_ckpt(&self, run: u64) -> Option<Arc<RunCkpt>> {
+        self.run_ckpts.lock().get(&run).cloned()
+    }
+
     /// The checkpoint journal, when configured.
     pub fn checkpoint_journal(&self) -> Option<&Arc<ckpt::Journal>> {
         self.ckpt.as_ref().map(|c| &c.journal)
@@ -424,6 +608,33 @@ impl DataFlowKernel {
         args: Vec<AppArg>,
         body: AppBody,
     ) -> AppFuture {
+        self.submit_inner(label, step, args, body, None)
+    }
+
+    /// `submit_bound`, tagged with the service run the task belongs to.
+    /// Tagged tasks always fingerprint their inputs (namespace-mixed so
+    /// distinct workflows never collide), journal completions to the run's
+    /// attached journal, and — when the kernel has a [`DispatchGate`] —
+    /// dispatch through it instead of straight to the executor.
+    pub fn submit_tagged(
+        self: &Arc<Self>,
+        label: &str,
+        step: Option<&str>,
+        args: Vec<AppArg>,
+        body: AppBody,
+        tag: RunTag,
+    ) -> AppFuture {
+        self.submit_inner(label, step, args, body, Some(tag))
+    }
+
+    fn submit_inner(
+        self: &Arc<Self>,
+        label: &str,
+        step: Option<&str>,
+        args: Vec<AppArg>,
+        body: AppBody,
+        tag: Option<RunTag>,
+    ) -> AppFuture {
         let id = TaskId(self.next_id.fetch_add(1, Ordering::Relaxed));
         if let Some(step) = step {
             self.bind_step(id, step);
@@ -440,6 +651,9 @@ impl DataFlowKernel {
             if let Some(step) = step {
                 self.obs.lineage_bind_step(id.0, step);
             }
+            if let Some(tag) = &tag {
+                self.obs.lineage_bind_run(id.0, &tag.lineage_name());
+            }
             self.metrics.submitted.incr();
             self.metrics.outstanding.add(1);
         }
@@ -453,6 +667,9 @@ impl DataFlowKernel {
             retries_left: AtomicUsize::new(self.retry.max_retries),
             promise: Mutex::new(Some(promise)),
             root_span: submit_span.id(),
+            step: step.map(str::to_string),
+            tag,
+            gated: std::sync::atomic::AtomicBool::new(false),
         });
 
         if deps.is_empty() {
@@ -513,9 +730,17 @@ impl DataFlowKernel {
         // Memoization: a prior success with the same label and inputs
         // short-circuits execution entirely. The fingerprint (which
         // serializes every input value) is computed exactly once and
-        // reused for the memo insert when the attempt succeeds.
-        let fingerprint = if self.memoize {
-            Some(fingerprint_inputs(&vals))
+        // reused for the memo insert when the attempt succeeds. Tagged
+        // tasks always fingerprint (their run journal needs the key) and
+        // mix in the run's memo namespace, so distinct workflows sharing
+        // the kernel can never collide on a key while identical workflows
+        // still dedupe across runs.
+        let fingerprint = if self.memoize || task.tag.is_some() {
+            let base = fingerprint_inputs(&vals);
+            Some(match &task.tag {
+                Some(tag) => ckpt::fnv1a(base, &tag.memo_ns.to_le_bytes()),
+                None => base,
+            })
         } else {
             None
         };
@@ -530,18 +755,35 @@ impl DataFlowKernel {
                     .record(task.id, TaskEventKind::Memoized, &task.label);
                 // A hit on a journal-seeded key is a *replay*: the crashed
                 // run finished this task and the resume is skipping it.
-                let replayed = self
-                    .ckpt
-                    .as_ref()
-                    .map(|c| {
-                        let hit = c.seeded.lock().contains(&(task.label.clone(), fp));
-                        if hit {
-                            c.replayed.fetch_add(1, Ordering::Relaxed);
-                            c.replay_metric.incr();
-                        }
-                        hit
-                    })
-                    .unwrap_or(false);
+                // Tagged tasks consult their own run's seeded set.
+                let seeded_hit = |c: &Mutex<std::collections::HashSet<(Arc<str>, u64)>>| {
+                    c.lock().contains(&(task.label.clone(), fp))
+                };
+                let replayed = match &task.tag {
+                    Some(tag) => self
+                        .run_ckpt(tag.run)
+                        .map(|c| {
+                            let hit = seeded_hit(&c.seeded);
+                            if hit {
+                                c.replayed.fetch_add(1, Ordering::Relaxed);
+                                c.replay_metric.incr();
+                            }
+                            hit
+                        })
+                        .unwrap_or(false),
+                    None => self
+                        .ckpt
+                        .as_ref()
+                        .map(|c| {
+                            let hit = seeded_hit(&c.seeded);
+                            if hit {
+                                c.replayed.fetch_add(1, Ordering::Relaxed);
+                                c.replay_metric.incr();
+                            }
+                            hit
+                        })
+                        .unwrap_or(false),
+                };
                 if self.obs.is_enabled() {
                     self.metrics.memo_hits.incr();
                     self.obs.lineage_complete(
@@ -556,7 +798,19 @@ impl DataFlowKernel {
                 self.metrics.memo_misses.incr();
             }
         }
-        self.attempt(task, Arc::new(vals), fingerprint);
+        // Tagged tasks go through the dispatch gate (when one is
+        // configured) so the fair-share scheduler decides when this run's
+        // work reaches the executor. Untagged tasks dispatch directly.
+        let vals = Arc::new(vals);
+        match (&self.gate, task.tag.is_some()) {
+            (Some(gate), true) => gate.ready(GatedLaunch {
+                dfk: self.clone(),
+                task,
+                vals,
+                fingerprint,
+            }),
+            _ => self.attempt(task, vals, fingerprint),
+        }
     }
 
     /// Run one execution attempt on the executor; retry on failure while
@@ -622,20 +876,43 @@ impl DataFlowKernel {
                     dfk.memo.insert(task.label.clone(), fp, value.clone());
                     // Durable completion record. Journal failures degrade
                     // to a warning — losing checkpoint coverage must not
-                    // fail a task that actually succeeded.
-                    if let Some(ckpt) = &dfk.ckpt {
-                        let record = ckpt::Record {
-                            label: task.label.to_string(),
-                            fingerprint: fp,
-                            step: ckpt.steps.lock().get(&task.id.0).cloned(),
-                            result: yamlite::to_string_flow(value),
-                        };
-                        match ckpt.journal.append(&record) {
-                            Ok(()) => {
-                                ckpt.appended.fetch_add(1, Ordering::Relaxed);
-                                ckpt.append_metric.incr();
+                    // fail a task that actually succeeded. Tagged tasks
+                    // journal to their run's journal; untagged tasks to
+                    // the kernel-wide one.
+                    match &task.tag {
+                        Some(tag) => {
+                            if let Some(rc) = dfk.run_ckpt(tag.run) {
+                                let record = ckpt::Record {
+                                    label: task.label.to_string(),
+                                    fingerprint: fp,
+                                    step: task.step.clone(),
+                                    result: yamlite::to_string_flow(value),
+                                };
+                                match rc.journal.append(&record) {
+                                    Ok(()) => {
+                                        rc.appended.fetch_add(1, Ordering::Relaxed);
+                                        rc.append_metric.incr();
+                                    }
+                                    Err(e) => eprintln!("warning: {e}"),
+                                }
                             }
-                            Err(e) => eprintln!("warning: {e}"),
+                        }
+                        None => {
+                            if let Some(ckpt) = &dfk.ckpt {
+                                let record = ckpt::Record {
+                                    label: task.label.to_string(),
+                                    fingerprint: fp,
+                                    step: ckpt.steps.lock().get(&task.id.0).cloned(),
+                                    result: yamlite::to_string_flow(value),
+                                };
+                                match ckpt.journal.append(&record) {
+                                    Ok(()) => {
+                                        ckpt.appended.fetch_add(1, Ordering::Relaxed);
+                                        ckpt.append_metric.incr();
+                                    }
+                                    Err(e) => eprintln!("warning: {e}"),
+                                }
+                            }
                         }
                     }
                 }
@@ -714,6 +991,14 @@ impl DataFlowKernel {
         }
         if let Some(promise) = task.promise.lock().take() {
             promise.complete(result);
+        }
+        // A gate-launched task owes the gate exactly one `finished` — after
+        // the promise resolved, so dependents enqueued by the completion
+        // callbacks are already queued when the freed slot is re-filled.
+        if task.gated.swap(false, Ordering::AcqRel) {
+            if let (Some(gate), Some(tag)) = (&self.gate, &task.tag) {
+                gate.finished(tag);
+            }
         }
         // Zero-transition protocol: only the finisher that drops the count
         // to zero takes the lock, so the common case is one atomic RMW.
@@ -1288,6 +1573,169 @@ mod tests {
         // boom itself retried (2), dep did not (0), survivor retried once.
         assert_eq!(dfk.monitoring().summary().retried, 3);
         dfk.shutdown();
+    }
+
+    /// A gate that parks every ready task until the test releases it, and
+    /// counts finished callbacks.
+    struct ParkingGate {
+        parked: Mutex<Vec<GatedLaunch>>,
+        finished: AtomicUsize,
+    }
+
+    impl DispatchGate for ParkingGate {
+        fn ready(&self, launch: GatedLaunch) {
+            self.parked.lock().push(launch);
+        }
+        fn finished(&self, _tag: &RunTag) {
+            self.finished.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn tag(run: u64, ns: u64) -> RunTag {
+        RunTag {
+            run,
+            tenant: Arc::from("t"),
+            memo_ns: ns,
+        }
+    }
+
+    #[test]
+    fn gate_holds_tagged_tasks_until_released() {
+        let gate = Arc::new(ParkingGate {
+            parked: Mutex::new(Vec::new()),
+            finished: AtomicUsize::new(0),
+        });
+        let dfk = DataFlowKernel::new(Config::local_threads(2).with_gate(gate.clone() as Arc<_>));
+        let gated = dfk.submit_tagged("g", None, vec![AppArg::value(1i64)], add_app(), tag(1, 7));
+        // Untagged tasks bypass the gate entirely.
+        let free = dfk.submit("free", vec![AppArg::value(2i64)], add_app());
+        assert_eq!(free.result().unwrap(), Value::Int(2));
+        assert!(gated.peek().is_none(), "gated task must not run unreleased");
+        let parked: Vec<_> = std::mem::take(&mut *gate.parked.lock());
+        assert_eq!(parked.len(), 1);
+        assert_eq!(parked[0].tag().run, 1);
+        for l in parked {
+            l.launch();
+        }
+        assert_eq!(gated.result().unwrap(), Value::Int(1));
+        assert_eq!(gate.finished.load(Ordering::SeqCst), 1);
+        // Aborted tasks fail without executing and without a finished().
+        let doomed = dfk.submit_tagged("d", None, vec![], add_app(), tag(1, 7));
+        let parked: Vec<_> = std::mem::take(&mut *gate.parked.lock());
+        for l in parked {
+            l.abort("run cancelled");
+        }
+        assert!(doomed.result().is_err());
+        assert_eq!(gate.finished.load(Ordering::SeqCst), 1);
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn memo_namespaces_isolate_workflows_but_dedupe_within_one() {
+        let dfk = dfk();
+        let runs = Arc::new(AtomicUsize::new(0));
+        let body = {
+            let runs = runs.clone();
+            FnApp::new(move |vals: &[Value]| {
+                runs.fetch_add(1, Ordering::SeqCst);
+                Ok(vals[0].clone())
+            })
+        };
+        // Same label+inputs, same namespace (two runs of one workflow):
+        // the second is a memo hit even though the kernel has memoize off —
+        // tagged tasks always fingerprint.
+        let a = dfk.submit_tagged(
+            "t",
+            None,
+            vec![AppArg::value(5i64)],
+            body.clone(),
+            tag(1, 99),
+        );
+        assert_eq!(a.result().unwrap(), Value::Int(5));
+        let b = dfk.submit_tagged(
+            "t",
+            None,
+            vec![AppArg::value(5i64)],
+            body.clone(),
+            tag(2, 99),
+        );
+        assert_eq!(b.result().unwrap(), Value::Int(5));
+        assert_eq!(runs.load(Ordering::SeqCst), 1, "same namespace must dedupe");
+        // Different namespace (a different workflow): must re-execute.
+        let c = dfk.submit_tagged("t", None, vec![AppArg::value(5i64)], body, tag(3, 100));
+        assert_eq!(c.result().unwrap(), Value::Int(5));
+        assert_eq!(
+            runs.load(Ordering::SeqCst),
+            2,
+            "foreign namespace must miss"
+        );
+        dfk.shutdown();
+    }
+
+    #[test]
+    fn per_run_journals_append_and_replay_independently() {
+        let dir = std::env::temp_dir().join(format!("parsl-runckpt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run7.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let header = ckpt::Header {
+            version: 1,
+            run_hash: 77,
+            label: "run-7".into(),
+        };
+
+        // First daemon incarnation: run 7's completions land in its own
+        // journal; an untagged task journals nowhere.
+        let dfk = dfk();
+        let journal =
+            Arc::new(ckpt::Journal::create(&path, &header, ckpt::SyncMode::TaskExit).unwrap());
+        dfk.attach_run_journal(7, journal);
+        let a = dfk.submit_tagged(
+            "a",
+            Some("s1"),
+            vec![AppArg::value(1i64)],
+            add_app(),
+            tag(7, 77),
+        );
+        assert_eq!(a.result().unwrap(), Value::Int(1));
+        dfk.submit("plain", vec![AppArg::value(9i64)], add_app())
+            .result()
+            .unwrap();
+        dfk.wait_all();
+        let stats = dfk.detach_run_journal(7).unwrap();
+        assert_eq!(
+            stats,
+            CkptStats {
+                appended: 1,
+                replayed: 0
+            }
+        );
+        dfk.shutdown();
+        let loaded = ckpt::load(&path).unwrap();
+        assert_eq!(loaded.records.len(), 1);
+        assert_eq!(loaded.records[0].step.as_deref(), Some("s1"));
+
+        // Restarted daemon: resume run 7's journal, seed, and the same
+        // tagged submission replays without executing.
+        let dfk = DataFlowKernel::new(Config::local_threads(4));
+        let (journal, loaded) = ckpt::Journal::resume(&path, ckpt::SyncMode::TaskExit).unwrap();
+        dfk.attach_run_journal(7, Arc::new(journal));
+        assert_eq!(dfk.seed_run_checkpoint(7, &loaded.records), (1, 0));
+        let body = FnApp::new(|_: &[Value]| -> Result<Value, TaskError> {
+            panic!("journaled task must not re-execute")
+        });
+        let a = dfk.submit_tagged("a", Some("s1"), vec![AppArg::value(1i64)], body, tag(7, 77));
+        assert_eq!(a.result().unwrap(), Value::Int(1));
+        dfk.wait_all();
+        assert_eq!(
+            dfk.run_checkpoint_stats(7).unwrap(),
+            CkptStats {
+                appended: 0,
+                replayed: 1
+            }
+        );
+        dfk.shutdown();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -56,7 +56,7 @@ pub mod task;
 
 pub use apps::{run_command, AppBody, CommandApp, CommandSpec, FnApp};
 pub use config::{Capacity, Config, ExecutorChoice, RetryPolicy};
-pub use dfk::{AppArg, CkptStats, DataFlowKernel};
+pub use dfk::{AppArg, CkptStats, DataFlowKernel, DispatchGate, GatedLaunch, RunTag};
 pub use error::TaskError;
 pub use executor::{Executor, TaskBody, TaskPayload, ThreadPoolExecutor};
 pub use file::File;

@@ -5,6 +5,7 @@
 use crate::task::{TaskId, TaskState};
 use obs::RunClock;
 use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
 use std::time::{Duration, Instant};
 
 /// What happened to a task.
@@ -112,15 +113,79 @@ impl FaultSummary {
     }
 }
 
+/// The retained event window plus running aggregates that stay exact
+/// after eviction. The ring bounds only per-event *detail*; every counter
+/// and timestamp a summary reads is folded in at record time.
+struct EventRing {
+    ring: VecDeque<TaskEvent>,
+    cap: usize,
+    /// Events evicted from the front of the ring so far.
+    dropped: usize,
+    summary: TaskSummary,
+    faults: FaultSummary,
+    /// Timestamp of the very first event (evicted or not), for makespan.
+    first_at: Option<Duration>,
+    /// Latest terminal (Completed/Failed) timestamp, for makespan.
+    last_terminal_at: Option<Duration>,
+}
+
+impl EventRing {
+    fn push(&mut self, event: TaskEvent) {
+        self.first_at.get_or_insert(event.at);
+        if matches!(event.kind, TaskEventKind::Completed | TaskEventKind::Failed) {
+            self.last_terminal_at = Some(event.at);
+        }
+        fold_summary(&mut self.summary, &event);
+        fold_faults(&mut self.faults, &event);
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+}
+
+fn fold_summary(s: &mut TaskSummary, e: &TaskEvent) {
+    match e.kind {
+        TaskEventKind::Submitted => s.submitted += 1,
+        TaskEventKind::Completed => s.completed += 1,
+        TaskEventKind::Failed => s.failed += 1,
+        TaskEventKind::Retried => s.retried += 1,
+        TaskEventKind::Memoized => s.memoized += 1,
+        TaskEventKind::NodeLost => s.node_lost += 1,
+        TaskEventKind::Redispatched => s.redispatched += 1,
+        TaskEventKind::TimedOut => s.timed_out += 1,
+        TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
+        TaskEventKind::Launched => {}
+    }
+}
+
+fn fold_faults(s: &mut FaultSummary, e: &TaskEvent) {
+    match e.kind {
+        TaskEventKind::NodeLost => s.nodes_lost.push(e.label.clone()),
+        TaskEventKind::Redispatched => s.tasks_redispatched += 1,
+        TaskEventKind::TimedOut => s.tasks_timed_out += 1,
+        TaskEventKind::BlockReplaced => s.blocks_replaced += 1,
+        TaskEventKind::Retried => s.retries += 1,
+        _ => {}
+    }
+}
+
 /// The in-memory event log.
 ///
 /// Timestamps come from a [`RunClock`] anchored at log creation — a
 /// monotonic clock, never wall time — and are read while holding the
 /// events lock, so `at` values are non-decreasing in log order even when
 /// many threads record concurrently.
+///
+/// Storage is a bounded ring (see [`obs::DEFAULT_EVENTS_CAP`]): a
+/// long-lived daemon does not grow without bound. [`MonitoringLog::summary`],
+/// [`MonitoringLog::fault_summary`], and [`MonitoringLog::makespan`] stay
+/// exact past the cap because their inputs are folded in at record time;
+/// only per-event detail older than the window is dropped.
 pub struct MonitoringLog {
     clock: RunClock,
-    events: Mutex<Vec<TaskEvent>>,
+    events: Mutex<EventRing>,
     /// Notified on every `record` while a waiter is registered, so tests
     /// and shutdown paths can wait for a condition instead of
     /// sleep-polling.
@@ -147,9 +212,22 @@ impl MonitoringLog {
     /// An empty log stamped from an explicit time source (a virtual clock
     /// under simulation).
     pub fn with_clock(clock: simtest::ClockRef) -> Self {
+        Self::with_clock_and_cap(clock, obs::DEFAULT_EVENTS_CAP)
+    }
+
+    /// An empty log with an explicit retained-event cap (minimum 1).
+    pub fn with_clock_and_cap(clock: simtest::ClockRef, cap: usize) -> Self {
         Self {
             clock: RunClock::with_clock(clock),
-            events: Mutex::new(Vec::new()),
+            events: Mutex::new(EventRing {
+                ring: VecDeque::new(),
+                cap: cap.max(1),
+                dropped: 0,
+                summary: TaskSummary::default(),
+                faults: FaultSummary::default(),
+                first_at: None,
+                last_terminal_at: None,
+            }),
             recorded: Condvar::new(),
             waiters: std::sync::atomic::AtomicUsize::new(0),
         }
@@ -176,9 +254,20 @@ impl MonitoringLog {
         }
     }
 
-    /// Snapshot of all events so far.
+    /// Snapshot of the retained event window (all events so far unless the
+    /// ring cap evicted older ones — see [`MonitoringLog::events_dropped`]).
     pub fn events(&self) -> Vec<TaskEvent> {
-        self.events.lock().clone()
+        self.events.lock().ring.iter().cloned().collect()
+    }
+
+    /// Events evicted from the retained window so far.
+    pub fn events_dropped(&self) -> usize {
+        self.events.lock().dropped
+    }
+
+    /// The retained-event cap this log was built with.
+    pub fn events_cap(&self) -> usize {
+        self.events.lock().cap
     }
 
     /// Deadline-bounded condition wait over the event log: blocks until
@@ -202,11 +291,11 @@ impl MonitoringLog {
         self.waiters
             .fetch_add(1, std::sync::atomic::Ordering::SeqCst);
         let result = loop {
-            if pred(&events) {
+            if pred(events.ring.make_contiguous()) {
                 break true;
             }
             if self.recorded.wait_until(&mut events, deadline).timed_out() {
-                break pred(&events);
+                break pred(events.ring.make_contiguous());
             }
         };
         self.waiters
@@ -214,25 +303,22 @@ impl MonitoringLog {
         result
     }
 
-    /// Aggregate counts.
+    /// Aggregate counts. Exact even after ring eviction: folded in at
+    /// record time, not recomputed from the retained window.
     pub fn summary(&self) -> TaskSummary {
-        TaskSummary::from_events(&self.events.lock())
+        self.events.lock().summary.clone()
     }
 
     /// The fault-handling story of the run, for experiment reports.
     pub fn fault_summary(&self) -> FaultSummary {
-        FaultSummary::from_events(&self.events.lock())
+        self.events.lock().faults.clone()
     }
 
     /// Observed makespan: time from first submit to last completion event.
     pub fn makespan(&self) -> Option<Duration> {
         let events = self.events.lock();
-        let first = events.first()?.at;
-        let last = events
-            .iter()
-            .filter(|e| matches!(e.kind, TaskEventKind::Completed | TaskEventKind::Failed))
-            .map(|e| e.at)
-            .max()?;
+        let first = events.first_at?;
+        let last = events.last_terminal_at?;
         Some(last.saturating_sub(first))
     }
 }
@@ -369,6 +455,38 @@ mod tests {
         assert_eq!(log.makespan().unwrap(), Duration::from_millis(15));
         let empty = MonitoringLog::new();
         assert!(empty.makespan().is_none());
+    }
+
+    /// Satellite: the event ring must bound retained detail at the cap
+    /// while every summary counter (and makespan) stays exact — a
+    /// week-long daemon cannot grow the log without bound.
+    #[test]
+    fn ring_caps_retained_events_but_counters_stay_exact() {
+        let log = MonitoringLog::with_clock_and_cap(simtest::real_clock(), 16);
+        assert_eq!(log.events_cap(), 16);
+        for i in 0..100u64 {
+            log.record(TaskId(i), TaskEventKind::Submitted, "s");
+            log.record(TaskId(i), TaskEventKind::Completed, "s");
+        }
+        log.record(TaskId(999), TaskEventKind::Failed, "tail");
+        let retained = log.events();
+        assert_eq!(retained.len(), 16, "ring must hold exactly the cap");
+        assert_eq!(log.events_dropped(), 201 - 16);
+        // The newest events survive; the oldest were evicted.
+        assert_eq!(retained.last().unwrap().task, TaskId(999));
+        assert!(retained.iter().all(|e| e.task.0 >= 92));
+        // Aggregates are exact despite eviction.
+        let s = log.summary();
+        assert_eq!(s.submitted, 100);
+        assert_eq!(s.completed, 100);
+        assert_eq!(s.failed, 1);
+        assert!(log.makespan().is_some());
+        // A cap of zero is clamped to one retained event.
+        let tiny = MonitoringLog::with_clock_and_cap(simtest::real_clock(), 0);
+        tiny.record(TaskId(1), TaskEventKind::Submitted, "a");
+        tiny.record(TaskId(2), TaskEventKind::Submitted, "b");
+        assert_eq!(tiny.events().len(), 1);
+        assert_eq!(tiny.summary().submitted, 2);
     }
 
     #[test]

@@ -652,19 +652,40 @@ impl WorkflowExecutor {
     }
 }
 
+/// Name of the persisted run counter inside a work dir.
+const RUN_SEQ_FILE: &str = ".run-seq";
+
 /// Create a fresh `run-<pid>-<n>` subdirectory of `workdir`. Uniqueness is
-/// claimed by `create_dir`'s atomicity, not by the name alone: a process
-/// counter makes the common case one attempt, and the retry loop resolves
-/// races with other processes (or leftovers from earlier runs).
+/// claimed by `create_dir`'s atomicity, not by the name alone. The counter
+/// `n` is *persisted in the work dir* rather than held in a process-global:
+/// a long-lived daemon that restarts (possibly with a recycled pid, so
+/// `run-<pid>-0` would repeat) continues the sequence instead of reissuing
+/// run identities that earlier incarnations already used — even when their
+/// directories have since been cleaned up. The pid stays in the name purely
+/// for debuggability.
 fn unique_run_dir(workdir: &Path) -> Result<PathBuf, String> {
-    static RUN_SEQ: AtomicUsize = AtomicUsize::new(0);
     let pid = std::process::id();
+    let seq_path = workdir.join(RUN_SEQ_FILE);
+    let mut n: usize = std::fs::read_to_string(&seq_path)
+        .ok()
+        .and_then(|s| s.trim().parse().ok())
+        .unwrap_or(0);
     loop {
-        let n = RUN_SEQ.fetch_add(1, Ordering::SeqCst);
         let candidate = workdir.join(format!("run-{pid}-{n}"));
         match std::fs::create_dir(&candidate) {
-            Ok(()) => return Ok(candidate),
-            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+            Ok(()) => {
+                // Persist the next counter via a unique temp file + rename
+                // so concurrent allocators never read a torn write. A racer
+                // may persist a smaller value last; correctness still rests
+                // on `create_dir` arbitration above — the counter only has
+                // to keep moving forward across process restarts.
+                let tmp = workdir.join(format!("{RUN_SEQ_FILE}.tmp-{pid}-{n}"));
+                if std::fs::write(&tmp, format!("{}\n", n + 1)).is_ok() {
+                    let _ = std::fs::rename(&tmp, &seq_path);
+                }
+                return Ok(candidate);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => n += 1,
             Err(e) => {
                 return Err(format!(
                     "cannot create run directory {}: {e}",
@@ -739,4 +760,50 @@ fn record_outputs(
         completed.insert(format!("{}/{}", step.id, out_id), v);
     }
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression (daemon restart): the run counter must survive the
+    /// process. Before the persisted counter, a restarted daemon whose pid
+    /// the OS recycled restarted its in-process sequence at zero and
+    /// reissued `run-<pid>-0` over an existing work tree — or, worse, after
+    /// the old run dir was cleaned up, silently reused a run identity an
+    /// earlier incarnation had already published. Simulate exactly that:
+    /// allocate, delete the directory (old run cleaned up), allocate again
+    /// "after restart" — the second allocation must advance, not reuse.
+    #[test]
+    fn run_dirs_never_reuse_identities_across_restarts() {
+        let workdir = std::env::temp_dir().join(format!("wfexec-runseq-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&workdir);
+        std::fs::create_dir_all(&workdir).unwrap();
+        let pid = std::process::id();
+
+        let first = unique_run_dir(&workdir).unwrap();
+        assert_eq!(
+            first.file_name().unwrap().to_str().unwrap(),
+            format!("run-{pid}-0")
+        );
+        // The previous incarnation's run dir gets cleaned up; with only an
+        // in-process counter a "restarted" allocator would hand out
+        // run-<pid>-0 again.
+        std::fs::remove_dir_all(&first).unwrap();
+        let second = unique_run_dir(&workdir).unwrap();
+        assert_eq!(
+            second.file_name().unwrap().to_str().unwrap(),
+            format!("run-{pid}-1"),
+            "persisted counter must advance past cleaned-up runs"
+        );
+        // A stale leftover directory is still resolved by create_dir
+        // arbitration, and the counter skips past it afterwards.
+        std::fs::create_dir(workdir.join(format!("run-{pid}-2"))).unwrap();
+        let third = unique_run_dir(&workdir).unwrap();
+        assert_eq!(
+            third.file_name().unwrap().to_str().unwrap(),
+            format!("run-{pid}-3")
+        );
+        std::fs::remove_dir_all(&workdir).unwrap();
+    }
 }

@@ -1,0 +1,283 @@
+//! The `parsl-serve` daemon: a Unix-socket front end over [`Service`].
+//!
+//! One request/response frame pair per connection (see
+//! [`cwl_parsl::proto`] for the framing). Commands:
+//!
+//! | cmd      | request fields                  | response fields |
+//! |----------|---------------------------------|-----------------|
+//! | `ping`   | —                               | `ok`            |
+//! | `submit` | `cwl`, `inputs`, `tenant`       | `run`, `run_dir`|
+//! | `status` | `run` (optional)                | `runs: [...]`, `active`, `queued` |
+//! | `logs`   | `run`                           | run snapshot + `files: [...]` |
+//! | `cancel` | `run`                           | `cancelled`     |
+//! | `drain`  | —                               | `active`, `queued` |
+//!
+//! Lifecycle: the accept loop is single-threaded and non-blocking so it
+//! can interleave connections with two exit conditions — a completed
+//! drain (graceful: every run finished, kernel shut down, trace exported)
+//! and SIGTERM (fast: flush per-run journals and exit *without* waiting,
+//! so a restart with `--resume` replays the interrupted runs from their
+//! journals).
+
+use crate::service::{RunSnapshot, Service, SubmitError};
+use cwl_parsl::config::RunnerConfig;
+use cwl_parsl::proto::{self, obj, s};
+use obs::json::Json;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the SIGTERM handler; polled by the accept loop.
+static TERM: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_sig: i32) {
+    TERM.store(true, Ordering::Release);
+}
+
+/// Install the SIGTERM handler through the C runtime directly — the
+/// vendored environment has no `libc` crate, and `signal(2)` is all a
+/// flag-setting handler needs.
+fn install_sigterm() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_sigterm as *const () as usize);
+    }
+}
+
+/// Run the daemon until drained or SIGTERMed. Binds `serve.socket` (or
+/// `<workdir>/serve.sock`), refusing to start when another daemon is
+/// already listening there.
+pub fn serve_daemon(config: RunnerConfig, resume: bool) -> Result<(), String> {
+    let socket = config.serve.socket_path(&config.workdir);
+    if let Some(parent) = socket.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)
+                .map_err(|e| format!("socket dir {}: {e}", parent.display()))?;
+        }
+    }
+    if socket.exists() {
+        // A live daemon answers; a stale socket from a crashed one does
+        // not and is safe to replace.
+        if UnixStream::connect(&socket).is_ok() {
+            return Err(format!(
+                "another daemon is already serving on {}",
+                socket.display()
+            ));
+        }
+        std::fs::remove_file(&socket).map_err(|e| format!("{}: {e}", socket.display()))?;
+    }
+
+    let svc = Service::start(config, resume)?;
+    install_sigterm();
+    let listener =
+        UnixListener::bind(&socket).map_err(|e| format!("bind {}: {e}", socket.display()))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("socket: {e}"))?;
+    eprintln!("parsl-serve: listening on {}", socket.display());
+
+    loop {
+        if TERM.load(Ordering::Acquire) {
+            eprintln!("parsl-serve: SIGTERM — flushing journals and stopping");
+            svc.fast_stop();
+            let _ = std::fs::remove_file(&socket);
+            // Fast stop by design: in-flight tasks die with the process;
+            // the synced journals + non-terminal manifests make the
+            // interrupted runs resumable.
+            return Ok(());
+        }
+        if svc.drained() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => handle_conn(&svc, stream),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(25));
+            }
+            Err(e) => eprintln!("parsl-serve: accept error: {e}"),
+        }
+    }
+    let _ = std::fs::remove_file(&socket);
+    svc.shutdown();
+    eprintln!("parsl-serve: drained; exiting");
+    Ok(())
+}
+
+fn handle_conn(svc: &std::sync::Arc<Service>, mut stream: UnixStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    let response = match proto::read_frame(&mut stream) {
+        Ok(Some(req)) => dispatch(svc, &req),
+        Ok(None) => return,
+        Err(e) => err_frame(&e, None),
+    };
+    let _ = proto::write_frame(&mut stream, &response);
+}
+
+fn err_frame(message: &str, diagnostics: Option<&str>) -> Json {
+    let mut fields = vec![("ok", Json::Bool(false)), ("error", s(message))];
+    if let Some(d) = diagnostics {
+        fields.push(("diagnostics", s(d)));
+    }
+    obj(fields)
+}
+
+fn dispatch(svc: &std::sync::Arc<Service>, req: &Json) -> Json {
+    match req.get("cmd").and_then(Json::as_str) {
+        Some("ping") => obj(vec![("ok", Json::Bool(true))]),
+        Some("submit") => cmd_submit(svc, req),
+        Some("status") => cmd_status(svc, req),
+        Some("logs") => cmd_logs(svc, req),
+        Some("cancel") => match req_run(req) {
+            Ok(id) => obj(vec![
+                ("ok", Json::Bool(true)),
+                ("cancelled", Json::Bool(svc.cancel(id))),
+            ]),
+            Err(e) => err_frame(&e, None),
+        },
+        Some("drain") => {
+            svc.drain();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("active", Json::Num(svc.active_runs() as f64)),
+                ("queued", Json::Num(svc.queued_runs() as f64)),
+            ])
+        }
+        other => err_frame(&format!("unknown command {other:?}"), None),
+    }
+}
+
+fn req_run(req: &Json) -> Result<u64, String> {
+    req.get("run")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "request needs a numeric `run` field".to_string())
+}
+
+fn cmd_submit(svc: &std::sync::Arc<Service>, req: &Json) -> Json {
+    let Some(cwl) = req.get("cwl").and_then(Json::as_str) else {
+        return err_frame("submit needs a `cwl` path", None);
+    };
+    let inputs = match req.get("inputs").map(proto::json_to_yaml) {
+        Some(yamlite::Value::Map(m)) => m,
+        Some(yamlite::Value::Null) | None => yamlite::Map::new(),
+        Some(_) => return err_frame("`inputs` must be an object", None),
+    };
+    let tenant = req
+        .get("tenant")
+        .and_then(Json::as_str)
+        .unwrap_or("default");
+    match svc.submit(Path::new(cwl), &inputs, tenant) {
+        Ok(id) => {
+            let run_dir = svc
+                .status(id)
+                .map(|snap| snap.run_dir.display().to_string())
+                .unwrap_or_default();
+            obj(vec![
+                ("ok", Json::Bool(true)),
+                ("run", Json::Num(id as f64)),
+                ("run_dir", s(run_dir)),
+            ])
+        }
+        Err(SubmitError::Rejected {
+            summary,
+            diagnostics,
+        }) => err_frame(&summary, Some(&diagnostics)),
+        Err(e) => err_frame(&e.to_string(), None),
+    }
+}
+
+fn snapshot_json(snap: &RunSnapshot) -> Json {
+    let mut fields = vec![
+        ("run", Json::Num(snap.id as f64)),
+        ("tenant", s(snap.tenant.clone())),
+        ("state", s(snap.state.as_str())),
+        ("cwl", s(snap.cwl.display().to_string())),
+        ("run_dir", s(snap.run_dir.display().to_string())),
+        ("replayed", Json::Num(snap.replayed as f64)),
+        ("appended", Json::Num(snap.appended as f64)),
+    ];
+    if let Some(e) = &snap.error {
+        fields.push(("error", s(e.clone())));
+    }
+    if let Some(out) = &snap.outputs {
+        fields.push((
+            "outputs",
+            proto::yaml_to_json(&yamlite::Value::Map(out.clone())),
+        ));
+    }
+    obj(fields)
+}
+
+fn cmd_status(svc: &std::sync::Arc<Service>, req: &Json) -> Json {
+    let snaps: Vec<RunSnapshot> = match req.get("run").and_then(Json::as_u64) {
+        Some(id) => svc.status(id).into_iter().collect(),
+        None => svc.list(),
+    };
+    obj(vec![
+        ("ok", Json::Bool(true)),
+        ("runs", Json::Arr(snaps.iter().map(snapshot_json).collect())),
+        ("active", Json::Num(svc.active_runs() as f64)),
+        ("queued", Json::Num(svc.queued_runs() as f64)),
+    ])
+}
+
+fn cmd_logs(svc: &std::sync::Arc<Service>, req: &Json) -> Json {
+    let id = match req_run(req) {
+        Ok(id) => id,
+        Err(e) => return err_frame(&e, None),
+    };
+    let Some(snap) = svc.status(id) else {
+        return err_frame(&format!("unknown run {id}"), None);
+    };
+    let mut files = Vec::new();
+    collect_files(&snap.run_dir, &mut files, 200);
+    files.sort();
+    let mut base = snapshot_json(&snap);
+    if let Json::Obj(m) = &mut base {
+        m.insert("ok".to_string(), Json::Bool(true));
+        m.insert(
+            "files".to_string(),
+            Json::Arr(files.into_iter().map(Json::Str).collect()),
+        );
+    }
+    base
+}
+
+/// Recursively list files under `dir` (relative paths), bounded.
+fn collect_files(dir: &Path, out: &mut Vec<String>, cap: usize) {
+    fn walk(dir: &Path, root: &Path, out: &mut Vec<String>, cap: usize) {
+        if out.len() >= cap {
+            return;
+        }
+        let Ok(entries) = std::fs::read_dir(dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if out.len() >= cap {
+                return;
+            }
+            let path = entry.path();
+            if path.is_dir() {
+                walk(&path, root, out, cap);
+            } else if let Ok(rel) = path.strip_prefix(root) {
+                out.push(rel.display().to_string());
+            }
+        }
+    }
+    walk(dir, dir, out, cap);
+}
+
+/// `true` when every run in `snaps` is terminal (the client's drain-wait
+/// predicate).
+pub fn all_terminal(snaps: &[RunSnapshot]) -> bool {
+    snaps.iter().all(|r| r.state.is_terminal())
+}
+
+/// Resolve a config file to the daemon socket it implies (client side).
+pub fn socket_for_config(config: &RunnerConfig) -> PathBuf {
+    config.serve.socket_path(&config.workdir)
+}

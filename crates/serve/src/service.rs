@@ -1,0 +1,512 @@
+//! The multi-run service core: one warm kernel, many workflow runs.
+//!
+//! [`Service`] owns the daemon's long-lived machinery — one
+//! `DataFlowKernel`/executor pool, one content-addressed [`Stager`], one
+//! observability registry — and multiplexes admitted submissions over it.
+//! Each submission becomes a [`RunRecord`] with its own run directory,
+//! lineage namespace (`<tenant>/run-<id>`), and checkpoint journal; tasks
+//! carry a [`parsl::RunTag`] so the shared memo table namespaces
+//! fingerprints per workflow while still deduplicating identical work
+//! across runs.
+//!
+//! The socket protocol layer ([`crate::daemon`]) is a thin front end over
+//! this type; integration tests drive `Service` directly.
+
+use crate::queue::FairShare;
+use crate::run::{next_run_id, scan_runs, RunRecord, RunState};
+use cwl::loader::CwlDocument;
+use cwl_parsl::config::{CheckpointMode, CheckpointSettings, RunnerConfig, ServeSettings};
+use cwl_parsl::{checkpoint, CwlApp, CwlAppOptions, ParslWorkflowRunner};
+use cwlexec::StagingSettings;
+use datastore::Stager;
+use parking_lot::{Condvar, Mutex};
+use parsl::{DataFlowKernel, RunTag};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use yamlite::{Map, Value};
+
+/// Why a submission was turned away at the door.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The daemon is draining: no new work.
+    Draining,
+    /// The run queue is at `serve.queue_cap`.
+    QueueFull(usize),
+    /// Static admission control rejected the document (E032
+    /// unschedulable, broken wiring, …). `diagnostics` is the full
+    /// rendered report, same text a standalone `parsl-cwl` run prints.
+    Rejected {
+        summary: String,
+        diagnostics: String,
+    },
+    /// Everything else (I/O, bad paths).
+    Internal(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Draining => write!(f, "daemon is draining; not accepting submissions"),
+            Self::QueueFull(cap) => write!(f, "run queue is full ({cap} queued)"),
+            Self::Rejected { summary, .. } => write!(f, "{summary}"),
+            Self::Internal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A point-in-time view of one run, safe to serialize.
+#[derive(Clone, Debug)]
+pub struct RunSnapshot {
+    pub id: u64,
+    pub tenant: String,
+    pub state: RunState,
+    pub cwl: PathBuf,
+    pub run_dir: PathBuf,
+    pub error: Option<String>,
+    pub outputs: Option<Map>,
+    pub replayed: usize,
+    pub appended: usize,
+}
+
+/// The long-running workflow service (see module docs).
+pub struct Service {
+    dfk: Arc<DataFlowKernel>,
+    gate: Arc<FairShare>,
+    stager: Arc<Stager>,
+    staging: StagingSettings,
+    runs_dir: PathBuf,
+    serve: ServeSettings,
+    builtin_tools: bool,
+    pre_run_check: bool,
+    strict_check: bool,
+    capacity: cwl::analyze::ExecutorCapacity,
+    runs: Mutex<BTreeMap<u64, RunRecord>>,
+    /// Signalled on every run state transition (used by `wait`).
+    changed: Condvar,
+    active: AtomicUsize,
+    draining: AtomicBool,
+    queued_metric: Arc<obs::Counter>,
+    admitted_metric: Arc<obs::Counter>,
+    rejected_metric: Arc<obs::Counter>,
+    active_gauge: Arc<obs::Gauge>,
+}
+
+impl Service {
+    /// Boot the service from a loaded config. With `resume`, every
+    /// non-terminal run found under `<workdir>/runs` is re-queued; its
+    /// checkpoint journal replays completed tasks when it restarts.
+    pub fn start(config: RunnerConfig, resume: bool) -> Result<Arc<Self>, String> {
+        let capacity = cwl_parsl::lint::executor_capacity(&config.parsl);
+        let gate = Arc::new(FairShare::new(
+            capacity.slots,
+            config.serve.tenants.clone(),
+            config.serve.default_weight,
+        ));
+        let parsl = config.parsl.with_gate(gate.clone());
+        let dfk = DataFlowKernel::try_new(parsl)?;
+        gate.bind_queue_wait(
+            dfk.observability()
+                .histogram(obs::names::SERVE_QUEUE_WAIT_US),
+        );
+        std::fs::create_dir_all(&config.workdir)
+            .map_err(|e| format!("workdir {}: {e}", config.workdir.display()))?;
+        let stager = config.staging.build(&config.workdir)?;
+        let runs_dir = config.workdir.join("runs");
+        std::fs::create_dir_all(&runs_dir)
+            .map_err(|e| format!("runs dir {}: {e}", runs_dir.display()))?;
+
+        let obs = dfk.observability();
+        let svc = Arc::new(Self {
+            queued_metric: obs.counter(obs::names::SERVE_QUEUED),
+            admitted_metric: obs.counter(obs::names::SERVE_ADMITTED),
+            rejected_metric: obs.counter(obs::names::SERVE_REJECTED),
+            active_gauge: obs.gauge(obs::names::SERVE_ACTIVE),
+            dfk,
+            gate,
+            stager,
+            staging: config.staging,
+            runs_dir,
+            serve: config.serve,
+            builtin_tools: config.builtin_tools,
+            pre_run_check: config.pre_run_check,
+            strict_check: config.strict_check,
+            capacity,
+            runs: Mutex::new(BTreeMap::new()),
+            changed: Condvar::new(),
+            active: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        });
+
+        if resume {
+            let mut requeued = 0usize;
+            {
+                let mut runs = svc.runs.lock();
+                for mut rec in scan_runs(&svc.runs_dir) {
+                    if rec.state.is_terminal() {
+                        runs.insert(rec.id, rec);
+                        continue;
+                    }
+                    rec.state = RunState::Queued;
+                    let _ = rec.save();
+                    requeued += 1;
+                    runs.insert(rec.id, rec);
+                }
+            }
+            if requeued > 0 {
+                svc.queued_metric.add(requeued as u64);
+                svc.pump();
+            }
+        }
+        Ok(svc)
+    }
+
+    /// The kernel, for metrics/trace inspection.
+    pub fn kernel(&self) -> &Arc<DataFlowKernel> {
+        &self.dfk
+    }
+
+    /// The shared data plane.
+    pub fn stager(&self) -> &Arc<Stager> {
+        &self.stager
+    }
+
+    /// Admit a workflow submission. Admission control mirrors the
+    /// standalone runner's pre-run gate: the static analyzer runs with
+    /// this daemon's executor capacity, so an E032-unschedulable document
+    /// is rejected here, at submit time, with the same diagnostics a
+    /// standalone run would print.
+    pub fn submit(
+        self: &Arc<Self>,
+        cwl: &Path,
+        inputs: &Map,
+        tenant: &str,
+    ) -> Result<u64, SubmitError> {
+        if self.draining.load(Ordering::Acquire) {
+            return Err(SubmitError::Draining);
+        }
+        {
+            let runs = self.runs.lock();
+            let queued = runs
+                .values()
+                .filter(|r| r.state == RunState::Queued)
+                .count();
+            if queued >= self.serve.queue_cap {
+                return Err(SubmitError::QueueFull(queued));
+            }
+        }
+        let cwl = cwl
+            .canonicalize()
+            .map_err(|e| SubmitError::Internal(format!("{}: {e}", cwl.display())))?;
+        if self.pre_run_check {
+            let opts = cwl::analyze::AnalyzeOptions {
+                capacity: Some(self.capacity.clone()),
+            };
+            let report = cwl::analyze::analyze_file_opts(&cwl, &opts);
+            if !report.is_clean(self.strict_check) {
+                self.rejected_metric.add(1);
+                return Err(SubmitError::Rejected {
+                    summary: format!(
+                        "admission rejected: {} error(s), {} warning(s)",
+                        report.error_count(),
+                        report.warning_count()
+                    ),
+                    diagnostics: report.render_text().trim_end().to_string(),
+                });
+            }
+        }
+        let id = next_run_id(&self.runs_dir).map_err(SubmitError::Internal)?;
+        let run_dir = self.runs_dir.join(format!("run-{id}"));
+        std::fs::create_dir_all(&run_dir)
+            .map_err(|e| SubmitError::Internal(format!("{}: {e}", run_dir.display())))?;
+        let rec = RunRecord {
+            id,
+            tenant: tenant.to_string(),
+            cwl,
+            inputs: inputs.clone(),
+            state: RunState::Queued,
+            run_dir,
+            error: None,
+            outputs: None,
+            replayed: 0,
+            appended: 0,
+        };
+        rec.save().map_err(SubmitError::Internal)?;
+        self.runs.lock().insert(id, rec);
+        self.queued_metric.add(1);
+        self.admitted_metric.add(1);
+        self.pump();
+        Ok(id)
+    }
+
+    /// Start queued runs while in-flight slots remain, lowest id first.
+    fn pump(self: &Arc<Self>) {
+        loop {
+            let next = {
+                let mut runs = self.runs.lock();
+                if self.active.load(Ordering::Acquire) >= self.serve.max_in_flight {
+                    None
+                } else {
+                    match runs.values_mut().find(|r| r.state == RunState::Queued) {
+                        Some(rec) => {
+                            rec.state = RunState::Running;
+                            let _ = rec.save();
+                            // Claimed under the lock so two pumps never
+                            // double-start one run or oversubscribe.
+                            self.active.fetch_add(1, Ordering::AcqRel);
+                            Some(rec.id)
+                        }
+                        None => None,
+                    }
+                }
+            };
+            let Some(id) = next else { return };
+            self.active_gauge
+                .set(self.active.load(Ordering::Acquire) as i64);
+            let svc = self.clone();
+            std::thread::spawn(move || {
+                let result = svc.execute(id);
+                svc.finish(id, result);
+                svc.active.fetch_sub(1, Ordering::AcqRel);
+                svc.active_gauge
+                    .set(svc.active.load(Ordering::Acquire) as i64);
+                svc.changed.notify_all();
+                svc.pump();
+            });
+        }
+    }
+
+    /// Run one admitted workflow on the shared kernel. Blocks (on its
+    /// worker thread) until every task finishes.
+    fn execute(self: &Arc<Self>, id: u64) -> Result<Map, String> {
+        let (cwl, inputs, tenant, run_dir) = {
+            let runs = self.runs.lock();
+            let rec = runs.get(&id).ok_or("run vanished")?;
+            (
+                rec.cwl.clone(),
+                rec.inputs.clone(),
+                rec.tenant.clone(),
+                rec.run_dir.clone(),
+            )
+        };
+        // Per-run durable journal, bound to the workflow's run hash so a
+        // resume replays only journals that match document + inputs.
+        let hash = checkpoint::run_hash(&cwl, &inputs)?;
+        let ckpt_dir = run_dir.join("ckpt");
+        let settings = CheckpointSettings {
+            mode: CheckpointMode::TaskExit,
+            dir: Some(ckpt_dir.clone()),
+            period: Duration::from_millis(500),
+        };
+        let resume_from = ckpt_dir
+            .join(checkpoint::JOURNAL_FILE)
+            .exists()
+            .then_some(ckpt_dir.as_path());
+        let label = cwl
+            .file_name()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let prepared = checkpoint::prepare(&settings, &run_dir, resume_from, hash, &label)?
+            .ok_or("internal: per-run checkpointing must be on")?;
+        self.dfk.attach_run_journal(id, prepared.journal.clone());
+        self.dfk.seed_run_checkpoint(id, &prepared.seed);
+
+        let tag = RunTag {
+            run: id,
+            tenant: Arc::from(tenant.as_str()),
+            memo_ns: hash,
+        };
+        let mut options = CwlAppOptions::in_dir(&run_dir)
+            .with_staging(self.staging.clone())
+            .with_stager(self.stager.clone())
+            .with_run_tag(tag);
+        if self.builtin_tools {
+            options = options.with_builtin_tools();
+        }
+        let doc = cwl::loader::load_file(&cwl)?;
+        match doc {
+            CwlDocument::Tool(tool) => {
+                let app = CwlApp::from_tool(
+                    &self.dfk,
+                    tool,
+                    cwl.file_stem().map(|s| s.to_string_lossy().into_owned()),
+                    options,
+                )?;
+                let mut invocation = app.call();
+                for (k, v) in inputs.iter() {
+                    invocation = invocation.arg(k.to_string(), v.clone());
+                }
+                let run = invocation.submit()?;
+                match run.future.result() {
+                    Ok(Value::Map(m)) => Ok(m),
+                    Ok(other) => Err(format!("unexpected tool result {other:?}")),
+                    Err(e) => Err(e.to_string()),
+                }
+            }
+            CwlDocument::Workflow(_) => {
+                let runner = ParslWorkflowRunner::new(&self.dfk, options);
+                runner.run(&cwl, &inputs)
+            }
+        }
+    }
+
+    /// Record a run's terminal state, flush + detach its journal.
+    fn finish(&self, id: u64, result: Result<Map, String>) {
+        let stats = self.dfk.detach_run_journal(id).unwrap_or_default();
+        self.gate.forget_run(id);
+        let mut runs = self.runs.lock();
+        let Some(rec) = runs.get_mut(&id) else { return };
+        rec.replayed = stats.replayed;
+        rec.appended = stats.appended;
+        match result {
+            _ if rec.state == RunState::Cancelled => {
+                // Keep the client's verdict; the error (if any) explains
+                // where the abort landed.
+                if let Err(e) = result {
+                    rec.error = Some(e);
+                }
+            }
+            Ok(outputs) => {
+                rec.state = RunState::Completed;
+                rec.outputs = Some(outputs);
+            }
+            Err(e) => {
+                rec.state = RunState::Failed;
+                rec.error = Some(e);
+            }
+        }
+        let _ = rec.save();
+    }
+
+    /// Snapshot one run.
+    pub fn status(&self, id: u64) -> Option<RunSnapshot> {
+        let runs = self.runs.lock();
+        runs.get(&id).map(|r| self.snapshot(r))
+    }
+
+    /// Snapshot all runs, id order.
+    pub fn list(&self) -> Vec<RunSnapshot> {
+        let runs = self.runs.lock();
+        runs.values().map(|r| self.snapshot(r)).collect()
+    }
+
+    fn snapshot(&self, rec: &RunRecord) -> RunSnapshot {
+        // A running run's checkpoint stats live on the kernel until
+        // `finish` folds them into the record.
+        let (replayed, appended) = match self.dfk.run_checkpoint_stats(rec.id) {
+            Some(s) if !rec.state.is_terminal() => (s.replayed, s.appended),
+            _ => (rec.replayed, rec.appended),
+        };
+        RunSnapshot {
+            id: rec.id,
+            tenant: rec.tenant.clone(),
+            state: rec.state,
+            cwl: rec.cwl.clone(),
+            run_dir: rec.run_dir.clone(),
+            error: rec.error.clone(),
+            outputs: rec.outputs.clone(),
+            replayed,
+            appended,
+        }
+    }
+
+    /// Runs waiting for an in-flight slot.
+    pub fn queued_runs(&self) -> usize {
+        self.runs
+            .lock()
+            .values()
+            .filter(|r| r.state == RunState::Queued)
+            .count()
+    }
+
+    /// Runs currently executing.
+    pub fn active_runs(&self) -> usize {
+        self.active.load(Ordering::Acquire)
+    }
+
+    /// Block until `id` reaches a terminal state.
+    pub fn wait(&self, id: u64, timeout: Duration) -> Result<RunSnapshot, String> {
+        let deadline = Instant::now() + timeout;
+        let mut runs = self.runs.lock();
+        loop {
+            match runs.get(&id) {
+                None => return Err(format!("unknown run {id}")),
+                Some(rec) if rec.state.is_terminal() => {
+                    let snap = self.snapshot(rec);
+                    return Ok(snap);
+                }
+                Some(_) => {}
+            }
+            if self.changed.wait_until(&mut runs, deadline).timed_out() {
+                return Err(format!("run {id} still not terminal after {timeout:?}"));
+            }
+        }
+    }
+
+    /// Cancel a run. Queued runs never start; running runs abort their
+    /// gated tasks (in-flight tasks finish — there is no preemption).
+    pub fn cancel(&self, id: u64) -> bool {
+        let found = {
+            let mut runs = self.runs.lock();
+            match runs.get_mut(&id) {
+                None => return false,
+                Some(rec) if rec.state.is_terminal() => return true,
+                Some(rec) => {
+                    rec.state = RunState::Cancelled;
+                    rec.error
+                        .get_or_insert_with(|| "cancelled by client".to_string());
+                    let _ = rec.save();
+                    true
+                }
+            }
+        };
+        self.gate.cancel_run(id);
+        self.changed.notify_all();
+        found
+    }
+
+    /// Stop admitting; in-flight and queued runs still finish.
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    pub fn draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// True once a drain has nothing left to finish.
+    pub fn drained(&self) -> bool {
+        self.draining() && self.active_runs() == 0 && self.queued_runs() == 0
+    }
+
+    /// Fast stop (SIGTERM path): flush every active run's journal and
+    /// return without waiting. Manifests keep their `running` state, so a
+    /// restart with `--resume` re-queues them; the synced journals replay
+    /// everything that completed.
+    pub fn fast_stop(&self) {
+        let ids: Vec<u64> = self.runs.lock().keys().copied().collect();
+        for id in ids {
+            let _ = self.dfk.detach_run_journal(id);
+        }
+    }
+
+    /// Graceful shutdown: drain, wait for every run to finish, fold the
+    /// data-plane stats into the trace, and shut the kernel down (which
+    /// exports the trace for `parsl-trace`).
+    pub fn shutdown(&self) {
+        self.drain();
+        {
+            let mut runs = self.runs.lock();
+            while runs
+                .values()
+                .any(|r| matches!(r.state, RunState::Queued | RunState::Running))
+            {
+                self.changed.wait_for(&mut runs, Duration::from_millis(200));
+            }
+        }
+        cwlexec::publish_stage_stats(self.dfk.observability(), self.stager.stats());
+        self.dfk.shutdown();
+    }
+}

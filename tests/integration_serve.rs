@@ -1,0 +1,328 @@
+//! Service-level integration tests for `parsl-serve`: many workflow runs
+//! multiplexed over one warm kernel + shared CAS must be observationally
+//! identical to running each workflow alone.
+//!
+//! These tests drive [`serve::Service`] directly (the in-process core);
+//! the Unix-socket daemon and client are exercised end-to-end by the CI
+//! serve smoke (`ci.sh`), including SIGTERM + `--resume`.
+
+use cwl_parsl::config::{load_config_value, RunnerConfig};
+use cwl_parsl::runner::run_tool_cli;
+use serve::{RunRecord, RunState, Service, SubmitError};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+use yamlite::{Map, Value};
+
+const WAIT: Duration = Duration::from_secs(120);
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fixtures")
+}
+
+static CASE: AtomicUsize = AtomicUsize::new(0);
+
+fn scratch(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!(
+        "serve-int-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).unwrap();
+    d
+}
+
+/// A thread-pool runner config rooted at `workdir`; `extra` appends raw
+/// YAML blocks (monitoring, serve, …).
+fn config(workdir: &Path, extra: &str) -> RunnerConfig {
+    let yaml = format!(
+        "executor:\n  kind: thread-pool\n  workers: 4\n\
+         run:\n  workdir: {}\n  builtin_tools: true\n{extra}",
+        workdir.display()
+    );
+    load_config_value(&yamlite::parse_str(&yaml).unwrap()).unwrap()
+}
+
+fn msg_inputs(message: &str) -> Map {
+    let mut m = Map::new();
+    m.insert("message", Value::Str(message.to_string()));
+    m
+}
+
+fn words_inputs(words: &[&str]) -> Map {
+    let mut m = Map::new();
+    m.insert(
+        "words",
+        Value::Seq(words.iter().map(|w| Value::Str(w.to_string())).collect()),
+    );
+    m
+}
+
+/// Collect the bytes of every `class: File` in an output value, in
+/// deterministic traversal order.
+fn collect_output_bytes(value: &Value, out: &mut Vec<Vec<u8>>) {
+    match value {
+        Value::Map(m) => {
+            if m.get("class").and_then(Value::as_str) == Some("File") {
+                let path = m.get("path").and_then(Value::as_str).unwrap();
+                out.push(std::fs::read(path).unwrap());
+                return;
+            }
+            for (_, v) in m.iter() {
+                collect_output_bytes(v, out);
+            }
+        }
+        Value::Seq(s) => {
+            for v in s {
+                collect_output_bytes(v, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+fn output_bytes(outputs: &Map) -> Vec<Vec<u8>> {
+    let mut bytes = Vec::new();
+    collect_output_bytes(&Value::Map(outputs.clone()), &mut bytes);
+    assert!(!bytes.is_empty(), "workflow produced no file outputs");
+    bytes
+}
+
+/// The standalone baseline: run `wf` alone with `parsl-cwl`'s code path
+/// in a private workdir, returning every file output's bytes.
+fn solo_bytes(wf: &Path, inputs: &Map, tag: &str) -> Vec<Vec<u8>> {
+    let dir = scratch(tag);
+    let outcome = run_tool_cli(config(&dir, ""), wf, inputs)
+        .unwrap_or_else(|e| panic!("solo run of {} failed: {e}", wf.display()));
+    let bytes = output_bytes(&outcome.outputs);
+    let _ = std::fs::remove_dir_all(&dir);
+    bytes
+}
+
+fn completed(svc: &Service, id: u64) -> serve::RunSnapshot {
+    let snap = svc.wait(id, WAIT).unwrap();
+    assert_eq!(
+        snap.state,
+        RunState::Completed,
+        "run {id} ended {:?}: {:?}",
+        snap.state,
+        snap.error
+    );
+    snap
+}
+
+/// Three concurrent runs — two workflows, two tenants — through one
+/// daemon must each produce outputs byte-identical to running the same
+/// workflow alone: no cross-run bleed through the shared CAS, memo
+/// table, or lineage namespace.
+#[test]
+fn concurrent_runs_match_standalone_outputs() {
+    let dir = scratch("concurrent");
+    let svc = Service::start(config(&dir, ""), false).unwrap();
+    let diamond = fixtures().join("diamond.cwl");
+    let scatter = fixtures().join("scatter_words_py.cwl");
+
+    let a = svc
+        .submit(&diamond, &msg_inputs("service alpha"), "alice")
+        .unwrap();
+    let b = svc
+        .submit(
+            &scatter,
+            &words_inputs(&["shared", "warm", "kernel"]),
+            "bob",
+        )
+        .unwrap();
+    let c = svc
+        .submit(&diamond, &msg_inputs("service gamma"), "alice")
+        .unwrap();
+
+    let snap_a = completed(&svc, a);
+    let snap_b = completed(&svc, b);
+    let snap_c = completed(&svc, c);
+
+    assert_eq!(
+        output_bytes(snap_a.outputs.as_ref().unwrap()),
+        solo_bytes(&diamond, &msg_inputs("service alpha"), "solo-a"),
+    );
+    assert_eq!(
+        output_bytes(snap_b.outputs.as_ref().unwrap()),
+        solo_bytes(
+            &scatter,
+            &words_inputs(&["shared", "warm", "kernel"]),
+            "solo-b"
+        ),
+    );
+    assert_eq!(
+        output_bytes(snap_c.outputs.as_ref().unwrap()),
+        solo_bytes(&diamond, &msg_inputs("service gamma"), "solo-c"),
+    );
+
+    let obs = svc.kernel().observability();
+    assert_eq!(obs.counter(obs::names::SERVE_ADMITTED).value(), 3);
+    assert_eq!(obs.counter(obs::names::SERVE_REJECTED).value(), 0);
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An identical resubmission dedupes against the shared memo table: the
+/// second run executes nothing (its journal gains zero entries) yet
+/// returns the same outputs.
+#[test]
+fn identical_resubmission_dedupes_in_shared_memo() {
+    let dir = scratch("dedupe");
+    let svc = Service::start(
+        config(&dir, "monitoring:\n  enabled: true\n  sample_rate: 1.0\n"),
+        false,
+    )
+    .unwrap();
+    let diamond = fixtures().join("diamond.cwl");
+
+    let first = svc
+        .submit(&diamond, &msg_inputs("same message"), "alice")
+        .unwrap();
+    let snap1 = completed(&svc, first);
+    assert!(snap1.appended > 0, "first run journals its executed tasks");
+
+    let obs = svc.kernel().observability();
+    let hits_before = obs.counter(obs::names::MEMO_HITS).value();
+    let second = svc
+        .submit(&diamond, &msg_inputs("same message"), "bob")
+        .unwrap();
+    let snap2 = completed(&svc, second);
+
+    assert_eq!(
+        snap2.appended, 0,
+        "fully deduplicated run must execute (and journal) nothing"
+    );
+    assert!(
+        obs.counter(obs::names::MEMO_HITS).value() >= hits_before + 4,
+        "all four diamond tasks should hit the shared memo table"
+    );
+    assert_eq!(
+        output_bytes(snap1.outputs.as_ref().unwrap()),
+        output_bytes(snap2.outputs.as_ref().unwrap()),
+    );
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Admission control rejects an unschedulable document at submit time
+/// with the analyzer's E032 diagnostics — nothing is queued.
+#[test]
+fn unschedulable_document_is_rejected_at_the_door() {
+    let dir = scratch("reject");
+    let svc = Service::start(config(&dir, ""), false).unwrap();
+    let doc = fixtures().join("broken/unschedulable.cwl");
+
+    let err = svc.submit(&doc, &msg_inputs("hello"), "alice").unwrap_err();
+    match err {
+        SubmitError::Rejected { diagnostics, .. } => {
+            assert!(
+                diagnostics.contains("E032"),
+                "expected E032 in rejection diagnostics, got:\n{diagnostics}"
+            );
+        }
+        other => panic!("expected Rejected, got {other:?}"),
+    }
+    assert!(
+        svc.list().is_empty(),
+        "rejected submissions are not recorded"
+    );
+    let obs = svc.kernel().observability();
+    assert_eq!(obs.counter(obs::names::SERVE_REJECTED).value(), 1);
+    assert_eq!(obs.counter(obs::names::SERVE_ADMITTED).value(), 0);
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Every task in the exported trace is attributed to exactly one run
+/// namespace (`tenant/run-id`) — concurrent runs never bleed lineage.
+#[test]
+fn lineage_is_namespaced_per_run() {
+    let dir = scratch("lineage");
+    let trace_path = dir.join("trace.jsonl");
+    let svc = Service::start(
+        config(
+            &dir,
+            &format!(
+                "monitoring:\n  enabled: true\n  sample_rate: 1.0\n  export: {}\n  sinks: [jsonl]\n",
+                trace_path.display()
+            ),
+        ),
+        false,
+    )
+    .unwrap();
+    let diamond = fixtures().join("diamond.cwl");
+
+    let a = svc
+        .submit(&diamond, &msg_inputs("lineage alpha"), "alice")
+        .unwrap();
+    let b = svc
+        .submit(&diamond, &msg_inputs("lineage beta"), "bob")
+        .unwrap();
+    completed(&svc, a);
+    completed(&svc, b);
+    svc.shutdown();
+
+    let trace = obs::report::load_trace(&trace_path).unwrap();
+    assert!(!trace.lineage.is_empty(), "trace has lineage records");
+    let ns_a = format!("alice/run-{a}");
+    let ns_b = format!("bob/run-{b}");
+    let mut per_ns = std::collections::BTreeMap::new();
+    for rec in &trace.lineage {
+        let ns = rec
+            .run
+            .as_deref()
+            .unwrap_or_else(|| panic!("service task {} has no run namespace", rec.label));
+        assert!(
+            ns == ns_a || ns == ns_b,
+            "unexpected run namespace {ns:?} on task {}",
+            rec.label
+        );
+        *per_ns.entry(ns.to_string()).or_insert(0usize) += 1;
+    }
+    assert_eq!(
+        per_ns.get(&ns_a),
+        per_ns.get(&ns_b),
+        "both runs of the same workflow carry the same task count: {per_ns:?}"
+    );
+    assert_eq!(per_ns.len(), 2, "exactly two run namespaces: {per_ns:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A daemon restarted with `--resume` re-queues an interrupted run and
+/// replays every journaled task from its checkpoint — zero re-execution,
+/// identical outputs.
+#[test]
+fn resume_replays_interrupted_run_from_its_journal() {
+    let dir = scratch("resume");
+    let diamond = fixtures().join("diamond.cwl");
+
+    let svc = Service::start(config(&dir, ""), false).unwrap();
+    let id = svc
+        .submit(&diamond, &msg_inputs("resume me"), "alice")
+        .unwrap();
+    let before = completed(&svc, id);
+    assert!(before.appended > 0, "run journals its executed tasks");
+    svc.shutdown();
+
+    // Rewind the manifest to `running`, as a SIGTERM mid-run leaves it.
+    let mut rec = RunRecord::load(&before.run_dir).unwrap();
+    rec.state = RunState::Running;
+    rec.save().unwrap();
+
+    let svc = Service::start(config(&dir, ""), true).unwrap();
+    let after = completed(&svc, id);
+    assert_eq!(
+        after.replayed, before.appended,
+        "every journaled task replays instead of re-executing"
+    );
+    assert_eq!(after.appended, 0, "a full replay journals nothing new");
+    assert_eq!(
+        output_bytes(before.outputs.as_ref().unwrap()),
+        output_bytes(after.outputs.as_ref().unwrap()),
+    );
+    svc.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
